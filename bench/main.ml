@@ -1,0 +1,944 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper's evaluation (Sections 4 and 5) from the simulated Nomad and
+   Ronin scenarios, prints paper-reported values next to measured ones,
+   and runs Bechamel micro-benchmarks plus the DESIGN.md ablations.
+
+   Scale: the benign-traffic volume is [XCW_SCALE] x the paper's counts
+   (default 0.05); injected anomaly classes keep their exact paper
+   counts, so anomaly columns are directly comparable while captured
+   columns scale.  Set XCW_SCALE=1.0 to regenerate at full paper size.
+
+   Run with: dune exec bench/main.exe *)
+
+module U256 = Xcw_uint256.Uint256
+module Stats = Xcw_util.Stats
+module Prng = Xcw_util.Prng
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Rpc = Xcw_rpc.Rpc
+module Latency = Xcw_rpc.Latency
+module Engine = Xcw_datalog.Engine
+module Ast = Xcw_datalog.Ast
+module Bridge = Xcw_bridge.Bridge
+module Config = Xcw_core.Config
+module Decoder = Xcw_core.Decoder
+module Detector = Xcw_core.Detector
+module Report = Xcw_core.Report
+module Rules = Xcw_core.Rules
+module Scenario = Xcw_workload.Scenario
+module Timeframes = Xcw_workload.Timeframes
+
+let scale =
+  match Sys.getenv_opt "XCW_SCALE" with
+  | Some s -> float_of_string s
+  | None -> 0.05
+
+let seed =
+  match Sys.getenv_opt "XCW_SEED" with Some s -> int_of_string s | None -> 42
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Scenario construction (shared by several experiments)               *)
+
+let () =
+  Printf.printf "XChainWatcher evaluation harness (scale %.3f, seed %d)\n" scale
+    seed
+
+let nomad = Xcw_workload.Nomad.build ~seed ~scale ()
+
+let nomad_result =
+  Detector.run
+    (Detector.default_input ~label:"nomad" ~plugin:Decoder.nomad_plugin
+       ~config:nomad.Scenario.config
+       ~source_chain:nomad.Scenario.bridge.Bridge.source.Bridge.chain
+       ~target_chain:nomad.Scenario.bridge.Bridge.target.Bridge.chain
+       ~pricing:nomad.Scenario.pricing)
+
+let ronin = Xcw_workload.Ronin.build ~seed:(seed + 1) ~scale ()
+
+let ronin_result =
+  let input =
+    Detector.default_input ~label:"ronin" ~plugin:Decoder.ronin_plugin
+      ~config:ronin.Scenario.config
+      ~source_chain:ronin.Scenario.bridge.Bridge.source.Bridge.chain
+      ~target_chain:ronin.Scenario.bridge.Bridge.target.Bridge.chain
+      ~pricing:ronin.Scenario.pricing
+  in
+  Detector.run
+    {
+      input with
+      Detector.i_first_window_withdrawal_id =
+        ronin.Scenario.first_window_withdrawal_id;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let () =
+  section "Table 1: Timeframes of Relevance for Data Extraction";
+  Printf.printf "%-8s %12s %12s %12s %12s %12s\n" "Bridge" "t0" "t1" "t2" "t3"
+    "attack";
+  List.iter
+    (fun tf ->
+      Printf.printf "%-8s %12d %12d %12d %12d %12d\n" tf.Timeframes.tf_bridge
+        tf.Timeframes.t0 tf.Timeframes.t1 tf.Timeframes.t2 tf.Timeframes.t3
+        tf.Timeframes.attack)
+    Timeframes.rows;
+  Printf.printf "(as in the paper: Nomad attacked 2022-08-02, Ronin 2022-03-22)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 and Figure 4: fact-extraction latency                       *)
+
+(* Re-decode each bridge's chains against RPC nodes with the paper's
+   calibrated latency profiles, splitting per token type. *)
+let decode_latencies (built : Scenario.built) plugin profile rpc_seed =
+  let src_rpc =
+    Rpc.create ~profile ~seed:rpc_seed
+      built.Scenario.bridge.Bridge.source.Bridge.chain
+  in
+  let dst_rpc =
+    Rpc.create ~profile ~seed:(rpc_seed + 1)
+      built.Scenario.bridge.Bridge.target.Bridge.chain
+  in
+  let src =
+    Decoder.decode_chain plugin built.Scenario.config ~role:Decoder.Source
+      src_rpc built.Scenario.bridge.Bridge.source.Bridge.chain
+  in
+  let dst =
+    Decoder.decode_chain plugin built.Scenario.config ~role:Decoder.Target
+      dst_rpc built.Scenario.bridge.Bridge.target.Bridge.chain
+  in
+  let all = src @ dst in
+  let native =
+    List.filter_map
+      (fun rd ->
+        if rd.Decoder.rd_is_native then Some rd.Decoder.rd_latency else None)
+      all
+  in
+  let non_native =
+    List.filter_map
+      (fun rd ->
+        if rd.Decoder.rd_is_native then None else Some rd.Decoder.rd_latency)
+      all
+  in
+  (native, non_native)
+
+let nomad_native_lat, nomad_nonnative_lat =
+  decode_latencies nomad Decoder.nomad_plugin Latency.nomad_profile 101
+
+let ronin_native_lat, ronin_nonnative_lat =
+  decode_latencies ronin Decoder.ronin_plugin Latency.ronin_profile 202
+
+let print_latency_row bridge kind latencies ~paper_row =
+  match latencies with
+  | [] -> Printf.printf "%-8s %-11s (no samples)\n" bridge kind
+  | _ ->
+      let s = Stats.summarize latencies in
+      Printf.printf
+        "%-8s %-11s %8d %9.4f %9.2f %7.2f %8.2f %7.2f   (paper: %s)\n" bridge
+        kind s.Stats.size s.Stats.min s.Stats.max s.Stats.mean s.Stats.median
+        s.Stats.std paper_row
+
+let () =
+  section "Table 2: Facts extraction latency (seconds) per token type";
+  Printf.printf "%-8s %-11s %8s %9s %9s %7s %8s %7s\n" "Bridge" "Token type"
+    "size" "min" "max" "avg" "median" "std";
+  print_latency_row "Ronin" "native" ronin_native_lat
+    ~paper_row:"size 468,997 min 0.18 max 138.15 avg 1.82 med 0.35 std 4.70";
+  print_latency_row "Ronin" "non-native" ronin_nonnative_lat
+    ~paper_row:"size 347,580 min ~0 max 3.65 avg 0.28 med 0.23 std 0.26";
+  print_latency_row "Nomad" "native" nomad_native_lat
+    ~paper_row:"size 7,656 min 0.16 max 8.78 avg 0.89 med 0.78 std 0.46";
+  print_latency_row "Nomad" "non-native" nomad_nonnative_lat
+    ~paper_row:"size 51,702 min ~0 max 5.83 avg 0.26 med 0.19 std 0.28";
+  Printf.printf
+    "native >> non-native because tx.value needs eth_getTransaction +\n\
+     debug_traceTransaction; %.1f%% of Ronin native transfers exceeded 10 s\n\
+     (paper: 6.5%%)\n"
+    (100.0 *. Stats.fraction_exceeding ronin_native_lat 10.0)
+
+let () =
+  section "Figure 4: CDF of transaction receipt processing time";
+  let points = [ 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 100.0; 140.0 ] in
+  Printf.printf "%10s | %8s %8s %8s %8s\n" "seconds" "Nom-nat" "Ron-nat"
+    "Nom-non" "Ron-non";
+  let cdfs =
+    List.map
+      (fun series -> Stats.cdf series points)
+      [
+        nomad_native_lat; ronin_native_lat; nomad_nonnative_lat;
+        ronin_nonnative_lat;
+      ]
+  in
+  List.iteri
+    (fun i p ->
+      Printf.printf "%10.2f | %8.3f %8.3f %8.3f %8.3f\n" p
+        (snd (List.nth (List.nth cdfs 0) i))
+        (snd (List.nth (List.nth cdfs 1) i))
+        (snd (List.nth (List.nth cdfs 2) i))
+        (snd (List.nth (List.nth cdfs 3) i)))
+    points;
+  Printf.printf
+    "(paper shape: non-native series saturate by ~1 s; native series have\n\
+     a heavy tail, Ronin reaching 138 s)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.2.2: rule-engine runtime                                  *)
+
+let () =
+  section "Section 4.2.2: Executing the cross-chain rules";
+  let row label (r : Detector.result) paper_tuples paper_seconds =
+    Printf.printf
+      "%-7s facts %9d (paper >%s)  decode+build %6.2f s  rules %6.3f s (paper %s s)\n\
+      \        %d tuples derived in %d rule evaluations over %d iterations\n"
+      label r.Detector.report.Report.total_facts paper_tuples
+      r.Detector.report.Report.decode_seconds
+      r.Detector.report.Report.eval_seconds paper_seconds
+      r.Detector.rule_stats.Engine.tuples_derived
+      r.Detector.rule_stats.Engine.rules_evaluated
+      r.Detector.rule_stats.Engine.iterations
+  in
+  row "Ronin" ronin_result "1,570,000 at full scale" "3.58";
+  row "Nomad" nomad_result "200,000 at full scale" "0.51";
+  Printf.printf "%d Datalog rules evaluated (paper: 30)\n" Rules.rule_count
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: cctx latency vs value                                     *)
+
+let () =
+  section "Figure 5: CCTX latency vs value transferred (Nomad)";
+  let cctxs = nomad_result.Detector.report.Report.cctxs in
+  let buckets =
+    [
+      (1_000, 10_000); (10_000, 100_000); (100_000, 1_000_000);
+      (1_000_000, 10_000_000); (10_000_000, 100_000_000);
+    ]
+  in
+  Printf.printf "%-28s | %-30s | %-30s\n" "latency bucket (s)"
+    "CCTX_ValidDeposit" "CCTX_ValidWithdrawal";
+  List.iter
+    (fun (lo, hi) ->
+      let pick kind =
+        List.filter
+          (fun c ->
+            c.Report.c_kind = kind
+            && Report.cctx_latency c >= lo
+            && Report.cctx_latency c < hi)
+          cctxs
+      in
+      let fmt cs =
+        if cs = [] then "-"
+        else
+          let vals = List.map (fun c -> c.Report.c_usd_value) cs in
+          Printf.sprintf "%4d cctx  $%.2f..$%.0f" (List.length cs)
+            (List.fold_left Float.min Float.infinity vals)
+            (List.fold_left Float.max 0.0 vals)
+      in
+      Printf.printf "%-28s | %-30s | %-30s\n"
+        (Printf.sprintf "[%d; %d)" lo hi)
+        (fmt (pick `Deposit))
+        (fmt (pick `Withdrawal)))
+    buckets;
+  let dep_lat =
+    List.filter_map
+      (fun c ->
+        if c.Report.c_kind = `Deposit then
+          Some (float_of_int (Report.cctx_latency c))
+        else None)
+      cctxs
+  in
+  let wdr_lat =
+    List.filter_map
+      (fun c ->
+        if c.Report.c_kind = `Withdrawal then
+          Some (float_of_int (Report.cctx_latency c))
+        else None)
+      cctxs
+  in
+  if dep_lat <> [] then
+    Printf.printf
+      "deposit latency: min %.0f s (= 30-min fraud-proof window), median %.0f s\n"
+      (List.fold_left Float.min Float.infinity dep_lat)
+      (Stats.median dep_lat);
+  if wdr_lat <> [] then
+    Printf.printf
+      "withdrawal latency: min %.0f s, median %.0f s, max %.0f s — far more dispersed\n"
+      (List.fold_left Float.min Float.infinity wdr_lat)
+      (Stats.median wdr_lat)
+      (List.fold_left Float.max 0.0 wdr_lat);
+  Printf.printf
+    "(paper: all deposits start exactly at the 30-minute mark; the slowest\n\
+     withdrawal took more than 5 months)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                             *)
+
+let print_table3 label (r : Detector.result) paper_rows =
+  subsection (Printf.sprintf "%s bridge" label);
+  Printf.printf "%-36s %10s %10s   %s\n" "Logical Rule" "captured" "anomalies"
+    "paper (captured / anomalies)";
+  List.iter2
+    (fun row (paper_cap, paper_anom) ->
+      Printf.printf "%-36s %10d %10d   %s / %s\n" row.Report.rr_rule
+        row.Report.rr_captured
+        (List.length row.Report.rr_anomalies)
+        paper_cap paper_anom;
+      List.iter
+        (fun (cls, count, value) ->
+          if value > 0.0 then
+            Printf.printf "      %-40s %6d  ($%.2f)\n" (Report.class_name cls)
+              count value
+          else Printf.printf "      %-40s %6d\n" (Report.class_name cls) count)
+        (Report.summarize_anomalies row.Report.rr_anomalies))
+    r.Detector.report.Report.rows paper_rows
+
+let () =
+  section "Table 3: Anomaly detection results (captured records / anomalies)";
+  Printf.printf
+    "captured columns scale with XCW_SCALE=%.3f; anomaly classes keep the\n\
+     paper's exact counts\n"
+    scale;
+  print_table3 "Nomad" nomad_result
+    [
+      ("7,187", "0");
+      ("4,223", "39 (14 phishing + 25 transfers)");
+      ("11,417", "0");
+      ("11,404", "19");
+      ("464", "0");
+      ("4,846", "10 (3 unparseable + 7 attempts)");
+      ("4,869", "2 (phishing)");
+      ("4,482", "729 + 382 attack events");
+    ];
+  print_table3 "Ronin" ronin_result
+    [
+      ("38,462", "0");
+      ("5,527", "83 (3 phishing + 80 transfers)");
+      ("43,990", "0");
+      ("43,979", "10");
+      ("0", "0");
+      ("35,413", "0 (+2 no-escrow events)");
+      ("25,470", "1 (phishing)");
+      ("22,830", "12,546");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 4                                                             *)
+
+let print_table4 label (r : Detector.result) =
+  subsection (Printf.sprintf "%s bridge: origin of CCTX anomalies" label);
+  let dissect row_name =
+    let row =
+      List.find
+        (fun row -> row.Report.rr_rule = row_name)
+        r.Detector.report.Report.rows
+    in
+    Printf.printf "%s\n" row_name;
+    List.iter
+      (fun (cls, count, _) ->
+        Printf.printf "    %-44s %6d\n" (Report.class_name cls) count)
+      (Report.summarize_anomalies row.Report.rr_anomalies)
+  in
+  dissect "4. CCTX_ValidDeposit";
+  dissect "8. CCTX_ValidWithdrawal"
+
+let () =
+  section
+    "Table 4: Origin of anomalies in CCTX_ValidDeposit / CCTX_ValidWithdrawal";
+  print_table4 "Nomad" nomad_result;
+  Printf.printf
+    "  (paper Nomad: 5+5 finality, 7 token_mapping, 1+1 invalid beneficiary\n\
+    \   on deposits; 729 no-correspondence on T, 3 invalid-beneficiary FPs,\n\
+    \   2 token_mapping, 382 attack events on withdrawals)\n";
+  print_table4 "Ronin" ronin_result;
+  Printf.printf
+    "  (paper Ronin: 10+10 finality on deposits; 22+22 finality on\n\
+    \   withdrawals, 11,792 no-correspondence on S, 708 pre-window FPs,\n\
+    \   2 attack events)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.2.5 / Finding 8: attack identification                    *)
+
+let () =
+  section "Section 5.2.5: Forged Withdrawal Attacks";
+  let nomad_summary = Detector.attack_summary ~source_chain_id:1 nomad_result in
+  Printf.printf
+    "Nomad : %d events, %d transactions, %d receiving addresses, $%.2fM stolen\n"
+    nomad_summary.Detector.as_events nomad_summary.Detector.as_transactions
+    nomad_summary.Detector.as_beneficiaries
+    (nomad_summary.Detector.as_total_usd /. 1e6);
+  Printf.printf
+    "        (paper: 382 events, 382 transactions, 279 addresses, 45 deployer\n\
+    \         EOAs, $159.58M — 9 EOAs and 136 transactions more than prior\n\
+    \         public datasets)\n";
+  let ronin_summary = Detector.attack_summary ~source_chain_id:1 ronin_result in
+  Printf.printf "Ronin : %d events, %d transactions, $%.2fM stolen\n"
+    ronin_summary.Detector.as_events ronin_summary.Detector.as_transactions
+    (ronin_summary.Detector.as_total_usd /. 1e6);
+  Printf.printf
+    "        (paper: 2 transactions moving $565.64M, no false negatives)\n";
+  (* Deployer attribution: trace the Nomad exploit sinks to their
+     creating EOAs, as the paper does. *)
+  let module Analysis = Xcw_core.Analysis in
+  let sinks =
+    Analysis.forged_withdrawal_beneficiaries ~source_chain_id:1
+      nomad_result.Detector.report
+  in
+  let deployers =
+    Analysis.attribute_deployers
+      nomad.Scenario.bridge.Bridge.source.Bridge.chain sinks
+  in
+  Printf.printf
+    "Nomad attribution: %d receiving contracts traced to %d deployer EOAs\n\
+    \        (paper: 279 contracts, 45 EOAs — 9 more than Peckshield's 36)\n"
+    (List.length sinks) (List.length deployers)
+
+(* ------------------------------------------------------------------ *)
+(* Detection latency with the streaming monitor (Figure 1 motivation)  *)
+
+let () =
+  section "Streaming detection latency (closing the Figure 1 gap)";
+  (* Replay the Ronin timeline through the monitor, polling every six
+     simulated hours, and measure how long after the attack the forged
+     withdrawals are alerted.  The real team needed six DAYS. *)
+  let module Monitor = Xcw_core.Monitor in
+  let b = Xcw_workload.Ronin.build ~seed:(seed + 9) ~scale:(Float.min scale 0.02) () in
+  let input =
+    Detector.default_input ~label:"ronin-monitor" ~plugin:Decoder.ronin_plugin
+      ~config:b.Scenario.config
+      ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+      ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+      ~pricing:b.Scenario.pricing
+  in
+  let input =
+    {
+      input with
+      Detector.i_first_window_withdrawal_id =
+        b.Scenario.first_window_withdrawal_id;
+    }
+  in
+  let mon = Monitor.create input in
+  let src_blocks =
+    Chain.all_blocks b.Scenario.bridge.Bridge.source.Bridge.chain
+  in
+  let dst_blocks =
+    Chain.all_blocks b.Scenario.bridge.Bridge.target.Bridge.chain
+  in
+  let cursor_at blocks t =
+    List.fold_left
+      (fun acc (blk : Xcw_evm.Types.block) ->
+        if blk.Xcw_evm.Types.b_timestamp <= t then
+          max acc blk.Xcw_evm.Types.b_number
+        else acc)
+      0 blocks
+  in
+  let attack = b.Scenario.attack_time in
+  let poll_interval = 6 * 3600 in
+  let detected_at = ref None in
+  let t = ref (attack - (2 * 86_400)) in
+  while !detected_at = None && !t < attack + (2 * 86_400) do
+    let alerts =
+      Monitor.poll mon ~source_block:(cursor_at src_blocks !t)
+        ~target_block:(cursor_at dst_blocks !t)
+    in
+    let attack_alert =
+      List.exists
+        (fun (a : Monitor.alert) ->
+          a.Monitor.al_rule = "8. CCTX_ValidWithdrawal"
+          && a.Monitor.al_anomaly.Report.a_class = Report.No_correspondence
+          && a.Monitor.al_anomaly.Report.a_usd_value > 1e6)
+        alerts
+    in
+    if attack_alert && !t >= attack then detected_at := Some !t;
+    t := !t + poll_interval
+  done;
+  (match !detected_at with
+  | Some t ->
+      Printf.printf
+        "attack at t=%d; first alert at poll t=%d — detection latency <= %d s\n\
+         (one 6-hour polling interval; the Ronin team needed 6 DAYS, and the\n\
+         2024 re-attack still took ~40 minutes to pause)\n"
+        attack t (t - attack + poll_interval)
+  | None -> Printf.printf "attack not detected (unexpected)\n");
+  Printf.printf "monitor polls: %d, cached facts: %d\n" (Monitor.polls mon)
+    (Monitor.facts_cached mon)
+
+(* ------------------------------------------------------------------ *)
+(* Salami-slicing sweep (Section 6 future work, implemented)           *)
+
+let () =
+  section "Salami-slicing scan over the Nomad deposit relation";
+  let module Analysis = Xcw_core.Analysis in
+  let candidates =
+    Analysis.salami_candidates ~min_events:10 ~max_single_usd:1_000.0
+      ~min_total_usd:10_000.0 nomad_result.Detector.db nomad.Scenario.pricing
+  in
+  Printf.printf
+    "%d sender/token pairs split >= $10K into >= 10 sub-$1K deposits\n(the scenario plants exactly one such slicer)\n"
+    (List.length candidates);
+  List.iteri
+    (fun i c ->
+      if i < 5 then
+        Printf.printf "  %s: %d deposits, $%.0f total (max single $%.0f)\n"
+          (String.sub c.Analysis.sal_sender 0 10)
+          c.Analysis.sal_events c.Analysis.sal_total_usd
+          c.Analysis.sal_max_single_usd)
+    candidates;
+  Printf.printf
+    "(benign heavy users can match this pattern — the paper defers the\n\
+     threshold calibration to future work; the scan itself is implemented)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+
+let () =
+  section "Figure 6: Fraud-proof window violations (Nomad deposits)";
+  let violations =
+    Engine.facts nomad_result.Detector.db Rules.r_deposit_finality_violation
+  in
+  Printf.printf "%d invalid cctxs accepted by the bridge (paper: 5):\n"
+    (List.length violations);
+  List.iter
+    (fun t ->
+      match (t.(4), t.(5), t.(6)) with
+      | Ast.Int src_ts, Ast.Int dst_ts, Ast.Int fin ->
+          Printf.printf
+            "  relayed after %5d s < window %d s  (fastest paper case: 87 s)\n"
+            (dst_ts - src_ts) fin
+      | _ -> ())
+    (List.sort
+       (fun a b ->
+         match (a.(4), a.(5), b.(4), b.(5)) with
+         | Ast.Int a4, Ast.Int a5, Ast.Int b4, Ast.Int b5 ->
+             compare (a5 - a4) (b5 - b4)
+         | _ -> 0)
+       violations)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                            *)
+
+let () =
+  section "Figure 7: Matched vs unmatched withdrawal events on T (Nomad)";
+  let db = nomad_result.Detector.db in
+  let matched_ts =
+    List.filter_map
+      (fun t -> match t.(9) with Ast.Int ts -> Some ts | _ -> None)
+      (Engine.facts db Rules.r_cctx_valid_withdrawal)
+  in
+  let unmatched_ts =
+    List.filter_map
+      (fun t -> match t.(1) with Ast.Int ts -> Some ts | _ -> None)
+      (Engine.facts db Rules.r_unmatched_tc_erc20_withdrawal)
+    @ List.filter_map
+        (fun t -> match t.(1) with Ast.Int ts -> Some ts | _ -> None)
+        (Engine.facts db Rules.r_unmatched_tc_native_withdrawal)
+  in
+  let t1, _ = nomad.Scenario.window in
+  let stop = nomad.Scenario.attack_time + (21 * 86_400) in
+  let width = 14 * 86_400 in
+  let m = Stats.time_buckets matched_ts ~start:t1 ~stop ~width in
+  let u = Stats.time_buckets unmatched_ts ~start:t1 ~stop ~width in
+  Printf.printf "%12s %9s %10s\n" "window start" "matched" "unmatched";
+  List.iter2
+    (fun (ts, cm) (_, cu) ->
+      let marker =
+        if
+          ts <= nomad.Scenario.attack_time
+          && nomad.Scenario.attack_time < ts + width
+        then "  <-- ATTACK (unmatched spike)"
+        else ""
+      in
+      Printf.printf "%12d %9d %10d%s\n" ts cm cu marker)
+    m u;
+  Printf.printf
+    "(paper: 313 unmatched events trying to withdraw $24.7M in the 24 h\n\
+     before the attack; low-value unmatched events throughout normal\n\
+     operation)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 and Figure 8                                                *)
+
+let print_table5 label (built : Scenario.built) =
+  subsection label;
+  let stuck = built.Scenario.incomplete_withdrawals in
+  let before = List.filter (fun i -> i.Scenario.iw_before_attack) stuck in
+  let after = List.filter (fun i -> not i.Scenario.iw_before_attack) stuck in
+  let count p xs = List.length (List.filter p xs) in
+  let zero i = i.Scenario.iw_balance_eth = 0.0 in
+  let below i = i.Scenario.iw_balance_eth < 0.0011 in
+  let usd xs = List.fold_left (fun a i -> a +. i.Scenario.iw_usd) 0.0 xs in
+  let benef xs = List.map (fun i -> i.Scenario.iw_beneficiary) xs in
+  let tally xs =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun b ->
+        Hashtbl.replace tbl b
+          (1 + Option.value (Hashtbl.find_opt tbl b) ~default:0))
+      (benef xs);
+    tbl
+  in
+  let t = tally stuck in
+  let multi = Hashtbl.fold (fun _ n acc -> if n > 1 then acc + 1 else acc) t 0 in
+  let once = Hashtbl.fold (fun _ n acc -> if n = 1 then acc + 1 else acc) t 0 in
+  Printf.printf "%-56s %8s %8s %8s\n" "" "before" "after" "total";
+  Printf.printf "%-56s %8d %8d %8d\n" "Unmatched withdrawal events in T"
+    (List.length before) (List.length after) (List.length stuck);
+  Printf.printf "%-56s %8d %8d %8d\n"
+    "Addresses with balance 0 at withdrawal date" (count zero before)
+    (count zero after) (count zero stuck);
+  Printf.printf "%-56s %8d %8d %8d\n" "Addresses with balance < 0.0011 ETH"
+    (count below before) (count below after) (count below stuck);
+  Printf.printf "%-56s %7.2fM %7.2fM %7.2fM\n" "Total value (USD)"
+    (usd before /. 1e6) (usd after /. 1e6) (usd stuck /. 1e6);
+  Printf.printf "%-56s %26d\n" "Addresses that tried withdrawing more than once"
+    multi;
+  Printf.printf "%-56s %26d\n" "Addresses that tried withdrawing exactly once"
+    once;
+  (* The "still today" row: balances read from current chain state. *)
+  let module Analysis = Xcw_core.Analysis in
+  let today =
+    Analysis.beneficiary_balances built.Scenario.bridge.Bridge.source.Bridge.chain
+      (List.sort_uniq Address.compare (benef stuck))
+  in
+  Printf.printf "%-56s %26d\n"
+    "Addresses with balance 0 at withdrawal date and still today"
+    today.Analysis.bs_zero_balance;
+  (* Pearson correlation between attempts and amount withdrawn (paper:
+     -0.017, negligible). *)
+  let attempts, amounts =
+    Hashtbl.fold
+      (fun b n (xs, ys) ->
+        let total =
+          List.fold_left
+            (fun a i ->
+              if Address.equal i.Scenario.iw_beneficiary b then
+                a +. i.Scenario.iw_usd
+              else a)
+            0.0 stuck
+        in
+        (float_of_int n :: xs, total :: ys))
+      t ([], [])
+  in
+  if List.length attempts > 2 then
+    Printf.printf
+      "Pearson(attempts, amount) = %+.3f (paper: -0.017, negligible)\n"
+      (Stats.pearson attempts amounts)
+
+let () =
+  section "Table 5: Balance analysis of destination addresses on Ethereum";
+  print_table5
+    "Nomad (paper: 729 events, 121 zero-balance, 231 < 0.0011 ETH, $3.62M)"
+    nomad;
+  print_table5
+    "Ronin (paper: 11,794 events, 6,054 zero-balance, 7,469 < 0.0011 ETH, $1.18M)"
+    ronin;
+  Printf.printf
+    "\nAcross both bridges ~half the beneficiaries held zero ETH at request\n\
+     time (paper: 49%% zero balance; 61%% below the 0.0011 ETH gas minimum)\n"
+
+let () =
+  section "Figure 8: Distribution of non-zero beneficiary balances (ETH)";
+  let histogram label (built : Scenario.built) =
+    subsection label;
+    List.iter
+      (fun (phase, pred) ->
+        let balances =
+          List.filter_map
+            (fun i ->
+              if pred i && i.Scenario.iw_balance_eth > 0.0 then
+                Some i.Scenario.iw_balance_eth
+              else None)
+            built.Scenario.incomplete_withdrawals
+        in
+        Printf.printf "  %s (N = %d):\n" phase (List.length balances);
+        if balances <> [] then
+          List.iter
+            (fun (upper, count) ->
+              if count > 0 then
+                Printf.printf "    <= %12.7f ETH : %s (%d)\n" upper
+                  (String.make (min 60 count) '#')
+                  count)
+            (Stats.log_histogram balances ~lo_exp:(-7) ~hi_exp:3
+               ~buckets_per_decade:1))
+      [
+        ("before attack", fun i -> i.Scenario.iw_before_attack);
+        ("after attack", fun i -> not i.Scenario.iw_before_attack);
+      ]
+  in
+  histogram "Nomad (paper: (a) N=446, (b) N=162)" nomad;
+  histogram "Ronin (paper: (a) N=3608, (b) N=154)" ronin;
+  Printf.printf
+    "(paper: mass around 10^-4..10^-1 ETH, with users holding >10 and even\n\
+     200 ETH also failing to withdraw)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+
+let () =
+  section "Figure 1: Ronin bridge function calls around the attack (6 h buckets)";
+  let attack = ronin.Scenario.attack_time in
+  let discovery = ronin.Scenario.discovery_time in
+  let start = attack - (2 * 86_400) and stop = discovery + (2 * 86_400) in
+  let dep =
+    Stats.time_buckets ronin.Scenario.deposit_call_times ~start ~stop
+      ~width:(6 * 3600)
+  in
+  let wdr =
+    Stats.time_buckets ronin.Scenario.withdrawal_call_times ~start ~stop
+      ~width:(6 * 3600)
+  in
+  Printf.printf "%12s %9s %12s\n" "bucket" "deposits" "withdrawals";
+  List.iter2
+    (fun (ts, d) (_, w) ->
+      let marker =
+        if ts <= attack && attack < ts + (6 * 3600) then "  <-- ATTACK"
+        else if ts <= discovery && discovery < ts + (6 * 3600) then
+          "  <-- DISCOVERY: deposits drop to zero"
+        else ""
+      in
+      Printf.printf "%12d %9d %12d%s\n" ts d w marker)
+    dep wdr;
+  Printf.printf
+    "(paper: the attack was only discovered six days later, at which point\n\
+     deposit calls drop to zero)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md Section 5)                                     *)
+
+let () =
+  section "Ablation: indexed vs nested-loop joins (Datalog engine)";
+  let n = 30_000 in
+  let db = Engine.create_db () in
+  for i = 0 to n - 1 do
+    Engine.add_fact db "edge" [ Ast.Int (i mod 1000); Ast.Int i ]
+  done;
+  let rel = Engine.relation db "edge" in
+  let rng = Prng.create 5 in
+  let keys = List.init 200 (fun _ -> Prng.int rng 1000) in
+  let t0 = Unix.gettimeofday () in
+  let hits_indexed =
+    List.fold_left
+      (fun acc k ->
+        acc + List.length (Engine.Relation.lookup rel [ 0 ] [ Ast.Int k ]))
+      0 keys
+  in
+  let indexed_time = Unix.gettimeofday () -. t0 in
+  let all_tuples = Engine.Relation.to_list rel in
+  let t1 = Unix.gettimeofday () in
+  let hits_scan =
+    List.fold_left
+      (fun acc k ->
+        acc + List.length (List.filter (fun t -> t.(0) = Ast.Int k) all_tuples))
+      0 keys
+  in
+  let scan_time = Unix.gettimeofday () -. t1 in
+  assert (hits_indexed = hits_scan);
+  Printf.printf
+    "200 point lookups over %d tuples: indexed %.4f s, full scan %.4f s (%.0fx)\n"
+    n indexed_time scan_time
+    (scan_time /. Float.max 1e-9 indexed_time)
+
+let () =
+  section "Ablation: semi-naive vs naive fixpoint evaluation";
+  let make_db () =
+    let db = Engine.create_db () in
+    for i = 0 to 249 do
+      Engine.add_fact db "edge" [ Ast.Int i; Ast.Int (i + 1) ]
+    done;
+    db
+  in
+  let tc_rules =
+    Ast.
+      [
+        atom "path" [ v "x"; v "y" ] <-- [ pos (atom "edge" [ v "x"; v "y" ]) ];
+        atom "path" [ v "x"; v "z" ]
+        <-- [
+              pos (atom "edge" [ v "x"; v "y" ]);
+              pos (atom "path" [ v "y"; v "z" ]);
+            ];
+      ]
+  in
+  let time_run naive =
+    let db = make_db () in
+    let t0 = Unix.gettimeofday () in
+    let stats = Engine.run ~naive db { Ast.rules = tc_rules } in
+    (Unix.gettimeofday () -. t0, stats.Engine.iterations, Engine.fact_count db "path")
+  in
+  let semi_t, semi_iters, semi_paths = time_run false in
+  let naive_t, naive_iters, naive_paths = time_run true in
+  assert (semi_paths = naive_paths);
+  Printf.printf
+    "transitive closure of a 250-node chain (%d paths):\n\
+    \  semi-naive %.3f s (%d iterations)\n\
+    \  naive      %.3f s (%d iterations)  -> %.1fx slower\n"
+    semi_paths semi_t semi_iters naive_t naive_iters
+    (naive_t /. Float.max 1e-9 semi_t)
+
+let () =
+  section "Ablation: receipt-first decoding vs always-tracing (paper Section 3.2)";
+  (* The deployed decoder traces only native-value transactions.
+     Compare total simulated RPC time against a variant that runs
+     debug_traceTransaction for every receipt. *)
+  let profile = Latency.ronin_profile in
+  let rng = Prng.create 99 in
+  let n_native = List.length ronin_native_lat in
+  let n_non = List.length ronin_nonnative_lat in
+  let actual =
+    List.fold_left ( +. ) 0.0 (ronin_native_lat @ ronin_nonnative_lat)
+  in
+  let extra_traces =
+    List.init n_non (fun _ -> Latency.trace_fetch profile rng)
+    |> List.fold_left ( +. ) 0.0
+  in
+  Printf.printf
+    "Ronin decode, %d native + %d non-native receipts:\n\
+    \  receipt-first (deployed): %10.1f simulated RPC seconds\n\
+    \  always-trace  (ablated) : %10.1f simulated RPC seconds (+%.0f%%)\n"
+    n_native n_non actual
+    (actual +. extra_traces)
+    (100.0 *. extra_traces /. Float.max 1e-9 actual)
+
+let () =
+  section "Ablation: event-index ordering check (rule check 6)";
+  (* Disable the ordering constraint in rule 2 and show that a
+     transaction whose bridge event precedes the token event — the
+     confusion pattern the check exists for — would be accepted. *)
+  let db = Engine.create_db () in
+  Engine.add_fact db "sc_token_deposited"
+    [ Ast.Str "t-good"; Ast.Int 2; Ast.Int 0; Ast.Str "ben"; Ast.Str "dt";
+      Ast.Str "st"; Ast.Int 2; Ast.Str "5" ];
+  Engine.add_fact db "erc20_transfer"
+    [ Ast.Str "t-good"; Ast.Int 1; Ast.Int 1; Ast.Str "st"; Ast.Str "u";
+      Ast.Str "bridge"; Ast.Str "5" ];
+  Engine.add_fact db "sc_token_deposited"
+    [ Ast.Str "t-bad"; Ast.Int 0; Ast.Int 1; Ast.Str "ben"; Ast.Str "dt";
+      Ast.Str "st"; Ast.Int 2; Ast.Str "5" ];
+  Engine.add_fact db "erc20_transfer"
+    [ Ast.Str "t-bad"; Ast.Int 1; Ast.Int 1; Ast.Str "st"; Ast.Str "u";
+      Ast.Str "bridge"; Ast.Str "5" ];
+  List.iter
+    (fun tx ->
+      Engine.add_fact db "transaction"
+        [ Ast.Int 1000; Ast.Int 1; Ast.Str tx; Ast.Str "u"; Ast.Str "b";
+          Ast.Str "0"; Ast.Int 1; Ast.Str "0" ])
+    [ "t-good"; "t-bad" ];
+  Engine.add_fact db "token_mapping"
+    [ Ast.Int 1; Ast.Int 2; Ast.Str "st"; Ast.Str "dt" ];
+  Engine.add_fact db "bridge_controlled_address" [ Ast.Int 1; Ast.Str "bridge" ];
+  ignore (Engine.run db { Ast.rules = [ List.nth Rules.core_rules 1 ] });
+  let with_check = Engine.fact_count db Rules.r_sc_valid_erc20_deposit in
+  let rule_no_order =
+    match List.nth Rules.core_rules 1 with
+    | { Ast.head; body } ->
+        {
+          Ast.head = { head with Ast.pred = "sc_valid_no_order" };
+          body = List.filter (function Ast.Cmp _ -> false | _ -> true) body;
+        }
+  in
+  ignore (Engine.run db { Ast.rules = [ rule_no_order ] });
+  let without_check = Engine.fact_count db "sc_valid_no_order" in
+  Printf.printf
+    "with ordering check: %d valid deposit (the bridge-event-first tx is\n\
+     rejected); without it: %d — the malformed transaction would be accepted\n"
+    with_check without_check
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let () =
+  section "Micro-benchmarks (Bechamel, ns/run)";
+  let open Bechamel in
+  let keccak_32 =
+    let input = String.make 32 'x' in
+    Test.make ~name:"keccak256 (32 B)"
+      (Staged.stage (fun () -> Xcw_keccak.Keccak.digest input))
+  in
+  let keccak_1k =
+    let input = String.make 1024 'x' in
+    Test.make ~name:"keccak256 (1 KiB)"
+      (Staged.stage (fun () -> Xcw_keccak.Keccak.digest input))
+  in
+  let abi_event =
+    let ev = Xcw_chain.Erc20.transfer_event in
+    let a = Address.of_seed "bench-a" and b = Address.of_seed "bench-b" in
+    let values =
+      Xcw_abi.Abi.Value.
+        [
+          Address (Address.to_bytes a); Address (Address.to_bytes b);
+          Uint (U256.of_int 123_456);
+        ]
+    in
+    Test.make ~name:"ABI event encode+decode"
+      (Staged.stage (fun () ->
+           let topics, data = Xcw_abi.Abi.Event.encode_log ev values in
+           ignore (Xcw_abi.Abi.Event.decode_log ev topics data)))
+  in
+  let uint_mul =
+    let x = U256.of_string "123456789123456789123456789" in
+    Test.make ~name:"uint256 multiply" (Staged.stage (fun () -> U256.mul x x))
+  in
+  let uint_divmod =
+    let x = U256.of_string "340282366920938463463374607431768211455" in
+    let y = U256.of_string "12345678901234567" in
+    Test.make ~name:"uint256 divmod" (Staged.stage (fun () -> U256.divmod x y))
+  in
+  let rlp_tx =
+    let open Xcw_rlp.Rlp in
+    Test.make ~name:"RLP encode tx-shaped list"
+      (Staged.stage (fun () ->
+           encode
+             (List
+                [
+                  String (String.make 20 'a'); of_int 42;
+                  of_uint256 (U256.of_int 1_000_000);
+                  String (String.make 68 'd');
+                ])))
+  in
+  let datalog_1k =
+    Test.make ~name:"Datalog: 1k-fact deposit join"
+      (Staged.stage (fun () ->
+           let db = Engine.create_db () in
+           for i = 0 to 999 do
+             let tx = Ast.Str (Printf.sprintf "tx%d" i) in
+             Engine.add_fact db "sc_token_deposited"
+               [ tx; Ast.Int 2; Ast.Int i; Ast.Str "ben"; Ast.Str "dt";
+                 Ast.Str "st"; Ast.Int 2; Ast.Str "5" ];
+             Engine.add_fact db "erc20_transfer"
+               [ tx; Ast.Int 1; Ast.Int 1; Ast.Str "st"; Ast.Str "u";
+                 Ast.Str "bridge"; Ast.Str "5" ];
+             Engine.add_fact db "transaction"
+               [ Ast.Int 1000; Ast.Int 1; tx; Ast.Str "u"; Ast.Str "b";
+                 Ast.Str "0"; Ast.Int 1; Ast.Str "0" ]
+           done;
+           Engine.add_fact db "token_mapping"
+             [ Ast.Int 1; Ast.Int 2; Ast.Str "st"; Ast.Str "dt" ];
+           Engine.add_fact db "bridge_controlled_address"
+             [ Ast.Int 1; Ast.Str "bridge" ];
+           ignore (Engine.run db { Ast.rules = [ List.nth Rules.core_rules 1 ] })))
+  in
+  let tests =
+    [ keccak_32; keccak_1k; abi_event; uint_mul; uint_divmod; rlp_tx; datalog_1k ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"xcw" tests)
+  in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Printf.printf "%-40s %14.1f ns/run\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let () =
+  Printf.printf
+    "\nDone. See EXPERIMENTS.md for the paper-vs-measured record of every\n\
+     table and figure.\n"

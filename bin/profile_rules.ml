@@ -1,0 +1,41 @@
+(* Scratch profiler: time each rule individually on the Ronin fact base. *)
+module Engine = Xcw_datalog.Engine
+module Rules = Xcw_core.Rules
+module Detector = Xcw_core.Detector
+module Decoder = Xcw_core.Decoder
+module Scenario = Xcw_workload.Scenario
+module Bridge = Xcw_bridge.Bridge
+
+let () =
+  let scale =
+    match Sys.getenv_opt "XCW_SCALE" with Some s -> float_of_string s | None -> 0.05
+  in
+  let b = Xcw_workload.Ronin.build ~seed:43 ~scale () in
+  let input =
+    Detector.default_input ~label:"ronin" ~plugin:Decoder.ronin_plugin
+      ~config:b.Scenario.config
+      ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+      ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+      ~pricing:b.Scenario.pricing
+  in
+  (* decode only *)
+  let t0 = Unix.gettimeofday () in
+  let r = Detector.run { input with Detector.i_first_window_withdrawal_id = b.Scenario.first_window_withdrawal_id } in
+  Printf.printf "full run: %.2fs (eval %.2fs, facts %d)\n%!" (Unix.gettimeofday () -. t0) r.Detector.report.Xcw_core.Report.eval_seconds r.Detector.report.Xcw_core.Report.total_facts;
+  (* now time rule-by-rule on a fresh db *)
+  let db2 = Engine.create_db () in
+  (* copy EDB facts only: rebuild from decode *)
+  let src_rpc = Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.source.Bridge.chain in
+  let dst_rpc = Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.target.Bridge.chain in
+  let src = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Source src_rpc b.Scenario.bridge.Bridge.source.Bridge.chain in
+  let dst = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Target dst_rpc b.Scenario.bridge.Bridge.target.Bridge.chain in
+  Xcw_core.Facts.load_all db2 (Xcw_core.Config.to_facts b.Scenario.config);
+  List.iter (fun rd -> Xcw_core.Facts.load_all db2 rd.Decoder.rd_facts) (src @ dst);
+  List.iter
+    (fun rule ->
+      let t = Unix.gettimeofday () in
+      ignore (Engine.run db2 { Xcw_datalog.Ast.rules = [ rule ] });
+      let dt = Unix.gettimeofday () -. t in
+      if dt > 0.2 then
+        Format.printf "%.3fs  %a@." dt Xcw_datalog.Ast.pp_rule rule)
+    Rules.all_rules

@@ -1,0 +1,32 @@
+(* Scratch: Engine.run scaling on synthetic bridge-shaped fact bases. *)
+module Engine = Xcw_datalog.Engine
+module Rules = Xcw_core.Rules
+open Xcw_datalog.Ast
+
+let () =
+  List.iter
+    (fun n ->
+      let db = Engine.create_db () in
+      Engine.add_fact db "token_mapping" [ Int 1; Int 2; Str "st"; Str "dt" ];
+      Engine.add_fact db "bridge_controlled_address" [ Int 1; Str "bridge" ];
+      Engine.add_fact db "bridge_controlled_address" [ Int 2; Str "bridgeT" ];
+      Engine.add_fact db "bridge_controlled_address" [ Int 2; Str Rules.zero_addr ];
+      Engine.add_fact db "cctx_finality" [ Int 1; Int 100 ];
+      Engine.add_fact db "cctx_finality" [ Int 2; Int 50 ];
+      Engine.add_fact db "wrapped_native_token" [ Int 1; Str "weth" ];
+      for i = 0 to n - 1 do
+        let stx = Str (Printf.sprintf "s%d" i) and dtx = Str (Printf.sprintf "d%d" i) in
+        let amt = Str (string_of_int (1000 + i)) in
+        let ben = Str (Printf.sprintf "u%d" (i mod 500)) in
+        Engine.add_fact db "sc_token_deposited" [ stx; Int 1; Int i; ben; Str "dt"; Str "st"; Int 2; amt ];
+        Engine.add_fact db "erc20_transfer" [ stx; Int 1; Int 0; Str "st"; ben; Str "bridge"; amt ];
+        Engine.add_fact db "transaction" [ Int (1000 + i); Int 1; stx; ben; Str "bridge"; Str "0"; Int 1; Str "0" ];
+        Engine.add_fact db "tc_token_deposited" [ dtx; Int 1; Int i; ben; Str "dt"; amt ];
+        Engine.add_fact db "erc20_transfer" [ dtx; Int 2; Int 0; Str "dt"; Str Rules.zero_addr; ben; amt ];
+        Engine.add_fact db "transaction" [ Int (2000 + i); Int 2; dtx; Str "relay"; Str "bridgeT"; Str "0"; Int 1; Str "0" ]
+      done;
+      let t0 = Unix.gettimeofday () in
+      let stats = Engine.run db Rules.program in
+      Printf.printf "n=%7d facts=%7d eval=%6.2fs derived=%d\n%!" n
+        (6 * n) (Unix.gettimeofday () -. t0) stats.Engine.tuples_derived)
+    [ 20_000; 40_000; 80_000 ]

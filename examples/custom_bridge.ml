@@ -1,0 +1,122 @@
+(* Extending XChainWatcher to a new protocol (paper Section 6,
+   "Extensibility"): stand up a custom burn-mint bridge with its own
+   finality parameters, reuse the pluggable decoder with the matching
+   beneficiary representation, and verify the rules transfer unchanged:
+   a compromised-validator forgery is flagged with no protocol-specific
+   rule changes.
+
+   Run with: dune exec examples/custom_bridge.exe *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Aggregator = Xcw_bridge.Aggregator
+module Config = Xcw_core.Config
+module Pricing = Xcw_core.Pricing
+module Decoder = Xcw_core.Decoder
+module Detector = Xcw_core.Detector
+module Report = Xcw_core.Report
+
+let () =
+  (* A hypothetical "ZetaBridge": burn-mint escrow, a 2-of-3 multisig,
+     slow source chain (10 min finality), fast target chain. *)
+  let source =
+    Chain.create ~chain_id:77 ~name:"slowchain" ~finality_seconds:600
+      ~genesis_time:1_700_000_000
+  in
+  let target =
+    Chain.create ~chain_id:78 ~name:"fastchain" ~finality_seconds:5
+      ~genesis_time:1_700_000_000
+  in
+  let bridge =
+    Bridge.create
+      {
+        Bridge.s_label = "zetabridge";
+        s_source_chain = source;
+        s_target_chain = target;
+        s_escrow = Bridge.Burn_mint;
+        s_acceptance =
+          Bridge.Multisig
+            {
+              threshold = 2;
+              validator_count = 3;
+              compromised_keys = 0;
+              enforce_source_finality = true;
+            };
+        s_beneficiary_repr = Events.B_address;
+        s_buggy_unmapped_withdrawal = false;
+      }
+  in
+  let zeta = Bridge.register_token_pair bridge ~name:"Zeta Token" ~symbol:"ZETA" ~decimals:18 in
+  (* Plug point 1: the decoder — the generic plugin parameterized by
+     the protocol's beneficiary representation. *)
+  let plugin = { Decoder.plugin_name = "zetabridge"; beneficiary_repr = Events.B_address } in
+  (* Plug point 2: the static configuration (bridge addresses, token
+     mappings, finality, wrapped natives) — auto-derived here, or
+     loadable from JSON for a real deployment. *)
+  let config = Config.of_bridge bridge in
+  print_endline "Configuration (as persisted to the bridge's config file):";
+  print_endline (Config.to_string config);
+  print_newline ();
+
+  (* Benign traffic, including a deposit routed through an aggregator
+     (the intermediary-protocol path of paper Section 3.2). *)
+  let user = Address.of_seed "zeta-user" in
+  Chain.fund source user (U256.of_tokens ~decimals:18 10);
+  Chain.fund target user (U256.of_tokens ~decimals:18 10);
+  (* Under burn-mint the bridge owns the source token; users acquire it
+     via the bridge operator in this demo. *)
+  let mint_to_user amount =
+    ignore
+      (Bridge.admin_mint bridge ~dst_token:zeta.Bridge.m_dst_token ~to_:user ~amount)
+  in
+  mint_to_user (U256.of_tokens ~decimals:18 500);
+  let w =
+    Bridge.request_withdrawal bridge ~user ~dst_token:zeta.Bridge.m_dst_token
+      ~amount:(U256.of_tokens ~decimals:18 200) ~beneficiary:user
+  in
+  Chain.advance_time target 60;
+  ignore (Bridge.execute_withdrawal bridge ~withdrawal:w);
+  let agg = Aggregator.deploy bridge in
+  ignore
+    (Aggregator.deposit_erc20 bridge ~aggregator:agg ~user
+       ~src_token:zeta.Bridge.m_src_token
+       ~amount:(U256.of_tokens ~decimals:18 150) ~beneficiary:user);
+  (match
+     Bridge.observe_deposit bridge
+       (List.hd (Chain.all_receipts source |> List.rev))
+   with
+  | Some d -> ignore (Bridge.complete_deposit bridge ~deposit:d)
+  | None -> ());
+
+  (* The attack: two of three validator keys leak; the attacker mints
+     ZETA on the source chain with a forged withdrawal. *)
+  let attacker = Address.of_seed "zeta-attacker" in
+  Chain.fund source attacker (U256.of_tokens ~decimals:18 1);
+  Bridge.compromise_validators bridge ~keys:2;
+  Chain.advance_time source 3600;
+  ignore
+    (Bridge.forged_withdrawal bridge ~attacker ~src_token:zeta.Bridge.m_src_token
+       ~amount:(U256.of_tokens ~decimals:18 1_000_000) ~withdrawal_id:999);
+
+  (* Detection: the standard rules, untouched. *)
+  let pricing = Pricing.create () in
+  Pricing.register pricing ~chain_id:77
+    ~token:(Address.to_hex zeta.Bridge.m_src_token) ~usd_per_token:3.0 ~decimals:18;
+  Pricing.register pricing ~chain_id:78
+    ~token:(Address.to_hex zeta.Bridge.m_dst_token) ~usd_per_token:3.0 ~decimals:18;
+  let result =
+    Detector.run
+      (Detector.default_input ~label:"zetabridge" ~plugin ~config
+         ~source_chain:source ~target_chain:target ~pricing)
+  in
+  Format.printf "%a@.@." Report.pp result.Detector.report;
+  let summary = Detector.attack_summary ~source_chain_id:77 result in
+  Format.printf
+    "Forged mint of $%.1fM ZETA flagged as a withdrawal with no@.\
+     correspondence on the target chain — zero protocol-specific rules@.\
+     were written for this bridge.@."
+    (summary.Detector.as_total_usd /. 1e6)

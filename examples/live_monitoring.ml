@@ -1,0 +1,135 @@
+(* Live monitoring: drive a bridge and a streaming monitor side by
+   side, watching alerts arrive as blocks do.
+
+   The scenario: a healthy custom bridge processes deposits and
+   withdrawals under 6-hourly polling; mid-stream, two validator keys
+   leak and an attacker forges a withdrawal.  The monitor alerts at the
+   next poll — the operational loop the paper motivates with the
+   six-day Ronin discovery gap.
+
+   Run with: dune exec examples/live_monitoring.exe *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Config = Xcw_core.Config
+module Pricing = Xcw_core.Pricing
+module Decoder = Xcw_core.Decoder
+module Detector = Xcw_core.Detector
+module Monitor = Xcw_core.Monitor
+module Report = Xcw_core.Report
+
+let () =
+  let source =
+    Chain.create ~chain_id:1 ~name:"ethereum" ~finality_seconds:78
+      ~genesis_time:1_700_000_000
+  in
+  let target =
+    Chain.create ~chain_id:321 ~name:"sidechain" ~finality_seconds:45
+      ~genesis_time:1_700_000_000
+  in
+  let bridge =
+    Bridge.create
+      {
+        Bridge.s_label = "watched-bridge";
+        s_source_chain = source;
+        s_target_chain = target;
+        s_escrow = Bridge.Lock_unlock;
+        s_acceptance =
+          Bridge.Multisig
+            {
+              threshold = 2;
+              validator_count = 3;
+              compromised_keys = 0;
+              enforce_source_finality = true;
+            };
+        s_beneficiary_repr = Events.B_address;
+        s_buggy_unmapped_withdrawal = false;
+      }
+  in
+  let usdc =
+    Bridge.register_token_pair bridge ~name:"USD Coin" ~symbol:"USDC" ~decimals:6
+  in
+  let config = Config.of_bridge bridge in
+  let pricing = Pricing.create () in
+  Pricing.register pricing ~chain_id:1
+    ~token:(Address.to_hex usdc.Bridge.m_src_token) ~usd_per_token:1.0 ~decimals:6;
+  Pricing.register pricing ~chain_id:321
+    ~token:(Address.to_hex usdc.Bridge.m_dst_token) ~usd_per_token:1.0 ~decimals:6;
+  let mon =
+    Monitor.create
+      (Detector.default_input ~label:"watched-bridge"
+         ~plugin:Decoder.ronin_plugin ~config ~source_chain:source
+         ~target_chain:target ~pricing)
+  in
+  let cursors () =
+    ( List.length (Chain.all_blocks source),
+      List.length (Chain.all_blocks target) )
+  in
+  let poll hour =
+    let sb, tb = cursors () in
+    let alerts = Monitor.poll mon ~source_block:sb ~target_block:tb in
+    if alerts = [] then Format.printf "[t+%3dh] poll: all clear@." hour
+    else
+      List.iter
+        (fun (a : Monitor.alert) ->
+          Format.printf "[t+%3dh] *** ALERT [%s] %s — $%.0f (%s)@." hour
+            a.Monitor.al_rule
+            (Report.class_name a.Monitor.al_anomaly.Report.a_class)
+            a.Monitor.al_anomaly.Report.a_usd_value
+            a.Monitor.al_anomaly.Report.a_tx_hash)
+        alerts
+  in
+  let operator = bridge.Bridge.source.Bridge.operator in
+  let mint user amount =
+    ignore
+      (Chain.submit_tx source ~from_:operator ~to_:usdc.Bridge.m_src_token
+         ~input:(Erc20.mint_calldata ~to_:user ~amount)
+         ())
+  in
+  (* Hour 0-6: two users bridge funds over. *)
+  let alice = Address.of_seed "live-alice" and bob = Address.of_seed "live-bob" in
+  List.iter
+    (fun u ->
+      Chain.fund source u (U256.of_tokens ~decimals:18 5);
+      Chain.fund target u (U256.of_tokens ~decimals:18 5))
+    [ alice; bob ];
+  mint alice (U256.of_tokens ~decimals:6 250_000);
+  mint bob (U256.of_tokens ~decimals:6 400_000);
+  let d1 =
+    Bridge.deposit_erc20 bridge ~user:alice ~src_token:usdc.Bridge.m_src_token
+      ~amount:(U256.of_tokens ~decimals:6 250_000) ~beneficiary:alice
+  in
+  ignore (Bridge.complete_deposit bridge ~deposit:d1);
+  let d2 =
+    Bridge.deposit_erc20 bridge ~user:bob ~src_token:usdc.Bridge.m_src_token
+      ~amount:(U256.of_tokens ~decimals:6 400_000) ~beneficiary:bob
+  in
+  ignore (Bridge.complete_deposit bridge ~deposit:d2);
+  poll 6;
+  (* Hour 6-12: alice withdraws half back. *)
+  Chain.advance_time target (6 * 3600);
+  let w =
+    Bridge.request_withdrawal bridge ~user:alice
+      ~dst_token:usdc.Bridge.m_dst_token
+      ~amount:(U256.of_tokens ~decimals:6 125_000) ~beneficiary:alice
+  in
+  ignore (Bridge.execute_withdrawal bridge ~withdrawal:w);
+  poll 12;
+  (* Hour 12-18: the incident — two of three validator keys leak. *)
+  Chain.advance_time source (6 * 3600);
+  Bridge.compromise_validators bridge ~keys:2;
+  let attacker = Address.of_seed "live-attacker" in
+  Chain.fund source attacker (U256.of_tokens ~decimals:18 1);
+  ignore
+    (Bridge.forged_withdrawal bridge ~attacker
+       ~src_token:usdc.Bridge.m_src_token
+       ~amount:(U256.of_tokens ~decimals:6 525_000) ~withdrawal_id:31337);
+  poll 18;
+  Format.printf
+    "@.The forged withdrawal was alerted at the first poll after it landed\n\
+     — a six-hour worst case against the six DAYS of Figure 1, bounding\n\
+     further losses to one polling interval of exposure.@."

@@ -1,0 +1,73 @@
+(* Forensics of the March 2022 Ronin bridge attack.
+
+   Regenerates the paper's Ronin scenario (scaled down), runs the full
+   detection pipeline, and prints the attack evidence the paper reports
+   in Section 5.2.5: the two forged withdrawal transactions, the value
+   drained, the pre-window false positives filtered by withdrawal-id
+   numbering, and the Figure 1 story — deposits only stopped six days
+   after the attack.
+
+   Run with: dune exec examples/ronin_attack.exe *)
+
+module Detector = Xcw_core.Detector
+module Report = Xcw_core.Report
+module Decoder = Xcw_core.Decoder
+module Stats = Xcw_util.Stats
+module Ronin = Xcw_workload.Ronin
+module Scenario = Xcw_workload.Scenario
+module Bridge = Xcw_bridge.Bridge
+
+let () =
+  let b = Ronin.build ~seed:2022 ~scale:0.02 () in
+  let input =
+    Detector.default_input ~label:"ronin" ~plugin:Decoder.ronin_plugin
+      ~config:b.Scenario.config
+      ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+      ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+      ~pricing:b.Scenario.pricing
+  in
+  let result =
+    Detector.run
+      {
+        input with
+        Detector.i_first_window_withdrawal_id =
+          b.Scenario.first_window_withdrawal_id;
+      }
+  in
+  Format.printf "%a@.@." Report.pp result.Detector.report;
+
+  let summary = Detector.attack_summary ~source_chain_id:1 result in
+  Format.printf "=== Attack forensics (Section 5.2.5) ===@.";
+  Format.printf "forged withdrawal events on Ethereum : %d@." summary.Detector.as_events;
+  Format.printf "attack transactions                  : %d@." summary.Detector.as_transactions;
+  Format.printf "value drained                        : $%.2fM@."
+    (summary.Detector.as_total_usd /. 1e6);
+  Format.printf
+    "pre-window withdrawals filtered as FPs (withdrawal_id < %d): %d@.@."
+    (Option.value b.Scenario.first_window_withdrawal_id ~default:0)
+    b.Scenario.ground_truth.Scenario.gt_pre_window_fps;
+
+  (* Figure 1: function calls per 6-hour bucket around the attack. *)
+  let attack = b.Scenario.attack_time and discovery = b.Scenario.discovery_time in
+  let start = attack - (4 * 86_400) and stop = discovery + (3 * 86_400) in
+  let dep =
+    Stats.time_buckets b.Scenario.deposit_call_times ~start ~stop ~width:(6 * 3600)
+  in
+  let wdr =
+    Stats.time_buckets b.Scenario.withdrawal_call_times ~start ~stop ~width:(6 * 3600)
+  in
+  Format.printf "=== Figure 1: bridge function calls per 6h (| = attack, * = discovery) ===@.";
+  List.iter2
+    (fun (ts, d) (_, w) ->
+      let marker =
+        if ts <= attack && attack < ts + (6 * 3600) then " <-- ATTACK"
+        else if ts <= discovery && discovery < ts + (6 * 3600) then
+          " <-- DISCOVERY (deposits stop)"
+        else ""
+      in
+      Format.printf "t=%d  deposits %3d  withdrawals %3d%s@." ts d w marker)
+    dep wdr;
+  Format.printf
+    "@.The bridge kept accepting deposits for six days after the attack —@.\
+     exactly the observability gap XChainWatcher closes: the two forged@.\
+     withdrawals are flagged the moment their receipts are decoded.@."

@@ -1,0 +1,391 @@
+(** Solidity contract ABI encoding and decoding.
+
+    Implements the head/tail encoding scheme of the Solidity ABI
+    specification for the types the bridge protocols use, plus event
+    signature hashing ([topic\[0\] = keccak256(signature)]) and event
+    topic/data coding with indexed parameters.
+
+    This substitutes for the EVM ABI libraries (ethers/web3) the paper's
+    pipeline relies on; the byte format is identical so the decoders in
+    [Xcw_core] exercise the same logic they would on mainnet data. *)
+
+module U256 = Xcw_uint256.Uint256
+module Hex = Xcw_util.Hex
+module Keccak = Xcw_keccak.Keccak
+
+exception Decode_error of string
+
+module Type = struct
+  type t =
+    | Address
+    | Uint of int  (** bit width, multiple of 8, <= 256 *)
+    | Bool
+    | Fixed_bytes of int  (** bytesN, 1 <= N <= 32 *)
+    | Bytes  (** dynamic byte array *)
+    | String_t  (** dynamic UTF-8 string *)
+    | Array of t  (** dynamic-length array *)
+    | Fixed_array of t * int
+    | Tuple of t list
+
+  let rec is_dynamic = function
+    | Address | Uint _ | Bool | Fixed_bytes _ -> false
+    | Bytes | String_t | Array _ -> true
+    | Fixed_array (t, _) -> is_dynamic t
+    | Tuple ts -> List.exists is_dynamic ts
+
+  (** Number of 32-byte words occupied by a static type's head. *)
+  let rec head_words = function
+    | Address | Uint _ | Bool | Fixed_bytes _ -> 1
+    | Bytes | String_t | Array _ -> 1 (* offset pointer *)
+    | Fixed_array (t, n) -> if is_dynamic t then 1 else n * head_words t
+    | Tuple ts ->
+        if List.exists is_dynamic ts then 1
+        else List.fold_left (fun acc t -> acc + head_words t) 0 ts
+
+  (** Canonical type string used in signatures, e.g. ["uint256"]. *)
+  let rec to_string = function
+    | Address -> "address"
+    | Uint n -> Printf.sprintf "uint%d" n
+    | Bool -> "bool"
+    | Fixed_bytes n -> Printf.sprintf "bytes%d" n
+    | Bytes -> "bytes"
+    | String_t -> "string"
+    | Array t -> to_string t ^ "[]"
+    | Fixed_array (t, n) -> Printf.sprintf "%s[%d]" (to_string t) n
+    | Tuple ts -> "(" ^ String.concat "," (List.map to_string ts) ^ ")"
+
+  let uint256 = Uint 256
+  let bytes32 = Fixed_bytes 32
+end
+
+module Value = struct
+  type t =
+    | Address of string  (** 20 raw bytes *)
+    | Uint of U256.t
+    | Bool of bool
+    | Fixed_bytes of string  (** N raw bytes *)
+    | Bytes of string
+    | String_v of string
+    | Array of t list
+    | Tuple of t list
+
+  let rec type_of ?(uint_bits = 256) = function
+    | Address _ -> Type.Address
+    | Uint _ -> Type.Uint uint_bits
+    | Bool _ -> Type.Bool
+    | Fixed_bytes b -> Type.Fixed_bytes (String.length b)
+    | Bytes _ -> Type.Bytes
+    | String_v _ -> Type.String_t
+    | Array [] -> Type.Array Type.uint256 (* element type unknowable *)
+    | Array (x :: _) -> Type.Array (type_of x)
+    | Tuple xs -> Type.Tuple (List.map type_of xs)
+
+  let address_of_hex h =
+    let raw = Hex.decode h in
+    if String.length raw <> 20 then invalid_arg "Value.address_of_hex: not 20 bytes";
+    Address raw
+
+  let to_address_hex = function
+    | Address a -> Hex.encode_0x a
+    | _ -> invalid_arg "Value.to_address_hex: not an address"
+
+  let uint_of_int i = Uint (U256.of_int i)
+
+  let rec pp fmt = function
+    | Address a -> Format.fprintf fmt "%s" (Hex.encode_0x a)
+    | Uint u -> U256.pp fmt u
+    | Bool b -> Format.pp_print_bool fmt b
+    | Fixed_bytes b | Bytes b -> Format.fprintf fmt "0x%s" (Hex.encode b)
+    | String_v s -> Format.fprintf fmt "%S" s
+    | Array xs | Tuple xs ->
+        Format.fprintf fmt "[%a]"
+          (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp)
+          xs
+end
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let word_of_uint u = U256.to_bytes_be u
+
+let word_of_int i = word_of_uint (U256.of_int i)
+
+(* Left-pad to 32 bytes. *)
+let pad_left s =
+  if String.length s > 32 then invalid_arg "Abi.pad_left: longer than a word";
+  String.make (32 - String.length s) '\000' ^ s
+
+(* Right-pad to a multiple of 32 bytes. *)
+let pad_right_multiple s =
+  let n = String.length s in
+  let rem = n mod 32 in
+  if rem = 0 then s else s ^ String.make (32 - rem) '\000'
+
+(** Encode a single value as its static head representation (only valid
+    for static types). *)
+let rec encode_static (v : Value.t) : string =
+  match v with
+  | Value.Address a -> pad_left a
+  | Value.Uint u -> word_of_uint u
+  | Value.Bool b -> word_of_int (if b then 1 else 0)
+  | Value.Fixed_bytes b -> pad_right_multiple b
+  | Value.Tuple xs -> String.concat "" (List.map encode_static xs)
+  | Value.Array xs ->
+      (* A fixed-size array of static elements is itself static: its
+         head is the concatenation of the element heads. *)
+      String.concat "" (List.map encode_static xs)
+  | Value.Bytes _ | Value.String_v _ ->
+      invalid_arg "Abi.encode_static: dynamic value"
+
+(** [encode types values] is the ABI head/tail encoding of [values]
+    (interpreted as the members of a top-level tuple of [types]). *)
+and encode (types : Type.t list) (values : Value.t list) : string =
+  if List.length types <> List.length values then
+    invalid_arg "Abi.encode: arity mismatch";
+  (* First pass: compute head size in bytes. *)
+  let head_size =
+    32 * List.fold_left (fun acc t -> acc + Type.head_words t) 0 types
+  in
+  let heads = Buffer.create 256 in
+  let tails = Buffer.create 256 in
+  List.iter2
+    (fun ty v ->
+      if Type.is_dynamic ty then begin
+        let offset = head_size + Buffer.length tails in
+        Buffer.add_string heads (word_of_int offset);
+        Buffer.add_string tails (encode_dynamic ty v)
+      end
+      else Buffer.add_string heads (encode_static v))
+    types values;
+  Buffer.contents heads ^ Buffer.contents tails
+
+and encode_dynamic (ty : Type.t) (v : Value.t) : string =
+  match (ty, v) with
+  | Type.Bytes, Value.Bytes b | Type.String_t, Value.String_v b ->
+      word_of_int (String.length b) ^ pad_right_multiple b
+  | Type.Array elem_ty, Value.Array xs ->
+      let body =
+        encode (List.map (fun _ -> elem_ty) xs) xs
+      in
+      word_of_int (List.length xs) ^ body
+  | Type.Fixed_array (elem_ty, n), Value.Array xs ->
+      if List.length xs <> n then invalid_arg "Abi.encode: fixed array arity";
+      encode (List.map (fun _ -> elem_ty) xs) xs
+  | Type.Tuple ts, Value.Tuple xs -> encode ts xs
+  | _ -> invalid_arg "Abi.encode: type/value mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let read_word (blob : string) (offset : int) : string =
+  if offset + 32 > String.length blob then
+    raise (Decode_error (Printf.sprintf "word read past end (offset %d, length %d)" offset (String.length blob)));
+  String.sub blob offset 32
+
+let read_uint blob offset = U256.of_bytes_be (read_word blob offset)
+
+let read_offset blob offset =
+  match U256.to_int_opt (read_uint blob offset) with
+  | Some n -> n
+  | None -> raise (Decode_error "offset does not fit in an int")
+
+(** Decode an address word; the paper (Section 5.2.2) documents bridge
+    users supplying wrongly padded addresses, so the strictness is
+    configurable: [`Strict] (the paper's tool: left-padded only),
+    [`Lenient] (accept either padding). *)
+let decode_address_word ?(padding = `Strict) (word : string) : string =
+  let is_zero_range lo hi =
+    let ok = ref true in
+    for i = lo to hi do
+      if word.[i] <> '\000' then ok := false
+    done;
+    !ok
+  in
+  if is_zero_range 0 11 then String.sub word 12 20
+  else
+    match padding with
+    | `Strict ->
+        raise
+          (Decode_error
+             ("invalid 20-byte address: non-zero padding in " ^ Hex.encode_0x word))
+    | `Lenient ->
+        if is_zero_range 20 31 then String.sub word 0 20
+        else
+          raise
+            (Decode_error
+               ("invalid 20-byte address: neither left- nor right-padded in "
+              ^ Hex.encode_0x word))
+
+let rec decode_value (ty : Type.t) (blob : string) (offset : int) : Value.t =
+  match ty with
+  | Type.Address -> Value.Address (decode_address_word (read_word blob offset))
+  | Type.Uint _ -> Value.Uint (read_uint blob offset)
+  | Type.Bool -> (
+      match U256.to_int_opt (read_uint blob offset) with
+      | Some 0 -> Value.Bool false
+      | Some 1 -> Value.Bool true
+      | _ -> raise (Decode_error "invalid bool word"))
+  | Type.Fixed_bytes n -> Value.Fixed_bytes (String.sub (read_word blob offset) 0 n)
+  | Type.Bytes | Type.String_t ->
+      let len =
+        match U256.to_int_opt (read_uint blob offset) with
+        | Some n -> n
+        | None -> raise (Decode_error "bytes length too large")
+      in
+      if offset + 32 + len > String.length blob then
+        raise (Decode_error "bytes payload truncated");
+      let payload = String.sub blob (offset + 32) len in
+      if ty = Type.Bytes then Value.Bytes payload else Value.String_v payload
+  | Type.Array elem_ty ->
+      let len =
+        match U256.to_int_opt (read_uint blob offset) with
+        | Some n -> n
+        | None -> raise (Decode_error "array length too large")
+      in
+      if len > 1_000_000 then raise (Decode_error "array length unreasonable");
+      let body_types = List.init len (fun _ -> elem_ty) in
+      let values = decode_tuple_at body_types blob (offset + 32) in
+      Value.Array values
+  | Type.Fixed_array (elem_ty, n) ->
+      Value.Array (decode_tuple_at (List.init n (fun _ -> elem_ty)) blob offset)
+  | Type.Tuple ts -> Value.Tuple (decode_tuple_at ts blob offset)
+
+(* Decode a tuple whose head starts at [base]. *)
+and decode_tuple_at (types : Type.t list) (blob : string) (base : int) :
+    Value.t list =
+  let pos = ref base in
+  List.map
+    (fun ty ->
+      let here = !pos in
+      pos := here + (32 * Type.head_words ty);
+      if Type.is_dynamic ty then begin
+        let rel = read_offset blob here in
+        decode_value ty blob (base + rel)
+      end
+      else decode_value ty blob here)
+    types
+
+(** [decode types blob] decodes a top-level tuple. *)
+let decode (types : Type.t list) (blob : string) : Value.t list =
+  decode_tuple_at types blob 0
+
+(* ------------------------------------------------------------------ *)
+(* Function selectors                                                  *)
+
+(** [selector "deposit(address,uint256)"] is the 4-byte function
+    selector. *)
+let selector (signature : string) : string =
+  String.sub (Keccak.digest signature) 0 4
+
+(** [encode_call signature types values] is calldata: selector followed
+    by the ABI-encoded arguments. *)
+let encode_call signature types values = selector signature ^ encode types values
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+
+module Event = struct
+  type param = { name : string; ty : Type.t; indexed : bool }
+
+  type t = { name : string; params : param list }
+
+  let param ?(indexed = false) name ty = { name; ty; indexed }
+
+  let signature (e : t) : string =
+    Printf.sprintf "%s(%s)" e.name
+      (String.concat "," (List.map (fun p -> Type.to_string p.ty) e.params))
+
+  (* topic0 is needed on every log emission and every decode attempt;
+     memoize the keccak by signature. *)
+  let topic0_cache : (string, string) Hashtbl.t = Hashtbl.create 32
+
+  (** [topic0 e] is [keccak256(signature e)], the first topic of every
+      log emitted for this event. *)
+  let topic0 (e : t) : string =
+    let s = signature e in
+    match Hashtbl.find_opt topic0_cache s with
+    | Some h -> h
+    | None ->
+        let h = Keccak.digest s in
+        Hashtbl.replace topic0_cache s h;
+        h
+
+  (** [encode_log e values] is [(topics, data)].  Indexed parameters of
+      value type become topics verbatim; indexed dynamic parameters are
+      replaced by their keccak256 hash (as the EVM does).  Non-indexed
+      parameters are ABI-encoded into the data blob. *)
+  let encode_log (e : t) (values : Value.t list) : string list * string =
+    if List.length values <> List.length e.params then
+      invalid_arg "Event.encode_log: arity mismatch";
+    let topics = ref [ topic0 e ] in
+    let data_types = ref [] in
+    let data_values = ref [] in
+    List.iter2
+      (fun p v ->
+        if p.indexed then
+          let topic =
+            if Type.is_dynamic p.ty then
+              Keccak.digest (encode_dynamic p.ty v)
+            else encode_static v
+          in
+          topics := topic :: !topics
+        else begin
+          data_types := p.ty :: !data_types;
+          data_values := v :: !data_values
+        end)
+      e.params values;
+    ( List.rev !topics,
+      encode (List.rev !data_types) (List.rev !data_values) )
+
+  (** [decode_log e topics data] recovers the parameter values in
+      declaration order.  Raises [Decode_error] if [topics] does not
+      start with [topic0 e] or has the wrong arity.  Indexed dynamic
+      parameters cannot be recovered (only their hash is stored) and are
+      returned as [Fixed_bytes hash]. *)
+  let decode_log ?(address_padding = `Strict) (e : t) (topics : string list)
+      (data : string) : (string * Value.t) list =
+    match topics with
+    | [] -> raise (Decode_error "no topics")
+    | t0 :: rest ->
+        if t0 <> topic0 e then raise (Decode_error "topic0 mismatch");
+        let indexed_params = List.filter (fun (p : param) -> p.indexed) e.params in
+        if List.length rest <> List.length indexed_params then
+          raise (Decode_error "indexed topic arity mismatch");
+        let indexed_values =
+          List.map2
+            (fun (p : param) topic ->
+              let v =
+                if Type.is_dynamic p.ty then Value.Fixed_bytes topic
+                else
+                  match p.ty with
+                  | Type.Address ->
+                      Value.Address
+                        (decode_address_word ~padding:address_padding topic)
+                  | _ -> decode_value p.ty topic 0
+              in
+              (p.name, v))
+            indexed_params rest
+        in
+        let data_params = List.filter (fun (p : param) -> not p.indexed) e.params in
+        let data_values =
+          decode (List.map (fun (p : param) -> p.ty) data_params) data
+        in
+        let data_named =
+          List.map2 (fun (p : param) v -> (p.name, v)) data_params data_values
+        in
+        (* Re-assemble in declaration order. *)
+        let rec merge (params : param list) iv dv =
+          match params with
+          | [] -> []
+          | p :: ps ->
+              if p.indexed then
+                match iv with
+                | x :: iv' -> x :: merge ps iv' dv
+                | [] -> assert false
+              else
+                match dv with
+                | x :: dv' -> x :: merge ps iv dv'
+                | [] -> assert false
+        in
+        merge e.params indexed_values data_named
+end

@@ -1,0 +1,116 @@
+(** Solidity contract ABI encoding and decoding.
+
+    Implements the head/tail encoding scheme of the Solidity ABI
+    specification, event signature hashing
+    ([topic\[0\] = keccak256(signature)]), and event topic/data coding
+    with indexed parameters — the byte format real EVM tooling
+    produces, so decoders exercise the same logic they would on
+    mainnet data. *)
+
+module U256 = Xcw_uint256.Uint256
+
+exception Decode_error of string
+
+module Type : sig
+  type t =
+    | Address
+    | Uint of int  (** bit width, multiple of 8, <= 256 *)
+    | Bool
+    | Fixed_bytes of int  (** bytesN, 1 <= N <= 32 *)
+    | Bytes  (** dynamic byte array *)
+    | String_t  (** dynamic UTF-8 string *)
+    | Array of t  (** dynamic-length array *)
+    | Fixed_array of t * int
+    | Tuple of t list
+
+  val is_dynamic : t -> bool
+
+  val head_words : t -> int
+  (** Number of 32-byte words occupied by the type's head. *)
+
+  val to_string : t -> string
+  (** Canonical type string used in signatures, e.g. ["uint256"]. *)
+
+  val uint256 : t
+  val bytes32 : t
+end
+
+module Value : sig
+  type t =
+    | Address of string  (** 20 raw bytes *)
+    | Uint of U256.t
+    | Bool of bool
+    | Fixed_bytes of string  (** N raw bytes *)
+    | Bytes of string
+    | String_v of string
+    | Array of t list
+    | Tuple of t list
+
+  val type_of : ?uint_bits:int -> t -> Type.t
+
+  val address_of_hex : string -> t
+  (** Raises [Invalid_argument] unless 20 bytes. *)
+
+  val to_address_hex : t -> string
+  val uint_of_int : int -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Tuple encoding} *)
+
+val encode : Type.t list -> Value.t list -> string
+(** Head/tail encoding of the values as a top-level tuple. *)
+
+val decode : Type.t list -> string -> Value.t list
+(** Inverse of {!encode}.  Raises {!Decode_error} on malformed data. *)
+
+val encode_static : Value.t -> string
+(** Static head representation (addresses, uints, bools, bytesN);
+    raises [Invalid_argument] on dynamic values. *)
+
+val decode_address_word :
+  ?padding:[ `Strict | `Lenient ] -> string -> string
+(** Extract a 20-byte address from a 32-byte word.  [`Strict] (default)
+    accepts left padding only — the paper's tool behaviour;
+    [`Lenient] also accepts right padding (the user mistakes of paper
+    Section 5.2.2).  Raises {!Decode_error} on anything else. *)
+
+(** {1 Function calls} *)
+
+val selector : string -> string
+(** [selector "transfer(address,uint256)"] is the 4-byte selector. *)
+
+val encode_call : string -> Type.t list -> Value.t list -> string
+(** Selector followed by ABI-encoded arguments. *)
+
+(** {1 Events} *)
+
+module Event : sig
+  type param = { name : string; ty : Type.t; indexed : bool }
+  type t = { name : string; params : param list }
+
+  val param : ?indexed:bool -> string -> Type.t -> param
+
+  val signature : t -> string
+  (** e.g. ["Transfer(address,address,uint256)"]. *)
+
+  val topic0 : t -> string
+  (** [keccak256 (signature t)] — the first topic of every log for a
+      non-anonymous event. *)
+
+  val encode_log : t -> Value.t list -> string list * string
+  (** [(topics, data)]: indexed value-type parameters become topics
+      verbatim, indexed dynamic parameters are hashed (as the EVM
+      does), the rest are ABI-encoded into [data]. *)
+
+  val decode_log :
+    ?address_padding:[ `Strict | `Lenient ] ->
+    t ->
+    string list ->
+    string ->
+    (string * Value.t) list
+  (** Recover named parameter values in declaration order.  Raises
+      {!Decode_error} on a foreign [topic0], arity mismatches, or
+      malformed data.  Indexed dynamic parameters are returned as the
+      stored hash ([Fixed_bytes]). *)
+end

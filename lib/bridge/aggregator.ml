@@ -1,0 +1,122 @@
+(** A bridge-aggregator intermediary contract.
+
+    Users frequently interact with bridges through intermediary
+    protocols (bridge aggregators, Section 3.2 of the paper): the
+    user's transaction targets the aggregator, which issues *internal*
+    transactions to the bridge.  This matters for the detector because
+    (a) the transaction's [to] field is not the bridge contract, and
+    (b) native value reaches the bridge only through internal calls,
+    visible exclusively via [debug_traceTransaction].
+
+    Rule 1/2 deliberately do not require the transaction to target a
+    bridge contract — only that the escrow event credits a
+    bridge-controlled address — so aggregator deposits must be accepted
+    as valid.  This contract exercises that path. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Abi = Xcw_abi.Abi
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+
+let sel_agg_deposit_erc20 =
+  Abi.selector "swapAndBridge(address,uint256,bytes32,uint256)"
+
+let sel_agg_deposit_native = Abi.selector "bridgeNative(bytes32,uint256)"
+
+(** Deploy an aggregator routing to the given bridge.  ERC-20 deposits
+    require the user to have approved the aggregator. *)
+let deploy (bridge : Bridge.t) : Address.t =
+  let chain = bridge.Bridge.source.Bridge.chain in
+  let agg_owner = Address.of_seed (bridge.Bridge.label ^ ":aggregator-owner") in
+  Chain.deploy chain ~from_:agg_owner ~label:(bridge.Bridge.label ^ ":aggregator")
+    (fun env ->
+      let input = env.Chain.input in
+      if String.length input < 4 then raise (Chain.Revert "aggregator: empty call");
+      let sel = String.sub input 0 4 in
+      let bridge_addr = bridge.Bridge.source.Bridge.bridge_addr in
+      if sel = sel_agg_deposit_erc20 then begin
+        match
+          Erc20.decode_args
+            [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.bytes32; Abi.Type.uint256 ]
+            input
+        with
+        | [ Abi.Value.Address token; Abi.Value.Uint amount;
+            Abi.Value.Fixed_bytes beneficiary; Abi.Value.Uint dst_chain ] ->
+            (* Pull the user's tokens, then deposit them on the bridge
+               on the user's behalf. *)
+            env.Chain.call token
+              (Erc20.transfer_from_calldata ~from_:env.Chain.sender
+                 ~to_:env.Chain.self ~amount);
+            env.Chain.call token
+              (Erc20.approve_calldata ~spender:bridge_addr ~amount);
+            env.Chain.call bridge_addr
+              (Bridge.sel_deposit_erc20
+              ^ Abi.encode
+                  [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.bytes32;
+                    Abi.Type.uint256 ]
+                  [
+                    Abi.Value.Address token;
+                    Abi.Value.Uint amount;
+                    Abi.Value.Fixed_bytes beneficiary;
+                    Abi.Value.Uint dst_chain;
+                  ])
+        | _ -> raise (Chain.Revert "aggregator: bad args")
+      end
+      else if sel = sel_agg_deposit_native then begin
+        match
+          Erc20.decode_args [ Abi.Type.bytes32; Abi.Type.uint256 ] input
+        with
+        | [ Abi.Value.Fixed_bytes beneficiary; Abi.Value.Uint dst_chain ] ->
+            (* Forward msg.value to the bridge in an internal call:
+               invisible in the receipt, visible in the trace. *)
+            env.Chain.call ~value:env.Chain.value bridge_addr
+              (Bridge.sel_deposit_native
+              ^ Abi.encode
+                  [ Abi.Type.bytes32; Abi.Type.uint256 ]
+                  [
+                    Abi.Value.Fixed_bytes beneficiary;
+                    Abi.Value.Uint dst_chain;
+                  ])
+        | _ -> raise (Chain.Revert "aggregator: bad args")
+      end
+      else raise (Chain.Revert "aggregator: unknown selector"))
+
+(** User deposit of ERC-20 via the aggregator (after approving it). *)
+let deposit_erc20 bridge ~aggregator ~user ~src_token ~amount ~beneficiary :
+    Xcw_evm.Types.receipt =
+  let chain = bridge.Bridge.source.Bridge.chain in
+  ignore
+    (Chain.submit_tx chain ~from_:user ~to_:src_token
+       ~input:(Erc20.approve_calldata ~spender:aggregator ~amount)
+       ());
+  let packed = Bridge.pack_beneficiary bridge.Bridge.beneficiary_repr beneficiary in
+  let input =
+    sel_agg_deposit_erc20
+    ^ Abi.encode
+        [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.bytes32; Abi.Type.uint256 ]
+        [
+          Abi.Value.Address src_token;
+          Abi.Value.Uint amount;
+          Abi.Value.Fixed_bytes packed;
+          Abi.Value.uint_of_int bridge.Bridge.target.Bridge.chain.Chain.chain_id;
+        ]
+  in
+  Chain.submit_tx chain ~from_:user ~to_:aggregator ~input ()
+
+(** User deposit of native currency via the aggregator: [tx.value]
+    flows to the bridge through an internal call. *)
+let deposit_native bridge ~aggregator ~user ~amount ~beneficiary :
+    Xcw_evm.Types.receipt =
+  let chain = bridge.Bridge.source.Bridge.chain in
+  let packed = Bridge.pack_beneficiary bridge.Bridge.beneficiary_repr beneficiary in
+  let input =
+    sel_agg_deposit_native
+    ^ Abi.encode
+        [ Abi.Type.bytes32; Abi.Type.uint256 ]
+        [
+          Abi.Value.Fixed_bytes packed;
+          Abi.Value.uint_of_int bridge.Bridge.target.Bridge.chain.Chain.chain_id;
+        ]
+  in
+  Chain.submit_tx chain ~from_:user ~to_:aggregator ~value:amount ~input ()

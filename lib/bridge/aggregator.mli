@@ -1,0 +1,34 @@
+(** A bridge-aggregator intermediary contract (paper Section 3.2).
+
+    Users frequently reach bridges through intermediary protocols: the
+    transaction targets the aggregator, which issues *internal* calls
+    to the bridge.  The transaction's [to] is then not the bridge, and
+    native value reaches the bridge only through internal calls —
+    visible exclusively via [debug_traceTransaction].  Rules 1/2
+    deliberately accept this path. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+
+val deploy : Bridge.t -> Address.t
+(** Deploy an aggregator routing to the given bridge's source side. *)
+
+val deposit_erc20 :
+  Bridge.t ->
+  aggregator:Address.t ->
+  user:Address.t ->
+  src_token:Address.t ->
+  amount:U256.t ->
+  beneficiary:Address.t ->
+  Xcw_evm.Types.receipt
+(** Approve the aggregator and deposit through it.  Relay with
+    [Bridge.observe_deposit] on the resulting receipt. *)
+
+val deposit_native :
+  Bridge.t ->
+  aggregator:Address.t ->
+  user:Address.t ->
+  amount:U256.t ->
+  beneficiary:Address.t ->
+  Xcw_evm.Types.receipt
+(** [tx.value] flows to the bridge through an internal call. *)

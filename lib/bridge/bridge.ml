@@ -1,0 +1,1093 @@
+(** Two-chain cross-chain bridge simulator.
+
+    Models the full protocol of Section 2.2 of the paper: a source
+    chain [S] (Ethereum) and target chain [T] (sidechain) connected by
+    bridge contracts, off-chain validators/relayers, a token registry
+    with cross-chain mappings, and both escrow models (lock-unlock and
+    burn-mint).
+
+    Two acceptance models are provided, matching the evaluated bridges:
+
+    - {b Multisig} (Ronin): a threshold of trusted validators attests
+      actions; deposits and withdrawals execute when enough validators
+      sign.  Compromising the validator set enables forged withdrawals
+      (the March 2022 Ronin attack).
+    - {b Optimistic} (Nomad): relayed state is accepted unless
+      challenged within a fraud-proof window (30 minutes).  A contract
+      bug can make the window unenforced (finality violations) and a
+      broken proof check lets any copy-pasted message through (the
+      August 2022 Nomad attack).
+
+    Anomaly injection is part of the same API: each documented anomaly
+    class from the paper's Section 5 maps to a function here, so the
+    workload generators read like scenario scripts. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Weth = Xcw_chain.Weth
+module Abi = Xcw_abi.Abi
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type escrow_model = Lock_unlock | Burn_mint
+
+type acceptance =
+  | Multisig of {
+      threshold : int;
+      validator_count : int;
+      mutable compromised_keys : int;
+          (** >= threshold means an attacker can forge attestations *)
+      mutable enforce_source_finality : bool;
+          (** Finding 4: Ronin validators failed to enforce the source
+              chain's finality period off-chain *)
+    }
+  | Optimistic of {
+      fraud_proof_window : int;  (** seconds, 30 minutes for Nomad *)
+      mutable enforce_window : bool;
+          (** Finding 4: Nomad's contract-side enforcement issue *)
+      mutable proof_check_broken : bool;
+          (** the Nomad bug: any message accepted as proven *)
+    }
+
+type token_mapping = {
+  m_src_token : Address.t;  (** token contract on S *)
+  m_dst_token : Address.t;  (** representation on T *)
+}
+
+type side = {
+  chain : Chain.t;
+  bridge_addr : Address.t;
+  weth : Address.t;  (** wrapped native token on this chain *)
+  operator : Address.t;  (** protocol operator EOA (deployer, relayer) *)
+}
+
+(* A withdrawal attestation: validators observed TokenWithdrew on T
+   and vouch for its execution on S.  This stands in for multisig
+   signatures / proven optimistic messages. *)
+type attestation = {
+  at_withdrawal_id : int;
+  at_beneficiary : string;  (** raw bytes: 20 (address) or 32 (bytes32) *)
+  at_src_token : Address.t;
+  at_amount : U256.t;
+  at_observed_ts : int;  (** timestamp of the event on T *)
+}
+
+(* Likewise for deposits: validators observed TokenDeposited on S. *)
+type deposit_attestation = {
+  da_deposit_id : int;
+  da_beneficiary : string;
+  da_dst_token : Address.t;
+  da_amount : U256.t;
+  da_observed_ts : int;
+}
+
+type t = {
+  label : string;
+  source : side;
+  target : side;
+  escrow : escrow_model;
+  acceptance : acceptance;
+  beneficiary_repr : Events.beneficiary_repr;
+  mutable mappings : token_mapping list;
+  (* Off-chain validator state. *)
+  deposit_ledger : (int, deposit_attestation) Hashtbl.t;
+  withdrawal_ledger : (int, attestation) Hashtbl.t;
+  mutable executed_withdrawals : int list;  (** ids executed on S *)
+  mutable paused : bool;
+  buggy_unmapped_withdrawal : bool;
+      (** when true (the Ronin-era bug of Section 5.1.3), requesting a
+          withdrawal of an unmapped token emits the TokenWithdrew event
+          WITHOUT moving any tokens; when false the request reverts *)
+}
+
+exception Bridge_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Beneficiary representation helpers                                  *)
+
+(** Encode an EVM address into the protocol's beneficiary field.
+    For bytes32 protocols the correct form is LEFT padding; the
+    [padding] argument lets workloads inject the user mistakes of paper
+    Section 5.2.2. *)
+let beneficiary_bytes repr ?(padding = `Left) (addr : Address.t) : string =
+  match repr with
+  | Events.B_address -> Address.to_bytes addr
+  | Events.B_bytes32 -> (
+      match padding with
+      | `Left -> String.make 12 '\000' ^ Address.to_bytes addr
+      | `Right -> Address.to_bytes addr ^ String.make 12 '\000'
+      | `Garbage seed ->
+          (* An unpadded 32-byte string, as users mistakenly sent. *)
+          Xcw_keccak.Keccak.digest ("garbage-beneficiary:" ^ seed))
+
+let beneficiary_value repr (raw : string) : Abi.Value.t =
+  match repr with
+  | Events.B_address -> Abi.Value.Address raw
+  | Events.B_bytes32 -> Abi.Value.Fixed_bytes raw
+
+(** Pack a beneficiary into the bytes32 calldata field used by the
+    bridge entry points: the raw representation bytes, left-padded for
+    address protocols. *)
+let pack_beneficiary repr ?(padding = `Left) (addr : Address.t) : string =
+  match repr with
+  | Events.B_address -> String.make 12 '\000' ^ Address.to_bytes addr
+  | Events.B_bytes32 -> beneficiary_bytes repr ~padding addr
+
+(** What the bridge contract does on-chain: extract the low 20 bytes,
+    whatever the padding (the lenient behaviour that loses user funds
+    when inputs are right-padded). *)
+let contract_extract_address repr (raw : string) : Address.t =
+  match repr with
+  | Events.B_address -> Address.of_bytes raw
+  | Events.B_bytes32 -> Address.of_bytes (String.sub raw 12 20)
+
+(* ------------------------------------------------------------------ *)
+(* Contract storage keys                                               *)
+
+let deposit_counter_key = "deposit_counter"
+let withdrawal_counter_key = "withdrawal_counter"
+
+(* ------------------------------------------------------------------ *)
+(* Source-chain bridge contract                                        *)
+
+(* Calldata layout for the source bridge (selectors chosen to mirror
+   real bridge ABIs). *)
+let sel_deposit_erc20 = Abi.selector "depositERC20(address,uint256,bytes32,uint256)"
+let sel_deposit_native = Abi.selector "depositEthFor(bytes32,uint256)"
+let sel_withdraw = Abi.selector "withdrawERC20For(uint256,bytes32,address,uint256)"
+
+(* The source bridge needs the full bridge handle (registry,
+   attestations), so its dispatch closure is created after [t];
+   we use a forward reference cell. *)
+
+let mapping_for_src t token =
+  List.find_opt (fun m -> Address.equal m.m_src_token token) t.mappings
+
+let mapping_for_dst t token =
+  List.find_opt (fun m -> Address.equal m.m_dst_token token) t.mappings
+
+let next_counter env key =
+  let v = env.Chain.sload key in
+  let id = U256.to_int v in
+  env.Chain.sstore key (U256.add v U256.one);
+  id
+
+(* Withdrawal acceptance on S: is this claim backed by attestations /
+   a valid proof?  Encodes the per-protocol attack surface. *)
+let withdrawal_claim_accepted t ~withdrawal_id ~beneficiary ~src_token ~amount =
+  let matches (a : attestation) =
+    a.at_withdrawal_id = withdrawal_id
+    && String.equal a.at_beneficiary beneficiary
+    && Address.equal a.at_src_token src_token
+    && U256.equal a.at_amount amount
+  in
+  let legit =
+    match Hashtbl.find_opt t.withdrawal_ledger withdrawal_id with
+    | Some a -> matches a
+    | None -> false
+  in
+  match t.acceptance with
+  | Multisig m ->
+      (* A compromised quorum signs anything. *)
+      legit || m.compromised_keys >= m.threshold
+  | Optimistic o ->
+      (* The Nomad bug: a zero hash was marked proven, so any message
+         "verifies".  Attackers replayed existing calldata with their
+         own beneficiary. *)
+      legit || o.proof_check_broken
+
+let source_bridge_dispatch t (env : Chain.env) : unit =
+  if t.paused then raise (Chain.Revert "bridge: paused");
+  let input = env.Chain.input in
+  if String.length input < 4 then begin
+    (* Plain value transfer to the bridge address: funds are absorbed
+       with no event — the user-loss anomaly of Finding 2. *)
+    if U256.is_zero env.Chain.value then
+      raise (Chain.Revert "bridge: empty call")
+  end
+  else begin
+    let sel = String.sub input 0 4 in
+    let args types = Erc20.decode_args types input in
+    if sel = sel_deposit_erc20 then begin
+      match
+        args [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.bytes32; Abi.Type.uint256 ]
+      with
+      | [ Abi.Value.Address token; Abi.Value.Uint amount;
+          Abi.Value.Fixed_bytes beneficiary_raw; Abi.Value.Uint dst_chain ] ->
+          let mapping =
+            match mapping_for_src t token with
+            | Some m -> m
+            | None -> raise (Chain.Revert "bridge: unmapped token")
+          in
+          let beneficiary =
+            match t.beneficiary_repr with
+            | Events.B_address -> String.sub beneficiary_raw 12 20
+            | Events.B_bytes32 -> beneficiary_raw
+          in
+          (* Escrow: pull tokens from the sender (lock) or burn them. *)
+          (match t.escrow with
+          | Lock_unlock ->
+              env.Chain.call token
+                (Erc20.transfer_from_calldata ~from_:env.Chain.sender
+                   ~to_:env.Chain.self ~amount)
+          | Burn_mint ->
+              env.Chain.call token
+                (Erc20.transfer_from_calldata ~from_:env.Chain.sender
+                   ~to_:env.Chain.self ~amount);
+              env.Chain.call token
+                (Erc20.burn_from_calldata ~from_:env.Chain.self ~amount));
+          let deposit_id = next_counter env deposit_counter_key in
+          env.Chain.emit (Events.sc_token_deposited t.beneficiary_repr)
+            [
+              Abi.Value.uint_of_int deposit_id;
+              beneficiary_value t.beneficiary_repr beneficiary;
+              Abi.Value.Address mapping.m_dst_token;
+              Abi.Value.Address token;
+              Abi.Value.Uint dst_chain;
+              Abi.Value.Uint amount;
+            ]
+      | _ -> raise (Chain.Revert "bridge: bad depositERC20 args")
+    end
+    else if sel = sel_deposit_native then begin
+      match args [ Abi.Type.bytes32; Abi.Type.uint256 ] with
+      | [ Abi.Value.Fixed_bytes beneficiary_raw; Abi.Value.Uint dst_chain ] ->
+          let weth = t.source.weth in
+          let mapping =
+            match mapping_for_src t weth with
+            | Some m -> m
+            | None -> raise (Chain.Revert "bridge: native token unmapped")
+          in
+          let beneficiary =
+            match t.beneficiary_repr with
+            | Events.B_address -> String.sub beneficiary_raw 12 20
+            | Events.B_bytes32 -> beneficiary_raw
+          in
+          let amount = env.Chain.value in
+          if U256.is_zero amount then raise (Chain.Revert "bridge: zero value");
+          (* Wrap the received native value; WETH emits Deposit(bridge, amount). *)
+          env.Chain.call ~value:amount weth Weth.deposit_calldata;
+          let deposit_id = next_counter env deposit_counter_key in
+          env.Chain.emit (Events.sc_token_deposited t.beneficiary_repr)
+            [
+              Abi.Value.uint_of_int deposit_id;
+              beneficiary_value t.beneficiary_repr beneficiary;
+              Abi.Value.Address mapping.m_dst_token;
+              Abi.Value.Address weth;
+              Abi.Value.Uint dst_chain;
+              Abi.Value.Uint amount;
+            ]
+      | _ -> raise (Chain.Revert "bridge: bad depositEthFor args")
+    end
+    else if sel = sel_withdraw then begin
+      match
+        args [ Abi.Type.uint256; Abi.Type.bytes32; Abi.Type.Address; Abi.Type.uint256 ]
+      with
+      | [ Abi.Value.Uint wid; Abi.Value.Fixed_bytes beneficiary_packed;
+          Abi.Value.Address token; Abi.Value.Uint amount ] ->
+          let withdrawal_id = U256.to_int wid in
+          let beneficiary_raw =
+            match t.beneficiary_repr with
+            | Events.B_address -> String.sub beneficiary_packed 12 20
+            | Events.B_bytes32 -> beneficiary_packed
+          in
+          if
+            not
+              (withdrawal_claim_accepted t ~withdrawal_id
+                 ~beneficiary:beneficiary_raw ~src_token:token ~amount)
+          then raise (Chain.Revert "bridge: withdrawal not attested");
+          (* Release funds on S to the (contract-extracted) address. *)
+          let recipient = contract_extract_address t.beneficiary_repr beneficiary_raw in
+          (match t.escrow with
+          | Lock_unlock ->
+              env.Chain.call token
+                (Erc20.transfer_calldata ~to_:recipient ~amount)
+          | Burn_mint ->
+              env.Chain.call token (Erc20.mint_calldata ~to_:recipient ~amount));
+          t.executed_withdrawals <- withdrawal_id :: t.executed_withdrawals;
+          env.Chain.emit Events.sc_token_withdrew
+            [
+              Abi.Value.uint_of_int withdrawal_id;
+              Abi.Value.Address recipient;
+              Abi.Value.Address token;
+              Abi.Value.Uint amount;
+            ]
+      | _ -> raise (Chain.Revert "bridge: bad withdraw args")
+    end
+    else raise (Chain.Revert "bridge: unknown selector")
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Target-chain bridge contract                                        *)
+
+let sel_complete_deposit = Abi.selector "completeDeposit(uint256,address,address,uint256,uint256)"
+let sel_request_withdrawal = Abi.selector "requestWithdrawal(address,uint256,bytes32)"
+let sel_request_withdrawal_native = Abi.selector "requestWithdrawalNative(bytes32)"
+let sel_admin_mint = Abi.selector "adminMint(address,address,uint256)"
+
+let target_bridge_dispatch t (env : Chain.env) : unit =
+  if t.paused then raise (Chain.Revert "bridge: paused");
+  let input = env.Chain.input in
+  if String.length input < 4 then raise (Chain.Revert "bridge: empty call");
+  let sel = String.sub input 0 4 in
+  let args types = Erc20.decode_args types input in
+  if sel = sel_complete_deposit then begin
+    (* Called by the relayer; [src_ts] is the attested timestamp of the
+       source event (carried in the relayed message). *)
+    if not (Address.equal env.Chain.sender t.target.operator) then
+      raise (Chain.Revert "bridge: relayer only");
+    match
+      args
+        [ Abi.Type.uint256; Abi.Type.Address; Abi.Type.Address;
+          Abi.Type.uint256; Abi.Type.uint256 ]
+    with
+    | [ Abi.Value.Uint did; Abi.Value.Address beneficiary;
+        Abi.Value.Address token; Abi.Value.Uint amount; Abi.Value.Uint src_ts ] ->
+        (match t.acceptance with
+        | Optimistic o when o.enforce_window ->
+            if env.Chain.block_timestamp < U256.to_int src_ts + o.fraud_proof_window
+            then raise (Chain.Revert "bridge: fraud-proof window not elapsed")
+        | _ -> ());
+        (* Mint or unlock the destination token. *)
+        (match t.escrow with
+        | Lock_unlock | Burn_mint ->
+            (* Destination representations are bridge-minted tokens. *)
+            env.Chain.call token (Erc20.mint_calldata ~to_:beneficiary ~amount));
+        let deposit_id = U256.to_int did in
+        env.Chain.emit Events.tc_token_deposited
+          [
+            Abi.Value.uint_of_int deposit_id;
+            Abi.Value.Address beneficiary;
+            Abi.Value.Address token;
+            Abi.Value.Uint amount;
+          ]
+    | _ -> raise (Chain.Revert "bridge: bad completeDeposit args")
+  end
+  else if sel = sel_request_withdrawal then begin
+    match args [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.bytes32 ] with
+    | [ Abi.Value.Address token; Abi.Value.Uint amount;
+        Abi.Value.Fixed_bytes beneficiary_packed ] ->
+        let beneficiary_raw =
+          match t.beneficiary_repr with
+          | Events.B_address -> String.sub beneficiary_packed 12 20
+          | Events.B_bytes32 -> beneficiary_packed
+        in
+        let mapping = mapping_for_dst t token in
+        (* Escrow on T: burn the sidechain representation.  A real
+           Ronin-era bug: withdrawing an unmapped token emitted the
+           Withdraw event WITHOUT moving tokens (Section 5.1.3). *)
+        (match mapping with
+        | Some _ ->
+            env.Chain.call token
+              (Erc20.transfer_from_calldata ~from_:env.Chain.sender
+                 ~to_:env.Chain.self ~amount);
+            env.Chain.call token
+              (Erc20.burn_from_calldata ~from_:env.Chain.self ~amount)
+        | None ->
+            if not t.buggy_unmapped_withdrawal then
+              raise (Chain.Revert "bridge: unmapped token")
+            (* otherwise: event emitted below with no token movement *));
+        let src_token =
+          match mapping with
+          | Some m -> m.m_src_token
+          | None -> Address.zero
+        in
+        let withdrawal_id = next_counter env withdrawal_counter_key in
+        env.Chain.emit (Events.tc_token_withdrew t.beneficiary_repr)
+          [
+            Abi.Value.uint_of_int withdrawal_id;
+            beneficiary_value t.beneficiary_repr beneficiary_raw;
+            Abi.Value.Address src_token;
+            Abi.Value.Address token;
+            Abi.Value.Uint (U256.of_int t.source.chain.Chain.chain_id);
+            Abi.Value.Uint amount;
+          ]
+    | _ -> raise (Chain.Revert "bridge: bad requestWithdrawal args")
+  end
+  else if sel = sel_request_withdrawal_native then begin
+    (* Withdraw the target chain's native currency back to S: the
+       value sent with the transaction is wrapped (the wrapped-native
+       contract emits its Deposit event, decoded as [native_withdrawal]
+       by XChainWatcher) and the bridge emits TokenWithdrew. *)
+    match args [ Abi.Type.bytes32 ] with
+    | [ Abi.Value.Fixed_bytes beneficiary_packed ] ->
+        let beneficiary_raw =
+          match t.beneficiary_repr with
+          | Events.B_address -> String.sub beneficiary_packed 12 20
+          | Events.B_bytes32 -> beneficiary_packed
+        in
+        let amount = env.Chain.value in
+        if U256.is_zero amount then raise (Chain.Revert "bridge: zero value");
+        let wnative = t.target.weth in
+        let mapping =
+          match mapping_for_dst t wnative with
+          | Some m -> m
+          | None -> raise (Chain.Revert "bridge: native token unmapped")
+        in
+        env.Chain.call ~value:amount wnative Weth.deposit_calldata;
+        let withdrawal_id = next_counter env withdrawal_counter_key in
+        env.Chain.emit (Events.tc_token_withdrew t.beneficiary_repr)
+          [
+            Abi.Value.uint_of_int withdrawal_id;
+            beneficiary_value t.beneficiary_repr beneficiary_raw;
+            Abi.Value.Address mapping.m_src_token;
+            Abi.Value.Address wnative;
+            Abi.Value.Uint (U256.of_int t.source.chain.Chain.chain_id);
+            Abi.Value.Uint amount;
+          ]
+    | _ -> raise (Chain.Revert "bridge: bad requestWithdrawalNative args")
+  end
+  else if sel = sel_admin_mint then begin
+    (* Operator-only direct mint of a bridged token on T, standing in
+       for sidechain-native token issuance (e.g. play-to-earn rewards
+       minted on Ronin).  No bridge event: this is not a cross-chain
+       transfer. *)
+    if not (Address.equal env.Chain.sender t.target.operator) then
+      raise (Chain.Revert "bridge: operator only");
+    match args [ Abi.Type.Address; Abi.Type.Address; Abi.Type.uint256 ] with
+    | [ Abi.Value.Address token; Abi.Value.Address to_; Abi.Value.Uint amount ] ->
+        env.Chain.call token (Erc20.mint_calldata ~to_ ~amount)
+    | _ -> raise (Chain.Revert "bridge: bad adminMint args")
+  end
+  else raise (Chain.Revert "bridge: unknown selector")
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+
+type setup = {
+  s_label : string;
+  s_source_chain : Chain.t;
+  s_target_chain : Chain.t;
+  s_escrow : escrow_model;
+  s_acceptance : acceptance;
+  s_beneficiary_repr : Events.beneficiary_repr;
+  s_buggy_unmapped_withdrawal : bool;
+}
+
+(** Deploy the bridge contracts on both chains and wire the off-chain
+    machinery.  The wrapped-native tokens are deployed too and mapped
+    across the bridge. *)
+let create (setup : setup) : t =
+  let src_operator = Address.of_seed (setup.s_label ^ ":operator:source") in
+  let dst_operator = Address.of_seed (setup.s_label ^ ":operator:target") in
+  Chain.fund setup.s_source_chain src_operator (U256.of_tokens ~decimals:18 1_000);
+  Chain.fund setup.s_target_chain dst_operator (U256.of_tokens ~decimals:18 1_000);
+  let src_weth =
+    Weth.deploy setup.s_source_chain ~from_:src_operator ~name:"Wrapped Ether"
+      ~symbol:"WETH"
+  in
+  let dst_weth =
+    Weth.deploy setup.s_target_chain ~from_:dst_operator
+      ~name:"Wrapped Native" ~symbol:"WNATIVE"
+  in
+  (* Forward-reference the bridge handle into contract closures. *)
+  let handle = ref None in
+  let get () = Option.get !handle in
+  let sc_bridge =
+    Chain.deploy setup.s_source_chain ~from_:src_operator
+      ~label:(setup.s_label ^ ":bridge:source")
+      (fun env -> source_bridge_dispatch (get ()) env)
+  in
+  let tc_bridge =
+    Chain.deploy setup.s_target_chain ~from_:dst_operator
+      ~label:(setup.s_label ^ ":bridge:target")
+      (fun env -> target_bridge_dispatch (get ()) env)
+  in
+  let t =
+    {
+      label = setup.s_label;
+      source =
+        {
+          chain = setup.s_source_chain;
+          bridge_addr = sc_bridge;
+          weth = src_weth;
+          operator = src_operator;
+        };
+      target =
+        {
+          chain = setup.s_target_chain;
+          bridge_addr = tc_bridge;
+          weth = dst_weth;
+          operator = dst_operator;
+        };
+      escrow = setup.s_escrow;
+      acceptance = setup.s_acceptance;
+      beneficiary_repr = setup.s_beneficiary_repr;
+      mappings = [];
+      deposit_ledger = Hashtbl.create 256;
+      withdrawal_ledger = Hashtbl.create 256;
+      executed_withdrawals = [];
+      paused = false;
+      buggy_unmapped_withdrawal = setup.s_buggy_unmapped_withdrawal;
+    }
+  in
+  handle := Some t;
+  t
+
+(** Deploy a token pair (source original + bridge-minted destination
+    representation) and register the mapping.  The destination token is
+    owned by the target bridge so it can mint and burn. *)
+let register_token_pair t ~name ~symbol ~decimals : token_mapping =
+  (* Under burn-mint the bridge must be able to burn escrowed tokens on
+     S (and mint them back on withdrawal), so it owns the token;
+     lock-unlock tokens are ordinary third-party ERC-20s. *)
+  let src_owner =
+    match t.escrow with
+    | Lock_unlock -> t.source.operator
+    | Burn_mint -> t.source.bridge_addr
+  in
+  let src_token =
+    Erc20.deploy t.source.chain ~from_:t.source.operator ~name ~symbol
+      ~decimals ~owner:src_owner
+  in
+  let dst_token =
+    Erc20.deploy t.target.chain ~from_:t.target.operator
+      ~name:("Bridged " ^ name) ~symbol ~decimals ~owner:t.target.bridge_addr
+  in
+  let m = { m_src_token = src_token; m_dst_token = dst_token } in
+  t.mappings <- m :: t.mappings;
+  m
+
+(** Map the source chain's wrapped native token (enables native
+    deposits). *)
+let register_native_mapping t : token_mapping =
+  let dst_token =
+    Erc20.deploy t.target.chain ~from_:t.target.operator ~name:"Bridged Ether"
+      ~symbol:"WETH" ~decimals:18 ~owner:t.target.bridge_addr
+  in
+  let m = { m_src_token = t.source.weth; m_dst_token = dst_token } in
+  t.mappings <- m :: t.mappings;
+  m
+
+(** Register an arbitrary (possibly duplicate or fake) mapping, as the
+    Nomad operator did for WRAPPED GLMR (Finding 6). *)
+let register_raw_mapping t ~src_token ~dst_token : token_mapping =
+  let m = { m_src_token = src_token; m_dst_token = dst_token } in
+  t.mappings <- m :: t.mappings;
+  m
+
+(** Map the target chain's wrapped native token to an ERC-20
+    representation on S (e.g. GLMR on Moonbeam <-> WGLMR on Ethereum),
+    enabling native withdrawals from T.  [liquidity] seeds the S-side
+    bridge so lock-unlock releases have funds to transfer. *)
+let register_target_native_mapping ?(liquidity = U256.of_tokens ~decimals:18 1_000_000)
+    t ~name ~symbol : token_mapping =
+  let src_token =
+    Erc20.deploy t.source.chain ~from_:t.source.operator ~name ~symbol
+      ~decimals:18 ~owner:t.source.operator
+  in
+  ignore
+    (Chain.submit_tx t.source.chain ~from_:t.source.operator ~to_:src_token
+       ~input:(Erc20.mint_calldata ~to_:t.source.bridge_addr ~amount:liquidity)
+       ());
+  let m = { m_src_token = src_token; m_dst_token = t.target.weth } in
+  t.mappings <- m :: t.mappings;
+  m
+
+let pause t = t.paused <- true
+let unpause t = t.paused <- false
+
+(* ------------------------------------------------------------------ *)
+(* User flows                                                          *)
+
+type deposit_outcome = {
+  d_receipt : Types.receipt;
+  d_deposit_id : int option;  (** [None] if the transaction reverted *)
+  d_amount : U256.t;
+  d_src_token : Address.t;
+  d_beneficiary : string;
+  d_timestamp : int;
+}
+
+(** Off-chain validator behaviour: observe a source-chain receipt, and
+    if it contains a [TokenDeposited] bridge event, record the deposit
+    attestation that later authorizes [completeDeposit] on T.  Returns
+    the decoded outcome.  This is how deposits made through
+    intermediary contracts (aggregators) also get relayed: validators
+    watch events, not transaction targets. *)
+let observe_deposit t (r : Types.receipt) : deposit_outcome option =
+  let ev = Events.sc_token_deposited t.beneficiary_repr in
+  let topic0 = Abi.Event.topic0 ev in
+  List.find_map
+    (fun (l : Types.log) ->
+      if
+        (not (Address.equal l.Types.log_address t.source.bridge_addr))
+        || l.Types.topics = [] || List.hd l.Types.topics <> topic0
+      then None
+      else
+        match Abi.Event.decode_log ev l.Types.topics l.Types.data with
+        | [ ("depositId", Abi.Value.Uint id); ("beneficiary", ben);
+            ("dstToken", Abi.Value.Address dst_token);
+            ("origToken", Abi.Value.Address orig_token);
+            ("dstChainId", _); ("amount", Abi.Value.Uint amount) ] ->
+            let id = U256.to_int id in
+            let beneficiary_raw =
+              match ben with
+              | Abi.Value.Address a -> Address.to_bytes a
+              | Abi.Value.Fixed_bytes b -> b
+              | _ -> raise (Bridge_error "unexpected beneficiary value")
+            in
+            Hashtbl.replace t.deposit_ledger id
+              {
+                da_deposit_id = id;
+                da_beneficiary = beneficiary_raw;
+                da_dst_token = dst_token;
+                da_amount = amount;
+                da_observed_ts = r.Types.r_block_timestamp;
+              };
+            Some
+              {
+                d_receipt = r;
+                d_deposit_id = Some id;
+                d_amount = amount;
+                d_src_token = orig_token;
+                d_beneficiary = beneficiary_raw;
+                d_timestamp = r.Types.r_block_timestamp;
+              }
+        | _ -> None)
+    r.Types.r_logs
+
+(** User flow: deposit ERC-20 tokens on S for [beneficiary] on T.
+    Handles the approve + deposit sequence.  [beneficiary_padding]
+    allows injecting the malformed-beneficiary anomalies. *)
+let deposit_erc20 ?(beneficiary_padding = `Left) t ~user ~src_token ~amount
+    ~beneficiary : deposit_outcome =
+  ignore
+    (Chain.submit_tx t.source.chain ~from_:user ~to_:src_token
+       ~input:(Erc20.approve_calldata ~spender:t.source.bridge_addr ~amount)
+       ());
+  let packed =
+    pack_beneficiary t.beneficiary_repr ~padding:beneficiary_padding beneficiary
+  in
+  let input =
+    sel_deposit_erc20
+    ^ Abi.encode
+        [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.bytes32; Abi.Type.uint256 ]
+        [
+          Abi.Value.Address src_token;
+          Abi.Value.Uint amount;
+          Abi.Value.Fixed_bytes packed;
+          Abi.Value.uint_of_int t.target.chain.Chain.chain_id;
+        ]
+  in
+  let r =
+    Chain.submit_tx t.source.chain ~from_:user ~to_:t.source.bridge_addr ~input ()
+  in
+  match observe_deposit t r with
+  | Some outcome -> outcome
+  | None ->
+      {
+        d_receipt = r;
+        d_deposit_id = None;
+        d_amount = amount;
+        d_src_token = src_token;
+        d_beneficiary =
+          beneficiary_bytes t.beneficiary_repr ~padding:beneficiary_padding
+            beneficiary;
+        d_timestamp = r.Types.r_block_timestamp;
+      }
+
+(** User flow: deposit native currency on S. *)
+let deposit_native ?(beneficiary_padding = `Left) t ~user ~amount ~beneficiary
+    : deposit_outcome =
+  let packed =
+    pack_beneficiary t.beneficiary_repr ~padding:beneficiary_padding beneficiary
+  in
+  let input =
+    sel_deposit_native
+    ^ Abi.encode
+        [ Abi.Type.bytes32; Abi.Type.uint256 ]
+        [
+          Abi.Value.Fixed_bytes packed;
+          Abi.Value.uint_of_int t.target.chain.Chain.chain_id;
+        ]
+  in
+  let r =
+    Chain.submit_tx t.source.chain ~from_:user ~to_:t.source.bridge_addr
+      ~value:amount ~input ()
+  in
+  match observe_deposit t r with
+  | Some outcome -> outcome
+  | None ->
+      {
+        d_receipt = r;
+        d_deposit_id = None;
+        d_amount = amount;
+        d_src_token = t.source.weth;
+        d_beneficiary =
+          beneficiary_bytes t.beneficiary_repr ~padding:beneficiary_padding
+            beneficiary;
+        d_timestamp = r.Types.r_block_timestamp;
+      }
+
+(** Relayer flow: complete a deposit on T.  The honest relayer waits
+    for the source finality (multisig) or the fraud-proof window
+    (optimistic) before calling; [override_delay] forces an earlier
+    relay, producing the paper's cross-chain finality violations
+    (Finding 4).  The caller must advance the target chain clock;
+    this function advances it by the chosen delay relative to the
+    deposit timestamp if needed. *)
+let complete_deposit ?override_delay ?beneficiary_override t
+    ~(deposit : deposit_outcome) : Types.receipt =
+  let id =
+    match deposit.d_deposit_id with
+    | Some id -> id
+    | None -> raise (Bridge_error "complete_deposit: deposit reverted")
+  in
+  let att = Hashtbl.find t.deposit_ledger id in
+  let honest_delay =
+    match t.acceptance with
+    | Multisig _ -> t.source.chain.Chain.finality_seconds
+    | Optimistic o -> o.fraud_proof_window
+  in
+  let delay = Option.value override_delay ~default:honest_delay in
+  (* Honest validators refuse to relay before source finality; the
+     Ronin violations (Finding 4) require this off-chain check to be
+     disabled. *)
+  (match t.acceptance with
+  | Multisig m
+    when m.enforce_source_finality
+         && delay < t.source.chain.Chain.finality_seconds ->
+      raise (Bridge_error "validators: source finality not reached")
+  | _ -> ());
+  let target_time = max (Chain.now t.target.chain) (att.da_observed_ts + delay) in
+  if target_time > Chain.now t.target.chain then
+    Chain.set_time t.target.chain target_time;
+  let beneficiary_addr =
+    match beneficiary_override with
+    | Some a -> a
+    | None -> contract_extract_address t.beneficiary_repr att.da_beneficiary
+  in
+  let input =
+    sel_complete_deposit
+    ^ Abi.encode
+        [ Abi.Type.uint256; Abi.Type.Address; Abi.Type.Address;
+          Abi.Type.uint256; Abi.Type.uint256 ]
+        [
+          Abi.Value.uint_of_int id;
+          Abi.Value.Address beneficiary_addr;
+          Abi.Value.Address att.da_dst_token;
+          Abi.Value.Uint att.da_amount;
+          Abi.Value.uint_of_int att.da_observed_ts;
+        ]
+  in
+  Chain.submit_tx t.target.chain ~from_:t.target.operator
+    ~to_:t.target.bridge_addr ~input ()
+
+type withdrawal_outcome = {
+  w_receipt : Types.receipt;
+  w_withdrawal_id : int option;
+  w_amount : U256.t;
+  w_dst_token : Address.t;
+  w_beneficiary : string;
+  w_timestamp : int;
+}
+
+let decode_withdrawal_id t (r : Types.receipt) =
+  let ev = Events.tc_token_withdrew t.beneficiary_repr in
+  let topic0 = Abi.Event.topic0 ev in
+  List.find_map
+    (fun (l : Types.log) ->
+      match l.Types.topics with
+      | t0 :: _ when t0 = topic0 -> (
+          match Abi.Event.decode_log ev l.Types.topics l.Types.data with
+          | ("withdrawalId", Abi.Value.Uint id) :: _ -> Some (U256.to_int id)
+          | _ -> None)
+      | _ -> None)
+    r.Types.r_logs
+
+(** User flow: request a withdrawal on T (escrow the sidechain tokens,
+    emit the withdrawal event).  The funds are released on S only when
+    {!execute_withdrawal} runs there. *)
+let request_withdrawal ?(beneficiary_padding = `Left) ?(attest = true) t ~user
+    ~dst_token ~amount ~beneficiary : withdrawal_outcome =
+  ignore
+    (Chain.submit_tx t.target.chain ~from_:user ~to_:dst_token
+       ~input:(Erc20.approve_calldata ~spender:t.target.bridge_addr ~amount)
+       ());
+  let beneficiary_raw =
+    beneficiary_bytes t.beneficiary_repr ~padding:beneficiary_padding beneficiary
+  in
+  let packed =
+    match t.beneficiary_repr with
+    | Events.B_address -> String.make 12 '\000' ^ Address.to_bytes beneficiary
+    | Events.B_bytes32 -> beneficiary_raw
+  in
+  let input =
+    sel_request_withdrawal
+    ^ Abi.encode
+        [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.bytes32 ]
+        [
+          Abi.Value.Address dst_token;
+          Abi.Value.Uint amount;
+          Abi.Value.Fixed_bytes packed;
+        ]
+  in
+  let r =
+    Chain.submit_tx t.target.chain ~from_:user ~to_:t.target.bridge_addr ~input ()
+  in
+  let withdrawal_id = decode_withdrawal_id t r in
+  (match withdrawal_id with
+  | Some id when attest ->
+      let src_token =
+        match mapping_for_dst t dst_token with
+        | Some m -> m.m_src_token
+        | None -> Address.zero
+      in
+      Hashtbl.replace t.withdrawal_ledger id
+        {
+          at_withdrawal_id = id;
+          at_beneficiary = beneficiary_raw;
+          at_src_token = src_token;
+          at_amount = amount;
+          at_observed_ts = r.Types.r_block_timestamp;
+        }
+  | _ -> ());
+  {
+    w_receipt = r;
+    w_withdrawal_id = withdrawal_id;
+    w_amount = amount;
+    w_dst_token = dst_token;
+    w_beneficiary = beneficiary_raw;
+    w_timestamp = r.Types.r_block_timestamp;
+  }
+
+(** User flow: request a withdrawal of the target chain's native
+    currency (the [tx.value] path of Rule 5). *)
+let request_withdrawal_native ?(beneficiary_padding = `Left) ?(attest = true) t
+    ~user ~amount ~beneficiary : withdrawal_outcome =
+  let beneficiary_raw =
+    beneficiary_bytes t.beneficiary_repr ~padding:beneficiary_padding beneficiary
+  in
+  let packed =
+    match t.beneficiary_repr with
+    | Events.B_address -> String.make 12 '\000' ^ Address.to_bytes beneficiary
+    | Events.B_bytes32 -> beneficiary_raw
+  in
+  let input =
+    sel_request_withdrawal_native
+    ^ Abi.encode [ Abi.Type.bytes32 ] [ Abi.Value.Fixed_bytes packed ]
+  in
+  let r =
+    Chain.submit_tx t.target.chain ~from_:user ~to_:t.target.bridge_addr
+      ~value:amount ~input ()
+  in
+  let withdrawal_id = decode_withdrawal_id t r in
+  (match withdrawal_id with
+  | Some id when attest ->
+      let src_token =
+        match mapping_for_dst t t.target.weth with
+        | Some m -> m.m_src_token
+        | None -> Address.zero
+      in
+      Hashtbl.replace t.withdrawal_ledger id
+        {
+          at_withdrawal_id = id;
+          at_beneficiary = beneficiary_raw;
+          at_src_token = src_token;
+          at_amount = amount;
+          at_observed_ts = r.Types.r_block_timestamp;
+        }
+  | _ -> ());
+  {
+    w_receipt = r;
+    w_withdrawal_id = withdrawal_id;
+    w_amount = amount;
+    w_dst_token = t.target.weth;
+    w_beneficiary = beneficiary_raw;
+    w_timestamp = r.Types.r_block_timestamp;
+  }
+
+(** User flow: execute the withdrawal on S.  [caller] defaults to the
+    address embedded in the beneficiary field; real protocols require
+    the user to issue this transaction and pay S gas — which nearly
+    half the paper's users could not (Finding 7). *)
+let execute_withdrawal ?caller ?delay t ~(withdrawal : withdrawal_outcome) :
+    Types.receipt =
+  let id =
+    match withdrawal.w_withdrawal_id with
+    | Some id -> id
+    | None -> raise (Bridge_error "execute_withdrawal: request reverted")
+  in
+  let att =
+    match Hashtbl.find_opt t.withdrawal_ledger id with
+    | Some a -> a
+    | None -> raise (Bridge_error "execute_withdrawal: not attested")
+  in
+  let delay =
+    Option.value delay ~default:t.target.chain.Chain.finality_seconds
+  in
+  let target_time = max (Chain.now t.source.chain) (att.at_observed_ts + delay) in
+  if target_time > Chain.now t.source.chain then
+    Chain.set_time t.source.chain target_time;
+  let caller =
+    match caller with
+    | Some c -> c
+    | None -> contract_extract_address t.beneficiary_repr att.at_beneficiary
+  in
+  let packed =
+    match t.beneficiary_repr with
+    | Events.B_address -> String.make 12 '\000' ^ att.at_beneficiary
+    | Events.B_bytes32 -> att.at_beneficiary
+  in
+  let input =
+    sel_withdraw
+    ^ Abi.encode
+        [ Abi.Type.uint256; Abi.Type.bytes32; Abi.Type.Address; Abi.Type.uint256 ]
+        [
+          Abi.Value.uint_of_int id;
+          Abi.Value.Fixed_bytes packed;
+          Abi.Value.Address att.at_src_token;
+          Abi.Value.Uint att.at_amount;
+        ]
+  in
+  Chain.submit_tx t.source.chain ~from_:caller ~to_:t.source.bridge_addr ~input ()
+
+(* ------------------------------------------------------------------ *)
+(* Attack and anomaly injection                                        *)
+
+(** Forged withdrawal on S (the Ronin attack shape): the attacker
+    presents a claim never requested on T.  Only succeeds if the
+    acceptance model is compromised.  [beneficiary] defaults to the
+    attacker; the Nomad exploiters directed funds to freshly deployed
+    contracts instead. *)
+let forged_withdrawal ?beneficiary t ~attacker ~src_token ~amount
+    ~withdrawal_id : Types.receipt =
+  let beneficiary = Option.value beneficiary ~default:attacker in
+  let packed = String.make 12 '\000' ^ Address.to_bytes beneficiary in
+  let input =
+    sel_withdraw
+    ^ Abi.encode
+        [ Abi.Type.uint256; Abi.Type.bytes32; Abi.Type.Address; Abi.Type.uint256 ]
+        [
+          Abi.Value.uint_of_int withdrawal_id;
+          Abi.Value.Fixed_bytes packed;
+          Abi.Value.Address src_token;
+          Abi.Value.Uint amount;
+        ]
+  in
+  Chain.submit_tx t.source.chain ~from_:attacker ~to_:t.source.bridge_addr
+    ~input ()
+
+(** Direct ERC-20 transfer to the bridge address without any protocol
+    interaction (Finding 2: >$206K of reputable tokens lost this
+    way). *)
+let direct_token_transfer_to_bridge t ~user ~src_token ~amount : Types.receipt =
+  Chain.submit_tx t.source.chain ~from_:user ~to_:src_token
+    ~input:(Erc20.transfer_calldata ~to_:t.source.bridge_addr ~amount)
+    ()
+
+(** Mint a bridged token directly to a user on T (operator-only):
+    models sidechain-native issuance such as game rewards, which users
+    later withdraw through the bridge. *)
+let admin_mint t ~dst_token ~to_ ~amount : Types.receipt =
+  let input =
+    sel_admin_mint
+    ^ Abi.encode
+        [ Abi.Type.Address; Abi.Type.Address; Abi.Type.uint256 ]
+        [ Abi.Value.Address dst_token; Abi.Value.Address to_; Abi.Value.Uint amount ]
+  in
+  Chain.submit_tx t.target.chain ~from_:t.target.operator
+    ~to_:t.target.bridge_addr ~input ()
+
+(** Operator misbehavior (Finding 6): relay a deposit on T that has no
+    counterpart on S — used to model the Nomad operator minting tokens
+    under fake/duplicate mappings. *)
+let relay_fake_deposit t ~beneficiary ~dst_token ~amount ~deposit_id :
+    Types.receipt =
+  let input =
+    sel_complete_deposit
+    ^ Abi.encode
+        [ Abi.Type.uint256; Abi.Type.Address; Abi.Type.Address;
+          Abi.Type.uint256; Abi.Type.uint256 ]
+        [
+          Abi.Value.uint_of_int deposit_id;
+          Abi.Value.Address beneficiary;
+          Abi.Value.Address dst_token;
+          Abi.Value.Uint amount;
+          (* Claim an old-enough source timestamp so window checks pass. *)
+          Abi.Value.uint_of_int
+            (max 0 (Chain.now t.target.chain - 24 * 3600));
+        ]
+  in
+  Chain.submit_tx t.target.chain ~from_:t.target.operator
+    ~to_:t.target.bridge_addr ~input ()
+
+(** Pre-set the target bridge's withdrawal-id counter.  The paper's
+    Ronin analysis relies on withdrawal ids being a monotonic counter:
+    ids below the first id of the collection window identify
+    withdrawals requested before data collection began. *)
+let seed_withdrawal_counter t n =
+  Chain.sstore t.target.chain t.target.bridge_addr withdrawal_counter_key
+    (U256.of_int n)
+
+(** Manufacture an attestation for a withdrawal requested before the
+    collection window (no T-side transaction exists in the captured
+    data).  Executing it on S produces the paper's pre-window false
+    positives. *)
+let attest_pre_window_withdrawal t ~withdrawal_id ~beneficiary ~src_token
+    ~amount ~observed_ts : withdrawal_outcome =
+  let beneficiary_raw =
+    match t.beneficiary_repr with
+    | Events.B_address -> Address.to_bytes beneficiary
+    | Events.B_bytes32 -> String.make 12 '\000' ^ Address.to_bytes beneficiary
+  in
+  Hashtbl.replace t.withdrawal_ledger withdrawal_id
+    {
+      at_withdrawal_id = withdrawal_id;
+      at_beneficiary = beneficiary_raw;
+      at_src_token = src_token;
+      at_amount = amount;
+      at_observed_ts = observed_ts;
+    };
+  {
+    (* The receipt field is a synthetic placeholder: no T-side
+       transaction exists within the captured data by construction. *)
+    w_receipt =
+      {
+        Types.r_tx_hash =
+          Xcw_keccak.Keccak.digest (Printf.sprintf "pre-window:%d" withdrawal_id);
+        r_block_number = 0;
+        r_block_timestamp = observed_ts;
+        r_tx_index = 0;
+        r_from = beneficiary;
+        r_to = None;
+        r_status = Types.Success;
+        r_gas_used = 0;
+        r_logs = [];
+        r_contract_created = None;
+      };
+    w_withdrawal_id = Some withdrawal_id;
+    w_amount = amount;
+    w_dst_token = Address.zero;
+    w_beneficiary = beneficiary_raw;
+    w_timestamp = observed_ts;
+  }
+
+(** Compromise the multisig validator set (the Ronin attack gained 5 of
+    9 keys). *)
+let compromise_validators t ~keys =
+  match t.acceptance with
+  | Multisig m -> m.compromised_keys <- keys
+  | Optimistic _ -> raise (Bridge_error "not a multisig bridge")
+
+(** Break the optimistic proof check (the Nomad upgrade bug). *)
+let break_proof_check t =
+  match t.acceptance with
+  | Optimistic o -> o.proof_check_broken <- true
+  | Multisig _ -> raise (Bridge_error "not an optimistic bridge")
+
+(** Disable contract-side enforcement of the fraud-proof window
+    (Nomad finality violations, Finding 4). *)
+let disable_window_enforcement t =
+  match t.acceptance with
+  | Optimistic o -> o.enforce_window <- false
+  | Multisig _ -> raise (Bridge_error "not an optimistic bridge")
+
+let fraud_proof_window t =
+  match t.acceptance with
+  | Optimistic o -> Some o.fraud_proof_window
+  | Multisig _ -> None

@@ -1,0 +1,283 @@
+(** Two-chain cross-chain bridge simulator (paper Section 2.2).
+
+    A source chain S (Ethereum) and target chain T (sidechain)
+    connected by bridge contracts, off-chain validators/relayers, a
+    token registry with cross-chain mappings, and both escrow models.
+    Two acceptance models match the evaluated bridges: {b multisig}
+    (Ronin — compromising the validator set enables forged
+    withdrawals) and {b optimistic} (Nomad — a fraud-proof window with
+    optional enforcement bugs and a breakable proof check).
+
+    Anomaly injection is part of the API: every documented anomaly
+    class from the paper's Section 5 maps to a function here, so
+    workload generators read like scenario scripts. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+
+exception Bridge_error of string
+
+type escrow_model = Lock_unlock | Burn_mint
+
+type acceptance =
+  | Multisig of {
+      threshold : int;
+      validator_count : int;
+      mutable compromised_keys : int;
+          (** >= threshold lets an attacker forge attestations *)
+      mutable enforce_source_finality : bool;
+          (** Finding 4: Ronin validators failed to enforce this *)
+    }
+  | Optimistic of {
+      fraud_proof_window : int;  (** seconds; 1800 for Nomad *)
+      mutable enforce_window : bool;
+          (** Finding 4: Nomad's contract-side enforcement bug *)
+      mutable proof_check_broken : bool;
+          (** the Nomad bug: any message accepted as proven *)
+    }
+
+type token_mapping = {
+  m_src_token : Address.t;  (** token contract on S *)
+  m_dst_token : Address.t;  (** representation on T *)
+}
+
+type side = {
+  chain : Chain.t;
+  bridge_addr : Address.t;
+  weth : Address.t;  (** wrapped native token on this chain *)
+  operator : Address.t;  (** protocol operator EOA (deployer, relayer) *)
+}
+
+type t = private {
+  label : string;
+  source : side;
+  target : side;
+  escrow : escrow_model;
+  acceptance : acceptance;
+  beneficiary_repr : Events.beneficiary_repr;
+  mutable mappings : token_mapping list;
+  deposit_ledger : (int, deposit_attestation) Hashtbl.t;
+  withdrawal_ledger : (int, attestation) Hashtbl.t;
+  mutable executed_withdrawals : int list;
+  mutable paused : bool;
+  buggy_unmapped_withdrawal : bool;
+      (** the Ronin-era bug of Section 5.1.3: withdrawing an unmapped
+          token emits the event without moving tokens (otherwise the
+          request reverts) *)
+}
+
+and attestation = {
+  at_withdrawal_id : int;
+  at_beneficiary : string;  (** raw bytes: 20 (address) or 32 (bytes32) *)
+  at_src_token : Address.t;
+  at_amount : U256.t;
+  at_observed_ts : int;
+}
+
+and deposit_attestation = {
+  da_deposit_id : int;
+  da_beneficiary : string;
+  da_dst_token : Address.t;
+  da_amount : U256.t;
+  da_observed_ts : int;
+}
+
+(** {1 Setup} *)
+
+type setup = {
+  s_label : string;
+  s_source_chain : Chain.t;
+  s_target_chain : Chain.t;
+  s_escrow : escrow_model;
+  s_acceptance : acceptance;
+  s_beneficiary_repr : Events.beneficiary_repr;
+  s_buggy_unmapped_withdrawal : bool;
+}
+
+val create : setup -> t
+(** Deploy the bridge contracts on both chains (plus wrapped-native
+    tokens) and wire the off-chain machinery. *)
+
+val register_token_pair :
+  t -> name:string -> symbol:string -> decimals:int -> token_mapping
+(** Deploy a source token and its bridge-minted target representation,
+    and register the mapping.  Under burn-mint the bridge owns the
+    source token too. *)
+
+val register_native_mapping : t -> token_mapping
+(** Map S's wrapped native token (enables native deposits). *)
+
+val register_target_native_mapping :
+  ?liquidity:U256.t -> t -> name:string -> symbol:string -> token_mapping
+(** Map T's wrapped native token to a fresh ERC-20 on S (enables native
+    withdrawals); [liquidity] seeds the S-side escrow. *)
+
+val register_raw_mapping :
+  t -> src_token:Address.t -> dst_token:Address.t -> token_mapping
+(** Register an arbitrary (possibly duplicate or fake) mapping, as the
+    Nomad operator did for WRAPPED GLMR (Finding 6). *)
+
+val pause : t -> unit
+val unpause : t -> unit
+
+(** {1 User flows} *)
+
+type deposit_outcome = {
+  d_receipt : Types.receipt;
+  d_deposit_id : int option;  (** [None] if the transaction reverted *)
+  d_amount : U256.t;
+  d_src_token : Address.t;
+  d_beneficiary : string;
+  d_timestamp : int;
+}
+
+val deposit_erc20 :
+  ?beneficiary_padding:[ `Left | `Right | `Garbage of string ] ->
+  t ->
+  user:Address.t ->
+  src_token:Address.t ->
+  amount:U256.t ->
+  beneficiary:Address.t ->
+  deposit_outcome
+(** Approve + deposit on S.  [beneficiary_padding] injects the
+    malformed-beneficiary anomalies of Section 5.2.2 (bytes32 protocols
+    only). *)
+
+val deposit_native :
+  ?beneficiary_padding:[ `Left | `Right | `Garbage of string ] ->
+  t ->
+  user:Address.t ->
+  amount:U256.t ->
+  beneficiary:Address.t ->
+  deposit_outcome
+
+val observe_deposit : t -> Types.receipt -> deposit_outcome option
+(** Off-chain validator behaviour: record the deposit attestation from
+    a receipt's bridge event (how aggregator-routed deposits get
+    relayed — validators watch events, not transaction targets). *)
+
+val complete_deposit :
+  ?override_delay:int ->
+  ?beneficiary_override:Address.t ->
+  t ->
+  deposit:deposit_outcome ->
+  Types.receipt
+(** Relayer flow on T.  The honest delay is the source finality
+    (multisig) or the fraud-proof window (optimistic);
+    [override_delay] forces an earlier relay — refused by honest
+    multisig validators, reverted by an enforcing optimistic contract,
+    and accepted otherwise (the Finding 4 violations).  Advances T's
+    clock as needed. *)
+
+type withdrawal_outcome = {
+  w_receipt : Types.receipt;
+  w_withdrawal_id : int option;
+  w_amount : U256.t;
+  w_dst_token : Address.t;
+  w_beneficiary : string;
+  w_timestamp : int;
+}
+
+val request_withdrawal :
+  ?beneficiary_padding:[ `Left | `Right | `Garbage of string ] ->
+  ?attest:bool ->
+  t ->
+  user:Address.t ->
+  dst_token:Address.t ->
+  amount:U256.t ->
+  beneficiary:Address.t ->
+  withdrawal_outcome
+(** Escrow on T and emit the withdrawal event; funds release on S only
+    when {!execute_withdrawal} runs there.  [attest:false] suppresses
+    the validator attestation. *)
+
+val request_withdrawal_native :
+  ?beneficiary_padding:[ `Left | `Right | `Garbage of string ] ->
+  ?attest:bool ->
+  t ->
+  user:Address.t ->
+  amount:U256.t ->
+  beneficiary:Address.t ->
+  withdrawal_outcome
+(** Withdraw T's native currency: [tx.value] wraps through the
+    wrapped-native contract (the Rule 5 path). *)
+
+val execute_withdrawal :
+  ?caller:Address.t -> ?delay:int -> t -> withdrawal:withdrawal_outcome -> Types.receipt
+(** Execute on S.  [caller] defaults to the beneficiary — real
+    protocols make the user issue this transaction and pay S gas,
+    which nearly half the paper's users could not (Finding 7). *)
+
+(** {1 Attack and anomaly injection} *)
+
+val forged_withdrawal :
+  ?beneficiary:Address.t ->
+  t ->
+  attacker:Address.t ->
+  src_token:Address.t ->
+  amount:U256.t ->
+  withdrawal_id:int ->
+  Types.receipt
+(** Present a claim never requested on T (the Ronin/Nomad attack
+    shape); succeeds only when the acceptance model is compromised. *)
+
+val direct_token_transfer_to_bridge :
+  t -> user:Address.t -> src_token:Address.t -> amount:U256.t -> Types.receipt
+(** ERC-20 transfer straight to the bridge address, bypassing the
+    protocol (Finding 2). *)
+
+val admin_mint :
+  t -> dst_token:Address.t -> to_:Address.t -> amount:U256.t -> Types.receipt
+(** Operator-only direct mint on T — sidechain-native issuance such as
+    game rewards, later withdrawn through the bridge. *)
+
+val relay_fake_deposit :
+  t ->
+  beneficiary:Address.t ->
+  dst_token:Address.t ->
+  amount:U256.t ->
+  deposit_id:int ->
+  Types.receipt
+(** Operator misbehavior (Finding 6): complete a deposit on T that has
+    no counterpart on S. *)
+
+val seed_withdrawal_counter : t -> int -> unit
+(** Pre-set the T bridge's withdrawal-id counter: ids below it identify
+    requests made before the collection window (Section 5.2.5). *)
+
+val attest_pre_window_withdrawal :
+  t ->
+  withdrawal_id:int ->
+  beneficiary:Address.t ->
+  src_token:Address.t ->
+  amount:U256.t ->
+  observed_ts:int ->
+  withdrawal_outcome
+(** Manufacture the attestation of a withdrawal requested before the
+    collection window (its T-side transaction is absent from the
+    captured data); executing it on S produces the paper's pre-window
+    false positives. *)
+
+val compromise_validators : t -> keys:int -> unit
+(** The Ronin attack gained 5 of 9 keys. *)
+
+val break_proof_check : t -> unit
+(** The Nomad upgrade bug: any copy-pasted message verifies. *)
+
+val disable_window_enforcement : t -> unit
+(** Disable contract-side fraud-proof-window enforcement (Finding 4). *)
+
+val fraud_proof_window : t -> int option
+
+(** {1 Internals exposed for the aggregator and decoders} *)
+
+val sel_deposit_erc20 : string
+val sel_deposit_native : string
+val sel_request_withdrawal : string
+val pack_beneficiary :
+  Events.beneficiary_repr ->
+  ?padding:[ `Left | `Right | `Garbage of string ] ->
+  Address.t ->
+  string

@@ -1,0 +1,101 @@
+(** Bridge contract event declarations.
+
+    These correspond one-to-one to the logical relations of the paper's
+    Listing 1:
+
+    - source-chain [TokenDeposited]  -> [sc_token_deposited]
+    - target-chain [TokenDeposited]  -> [tc_token_deposited]
+    - target-chain [TokenWithdrew]   -> [tc_token_withdrew]
+    - source-chain [TokenWithdrew]   -> [sc_token_withdrew]
+
+    Protocols differ in the beneficiary representation: Ronin-style
+    bridges use a 20-byte [address], while Nomad-style bridges use a
+    32-byte field to accommodate non-EVM destination chains (paper
+    Section 5.2.2) — users must left-pad EVM addresses, and mistakes
+    are a documented source of lost funds.  Event declarations are
+    therefore parameterized on the beneficiary ABI type, which changes
+    the event signature and hence [topic0]. *)
+
+module Abi = Xcw_abi.Abi
+
+type beneficiary_repr = B_address | B_bytes32
+
+let beneficiary_type = function
+  | B_address -> Abi.Type.Address
+  | B_bytes32 -> Abi.Type.bytes32
+
+(** Source chain: emitted by the bridge when tokens are escrowed for a
+    cross-chain deposit.
+    [TokenDeposited(depositId, beneficiary, dstToken, origToken,
+    dstChainId, amount)]. *)
+let sc_token_deposited repr =
+  Abi.Event.
+    {
+      name = "TokenDeposited";
+      params =
+        [
+          param ~indexed:true "depositId" Abi.Type.uint256;
+          param "beneficiary" (beneficiary_type repr);
+          param "dstToken" Abi.Type.Address;
+          param "origToken" Abi.Type.Address;
+          param "dstChainId" Abi.Type.uint256;
+          param "amount" Abi.Type.uint256;
+        ];
+    }
+
+(** Target chain: emitted by the bridge when the deposit completes and
+    tokens are minted/unlocked for the beneficiary.
+    [TokenDeposited(depositId, beneficiary, token, amount)]. *)
+let tc_token_deposited =
+  Abi.Event.
+    {
+      name = "TokenDeposited";
+      params =
+        [
+          param ~indexed:true "depositId" Abi.Type.uint256;
+          param "beneficiary" Abi.Type.Address;
+          param "token" Abi.Type.Address;
+          param "amount" Abi.Type.uint256;
+        ];
+    }
+
+(** Target chain: emitted by the bridge when a user requests a
+    withdrawal back to the source chain (tokens are burnt or locked
+    on the target chain).
+    [TokenWithdrew(withdrawalId, beneficiary, origToken, dstToken,
+    dstChainId, amount)] where [beneficiary] is the destination account
+    on the source chain. *)
+let tc_token_withdrew repr =
+  Abi.Event.
+    {
+      name = "TokenWithdrew";
+      params =
+        [
+          param ~indexed:true "withdrawalId" Abi.Type.uint256;
+          param "beneficiary" (beneficiary_type repr);
+          param "origToken" Abi.Type.Address;
+          param "dstToken" Abi.Type.Address;
+          param "dstChainId" Abi.Type.uint256;
+          param "amount" Abi.Type.uint256;
+        ];
+    }
+
+(** Source chain: emitted by the bridge when the withdrawal executes
+    and tokens are released to the beneficiary.  The beneficiary here
+    is always the 20-byte address the contract extracted and paid —
+    even bytes32 protocols emit the resolved address on S (which is
+    how the paper's rule 7 captures executions whose T-side request
+    had an unparseable beneficiary).
+    [TokenWithdrew(withdrawalId, beneficiary, token, amount)]. *)
+let sc_token_withdrew =
+  Abi.Event.
+    {
+      name = "TokenWithdrew";
+      params =
+        [
+          param ~indexed:true "withdrawalId" Abi.Type.uint256;
+          param "beneficiary" Abi.Type.Address;
+          param "token" Abi.Type.Address;
+          param "amount" Abi.Type.uint256;
+        ];
+    }

@@ -1,0 +1,32 @@
+(** Bridge contract event declarations — one per logical relation of
+    the paper's Listing 1.
+
+    Protocols differ in the beneficiary representation: Ronin-style
+    bridges use a 20-byte [address]; Nomad-style bridges use a 32-byte
+    field to accommodate non-EVM chains (paper Section 5.2.2), which
+    changes the event signature and hence [topic0]. *)
+
+module Abi = Xcw_abi.Abi
+
+type beneficiary_repr = B_address | B_bytes32
+
+val beneficiary_type : beneficiary_repr -> Abi.Type.t
+
+val sc_token_deposited : beneficiary_repr -> Abi.Event.t
+(** Source chain: tokens escrowed for a cross-chain deposit.
+    [TokenDeposited(depositId, beneficiary, dstToken, origToken,
+    dstChainId, amount)]. *)
+
+val tc_token_deposited : Abi.Event.t
+(** Target chain: deposit completed, tokens minted/unlocked.
+    [TokenDeposited(depositId, beneficiary, token, amount)]. *)
+
+val tc_token_withdrew : beneficiary_repr -> Abi.Event.t
+(** Target chain: withdrawal requested (tokens escrowed on T).
+    [TokenWithdrew(withdrawalId, beneficiary, origToken, dstToken,
+    dstChainId, amount)]. *)
+
+val sc_token_withdrew : Abi.Event.t
+(** Source chain: withdrawal executed.  The beneficiary is always the
+    20-byte address the contract extracted and paid.
+    [TokenWithdrew(withdrawalId, beneficiary, token, amount)]. *)

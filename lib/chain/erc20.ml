@@ -1,0 +1,210 @@
+(** An ERC-20 token contract for the chain simulator.
+
+    Implements the standard interface the bridge protocols interact
+    with: [transfer], [transferFrom], [approve], plus owner-gated
+    [mint]/[burnFrom] used by bridge contracts in the burn-mint model.
+    All calls are dispatched from ABI calldata and all state changes
+    emit the standard events, so receipts look exactly like mainnet
+    ERC-20 receipts. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Abi = Xcw_abi.Abi
+
+type metadata = {
+  token_name : string;
+  token_symbol : string;
+  token_decimals : int;
+  token_owner : Address.t;  (** may mint and burn (the bridge, usually) *)
+}
+
+(* Event declarations (shared with WETH). *)
+let transfer_event =
+  Abi.Event.
+    {
+      name = "Transfer";
+      params =
+        [
+          param ~indexed:true "from" Abi.Type.Address;
+          param ~indexed:true "to" Abi.Type.Address;
+          param "value" Abi.Type.uint256;
+        ];
+    }
+
+let approval_event =
+  Abi.Event.
+    {
+      name = "Approval";
+      params =
+        [
+          param ~indexed:true "owner" Abi.Type.Address;
+          param ~indexed:true "spender" Abi.Type.Address;
+          param "value" Abi.Type.uint256;
+        ];
+    }
+
+(* Function selectors. *)
+let sel_transfer = Abi.selector "transfer(address,uint256)"
+let sel_transfer_from = Abi.selector "transferFrom(address,address,uint256)"
+let sel_approve = Abi.selector "approve(address,uint256)"
+let sel_mint = Abi.selector "mint(address,uint256)"
+let sel_burn_from = Abi.selector "burnFrom(address,uint256)"
+
+(* Storage layout. *)
+let balance_key addr = "bal:" ^ Address.to_bytes addr
+let allowance_key owner spender =
+  "alw:" ^ Address.to_bytes owner ^ Address.to_bytes spender
+let supply_key = "supply"
+
+let balance env addr = env.Chain.sload (balance_key addr)
+
+let do_transfer env ~from_ ~to_ amount =
+  let from_bal = balance env from_ in
+  if U256.lt from_bal amount then
+    raise (Chain.Revert "ERC20: transfer amount exceeds balance");
+  env.Chain.sstore (balance_key from_) (U256.sub_exn from_bal amount);
+  env.Chain.sstore (balance_key to_) (U256.add_exn (balance env to_) amount);
+  env.Chain.emit transfer_event
+    [ Abi.Value.Address from_; Abi.Value.Address to_; Abi.Value.Uint amount ]
+
+let do_mint env ~to_ amount =
+  env.Chain.sstore supply_key
+    (U256.add_exn (env.Chain.sload supply_key) amount);
+  env.Chain.sstore (balance_key to_) (U256.add_exn (balance env to_) amount);
+  (* Minting emits Transfer(0x0, to, value), the standard convention. *)
+  env.Chain.emit transfer_event
+    [
+      Abi.Value.Address Address.zero;
+      Abi.Value.Address to_;
+      Abi.Value.Uint amount;
+    ]
+
+let do_burn env ~from_ amount =
+  let from_bal = balance env from_ in
+  if U256.lt from_bal amount then
+    raise (Chain.Revert "ERC20: burn amount exceeds balance");
+  env.Chain.sstore (balance_key from_) (U256.sub_exn from_bal amount);
+  env.Chain.sstore supply_key (U256.sub_exn (env.Chain.sload supply_key) amount);
+  env.Chain.emit transfer_event
+    [
+      Abi.Value.Address from_;
+      Abi.Value.Address Address.zero;
+      Abi.Value.Uint amount;
+    ]
+
+let decode_args types input =
+  let payload = String.sub input 4 (String.length input - 4) in
+  try Abi.decode types payload
+  with Abi.Decode_error msg -> raise (Chain.Revert ("ERC20: bad calldata: " ^ msg))
+
+let dispatch (meta : metadata) (env : Chain.env) : unit =
+  let input = env.Chain.input in
+  if String.length input < 4 then
+    raise (Chain.Revert "ERC20: missing selector (tokens cannot receive plain value)");
+  let sel = String.sub input 0 4 in
+  if sel = sel_transfer then begin
+    match decode_args [ Abi.Type.Address; Abi.Type.uint256 ] input with
+    | [ Abi.Value.Address to_; Abi.Value.Uint amount ] ->
+        do_transfer env ~from_:env.Chain.sender ~to_ amount
+    | _ -> raise (Chain.Revert "ERC20: bad transfer args")
+  end
+  else if sel = sel_transfer_from then begin
+    match
+      decode_args [ Abi.Type.Address; Abi.Type.Address; Abi.Type.uint256 ] input
+    with
+    | [ Abi.Value.Address from_; Abi.Value.Address to_; Abi.Value.Uint amount ]
+      ->
+        let key = allowance_key from_ env.Chain.sender in
+        let allowed = env.Chain.sload key in
+        if U256.lt allowed amount then
+          raise (Chain.Revert "ERC20: insufficient allowance");
+        env.Chain.sstore key (U256.sub_exn allowed amount);
+        do_transfer env ~from_ ~to_ amount
+    | _ -> raise (Chain.Revert "ERC20: bad transferFrom args")
+  end
+  else if sel = sel_approve then begin
+    match decode_args [ Abi.Type.Address; Abi.Type.uint256 ] input with
+    | [ Abi.Value.Address spender; Abi.Value.Uint amount ] ->
+        env.Chain.sstore (allowance_key env.Chain.sender spender) amount;
+        env.Chain.emit approval_event
+          [
+            Abi.Value.Address env.Chain.sender;
+            Abi.Value.Address spender;
+            Abi.Value.Uint amount;
+          ]
+    | _ -> raise (Chain.Revert "ERC20: bad approve args")
+  end
+  else if sel = sel_mint then begin
+    if not (Address.equal env.Chain.sender meta.token_owner) then
+      raise (Chain.Revert "ERC20: mint is owner-only");
+    match decode_args [ Abi.Type.Address; Abi.Type.uint256 ] input with
+    | [ Abi.Value.Address to_; Abi.Value.Uint amount ] -> do_mint env ~to_ amount
+    | _ -> raise (Chain.Revert "ERC20: bad mint args")
+  end
+  else if sel = sel_burn_from then begin
+    if not (Address.equal env.Chain.sender meta.token_owner) then
+      raise (Chain.Revert "ERC20: burnFrom is owner-only");
+    match decode_args [ Abi.Type.Address; Abi.Type.uint256 ] input with
+    | [ Abi.Value.Address from_; Abi.Value.Uint amount ] ->
+        do_burn env ~from_ amount
+    | _ -> raise (Chain.Revert "ERC20: bad burnFrom args")
+  end
+  else raise (Chain.Revert "ERC20: unknown selector")
+
+(** Deploy a fresh ERC-20 token.  [owner] (typically the bridge
+    contract) may mint and burn. *)
+let deploy chain ~from_ ~name ~symbol ~decimals ~owner : Address.t =
+  let meta =
+    {
+      token_name = name;
+      token_symbol = symbol;
+      token_decimals = decimals;
+      token_owner = owner;
+    }
+  in
+  Chain.deploy chain ~from_
+    ~label:(Printf.sprintf "ERC20:%s" symbol)
+    (dispatch meta)
+
+(* ------------------------------------------------------------------ *)
+(* Calldata builders (used by EOAs and other contracts)                 *)
+
+let transfer_calldata ~to_ ~amount =
+  sel_transfer
+  ^ Abi.encode
+      [ Abi.Type.Address; Abi.Type.uint256 ]
+      [ Abi.Value.Address to_; Abi.Value.Uint amount ]
+
+let transfer_from_calldata ~from_ ~to_ ~amount =
+  sel_transfer_from
+  ^ Abi.encode
+      [ Abi.Type.Address; Abi.Type.Address; Abi.Type.uint256 ]
+      [ Abi.Value.Address from_; Abi.Value.Address to_; Abi.Value.Uint amount ]
+
+let approve_calldata ~spender ~amount =
+  sel_approve
+  ^ Abi.encode
+      [ Abi.Type.Address; Abi.Type.uint256 ]
+      [ Abi.Value.Address spender; Abi.Value.Uint amount ]
+
+let mint_calldata ~to_ ~amount =
+  sel_mint
+  ^ Abi.encode
+      [ Abi.Type.Address; Abi.Type.uint256 ]
+      [ Abi.Value.Address to_; Abi.Value.Uint amount ]
+
+let burn_from_calldata ~from_ ~amount =
+  sel_burn_from
+  ^ Abi.encode
+      [ Abi.Type.Address; Abi.Type.uint256 ]
+      [ Abi.Value.Address from_; Abi.Value.Uint amount ]
+
+(* ------------------------------------------------------------------ *)
+(* Read-only helpers (view functions, queried off-chain)               *)
+
+let balance_of chain token holder = Chain.sload chain token (balance_key holder)
+
+let allowance chain token ~owner ~spender =
+  Chain.sload chain token (allowance_key owner spender)
+
+let total_supply chain token = Chain.sload chain token supply_key

@@ -1,0 +1,60 @@
+(** An ERC-20 token contract for the chain simulator.
+
+    Standard [transfer]/[transferFrom]/[approve] plus owner-gated
+    [mint]/[burnFrom] (used by bridge contracts).  All calls dispatch
+    from ABI calldata and all state changes emit the standard events,
+    so receipts look exactly like mainnet ERC-20 receipts. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Abi = Xcw_abi.Abi
+
+type metadata = {
+  token_name : string;
+  token_symbol : string;
+  token_decimals : int;
+  token_owner : Address.t;  (** may mint and burn (the bridge, usually) *)
+}
+
+val transfer_event : Abi.Event.t
+(** [Transfer(address indexed from, address indexed to, uint256 value)];
+    mints emit it from the zero address, burns to it. *)
+
+val approval_event : Abi.Event.t
+
+val deploy :
+  Chain.t ->
+  from_:Address.t ->
+  name:string ->
+  symbol:string ->
+  decimals:int ->
+  owner:Address.t ->
+  Address.t
+
+val dispatch : metadata -> Chain.env -> unit
+(** The contract body; exposed so other contracts (e.g. WETH) can fall
+    back to plain ERC-20 behaviour. *)
+
+(** {1 Calldata builders} *)
+
+val transfer_calldata : to_:Address.t -> amount:U256.t -> string
+val transfer_from_calldata :
+  from_:Address.t -> to_:Address.t -> amount:U256.t -> string
+val approve_calldata : spender:Address.t -> amount:U256.t -> string
+val mint_calldata : to_:Address.t -> amount:U256.t -> string
+val burn_from_calldata : from_:Address.t -> amount:U256.t -> string
+
+(** {1 Read-only helpers (view functions)} *)
+
+val balance_of : Chain.t -> Address.t -> Address.t -> U256.t
+(** [balance_of chain token holder]. *)
+
+val allowance : Chain.t -> Address.t -> owner:Address.t -> spender:Address.t -> U256.t
+val total_supply : Chain.t -> Address.t -> U256.t
+
+(**/**)
+
+(* Shared with Weth and the decoders. *)
+val balance_key : Address.t -> string
+val supply_key : string
+val decode_args : Abi.Type.t list -> string -> Abi.Value.t list

@@ -1,0 +1,96 @@
+(** Wrapped native currency (WETH / WGLMR / WRON).
+
+    Accepts native value in [deposit()] and mints the wrapped ERC-20
+    1:1, emitting [Deposit(address,uint256)]; [withdraw(uint256)] burns
+    the wrapped token and returns native value, emitting
+    [Withdrawal(address,uint256)].  The [native_deposit] and
+    [native_withdrawal] relations in the paper's Listing 1 are built
+    from exactly these events. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Abi = Xcw_abi.Abi
+
+let deposit_event =
+  Abi.Event.
+    {
+      name = "Deposit";
+      params =
+        [
+          param ~indexed:true "dst" Abi.Type.Address;
+          param "wad" Abi.Type.uint256;
+        ];
+    }
+
+let withdrawal_event =
+  Abi.Event.
+    {
+      name = "Withdrawal";
+      params =
+        [
+          param ~indexed:true "src" Abi.Type.Address;
+          param "wad" Abi.Type.uint256;
+        ];
+    }
+
+let sel_deposit = Abi.selector "deposit()"
+let sel_withdraw = Abi.selector "withdraw(uint256)"
+
+let do_deposit env =
+  (* msg.value has already been credited to the contract's native
+     balance by the chain; mint the wrapped token 1:1. *)
+  let amount = env.Chain.value in
+  env.Chain.sstore
+    (Erc20.balance_key env.Chain.sender)
+    (U256.add_exn (env.Chain.sload (Erc20.balance_key env.Chain.sender)) amount);
+  env.Chain.sstore Erc20.supply_key
+    (U256.add_exn (env.Chain.sload Erc20.supply_key) amount);
+  env.Chain.emit deposit_event
+    [ Abi.Value.Address env.Chain.sender; Abi.Value.Uint amount ]
+
+let dispatch (meta : Erc20.metadata) (env : Chain.env) : unit =
+  let input = env.Chain.input in
+  if String.length input = 0 then
+    (* Plain value transfer: WETH's receive() wraps it. *)
+    do_deposit env
+  else begin
+    let sel = if String.length input >= 4 then String.sub input 0 4 else "" in
+    if sel = sel_deposit then do_deposit env
+    else if sel = sel_withdraw then begin
+      match Erc20.decode_args [ Abi.Type.uint256 ] input with
+      | [ Abi.Value.Uint amount ] ->
+          let key = Erc20.balance_key env.Chain.sender in
+          let bal = env.Chain.sload key in
+          if U256.lt bal amount then
+            raise (Chain.Revert "WETH: burn exceeds balance");
+          env.Chain.sstore key (U256.sub_exn bal amount);
+          env.Chain.sstore Erc20.supply_key
+            (U256.sub_exn (env.Chain.sload Erc20.supply_key) amount);
+          env.Chain.transfer_native env.Chain.sender amount;
+          env.Chain.emit withdrawal_event
+            [ Abi.Value.Address env.Chain.sender; Abi.Value.Uint amount ]
+      | _ -> raise (Chain.Revert "WETH: bad withdraw args")
+    end
+    else
+      (* Fall back to the plain ERC-20 interface (transfer/approve/...). *)
+      Erc20.dispatch meta env
+  end
+
+(** Deploy the wrapped-native-token contract for a chain. *)
+let deploy chain ~from_ ~name ~symbol : Address.t =
+  let meta =
+    {
+      Erc20.token_name = name;
+      token_symbol = symbol;
+      token_decimals = 18;
+      (* No external owner: mint/burn only through deposit/withdraw. *)
+      token_owner = Address.zero;
+    }
+  in
+  Chain.deploy chain ~from_ ~label:(Printf.sprintf "WETH:%s" symbol)
+    (dispatch meta)
+
+let deposit_calldata = sel_deposit
+
+let withdraw_calldata ~amount =
+  sel_withdraw ^ Abi.encode [ Abi.Type.uint256 ] [ Abi.Value.Uint amount ]

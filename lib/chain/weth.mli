@@ -1,0 +1,21 @@
+(** Wrapped native currency (WETH / WGLMR / WRON).
+
+    [deposit()] accepts native value and mints the wrapped ERC-20 1:1
+    (emitting [Deposit(address,uint256)]); [withdraw(uint256)] burns
+    and returns native value (emitting [Withdrawal(address,uint256)]).
+    The [native_deposit] / [native_withdrawal] relations of the paper's
+    Listing 1 are built from exactly these events.  Plain value
+    transfers wrap via the receive() path; other selectors fall back to
+    the ERC-20 interface. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Abi = Xcw_abi.Abi
+
+val deposit_event : Abi.Event.t
+val withdrawal_event : Abi.Event.t
+
+val deploy : Chain.t -> from_:Address.t -> name:string -> symbol:string -> Address.t
+
+val deposit_calldata : string
+val withdraw_calldata : amount:U256.t -> string

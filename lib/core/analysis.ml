@@ -1,0 +1,159 @@
+(** Post-detection analyses.
+
+    These are the investigative steps the paper layers on top of the
+    rule engine's output:
+
+    - {!attribute_deployers}: trace exploit-receiving contracts back to
+      the EOAs that deployed them (Section 5.2.5 traced 279 Nomad
+      contracts to 45 deployer EOAs);
+    - {!beneficiary_balances}: the Table 5 gas-balance analysis of
+      stuck-withdrawal beneficiaries, computed from chain state;
+    - {!salami_candidates}: the salami-slicing detector sketched as
+      future work in Section 6 — many small transfers that evade
+      per-transfer thresholds but sum to a large exfiltration. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Engine = Xcw_datalog.Engine
+open Xcw_datalog.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Deployer attribution                                                *)
+
+(** Map each contract address to the EOA that created it, by scanning
+    creation receipts.  Unknown addresses (EOAs, pre-genesis contracts)
+    are absent from the result. *)
+let deployer_index (chain : Chain.t) : (Address.t, Address.t) Hashtbl.t =
+  let idx = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Types.receipt) ->
+      match r.Types.r_contract_created with
+      | Some contract -> Hashtbl.replace idx contract r.Types.r_from
+      | None -> ())
+    (Chain.all_receipts chain);
+  idx
+
+(** [attribute_deployers chain beneficiaries] resolves each beneficiary
+    to its deploying EOA when it is a contract, and returns the deduped
+    EOA list — the paper's "45 unique EOAs responsible for deploying
+    these contracts". *)
+let attribute_deployers (chain : Chain.t) (beneficiaries : Address.t list) :
+    Address.t list =
+  let idx = deployer_index chain in
+  beneficiaries
+  |> List.filter_map (fun b -> Hashtbl.find_opt idx b)
+  |> List.sort_uniq Address.compare
+
+(** Beneficiaries of row-8 no-correspondence anomalies, parsed from the
+    report (hex strings). *)
+let forged_withdrawal_beneficiaries ~source_chain_id (report : Report.t) :
+    Address.t list =
+  let row8 =
+    List.find (fun r -> r.Report.rr_rule = "8. CCTX_ValidWithdrawal") report.Report.rows
+  in
+  List.filter_map
+    (fun a ->
+      if
+        a.Report.a_class = Report.No_correspondence
+        && a.Report.a_chain_id = source_chain_id
+      then
+        match String.rindex_opt a.Report.a_detail ' ' with
+        | Some i ->
+            let hex =
+              String.sub a.Report.a_detail (i + 1)
+                (String.length a.Report.a_detail - i - 1)
+            in
+            (try Some (Address.of_hex hex) with _ -> None)
+        | None -> None
+      else None)
+    row8.Report.rr_anomalies
+  |> List.sort_uniq Address.compare
+
+(* ------------------------------------------------------------------ *)
+(* Beneficiary balance analysis (Table 5)                              *)
+
+type balance_summary = {
+  bs_total : int;
+  bs_zero_balance : int;
+  bs_below_gas_minimum : int;  (** < 0.0011 ETH, the Ronin docs minimum *)
+}
+
+let gas_minimum_wei = U256.of_float (0.0011 *. 1e18)
+
+(** Current S-chain balances of the given beneficiaries — the "still
+    today" column of Table 5. *)
+let beneficiary_balances (chain : Chain.t) (beneficiaries : Address.t list) :
+    balance_summary =
+  let zero = ref 0 and below = ref 0 in
+  List.iter
+    (fun b ->
+      let bal = Chain.native_balance chain b in
+      if U256.is_zero bal then incr zero;
+      if U256.lt bal gas_minimum_wei then incr below)
+    beneficiaries;
+  {
+    bs_total = List.length beneficiaries;
+    bs_zero_balance = !zero;
+    bs_below_gas_minimum = !below;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Salami-slicing detection (Section 6, future work)                   *)
+
+type salami_candidate = {
+  sal_sender : string;  (** address hex *)
+  sal_chain_id : int;
+  sal_token : string;
+  sal_events : int;
+  sal_total_usd : float;
+  sal_max_single_usd : float;
+  sal_first_ts : int;
+  sal_last_ts : int;
+}
+
+(** Scan the valid-deposit relation for senders that split a large
+    total across many small transfers: at least [min_events] deposits
+    of the same token, each below [max_single_usd], summing to more
+    than [min_total_usd].  Individually each deposit passes every
+    cross-chain rule; only the aggregate view reveals the pattern. *)
+let salami_candidates ?(min_events = 10) ?(max_single_usd = 1_000.0)
+    ?(min_total_usd = 5_000.0) (db : Engine.db) (pricing : Pricing.t) :
+    salami_candidate list =
+  (* sc_valid_erc20_token_deposit(tx, ts, src_chain, dst_chain,
+     src_token, dst_token, ben, amt, did): group by (beneficiary,
+     src_token). *)
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      match (t.(1), t.(2), t.(4), t.(6), t.(7)) with
+      | Int ts, Int chain, Str token, Str ben, Str amt ->
+          let usd = Pricing.usd_value_str pricing ~chain_id:chain ~token amt in
+          let key = (ben, chain, token) in
+          let prev = Option.value (Hashtbl.find_opt groups key) ~default:[] in
+          Hashtbl.replace groups key ((ts, usd) :: prev)
+      | _ -> ())
+    (Engine.facts db Rules.r_sc_valid_erc20_deposit);
+  Hashtbl.fold
+    (fun (ben, chain, token) events acc ->
+      let n = List.length events in
+      let total = List.fold_left (fun a (_, u) -> a +. u) 0.0 events in
+      let max_single = List.fold_left (fun a (_, u) -> Float.max a u) 0.0 events in
+      let tss = List.map fst events in
+      if n >= min_events && max_single <= max_single_usd && total >= min_total_usd
+      then
+        {
+          sal_sender = ben;
+          sal_chain_id = chain;
+          sal_token = token;
+          sal_events = n;
+          sal_total_usd = total;
+          sal_max_single_usd = max_single;
+          sal_first_ts = List.fold_left min max_int tss;
+          sal_last_ts = List.fold_left max 0 tss;
+        }
+        :: acc
+      else acc)
+    groups []
+  |> List.sort (fun a b -> compare b.sal_total_usd a.sal_total_usd)

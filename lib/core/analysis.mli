@@ -1,0 +1,56 @@
+(** Post-detection analyses: the investigative steps the paper layers
+    on top of the rule engine's output. *)
+
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Engine = Xcw_datalog.Engine
+
+(** {1 Deployer attribution (Section 5.2.5)} *)
+
+val deployer_index : Chain.t -> (Address.t, Address.t) Hashtbl.t
+(** Contract address -> creating EOA, from creation receipts. *)
+
+val attribute_deployers : Chain.t -> Address.t list -> Address.t list
+(** Resolve each beneficiary to its deploying EOA (when it is a
+    contract) and dedup — the paper's "45 unique EOAs responsible for
+    deploying these contracts". *)
+
+val forged_withdrawal_beneficiaries :
+  source_chain_id:int -> Report.t -> Address.t list
+(** Receiving addresses of rule-8 S-side no-correspondence anomalies. *)
+
+(** {1 Beneficiary balance analysis (Table 5)} *)
+
+type balance_summary = {
+  bs_total : int;
+  bs_zero_balance : int;
+  bs_below_gas_minimum : int;  (** < 0.0011 ETH, the Ronin docs minimum *)
+}
+
+val beneficiary_balances : Chain.t -> Address.t list -> balance_summary
+(** Current S-chain balances — the "still today" column of Table 5. *)
+
+(** {1 Salami-slicing detection (Section 6, future work)} *)
+
+type salami_candidate = {
+  sal_sender : string;  (** address hex *)
+  sal_chain_id : int;
+  sal_token : string;
+  sal_events : int;
+  sal_total_usd : float;
+  sal_max_single_usd : float;
+  sal_first_ts : int;
+  sal_last_ts : int;
+}
+
+val salami_candidates :
+  ?min_events:int ->
+  ?max_single_usd:float ->
+  ?min_total_usd:float ->
+  Engine.db ->
+  Pricing.t ->
+  salami_candidate list
+(** Senders that split a large total across many small valid deposits
+    of the same token: >= [min_events] deposits (default 10), each
+    <= [max_single_usd] (default $1K), summing to >= [min_total_usd]
+    (default $5K).  Sorted by total, descending. *)

@@ -1,0 +1,193 @@
+(** Static bridge configuration and its loader.
+
+    Mirrors the paper's per-bridge configuration files (e.g.
+    [ronin_env.py]): RPC endpoints aside, a configuration lists the
+    bridge-controlled addresses on each chain, the token mappings, each
+    chain's finality time, and the wrapped-native-token contracts.  The
+    {!to_facts} loader turns a configuration into the static Datalog
+    facts of Listing 1.
+
+    Configurations can be serialized to/from JSON so a deployment can
+    keep them as files, exactly like the original tool. *)
+
+module Address = Xcw_evm.Address
+module Json = Xcw_util.Json
+
+type token_mapping = {
+  src_chain_id : int;
+  dst_chain_id : int;
+  src_token : Address.t;
+  dst_token : Address.t;
+}
+
+type t = {
+  bridge_name : string;
+  source_chain_id : int;
+  target_chain_id : int;
+  bridge_controlled : (int * Address.t) list;  (** (chain_id, address) *)
+  token_mappings : token_mapping list;
+  finality : (int * int) list;  (** (chain_id, seconds) *)
+  wrapped_native : (int * Address.t) list;
+}
+
+(** Build the configuration for a simulated bridge.  The zero address
+    is registered as bridge-controlled on the target chain: mints and
+    burns surface as ERC-20 transfers from/to 0x0, and the rules treat
+    those as bridge escrow movements (as the original configurations
+    do for mint-model bridges). *)
+let of_bridge (b : Xcw_bridge.Bridge.t) : t =
+  let module B = Xcw_bridge.Bridge in
+  let module Chain = Xcw_chain.Chain in
+  let src = b.B.source and dst = b.B.target in
+  let src_id = src.B.chain.Chain.chain_id in
+  let dst_id = dst.B.chain.Chain.chain_id in
+  {
+    bridge_name = b.B.label;
+    source_chain_id = src_id;
+    target_chain_id = dst_id;
+    bridge_controlled =
+      ([
+         (src_id, src.B.bridge_addr);
+         (dst_id, dst.B.bridge_addr);
+         (dst_id, Address.zero);
+       ]
+      @
+      (* Burn-mint bridges release on S by minting: transfers from the
+         zero address are bridge escrow movements there too. *)
+      match b.B.escrow with
+      | B.Burn_mint -> [ (src_id, Address.zero) ]
+      | B.Lock_unlock -> []);
+    token_mappings =
+      List.map
+        (fun (m : B.token_mapping) ->
+          {
+            src_chain_id = src_id;
+            dst_chain_id = dst_id;
+            src_token = m.B.m_src_token;
+            dst_token = m.B.m_dst_token;
+          })
+        b.B.mappings;
+    finality =
+      [
+        (src_id, src.B.chain.Chain.finality_seconds);
+        (dst_id, dst.B.chain.Chain.finality_seconds);
+      ];
+    wrapped_native = [ (src_id, src.B.weth); (dst_id, dst.B.weth) ];
+  }
+
+(** The Static Configuration Loader: static facts for the Datalog
+    database. *)
+let to_facts (t : t) : Facts.t list =
+  List.map
+    (fun (chain_id, addr) ->
+      Facts.Bridge_controlled_address
+        { chain_id; address = Address.to_hex addr })
+    t.bridge_controlled
+  @ List.map
+      (fun (m : token_mapping) ->
+        Facts.Token_mapping
+          {
+            src_chain_id = m.src_chain_id;
+            dst_chain_id = m.dst_chain_id;
+            src_token = Address.to_hex m.src_token;
+            dst_token = Address.to_hex m.dst_token;
+          })
+      t.token_mappings
+  @ List.map
+      (fun (chain_id, seconds) ->
+        Facts.Cctx_finality { chain_id; finality_seconds = seconds })
+      t.finality
+  @ List.map
+      (fun (chain_id, token) ->
+        Facts.Wrapped_native_token { chain_id; token = Address.to_hex token })
+      t.wrapped_native
+
+(* ------------------------------------------------------------------ *)
+(* JSON (de)serialization                                              *)
+
+let to_json (t : t) : Json.t =
+  let addr a = Json.String (Address.to_hex a) in
+  Json.Obj
+    [
+      ("bridge_name", Json.String t.bridge_name);
+      ("source_chain_id", Json.Int t.source_chain_id);
+      ("target_chain_id", Json.Int t.target_chain_id);
+      ( "bridge_controlled",
+        Json.List
+          (List.map
+             (fun (c, a) -> Json.Obj [ ("chain_id", Json.Int c); ("address", addr a) ])
+             t.bridge_controlled) );
+      ( "token_mappings",
+        Json.List
+          (List.map
+             (fun m ->
+               Json.Obj
+                 [
+                   ("src_chain_id", Json.Int m.src_chain_id);
+                   ("dst_chain_id", Json.Int m.dst_chain_id);
+                   ("src_token", addr m.src_token);
+                   ("dst_token", addr m.dst_token);
+                 ])
+             t.token_mappings) );
+      ( "finality",
+        Json.List
+          (List.map
+             (fun (c, s) ->
+               Json.Obj [ ("chain_id", Json.Int c); ("seconds", Json.Int s) ])
+             t.finality) );
+      ( "wrapped_native",
+        Json.List
+          (List.map
+             (fun (c, a) -> Json.Obj [ ("chain_id", Json.Int c); ("token", addr a) ])
+             t.wrapped_native) );
+    ]
+
+exception Config_error of string
+
+let of_json (j : Json.t) : t =
+  let str_field obj key =
+    match Json.member key obj with
+    | Some (Json.String s) -> s
+    | _ -> raise (Config_error ("missing string field " ^ key))
+  in
+  let int_field obj key =
+    match Json.member key obj with
+    | Some (Json.Int i) -> i
+    | _ -> raise (Config_error ("missing int field " ^ key))
+  in
+  let list_field obj key =
+    match Json.member key obj with
+    | Some (Json.List l) -> l
+    | _ -> raise (Config_error ("missing list field " ^ key))
+  in
+  let addr_field obj key = Address.of_hex (str_field obj key) in
+  {
+    bridge_name = str_field j "bridge_name";
+    source_chain_id = int_field j "source_chain_id";
+    target_chain_id = int_field j "target_chain_id";
+    bridge_controlled =
+      List.map
+        (fun o -> (int_field o "chain_id", addr_field o "address"))
+        (list_field j "bridge_controlled");
+    token_mappings =
+      List.map
+        (fun o ->
+          {
+            src_chain_id = int_field o "src_chain_id";
+            dst_chain_id = int_field o "dst_chain_id";
+            src_token = addr_field o "src_token";
+            dst_token = addr_field o "dst_token";
+          })
+        (list_field j "token_mappings");
+    finality =
+      List.map
+        (fun o -> (int_field o "chain_id", int_field o "seconds"))
+        (list_field j "finality");
+    wrapped_native =
+      List.map
+        (fun o -> (int_field o "chain_id", addr_field o "token"))
+        (list_field j "wrapped_native");
+  }
+
+let to_string t = Json.to_string (to_json t)
+let of_string s = of_json (Json.of_string s)

@@ -1,0 +1,45 @@
+(** Static bridge configuration and its loader (the paper's per-bridge
+    configuration files, e.g. [ronin_env.py]): bridge-controlled
+    addresses, token mappings, per-chain finality, wrapped-native
+    tokens.  JSON-(de)serializable so deployments keep them as files. *)
+
+module Address = Xcw_evm.Address
+module Json = Xcw_util.Json
+
+exception Config_error of string
+
+type token_mapping = {
+  src_chain_id : int;
+  dst_chain_id : int;
+  src_token : Address.t;
+  dst_token : Address.t;
+}
+
+type t = {
+  bridge_name : string;
+  source_chain_id : int;
+  target_chain_id : int;
+  bridge_controlled : (int * Address.t) list;  (** (chain_id, address) *)
+  token_mappings : token_mapping list;
+  finality : (int * int) list;  (** (chain_id, seconds) *)
+  wrapped_native : (int * Address.t) list;
+}
+
+val of_bridge : Xcw_bridge.Bridge.t -> t
+(** Derive the configuration from a simulated bridge.  The zero address
+    is registered as bridge-controlled on the target chain (and on the
+    source chain for burn-mint bridges): mints/burns surface as ERC-20
+    transfers from/to 0x0 and count as bridge escrow movements.
+    Captures the mappings registered {e so far} — snapshot before
+    injecting fake mappings so the detector's [token_mapping] facts
+    contain only the verified pairs. *)
+
+val to_facts : t -> Facts.t list
+(** The Static Configuration Loader: static Datalog facts. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** Raises {!Config_error} on missing/ill-typed fields. *)
+
+val to_string : t -> string
+val of_string : string -> t

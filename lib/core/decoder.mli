@@ -1,0 +1,67 @@
+(** Event and Transaction Data Decoder — phase 1 of XChainWatcher.
+
+    Consumes transaction receipts through the RPC facade and produces
+    the logical relations of Listing 1.  Plugin-based: a {!plugin}
+    describes a protocol's event shapes (notably its beneficiary
+    representation).
+
+    Receipts suffice for most facts; native value transfers need extra
+    RPC calls ([eth_getTransactionByHash], [debug_traceTransaction]) to
+    recover [tx.value] and internal transfers — the dominant cost in
+    the paper's Table 2 / Figure 4.
+
+    Beneficiaries decode leniently (left- or right-padded 32-byte
+    forms); an unpadded 32-byte string is reported as a
+    {!decode_error} — the paper's "unparseable address" anomalies. *)
+
+module Types = Xcw_evm.Types
+module Rpc = Xcw_rpc.Rpc
+
+type chain_role = Source | Target
+
+type plugin = {
+  plugin_name : string;
+  beneficiary_repr : Xcw_bridge.Events.beneficiary_repr;
+}
+
+val ronin_plugin : plugin
+(** 20-byte address beneficiaries. *)
+
+val nomad_plugin : plugin
+(** 32-byte beneficiary fields. *)
+
+type decode_error = {
+  err_tx_hash : string;
+  err_chain_id : int;
+  err_event_index : int;
+  err_detail : string;
+  err_withdrawal_id : int option;
+      (** the withdrawal id of a TokenWithdrew event whose beneficiary
+          could not be parsed — links the S-side execution to the
+          undecodable T-side request *)
+}
+
+type receipt_decode = {
+  rd_facts : Facts.t list;
+  rd_errors : decode_error list;
+  rd_latency : float;  (** simulated seconds to extract this receipt *)
+  rd_is_native : bool;  (** required tracer calls *)
+}
+
+val decode_receipt :
+  plugin ->
+  Config.t ->
+  role:chain_role ->
+  chain_id:int ->
+  Rpc.t ->
+  Types.receipt ->
+  receipt_decode
+(** Decode one transaction's facts (the receipt itself already in
+    hand); charges tx/trace RPC latency when native value is
+    involved. *)
+
+val decode_chain :
+  plugin -> Config.t -> role:chain_role -> Rpc.t -> Xcw_chain.Chain.t ->
+  receipt_decode list
+(** Decode a whole chain's receipts in order, including the
+    receipt-fetch latency per transaction. *)

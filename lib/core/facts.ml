@@ -1,0 +1,186 @@
+(** The cross-chain fact model — the logical relations of the paper's
+    Listing 1.
+
+    Facts are produced by the decoders ({!Decoder}) and the static
+    configuration loader ({!Config}), then loaded into the Datalog
+    database where the cross-chain rules ({!Rules}) evaluate them.
+
+    Datalog term conventions:
+    - transaction hashes, addresses: hex strings ([Str]);
+    - token amounts: decimal strings ([Str]) — uint256 values exceed
+      native integers, and the rules only need equality on amounts;
+    - timestamps, chain ids, event indices, deposit/withdrawal ids,
+      status codes: [Int]. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+open Xcw_datalog.Ast
+
+(* Relation names, used consistently by builders and rules. *)
+let r_native_deposit = "native_deposit"
+let r_native_withdrawal = "native_withdrawal"
+let r_sc_token_deposited = "sc_token_deposited"
+let r_tc_token_deposited = "tc_token_deposited"
+let r_tc_token_withdrew = "tc_token_withdrew"
+let r_sc_token_withdrew = "sc_token_withdrew"
+let r_erc20_transfer = "erc20_transfer"
+let r_transaction = "transaction"
+let r_bridge_controlled_address = "bridge_controlled_address"
+let r_token_mapping = "token_mapping"
+let r_cctx_finality = "cctx_finality"
+let r_wrapped_native_token = "wrapped_native_token"
+
+(* Not part of Listing 1: records that a bridge event was present in a
+   transaction but could not be fully decoded (e.g. an unparseable
+   beneficiary).  Keeps the transfer-without-event detectors from
+   misfiring on transactions the decoder only partially understood. *)
+let r_bridge_event_decode_failure = "bridge_event_decode_failure"
+
+type t =
+  | Native_deposit of {
+      tx_hash : string;
+      chain_id : int;
+      event_index : int;
+      from_ : string;
+      to_ : string;
+      amount : U256.t;
+    }
+      (** native currency escrowed on S through the wrapped-native
+          contract during a deposit *)
+  | Native_withdrawal of {
+      tx_hash : string;
+      chain_id : int;
+      event_index : int;
+      from_ : string;
+      to_ : string;
+      amount : U256.t;
+    }
+      (** native transfer on T initiating a withdrawal *)
+  | Sc_token_deposited of {
+      tx_hash : string;
+      event_index : int;
+      deposit_id : int;
+      beneficiary : string;
+      dst_token : string;
+      orig_token : string;
+      dst_chain_id : int;
+      amount : U256.t;
+    }
+  | Tc_token_deposited of {
+      tx_hash : string;
+      event_index : int;
+      deposit_id : int;
+      beneficiary : string;
+      dst_token : string;
+      amount : U256.t;
+    }
+  | Tc_token_withdrew of {
+      tx_hash : string;
+      event_index : int;
+      withdrawal_id : int;
+      beneficiary : string;
+      orig_token : string;
+      dst_token : string;
+      dst_chain_id : int;
+      amount : U256.t;
+    }
+  | Sc_token_withdrew of {
+      tx_hash : string;
+      event_index : int;
+      withdrawal_id : int;
+      beneficiary : string;
+      dst_token : string;
+      amount : U256.t;
+    }
+  | Erc20_transfer of {
+      tx_hash : string;
+      chain_id : int;
+      event_index : int;
+      contract : string;
+      from_ : string;
+      to_ : string;
+      amount : U256.t;
+    }
+  | Transaction of {
+      timestamp : int;
+      chain_id : int;
+      tx_hash : string;
+      from_ : string;
+      to_ : string;
+      value : U256.t;
+      status : int;
+      fee : U256.t;
+    }
+  | Bridge_controlled_address of { chain_id : int; address : string }
+  | Token_mapping of {
+      src_chain_id : int;
+      dst_chain_id : int;
+      src_token : string;
+      dst_token : string;
+    }
+  | Cctx_finality of { chain_id : int; finality_seconds : int }
+  | Wrapped_native_token of { chain_id : int; token : string }
+  | Bridge_event_decode_failure of { tx_hash : string }
+
+let amount_term (a : U256.t) = Str (U256.to_decimal_string a)
+
+(** The (relation name, tuple) pair for the Datalog database. *)
+let to_tuple (fact : t) : string * const list =
+  match fact with
+  | Native_deposit f ->
+      ( r_native_deposit,
+        [ Str f.tx_hash; Int f.chain_id; Int f.event_index; Str f.from_;
+          Str f.to_; amount_term f.amount ] )
+  | Native_withdrawal f ->
+      ( r_native_withdrawal,
+        [ Str f.tx_hash; Int f.chain_id; Int f.event_index; Str f.from_;
+          Str f.to_; amount_term f.amount ] )
+  | Sc_token_deposited f ->
+      ( r_sc_token_deposited,
+        [ Str f.tx_hash; Int f.event_index; Int f.deposit_id; Str f.beneficiary;
+          Str f.dst_token; Str f.orig_token; Int f.dst_chain_id;
+          amount_term f.amount ] )
+  | Tc_token_deposited f ->
+      ( r_tc_token_deposited,
+        [ Str f.tx_hash; Int f.event_index; Int f.deposit_id; Str f.beneficiary;
+          Str f.dst_token; amount_term f.amount ] )
+  | Tc_token_withdrew f ->
+      ( r_tc_token_withdrew,
+        [ Str f.tx_hash; Int f.event_index; Int f.withdrawal_id;
+          Str f.beneficiary; Str f.orig_token; Str f.dst_token;
+          Int f.dst_chain_id; amount_term f.amount ] )
+  | Sc_token_withdrew f ->
+      ( r_sc_token_withdrew,
+        [ Str f.tx_hash; Int f.event_index; Int f.withdrawal_id;
+          Str f.beneficiary; Str f.dst_token; amount_term f.amount ] )
+  | Erc20_transfer f ->
+      ( r_erc20_transfer,
+        [ Str f.tx_hash; Int f.chain_id; Int f.event_index; Str f.contract;
+          Str f.from_; Str f.to_; amount_term f.amount ] )
+  | Transaction f ->
+      ( r_transaction,
+        [ Int f.timestamp; Int f.chain_id; Str f.tx_hash; Str f.from_;
+          Str f.to_; amount_term f.value; Int f.status; amount_term f.fee ] )
+  | Bridge_controlled_address f ->
+      (r_bridge_controlled_address, [ Int f.chain_id; Str f.address ])
+  | Token_mapping f ->
+      ( r_token_mapping,
+        [ Int f.src_chain_id; Int f.dst_chain_id; Str f.src_token;
+          Str f.dst_token ] )
+  | Cctx_finality f -> (r_cctx_finality, [ Int f.chain_id; Int f.finality_seconds ])
+  | Wrapped_native_token f -> (r_wrapped_native_token, [ Int f.chain_id; Str f.token ])
+  | Bridge_event_decode_failure f -> (r_bridge_event_decode_failure, [ Str f.tx_hash ])
+
+let relation_name fact = fst (to_tuple fact)
+
+(** Load a batch of facts into a Datalog database. *)
+let load_all db facts =
+  List.iter
+    (fun fact ->
+      let pred, tuple = to_tuple fact in
+      Xcw_datalog.Engine.add_fact db pred tuple)
+    facts
+
+let hex_of_address (a : Address.t) = Address.to_hex a
+let hex_of_hash (h : Types.hash) = Xcw_util.Hex.encode_0x h

@@ -1,0 +1,125 @@
+(** The cross-chain fact model — the logical relations of the paper's
+    Listing 1, as produced by the decoders and the static configuration
+    loader and consumed by the Datalog rules.
+
+    Datalog term conventions: hashes/addresses are hex strings, token
+    amounts are decimal strings (uint256 exceeds native ints; rules
+    only need equality), timestamps/ids/indices are ints. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+
+(** {1 Relation names} *)
+
+val r_native_deposit : string
+val r_native_withdrawal : string
+val r_sc_token_deposited : string
+val r_tc_token_deposited : string
+val r_tc_token_withdrew : string
+val r_sc_token_withdrew : string
+val r_erc20_transfer : string
+val r_transaction : string
+val r_bridge_controlled_address : string
+val r_token_mapping : string
+val r_cctx_finality : string
+val r_wrapped_native_token : string
+
+val r_bridge_event_decode_failure : string
+(** Not part of Listing 1: marks transactions whose bridge event was
+    present but undecodable (e.g. an unparseable beneficiary), so the
+    transfer-without-event detectors don't misfire on them. *)
+
+(** {1 Facts} *)
+
+type t =
+  | Native_deposit of {
+      tx_hash : string;
+      chain_id : int;
+      event_index : int;
+      from_ : string;
+      to_ : string;
+      amount : U256.t;
+    }
+  | Native_withdrawal of {
+      tx_hash : string;
+      chain_id : int;
+      event_index : int;
+      from_ : string;
+      to_ : string;
+      amount : U256.t;
+    }
+  | Sc_token_deposited of {
+      tx_hash : string;
+      event_index : int;
+      deposit_id : int;
+      beneficiary : string;
+      dst_token : string;
+      orig_token : string;
+      dst_chain_id : int;
+      amount : U256.t;
+    }
+  | Tc_token_deposited of {
+      tx_hash : string;
+      event_index : int;
+      deposit_id : int;
+      beneficiary : string;
+      dst_token : string;
+      amount : U256.t;
+    }
+  | Tc_token_withdrew of {
+      tx_hash : string;
+      event_index : int;
+      withdrawal_id : int;
+      beneficiary : string;
+      orig_token : string;
+      dst_token : string;
+      dst_chain_id : int;
+      amount : U256.t;
+    }
+  | Sc_token_withdrew of {
+      tx_hash : string;
+      event_index : int;
+      withdrawal_id : int;
+      beneficiary : string;
+      dst_token : string;
+      amount : U256.t;
+    }
+  | Erc20_transfer of {
+      tx_hash : string;
+      chain_id : int;
+      event_index : int;
+      contract : string;
+      from_ : string;
+      to_ : string;
+      amount : U256.t;
+    }
+  | Transaction of {
+      timestamp : int;
+      chain_id : int;
+      tx_hash : string;
+      from_ : string;
+      to_ : string;
+      value : U256.t;
+      status : int;
+      fee : U256.t;
+    }
+  | Bridge_controlled_address of { chain_id : int; address : string }
+  | Token_mapping of {
+      src_chain_id : int;
+      dst_chain_id : int;
+      src_token : string;
+      dst_token : string;
+    }
+  | Cctx_finality of { chain_id : int; finality_seconds : int }
+  | Wrapped_native_token of { chain_id : int; token : string }
+  | Bridge_event_decode_failure of { tx_hash : string }
+
+val to_tuple : t -> string * Xcw_datalog.Ast.const list
+(** The (relation name, tuple) pair for the Datalog database. *)
+
+val relation_name : t -> string
+val load_all : Xcw_datalog.Engine.db -> t list -> unit
+
+val hex_of_address : Address.t -> string
+val hex_of_hash : Types.hash -> string

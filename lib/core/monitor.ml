@@ -1,0 +1,137 @@
+(** Streaming anomaly monitoring.
+
+    The paper's central motivation (Figure 1) is observability: the
+    Ronin team noticed the March 2022 attack six days late, and even in
+    2024 a bridge pause took ~40 minutes.  This module runs
+    XChainWatcher continuously: it is fed block cursors as chains
+    advance, decodes only the receipts it has not seen yet (decoding
+    dominates cost — Table 2), re-evaluates the rules, and emits alerts
+    for anomalies that were not present at the previous poll.
+
+    Rule evaluation is rerun from scratch on every poll because the
+    unmatched/anomaly relations are non-monotonic (an "unmatched"
+    deposit becomes matched when its completion lands); the decoded
+    facts are cached, so each poll costs one incremental decode plus
+    one rule evaluation. *)
+
+module Chain = Xcw_chain.Chain
+module Types = Xcw_evm.Types
+module Rpc = Xcw_rpc.Rpc
+module Engine = Xcw_datalog.Engine
+
+type alert = {
+  al_anomaly : Report.anomaly;
+  al_rule : string;  (** the rule row that flagged it *)
+  al_detected_at : int * int;  (** (source block, target block) cursor *)
+}
+
+type t = {
+  m_input : Detector.input;
+  m_src_rpc : Rpc.t;
+  m_dst_rpc : Rpc.t;
+  (* Facts decoded so far, newest first, plus per-chain receipt cursors
+     (number of receipts already decoded). *)
+  mutable m_src_seen : int;
+  mutable m_dst_seen : int;
+  mutable m_facts : Facts.t list;
+  mutable m_decode_errors : Decoder.decode_error list;
+  (* Anomaly keys already alerted: (rule, class name, tx hash). *)
+  m_known : (string * string * string, unit) Hashtbl.t;
+  mutable m_polls : int;
+  mutable m_last_report : Report.t option;
+}
+
+let create (input : Detector.input) : t =
+  Engine.recommended_gc_setup ();
+  {
+    m_input = input;
+    m_src_rpc =
+      Rpc.create ~profile:input.Detector.i_source_profile
+        ~seed:input.Detector.i_rpc_seed input.Detector.i_source_chain;
+    m_dst_rpc =
+      Rpc.create ~profile:input.Detector.i_target_profile
+        ~seed:(input.Detector.i_rpc_seed + 1)
+        input.Detector.i_target_chain;
+    m_src_seen = 0;
+    m_dst_seen = 0;
+    m_facts = [];
+    m_decode_errors = [];
+    m_known = Hashtbl.create 256;
+    m_polls = 0;
+    m_last_report = None;
+  }
+
+(* Decode receipts [from_idx, up_to_block] of a chain; returns the new
+   cursor. *)
+let decode_new t chain rpc role ~seen ~up_to_block =
+  let receipts = Chain.all_receipts chain in
+  let chain_id = chain.Chain.chain_id in
+  let fresh =
+    receipts
+    |> List.filteri (fun i _ -> i >= seen)
+    |> List.filter (fun (r : Types.receipt) -> r.Types.r_block_number <= up_to_block)
+  in
+  List.iter
+    (fun (r : Types.receipt) ->
+      let fetch = Rpc.eth_get_transaction_receipt rpc r.Types.r_tx_hash in
+      ignore fetch;
+      let rd =
+        Decoder.decode_receipt t.m_input.Detector.i_plugin
+          t.m_input.Detector.i_config ~role ~chain_id rpc r
+      in
+      t.m_facts <- List.rev_append rd.Decoder.rd_facts t.m_facts;
+      t.m_decode_errors <- rd.Decoder.rd_errors @ t.m_decode_errors)
+    fresh;
+  seen + List.length fresh
+
+(** Advance the monitor to the given block cursors; returns alerts for
+    anomalies that appeared since the previous poll. *)
+let poll t ~source_block ~target_block : alert list =
+  t.m_polls <- t.m_polls + 1;
+  t.m_src_seen <-
+    decode_new t t.m_input.Detector.i_source_chain t.m_src_rpc Decoder.Source
+      ~seen:t.m_src_seen ~up_to_block:source_block;
+  t.m_dst_seen <-
+    decode_new t t.m_input.Detector.i_target_chain t.m_dst_rpc Decoder.Target
+      ~seen:t.m_dst_seen ~up_to_block:target_block;
+  (* Rebuild the derived relations over all cached facts. *)
+  let db = Engine.create_db () in
+  Facts.load_all db (Config.to_facts t.m_input.Detector.i_config);
+  Facts.load_all db t.m_facts;
+  ignore (Engine.run db t.m_input.Detector.i_program);
+  (* Reuse the detector's dissection logic by running it over a
+     pre-decoded snapshot: the detector decodes chains itself, so here
+     we rebuild only the classification layer via a lightweight
+     re-dissection. *)
+  let report =
+    Dissect.dissect ~label:t.m_input.Detector.i_label
+      ~config:t.m_input.Detector.i_config ~pricing:t.m_input.Detector.i_pricing
+      ~first_window_withdrawal_id:t.m_input.Detector.i_first_window_withdrawal_id
+      ~decode_errors:t.m_decode_errors ~db ()
+  in
+  t.m_last_report <- Some report;
+  let fresh = ref [] in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun a ->
+          let key =
+            (row.Report.rr_rule, Report.class_name a.Report.a_class, a.Report.a_tx_hash)
+          in
+          if not (Hashtbl.mem t.m_known key) then begin
+            Hashtbl.replace t.m_known key ();
+            fresh :=
+              {
+                al_anomaly = a;
+                al_rule = row.Report.rr_rule;
+                al_detected_at = (source_block, target_block);
+              }
+              :: !fresh
+          end)
+        row.Report.rr_anomalies)
+    report.Report.rows;
+  List.rev !fresh
+
+let last_report t = t.m_last_report
+let polls t = t.m_polls
+let facts_cached t = List.length t.m_facts

@@ -1,0 +1,31 @@
+(** Streaming anomaly monitoring.
+
+    The paper's central motivation (Figure 1) is observability: the
+    Ronin attack went unnoticed for six days.  A monitor is fed block
+    cursors as chains advance, decodes only receipts it has not seen
+    (decoding dominates cost — Table 2), re-evaluates the rules, and
+    emits alerts for anomalies new since the previous poll.  Rules are
+    re-run from scratch per poll because the anomaly relations are
+    non-monotonic (an unmatched deposit becomes matched when its
+    completion lands); decoded facts are cached. *)
+
+type alert = {
+  al_anomaly : Report.anomaly;
+  al_rule : string;  (** the rule row that flagged it *)
+  al_detected_at : int * int;  (** (source block, target block) cursor *)
+}
+
+type t
+
+val create : Detector.input -> t
+
+val poll : t -> source_block:int -> target_block:int -> alert list
+(** Advance to the given block cursors; returns alerts for anomalies
+    that appeared since the previous poll (each anomaly alerts once). *)
+
+val last_report : t -> Report.t option
+(** The full report as of the latest poll (anomalies that have since
+    been retracted by later matches are absent from it). *)
+
+val polls : t -> int
+val facts_cached : t -> int

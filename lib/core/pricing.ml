@@ -1,0 +1,48 @@
+(** Token USD pricing.
+
+    The paper aggregates anomaly impact in US dollars using market
+    prices.  This container substitutes a static price table (see
+    DESIGN.md): tokens are priced per whole token, and amounts are
+    scaled by the token's decimals.  Tokens absent from the table are
+    worth zero — which doubles as the "reputation" signal: the
+    phishing-token classifier treats unpriced tokens as disreputable,
+    matching the paper's use of block-explorer reputation marks. *)
+
+module U256 = Xcw_uint256.Uint256
+
+type entry = { usd_per_token : float; decimals : int }
+
+type t = {
+  (* key: (chain_id, lowercase token address hex) *)
+  prices : (int * string, entry) Hashtbl.t;
+  mutable native_price : float;  (** USD per native coin (18 decimals) *)
+}
+
+let create ?(native_price = 2500.0) () =
+  { prices = Hashtbl.create 64; native_price }
+
+let normalize addr = String.lowercase_ascii addr
+
+let register t ~chain_id ~token ~usd_per_token ~decimals =
+  Hashtbl.replace t.prices (chain_id, normalize token) { usd_per_token; decimals }
+
+let lookup t ~chain_id ~token = Hashtbl.find_opt t.prices (chain_id, normalize token)
+
+(** Is the token in the price table (a proxy for "reputable")? *)
+let is_reputable t ~chain_id ~token = lookup t ~chain_id ~token <> None
+
+(** USD value of [amount] units of a token; zero when unpriced. *)
+let usd_value t ~chain_id ~token (amount : U256.t) : float =
+  match lookup t ~chain_id ~token with
+  | Some { usd_per_token; decimals } ->
+      U256.to_tokens ~decimals amount *. usd_per_token
+  | None -> 0.0
+
+(** USD value of a raw decimal-string amount (as carried in Datalog
+    facts). *)
+let usd_value_str t ~chain_id ~token (amount : string) : float =
+  usd_value t ~chain_id ~token (U256.of_decimal_string amount)
+
+(** USD value of an amount of native currency (18 decimals). *)
+let usd_value_native t (amount : U256.t) : float =
+  U256.to_tokens ~decimals:18 amount *. t.native_price

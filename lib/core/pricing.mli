@@ -1,0 +1,30 @@
+(** Token USD pricing.
+
+    A static price table (see DESIGN.md): tokens are priced per whole
+    token and amounts scale by the token's decimals.  Absent tokens are
+    worth zero — which doubles as the reputation signal: the phishing
+    classifier treats unpriced tokens as disreputable, matching the
+    paper's use of block-explorer reputation marks. *)
+
+module U256 = Xcw_uint256.Uint256
+
+type t
+
+val create : ?native_price:float -> unit -> t
+(** [native_price] is USD per native coin (default 2500). *)
+
+val register :
+  t -> chain_id:int -> token:string -> usd_per_token:float -> decimals:int -> unit
+(** Token addresses are matched case-insensitively. *)
+
+val is_reputable : t -> chain_id:int -> token:string -> bool
+(** Is the token in the price table? *)
+
+val usd_value : t -> chain_id:int -> token:string -> U256.t -> float
+(** Zero when unpriced. *)
+
+val usd_value_str : t -> chain_id:int -> token:string -> string -> float
+(** USD value of a raw decimal-string amount (as carried in facts). *)
+
+val usd_value_native : t -> U256.t -> float
+(** USD value of a native-currency amount (18 decimals). *)

@@ -1,0 +1,196 @@
+(** Anomaly report structures — the detector's output.
+
+    The shapes mirror the paper's evaluation artefacts: {!rule_row}
+    reproduces a row of Table 3 (captured records and classified
+    anomalies per rule), {!unmatched_row} a row of Table 4 (origin of
+    each CCTX anomaly), and {!cctx} entries feed the dataset export and
+    Figures 5–7. *)
+
+module Json = Xcw_util.Json
+
+type anomaly_class =
+  | Phishing_token_transfer
+      (** Finding 1: fake/disreputable tokens interacting with the bridge *)
+  | Direct_transfer_to_bridge
+      (** Finding 2: reputable tokens sent straight to the bridge address *)
+  | Unparseable_beneficiary
+      (** Section 5.1.3: 32-byte beneficiary that is not a padded address *)
+  | Failed_exploit_attempt
+      (** Section 5.1.3: reverted probing transactions against the bridge *)
+  | Event_without_escrow
+      (** bridge event with no corresponding token movement *)
+  | Finality_violation  (** Finding 4 *)
+  | Token_mapping_violation  (** Finding 6 *)
+  | Invalid_beneficiary_fp
+      (** Section 5.2.2: tool/contract disagree on a malformed input (FP) *)
+  | No_correspondence
+      (** Findings 7/8: event on one chain never completed on the other *)
+  | Pre_window_fp
+      (** Section 5.2.5: matched by events emitted before the collection
+          window (Ronin's 708 false positives) *)
+
+let class_name = function
+  | Phishing_token_transfer -> "phishing-token transfer"
+  | Direct_transfer_to_bridge -> "direct transfer to bridge"
+  | Unparseable_beneficiary -> "unparseable beneficiary"
+  | Failed_exploit_attempt -> "failed exploit attempt"
+  | Event_without_escrow -> "event without escrow"
+  | Finality_violation -> "cctx_finality violation"
+  | Token_mapping_violation -> "token_mapping violation"
+  | Invalid_beneficiary_fp -> "invalid beneficiary (FP)"
+  | No_correspondence -> "no correspondence on other chain"
+  | Pre_window_fp -> "matched before collection window (FP)"
+
+type anomaly = {
+  a_class : anomaly_class;
+  a_tx_hash : string;
+  a_chain_id : int;
+  a_usd_value : float;
+  a_detail : string;
+}
+
+type rule_row = {
+  rr_rule : string;  (** e.g. "1. SC_ValidNativeTokenDeposit" *)
+  rr_captured : int;
+  rr_anomalies : anomaly list;
+}
+
+(** A valid cross-chain transaction (rules 4 and 8 output) — the unit
+    of the open dataset. *)
+type cctx = {
+  c_kind : [ `Deposit | `Withdrawal ];
+  c_src_tx : string;  (** initiating tx (S for deposits, T for withdrawals) *)
+  c_dst_tx : string;
+  c_id : int;  (** deposit or withdrawal id *)
+  c_amount : string;  (** decimal token units *)
+  c_token : string;  (** source-chain token address *)
+  c_beneficiary : string;
+  c_usd_value : float;
+  c_start_ts : int;
+  c_end_ts : int;
+}
+
+let cctx_latency c = c.c_end_ts - c.c_start_ts
+
+type t = {
+  bridge_name : string;
+  rows : rule_row list;
+  cctxs : cctx list;
+  total_facts : int;
+  decode_seconds : float;  (** wall-clock decode + relation building *)
+  eval_seconds : float;  (** wall-clock rule evaluation *)
+  simulated_rpc_seconds : float;
+}
+
+let total_anomalies t =
+  List.fold_left (fun acc r -> acc + List.length r.rr_anomalies) 0 t.rows
+
+let anomalies_of_class t cls =
+  List.concat_map
+    (fun r -> List.filter (fun a -> a.a_class = cls) r.rr_anomalies)
+    t.rows
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+
+let summarize_anomalies anomalies =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let count, value =
+        Option.value (Hashtbl.find_opt tbl a.a_class) ~default:(0, 0.0)
+      in
+      Hashtbl.replace tbl a.a_class (count + 1, value +. a.a_usd_value))
+    anomalies;
+  Hashtbl.fold (fun cls (count, value) acc -> (cls, count, value) :: acc) tbl []
+  |> List.sort compare
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>=== XChainWatcher report: %s ===@," t.bridge_name;
+  Format.fprintf fmt "facts: %d | decode: %.2fs (simulated RPC %.2fs) | rules: %.2fs@,@,"
+    t.total_facts t.decode_seconds t.simulated_rpc_seconds t.eval_seconds;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-34s captured %7d  anomalies %5d@," r.rr_rule
+        r.rr_captured
+        (List.length r.rr_anomalies);
+      List.iter
+        (fun (cls, count, value) ->
+          if value > 0.0 then
+            Format.fprintf fmt "    - %-38s %5d  ($%.2f)@," (class_name cls)
+              count value
+          else
+            Format.fprintf fmt "    - %-38s %5d@," (class_name cls) count)
+        (summarize_anomalies r.rr_anomalies))
+    t.rows;
+  Format.fprintf fmt "@,total anomalies: %d | valid cctxs: %d@]"
+    (total_anomalies t) (List.length t.cctxs)
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* JSON export (the open dataset)                                      *)
+
+let anomaly_to_json a =
+  Json.Obj
+    [
+      ("class", Json.String (class_name a.a_class));
+      ("tx_hash", Json.String a.a_tx_hash);
+      ("chain_id", Json.Int a.a_chain_id);
+      ("usd_value", Json.Float a.a_usd_value);
+      ("detail", Json.String a.a_detail);
+    ]
+
+let cctx_to_json c =
+  Json.Obj
+    [
+      ("kind", Json.String (match c.c_kind with `Deposit -> "deposit" | `Withdrawal -> "withdrawal"));
+      ("src_tx", Json.String c.c_src_tx);
+      ("dst_tx", Json.String c.c_dst_tx);
+      ("id", Json.Int c.c_id);
+      ("amount", Json.String c.c_amount);
+      ("token", Json.String c.c_token);
+      ("beneficiary", Json.String c.c_beneficiary);
+      ("usd_value", Json.Float c.c_usd_value);
+      ("start_ts", Json.Int c.c_start_ts);
+      ("end_ts", Json.Int c.c_end_ts);
+      ("latency_seconds", Json.Int (cctx_latency c));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("bridge", Json.String t.bridge_name);
+      ("total_facts", Json.Int t.total_facts);
+      ( "rules",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("rule", Json.String r.rr_rule);
+                   ("captured", Json.Int r.rr_captured);
+                   ("anomalies", Json.List (List.map anomaly_to_json r.rr_anomalies));
+                 ])
+             t.rows) );
+      ("cctxs", Json.List (List.map cctx_to_json t.cctxs));
+    ]
+
+(** The labeled cross-chain transaction dataset (paper contribution 2)
+    as a JSON string. *)
+let dataset_json t = Json.to_string (Json.Obj [ ("cctxs", Json.List (List.map cctx_to_json t.cctxs)) ])
+
+(** The same dataset as CSV (one row per cctx, header included). *)
+let dataset_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "kind,src_tx,dst_tx,id,amount,token,beneficiary,usd_value,start_ts,end_ts,latency_seconds\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%s,%s,%s,%.2f,%d,%d,%d\n"
+           (match c.c_kind with `Deposit -> "deposit" | `Withdrawal -> "withdrawal")
+           c.c_src_tx c.c_dst_tx c.c_id c.c_amount c.c_token c.c_beneficiary
+           c.c_usd_value c.c_start_ts c.c_end_ts (cctx_latency c)))
+    t.cctxs;
+  Buffer.contents buf

@@ -1,0 +1,79 @@
+(** Anomaly report structures — the detector's output.
+
+    {!rule_row} reproduces a row of the paper's Table 3 (captured
+    records and classified anomalies per rule); the classification
+    values mirror Table 4's cause dissection; {!cctx} entries feed the
+    open dataset export and Figures 5–7. *)
+
+module Json = Xcw_util.Json
+
+type anomaly_class =
+  | Phishing_token_transfer  (** Finding 1 *)
+  | Direct_transfer_to_bridge  (** Finding 2 *)
+  | Unparseable_beneficiary  (** Section 5.1.3 *)
+  | Failed_exploit_attempt  (** Section 5.1.3 *)
+  | Event_without_escrow
+  | Finality_violation  (** Finding 4 *)
+  | Token_mapping_violation  (** Finding 6 *)
+  | Invalid_beneficiary_fp  (** Section 5.2.2 *)
+  | No_correspondence  (** Findings 7/8: attacks and stuck funds *)
+  | Pre_window_fp  (** Section 5.2.5's Ronin false positives *)
+
+val class_name : anomaly_class -> string
+
+type anomaly = {
+  a_class : anomaly_class;
+  a_tx_hash : string;
+  a_chain_id : int;
+  a_usd_value : float;
+  a_detail : string;
+}
+
+type rule_row = {
+  rr_rule : string;  (** e.g. ["1. SC_ValidNativeTokenDeposit"] *)
+  rr_captured : int;
+  rr_anomalies : anomaly list;
+}
+
+(** A valid cross-chain transaction (rules 4 and 8 output) — the unit
+    of the open dataset. *)
+type cctx = {
+  c_kind : [ `Deposit | `Withdrawal ];
+  c_src_tx : string;  (** initiating tx (S for deposits, T for withdrawals) *)
+  c_dst_tx : string;
+  c_id : int;
+  c_amount : string;  (** decimal token units *)
+  c_token : string;  (** source-chain token address *)
+  c_beneficiary : string;
+  c_usd_value : float;
+  c_start_ts : int;
+  c_end_ts : int;
+}
+
+val cctx_latency : cctx -> int
+
+type t = {
+  bridge_name : string;
+  rows : rule_row list;
+  cctxs : cctx list;
+  total_facts : int;
+  decode_seconds : float;
+  eval_seconds : float;
+  simulated_rpc_seconds : float;
+}
+
+val total_anomalies : t -> int
+val anomalies_of_class : t -> anomaly_class -> anomaly list
+
+val summarize_anomalies : anomaly list -> (anomaly_class * int * float) list
+(** Per-class (count, total USD), sorted. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_json : t -> Json.t
+val dataset_json : t -> string
+(** The labeled cctx dataset (paper contribution 2) as JSON. *)
+
+val dataset_csv : t -> string
+(** The same dataset as CSV, header included. *)

@@ -1,0 +1,88 @@
+(** The cross-chain rules — phase 3 of XChainWatcher (paper Section
+    3.3): rules 1–8 model expected bridge behaviour, and ~36 auxiliary
+    rules dissect what the core rules fail to capture (Tables 3/4).
+    Relation names are exported for querying the evaluated database. *)
+
+(** {1 Core rules (paper rules 1-8)} *)
+
+val r_sc_valid_native_deposit : string
+(** Rule 1 head: [(tx, ts, src_chain, dst_chain, src_token, dst_token,
+    beneficiary, amount, deposit_id)]. *)
+
+val r_sc_valid_erc20_deposit : string
+(** Rule 2 head; same shape as rule 1. *)
+
+val r_tc_valid_erc20_deposit : string
+(** Rule 3 head: [(tx, ts, chain, deposit_id, beneficiary, dst_token,
+    amount)]. *)
+
+val r_cctx_valid_deposit : string
+(** Rule 4 head: [(src_tx, dst_tx, deposit_id, src_chain, dst_chain,
+    src_token, dst_token, beneficiary, amount, src_ts, dst_ts)]. *)
+
+val r_tc_valid_native_withdrawal : string
+(** Rule 5 head: [(tx, ts, tc_chain, withdrawal_id, beneficiary,
+    src_token, dst_token, sc_chain, amount)]. *)
+
+val r_tc_valid_erc20_withdrawal : string
+(** Rule 6 head; same shape as rule 5. *)
+
+val r_sc_valid_erc20_withdrawal : string
+(** Rule 7 head: [(tx, ts, sc_chain, withdrawal_id, beneficiary, token,
+    amount)]. *)
+
+val r_cctx_valid_withdrawal : string
+(** Rule 8 head: [(tc_tx, sc_tx, withdrawal_id, sc_chain, tc_chain,
+    src_token, dst_token, beneficiary, amount, tc_ts, sc_ts)]. *)
+
+(** {1 Auxiliary dissection relations} *)
+
+val r_bridge_event_in_tx : string
+val r_transfer_to_bridge_no_event : string
+(** Findings 1/2: [(tx, chain, token, from, amount)]. *)
+
+val r_transfer_from_bridge_no_event : string
+val r_sc_deposit_event_no_escrow : string
+val r_tc_withdraw_event_no_escrow : string
+val r_matched_sc_deposit : string
+val r_matched_tc_deposit : string
+val r_matched_tc_withdrawal : string
+val r_matched_sc_withdrawal : string
+
+val r_unmatched_sc_native_deposit : string
+(** [(tx, ts, amount, deposit_id, token)]; likewise the other
+    unmatched relations, withdrawals carrying
+    [(tx, ts, amount, withdrawal_id, beneficiary, token)]. *)
+
+val r_unmatched_sc_erc20_deposit : string
+val r_unmatched_tc_deposit : string
+val r_unmatched_tc_native_withdrawal : string
+val r_unmatched_tc_erc20_withdrawal : string
+val r_unmatched_sc_withdrawal : string
+
+val r_deposit_finality_violation : string
+(** Finding 4 witnesses: [(src_tx, dst_tx, id, amount, src_ts, dst_ts,
+    finality)]. *)
+
+val r_withdrawal_finality_violation : string
+val r_mapped_dst_token : string
+val r_mapped_src_token : string
+val r_deposit_mapping_violation : string
+val r_withdrawal_mapping_violation : string
+val r_deposit_beneficiary_mismatch : string
+val r_withdrawal_beneficiary_mismatch : string
+val r_reverted_bridge_interaction : string
+
+val zero_addr : string
+(** ["0x0000...0000"]. *)
+
+(** {1 The program} *)
+
+val core_rules : Xcw_datalog.Ast.rule list
+(** Rules 1–8 (the two disjunctive rules compile to two clauses
+    each). *)
+
+val auxiliary_rules : Xcw_datalog.Ast.rule list
+val all_rules : Xcw_datalog.Ast.rule list
+val program : Xcw_datalog.Ast.program
+val rule_count : int

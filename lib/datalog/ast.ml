@@ -1,0 +1,149 @@
+(** Abstract syntax for Datalog programs.
+
+    XChainWatcher's cross-chain rules (Section 3.3 of the paper) are
+    Horn clauses over facts extracted from blockchain data, evaluated by
+    Souffle in the original system.  This module defines the same
+    language: positive/negated atoms plus arithmetic comparison
+    constraints ([bridge_evt_idx > token_evt_idx],
+    [src_ts + finality <= dst_ts]).
+
+    Rules are built with the small combinator DSL at the bottom, which
+    keeps OCaml rule definitions close to the paper's Datalog syntax. *)
+
+type const =
+  | Str of string
+  | Int of int
+
+type term =
+  | Var of string
+  | Const of const
+
+type atom = { pred : string; args : term list }
+
+(** Arithmetic expressions allowed in comparison constraints. *)
+type expr =
+  | E_const of const
+  | E_var of string
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+
+type cmp_op = Lt | Le | Gt | Ge | Eq | Ne
+
+type literal =
+  | Pos of atom
+  | Neg of atom  (** stratified negation *)
+  | Cmp of cmp_op * expr * expr
+
+type rule = { head : atom; body : literal list }
+
+(** A program: a set of rules plus declared extensional (input) and
+    intensional (derived) predicates with their arities. *)
+type program = {
+  rules : rule list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing (for reports and debugging)                         *)
+
+let pp_const fmt = function
+  | Str s -> Format.fprintf fmt "%S" s
+  | Int i -> Format.pp_print_int fmt i
+
+let pp_term fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Const c -> pp_const fmt c
+
+let pp_atom fmt a =
+  Format.fprintf fmt "%s(%a)" a.pred
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ", ")
+       pp_term)
+    a.args
+
+let rec pp_expr fmt = function
+  | E_const c -> pp_const fmt c
+  | E_var v -> Format.pp_print_string fmt v
+  | E_add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | E_sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+  | E_mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_expr a pp_expr b
+
+let string_of_op = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "!="
+
+let pp_literal fmt = function
+  | Pos a -> pp_atom fmt a
+  | Neg a -> Format.fprintf fmt "!%a" pp_atom a
+  | Cmp (op, a, b) ->
+      Format.fprintf fmt "%a %s %a" pp_expr a (string_of_op op) pp_expr b
+
+let pp_rule fmt r =
+  Format.fprintf fmt "@[<hov 2>%a :-@ %a.@]" pp_atom r.head
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ",@ ")
+       pp_literal)
+    r.body
+
+(* ------------------------------------------------------------------ *)
+(* Variable utilities                                                  *)
+
+let rec expr_vars = function
+  | E_const _ -> []
+  | E_var v -> [ v ]
+  | E_add (a, b) | E_sub (a, b) | E_mul (a, b) -> expr_vars a @ expr_vars b
+
+let atom_vars a =
+  List.filter_map (function Var v -> Some v | Const _ -> None) a.args
+
+let literal_vars = function
+  | Pos a | Neg a -> atom_vars a
+  | Cmp (_, a, b) -> expr_vars a @ expr_vars b
+
+let rule_vars r =
+  List.sort_uniq compare (atom_vars r.head @ List.concat_map literal_vars r.body)
+
+(* ------------------------------------------------------------------ *)
+(* Construction DSL                                                    *)
+
+(** [v "x"] is the variable [x]. *)
+let v name = Var name
+
+(** [s "abc"] is the string constant ["abc"]. *)
+let s value = Const (Str value)
+
+(** [i 42] is the integer constant [42]. *)
+let i value = Const (Int value)
+
+(** Anonymous variables: each call yields a fresh unique variable, the
+    Datalog ["_"]. *)
+let wildcard_counter = ref 0
+
+let any () =
+  incr wildcard_counter;
+  Var (Printf.sprintf "_w%d" !wildcard_counter)
+
+(** [atom "p" [v "x"; i 1]] is the atom [p(x, 1)]. *)
+let atom pred args = { pred; args }
+
+let ( <-- ) head body = { head; body }
+
+let pos a = Pos a
+let neg a = Neg a
+
+let ev name = E_var name
+let ec c = E_const c
+let eint n = E_const (Int n)
+let ( +! ) a b = E_add (a, b)
+let ( -! ) a b = E_sub (a, b)
+let ( *! ) a b = E_mul (a, b)
+let ( <! ) a b = Cmp (Lt, a, b)
+let ( <=! ) a b = Cmp (Le, a, b)
+let ( >! ) a b = Cmp (Gt, a, b)
+let ( >=! ) a b = Cmp (Ge, a, b)
+let ( =! ) a b = Cmp (Eq, a, b)
+let ( <>! ) a b = Cmp (Ne, a, b)

@@ -1,0 +1,89 @@
+(** Abstract syntax for Datalog programs.
+
+    XChainWatcher's cross-chain rules (paper Section 3.3) are Horn
+    clauses over facts extracted from blockchain data: positive and
+    negated atoms plus arithmetic comparison constraints
+    ([bridge_evt_idx > token_evt_idx], [src_ts + finality <= dst_ts]).
+    The combinator DSL at the bottom keeps OCaml rule definitions close
+    to Datalog concrete syntax. *)
+
+type const = Str of string | Int of int
+
+type term = Var of string | Const of const
+
+type atom = { pred : string; args : term list }
+
+(** Arithmetic expressions allowed in comparison constraints. *)
+type expr =
+  | E_const of const
+  | E_var of string
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+
+type cmp_op = Lt | Le | Gt | Ge | Eq | Ne
+
+type literal =
+  | Pos of atom
+  | Neg of atom  (** stratified negation *)
+  | Cmp of cmp_op * expr * expr
+      (** arithmetic comparison on bound integer variables; [Eq]/[Ne]
+          also compare strings *)
+
+type rule = { head : atom; body : literal list }
+
+type program = { rules : rule list }
+
+(** {1 Pretty printing} *)
+
+val pp_const : Format.formatter -> const -> unit
+val pp_term : Format.formatter -> term -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val string_of_op : cmp_op -> string
+val pp_literal : Format.formatter -> literal -> unit
+
+val pp_rule : Format.formatter -> rule -> unit
+(** Souffle-style concrete syntax; parses back via {!Parser}. *)
+
+(** {1 Variable utilities} *)
+
+val expr_vars : expr -> string list
+val atom_vars : atom -> string list
+val literal_vars : literal -> string list
+val rule_vars : rule -> string list
+
+(** {1 Construction DSL} *)
+
+val v : string -> term
+(** Variable. *)
+
+val s : string -> term
+(** String constant. *)
+
+val i : int -> term
+(** Integer constant. *)
+
+val any : unit -> term
+(** A fresh anonymous variable (Datalog's [_]). *)
+
+val atom : string -> term list -> atom
+
+val ( <-- ) : atom -> literal list -> rule
+(** [head <-- body]. *)
+
+val pos : atom -> literal
+val neg : atom -> literal
+
+val ev : string -> expr
+val ec : const -> expr
+val eint : int -> expr
+val ( +! ) : expr -> expr -> expr
+val ( -! ) : expr -> expr -> expr
+val ( *! ) : expr -> expr -> expr
+val ( <! ) : expr -> expr -> literal
+val ( <=! ) : expr -> expr -> literal
+val ( >! ) : expr -> expr -> literal
+val ( >=! ) : expr -> expr -> literal
+val ( =! ) : expr -> expr -> literal
+val ( <>! ) : expr -> expr -> literal

@@ -1,0 +1,581 @@
+(** Datalog evaluation engine.
+
+    Bottom-up, stratified, semi-naive evaluation with hash-indexed
+    joins — the same evaluation strategy class as Souffle's interpreter,
+    which the paper uses.  The Ronin analysis pushes >1.5 million fact
+    tuples through ~30 rules, so join performance matters: relations
+    maintain on-demand hash indices keyed by bound column positions.
+
+    Unsupported (not needed by the cross-chain rules): aggregation,
+    arithmetic in rule heads, and non-stratifiable negation (rejected
+    with [Not_stratifiable]). *)
+
+open Ast
+
+exception Unsafe_rule of string
+exception Not_stratifiable of string
+
+(* ------------------------------------------------------------------ *)
+(* Relations with on-demand indices                                    *)
+
+module Relation = struct
+  type tuple = const array
+
+  type t = {
+    mutable arity : int option;
+    tuples : (tuple, unit) Hashtbl.t;
+    (* position list -> (projected key -> tuples with that key) *)
+    indices : (int list, (const list, tuple list ref) Hashtbl.t) Hashtbl.t;
+  }
+
+  let create () =
+    { arity = None; tuples = Hashtbl.create 256; indices = Hashtbl.create 4 }
+
+  let size t = Hashtbl.length t.tuples
+
+  let mem t tuple = Hashtbl.mem t.tuples tuple
+
+  let check_arity t tuple =
+    match t.arity with
+    | None -> t.arity <- Some (Array.length tuple)
+    | Some a ->
+        if a <> Array.length tuple then
+          invalid_arg
+            (Printf.sprintf "Relation: arity mismatch (%d vs %d)" a
+               (Array.length tuple))
+
+  let index_insert idx positions tuple =
+    let key = List.map (fun p -> tuple.(p)) positions in
+    match Hashtbl.find_opt idx key with
+    | Some l -> l := tuple :: !l
+    | None -> Hashtbl.replace idx key (ref [ tuple ])
+
+  (** [add t tuple] inserts; returns [true] if the tuple is new. *)
+  let add t tuple =
+    check_arity t tuple;
+    if Hashtbl.mem t.tuples tuple then false
+    else begin
+      Hashtbl.replace t.tuples tuple ();
+      Hashtbl.iter (fun positions idx -> index_insert idx positions tuple) t.indices;
+      true
+    end
+
+  let iter t f = Hashtbl.iter (fun tuple () -> f tuple) t.tuples
+
+  let to_list t = Hashtbl.fold (fun tuple () acc -> tuple :: acc) t.tuples []
+
+  (** [lookup t positions key] returns all tuples whose projection on
+      [positions] equals [key], using (and building on first use) a hash
+      index. *)
+  let lookup t positions key =
+    match positions with
+    | [] -> to_list t
+    | _ -> (
+        let idx =
+          match Hashtbl.find_opt t.indices positions with
+          | Some idx -> idx
+          | None ->
+              let idx = Hashtbl.create (max 16 (size t)) in
+              iter t (fun tuple -> index_insert idx positions tuple);
+              Hashtbl.replace t.indices positions idx;
+              idx
+        in
+        match Hashtbl.find_opt idx key with Some l -> !l | None -> [])
+end
+
+(* ------------------------------------------------------------------ *)
+(* Database                                                            *)
+
+type db = (string, Relation.t) Hashtbl.t
+
+let create_db () : db = Hashtbl.create 64
+
+let relation (db : db) pred =
+  match Hashtbl.find_opt db pred with
+  | Some r -> r
+  | None ->
+      let r = Relation.create () in
+      Hashtbl.replace db pred r;
+      r
+
+let add_fact (db : db) pred tuple = ignore (Relation.add (relation db pred) (Array.of_list tuple))
+
+let facts (db : db) pred =
+  match Hashtbl.find_opt db pred with
+  | Some r -> Relation.to_list r
+  | None -> []
+
+let fact_count (db : db) pred =
+  match Hashtbl.find_opt db pred with Some r -> Relation.size r | None -> 0
+
+let total_tuples (db : db) =
+  Hashtbl.fold (fun _ r acc -> acc + Relation.size r) db 0
+
+(** Write every relation as a tab-separated [<pred>.facts] file in
+    [dir] — the input format Souffle consumes, so an exported fact base
+    can be fed to the original XChainWatcher artifact for
+    cross-validation. *)
+let dump_facts (db : db) ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Hashtbl.iter
+    (fun pred rel ->
+      let oc = open_out (Filename.concat dir (pred ^ ".facts")) in
+      Relation.iter rel (fun tuple ->
+          let cells =
+            Array.to_list tuple
+            |> List.map (function Str s -> s | Int n -> string_of_int n)
+          in
+          output_string oc (String.concat "\t" cells);
+          output_char oc '\n');
+      close_out oc)
+    db
+
+(* ------------------------------------------------------------------ *)
+(* Safety checks                                                       *)
+
+let check_rule_safety (r : rule) =
+  let bound = ref [] in
+  List.iter
+    (function
+      | Pos a -> bound := atom_vars a @ !bound
+      | Neg _ | Cmp _ -> ())
+    r.body;
+  let is_bound v = List.mem v !bound in
+  List.iter
+    (fun v ->
+      if not (is_bound v) then
+        raise
+          (Unsafe_rule
+             (Format.asprintf "head variable %s not bound by a positive literal in %a" v
+                pp_rule r)))
+    (atom_vars r.head);
+  List.iter
+    (function
+      | Neg a ->
+          List.iter
+            (fun v ->
+              if not (is_bound v) then
+                raise
+                  (Unsafe_rule
+                     (Format.asprintf "negated variable %s unbound in %a" v pp_rule r)))
+            (atom_vars a)
+      | Cmp (_, l, rr) ->
+          List.iter
+            (fun v ->
+              if not (is_bound v) then
+                raise
+                  (Unsafe_rule
+                     (Format.asprintf "comparison variable %s unbound in %a" v pp_rule r)))
+            (expr_vars l @ expr_vars rr)
+      | Pos _ -> ())
+    r.body
+
+(* ------------------------------------------------------------------ *)
+(* Stratification                                                      *)
+
+(** Compute strata via the strongly connected components of the
+    head-predicate dependency graph, in topological order.  Each SCC
+    becomes its own stratum; a negative edge inside an SCC makes the
+    program non-stratifiable.  The returned [bool] is whether the
+    stratum is recursive (needs fixpoint iteration): non-recursive
+    strata — the common case for the cross-chain rules — are evaluated
+    in a single pass. *)
+let stratify (rules : rule list) : (rule list * bool) list =
+  let preds =
+    List.sort_uniq compare (List.map (fun r -> r.head.pred) rules)
+  in
+  let derived p = List.mem p preds in
+  (* Dependency edges head -> body-predicate, with polarity. *)
+  let deps = Hashtbl.create 64 in
+  let add_dep h b negated =
+    let l = Option.value (Hashtbl.find_opt deps h) ~default:[] in
+    if not (List.mem (b, negated) l) then Hashtbl.replace deps h ((b, negated) :: l)
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (function
+          | Pos a when derived a.pred -> add_dep r.head.pred a.pred false
+          | Neg a when derived a.pred -> add_dep r.head.pred a.pred true
+          | _ -> ())
+        r.body)
+    rules;
+  let successors p =
+    Option.value (Hashtbl.find_opt deps p) ~default:[] |> List.map fst
+  in
+  (* Tarjan's SCC algorithm; emits SCCs in reverse topological order of
+     the condensation (dependencies last), so we reverse at the end to
+     evaluate dependencies first. *)
+  let index = Hashtbl.create 16 and lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      (* Pop the component. *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun p -> if not (Hashtbl.mem index p) then strongconnect p) preds;
+  let ordered = List.rev !sccs (* topological: dependencies first *) in
+  List.filter_map
+    (fun component ->
+      let in_component p = List.mem p component in
+      (* Recursive iff the component has an internal edge. *)
+      let recursive =
+        List.exists
+          (fun p ->
+            List.exists
+              (fun (b, negated) ->
+                if in_component b then begin
+                  if negated then
+                    raise
+                      (Not_stratifiable
+                         (Printf.sprintf "negation cycle through %s" p));
+                  true
+                end
+                else false)
+              (Option.value (Hashtbl.find_opt deps p) ~default:[]))
+          component
+      in
+      let group = List.filter (fun r -> in_component r.head.pred) rules in
+      if group = [] then None else Some (group, recursive))
+    ordered
+
+(* ------------------------------------------------------------------ *)
+(* Rule evaluation                                                     *)
+
+(* Rules are compiled before evaluation: every variable gets an integer
+   slot, and the body is evaluated as a depth-first backtracking join
+   over a single mutable environment.  Compared to materializing
+   substitution lists per literal, this allocates almost nothing per
+   candidate tuple — rule evaluation over large fact bases is
+   allocation-bound. *)
+
+type slot_term = S_const of const | S_var of int
+
+type compiled_atom = { c_pred : string; c_args : slot_term array }
+
+type compiled_expr =
+  | CE_const of const
+  | CE_var of int
+  | CE_add of compiled_expr * compiled_expr
+  | CE_sub of compiled_expr * compiled_expr
+  | CE_mul of compiled_expr * compiled_expr
+
+type compiled_literal =
+  | C_pos of compiled_atom
+  | C_neg of compiled_atom
+  | C_cmp of cmp_op * compiled_expr * compiled_expr
+
+type compiled_rule = {
+  cr_nvars : int;
+  cr_head : compiled_atom;
+  cr_body : compiled_literal array;
+  cr_source : rule;
+}
+
+let compile_rule (r : rule) : compiled_rule =
+  let slots = Hashtbl.create 16 in
+  let nvars = ref 0 in
+  let slot_of v =
+    match Hashtbl.find_opt slots v with
+    | Some i -> i
+    | None ->
+        let i = !nvars in
+        incr nvars;
+        Hashtbl.replace slots v i;
+        i
+  in
+  let compile_term = function
+    | Const c -> S_const c
+    | Var v -> S_var (slot_of v)
+  in
+  let compile_atom (a : atom) =
+    { c_pred = a.pred; c_args = Array.of_list (List.map compile_term a.args) }
+  in
+  let rec compile_expr = function
+    | E_const c -> CE_const c
+    | E_var v -> CE_var (slot_of v)
+    | E_add (a, b) -> CE_add (compile_expr a, compile_expr b)
+    | E_sub (a, b) -> CE_sub (compile_expr a, compile_expr b)
+    | E_mul (a, b) -> CE_mul (compile_expr a, compile_expr b)
+  in
+  let body =
+    List.map
+      (function
+        | Pos a -> C_pos (compile_atom a)
+        | Neg a -> C_neg (compile_atom a)
+        | Cmp (op, a, b) -> C_cmp (op, compile_expr a, compile_expr b))
+      r.body
+  in
+  {
+    cr_nvars = !nvars;
+    cr_head = compile_atom r.head;
+    cr_body = Array.of_list body;
+    cr_source = r;
+  }
+
+(* The environment: one cell per variable slot; [None] = unbound. *)
+type env = const option array
+
+let rec eval_cexpr (env : env) = function
+  | CE_const (Int n) -> n
+  | CE_const (Str str) ->
+      raise (Unsafe_rule (Printf.sprintf "string %S in arithmetic" str))
+  | CE_var i -> (
+      match env.(i) with
+      | Some (Int n) -> n
+      | Some (Str str) ->
+          raise (Unsafe_rule (Printf.sprintf "string %S in arithmetic" str))
+      | None -> raise (Unsafe_rule "unbound variable in comparison"))
+  | CE_add (a, b) -> eval_cexpr env a + eval_cexpr env b
+  | CE_sub (a, b) -> eval_cexpr env a - eval_cexpr env b
+  | CE_mul (a, b) -> eval_cexpr env a * eval_cexpr env b
+
+(* String (in)equality comparisons are permitted for Eq/Ne when both
+   sides are a variable or constant. *)
+let eval_ccmp (env : env) op lhs rhs =
+  let as_const = function
+    | CE_const c -> Some c
+    | CE_var i -> env.(i)
+    | _ -> None
+  in
+  match (op, as_const lhs, as_const rhs) with
+  | Eq, Some a, Some b -> a = b
+  | Ne, Some a, Some b -> a <> b
+  | _ -> (
+      let a = eval_cexpr env lhs and b = eval_cexpr env rhs in
+      match op with
+      | Lt -> a < b
+      | Le -> a <= b
+      | Gt -> a > b
+      | Ge -> a >= b
+      | Eq -> a = b
+      | Ne -> a <> b)
+
+(* Bound (position, key) pairs of an atom under the current env. *)
+let bound_positions (a : compiled_atom) (env : env) =
+  let positions = ref [] and key = ref [] in
+  Array.iteri
+    (fun k arg ->
+      match arg with
+      | S_const c ->
+          positions := k :: !positions;
+          key := c :: !key
+      | S_var i -> (
+          match env.(i) with
+          | Some c ->
+              positions := k :: !positions;
+              key := c :: !key
+          | None -> ()))
+    a.c_args;
+  (List.rev !positions, List.rev !key)
+
+(* Try to unify [tuple] with [a] under [env]; newly bound slots are
+   pushed onto [trail] for backtracking.  Returns success. *)
+let unify_tuple (a : compiled_atom) (tuple : Relation.tuple) (env : env)
+    (trail : int list ref) : bool =
+  let n = Array.length a.c_args in
+  if n <> Array.length tuple then false
+  else begin
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < n do
+      (match a.c_args.(!k) with
+      | S_const c -> if c <> tuple.(!k) then ok := false
+      | S_var i -> (
+          match env.(i) with
+          | Some bound -> if bound <> tuple.(!k) then ok := false
+          | None ->
+              env.(i) <- Some tuple.(!k);
+              trail := i :: !trail));
+      incr k
+    done;
+    if not !ok then begin
+      (* Roll back the bindings made during this failed attempt. *)
+      List.iter (fun i -> env.(i) <- None) !trail;
+      trail := []
+    end;
+    !ok
+  end
+
+let instantiate (a : compiled_atom) (env : env) : Relation.tuple =
+  Array.map
+    (function
+      | S_const c -> c
+      | S_var i -> (
+          match env.(i) with
+          | Some c -> c
+          | None -> raise (Unsafe_rule "unbound variable at instantiation")))
+    a.c_args
+
+(* Depth-first evaluation of the body from literal [idx]; calls [emit]
+   for every satisfying environment.  [delta_at]/[delta_tuples]
+   restrict one positive literal to the semi-naive delta. *)
+let rec eval_from (db : db) (cr : compiled_rule) (env : env) ~idx ~delta_at
+    ~delta_tuples ~emit =
+  if idx >= Array.length cr.cr_body then emit env
+  else
+    match cr.cr_body.(idx) with
+    | C_pos a ->
+        let candidates =
+          match delta_at with
+          | Some d when d = idx -> delta_tuples
+          | _ ->
+              let rel = relation db a.c_pred in
+              let positions, key = bound_positions a env in
+              Relation.lookup rel positions key
+        in
+        List.iter
+          (fun tuple ->
+            let trail = ref [] in
+            if unify_tuple a tuple env trail then begin
+              eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit;
+              List.iter (fun i -> env.(i) <- None) !trail
+            end)
+          candidates
+    | C_neg a ->
+        let tuple = instantiate a env in
+        if not (Relation.mem (relation db a.c_pred) tuple) then
+          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit
+    | C_cmp (op, lhs, rhs) ->
+        if eval_ccmp env op lhs rhs then
+          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit
+
+(* Evaluate a compiled rule, calling [on_derived] with each (possibly
+   duplicate) head tuple. *)
+let eval_rule (db : db) (cr : compiled_rule) ~delta_at ~delta_tuples
+    ~on_derived =
+  let env : env = Array.make (max 1 cr.cr_nvars) None in
+  eval_from db cr env ~idx:0 ~delta_at ~delta_tuples ~emit:(fun env ->
+      on_derived (instantiate cr.cr_head env))
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                            *)
+
+type stats = {
+  mutable rules_evaluated : int;
+  mutable iterations : int;
+  mutable tuples_derived : int;
+}
+
+(* Fact bases in the hundreds of thousands of tuples are strongly
+   allocation-bound: the default 256K-word minor heap forces constant
+   promotions of short-lived substitution lists while the relation
+   store keeps a large live set.  A bigger minor heap and a laxer
+   space/time trade-off roughly halve evaluation time at the paper's
+   full scale. *)
+let gc_tuned = ref false
+
+let recommended_gc_setup () =
+  if not !gc_tuned then begin
+    gc_tuned := true;
+    let params = Gc.get () in
+    Gc.set
+      {
+        params with
+        Gc.minor_heap_size = max params.Gc.minor_heap_size (8 * 1024 * 1024);
+        space_overhead = max params.Gc.space_overhead 200;
+      }
+  end
+
+(** [run ?naive db program] evaluates all rules to fixpoint, stratum by
+    stratum, adding derived tuples to [db] in place.  [naive] disables
+    semi-naive deltas (used by the ablation bench).  Returns evaluation
+    statistics. *)
+let run ?(naive = false) (db : db) (program : program) : stats =
+  List.iter check_rule_safety program.rules;
+  let stats = { rules_evaluated = 0; iterations = 0; tuples_derived = 0 } in
+  let strata = stratify program.rules in
+  List.iter
+    (fun (stratum_rules, recursive) ->
+      let compiled = List.map compile_rule stratum_rules in
+      let stratum_preds =
+        List.sort_uniq compare (List.map (fun r -> r.head.pred) stratum_rules)
+      in
+      let in_stratum p = List.mem p stratum_preds in
+      (* delta per predicate: tuples added in the previous round. *)
+      let delta : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 8 in
+      let record_delta tbl pred tuple =
+        let prev = Option.value (Hashtbl.find_opt tbl pred) ~default:[] in
+        Hashtbl.replace tbl pred (tuple :: prev)
+      in
+      let eval_into tbl cr ~delta_at ~delta_tuples =
+        stats.rules_evaluated <- stats.rules_evaluated + 1;
+        eval_rule db cr ~delta_at ~delta_tuples ~on_derived:(fun tuple ->
+            let pred = cr.cr_head.c_pred in
+            if Relation.add (relation db pred) tuple then begin
+              stats.tuples_derived <- stats.tuples_derived + 1;
+              record_delta tbl pred tuple
+            end)
+      in
+      (* Round 0: evaluate every rule on the full database. *)
+      List.iter (fun cr -> eval_into delta cr ~delta_at:None ~delta_tuples:[]) compiled;
+      stats.iterations <- stats.iterations + 1;
+      (* Non-recursive strata are complete after one pass (their body
+         predicates all live in earlier strata). *)
+      let continue_ =
+        ref
+          (recursive
+          && Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false)
+      in
+      while !continue_ do
+        stats.iterations <- stats.iterations + 1;
+        let new_delta : (string, Relation.tuple list) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        if naive then
+          (* Naive: re-evaluate everything on the full database. *)
+          List.iter
+            (fun cr -> eval_into new_delta cr ~delta_at:None ~delta_tuples:[])
+            compiled
+        else
+          (* Semi-naive: for each rule and each body occurrence of a
+             same-stratum predicate, evaluate with that occurrence
+             restricted to the delta. *)
+          List.iter
+            (fun cr ->
+              Array.iteri
+                (fun idx lit ->
+                  match lit with
+                  | C_pos a when in_stratum a.c_pred -> (
+                      match Hashtbl.find_opt delta a.c_pred with
+                      | Some (_ :: _ as delta_tuples) ->
+                          eval_into new_delta cr ~delta_at:(Some idx)
+                            ~delta_tuples
+                      | _ -> ())
+                  | _ -> ())
+                cr.cr_body)
+            compiled;
+        Hashtbl.reset delta;
+        Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) new_delta;
+        continue_ := Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false
+      done)
+    strata;
+  stats

@@ -1,0 +1,80 @@
+(** Datalog evaluation engine.
+
+    Bottom-up, stratified evaluation with hash-indexed joins — the same
+    strategy class as Souffle's interpreter, which the paper uses.
+    Strata are the strongly connected components of the head-predicate
+    dependency graph, evaluated in topological order; non-recursive
+    strata run in a single pass and recursive ones iterate semi-naively
+    to fixpoint.  Negation must be stratified.
+
+    Unsupported (not needed by the cross-chain rules): aggregation,
+    arithmetic in rule heads. *)
+
+open Ast
+
+exception Unsafe_rule of string
+exception Not_stratifiable of string
+
+module Relation : sig
+  type tuple = const array
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val mem : t -> tuple -> bool
+
+  val add : t -> tuple -> bool
+  (** [true] iff the tuple is new.  Raises [Invalid_argument] on arity
+      mismatch with previous tuples. *)
+
+  val iter : t -> (tuple -> unit) -> unit
+  val to_list : t -> tuple list
+
+  val lookup : t -> int list -> const list -> tuple list
+  (** [lookup t positions key]: all tuples whose projection on
+      [positions] equals [key], via an on-demand hash index.  Empty
+      [positions] returns everything. *)
+end
+
+type db
+
+val create_db : unit -> db
+
+val relation : db -> string -> Relation.t
+(** The named relation, created empty on first use. *)
+
+val add_fact : db -> string -> const list -> unit
+val facts : db -> string -> Relation.tuple list
+val fact_count : db -> string -> int
+val total_tuples : db -> int
+
+val dump_facts : db -> dir:string -> unit
+(** Write every relation as a tab-separated [<pred>.facts] file in
+    [dir] — Souffle's input format, enabling cross-validation against
+    the original Souffle-based artifact. *)
+
+val stratify : rule list -> (rule list * bool) list
+(** Rule groups in evaluation order; the flag marks recursive strata.
+    Raises {!Not_stratifiable} on a negation cycle. *)
+
+val check_rule_safety : rule -> unit
+(** Raises {!Unsafe_rule} if head/negated/compared variables are not
+    bound by positive body literals. *)
+
+type stats = {
+  mutable rules_evaluated : int;
+  mutable iterations : int;
+  mutable tuples_derived : int;
+}
+
+val recommended_gc_setup : unit -> unit
+(** Idempotently enlarge the minor heap and relax the GC space/time
+    trade-off.  Rule evaluation over hundreds of thousands of tuples is
+    allocation-bound; this roughly halves wall time at the paper's full
+    scale.  Called automatically by [Xcw_core.Detector.run] and the
+    monitor. *)
+
+val run : ?naive:bool -> db -> program -> stats
+(** Evaluate all rules to fixpoint, adding derived tuples to [db] in
+    place.  [naive] disables semi-naive deltas in recursive strata
+    (used by the ablation bench). *)

@@ -1,0 +1,46 @@
+(** Ethereum account addresses: 20 raw bytes.
+
+    Addresses are compared and hashed by their raw bytes; the hex form
+    (lowercase, 0x-prefixed) is only a display/interchange format. *)
+
+type t = string (* exactly 20 bytes *)
+
+let size = 20
+
+let of_bytes (s : string) : t =
+  if String.length s <> size then
+    invalid_arg
+      (Printf.sprintf "Address.of_bytes: expected %d bytes, got %d" size
+         (String.length s));
+  s
+
+let to_bytes (t : t) : string = t
+
+let of_hex (h : string) : t = of_bytes (Xcw_util.Hex.decode h)
+
+let to_hex (t : t) : string = Xcw_util.Hex.encode_0x t
+
+let zero : t = String.make size '\000'
+
+let is_zero t = t = zero
+
+let equal (a : t) (b : t) = String.equal a b
+
+let compare (a : t) (b : t) = String.compare a b
+
+let pp fmt t = Format.pp_print_string fmt (to_hex t)
+
+(** The address of a contract created by [sender] with account [nonce]:
+    the low 20 bytes of [keccak256(rlp([sender, nonce]))]. *)
+let contract_address ~(sender : t) ~(nonce : int) : t =
+  let rlp = Xcw_rlp.Rlp.(encode (List [ String sender; of_int nonce ])) in
+  let h = Xcw_keccak.Keccak.digest rlp in
+  String.sub h 12 20
+
+(** Derive a deterministic "externally owned account" address from a
+    seed label; used by the simulator in place of real key pairs. *)
+let of_seed (label : string) : t =
+  String.sub (Xcw_keccak.Keccak.digest ("eoa:" ^ label)) 12 20
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)

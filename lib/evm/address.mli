@@ -1,0 +1,41 @@
+(** Ethereum account addresses: 20 raw bytes.
+
+    Compared and hashed by raw bytes; the lowercase 0x-prefixed hex
+    form is a display/interchange format. *)
+
+type t = string
+(** Exactly 20 bytes; use the constructors below to guarantee the
+    invariant. *)
+
+val size : int
+(** 20. *)
+
+val of_bytes : string -> t
+(** Raises [Invalid_argument] unless exactly 20 bytes. *)
+
+val to_bytes : t -> string
+
+val of_hex : string -> t
+(** Accepts an optional ["0x"] prefix; raises [Invalid_argument] unless
+    20 bytes. *)
+
+val to_hex : t -> string
+(** Lowercase, 0x-prefixed. *)
+
+val zero : t
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val contract_address : sender:t -> nonce:int -> t
+(** The address of a contract created by [sender] with account [nonce]:
+    the low 20 bytes of [keccak256(rlp(\[sender; nonce\]))] — the
+    mainnet derivation rule. *)
+
+val of_seed : string -> t
+(** Deterministic pseudo-EOA derived from a label; the simulator's
+    stand-in for key pairs. *)
+
+module Map : Map.S with type key = string
+module Set : Set.S with type elt = string

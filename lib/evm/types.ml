@@ -1,0 +1,95 @@
+(** Core EVM data structures: logs, transactions, receipts, blocks and
+    execution traces.
+
+    These mirror the JSON-RPC shapes (`eth_getTransactionReceipt`,
+    `eth_getLogs`, `debug_traceTransaction`) closely enough that the
+    decoders in [Xcw_core] operate on the same information the paper's
+    pipeline extracts from real nodes. *)
+
+module U256 = Xcw_uint256.Uint256
+
+type hash = string (* 32 raw bytes *)
+
+let pp_hash fmt (h : hash) = Format.pp_print_string fmt (Xcw_util.Hex.encode_0x h)
+
+(** An event log entry, as found in a transaction receipt.  [topics]
+    holds at most 4 entries of 32 bytes each; [topics[0]] is the event
+    signature hash for non-anonymous events. *)
+type log = {
+  log_address : Address.t;  (** contract that emitted the log *)
+  topics : hash list;
+  data : string;  (** ABI-encoded non-indexed parameters *)
+  log_index : int;  (** position within the enclosing transaction *)
+}
+
+type tx_status = Success | Reverted
+
+let status_code = function Success -> 1 | Reverted -> 0
+
+(** A signed transaction as submitted to a chain.  The simulator elides
+    signatures; [tx_from] plays the role of the recovered sender. *)
+type transaction = {
+  tx_hash : hash;
+  tx_nonce : int;
+  tx_from : Address.t;
+  tx_to : Address.t option;  (** [None] for contract creation *)
+  tx_value : U256.t;  (** native currency transferred *)
+  tx_input : string;  (** calldata *)
+  tx_gas_price : U256.t;
+  tx_gas_limit : int;
+}
+
+type receipt = {
+  r_tx_hash : hash;
+  r_block_number : int;
+  r_block_timestamp : int;  (** unix seconds *)
+  r_tx_index : int;
+  r_from : Address.t;
+  r_to : Address.t option;
+  r_status : tx_status;
+  r_gas_used : int;
+  r_logs : log list;
+  r_contract_created : Address.t option;
+}
+
+(** One frame of a [debug_traceTransaction] call tracer output: internal
+    calls carry the value transferred, which is invisible in receipts —
+    exactly the case the paper needs the tracer for. *)
+type call_frame = {
+  call_type : call_type;
+  call_from : Address.t;
+  call_to : Address.t;
+  call_value : U256.t;
+  call_input : string;
+  call_depth : int;
+  subcalls : call_frame list;
+}
+
+and call_type = Call | Delegate_call | Static_call | Create
+
+type block = {
+  b_number : int;
+  b_timestamp : int;
+  b_parent_hash : hash;
+  b_hash : hash;
+  b_transactions : hash list;
+}
+
+(** Flatten a call tree into pre-order frames (the shape block explorers
+    show as "internal transactions"). *)
+let rec flatten_calls (frame : call_frame) : call_frame list =
+  frame :: List.concat_map flatten_calls frame.subcalls
+
+(** All value-bearing internal transfers in a call tree, excluding the
+    top-level call itself. *)
+let internal_value_transfers (frame : call_frame) : call_frame list =
+  List.filter
+    (fun f -> f.call_depth > 0 && not (U256.is_zero f.call_value))
+    (flatten_calls frame)
+
+let pp_log fmt (l : log) =
+  Format.fprintf fmt "@[<v 2>log(%a, index %d)@ topics: %a@ data: %s@]"
+    Address.pp l.log_address l.log_index
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_hash)
+    l.topics
+    (Xcw_util.Hex.encode_0x l.data)

@@ -1,0 +1,125 @@
+(** Keccak-256 as used by Ethereum.
+
+    This is the original Keccak submission (padding byte [0x01]), not the
+    standardized SHA3-256 (padding byte [0x06]).  Ethereum computes event
+    signatures, function selectors and addresses with this variant, e.g.
+    [topic[0] = keccak256("Transfer(address,address,uint256)")].
+
+    Implementation: Keccak-f[1600] permutation over a 5x5 lane state of
+    64-bit words, sponge with rate 1088 bits / capacity 512 bits. *)
+
+let round_constants =
+  [|
+    0x0000000000000001L; 0x0000000000008082L; 0x800000000000808AL;
+    0x8000000080008000L; 0x000000000000808BL; 0x0000000080000001L;
+    0x8000000080008081L; 0x8000000000008009L; 0x000000000000008AL;
+    0x0000000000000088L; 0x0000000080008009L; 0x000000008000000AL;
+    0x000000008000808BL; 0x800000000000008BL; 0x8000000000008089L;
+    0x8000000000008003L; 0x8000000000008002L; 0x8000000000000080L;
+    0x000000000000800AL; 0x800000008000000AL; 0x8000000080008081L;
+    0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L;
+  |]
+
+let rotation_offsets =
+  (* r[x][y] for the rho step, indexed as offsets.(x + 5*y). *)
+  [|
+    0; 1; 62; 28; 27;
+    36; 44; 6; 55; 20;
+    3; 10; 43; 25; 39;
+    41; 45; 15; 21; 8;
+    18; 2; 61; 56; 14;
+  |]
+
+let rotl64 x n =
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+(* One application of Keccak-f[1600] to the 25-lane state. *)
+let keccak_f (state : int64 array) =
+  let c = Array.make 5 0L in
+  let d = Array.make 5 0L in
+  let b = Array.make 25 0L in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor state.(x)
+          (Int64.logxor state.(x + 5)
+             (Int64.logxor state.(x + 10)
+                (Int64.logxor state.(x + 15) state.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+    done;
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + (5 * y)) <- Int64.logxor state.(x + (5 * y)) d.(x)
+      done
+    done;
+    (* rho and pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let nx = y and ny = ((2 * x) + (3 * y)) mod 5 in
+        b.(nx + (5 * ny)) <- rotl64 state.(x + (5 * y)) rotation_offsets.(x + (5 * y))
+      done
+    done;
+    (* chi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + (5 * y)) <-
+          Int64.logxor
+            b.(x + (5 * y))
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+  done
+
+let rate_bytes = 136 (* 1088-bit rate for 256-bit output *)
+
+(** [digest msg] is the 32-byte Keccak-256 digest of [msg]. *)
+let digest (msg : string) : string =
+  let state = Array.make 25 0L in
+  let absorb_block block offset len =
+    (* XOR [len] bytes of [block] starting at [offset] into the state. *)
+    for i = 0 to len - 1 do
+      let lane = i / 8 and byte = i mod 8 in
+      let v = Int64.of_int (Char.code (String.unsafe_get block (offset + i))) in
+      state.(lane) <- Int64.logxor state.(lane) (Int64.shift_left v (8 * byte))
+    done
+  in
+  let total = String.length msg in
+  let full_blocks = total / rate_bytes in
+  for b = 0 to full_blocks - 1 do
+    absorb_block msg (b * rate_bytes) rate_bytes;
+    keccak_f state
+  done;
+  (* Final partial block with multi-rate padding 0x01 .. 0x80. *)
+  let remaining = total - (full_blocks * rate_bytes) in
+  let last = Bytes.make rate_bytes '\000' in
+  Bytes.blit_string msg (full_blocks * rate_bytes) last 0 remaining;
+  Bytes.set last remaining (Char.chr 0x01);
+  Bytes.set last (rate_bytes - 1)
+    (Char.chr (Char.code (Bytes.get last (rate_bytes - 1)) lor 0x80));
+  absorb_block (Bytes.unsafe_to_string last) 0 rate_bytes;
+  keccak_f state;
+  (* Squeeze 32 bytes. *)
+  let out = Bytes.create 32 in
+  for i = 0 to 31 do
+    let lane = i / 8 and byte = i mod 8 in
+    Bytes.set out i
+      (Char.chr
+         (Int64.to_int
+            (Int64.logand (Int64.shift_right_logical state.(lane) (8 * byte)) 0xFFL)))
+  done;
+  Bytes.unsafe_to_string out
+
+(** Hex-encoded digest without prefix. *)
+let digest_hex msg = Xcw_util.Hex.encode (digest msg)
+
+(** Hex-encoded digest with a ["0x"] prefix, the common display form for
+    transaction hashes and event topics. *)
+let digest_hex_0x msg = "0x" ^ digest_hex msg

@@ -1,0 +1,12 @@
+(** Keccak-256 as used by Ethereum (original Keccak padding, not
+    SHA3-256).  Computes event signatures ([topic\[0\]]), function
+    selectors, transaction hashes and contract addresses. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte Keccak-256 digest of [msg]. *)
+
+val digest_hex : string -> string
+(** Lowercase hex digest without prefix. *)
+
+val digest_hex_0x : string -> string
+(** Lowercase hex digest with a ["0x"] prefix. *)

@@ -1,0 +1,125 @@
+(** Recursive Length Prefix (RLP) serialization.
+
+    RLP is Ethereum's canonical encoding for transactions and for
+    deriving contract addresses ([keccak256(rlp([sender, nonce]))[12:]]).
+    The chain simulator uses it so transaction hashes and contract
+    addresses are derived exactly as on mainnet. *)
+
+type t =
+  | String of string  (** an RLP "string" (byte array) *)
+  | List of t list
+
+exception Decode_error of string
+
+(* Big-endian minimal encoding of a non-negative integer. *)
+let encode_length n =
+  if n = 0 then ""
+  else begin
+    let rec bytes acc n = if n = 0 then acc else bytes (Char.chr (n land 0xff) :: acc) (n lsr 8) in
+    let chars = bytes [] n in
+    String.init (List.length chars) (List.nth chars)
+  end
+
+let rec encode (v : t) : string =
+  match v with
+  | String s ->
+      let n = String.length s in
+      if n = 1 && Char.code s.[0] < 0x80 then s
+      else if n <= 55 then String.make 1 (Char.chr (0x80 + n)) ^ s
+      else
+        let len_bytes = encode_length n in
+        String.make 1 (Char.chr (0xb7 + String.length len_bytes)) ^ len_bytes ^ s
+  | List items ->
+      let payload = String.concat "" (List.map encode items) in
+      let n = String.length payload in
+      if n <= 55 then String.make 1 (Char.chr (0xc0 + n)) ^ payload
+      else
+        let len_bytes = encode_length n in
+        String.make 1 (Char.chr (0xf7 + String.length len_bytes)) ^ len_bytes ^ payload
+
+(** Encode a non-negative integer with RLP's minimal big-endian
+    convention (zero is the empty string). *)
+let of_int n =
+  if n < 0 then invalid_arg "Rlp.of_int: negative";
+  String (encode_length n)
+
+let of_uint256 (u : Xcw_uint256.Uint256.t) =
+  let b = Xcw_uint256.Uint256.to_bytes_be u in
+  (* strip leading zero bytes *)
+  let rec first_nonzero i =
+    if i >= String.length b then String.length b
+    else if b.[i] = '\000' then first_nonzero (i + 1)
+    else i
+  in
+  let i = first_nonzero 0 in
+  String (String.sub b i (String.length b - i))
+
+let of_string s = String s
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let decode_length (s : string) (pos : int) (count : int) : int =
+  if pos + count > String.length s then raise (Decode_error "truncated length");
+  let acc = ref 0 in
+  for i = 0 to count - 1 do
+    acc := (!acc lsl 8) lor Char.code s.[pos + i]
+  done;
+  !acc
+
+(* Decode one item starting at [pos]; returns (item, next position). *)
+let rec decode_at (s : string) (pos : int) : t * int =
+  if pos >= String.length s then raise (Decode_error "truncated input");
+  let b0 = Char.code s.[pos] in
+  if b0 < 0x80 then (String (String.sub s pos 1), pos + 1)
+  else if b0 <= 0xb7 then begin
+    let n = b0 - 0x80 in
+    if pos + 1 + n > String.length s then raise (Decode_error "truncated string");
+    (* canonical form check: single byte < 0x80 must not be length-prefixed *)
+    if n = 1 && Char.code s.[pos + 1] < 0x80 then
+      raise (Decode_error "non-canonical single byte");
+    (String (String.sub s (pos + 1) n), pos + 1 + n)
+  end
+  else if b0 <= 0xbf then begin
+    let len_len = b0 - 0xb7 in
+    let n = decode_length s (pos + 1) len_len in
+    if n <= 55 then raise (Decode_error "non-canonical long string");
+    if pos + 1 + len_len + n > String.length s then
+      raise (Decode_error "truncated long string");
+    (String (String.sub s (pos + 1 + len_len) n), pos + 1 + len_len + n)
+  end
+  else if b0 <= 0xf7 then begin
+    let n = b0 - 0xc0 in
+    let stop = pos + 1 + n in
+    if stop > String.length s then raise (Decode_error "truncated list");
+    (List (decode_items s (pos + 1) stop), stop)
+  end
+  else begin
+    let len_len = b0 - 0xf7 in
+    let n = decode_length s (pos + 1) len_len in
+    if n <= 55 then raise (Decode_error "non-canonical long list");
+    let start = pos + 1 + len_len in
+    let stop = start + n in
+    if stop > String.length s then raise (Decode_error "truncated long list");
+    (List (decode_items s start stop), stop)
+  end
+
+and decode_items s pos stop =
+  if pos = stop then []
+  else
+    let item, next = decode_at s pos in
+    if next > stop then raise (Decode_error "item overruns list payload");
+    item :: decode_items s next stop
+
+let decode (s : string) : t =
+  let v, next = decode_at s 0 in
+  if next <> String.length s then raise (Decode_error "trailing bytes");
+  v
+
+let to_int = function
+  | List _ -> raise (Decode_error "expected string, got list")
+  | String s ->
+      if String.length s > 8 then raise (Decode_error "integer too large");
+      let acc = ref 0 in
+      String.iter (fun c -> acc := (!acc lsl 8) lor Char.code c) s;
+      !acc

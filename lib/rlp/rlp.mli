@@ -1,0 +1,27 @@
+(** Recursive Length Prefix (RLP) serialization — Ethereum's canonical
+    encoding for transactions and contract-address derivation. *)
+
+type t =
+  | String of string  (** an RLP "string" (byte array) *)
+  | List of t list
+
+exception Decode_error of string
+
+val encode : t -> string
+(** Canonical RLP encoding. *)
+
+val decode : string -> t
+(** Inverse of {!encode}.  Raises {!Decode_error} on malformed,
+    non-canonical, or trailing input. *)
+
+val of_int : int -> t
+(** Minimal big-endian integer encoding ([0] is the empty string). *)
+
+val of_uint256 : Xcw_uint256.Uint256.t -> t
+(** Minimal big-endian encoding of a 256-bit value. *)
+
+val of_string : string -> t
+
+val to_int : t -> int
+(** Decode a minimal big-endian integer.  Raises {!Decode_error} on
+    lists or integers wider than 8 bytes. *)

@@ -1,0 +1,37 @@
+(** Simulated RPC latency model.
+
+    Fact-extraction latency (paper Table 2 / Figure 4) is dominated by
+    node behaviour: receipt fetches are fast, [debug_traceTransaction]
+    is heavy and sometimes times out, triggering retries.  Each
+    method's latency is a log-normal base draw plus a geometric retry
+    process for the tracer; parameters are calibrated per bridge. *)
+
+module Prng = Xcw_util.Prng
+
+type profile = {
+  receipt_mu : float;  (** log-normal mu for receipt/log fetches *)
+  receipt_sigma : float;
+  trace_mu : float;  (** log-normal mu for [debug_traceTransaction] *)
+  trace_sigma : float;
+  trace_timeout_prob : float;  (** per-attempt timeout probability *)
+  trace_timeout_cost : float;  (** seconds lost per timed-out attempt *)
+  max_latency : float;  (** hard cap (the paper's 138.15 s worst case) *)
+}
+
+val ronin_profile : profile
+(** Calibrated to the Ronin rows of Table 2 (native median 0.35 s,
+    6.5% above 10 s, cap 138.15 s). *)
+
+val nomad_profile : profile
+(** Calibrated to the Nomad rows of Table 2 (native median 0.78 s, cap
+    8.78 s). *)
+
+val colocated_profile : profile
+(** An ideal co-located node: negligible latency, no timeouts — the
+    deployment the paper recommends. *)
+
+val receipt_fetch : profile -> Prng.t -> float
+(** Latency of one receipt/logs/balance fetch, in seconds. *)
+
+val trace_fetch : profile -> Prng.t -> float
+(** Latency of one [debug_traceTransaction] including retries. *)

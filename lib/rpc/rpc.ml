@@ -1,0 +1,118 @@
+(** JSON-RPC node facade over a simulated chain.
+
+    Exposes the same access patterns the paper's pipeline uses against
+    real nodes — [eth_getLogs], [eth_getTransactionReceipt],
+    [eth_getTransactionByHash], [eth_getBalance] and
+    [debug_traceTransaction] with the call tracer — and accounts for
+    simulated wall-clock latency per request (see {!Latency}).
+
+    The latency is *simulated*: requests return immediately together
+    with the number of seconds a real node would have taken, which the
+    decoder accumulates per receipt to reproduce Table 2 / Figure 4
+    without actually sleeping. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Prng = Xcw_util.Prng
+
+type t = {
+  chain : Chain.t;
+  profile : Latency.profile;
+  rng : Prng.t;
+  mutable total_latency : float;  (** accumulated simulated seconds *)
+  mutable request_count : int;
+}
+
+let create ?(profile = Latency.colocated_profile) ?(seed = 1) chain =
+  { chain; profile; rng = Prng.create seed; total_latency = 0.0; request_count = 0 }
+
+let charge_receipt t =
+  let l = Latency.receipt_fetch t.profile t.rng in
+  t.total_latency <- t.total_latency +. l;
+  t.request_count <- t.request_count + 1;
+  l
+
+let charge_trace t =
+  let l = Latency.trace_fetch t.profile t.rng in
+  t.total_latency <- t.total_latency +. l;
+  t.request_count <- t.request_count + 1;
+  l
+
+(** A response carries the simulated request latency in seconds. *)
+type 'a response = { value : 'a; latency : float }
+
+let eth_block_number t =
+  let latency = charge_receipt t in
+  { value = (Chain.all_blocks t.chain |> List.length); latency }
+
+let eth_get_transaction_receipt t hash =
+  let latency = charge_receipt t in
+  { value = Chain.receipt t.chain hash; latency }
+
+let eth_get_transaction_by_hash t hash =
+  let latency = charge_receipt t in
+  { value = Chain.transaction t.chain hash; latency }
+
+let eth_get_balance t addr =
+  let latency = charge_receipt t in
+  { value = Chain.native_balance t.chain addr; latency }
+
+(** [debug_trace_transaction] with [{"tracer": "callTracer"}]: the only
+    way to observe internal value transfers (Section 3.2 of the paper).
+    Significantly slower than receipt fetches under realistic
+    profiles. *)
+let debug_trace_transaction t hash =
+  let latency = charge_trace t in
+  { value = Chain.trace t.chain hash; latency }
+
+type log_filter = {
+  from_block : int option;
+  to_block : int option;
+  filter_addresses : Address.t list;  (** empty = any *)
+  filter_topic0 : string list;  (** empty = any *)
+}
+
+let default_filter =
+  { from_block = None; to_block = None; filter_addresses = []; filter_topic0 = [] }
+
+(** [eth_get_logs t filter] returns matching logs together with their
+    enclosing receipt context, oldest first. *)
+let eth_get_logs t (filter : log_filter) :
+    (Types.receipt * Types.log) list response =
+  let latency = charge_receipt t in
+  let in_block_range r =
+    (match filter.from_block with
+    | Some b -> r.Types.r_block_number >= b
+    | None -> true)
+    && match filter.to_block with
+       | Some b -> r.Types.r_block_number <= b
+       | None -> true
+  in
+  let matches_address l =
+    filter.filter_addresses = []
+    || List.exists (Address.equal l.Types.log_address) filter.filter_addresses
+  in
+  let matches_topic l =
+    filter.filter_topic0 = []
+    ||
+    match l.Types.topics with
+    | t0 :: _ -> List.mem t0 filter.filter_topic0
+    | [] -> false
+  in
+  let result =
+    Chain.all_receipts t.chain
+    |> List.concat_map (fun r ->
+           if r.Types.r_status = Types.Success && in_block_range r then
+             List.filter_map
+               (fun l ->
+                 if matches_address l && matches_topic l then Some (r, l)
+                 else None)
+               r.Types.r_logs
+           else [])
+  in
+  { value = result; latency }
+
+let total_latency t = t.total_latency
+let request_count t = t.request_count

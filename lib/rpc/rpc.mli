@@ -1,0 +1,51 @@
+(** JSON-RPC node facade over a simulated chain.
+
+    The access patterns the paper's pipeline uses against real nodes —
+    [eth_getLogs], [eth_getTransactionReceipt],
+    [eth_getTransactionByHash], [eth_getBalance],
+    [debug_traceTransaction] with the call tracer — with per-request
+    simulated wall-clock latency (see {!Latency}).  Latency is
+    simulated: requests return immediately along with the seconds a
+    real node would have taken. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+
+type t
+
+val create : ?profile:Latency.profile -> ?seed:int -> Chain.t -> t
+(** Defaults to {!Latency.colocated_profile}. *)
+
+type 'a response = { value : 'a; latency : float }
+(** Result plus the simulated request latency in seconds. *)
+
+val eth_block_number : t -> int response
+val eth_get_transaction_receipt : t -> Types.hash -> Types.receipt option response
+val eth_get_transaction_by_hash : t -> Types.hash -> Types.transaction option response
+val eth_get_balance : t -> Address.t -> U256.t response
+
+val debug_trace_transaction : t -> Types.hash -> Types.call_frame option response
+(** The call tracer: the only way to observe internal value transfers
+    (paper Section 3.2); significantly slower under realistic
+    profiles. *)
+
+type log_filter = {
+  from_block : int option;
+  to_block : int option;
+  filter_addresses : Address.t list;  (** empty = any *)
+  filter_topic0 : string list;  (** empty = any *)
+}
+
+val default_filter : log_filter
+
+val eth_get_logs :
+  t -> log_filter -> (Types.receipt * Types.log) list response
+(** Matching logs of successful transactions with their enclosing
+    receipt, oldest first. *)
+
+val total_latency : t -> float
+(** Accumulated simulated seconds across all requests. *)
+
+val request_count : t -> int

@@ -1,0 +1,104 @@
+(** 256-bit unsigned integers with EVM semantics.
+
+    Token amounts on EVM chains are [uint256]; this module implements
+    modular 2^256 arithmetic over four 64-bit limbs.  Values are
+    immutable.  Arithmetic wraps modulo 2^256 like the EVM; the [_exn]
+    variants raise instead, for callers enforcing conservation. *)
+
+type t
+
+exception Overflow
+exception Underflow
+
+val zero : t
+val one : t
+val max_int_u256 : t
+
+val make : int64 -> int64 -> int64 -> int64 -> t
+(** [make l0 l1 l2 l3] builds a value from little-endian limbs
+    (interpreted as unsigned). *)
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val compare : t -> t -> int
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+(** {1 Conversion} *)
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negatives. *)
+
+val of_int64 : int64 -> t
+val to_int : t -> int
+(** Raises {!Overflow} if the value exceeds [max_int]. *)
+
+val to_int_opt : t -> int option
+
+val of_float : float -> t
+(** Truncating; raises [Invalid_argument] on negatives or values at or
+    above 2^256. *)
+
+val to_float : t -> float
+(** Lossy for values above 2^53. *)
+
+val of_decimal_string : string -> t
+val to_decimal_string : t -> string
+
+val of_hex_string : string -> t
+(** Accepts an optional ["0x"] prefix and odd-length hex. *)
+
+val to_hex_string : t -> string
+(** 0x-prefixed, 64 hex digits. *)
+
+val of_string : string -> t
+(** Decimal, or hex when 0x-prefixed. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_bytes_be : string -> t
+(** Big-endian bytes, at most 32. *)
+
+val to_bytes_be : t -> string
+(** Exactly 32 big-endian bytes — the EVM word representation. *)
+
+val of_tokens : decimals:int -> int -> t
+(** [of_tokens ~decimals:18 5] is 5 ether in wei. *)
+
+val to_tokens : decimals:int -> t -> float
+(** Lossy float token amount. *)
+
+(** {1 Arithmetic (wrapping mod 2^256)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Raises [Division_by_zero]. *)
+
+val add_exn : t -> t -> t
+(** Raises {!Overflow} instead of wrapping. *)
+
+val sub_exn : t -> t -> t
+(** Raises {!Underflow} when the subtrahend is larger. *)
+
+val mul_exn : t -> t -> t
+(** Raises {!Overflow} if the mathematical product needs > 256 bits. *)
+
+(** {1 Bit operations} *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val logor : t -> t -> t
+val logand : t -> t -> t
+val bit : t -> int -> bool
+val set_bit : t -> int -> t
+val bit_length : t -> int

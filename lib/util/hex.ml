@@ -1,0 +1,48 @@
+(** Hexadecimal encoding and decoding of byte strings.
+
+    All encoders produce lowercase hex without a ["0x"] prefix unless the
+    [_0x] variant is used.  Decoders accept both cases and an optional
+    ["0x"] prefix. *)
+
+let hex_chars = "0123456789abcdef"
+
+let encode (s : string) : string =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set b (2 * i) hex_chars.[c lsr 4];
+    Bytes.set b ((2 * i) + 1) hex_chars.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string b
+
+let encode_0x s = "0x" ^ encode s
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Hex.decode: invalid character %C" c)
+
+let strip_0x s =
+  if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    String.sub s 2 (String.length s - 2)
+  else s
+
+let decode (s : string) : string =
+  let s = strip_0x s in
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd-length input";
+  let b = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    Bytes.set b i (Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  done;
+  Bytes.unsafe_to_string b
+
+let is_hex_string s =
+  let s = strip_0x s in
+  String.length s mod 2 = 0
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s

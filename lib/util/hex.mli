@@ -1,0 +1,20 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** Lowercase hex, no prefix. *)
+
+val encode_0x : string -> string
+(** Lowercase hex with a ["0x"] prefix. *)
+
+val decode : string -> string
+(** Accepts both cases and an optional ["0x"] prefix.  Raises
+    [Invalid_argument] on odd length or non-hex characters. *)
+
+val strip_0x : string -> string
+(** Remove a leading ["0x"]/["0X"] if present. *)
+
+val is_hex_string : string -> bool
+(** Even-length and all hex digits (after prefix stripping). *)
+
+val nibble : char -> int
+(** Value of one hex digit; raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,230 @@
+(** A minimal JSON value type and serializer.
+
+    Used to export the labeled cross-chain transaction dataset and
+    anomaly reports.  Only writing is needed by the pipeline; a small
+    parser is provided for tests and config round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (String k);
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+(* A small recursive-descent parser, sufficient for tests and configs. *)
+module Parser = struct
+  type state = { src : string; mutable pos : int }
+
+  let error st msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let advance st = st.pos <- st.pos + 1
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    match peek st with
+    | Some c' when c = c' -> advance st
+    | _ -> error st (Printf.sprintf "expected %C" c)
+
+  let parse_literal st lit value =
+    if
+      st.pos + String.length lit <= String.length st.src
+      && String.sub st.src st.pos (String.length lit) = lit
+    then begin
+      st.pos <- st.pos + String.length lit;
+      value
+    end
+    else error st (Printf.sprintf "expected %s" lit)
+
+  let parse_string_raw st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek st with
+      | None -> error st "unterminated string"
+      | Some '"' ->
+          advance st;
+          Buffer.contents buf
+      | Some '\\' -> (
+          advance st;
+          match peek st with
+          | Some 'n' -> advance st; Buffer.add_char buf '\n'; loop ()
+          | Some 't' -> advance st; Buffer.add_char buf '\t'; loop ()
+          | Some 'r' -> advance st; Buffer.add_char buf '\r'; loop ()
+          | Some '"' -> advance st; Buffer.add_char buf '"'; loop ()
+          | Some '\\' -> advance st; Buffer.add_char buf '\\'; loop ()
+          | Some '/' -> advance st; Buffer.add_char buf '/'; loop ()
+          | Some 'u' ->
+              advance st;
+              if st.pos + 4 > String.length st.src then error st "bad \\u escape";
+              let hex = String.sub st.src st.pos 4 in
+              st.pos <- st.pos + 4;
+              let code = int_of_string ("0x" ^ hex) in
+              (* Only BMP codepoints below 0x80 are emitted verbatim; others
+                 are encoded as UTF-8. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              loop ()
+          | _ -> error st "bad escape")
+      | Some c ->
+          advance st;
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ()
+
+  let parse_number st =
+    let start = st.pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek st with Some c -> is_num_char c | None -> false) do
+      advance st
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> error st "bad number")
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | Some 'n' -> parse_literal st "null" Null
+    | Some 't' -> parse_literal st "true" (Bool true)
+    | Some 'f' -> parse_literal st "false" (Bool false)
+    | Some '"' -> String (parse_string_raw st)
+    | Some '[' ->
+        advance st;
+        skip_ws st;
+        if peek st = Some ']' then begin
+          advance st;
+          List []
+        end
+        else begin
+          let items = ref [ parse_value st ] in
+          skip_ws st;
+          while peek st = Some ',' do
+            advance st;
+            items := parse_value st :: !items;
+            skip_ws st
+          done;
+          expect st ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance st;
+        skip_ws st;
+        if peek st = Some '}' then begin
+          advance st;
+          Obj []
+        end
+        else begin
+          let parse_pair () =
+            skip_ws st;
+            let k = parse_string_raw st in
+            skip_ws st;
+            expect st ':';
+            let v = parse_value st in
+            (k, v)
+          in
+          let items = ref [ parse_pair () ] in
+          skip_ws st;
+          while peek st = Some ',' do
+            advance st;
+            items := parse_pair () :: !items;
+            skip_ws st
+          done;
+          expect st '}';
+          Obj (List.rev !items)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number st
+    | _ -> error st "unexpected character"
+end
+
+let of_string s =
+  let st = { Parser.src = s; pos = 0 } in
+  let v = Parser.parse_value st in
+  Parser.skip_ws st;
+  if st.Parser.pos <> String.length s then
+    raise (Parse_error "trailing garbage");
+  v
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

@@ -1,0 +1,24 @@
+(** A minimal JSON value type, serializer, and parser.
+
+    Used for configuration files and the exported cctx dataset /
+    anomaly reports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact serialization with string escaping. *)
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key obj] looks up a field of an [Obj]; [None] otherwise. *)

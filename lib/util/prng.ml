@@ -1,0 +1,86 @@
+(** Deterministic pseudo-random number generation.
+
+    A small splitmix64 generator: reproducible across runs and platforms,
+    which the workload generators rely on to regenerate identical
+    scenarios.  Not cryptographically secure — used only for synthetic
+    data. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] is uniform in [\[0, bound)]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [range t lo hi] is uniform in [\[lo, hi)]. *)
+let range t lo hi =
+  if hi <= lo then invalid_arg "Prng.range: empty range";
+  lo + int t (hi - lo)
+
+(** Exponentially distributed value with the given [mean]. *)
+let exponential t ~mean =
+  let u = Stdlib.max 1e-12 (float t 1.0) in
+  -.mean *. log u
+
+(** Log-normal distributed value, parameterised by [mu] and [sigma] of the
+    underlying normal distribution. *)
+let log_normal t ~mu ~sigma =
+  (* Box-Muller. *)
+  let u1 = Stdlib.max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+(** Pareto-distributed value with scale [x_min] and shape [alpha]; heavy
+    tailed, used for token-amount distributions. *)
+let pareto t ~x_min ~alpha =
+  let u = Stdlib.max 1e-12 (float t 1.0) in
+  x_min /. (u ** (1.0 /. alpha))
+
+(** [bytes t n] is an [n]-byte random string. *)
+let bytes t n =
+  String.init n (fun _ -> Char.chr (int t 256))
+
+(** [pick t xs] selects a uniform element of the non-empty list [xs]. *)
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** [shuffle t xs] is a uniformly random permutation of [xs]. *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(** Derive an independent generator; changing the number of draws made
+    from the child does not perturb the parent stream. *)
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.logxor seed 0xD1B54A32D192ED03L }

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Reproducible across runs and platforms; the workload generators
+    rely on this to regenerate identical scenarios from a seed.  Not
+    cryptographically secure. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded with the given value. *)
+
+val copy : t -> t
+(** An independent generator with the same state. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; [bound] must be
+    positive. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+val log_normal : t -> mu:float -> sigma:float -> float
+val pareto : t -> x_min:float -> alpha:float -> float
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte random string. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform permutation. *)
+
+val split : t -> t
+(** Derive an independent child generator without perturbing the
+    parent's stream. *)

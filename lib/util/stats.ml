@@ -1,0 +1,137 @@
+(** Descriptive statistics used by the evaluation harness: summary
+    metrics (Table 2 of the paper), empirical CDFs (Figure 4),
+    histograms (Figure 8) and Pearson correlation (Section 5.2.4). *)
+
+type summary = {
+  size : int;
+  min : float;
+  max : float;
+  mean : float;
+  median : float;
+  std : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty input"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. n
+
+let std xs = sqrt (variance xs)
+
+let sorted xs = List.sort compare xs
+
+(** [percentile p xs] is the [p]-th percentile ([0 <= p <= 100]) using
+    linear interpolation between closest ranks. *)
+let percentile p xs =
+  match sorted xs with
+  | [] -> invalid_arg "Stats.percentile: empty input"
+  | [ x ] -> x
+  | s ->
+      let a = Array.of_list s in
+      let n = Array.length a in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then a.(lo)
+      else
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median xs = percentile 50.0 xs
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty input"
+  | _ ->
+      let s = sorted xs in
+      {
+        size = List.length xs;
+        min = List.hd s;
+        max = List.nth s (List.length s - 1);
+        mean = mean xs;
+        median = median xs;
+        std = std xs;
+      }
+
+(** [cdf xs points] evaluates the empirical CDF of [xs] at each of
+    [points], returning [(point, fraction <= point)] pairs. *)
+let cdf xs points =
+  let s = Array.of_list (sorted xs) in
+  let n = Array.length s in
+  let count_le x =
+    (* binary search for the last index <= x *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if s.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  List.map (fun p -> (p, float_of_int (count_le p) /. float_of_int n)) points
+
+(** [fraction_exceeding xs threshold] is the fraction of samples strictly
+    above [threshold] (e.g. "6.5% exceeded 10 seconds"). *)
+let fraction_exceeding xs threshold =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let above = List.length (List.filter (fun x -> x > threshold) xs) in
+      float_of_int above /. float_of_int (List.length xs)
+
+(** Pearson product-moment correlation coefficient. *)
+let pearson xs ys =
+  let n = List.length xs in
+  if n <> List.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n < 2 then invalid_arg "Stats.pearson: need at least two samples";
+  let mx = mean xs and my = mean ys in
+  let num =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+  in
+  let dx = sqrt (List.fold_left (fun a x -> a +. ((x -. mx) ** 2.)) 0.0 xs) in
+  let dy = sqrt (List.fold_left (fun a y -> a +. ((y -. my) ** 2.)) 0.0 ys) in
+  if dx = 0.0 || dy = 0.0 then 0.0 else num /. (dx *. dy)
+
+(** Histogram over logarithmically spaced buckets, as in Figure 8 of the
+    paper.  Returns [(bucket_upper_bound, count)] pairs covering
+    [\[lo_exp; hi_exp\]] decades. *)
+let log_histogram xs ~lo_exp ~hi_exp ~buckets_per_decade =
+  if hi_exp <= lo_exp then invalid_arg "Stats.log_histogram: bad range";
+  let total = (hi_exp - lo_exp) * buckets_per_decade in
+  let counts = Array.make total 0 in
+  List.iter
+    (fun x ->
+      if x > 0.0 then begin
+        let pos = (log10 x -. float_of_int lo_exp) *. float_of_int buckets_per_decade in
+        let idx = int_of_float (Float.floor pos) in
+        let idx = if idx < 0 then 0 else if idx >= total then total - 1 else idx in
+        counts.(idx) <- counts.(idx) + 1
+      end)
+    xs;
+  List.init total (fun i ->
+      let upper =
+        10.0 ** (float_of_int lo_exp +. (float_of_int (i + 1) /. float_of_int buckets_per_decade))
+      in
+      (upper, counts.(i)))
+
+(** Bucket timestamped observations into fixed-width windows (Figure 1
+    uses 6-hour windows).  Returns [(window_start, count)] in order. *)
+let time_buckets timestamps ~start ~stop ~width =
+  if width <= 0 then invalid_arg "Stats.time_buckets: width must be positive";
+  let n = ((stop - start) / width) + 1 in
+  let counts = Array.make n 0 in
+  List.iter
+    (fun ts ->
+      if ts >= start && ts <= stop then begin
+        let idx = (ts - start) / width in
+        counts.(idx) <- counts.(idx) + 1
+      end)
+    timestamps;
+  List.init n (fun i -> (start + (i * width), counts.(i)))

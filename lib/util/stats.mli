@@ -1,0 +1,55 @@
+(** Descriptive statistics used by the evaluation harness: summary
+    metrics (Table 2), empirical CDFs (Figure 4), histograms (Figure 8)
+    and Pearson correlation (Section 5.2.4 of the paper). *)
+
+type summary = {
+  size : int;
+  min : float;
+  max : float;
+  mean : float;
+  median : float;
+  std : float;
+}
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on empty input. *)
+
+val variance : float list -> float
+(** Population variance; zero for fewer than two samples. *)
+
+val std : float list -> float
+
+val percentile : float -> float list -> float
+(** Linear interpolation between closest ranks; raises
+    [Invalid_argument] on empty input. *)
+
+val median : float list -> float
+val summarize : float list -> summary
+
+val cdf : float list -> float list -> (float * float) list
+(** [cdf xs points] evaluates the empirical CDF of [xs] at each point,
+    returning [(point, fraction <= point)]. *)
+
+val fraction_exceeding : float list -> float -> float
+(** Fraction of samples strictly above the threshold. *)
+
+val pearson : float list -> float list -> float
+(** Pearson product-moment correlation; raises [Invalid_argument] on
+    mismatched lengths or fewer than two samples. *)
+
+val log_histogram :
+  float list ->
+  lo_exp:int ->
+  hi_exp:int ->
+  buckets_per_decade:int ->
+  (float * int) list
+(** Histogram over logarithmically spaced buckets covering
+    [10^lo_exp .. 10^hi_exp]; returns [(bucket_upper_bound, count)].
+    Non-positive samples are ignored; out-of-range samples clamp to
+    the edge buckets. *)
+
+val time_buckets :
+  int list -> start:int -> stop:int -> width:int -> (int * int) list
+(** Bucket timestamps into fixed-width windows (Figure 1 uses 6-hour
+    windows); returns [(window_start, count)] in order.  Timestamps
+    outside [\[start, stop\]] are dropped. *)

@@ -1,0 +1,277 @@
+(** A configurable benign-traffic scenario generator.
+
+    Unlike {!Nomad} and {!Ronin} — which are calibrated replicas of the
+    paper's two case studies, anomalies included — this generator
+    produces protocol-clean traffic on an arbitrary bridge
+    configuration.  It backs the detector's soundness property test
+    (benign traffic must produce zero anomalies, for any seed and
+    volume) and gives downstream users a starting point for modelling
+    their own bridge. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Prng = Xcw_util.Prng
+module Config = Xcw_core.Config
+open Scenario
+
+type spec = {
+  g_seed : int;
+  g_label : string;
+  g_acceptance : [ `Multisig | `Optimistic ];
+  g_escrow : Bridge.escrow_model;
+  g_beneficiary_repr : Events.beneficiary_repr;
+  g_source_finality : int;
+  g_target_finality : int;
+  g_n_users : int;
+  g_n_tokens : int;  (** capped by the default token list *)
+  g_erc20_deposits : int;
+  g_native_deposits : int;
+  g_withdrawals : int;  (** complete round-trips (deposit + withdrawal) *)
+  g_via_aggregator : int;  (** deposits routed through an aggregator *)
+  g_genesis : int;
+  g_duration : int;  (** seconds of simulated activity *)
+}
+
+let default_spec =
+  {
+    g_seed = 1;
+    g_label = "generic";
+    g_acceptance = `Multisig;
+    g_escrow = Bridge.Lock_unlock;
+    g_beneficiary_repr = Events.B_address;
+    g_source_finality = 78;
+    g_target_finality = 45;
+    g_n_users = 20;
+    g_n_tokens = 3;
+    g_erc20_deposits = 30;
+    g_native_deposits = 10;
+    g_withdrawals = 10;
+    g_via_aggregator = 5;
+    g_genesis = 1_700_000_000;
+    g_duration = 30 * 86_400;
+  }
+
+(** Build and run the scenario; the returned {!Scenario.built} has an
+    empty ground truth except for the benign counters. *)
+let build (spec : spec) : built =
+  let rng = Prng.create spec.g_seed in
+  let source_chain =
+    Chain.create ~chain_id:1 ~name:"source"
+      ~finality_seconds:spec.g_source_finality ~genesis_time:spec.g_genesis
+  in
+  let target_chain =
+    Chain.create ~chain_id:2 ~name:"target"
+      ~finality_seconds:spec.g_target_finality ~genesis_time:spec.g_genesis
+  in
+  let acceptance =
+    match spec.g_acceptance with
+    | `Multisig ->
+        Bridge.Multisig
+          {
+            threshold = 5;
+            validator_count = 9;
+            compromised_keys = 0;
+            enforce_source_finality = true;
+          }
+    | `Optimistic ->
+        Bridge.Optimistic
+          {
+            fraud_proof_window = max 1 spec.g_source_finality;
+            enforce_window = true;
+            proof_check_broken = false;
+          }
+  in
+  let bridge =
+    Bridge.create
+      {
+        Bridge.s_label = spec.g_label;
+        s_source_chain = source_chain;
+        s_target_chain = target_chain;
+        s_escrow = spec.g_escrow;
+        s_acceptance = acceptance;
+        s_beneficiary_repr = spec.g_beneficiary_repr;
+        s_buggy_unmapped_withdrawal = false;
+      }
+  in
+  let n_tokens = max 1 (min spec.g_n_tokens (List.length default_tokens)) in
+  let tokens =
+    List.filteri (fun i _ -> i < n_tokens) default_tokens
+    |> List.map (fun ts ->
+           {
+             rt_spec = ts;
+             rt_mapping =
+               Bridge.register_token_pair bridge ~name:ts.ts_name
+                 ~symbol:ts.ts_symbol ~decimals:ts.ts_decimals;
+           })
+  in
+  ignore (Bridge.register_native_mapping bridge);
+  let config = Config.of_bridge bridge in
+  let pricing = build_pricing bridge tokens in
+  let gt = new_ground_truth () in
+  let users =
+    make_users bridge rng ~label:spec.g_label ~count:(max 1 spec.g_n_users)
+      ~native_eth:100.0
+  in
+  let aggregator = Xcw_bridge.Aggregator.deploy bridge in
+  let t1 = spec.g_genesis in
+  let t2 = t1 + spec.g_duration in
+  let actions = ref [] in
+  let schedule at run = actions := { at; run } :: !actions in
+  let deposit_calls = ref [] and withdrawal_calls = ref [] in
+  let any_time () = Prng.range rng t1 t2 in
+  let relay_delay () = spec.g_source_finality + Prng.int rng 60 in
+  let mint_for_burn_model user rt amount =
+    (* Under burn-mint the bridge owns the source token; users acquire
+       it via the operator's admin mint path on S... which is the
+       owner = bridge; mint through a completed withdrawal would be
+       circular, so fund via the bridge operator relaying an admin
+       mint on T and withdrawing is overkill for benign traffic.
+       Instead, lock-model semantics: mint directly when the operator
+       owns the token, and via a bridge-side grant otherwise. *)
+    match spec.g_escrow with
+    | Bridge.Lock_unlock -> mint_src bridge rt user amount
+    | Bridge.Burn_mint ->
+        (* The bridge owns the token: route the mint through an
+           admin-style completion with a unique id well out of the
+           way, then treat it as pre-existing supply.  Simplest
+           faithful option: operator mints on T and the user bridges
+           back — for benign generic traffic we instead mint directly
+           through the contract owner, the bridge address itself, by
+           registering the operator as the tx sender is not possible;
+           so fall back to chain-level storage seeding. *)
+        let key = Xcw_chain.Erc20.balance_key user in
+        let prev = Chain.sload source_chain rt.rt_mapping.Bridge.m_src_token key in
+        Chain.sstore source_chain rt.rt_mapping.Bridge.m_src_token key
+          (U256.add prev amount);
+        let skey = Xcw_chain.Erc20.supply_key in
+        let supply = Chain.sload source_chain rt.rt_mapping.Bridge.m_src_token skey in
+        Chain.sstore source_chain rt.rt_mapping.Bridge.m_src_token skey
+          (U256.add supply amount)
+  in
+  (* Plain ERC-20 deposits. *)
+  for _ = 1 to spec.g_erc20_deposits do
+    let ts = any_time () in
+    let user = pick_user rng users in
+    let rt = pick_token rng tokens in
+    let amount = token_units rt.rt_spec (draw_usd rng) in
+    let cell = ref None in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        mint_for_burn_model user rt amount;
+        deposit_calls := ts :: !deposit_calls;
+        let d =
+          Bridge.deposit_erc20 bridge ~user
+            ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount ~beneficiary:user
+        in
+        cell := Some d;
+        gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1);
+    let delay = relay_delay () in
+    schedule (ts + delay) (fun () ->
+        match !cell with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+        | _ -> ())
+  done;
+  (* Native deposits. *)
+  for _ = 1 to spec.g_native_deposits do
+    let ts = any_time () in
+    let user = pick_user rng users in
+    let amount = eth_to_wei (0.1 +. Prng.float rng 10.0) in
+    let cell = ref None in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        Chain.fund source_chain user amount;
+        deposit_calls := ts :: !deposit_calls;
+        let d = Bridge.deposit_native bridge ~user ~amount ~beneficiary:user in
+        cell := Some d;
+        gt.gt_native_deposits <- gt.gt_native_deposits + 1);
+    let delay = relay_delay () in
+    schedule (ts + delay) (fun () ->
+        match !cell with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+        | _ -> ())
+  done;
+  (* Aggregator-routed deposits. *)
+  for _ = 1 to spec.g_via_aggregator do
+    let ts = any_time () in
+    let user = pick_user rng users in
+    let rt = pick_token rng tokens in
+    let amount = token_units rt.rt_spec (draw_usd rng) in
+    let cell = ref None in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        mint_for_burn_model user rt amount;
+        deposit_calls := ts :: !deposit_calls;
+        let r =
+          Xcw_bridge.Aggregator.deposit_erc20 bridge ~aggregator
+            ~user ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount
+            ~beneficiary:user
+        in
+        cell := Bridge.observe_deposit bridge r;
+        gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1);
+    let delay = relay_delay () in
+    schedule (ts + delay) (fun () ->
+        match !cell with
+        | Some d -> ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+        | None -> ())
+  done;
+  (* Deposit + withdrawal round-trips. *)
+  for _ = 1 to spec.g_withdrawals do
+    let td = Prng.range rng t1 (t1 + (spec.g_duration / 2)) in
+    let user = pick_user rng users in
+    let rt = pick_token rng tokens in
+    let amount = token_units rt.rt_spec (draw_usd rng) in
+    let dep = ref None and wdr = ref None in
+    schedule td (fun () ->
+        advance_to source_chain td;
+        mint_for_burn_model user rt amount;
+        deposit_calls := td :: !deposit_calls;
+        let d =
+          Bridge.deposit_erc20 bridge ~user
+            ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount ~beneficiary:user
+        in
+        dep := Some d;
+        gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1);
+    let rdelay = relay_delay () in
+    schedule (td + rdelay) (fun () ->
+        match !dep with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore (Bridge.complete_deposit bridge ~override_delay:rdelay ~deposit:d)
+        | _ -> ());
+    let tw = td + rdelay + 3600 + Prng.int rng 86_400 in
+    schedule tw (fun () ->
+        advance_to target_chain tw;
+        withdrawal_calls := tw :: !withdrawal_calls;
+        let w =
+          Bridge.request_withdrawal bridge ~user
+            ~dst_token:rt.rt_mapping.Bridge.m_dst_token ~amount ~beneficiary:user
+        in
+        wdr := Some w);
+    let edelay = spec.g_target_finality + 600 + Prng.int rng 7200 in
+    schedule (tw + edelay) (fun () ->
+        match !wdr with
+        | Some w when w.Bridge.w_withdrawal_id <> None ->
+            let r = Bridge.execute_withdrawal ~delay:edelay bridge ~withdrawal:w in
+            if r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success then
+              gt.gt_erc20_withdrawals <- gt.gt_erc20_withdrawals + 1
+        | _ -> ())
+  done;
+  run_schedule (List.rev !actions);
+  {
+    bridge;
+    config;
+    pricing;
+    tokens;
+    window = (t1, t2);
+    attack_time = t2;
+    discovery_time = t2;
+    ground_truth = gt;
+    first_window_withdrawal_id = None;
+    incomplete_withdrawals = [];
+    deposit_call_times = !deposit_calls;
+    withdrawal_call_times = !withdrawal_calls;
+  }

@@ -1,0 +1,34 @@
+(** A configurable benign-traffic scenario generator: protocol-clean
+    traffic on an arbitrary bridge configuration.  Backs the detector's
+    soundness property tests (benign traffic must produce zero
+    anomalies for any seed/volume/model) and serves as a template for
+    modelling new bridges. *)
+
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+
+type spec = {
+  g_seed : int;
+  g_label : string;
+  g_acceptance : [ `Multisig | `Optimistic ];
+  g_escrow : Bridge.escrow_model;
+  g_beneficiary_repr : Events.beneficiary_repr;
+  g_source_finality : int;
+  g_target_finality : int;
+  g_n_users : int;
+  g_n_tokens : int;  (** capped by {!Scenario.default_tokens} *)
+  g_erc20_deposits : int;
+  g_native_deposits : int;
+  g_withdrawals : int;  (** complete deposit + withdrawal round-trips *)
+  g_via_aggregator : int;  (** deposits routed through an aggregator *)
+  g_genesis : int;
+  g_duration : int;  (** seconds of simulated activity *)
+}
+
+val default_spec : spec
+(** Multisig lock-unlock bridge, 30 ERC-20 + 10 native deposits, 10
+    round-trips, 5 aggregator deposits over 30 days. *)
+
+val build : spec -> Scenario.built
+(** The returned ground truth carries only benign counters; no
+    anomalies are injected. *)

@@ -1,0 +1,778 @@
+(** The Nomad bridge scenario (Ethereum <-> Moonbeam), calibrated to the
+    paper's evaluation:
+
+    - optimistic acceptance with a 30-minute fraud-proof window,
+      bytes32 beneficiary fields, lock-mint escrow;
+    - benign traffic sized by [scale] x the paper's captured-record
+      counts (Table 3): 7,187 native + 4,223 ERC-20 deposits, 464
+      native + 4,846 ERC-20 withdrawal requests;
+    - every documented anomaly class injected with the paper's EXACT
+      counts: 14 phishing + 25 direct transfers (~$93.86K), 3
+      unparseable beneficiaries, 7 failed exploit attempts, 5
+      fraud-proof-window violations (fastest 87 s), 1 right-padded
+      deposit (10 DAI), 7 fake-mapping deposits on Moonbeam and 2
+      fake-mapping withdrawals, 729·scale incomplete withdrawals, and
+      the August 2, 2022 attack: 382 forged-withdrawal events from 279
+      bulk-deployed contracts traced to 45 deployer EOAs. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Abi = Xcw_abi.Abi
+module Prng = Xcw_util.Prng
+module Config = Xcw_core.Config
+open Scenario
+
+let fraud_proof_window = 1800
+
+(* Paper-calibrated counts (Table 3, Nomad column). *)
+let paper = object
+  method native_deposits = 7187
+  method erc20_deposits = 4223
+  method native_withdrawals = 464
+  method erc20_withdrawals = 4846
+  method incomplete_native_withdrawals = 238
+  method incomplete_erc20_withdrawals = 491
+  method spike_withdrawals = 313 (* in the 24h before the attack *)
+  method post_attack_withdrawals = 188
+end
+
+let build ?(seed = 42) ?(scale = 0.05) () : built =
+  let rng = Prng.create seed in
+  let tf = Timeframes.nomad in
+  let window = (tf.Timeframes.t1, tf.Timeframes.t2) in
+  let attack = tf.Timeframes.attack in
+  let source_chain =
+    (* cctx_finality on the Ethereum side of Nomad is the fraud-proof
+       window itself (paper Section 4.2.3). *)
+    Chain.create ~chain_id:1 ~name:"ethereum" ~finality_seconds:fraud_proof_window
+      ~genesis_time:tf.Timeframes.t1
+  in
+  let target_chain =
+    Chain.create ~chain_id:1284 ~name:"moonbeam"
+      ~finality_seconds:fraud_proof_window ~genesis_time:tf.Timeframes.t1
+  in
+  let bridge =
+    Bridge.create
+      {
+        Bridge.s_label = "nomad";
+        s_source_chain = source_chain;
+        s_target_chain = target_chain;
+        s_escrow = Bridge.Lock_unlock;
+        s_acceptance =
+          Bridge.Optimistic
+            {
+              fraud_proof_window;
+              (* The contract-side enforcement bug behind Finding 4. *)
+              enforce_window = false;
+              proof_check_broken = false;
+            };
+        s_beneficiary_repr = Events.B_bytes32;
+        s_buggy_unmapped_withdrawal = false;
+      }
+  in
+  let tokens =
+    List.map
+      (fun spec ->
+        {
+          rt_spec = spec;
+          rt_mapping =
+            Bridge.register_token_pair bridge ~name:spec.ts_name
+              ~symbol:spec.ts_symbol ~decimals:spec.ts_decimals;
+        })
+      default_tokens
+  in
+  ignore (Bridge.register_native_mapping bridge);
+  (* GLMR on Moonbeam <-> WGLMR on Ethereum: enables native withdrawals. *)
+  let glmr_mapping =
+    Bridge.register_target_native_mapping
+      ~liquidity:(U256.of_tokens ~decimals:18 500_000_000)
+      bridge ~name:"Wrapped GLMR" ~symbol:"WGLMR"
+  in
+  (* Snapshot the verified configuration BEFORE any fake mappings are
+     registered: XChainWatcher's token_mapping facts contain only the
+     legitimate pairs. *)
+  let config = Config.of_bridge bridge in
+  let pricing = build_pricing bridge tokens in
+  Xcw_core.Pricing.register pricing
+    ~chain_id:source_chain.Chain.chain_id
+    ~token:(Address.to_hex glmr_mapping.Bridge.m_src_token)
+    ~usd_per_token:2.5 ~decimals:18;
+  (* Bridge deposits accumulated before our collection window back the
+     escrow the August attack drained (~$159M); model them as operator
+     liquidity seeding, sized so the simulated theft matches the
+     paper's total. *)
+  List.iter
+    (fun rt ->
+      let big = token_units rt.rt_spec 26_800_000.0 in
+      ignore
+        (Chain.submit_tx source_chain ~from_:bridge.Bridge.source.Bridge.operator
+           ~to_:rt.rt_mapping.Bridge.m_src_token
+           ~input:
+             (Erc20.mint_calldata ~to_:bridge.Bridge.source.Bridge.bridge_addr
+                ~amount:big)
+           ()))
+    tokens;
+  let gt = new_ground_truth () in
+  let users = make_users bridge rng ~label:"nomad" ~count:400 ~native_eth:50.0 in
+  let t1, _t2 = window in
+  let actions = ref [] in
+  let schedule at run = actions := { at; run } :: !actions in
+  let incomplete = ref [] in
+  let deposit_calls = ref [] and withdrawal_calls = ref [] in
+
+  (* ---------------- benign deposits --------------------------------- *)
+  let relay_jitter () =
+    min 600 (int_of_float (Prng.exponential rng ~mean:120.0))
+  in
+  let deposit_time () = Prng.range rng t1 attack in
+  let schedule_erc20_deposit ?(padding = `Left) ~ts ?(relay_delay = -1) ?beneficiary
+      () =
+    let user = pick_user rng users in
+    let beneficiary = Option.value beneficiary ~default:user in
+    let rt = pick_token rng tokens in
+    let amount = token_units rt.rt_spec (draw_usd rng) in
+    let cell = ref None in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        mint_src bridge rt user amount;
+        deposit_calls := ts :: !deposit_calls;
+        let d =
+          Bridge.deposit_erc20 ~beneficiary_padding:padding bridge ~user
+            ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount ~beneficiary
+        in
+        cell := Some d;
+        gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1);
+    let delay =
+      if relay_delay >= 0 then relay_delay
+      else fraud_proof_window + relay_jitter ()
+    in
+    schedule (ts + delay) (fun () ->
+        match !cell with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+        | _ -> ());
+    (cell, rt, amount, delay)
+  in
+  let schedule_native_deposit ~ts =
+    let user = pick_user rng users in
+    let usd = Float.min (draw_usd rng) 500_000.0 in
+    let amount = eth_to_wei (usd /. 2500.0) in
+    let cell = ref None in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        Chain.fund source_chain user amount;
+        deposit_calls := ts :: !deposit_calls;
+        let d = Bridge.deposit_native bridge ~user ~amount ~beneficiary:user in
+        cell := Some d;
+        gt.gt_native_deposits <- gt.gt_native_deposits + 1);
+    let delay = fraud_proof_window + relay_jitter () in
+    schedule (ts + delay) (fun () ->
+        match !cell with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+        | _ -> ())
+  in
+  let n_native_dep = scaled scale paper#native_deposits in
+  let n_erc20_dep = scaled scale paper#erc20_deposits in
+  for _ = 1 to n_native_dep do
+    schedule_native_deposit ~ts:(deposit_time ())
+  done;
+  (* ERC-20 withdrawals need prior deposits; reserve that many deposit
+     slots to feed them. *)
+  let n_erc20_wdr = scaled scale paper#erc20_withdrawals in
+  let n_incomplete_erc20 = scaled scale paper#incomplete_erc20_withdrawals in
+  let n_pure_erc20_dep = max 0 (n_erc20_dep - n_erc20_wdr) in
+  for _ = 1 to n_pure_erc20_dep do
+    ignore (schedule_erc20_deposit ~ts:(deposit_time ()) ())
+  done;
+
+  (* ---------------- withdrawals ------------------------------------- *)
+  (* A withdrawal flow: deposit at td, request on T at tw, optionally
+     execute on S at tx.  The user must pay Ethereum gas to execute —
+     incomplete withdrawals model users who never do (Finding 7). *)
+  let user_procrastination () =
+    int_of_float (Prng.log_normal rng ~mu:(log 7200.0) ~sigma:1.6)
+  in
+  let schedule_erc20_withdrawal ?(complete = true) ?(beneficiary_padding = `Left)
+      ?(ts = 0) ?usd () =
+    let user = pick_user rng users in
+    let rt = pick_token rng tokens in
+    let usd = match usd with Some u -> u | None -> draw_usd rng in
+    let amount = token_units rt.rt_spec usd in
+    let td = if ts > 0 then max t1 (ts - 2 * fraud_proof_window - 3600) else deposit_time () in
+    let tw = if ts > 0 then ts else td + fraud_proof_window + 3600 + Prng.int rng 86_400 in
+    let dep_cell = ref None in
+    schedule td (fun () ->
+        advance_to source_chain td;
+        mint_src bridge rt user amount;
+        deposit_calls := td :: !deposit_calls;
+        let d =
+          Bridge.deposit_erc20 bridge ~user
+            ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount ~beneficiary:user
+        in
+        dep_cell := Some d;
+        gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1);
+    let relay_delay = fraud_proof_window + relay_jitter () in
+    schedule (td + relay_delay) (fun () ->
+        match !dep_cell with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore
+              (Bridge.complete_deposit bridge ~override_delay:relay_delay ~deposit:d)
+        | _ -> ());
+    (* Completed withdrawals return funds to the requesting user;
+       incomplete ones target FRESH beneficiary addresses — most have
+       little or no ETH on Ethereum to pay execution gas (Finding 7),
+       with balances following the Table 5 / Figure 8 distribution. *)
+    let beneficiary, balance_eth =
+      if complete then (user, 50.0)
+      else begin
+        let b =
+          Address.of_seed
+            (Printf.sprintf "nomad:stuck-ben:%d" (Prng.int rng 1_000_000_000))
+        in
+        let bal =
+          let r = Prng.float rng 1.0 in
+          if r < 0.166 then 0.0
+          else if r < 0.316 then Prng.float rng 0.0011
+          else if r < 0.97 then Prng.log_normal rng ~mu:(log 0.05) ~sigma:2.0
+          else Prng.float rng 200.0
+        in
+        (b, bal)
+      end
+    in
+    let wdr_cell = ref None in
+    schedule tw (fun () ->
+        advance_to target_chain tw;
+        withdrawal_calls := tw :: !withdrawal_calls;
+        let w =
+          Bridge.request_withdrawal ~beneficiary_padding bridge ~user
+            ~dst_token:rt.rt_mapping.Bridge.m_dst_token ~amount ~beneficiary
+        in
+        wdr_cell := Some w);
+    if complete then begin
+      let exec_delay = fraud_proof_window + user_procrastination () in
+      schedule (tw + exec_delay) (fun () ->
+          match !wdr_cell with
+          | Some w when w.Bridge.w_withdrawal_id <> None ->
+              let r = Bridge.execute_withdrawal ~delay:exec_delay bridge ~withdrawal:w in
+              if r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success then
+                gt.gt_erc20_withdrawals <- gt.gt_erc20_withdrawals + 1
+              else begin
+                (* Escrow drained by the attack before this user got
+                   around to executing: the withdrawal never completes. *)
+                incomplete :=
+                  {
+                    iw_beneficiary = user;
+                    iw_ts = tw;
+                    iw_usd = usd;
+                    iw_balance_eth =
+                      U256.to_tokens ~decimals:18
+                        (Chain.native_balance source_chain user);
+                    iw_before_attack = tw < attack;
+                  }
+                  :: !incomplete;
+                gt.gt_incomplete_erc20_withdrawals <-
+                  gt.gt_incomplete_erc20_withdrawals + 1
+              end
+          | _ -> ())
+    end
+    else
+      schedule (tw + 1) (fun () ->
+          match !wdr_cell with
+          | Some w when w.Bridge.w_withdrawal_id <> None ->
+              if balance_eth > 0.0 then
+                Chain.fund source_chain beneficiary (eth_to_wei balance_eth);
+              incomplete :=
+                {
+                  iw_beneficiary = beneficiary;
+                  iw_ts = tw;
+                  iw_usd = usd;
+                  iw_balance_eth = balance_eth;
+                  iw_before_attack = tw < attack;
+                }
+                :: !incomplete;
+              gt.gt_incomplete_erc20_withdrawals <-
+                gt.gt_incomplete_erc20_withdrawals + 1
+          | _ -> ())
+  in
+  let schedule_native_withdrawal ?(complete = true) () =
+    let user = pick_user rng users in
+    let usd = Float.min (draw_usd rng) 100_000.0 in
+    let amount = eth_to_wei (usd /. 2.5) in
+    let tw = Prng.range rng t1 attack in
+    let beneficiary, balance_eth =
+      if complete then (user, 50.0)
+      else begin
+        let b =
+          Address.of_seed
+            (Printf.sprintf "nomad:stuck-native-ben:%d" (Prng.int rng 1_000_000_000))
+        in
+        let bal =
+          let r = Prng.float rng 1.0 in
+          if r < 0.166 then 0.0
+          else if r < 0.316 then Prng.float rng 0.0011
+          else Prng.log_normal rng ~mu:(log 0.05) ~sigma:2.0
+        in
+        (b, bal)
+      end
+    in
+    let cell = ref None in
+    schedule tw (fun () ->
+        advance_to target_chain tw;
+        Chain.fund target_chain user amount;
+        withdrawal_calls := tw :: !withdrawal_calls;
+        let w = Bridge.request_withdrawal_native bridge ~user ~amount ~beneficiary in
+        cell := Some w;
+        gt.gt_native_withdrawals <- gt.gt_native_withdrawals + 1);
+    if complete then begin
+      let exec_delay = fraud_proof_window + user_procrastination () in
+      schedule (tw + exec_delay) (fun () ->
+          match !cell with
+          | Some w when w.Bridge.w_withdrawal_id <> None ->
+              ignore (Bridge.execute_withdrawal ~delay:exec_delay bridge ~withdrawal:w)
+          | _ -> ())
+    end
+    else
+      schedule (tw + 1) (fun () ->
+          match !cell with
+          | Some w when w.Bridge.w_withdrawal_id <> None ->
+              if balance_eth > 0.0 then
+                Chain.fund source_chain beneficiary (eth_to_wei balance_eth);
+              incomplete :=
+                {
+                  iw_beneficiary = beneficiary;
+                  iw_ts = tw;
+                  iw_usd = usd;
+                  iw_balance_eth = balance_eth;
+                  iw_before_attack = tw < attack;
+                }
+                :: !incomplete;
+              gt.gt_incomplete_native_withdrawals <-
+                gt.gt_incomplete_native_withdrawals + 1
+          | _ -> ())
+  in
+  let n_native_wdr = scaled scale paper#native_withdrawals in
+  let n_incomplete_native = scaled scale paper#incomplete_native_withdrawals in
+  for _ = 1 to max 0 (n_native_wdr - n_incomplete_native) do
+    schedule_native_withdrawal ~complete:true ()
+  done;
+  for _ = 1 to n_incomplete_native do
+    schedule_native_withdrawal ~complete:false ()
+  done;
+  (* Complete ERC-20 withdrawals (minus the special ones injected
+     below). *)
+  for _ = 1 to max 0 (n_erc20_wdr - n_incomplete_erc20 - 3) do
+    schedule_erc20_withdrawal ~complete:true ()
+  done;
+  (* Incomplete withdrawals: a baseline throughout the window plus the
+     pre-attack spike (313 events moving $24.7M in 24 hours) and the
+     post-attack tail. *)
+  let n_spike = scaled scale paper#spike_withdrawals in
+  let n_post = scaled scale paper#post_attack_withdrawals in
+  let n_baseline = max 0 (n_incomplete_erc20 - n_spike - n_post) in
+  for _ = 1 to n_baseline do
+    schedule_erc20_withdrawal ~complete:false ~ts:(Prng.range rng (t1 + 86400) (attack - 86_400)) ()
+  done;
+  for _ = 1 to n_spike do
+    schedule_erc20_withdrawal ~complete:false
+      ~ts:(Prng.range rng (attack - 86_400) attack)
+      ~usd:(Prng.pareto rng ~x_min:20_000.0 ~alpha:1.3)
+      ()
+  done;
+  for _ = 1 to n_post do
+    schedule_erc20_withdrawal ~complete:false
+      ~ts:(Prng.range rng (attack + 3600) (attack + (14 * 86_400)))
+      ()
+  done;
+
+  (* ---------------- injected anomalies (exact counts) --------------- *)
+  (* 14 phishing-token transfers to the bridge (Finding 1). *)
+  for k = 1 to 14 do
+    let ts = deposit_time () in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        let attacker = Address.of_seed (Printf.sprintf "nomad:phisher:%d" k) in
+        Chain.fund source_chain attacker (eth_to_wei 1.0);
+        let fake =
+          Erc20.deploy source_chain ~from_:attacker ~name:"USD Coin"
+            ~symbol:"USDC" ~decimals:6 ~owner:attacker
+        in
+        ignore
+          (Chain.submit_tx source_chain ~from_:attacker ~to_:fake
+             ~input:(Erc20.mint_calldata ~to_:attacker ~amount:(U256.of_int 1_000_000_000))
+             ());
+        ignore
+          (Bridge.direct_token_transfer_to_bridge bridge ~user:attacker
+             ~src_token:fake ~amount:(U256.of_int 999_000_000));
+        gt.gt_phishing_transfers <- gt.gt_phishing_transfers + 1)
+  done;
+  (* 25 direct transfers of reputable tokens, ~$93.86K total (Finding 2). *)
+  for _ = 1 to 25 do
+    let ts = deposit_time () in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        let user = pick_user rng users in
+        let rt = pick_token rng tokens in
+        let usd = 93_860.0 /. 25.0 *. (0.5 +. Prng.float rng 1.0) in
+        let amount = token_units rt.rt_spec usd in
+        mint_src bridge rt user amount;
+        ignore
+          (Bridge.direct_token_transfer_to_bridge bridge ~user
+             ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount);
+        gt.gt_direct_transfers <- gt.gt_direct_transfers + 1;
+        gt.gt_direct_transfer_usd <- gt.gt_direct_transfer_usd +. usd)
+  done;
+  (* 2 phishing transfers OUT of the bridge (Section 5.1.4): fake
+     tokens fabricate Transfer events with the bridge as sender. *)
+  for k = 1 to 2 do
+    let ts = deposit_time () in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        let attacker =
+          Address.of_seed (Printf.sprintf "nomad:outbound-phisher:%d" k)
+        in
+        Chain.fund source_chain attacker (eth_to_wei 1.0);
+        let bridge_addr = bridge.Bridge.source.Bridge.bridge_addr in
+        let fake_emitter =
+          Chain.deploy source_chain ~from_:attacker
+            ~label:(Printf.sprintf "fake-transfer-emitter-%d" k) (fun env ->
+              env.Chain.emit Erc20.transfer_event
+                [
+                  Abi.Value.Address bridge_addr;
+                  Abi.Value.Address attacker;
+                  Abi.Value.Uint (U256.of_tokens ~decimals:18 250_000);
+                ])
+        in
+        ignore
+          (Chain.submit_tx source_chain ~from_:attacker ~to_:fake_emitter
+             ~input:"x" ());
+        gt.gt_transfer_from_bridge <- gt.gt_transfer_from_bridge + 1)
+  done;
+  (* A salami-slicing pattern (Section 6 future work): one sender
+     splits ~$27K of DAI into 30 sub-$1K deposits.  Every deposit is a
+     VALID cctx — only the aggregate scan (Analysis.salami_candidates)
+     reveals the pattern. *)
+  (let slicer = Address.of_seed "nomad:salami-slicer" in
+   Chain.fund source_chain slicer (eth_to_wei 10.0);
+   Chain.fund target_chain slicer (eth_to_wei 10.0);
+   let dai = List.nth tokens 2 in
+   let base = Prng.range rng (t1 + (10 * 86_400)) (attack - (30 * 86_400)) in
+   for k = 1 to 30 do
+     let ts = base + (k * 3600) in
+     let amount = token_units dai.rt_spec (850.0 +. Prng.float rng 100.0) in
+     let cell = ref None in
+     schedule ts (fun () ->
+         advance_to source_chain ts;
+         mint_src bridge dai slicer amount;
+         deposit_calls := ts :: !deposit_calls;
+         let d =
+           Bridge.deposit_erc20 bridge ~user:slicer
+             ~src_token:dai.rt_mapping.Bridge.m_src_token ~amount
+             ~beneficiary:slicer
+         in
+         cell := Some d;
+         gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1);
+     let delay = fraud_proof_window + relay_jitter () in
+     schedule (ts + delay) (fun () ->
+         match !cell with
+         | Some d when d.Bridge.d_deposit_id <> None ->
+             ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+         | _ -> ())
+   done);
+  (* 5 fraud-proof-window violations; the fastest relay took 87 s
+     (Figure 6). *)
+  List.iteri
+    (fun k delay ->
+      let ts = Prng.range rng (t1 + 86_400) (attack - 86_400) in
+      ignore (schedule_erc20_deposit ~ts ~relay_delay:delay ());
+      ignore k;
+      gt.gt_deposit_finality_violations <- gt.gt_deposit_finality_violations + 1)
+    [ 87; 132; 418; 760; 1495 ];
+  (* 1 right-padded deposit beneficiary: 10 DAI (Section 5.2.2). *)
+  (let ts = Prng.range rng (t1 + 86_400) (attack - 86_400) in
+   let user = pick_user rng users in
+   let dai = List.nth tokens 2 in
+   let amount = token_units dai.rt_spec 10.0 in
+   let cell = ref None in
+   schedule ts (fun () ->
+       advance_to source_chain ts;
+       mint_src bridge dai user amount;
+       deposit_calls := ts :: !deposit_calls;
+       let d =
+         Bridge.deposit_erc20 ~beneficiary_padding:`Right bridge ~user
+           ~src_token:dai.rt_mapping.Bridge.m_src_token ~amount ~beneficiary:user
+       in
+       cell := Some d;
+       gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1;
+       gt.gt_invalid_beneficiary_deposits <- gt.gt_invalid_beneficiary_deposits + 1);
+   let delay = fraud_proof_window + relay_jitter () in
+   schedule (ts + delay) (fun () ->
+       match !cell with
+       | Some d when d.Bridge.d_deposit_id <> None ->
+           ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+       | _ -> ()));
+  (* 3 unparseable 32-byte beneficiaries in withdrawal requests; the
+     bridge extracted the low 20 bytes and paid an address nobody
+     controls (Sections 5.1.3 and 5.2.2). *)
+  for k = 1 to 3 do
+    let rt = pick_token rng tokens in
+    let usd = draw_usd rng in
+    let amount = token_units rt.rt_spec usd in
+    let user = pick_user rng users in
+    let td = Prng.range rng (t1 + 86_400) (attack - (10 * 86_400)) in
+    let tw = td + fraud_proof_window + 7200 in
+    let dep_cell = ref None and wdr_cell = ref None in
+    schedule td (fun () ->
+        advance_to source_chain td;
+        mint_src bridge rt user amount;
+        deposit_calls := td :: !deposit_calls;
+        let d =
+          Bridge.deposit_erc20 bridge ~user
+            ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount ~beneficiary:user
+        in
+        dep_cell := Some d;
+        gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1);
+    let relay_delay = fraud_proof_window + relay_jitter () in
+    schedule (td + relay_delay) (fun () ->
+        match !dep_cell with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore (Bridge.complete_deposit bridge ~override_delay:relay_delay ~deposit:d)
+        | _ -> ());
+    schedule tw (fun () ->
+        advance_to target_chain tw;
+        withdrawal_calls := tw :: !withdrawal_calls;
+        let w =
+          Bridge.request_withdrawal
+            ~beneficiary_padding:(`Garbage (Printf.sprintf "nomad:%d" k))
+            bridge ~user ~dst_token:rt.rt_mapping.Bridge.m_dst_token ~amount
+            ~beneficiary:user
+        in
+        wdr_cell := Some w;
+        gt.gt_unparseable_beneficiaries <- gt.gt_unparseable_beneficiaries + 1);
+    let exec_delay = fraud_proof_window + 3600 in
+    schedule (tw + exec_delay) (fun () ->
+        match !wdr_cell with
+        | Some w when w.Bridge.w_withdrawal_id <> None ->
+            ignore (Bridge.execute_withdrawal ~delay:exec_delay bridge ~withdrawal:w)
+        | _ -> ())
+  done;
+  (* 7 failed exploit attempts from a single address: withdrawal
+     requests naming fake or unmapped tokens, all reverting
+     (Section 5.1.3). *)
+  (let exploiter = Address.of_seed "nomad:exploiter" in
+   Chain.fund target_chain exploiter (eth_to_wei 5.0);
+   let base = Prng.range rng (t1 + (30 * 86_400)) (attack - (30 * 86_400)) in
+   for k = 1 to 7 do
+     let ts = base + (k * 600) in
+     schedule ts (fun () ->
+         advance_to target_chain ts;
+         (* Deploy a fresh fake token (e.g. "Wrapped ETH") and try to
+            withdraw real funds through it. *)
+         let fake =
+           Erc20.deploy target_chain ~from_:exploiter ~name:"Wrapped ETH"
+             ~symbol:"WETH" ~decimals:18 ~owner:exploiter
+         in
+         let input =
+           Bridge.sel_request_withdrawal
+           ^ Abi.encode
+               [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.bytes32 ]
+               [
+                 Abi.Value.Address fake;
+                 Abi.Value.Uint (U256.of_tokens ~decimals:18 100);
+                 Abi.Value.Fixed_bytes
+                   (String.make 12 '\000' ^ Address.to_bytes exploiter);
+               ]
+         in
+         let r =
+           Chain.submit_tx target_chain ~from_:exploiter
+             ~to_:bridge.Bridge.target.Bridge.bridge_addr ~input ()
+         in
+         assert (r.Xcw_evm.Types.r_status = Xcw_evm.Types.Reverted);
+         gt.gt_failed_exploits <- gt.gt_failed_exploits + 1)
+   done);
+  (* Finding 6: the operator registers fake/duplicate mappings (e.g. a
+     second WRAPPED GLMR) and relays 7 deposits on Moonbeam with no
+     Ethereum counterpart; 2 of those positions are later withdrawn
+     back to Ethereum. *)
+  (let ts0 = Prng.range rng (t1 + (60 * 86_400)) (attack - (20 * 86_400)) in
+   let fake_rt = ref None in
+   let fake_wdr_users = ref [] in
+   schedule ts0 (fun () ->
+       advance_to source_chain ts0;
+       advance_to target_chain ts0;
+       let op = bridge.Bridge.source.Bridge.operator in
+       (* A duplicate "WRAPPED GLMR" on Ethereum, plus its fresh
+          Moonbeam representation minted by the bridge. *)
+       let fake_src =
+         Erc20.deploy source_chain ~from_:op ~name:"WRAPPED GLMR"
+           ~symbol:"WGLMR" ~decimals:18 ~owner:op
+       in
+       (* Seed S-side liquidity so later withdrawals can be released. *)
+       ignore
+         (Chain.submit_tx source_chain ~from_:op ~to_:fake_src
+            ~input:
+              (Erc20.mint_calldata ~to_:bridge.Bridge.source.Bridge.bridge_addr
+                 ~amount:(U256.of_tokens ~decimals:18 1_000_000))
+            ());
+       let fake_dst =
+         Erc20.deploy target_chain ~from_:bridge.Bridge.target.Bridge.operator
+           ~name:"WRAPPED GLMR" ~symbol:"WGLMR" ~decimals:18
+           ~owner:bridge.Bridge.target.Bridge.bridge_addr
+       in
+       ignore (Bridge.register_raw_mapping bridge ~src_token:fake_src ~dst_token:fake_dst);
+       fake_rt := Some (fake_src, fake_dst));
+   for k = 1 to 7 do
+     let ts = ts0 + (k * 3600) in
+     schedule ts (fun () ->
+         advance_to target_chain ts;
+         match !fake_rt with
+         | Some (_, fake_dst) ->
+             let user = pick_user rng users in
+             ignore
+               (Bridge.relay_fake_deposit bridge ~beneficiary:user
+                  ~dst_token:fake_dst
+                  ~amount:(U256.of_tokens ~decimals:18 (100 * k))
+                  ~deposit_id:(900_000 + k));
+             gt.gt_deposit_mapping_violations <- gt.gt_deposit_mapping_violations + 1;
+             if k <= 2 then fake_wdr_users := user :: !fake_wdr_users
+         | None -> ())
+   done;
+   (* The 2 fake-mapping withdrawals back to Ethereum. *)
+   for k = 1 to 2 do
+     let tw = ts0 + (10 * 3600) + (k * 3600) in
+     let wdr_cell = ref None in
+     schedule tw (fun () ->
+         advance_to target_chain tw;
+         match !fake_rt with
+         | Some (_, fake_dst) ->
+             let user = List.nth !fake_wdr_users (k - 1) in
+             withdrawal_calls := tw :: !withdrawal_calls;
+             let w =
+               Bridge.request_withdrawal bridge ~user ~dst_token:fake_dst
+                 ~amount:(U256.of_tokens ~decimals:18 (50 * k))
+                 ~beneficiary:user
+             in
+             wdr_cell := Some w;
+             gt.gt_withdrawal_mapping_violations <-
+               gt.gt_withdrawal_mapping_violations + 1
+         | None -> ());
+     schedule (tw + fraud_proof_window + 3600) (fun () ->
+         match !wdr_cell with
+         | Some w when w.Bridge.w_withdrawal_id <> None ->
+             ignore
+               (Bridge.execute_withdrawal
+                  ~delay:(fraud_proof_window + 3600)
+                  bridge ~withdrawal:w)
+         | _ -> ())
+   done);
+  (* ---------------- the attack (Aug 2, 2022) ------------------------ *)
+  schedule attack (fun () ->
+      advance_to source_chain attack;
+      Bridge.break_proof_check bridge;
+      (* 45 deployer EOAs bulk-deploy 279 receiving contracts. *)
+      let eoas =
+        Array.init 45 (fun i ->
+            let a = Address.of_seed (Printf.sprintf "nomad:attacker-eoa:%d" i) in
+            Chain.fund source_chain a (eth_to_wei 10.0);
+            a)
+      in
+      let contracts =
+        Array.init 279 (fun i ->
+            let deployer = eoas.(i mod 45) in
+            Chain.deploy source_chain ~from_:deployer
+              ~label:(Printf.sprintf "exploit-sink-%d" i) (fun _ -> ()))
+      in
+      gt.gt_attack_deployer_eoas <- 45;
+      gt.gt_attack_beneficiaries <- 279;
+      gt.gt_attack_withdrawal_ids <- 14;
+      (* 382 copy-paste withdrawal executions draining the escrow. *)
+      let src_chain = bridge.Bridge.source.Bridge.chain in
+      let bridge_addr = bridge.Bridge.source.Bridge.bridge_addr in
+      let per_token =
+        List.map
+          (fun rt ->
+            ( rt,
+              Erc20.balance_of src_chain rt.rt_mapping.Bridge.m_src_token
+                bridge_addr ))
+          tokens
+        |> List.filter (fun (_, bal) -> not (U256.is_zero bal))
+      in
+      let events_per_token =
+        let n_tokens = max 1 (List.length per_token) in
+        382 / n_tokens
+      in
+      let count = ref 0 in
+      List.iter
+        (fun (rt, bal) ->
+          let n =
+            if !count + events_per_token > 382 then 382 - !count
+            else events_per_token
+          in
+          let share = U256.div bal (U256.of_int (max 1 (n + 1))) in
+          for k = 1 to n do
+            let attacker = eoas.(Prng.int rng 45) in
+            (* Cycle through the sink contracts so all 279 receive
+               funds, as the real exploiters' 279 addresses did. *)
+            let sink = contracts.(!count mod 279) in
+            advance_to source_chain (attack + !count * 13);
+            let r =
+              Bridge.forged_withdrawal ~beneficiary:sink bridge ~attacker
+                ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount:share
+                ~withdrawal_id:(1_000_000 + (k mod 14))
+            in
+            assert (r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success);
+            incr count;
+            gt.gt_attack_events <- gt.gt_attack_events + 1;
+            gt.gt_attack_usd <-
+              gt.gt_attack_usd
+              +. U256.to_tokens ~decimals:rt.rt_spec.ts_decimals share
+                 *. rt.rt_spec.ts_usd
+          done)
+        per_token;
+      (* Top up to exactly 382 events with the last token. *)
+      (match List.rev per_token with
+      | (rt, _) :: _ ->
+          while !count < 382 do
+            let attacker = eoas.(Prng.int rng 45) in
+            let sink = contracts.(!count mod 279) in
+            let bal =
+              Erc20.balance_of src_chain rt.rt_mapping.Bridge.m_src_token
+                bridge_addr
+            in
+            let share = U256.div bal (U256.of_int 4) in
+            let share = if U256.is_zero share then U256.one else share in
+            advance_to source_chain (attack + !count * 13);
+            let r =
+              Bridge.forged_withdrawal ~beneficiary:sink bridge ~attacker
+                ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount:share
+                ~withdrawal_id:(1_000_000 + (!count mod 14))
+            in
+            assert (r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success);
+            incr count;
+            gt.gt_attack_events <- gt.gt_attack_events + 1;
+            gt.gt_attack_usd <-
+              gt.gt_attack_usd
+              +. U256.to_tokens ~decimals:rt.rt_spec.ts_decimals share
+                 *. rt.rt_spec.ts_usd
+          done
+      | [] -> ()));
+  (* ---------------- run -------------------------------------------- *)
+  run_schedule (List.rev !actions);
+  {
+    bridge;
+    config;
+    pricing;
+    tokens;
+    window;
+    attack_time = attack;
+    discovery_time = attack + 2400 (* paused ~40 min after, per 2024 standards *);
+    ground_truth = gt;
+    first_window_withdrawal_id = None;
+    incomplete_withdrawals = !incomplete;
+    deposit_call_times = !deposit_calls;
+    withdrawal_call_times = !withdrawal_calls;
+  }

@@ -1,0 +1,13 @@
+(** The Nomad bridge scenario (Ethereum <-> Moonbeam), calibrated to
+    the paper's evaluation: optimistic acceptance with the 30-minute
+    fraud-proof window (enforcement-bugged), bytes32 beneficiaries,
+    benign traffic sized by [scale] x Table 3's counts, and every
+    documented anomaly class injected with the paper's exact counts —
+    including the August 2, 2022 attack (382 forged withdrawals from
+    279 contracts deployed by 45 EOAs, ~$159M). *)
+
+val fraud_proof_window : int
+(** 1800 seconds. *)
+
+val build : ?seed:int -> ?scale:float -> unit -> Scenario.built
+(** Defaults: [seed = 42], [scale = 0.05]. *)

@@ -1,0 +1,478 @@
+(** The Ronin bridge scenario (Ethereum <-> Ronin), calibrated to the
+    paper's evaluation:
+
+    - trusted multisig acceptance (5-of-9 validators), address
+      beneficiaries, lock-unlock escrow, and the era's bug of emitting
+      Withdraw events for unmapped tokens without moving funds;
+    - benign traffic sized by [scale] x Table 3's Ronin column: 38,462
+      native + 5,527 ERC-20 deposits, 35,413 withdrawal requests on
+      Ronin of which 11,792·scale never complete on Ethereum;
+    - anomalies with the paper's exact counts where small: 3 phishing +
+      80 direct transfers (~$113K), 10 deposit finality violations
+      (fastest 66 s < Ethereum's 78 s), 22 withdrawal finality
+      violations (fastest 11 s < Ronin's 45 s), 2 unmapped-token
+      Withdraw events, 1 phishing transfer out of the bridge, 708·scale
+      pre-window false positives (withdrawal ids below the collection
+      window's first id), and the March 22, 2022 attack: 2 forged
+      withdrawals from one EOA draining $565.64M-shaped escrow.
+      Deposits stop at discovery, six days after the attack
+      (Figure 1). *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Prng = Xcw_util.Prng
+module Config = Xcw_core.Config
+open Scenario
+
+let eth_finality = 78 (* pre-Merge Ethereum, paper Section 5.2.1 *)
+let ronin_finality = 45
+
+let paper = object
+  method native_deposits = 38_462
+  method erc20_deposits = 5_527
+  method erc20_withdrawals = 35_413
+  method incomplete_withdrawals = 11_792
+  method pre_window_fps = 708
+  method pre_attack_spike = 468 (* withdrawing $24.3M in the final 24h *)
+end
+
+let build ?(seed = 1337) ?(scale = 0.05) () : built =
+  let rng = Prng.create seed in
+  let tf = Timeframes.ronin in
+  let window = (tf.Timeframes.t1, tf.Timeframes.t2) in
+  let attack = tf.Timeframes.attack in
+  let discovery = attack + (6 * 86_400) in
+  let source_chain =
+    Chain.create ~chain_id:1 ~name:"ethereum" ~finality_seconds:eth_finality
+      ~genesis_time:tf.Timeframes.t1
+  in
+  let target_chain =
+    Chain.create ~chain_id:2020 ~name:"ronin" ~finality_seconds:ronin_finality
+      ~genesis_time:tf.Timeframes.t1
+  in
+  let bridge =
+    Bridge.create
+      {
+        Bridge.s_label = "ronin";
+        s_source_chain = source_chain;
+        s_target_chain = target_chain;
+        s_escrow = Bridge.Lock_unlock;
+        s_acceptance =
+          Bridge.Multisig
+            {
+              threshold = 5;
+              validator_count = 9;
+              compromised_keys = 0;
+              (* Finding 4: the validators do not enforce the source
+                 chain's finality off-chain. *)
+              enforce_source_finality = false;
+            };
+        s_beneficiary_repr = Events.B_address;
+        s_buggy_unmapped_withdrawal = true;
+      }
+  in
+  let tokens =
+    List.map
+      (fun spec ->
+        {
+          rt_spec = spec;
+          rt_mapping =
+            Bridge.register_token_pair bridge ~name:spec.ts_name
+              ~symbol:spec.ts_symbol ~decimals:spec.ts_decimals;
+        })
+      default_tokens
+  in
+  ignore (Bridge.register_native_mapping bridge);
+  let config = Config.of_bridge bridge in
+  let pricing = build_pricing bridge tokens in
+  let gt = new_ground_truth () in
+  let users = make_users bridge rng ~label:"ronin" ~count:600 ~native_eth:100.0 in
+  let t1, t2 = window in
+  let actions = ref [] in
+  let schedule at run = actions := { at; run } :: !actions in
+  let incomplete = ref [] in
+  let deposit_calls = ref [] and withdrawal_calls = ref [] in
+
+  (* Pre-window activity escrowed liquidity in the bridge before our
+     collection starts (deposits in [t0; t1[); model it as operator
+     seeding so pre-window withdrawal executions have funds to
+     release. *)
+  List.iter
+    (fun rt ->
+      let big = token_units rt.rt_spec 285_000_000.0 in
+      ignore
+        (Chain.submit_tx source_chain ~from_:bridge.Bridge.source.Bridge.operator
+           ~to_:rt.rt_mapping.Bridge.m_src_token
+           ~input:
+             (Erc20.mint_calldata ~to_:bridge.Bridge.source.Bridge.bridge_addr
+                ~amount:big)
+           ()))
+    tokens;
+
+  (* Withdrawal-id numbering: ids below [n_pre] belong to requests made
+     before t1 (not in the captured data). *)
+  let n_pre = scaled scale paper#pre_window_fps in
+  Bridge.seed_withdrawal_counter bridge n_pre;
+  let first_window_wid = n_pre in
+
+  let relay_jitter () = min 60 (int_of_float (Prng.exponential rng ~mean:20.0)) in
+  let deposit_time () = Prng.range rng t1 discovery in
+
+  (* ---------------- benign deposits --------------------------------- *)
+  let schedule_native_deposit ?(relay_delay = -1) ~ts () =
+    let user = pick_user rng users in
+    let usd = Float.min (draw_usd rng) 500_000.0 in
+    let amount = eth_to_wei (usd /. 2500.0) in
+    let cell = ref None in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        Chain.fund source_chain user amount;
+        deposit_calls := ts :: !deposit_calls;
+        let d = Bridge.deposit_native bridge ~user ~amount ~beneficiary:user in
+        cell := Some d;
+        gt.gt_native_deposits <- gt.gt_native_deposits + 1);
+    let delay =
+      if relay_delay >= 0 then relay_delay else eth_finality + relay_jitter ()
+    in
+    schedule (ts + delay) (fun () ->
+        match !cell with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+        | _ -> ())
+  in
+  let schedule_erc20_deposit ~ts =
+    let user = pick_user rng users in
+    let rt = pick_token rng tokens in
+    let amount = token_units rt.rt_spec (draw_usd rng) in
+    let cell = ref None in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        mint_src bridge rt user amount;
+        deposit_calls := ts :: !deposit_calls;
+        let d =
+          Bridge.deposit_erc20 bridge ~user
+            ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount ~beneficiary:user
+        in
+        cell := Some d;
+        gt.gt_erc20_deposits <- gt.gt_erc20_deposits + 1);
+    let delay = eth_finality + relay_jitter () in
+    schedule (ts + delay) (fun () ->
+        match !cell with
+        | Some d when d.Bridge.d_deposit_id <> None ->
+            ignore (Bridge.complete_deposit bridge ~override_delay:delay ~deposit:d)
+        | _ -> ())
+  in
+  let n_native_dep = scaled scale paper#native_deposits in
+  let n_erc20_dep = scaled scale paper#erc20_deposits in
+  for _ = 1 to n_native_dep - 10 do
+    schedule_native_deposit ~ts:(deposit_time ()) ()
+  done;
+  (* The 10 cross-chain finality violations: native deposits relayed
+     66 s after the Ethereum transaction — faster than Ethereum's 78 s
+     finality (Section 5.2.1: 0x4688...cdf3 / 0xc299...279d). *)
+  for k = 1 to 10 do
+    schedule_native_deposit ~relay_delay:(66 + (k mod 3)) ~ts:(deposit_time ()) ();
+    gt.gt_deposit_finality_violations <- gt.gt_deposit_finality_violations + 1
+  done;
+  for _ = 1 to n_erc20_dep do
+    schedule_erc20_deposit ~ts:(deposit_time ())
+  done;
+
+  (* ---------------- withdrawals ------------------------------------- *)
+  let user_procrastination () =
+    int_of_float (Prng.log_normal rng ~mu:(log 3600.0) ~sigma:2.0)
+  in
+  (* Users withdrawing tokens hold Ronin-side balances from pre-window
+     deposits: the target bridge mints them their position directly
+     (standing in for deposits made before t1, which our window does
+     not capture as cctxs because we model only in-window pairs for
+     withdrawals that must complete). *)
+  let schedule_erc20_withdrawal ?(complete = true) ?(exec_delay = -1) ?(ts = -1)
+      ?usd () =
+    let user = pick_user rng users in
+    let rt = pick_token rng tokens in
+    let usd = match usd with Some u -> u | None -> draw_usd rng in
+    let amount = token_units rt.rt_spec usd in
+    let tw = if ts > 0 then ts else Prng.range rng (t1 + 600) t2 in
+    (* Ronin users hold sidechain-earned tokens (e.g. play-to-earn
+       rewards): the operator mints the position on T just before the
+       request, with no cross-chain deposit involved. *)
+    schedule (tw - 60) (fun () ->
+        advance_to target_chain (tw - 60);
+        ignore
+          (Bridge.admin_mint bridge ~dst_token:rt.rt_mapping.Bridge.m_dst_token
+             ~to_:user ~amount));
+    let beneficiary, balance_eth =
+      if complete then (user, 100.0)
+      else begin
+        let b =
+          Address.of_seed
+            (Printf.sprintf "ronin:stuck-ben:%d" (Prng.int rng 1_000_000_000))
+        in
+        let bal =
+          let r = Prng.float rng 1.0 in
+          if r < 0.513 then 0.0
+          else if r < 0.633 then Prng.float rng 0.0011
+          else if r < 0.985 then Prng.log_normal rng ~mu:(log 0.03) ~sigma:2.0
+          else Prng.float rng 150.0
+        in
+        (b, bal)
+      end
+    in
+    let wdr_cell = ref None in
+    schedule tw (fun () ->
+        advance_to target_chain tw;
+        withdrawal_calls := tw :: !withdrawal_calls;
+        let w =
+          Bridge.request_withdrawal bridge ~user
+            ~dst_token:rt.rt_mapping.Bridge.m_dst_token ~amount ~beneficiary
+        in
+        wdr_cell := Some w);
+    if complete then begin
+      let delay =
+        if exec_delay >= 0 then exec_delay
+        else ronin_finality + user_procrastination ()
+      in
+      schedule (tw + delay) (fun () ->
+          match !wdr_cell with
+          | Some w when w.Bridge.w_withdrawal_id <> None ->
+              let r = Bridge.execute_withdrawal ~delay bridge ~withdrawal:w in
+              if r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success then begin
+                gt.gt_erc20_withdrawals <- gt.gt_erc20_withdrawals + 1;
+                if delay < ronin_finality then
+                  gt.gt_withdrawal_finality_violations <-
+                    gt.gt_withdrawal_finality_violations + 1
+              end
+              else begin
+                incomplete :=
+                  {
+                    iw_beneficiary = beneficiary;
+                    iw_ts = tw;
+                    iw_usd = usd;
+                    iw_balance_eth =
+                      U256.to_tokens ~decimals:18
+                        (Chain.native_balance source_chain beneficiary);
+                    iw_before_attack = tw < attack;
+                  }
+                  :: !incomplete;
+                gt.gt_incomplete_erc20_withdrawals <-
+                  gt.gt_incomplete_erc20_withdrawals + 1
+              end
+          | _ -> ())
+    end
+    else
+      schedule (tw + 1) (fun () ->
+          match !wdr_cell with
+          | Some w when w.Bridge.w_withdrawal_id <> None ->
+              if balance_eth > 0.0 then
+                Chain.fund source_chain beneficiary (eth_to_wei balance_eth);
+              incomplete :=
+                {
+                  iw_beneficiary = beneficiary;
+                  iw_ts = tw;
+                  iw_usd = usd;
+                  iw_balance_eth = balance_eth;
+                  iw_before_attack = tw < attack;
+                }
+                :: !incomplete;
+              gt.gt_incomplete_erc20_withdrawals <-
+                gt.gt_incomplete_erc20_withdrawals + 1
+          | _ -> ())
+  in
+  let n_wdr = scaled scale paper#erc20_withdrawals in
+  let n_incomplete = scaled scale paper#incomplete_withdrawals in
+  let n_spike = scaled scale paper#pre_attack_spike in
+  (* 22 completed withdrawals violate Ronin's 45 s finality; the
+     fastest took 11 s (Section 5.2.1).  Scheduled before the attack so
+     the escrow can still release them. *)
+  for k = 1 to 22 do
+    schedule_erc20_withdrawal ~complete:true
+      ~exec_delay:(11 + (k mod 30))
+      ~ts:(Prng.range rng (t1 + 600) (attack - 86_400))
+      ()
+  done;
+  for _ = 1 to max 0 (n_wdr - n_incomplete - 22) do
+    schedule_erc20_withdrawal ~complete:true ()
+  done;
+  for _ = 1 to max 0 (n_incomplete - n_spike) do
+    schedule_erc20_withdrawal ~complete:false
+      ~ts:(Prng.range rng (t1 + 86_400) t2)
+      ()
+  done;
+  (* The 24 hours before the attack: a spike of withdrawal requests
+     (the paper measured 468 events trying to move $24.3M). *)
+  for _ = 1 to n_spike do
+    schedule_erc20_withdrawal ~complete:false
+      ~ts:(Prng.range rng (attack - 86_400) attack)
+      ~usd:(Prng.pareto rng ~x_min:15_000.0 ~alpha:1.3)
+      ()
+  done;
+
+  (* ---------------- pre-window false positives ---------------------- *)
+  (* Withdrawals requested on Ronin before t1 (outside the captured
+     data) execute on Ethereum inside the window: rule 7 captures them,
+     rule 8 cannot match them.  The withdrawal-id counter identifies
+     them as pre-window (Section 5.2.5). *)
+  for k = 0 to n_pre - 1 do
+    let rt = pick_token rng tokens in
+    let usd = Float.min (draw_usd rng) 200_000.0 in
+    let amount = token_units rt.rt_spec usd in
+    let user = pick_user rng users in
+    let texec = Prng.range rng (t1 + 3600) (attack - 86_400) in
+    schedule texec (fun () ->
+        advance_to source_chain texec;
+        let w =
+          Bridge.attest_pre_window_withdrawal bridge ~withdrawal_id:k
+            ~beneficiary:user ~src_token:rt.rt_mapping.Bridge.m_src_token
+            ~amount
+            ~observed_ts:(t1 - Prng.range rng 86_400 (45 * 86_400))
+        in
+        let r = Bridge.execute_withdrawal ~delay:0 bridge ~withdrawal:w in
+        if r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success then
+          gt.gt_pre_window_fps <- gt.gt_pre_window_fps + 1)
+  done;
+
+  (* ---------------- injected anomalies (exact counts) --------------- *)
+  (* 3 phishing + 80 direct transfers to the bridge ($113K, Findings
+     1-2). *)
+  for k = 1 to 3 do
+    let ts = deposit_time () in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        let attacker = Address.of_seed (Printf.sprintf "ronin:phisher:%d" k) in
+        Chain.fund source_chain attacker (eth_to_wei 1.0);
+        let fake =
+          Erc20.deploy source_chain ~from_:attacker ~name:"Axie Infinity Shard"
+            ~symbol:"AXS" ~decimals:18 ~owner:attacker
+        in
+        ignore
+          (Chain.submit_tx source_chain ~from_:attacker ~to_:fake
+             ~input:
+               (Erc20.mint_calldata ~to_:attacker
+                  ~amount:(U256.of_tokens ~decimals:18 1_000_000))
+             ());
+        ignore
+          (Bridge.direct_token_transfer_to_bridge bridge ~user:attacker
+             ~src_token:fake ~amount:(U256.of_tokens ~decimals:18 999_999));
+        gt.gt_phishing_transfers <- gt.gt_phishing_transfers + 1)
+  done;
+  for _ = 1 to 80 do
+    let ts = deposit_time () in
+    schedule ts (fun () ->
+        advance_to source_chain ts;
+        let user = pick_user rng users in
+        let rt = pick_token rng tokens in
+        let usd = 113_000.0 /. 80.0 *. (0.5 +. Prng.float rng 1.0) in
+        let amount = token_units rt.rt_spec usd in
+        mint_src bridge rt user amount;
+        ignore
+          (Bridge.direct_token_transfer_to_bridge bridge ~user
+             ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount);
+        gt.gt_direct_transfers <- gt.gt_direct_transfers + 1;
+        gt.gt_direct_transfer_usd <- gt.gt_direct_transfer_usd +. usd)
+  done;
+  (* 1 phishing transfer OUT of a bridge address (Section 5.1.4): a
+     fake token fabricates a Transfer event from the bridge. *)
+  (let ts = deposit_time () in
+   schedule ts (fun () ->
+       advance_to source_chain ts;
+       let attacker = Address.of_seed "ronin:outbound-phisher" in
+       Chain.fund source_chain attacker (eth_to_wei 1.0);
+       let bridge_addr = bridge.Bridge.source.Bridge.bridge_addr in
+       let fake_emitter =
+         Chain.deploy source_chain ~from_:attacker ~label:"fake-transfer-emitter"
+           (fun env ->
+             env.Xcw_chain.Chain.emit Erc20.transfer_event
+               [
+                 Xcw_abi.Abi.Value.Address bridge_addr;
+                 Xcw_abi.Abi.Value.Address attacker;
+                 Xcw_abi.Abi.Value.Uint (U256.of_tokens ~decimals:18 500_000);
+               ])
+       in
+       ignore (Chain.submit_tx source_chain ~from_:attacker ~to_:fake_emitter ~input:"x" ());
+       gt.gt_transfer_from_bridge <- gt.gt_transfer_from_bridge + 1));
+  (* 2 unmapped-token Withdraw events on Ronin: the bridge emits the
+     event but moves nothing (Section 5.1.3). *)
+  for k = 1 to 2 do
+    let ts = deposit_time () in
+    schedule ts (fun () ->
+        advance_to target_chain ts;
+        let user = pick_user rng users in
+        let rogue =
+          Erc20.deploy target_chain ~from_:user
+            ~name:(Printf.sprintf "Rogue Token %d" k)
+            ~symbol:"RGE" ~decimals:18 ~owner:user
+        in
+        withdrawal_calls := ts :: !withdrawal_calls;
+        let w =
+          Bridge.request_withdrawal ~attest:false bridge ~user ~dst_token:rogue
+            ~amount:(U256.of_tokens ~decimals:18 1_000)
+            ~beneficiary:user
+        in
+        assert (w.Bridge.w_receipt.Xcw_evm.Types.r_status = Xcw_evm.Types.Success);
+        gt.gt_withdrawal_mapping_violations <- gt.gt_withdrawal_mapping_violations + 1)
+  done;
+
+  (* ---------------- the attack (Mar 22, 2022) ----------------------- *)
+  schedule attack (fun () ->
+      advance_to source_chain attack;
+      (* Five of nine validator keys compromised. *)
+      Bridge.compromise_validators bridge ~keys:5;
+      let attacker = Address.of_seed "ronin:attacker" in
+      Chain.fund source_chain attacker (eth_to_wei 10.0);
+      gt.gt_attack_deployer_eoas <- 1;
+      gt.gt_attack_beneficiaries <- 1;
+      gt.gt_attack_withdrawal_ids <- 2;
+      (* Two transactions drain the two deepest escrows (173,600 ETH
+         and 25.5M USDC in the real attack). *)
+      let src_chain = bridge.Bridge.source.Bridge.chain in
+      let bridge_addr = bridge.Bridge.source.Bridge.bridge_addr in
+      let by_escrow =
+        List.map
+          (fun rt ->
+            let bal =
+              Erc20.balance_of src_chain rt.rt_mapping.Bridge.m_src_token
+                bridge_addr
+            in
+            (rt, bal))
+          tokens
+        |> List.filter (fun (_, b) -> not (U256.is_zero b))
+        |> List.sort (fun (_, a) (_, b) -> U256.compare b a)
+      in
+      List.iteri
+        (fun k (rt, bal) ->
+          if k < 2 then begin
+            advance_to source_chain (attack + (k * 120));
+            let r =
+              Bridge.forged_withdrawal bridge ~attacker
+                ~src_token:rt.rt_mapping.Bridge.m_src_token ~amount:bal
+                ~withdrawal_id:(2_000_000 + k)
+            in
+            assert (r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success);
+            gt.gt_attack_events <- gt.gt_attack_events + 1;
+            gt.gt_attack_usd <-
+              gt.gt_attack_usd
+              +. U256.to_tokens ~decimals:rt.rt_spec.ts_decimals bal
+                 *. rt.rt_spec.ts_usd
+          end)
+        by_escrow);
+
+  run_schedule (List.rev !actions);
+  {
+    bridge;
+    config;
+    pricing;
+    tokens;
+    window;
+    attack_time = attack;
+    discovery_time = discovery;
+    ground_truth = gt;
+    first_window_withdrawal_id = Some first_window_wid;
+    incomplete_withdrawals = !incomplete;
+    deposit_call_times = !deposit_calls;
+    withdrawal_call_times = !withdrawal_calls;
+  }

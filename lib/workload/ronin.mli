@@ -1,0 +1,15 @@
+(** The Ronin bridge scenario (Ethereum <-> Ronin), calibrated to the
+    paper's evaluation: 5-of-9 multisig acceptance with lax off-chain
+    finality enforcement, the unmapped-token Withdraw bug, pre-window
+    withdrawals identified by id numbering, and the March 22, 2022
+    attack (2 forged withdrawals, ~$566M) discovered six days later
+    (Figure 1). *)
+
+val eth_finality : int
+(** 78 seconds (pre-Merge Ethereum). *)
+
+val ronin_finality : int
+(** 45 seconds. *)
+
+val build : ?seed:int -> ?scale:float -> unit -> Scenario.built
+(** Defaults: [seed = 1337], [scale = 0.05]. *)

@@ -1,0 +1,231 @@
+(** Scenario machinery shared by the Nomad and Ronin workload
+    generators.
+
+    A scenario schedules timestamped actions (deposits, relays,
+    withdrawal requests and executions, anomaly injections) on the
+    two-chain bridge simulator and runs them in chronological order, so
+    each chain's clock advances monotonically while cross-chain delays
+    (finality waits, fraud-proof windows, user procrastination) are
+    explicit.
+
+    All randomness flows from a single {!Xcw_util.Prng} seed: the same
+    seed regenerates the identical scenario, receipts, hashes and
+    anomaly report. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Prng = Xcw_util.Prng
+module Pricing = Xcw_core.Pricing
+module Config = Xcw_core.Config
+
+type token_spec = {
+  ts_name : string;
+  ts_symbol : string;
+  ts_decimals : int;
+  ts_usd : float;
+  ts_weight : int;  (** relative deposit popularity *)
+}
+
+let default_tokens =
+  [
+    { ts_name = "USD Coin"; ts_symbol = "USDC"; ts_decimals = 6; ts_usd = 1.0; ts_weight = 30 };
+    { ts_name = "Tether USD"; ts_symbol = "USDT"; ts_decimals = 6; ts_usd = 1.0; ts_weight = 25 };
+    { ts_name = "Dai Stablecoin"; ts_symbol = "DAI"; ts_decimals = 18; ts_usd = 1.0; ts_weight = 20 };
+    { ts_name = "Wrapped BTC"; ts_symbol = "WBTC"; ts_decimals = 8; ts_usd = 40_000.0; ts_weight = 10 };
+    { ts_name = "ChainLink"; ts_symbol = "LINK"; ts_decimals = 18; ts_usd = 15.0; ts_weight = 8 };
+    { ts_name = "Axie Infinity Shard"; ts_symbol = "AXS"; ts_decimals = 18; ts_usd = 50.0; ts_weight = 7 };
+  ]
+
+type registered_token = {
+  rt_spec : token_spec;
+  rt_mapping : Bridge.token_mapping;
+}
+
+(** Ground-truth counters filled while injecting behaviour; integration
+    tests assert the detector recovers exactly these. *)
+type ground_truth = {
+  mutable gt_native_deposits : int;
+  mutable gt_erc20_deposits : int;
+  mutable gt_erc20_withdrawals : int;  (** completed on S *)
+  mutable gt_native_withdrawals : int;  (** native requests on T *)
+  mutable gt_incomplete_native_withdrawals : int;
+  mutable gt_incomplete_erc20_withdrawals : int;
+  mutable gt_phishing_transfers : int;
+  mutable gt_direct_transfers : int;
+  mutable gt_direct_transfer_usd : float;
+  mutable gt_deposit_finality_violations : int;
+  mutable gt_withdrawal_finality_violations : int;
+  mutable gt_unparseable_beneficiaries : int;
+  mutable gt_failed_exploits : int;
+  mutable gt_deposit_mapping_violations : int;
+  mutable gt_withdrawal_mapping_violations : int;
+  mutable gt_invalid_beneficiary_deposits : int;
+  mutable gt_attack_events : int;
+  mutable gt_attack_usd : float;
+  mutable gt_attack_beneficiaries : int;
+  mutable gt_attack_deployer_eoas : int;
+  mutable gt_attack_withdrawal_ids : int;
+  mutable gt_pre_window_fps : int;
+  mutable gt_transfer_from_bridge : int;
+}
+
+let new_ground_truth () =
+  {
+    gt_native_deposits = 0;
+    gt_erc20_deposits = 0;
+    gt_erc20_withdrawals = 0;
+    gt_native_withdrawals = 0;
+    gt_incomplete_native_withdrawals = 0;
+    gt_incomplete_erc20_withdrawals = 0;
+    gt_phishing_transfers = 0;
+    gt_direct_transfers = 0;
+    gt_direct_transfer_usd = 0.0;
+    gt_deposit_finality_violations = 0;
+    gt_withdrawal_finality_violations = 0;
+    gt_unparseable_beneficiaries = 0;
+    gt_failed_exploits = 0;
+    gt_deposit_mapping_violations = 0;
+    gt_withdrawal_mapping_violations = 0;
+    gt_invalid_beneficiary_deposits = 0;
+    gt_attack_events = 0;
+    gt_attack_usd = 0.0;
+    gt_attack_beneficiaries = 0;
+    gt_attack_deployer_eoas = 0;
+    gt_attack_withdrawal_ids = 0;
+    gt_pre_window_fps = 0;
+    gt_transfer_from_bridge = 0;
+  }
+
+(** Metadata for Table 5 / Figure 8: incomplete withdrawals and the
+    S-side balance of each beneficiary when the request was made. *)
+type incomplete_withdrawal = {
+  iw_beneficiary : Address.t;
+  iw_ts : int;
+  iw_usd : float;
+  iw_balance_eth : float;  (** S-chain balance at request time, in ether *)
+  iw_before_attack : bool;
+}
+
+type built = {
+  bridge : Bridge.t;
+  config : Config.t;
+  pricing : Pricing.t;
+  tokens : registered_token list;
+  window : int * int;
+  attack_time : int;
+  discovery_time : int;
+  ground_truth : ground_truth;
+  first_window_withdrawal_id : int option;
+  incomplete_withdrawals : incomplete_withdrawal list;
+  (* Figure 1 series: initiation timestamps of bridge function calls. *)
+  deposit_call_times : int list;
+  withdrawal_call_times : int list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scheduled-action runner                                             *)
+
+type action = { at : int; run : unit -> unit }
+
+let run_schedule (actions : action list) =
+  let sorted = List.stable_sort (fun a b -> compare a.at b.at) actions in
+  List.iter (fun a -> a.run ()) sorted
+
+(* Advance a chain clock without ever going backwards. *)
+let advance_to chain ts = if ts > Chain.now chain then Chain.set_time chain ts
+
+(* ------------------------------------------------------------------ *)
+(* Value and user helpers                                              *)
+
+(** Draw a USD transfer value: log-normal body (median ≈ $400) with a
+    Pareto tail reaching the paper's multi-million-dollar transfers. *)
+let draw_usd rng =
+  if Prng.float rng 1.0 < 0.02 then Prng.pareto rng ~x_min:50_000.0 ~alpha:1.1
+  else Prng.log_normal rng ~mu:(log 400.0) ~sigma:1.8
+
+(** Convert a USD value into token units. *)
+let token_units (spec : token_spec) usd : U256.t =
+  let tokens = usd /. spec.ts_usd in
+  let units = tokens *. (10.0 ** float_of_int spec.ts_decimals) in
+  let u = U256.of_float (Float.max 1.0 units) in
+  if U256.is_zero u then U256.one else u
+
+let eth_to_wei eth = U256.of_float (eth *. 1e18)
+
+(** Pick a token weighted by popularity. *)
+let pick_token rng (tokens : registered_token list) : registered_token =
+  let total = List.fold_left (fun a t -> a + t.rt_spec.ts_weight) 0 tokens in
+  let n = Prng.int rng total in
+  let rec go acc = function
+    | [] -> List.hd tokens
+    | t :: rest ->
+        let acc = acc + t.rt_spec.ts_weight in
+        if n < acc then t else go acc rest
+  in
+  go 0 tokens
+
+(* A pool of funded user accounts. *)
+type users = { pool : Address.t array }
+
+let make_users bridge rng ~label ~count ~native_eth =
+  (* Pool balances are log-normal around [native_eth] so user-held ETH
+     spans several orders of magnitude, as real wallets do. *)
+  let pool =
+    Array.init count (fun i ->
+        let a = Address.of_seed (Printf.sprintf "%s:user:%d:%d" label i (Prng.int rng 1_000_000)) in
+        let bal = Prng.log_normal rng ~mu:(log native_eth) ~sigma:1.2 in
+        Chain.fund bridge.Bridge.source.Bridge.chain a (eth_to_wei bal);
+        Chain.fund bridge.Bridge.target.Bridge.chain a (eth_to_wei bal);
+        a)
+  in
+  { pool }
+
+let pick_user rng users = users.pool.(Prng.int rng (Array.length users.pool))
+
+(** Mint source-chain tokens for a user (the operator owns lock-model
+    tokens). *)
+let mint_src bridge (rt : registered_token) user amount =
+  let src = bridge.Bridge.source in
+  let r =
+    Chain.submit_tx src.Bridge.chain ~from_:src.Bridge.operator
+      ~to_:rt.rt_mapping.Bridge.m_src_token
+      ~input:(Erc20.mint_calldata ~to_:user ~amount)
+      ()
+  in
+  assert (r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success)
+
+(* ------------------------------------------------------------------ *)
+(* Pricing                                                             *)
+
+let build_pricing bridge (tokens : registered_token list) : Pricing.t =
+  let p = Pricing.create () in
+  let src_id = bridge.Bridge.source.Bridge.chain.Chain.chain_id in
+  let dst_id = bridge.Bridge.target.Bridge.chain.Chain.chain_id in
+  List.iter
+    (fun rt ->
+      Pricing.register p ~chain_id:src_id
+        ~token:(Address.to_hex rt.rt_mapping.Bridge.m_src_token)
+        ~usd_per_token:rt.rt_spec.ts_usd ~decimals:rt.rt_spec.ts_decimals;
+      Pricing.register p ~chain_id:dst_id
+        ~token:(Address.to_hex rt.rt_mapping.Bridge.m_dst_token)
+        ~usd_per_token:rt.rt_spec.ts_usd ~decimals:rt.rt_spec.ts_decimals)
+    tokens;
+  (* Wrapped natives are priced like ETH / the sidechain coin. *)
+  Pricing.register p ~chain_id:src_id
+    ~token:(Address.to_hex bridge.Bridge.source.Bridge.weth)
+    ~usd_per_token:2500.0 ~decimals:18;
+  Pricing.register p ~chain_id:dst_id
+    ~token:(Address.to_hex bridge.Bridge.target.Bridge.weth)
+    ~usd_per_token:2.5 ~decimals:18;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Scaling                                                             *)
+
+(** Scale a paper-sized count, keeping at least [min_] when the paper
+    count is positive. *)
+let scaled ?(min_ = 1) scale n =
+  if n = 0 then 0 else max min_ (int_of_float (Float.round (float_of_int n *. scale)))

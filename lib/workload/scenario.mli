@@ -1,0 +1,127 @@
+(** Scenario machinery shared by the workload generators: a
+    timestamped-action scheduler over the two-chain bridge simulator,
+    ground-truth bookkeeping, and distributions for amounts, balances
+    and user behaviour.  All randomness flows from one {!Xcw_util.Prng}
+    seed: the same seed regenerates the identical scenario. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Bridge = Xcw_bridge.Bridge
+module Prng = Xcw_util.Prng
+module Pricing = Xcw_core.Pricing
+module Config = Xcw_core.Config
+
+type token_spec = {
+  ts_name : string;
+  ts_symbol : string;
+  ts_decimals : int;
+  ts_usd : float;
+  ts_weight : int;  (** relative deposit popularity *)
+}
+
+val default_tokens : token_spec list
+(** USDC, USDT, DAI, WBTC, LINK, AXS. *)
+
+type registered_token = {
+  rt_spec : token_spec;
+  rt_mapping : Bridge.token_mapping;
+}
+
+(** Ground-truth counters filled while injecting behaviour; the
+    integration tests assert the detector recovers exactly these. *)
+type ground_truth = {
+  mutable gt_native_deposits : int;
+  mutable gt_erc20_deposits : int;
+  mutable gt_erc20_withdrawals : int;  (** completed on S *)
+  mutable gt_native_withdrawals : int;  (** native requests on T *)
+  mutable gt_incomplete_native_withdrawals : int;
+  mutable gt_incomplete_erc20_withdrawals : int;
+  mutable gt_phishing_transfers : int;
+  mutable gt_direct_transfers : int;
+  mutable gt_direct_transfer_usd : float;
+  mutable gt_deposit_finality_violations : int;
+  mutable gt_withdrawal_finality_violations : int;
+  mutable gt_unparseable_beneficiaries : int;
+  mutable gt_failed_exploits : int;
+  mutable gt_deposit_mapping_violations : int;
+  mutable gt_withdrawal_mapping_violations : int;
+  mutable gt_invalid_beneficiary_deposits : int;
+  mutable gt_attack_events : int;
+  mutable gt_attack_usd : float;
+  mutable gt_attack_beneficiaries : int;
+  mutable gt_attack_deployer_eoas : int;
+  mutable gt_attack_withdrawal_ids : int;
+  mutable gt_pre_window_fps : int;
+  mutable gt_transfer_from_bridge : int;
+}
+
+val new_ground_truth : unit -> ground_truth
+
+(** Metadata for Table 5 / Figure 8: incomplete withdrawals and the
+    S-side balance of each beneficiary when the request was made. *)
+type incomplete_withdrawal = {
+  iw_beneficiary : Address.t;
+  iw_ts : int;
+  iw_usd : float;
+  iw_balance_eth : float;
+  iw_before_attack : bool;
+}
+
+(** A generated scenario: the bridge with both chains populated, the
+    detector-facing configuration and pricing, and the ground truth. *)
+type built = {
+  bridge : Bridge.t;
+  config : Config.t;
+  pricing : Pricing.t;
+  tokens : registered_token list;
+  window : int * int;  (** [t1, t2] *)
+  attack_time : int;
+  discovery_time : int;
+  ground_truth : ground_truth;
+  first_window_withdrawal_id : int option;
+  incomplete_withdrawals : incomplete_withdrawal list;
+  deposit_call_times : int list;  (** Figure 1 series *)
+  withdrawal_call_times : int list;
+}
+
+(** {1 Scheduled-action runner} *)
+
+type action = { at : int; run : unit -> unit }
+
+val run_schedule : action list -> unit
+(** Run actions in chronological order (stable for equal times). *)
+
+val advance_to : Chain.t -> int -> unit
+(** Advance a chain clock, never backwards. *)
+
+(** {1 Distributions and helpers} *)
+
+val draw_usd : Prng.t -> float
+(** Transfer value: log-normal body with a Pareto tail. *)
+
+val token_units : token_spec -> float -> U256.t
+(** USD value in token units; never zero. *)
+
+val eth_to_wei : float -> U256.t
+
+val pick_token : Prng.t -> registered_token list -> registered_token
+(** Weighted by popularity. *)
+
+type users
+
+val make_users :
+  Bridge.t -> Prng.t -> label:string -> count:int -> native_eth:float -> users
+(** Funded user pool; balances are log-normal around [native_eth]. *)
+
+val pick_user : Prng.t -> users -> Address.t
+
+val mint_src : Bridge.t -> registered_token -> Address.t -> U256.t -> unit
+(** Operator-minted source-chain tokens for a user. *)
+
+val build_pricing : Bridge.t -> registered_token list -> Pricing.t
+(** Price table covering both chains' tokens and wrapped natives. *)
+
+val scaled : ?min_:int -> float -> int -> int
+(** Scale a paper-sized count, keeping at least [min_] (default 1) when
+    the original is positive. *)

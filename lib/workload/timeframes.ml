@@ -1,0 +1,40 @@
+(** The data-extraction timeframes of Table 1 (unix timestamps). *)
+
+type t = {
+  tf_bridge : string;
+  t0 : int;  (** start of the extended pre-window *)
+  t1 : int;  (** start of the interval of interest *)
+  t2 : int;  (** end of the interval of interest *)
+  t3 : int;  (** end of the extended post-window *)
+  attack : int;  (** attack timestamp, inside [t1; t2] *)
+}
+
+(** Nomad: the main Moonbeam bridge contract was deployed on Jan 11,
+    2022 (t0 = t1); attacked Aug 2, 2022; paused until Dec 15, 2022. *)
+let nomad =
+  {
+    tf_bridge = "Nomad";
+    t0 = 1641905876;
+    t1 = 1641905876;
+    t2 = 1671062400;
+    t3 = 1722441775;
+    attack = 1659398400 (* Aug 2, 2022 *);
+  }
+
+(** Ronin: interval of interest Jan 1 – Apr 28, 2022; attacked Mar 22,
+    2022 and discovered six days later. *)
+let ronin =
+  {
+    tf_bridge = "Ronin";
+    t0 = 1631491200 (* Sep 13, 2021 *);
+    t1 = 1640995200 (* Jan 1, 2022 *);
+    t2 = 1651156446 (* Apr 28, 2022 *);
+    t3 = 1722441775 (* Jul 31, 2024 *);
+    attack = 1647950400 (* Mar 22, 2022 *);
+  }
+
+let rows = [ nomad; ronin ]
+
+let pp fmt t =
+  Format.fprintf fmt "%-8s t0=%d t1=%d t2=%d t3=%d attack=%d" t.tf_bridge t.t0
+    t.t1 t.t2 t.t3 t.attack

@@ -1,0 +1,15 @@
+(** The data-extraction timeframes of the paper's Table 1. *)
+
+type t = {
+  tf_bridge : string;
+  t0 : int;  (** start of the extended pre-window *)
+  t1 : int;  (** start of the interval of interest *)
+  t2 : int;  (** end of the interval of interest *)
+  t3 : int;  (** end of the extended post-window *)
+  attack : int;  (** attack timestamp, inside [t1; t2] *)
+}
+
+val nomad : t
+val ronin : t
+val rows : t list
+val pp : Format.formatter -> t -> unit

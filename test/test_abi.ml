@@ -1,0 +1,316 @@
+(* ABI encoding/decoding tests: known Solidity encodings, event
+   topic/data coding, address padding strictness (paper Section 5.2.2),
+   and round-trip properties over random typed values. *)
+
+open Xcw_abi
+
+module U256 = Xcw_uint256.Uint256
+
+let hex = Xcw_util.Hex.encode
+let unhex = Xcw_util.Hex.decode
+
+let addr1 = Abi.Value.address_of_hex "0x1111111111111111111111111111111111111111"
+let addr2 = Abi.Value.address_of_hex "0x2222222222222222222222222222222222222222"
+
+(* ------------------------------------------------------------------ *)
+(* Static encodings (cross-checked with solidity abi.encode)           *)
+
+let encode_uint =
+  Alcotest.test_case "encode uint256 69" `Quick (fun () ->
+      Alcotest.(check string)
+        "69"
+        "0000000000000000000000000000000000000000000000000000000000000045"
+        (hex (Abi.encode [ Abi.Type.uint256 ] [ Abi.Value.Uint (U256.of_int 69) ])))
+
+let encode_bool =
+  Alcotest.test_case "encode bool true" `Quick (fun () ->
+      Alcotest.(check string)
+        "true"
+        "0000000000000000000000000000000000000000000000000000000000000001"
+        (hex (Abi.encode [ Abi.Type.Bool ] [ Abi.Value.Bool true ])))
+
+let encode_address =
+  Alcotest.test_case "encode address left-pads to 32 bytes" `Quick (fun () ->
+      Alcotest.(check string)
+        "address"
+        "0000000000000000000000001111111111111111111111111111111111111111"
+        (hex (Abi.encode [ Abi.Type.Address ] [ addr1 ])))
+
+let encode_dynamic_bytes =
+  Alcotest.test_case "encode dynamic bytes" `Quick (fun () ->
+      (* offset (0x20), length (3), payload right-padded *)
+      Alcotest.(check string)
+        "bytes"
+        ("0000000000000000000000000000000000000000000000000000000000000020"
+       ^ "0000000000000000000000000000000000000000000000000000000000000003"
+       ^ "6162630000000000000000000000000000000000000000000000000000000000")
+        (hex (Abi.encode [ Abi.Type.Bytes ] [ Abi.Value.Bytes "abc" ])))
+
+let encode_mixed_static_dynamic =
+  Alcotest.test_case "head/tail layout for (uint256, string, bool)" `Quick
+    (fun () ->
+      (* Mirrors the canonical example: heads are word 0 (uint), word 1
+         (offset to string = 3*32 = 0x60), word 2 (bool). *)
+      let encoded =
+        Abi.encode
+          [ Abi.Type.uint256; Abi.Type.String_t; Abi.Type.Bool ]
+          [ Abi.Value.Uint (U256.of_int 42); Abi.Value.String_v "hi"; Abi.Value.Bool true ]
+      in
+      Alcotest.(check string)
+        "layout"
+        ("000000000000000000000000000000000000000000000000000000000000002a"
+       ^ "0000000000000000000000000000000000000000000000000000000000000060"
+       ^ "0000000000000000000000000000000000000000000000000000000000000001"
+       ^ "0000000000000000000000000000000000000000000000000000000000000002"
+       ^ "6869000000000000000000000000000000000000000000000000000000000000")
+        (hex encoded))
+
+let encode_uint_array =
+  Alcotest.test_case "encode uint256[]" `Quick (fun () ->
+      let encoded =
+        Abi.encode
+          [ Abi.Type.Array Abi.Type.uint256 ]
+          [ Abi.Value.Array [ Abi.Value.uint_of_int 1; Abi.Value.uint_of_int 2 ] ]
+      in
+      Alcotest.(check string)
+        "array"
+        ("0000000000000000000000000000000000000000000000000000000000000020"
+       ^ "0000000000000000000000000000000000000000000000000000000000000002"
+       ^ "0000000000000000000000000000000000000000000000000000000000000001"
+       ^ "0000000000000000000000000000000000000000000000000000000000000002")
+        (hex encoded))
+
+let selector_transfer =
+  Alcotest.test_case "transfer selector is a9059cbb" `Quick (fun () ->
+      Alcotest.(check string)
+        "selector" "a9059cbb"
+        (hex (Abi.selector "transfer(address,uint256)")))
+
+let selector_balance_of =
+  Alcotest.test_case "balanceOf selector is 70a08231" `Quick (fun () ->
+      Alcotest.(check string)
+        "selector" "70a08231"
+        (hex (Abi.selector "balanceOf(address)")))
+
+(* ------------------------------------------------------------------ *)
+(* Address padding (paper Section 5.2.2)                               *)
+
+let strict_rejects_right_padded =
+  Alcotest.test_case "strict decoding rejects right-padded addresses" `Quick
+    (fun () ->
+      (* A 32-byte word with the address in the HIGH 20 bytes (the user
+         error from the paper: right-padded instead of left-padded). *)
+      let word = unhex "1111111111111111111111111111111111111111" ^ String.make 12 '\000' in
+      try
+        ignore (Abi.decode_address_word ~padding:`Strict word);
+        Alcotest.fail "expected Decode_error"
+      with Abi.Decode_error _ -> ())
+
+let lenient_accepts_right_padded =
+  Alcotest.test_case "lenient decoding accepts right-padded addresses" `Quick
+    (fun () ->
+      let raw = unhex "1111111111111111111111111111111111111111" in
+      let word = raw ^ String.make 12 '\000' in
+      Alcotest.(check string)
+        "recovered" raw
+        (Abi.decode_address_word ~padding:`Lenient word))
+
+let both_reject_garbage =
+  Alcotest.test_case "unpadded 32-byte strings rejected either way" `Quick
+    (fun () ->
+      let word = String.make 32 '\xab' in
+      List.iter
+        (fun padding ->
+          try
+            ignore (Abi.decode_address_word ~padding word);
+            Alcotest.fail "expected Decode_error"
+          with Abi.Decode_error _ -> ())
+        [ `Strict; `Lenient ])
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+
+let transfer_event =
+  Abi.Event.
+    {
+      name = "Transfer";
+      params =
+        [
+          param ~indexed:true "from" Abi.Type.Address;
+          param ~indexed:true "to" Abi.Type.Address;
+          param "value" Abi.Type.uint256;
+        ];
+    }
+
+let event_topic0 =
+  Alcotest.test_case "Transfer topic0 matches keccak of signature" `Quick
+    (fun () ->
+      Alcotest.(check string)
+        "topic0" "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"
+        (hex (Abi.Event.topic0 transfer_event)))
+
+let event_encode_decode =
+  Alcotest.test_case "event log round-trip" `Quick (fun () ->
+      let values = [ addr1; addr2; Abi.Value.Uint (U256.of_int 12345) ] in
+      let topics, data = Abi.Event.encode_log transfer_event values in
+      Alcotest.(check int) "3 topics" 3 (List.length topics);
+      Alcotest.(check int) "empty-ish data" 32 (String.length data);
+      let decoded = Abi.Event.decode_log transfer_event topics data in
+      Alcotest.(check int) "3 params" 3 (List.length decoded);
+      match decoded with
+      | [ ("from", f); ("to", t); ("value", Abi.Value.Uint v) ] ->
+          Alcotest.(check string) "from" (Abi.Value.to_address_hex addr1)
+            (Abi.Value.to_address_hex f);
+          Alcotest.(check string) "to" (Abi.Value.to_address_hex addr2)
+            (Abi.Value.to_address_hex t);
+          Alcotest.(check string) "value" "12345" (U256.to_decimal_string v)
+      | _ -> Alcotest.fail "unexpected decode shape")
+
+let event_wrong_topic0 =
+  Alcotest.test_case "decode_log rejects a foreign topic0" `Quick (fun () ->
+      let values = [ addr1; addr2; Abi.Value.Uint U256.one ] in
+      let topics, data = Abi.Event.encode_log transfer_event values in
+      let bad_topics = String.make 32 '\x01' :: List.tl topics in
+      try
+        ignore (Abi.Event.decode_log transfer_event bad_topics data);
+        Alcotest.fail "expected Decode_error"
+      with Abi.Decode_error _ -> ())
+
+let nested_dynamic_roundtrips =
+  Alcotest.test_case "nested dynamic structures round-trip" `Quick (fun () ->
+      let cases =
+        [
+          ( [ Abi.Type.Array Abi.Type.String_t ],
+            [ Abi.Value.Array
+                [ Abi.Value.String_v "hello"; Abi.Value.String_v "";
+                  Abi.Value.String_v (String.make 40 'x') ] ] );
+          ( [ Abi.Type.Tuple [ Abi.Type.uint256; Abi.Type.Bytes ] ],
+            [ Abi.Value.Tuple
+                [ Abi.Value.uint_of_int 9; Abi.Value.Bytes "payload" ] ] );
+          ( [ Abi.Type.Array (Abi.Type.Array Abi.Type.uint256) ],
+            [ Abi.Value.Array
+                [ Abi.Value.Array [ Abi.Value.uint_of_int 1 ];
+                  Abi.Value.Array
+                    [ Abi.Value.uint_of_int 2; Abi.Value.uint_of_int 3 ] ] ] );
+          ( [ Abi.Type.Fixed_array (Abi.Type.uint256, 3); Abi.Type.Bool ],
+            [ Abi.Value.Array
+                [ Abi.Value.uint_of_int 10; Abi.Value.uint_of_int 20;
+                  Abi.Value.uint_of_int 30 ];
+              Abi.Value.Bool false ] );
+        ]
+      in
+      List.iter
+        (fun (tys, vals) ->
+          Alcotest.(check bool)
+            (String.concat "," (List.map Abi.Type.to_string tys))
+            true
+            (Abi.decode tys (Abi.encode tys vals) = vals))
+        cases)
+
+let bridge_event_topic0s_distinct =
+  Alcotest.test_case "bridge event signatures are pairwise distinct" `Quick
+    (fun () ->
+      let module Events = Xcw_bridge.Events in
+      let topics =
+        [
+          Abi.Event.topic0 (Events.sc_token_deposited Events.B_address);
+          Abi.Event.topic0 (Events.sc_token_deposited Events.B_bytes32);
+          Abi.Event.topic0 Events.tc_token_deposited;
+          Abi.Event.topic0 (Events.tc_token_withdrew Events.B_address);
+          Abi.Event.topic0 (Events.tc_token_withdrew Events.B_bytes32);
+          Abi.Event.topic0 Events.sc_token_withdrew;
+          Abi.Event.topic0 Xcw_chain.Erc20.transfer_event;
+          Abi.Event.topic0 Xcw_chain.Weth.deposit_event;
+          Abi.Event.topic0 Xcw_chain.Weth.withdrawal_event;
+        ]
+      in
+      Alcotest.(check int) "all distinct" (List.length topics)
+        (List.length (List.sort_uniq compare topics)))
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip properties                                               *)
+
+let gen_value_of_type ty =
+  let open QCheck.Gen in
+  let gen_addr = map (fun s -> Abi.Value.Address s) (string_size ~gen:char (return 20)) in
+  let gen_uint =
+    map (fun i -> Abi.Value.Uint (U256.of_int (abs i))) (int_bound 1000000000)
+  in
+  match ty with
+  | Abi.Type.Address -> gen_addr
+  | Abi.Type.Bool -> map (fun b -> Abi.Value.Bool b) bool
+  | Abi.Type.Bytes -> map (fun s -> Abi.Value.Bytes s) (string_size (0 -- 100))
+  | Abi.Type.String_t -> map (fun s -> Abi.Value.String_v s) (string_size (0 -- 100))
+  | Abi.Type.Fixed_bytes n ->
+      map (fun s -> Abi.Value.Fixed_bytes s) (string_size ~gen:char (return n))
+  | _ -> gen_uint
+
+let arb_typed_tuple =
+  let open QCheck.Gen in
+  let gen_ty =
+    oneofl
+      [
+        Abi.Type.Address;
+        Abi.Type.uint256;
+        Abi.Type.Bool;
+        Abi.Type.Bytes;
+        Abi.Type.String_t;
+        Abi.Type.Fixed_bytes 32;
+        Abi.Type.Fixed_bytes 4;
+      ]
+  in
+  let gen =
+    list_size (1 -- 6) gen_ty >>= fun tys ->
+    let rec gen_vals = function
+      | [] -> return []
+      | ty :: rest ->
+          gen_value_of_type ty >>= fun value ->
+          gen_vals rest >>= fun values -> return (value :: values)
+    in
+    gen_vals tys >>= fun vals -> return (tys, vals)
+  in
+  QCheck.make gen
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"abi decode . encode = id on typed tuples" ~count:300
+    arb_typed_tuple
+    (fun (tys, vals) ->
+      (* Zero address words decode as Address; avoid Address values whose
+         padding check could fire: addresses here are arbitrary 20-byte
+         strings, which always decode under left-padding. *)
+      Abi.decode tys (Abi.encode tys vals) = vals)
+
+let prop_event_roundtrip =
+  QCheck.Test.make ~name:"event log round-trip (uint payload)" ~count:200
+    QCheck.(pair (make Gen.(string_size ~gen:char (return 20))) (pair (make Gen.(string_size ~gen:char (return 20))) (int_bound 1000000)))
+    (fun (a, (b, amount)) ->
+      let values =
+        [ Abi.Value.Address a; Abi.Value.Address b; Abi.Value.Uint (U256.of_int (abs amount)) ]
+      in
+      let topics, data = Abi.Event.encode_log transfer_event values in
+      let decoded = Abi.Event.decode_log transfer_event topics data in
+      List.map snd decoded = values)
+
+let () =
+  Alcotest.run "abi"
+    [
+      ( "encoding",
+        [
+          encode_uint;
+          encode_bool;
+          encode_address;
+          encode_dynamic_bytes;
+          encode_mixed_static_dynamic;
+          encode_uint_array;
+          selector_transfer;
+          selector_balance_of;
+        ] );
+      ( "addresses",
+        [ strict_rejects_right_padded; lenient_accepts_right_padded; both_reject_garbage ] );
+      ( "events",
+        [ event_topic0; event_encode_decode; event_wrong_topic0;
+          nested_dynamic_roundtrips; bridge_event_topic0s_distinct ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_encode_decode_roundtrip; prop_event_roundtrip ] );
+    ]

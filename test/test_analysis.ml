@@ -1,0 +1,170 @@
+(* Tests for the post-detection analyses: deployer attribution,
+   beneficiary balance summaries, and salami-slicing detection. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Engine = Xcw_datalog.Engine
+module Analysis = Xcw_core.Analysis
+module Pricing = Xcw_core.Pricing
+module Rules = Xcw_core.Rules
+open Xcw_datalog.Ast
+
+let _u = U256.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Deployer attribution                                                *)
+
+let deployer_attribution =
+  Alcotest.test_case "contracts trace back to their deployer EOAs" `Quick
+    (fun () ->
+      let c =
+        Chain.create ~chain_id:1 ~name:"s" ~finality_seconds:60
+          ~genesis_time:1_650_000_000
+      in
+      let eoa1 = Address.of_seed "an-eoa1" and eoa2 = Address.of_seed "an-eoa2" in
+      let c1 = Chain.deploy c ~from_:eoa1 ~label:"sink1" (fun _ -> ()) in
+      let c2 = Chain.deploy c ~from_:eoa1 ~label:"sink2" (fun _ -> ()) in
+      let c3 = Chain.deploy c ~from_:eoa2 ~label:"sink3" (fun _ -> ()) in
+      let plain_eoa = Address.of_seed "an-eoa3" in
+      let deployers = Analysis.attribute_deployers c [ c1; c2; c3; plain_eoa ] in
+      Alcotest.(check int) "two unique deployers" 2 (List.length deployers);
+      Alcotest.(check bool) "eoa1 found" true
+        (List.exists (Address.equal eoa1) deployers);
+      Alcotest.(check bool) "eoa2 found" true
+        (List.exists (Address.equal eoa2) deployers);
+      Alcotest.(check bool) "plain EOA not attributed" true
+        (not (List.exists (Address.equal plain_eoa) deployers)))
+
+let nomad_attack_deployers =
+  Alcotest.test_case "Nomad scenario: 45 deployer EOAs recovered" `Slow
+    (fun () ->
+      let module Scenario = Xcw_workload.Scenario in
+      let module Bridge = Xcw_bridge.Bridge in
+      let b = Xcw_workload.Nomad.build ~seed:77 ~scale:0.005 () in
+      let result =
+        Xcw_core.Detector.run
+          (Xcw_core.Detector.default_input ~label:"nomad"
+             ~plugin:Xcw_core.Decoder.nomad_plugin ~config:b.Scenario.config
+             ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+             ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+             ~pricing:b.Scenario.pricing)
+      in
+      let beneficiaries =
+        Analysis.forged_withdrawal_beneficiaries ~source_chain_id:1
+          result.Xcw_core.Detector.report
+      in
+      Alcotest.(check int) "279 receiving contracts" 279 (List.length beneficiaries);
+      let deployers =
+        Analysis.attribute_deployers b.Scenario.bridge.Bridge.source.Bridge.chain
+          beneficiaries
+      in
+      Alcotest.(check int) "45 deployer EOAs" 45 (List.length deployers))
+
+(* ------------------------------------------------------------------ *)
+(* Balance summary                                                     *)
+
+let balance_summary =
+  Alcotest.test_case "balance summary counts zero and sub-gas balances"
+    `Quick (fun () ->
+      let c =
+        Chain.create ~chain_id:1 ~name:"s" ~finality_seconds:60
+          ~genesis_time:1_650_000_000
+      in
+      let a1 = Address.of_seed "bal-1" (* zero *) in
+      let a2 = Address.of_seed "bal-2" in
+      Chain.fund c a2 (U256.of_float (0.0005 *. 1e18)) (* below gas minimum *);
+      let a3 = Address.of_seed "bal-3" in
+      Chain.fund c a3 (U256.of_float (2.0 *. 1e18));
+      let s = Analysis.beneficiary_balances c [ a1; a2; a3 ] in
+      Alcotest.(check int) "total" 3 s.Analysis.bs_total;
+      Alcotest.(check int) "zero" 1 s.Analysis.bs_zero_balance;
+      Alcotest.(check int) "below minimum (includes zero)" 2
+        s.Analysis.bs_below_gas_minimum)
+
+(* ------------------------------------------------------------------ *)
+(* Salami slicing                                                      *)
+
+let add_valid_deposit db ~tx ~ts ~ben ~token ~amt =
+  Engine.add_fact db Rules.r_sc_valid_erc20_deposit
+    [ Str tx; Int ts; Int 1; Int 2; Str token; Str "dst"; Str ben; Str amt; Int 0 ]
+
+let pricing_one_dollar token =
+  let p = Pricing.create () in
+  Pricing.register p ~chain_id:1 ~token ~usd_per_token:1.0 ~decimals:0;
+  p
+
+let salami_detected =
+  Alcotest.test_case "many small deposits from one sender are flagged" `Quick
+    (fun () ->
+      let db = Engine.create_db () in
+      let token = "0xsalami-token" in
+      (* 20 deposits of $500 each = $10K total, each under the $1K
+         threshold. *)
+      for k = 1 to 20 do
+        add_valid_deposit db
+          ~tx:(Printf.sprintf "0xs%d" k)
+          ~ts:(1000 + k) ~ben:"0xslicer" ~token ~amt:"500"
+      done;
+      (* A single large benign deposit from someone else. *)
+      add_valid_deposit db ~tx:"0xbig" ~ts:5000 ~ben:"0xwhale" ~token
+        ~amt:"100000";
+      let candidates =
+        Analysis.salami_candidates (db) (pricing_one_dollar token)
+      in
+      match candidates with
+      | [ c ] ->
+          Alcotest.(check string) "the slicer" "0xslicer" c.Analysis.sal_sender;
+          Alcotest.(check int) "20 events" 20 c.Analysis.sal_events;
+          Alcotest.(check (float 1.0)) "total" 10_000.0 c.Analysis.sal_total_usd
+      | l -> Alcotest.fail (Printf.sprintf "expected 1 candidate, got %d" (List.length l)))
+
+let salami_thresholds_respected =
+  Alcotest.test_case "few or large transfers are not flagged" `Quick
+    (fun () ->
+      let db = Engine.create_db () in
+      let token = "0xtok" in
+      (* Only 5 small deposits: below min_events. *)
+      for k = 1 to 5 do
+        add_valid_deposit db
+          ~tx:(Printf.sprintf "0xf%d" k)
+          ~ts:(1000 + k) ~ben:"0xfew" ~token ~amt:"900"
+      done;
+      (* 15 deposits but each is large (above max_single). *)
+      for k = 1 to 15 do
+        add_valid_deposit db
+          ~tx:(Printf.sprintf "0xl%d" k)
+          ~ts:(2000 + k) ~ben:"0xlarge" ~token ~amt:"5000"
+      done;
+      Alcotest.(check int) "no candidates" 0
+        (List.length (Analysis.salami_candidates db (pricing_one_dollar token))))
+
+let salami_prop_threshold_monotone =
+  QCheck.Test.make
+    ~name:"raising min_events never yields more candidates" ~count:50
+    QCheck.(pair (int_range 5 30) (int_range 1 20))
+    (fun (n_events, bump) ->
+      let db = Engine.create_db () in
+      let token = "0xtok" in
+      for k = 1 to n_events do
+        add_valid_deposit db
+          ~tx:(Printf.sprintf "0xp%d" k)
+          ~ts:(1000 + k) ~ben:"0xsender" ~token ~amt:"500"
+      done;
+      let p = pricing_one_dollar token in
+      let low = Analysis.salami_candidates ~min_events:5 db p in
+      let high = Analysis.salami_candidates ~min_events:(5 + bump) db p in
+      List.length high <= List.length low)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("attribution", [ deployer_attribution; nomad_attack_deployers ]);
+      ("balances", [ balance_summary ]);
+      ( "salami",
+        [
+          salami_detected;
+          salami_thresholds_respected;
+          QCheck_alcotest.to_alcotest salami_prop_threshold_monotone;
+        ] );
+    ]

@@ -1,0 +1,481 @@
+(* Bridge simulator tests: full deposit and withdrawal flows in both
+   acceptance models, the documented attack paths, and conservation
+   invariants. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Aggregator = Xcw_bridge.Aggregator
+
+let u = U256.of_int
+let uint256 = Alcotest.testable U256.pp U256.equal
+
+let genesis = 1_640_995_200
+
+let make_chains () =
+  let s =
+    Chain.create ~chain_id:1 ~name:"ethereum" ~finality_seconds:78
+      ~genesis_time:genesis
+  in
+  let t =
+    Chain.create ~chain_id:2020 ~name:"sidechain" ~finality_seconds:45
+      ~genesis_time:genesis
+  in
+  (s, t)
+
+let make_multisig_bridge () =
+  let s, t = make_chains () in
+  Bridge.create
+    {
+      Bridge.s_label = "ronin-like";
+      s_source_chain = s;
+      s_target_chain = t;
+      s_escrow = Bridge.Lock_unlock;
+      s_acceptance =
+        Bridge.Multisig
+          {
+            threshold = 5;
+            validator_count = 9;
+            compromised_keys = 0;
+            enforce_source_finality = true;
+          };
+      s_beneficiary_repr = Events.B_address;
+      s_buggy_unmapped_withdrawal = true;
+    }
+
+let make_optimistic_bridge () =
+  let s, t = make_chains () in
+  Bridge.create
+    {
+      Bridge.s_label = "nomad-like";
+      s_source_chain = s;
+      s_target_chain = t;
+      s_escrow = Bridge.Lock_unlock;
+      s_acceptance =
+        Bridge.Optimistic
+          {
+            fraud_proof_window = 1800;
+            enforce_window = true;
+            proof_check_broken = false;
+          };
+      s_beneficiary_repr = Events.B_bytes32;
+      s_buggy_unmapped_withdrawal = false;
+    }
+
+let new_user b label amount_native =
+  let user = Address.of_seed label in
+  Chain.fund b.Bridge.source.Bridge.chain user (u amount_native);
+  Chain.fund b.Bridge.target.Bridge.chain user (u amount_native);
+  user
+
+(* Give a user ERC-20 tokens on the source chain. *)
+let mint_src b (m : Bridge.token_mapping) user amount =
+  let src = b.Bridge.source in
+  ignore
+    (Chain.submit_tx src.Bridge.chain ~from_:src.Bridge.operator
+       ~to_:m.Bridge.m_src_token
+       ~input:(Erc20.mint_calldata ~to_:user ~amount)
+       ())
+
+let success r = r.Types.r_status = Types.Success
+
+(* ------------------------------------------------------------------ *)
+(* Happy paths                                                         *)
+
+let erc20_deposit_flow =
+  Alcotest.test_case "ERC20 deposit: lock on S, mint on T" `Quick (fun () ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"USD Coin" ~symbol:"USDC" ~decimals:6 in
+      let user = new_user b "user1" 1_000_000 in
+      mint_src b m user (u 1_000);
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 400) ~beneficiary:user
+      in
+      Alcotest.(check bool) "deposit ok" true (success d.Bridge.d_receipt);
+      Alcotest.(check (option int)) "deposit id" (Some 0) d.Bridge.d_deposit_id;
+      (* Tokens locked in the bridge on S. *)
+      Alcotest.(check uint256) "escrowed" (u 400)
+        (Erc20.balance_of b.Bridge.source.Bridge.chain m.Bridge.m_src_token
+           b.Bridge.source.Bridge.bridge_addr);
+      (* Relay honestly. *)
+      let r = Bridge.complete_deposit b ~deposit:d in
+      Alcotest.(check bool) "relay ok" true (success r);
+      Alcotest.(check uint256) "minted on T" (u 400)
+        (Erc20.balance_of b.Bridge.target.Bridge.chain m.Bridge.m_dst_token user);
+      (* Relay waited at least source finality. *)
+      Alcotest.(check bool) "finality respected" true
+        (r.Types.r_block_timestamp >= d.Bridge.d_timestamp + 78))
+
+let native_deposit_flow =
+  Alcotest.test_case "native deposit wraps and bridges" `Quick (fun () ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_native_mapping b in
+      let user = new_user b "user2" 10_000 in
+      let d = Bridge.deposit_native b ~user ~amount:(u 2_500) ~beneficiary:user in
+      Alcotest.(check bool) "deposit ok" true (success d.Bridge.d_receipt);
+      (* The bridge's WETH balance backs the deposit. *)
+      Alcotest.(check uint256) "bridge holds WETH" (u 2_500)
+        (Erc20.balance_of b.Bridge.source.Bridge.chain b.Bridge.source.Bridge.weth
+           b.Bridge.source.Bridge.bridge_addr);
+      let r = Bridge.complete_deposit b ~deposit:d in
+      Alcotest.(check bool) "relay ok" true (success r);
+      Alcotest.(check uint256) "minted on T" (u 2_500)
+        (Erc20.balance_of b.Bridge.target.Bridge.chain m.Bridge.m_dst_token user))
+
+let withdrawal_flow =
+  Alcotest.test_case "withdrawal: burn on T, unlock on S" `Quick (fun () ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"USD Coin" ~symbol:"USDC" ~decimals:6 in
+      let user = new_user b "user3" 1_000_000 in
+      mint_src b m user (u 1_000);
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 800) ~beneficiary:user
+      in
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      (* Withdraw 300 back to S. *)
+      let w =
+        Bridge.request_withdrawal b ~user ~dst_token:m.Bridge.m_dst_token
+          ~amount:(u 300) ~beneficiary:user
+      in
+      Alcotest.(check bool) "request ok" true (success w.Bridge.w_receipt);
+      Alcotest.(check uint256) "burnt on T" (u 500)
+        (Erc20.balance_of b.Bridge.target.Bridge.chain m.Bridge.m_dst_token user);
+      let r = Bridge.execute_withdrawal b ~withdrawal:w in
+      Alcotest.(check bool) "execute ok" true (success r);
+      Alcotest.(check uint256) "received on S" (u 500)
+        (* 1000 minted - 800 deposited + 300 withdrawn *)
+        (Erc20.balance_of b.Bridge.source.Bridge.chain m.Bridge.m_src_token user))
+
+let aggregator_deposit_flow =
+  Alcotest.test_case "deposit via aggregator is relayed from events" `Quick
+    (fun () ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"Dai" ~symbol:"DAI" ~decimals:18 in
+      let agg = Aggregator.deploy b in
+      let user = new_user b "agg-user" 1_000_000 in
+      mint_src b m user (u 900);
+      let r =
+        Aggregator.deposit_erc20 b ~aggregator:agg ~user
+          ~src_token:m.Bridge.m_src_token ~amount:(u 900) ~beneficiary:user
+      in
+      Alcotest.(check bool) "agg deposit ok" true (success r);
+      (* The transaction targets the aggregator, not the bridge. *)
+      Alcotest.(check bool) "tx target is aggregator" true
+        (match r.Types.r_to with
+        | Some a -> Address.equal a agg
+        | None -> false);
+      (* Validators observe the bridge event and can relay. *)
+      match Bridge.observe_deposit b r with
+      | None -> Alcotest.fail "bridge event not observed"
+      | Some d ->
+          let rr = Bridge.complete_deposit b ~deposit:d in
+          Alcotest.(check bool) "relay ok" true (success rr);
+          Alcotest.(check uint256) "minted on T" (u 900)
+            (Erc20.balance_of b.Bridge.target.Bridge.chain m.Bridge.m_dst_token user))
+
+let aggregator_native_value_in_trace =
+  Alcotest.test_case "aggregator native deposit: value visible in trace only"
+    `Quick (fun () ->
+      let b = make_multisig_bridge () in
+      ignore (Bridge.register_native_mapping b);
+      let agg = Aggregator.deploy b in
+      let user = new_user b "agg-native-user" 50_000 in
+      let r =
+        Aggregator.deposit_native b ~aggregator:agg ~user ~amount:(u 7_000)
+          ~beneficiary:user
+      in
+      Alcotest.(check bool) "ok" true (success r);
+      let trace =
+        Option.get (Chain.trace b.Bridge.source.Bridge.chain r.Types.r_tx_hash)
+      in
+      let transfers = Types.internal_value_transfers trace in
+      Alcotest.(check bool) "internal value transfer to bridge present" true
+        (List.exists
+           (fun f ->
+             Address.equal f.Types.call_to b.Bridge.source.Bridge.bridge_addr
+             && U256.equal f.Types.call_value (u 7_000))
+           transfers))
+
+(* ------------------------------------------------------------------ *)
+(* Enforcement                                                         *)
+
+let multisig_finality_enforced =
+  Alcotest.test_case "honest validators refuse pre-finality relays" `Quick
+    (fun () ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"USDC" ~symbol:"USDC" ~decimals:6 in
+      let user = new_user b "user4" 1_000_000 in
+      mint_src b m user (u 100);
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100) ~beneficiary:user
+      in
+      Alcotest.check_raises "refused"
+        (Bridge.Bridge_error "validators: source finality not reached")
+        (fun () -> ignore (Bridge.complete_deposit b ~override_delay:10 ~deposit:d)))
+
+let optimistic_window_enforced =
+  Alcotest.test_case "fraud-proof window enforced by the contract" `Quick
+    (fun () ->
+      let b = make_optimistic_bridge () in
+      let m = Bridge.register_token_pair b ~name:"USDC" ~symbol:"USDC" ~decimals:6 in
+      let user = new_user b "user5" 1_000_000 in
+      mint_src b m user (u 100);
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100) ~beneficiary:user
+      in
+      (* 87-second relay (the paper's fastest observed violation) must
+         revert while enforcement is on. *)
+      let r = Bridge.complete_deposit b ~override_delay:87 ~deposit:d in
+      Alcotest.(check bool) "reverted" true (r.Types.r_status = Types.Reverted);
+      (* Disable enforcement (the Nomad bug): same relay now passes. *)
+      Bridge.disable_window_enforcement b;
+      let r2 = Bridge.complete_deposit b ~override_delay:90 ~deposit:d in
+      Alcotest.(check bool) "accepted after bug" true (success r2))
+
+let forged_withdrawal_requires_compromise =
+  Alcotest.test_case "forged withdrawal fails until validators compromised"
+    `Quick (fun () ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"USDC" ~symbol:"USDC" ~decimals:6 in
+      let victim = new_user b "victim" 1_000_000 in
+      mint_src b m victim (u 100_000);
+      let d =
+        Bridge.deposit_erc20 b ~user:victim ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100_000) ~beneficiary:victim
+      in
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      let attacker = new_user b "attacker" 1_000_000 in
+      let r =
+        Bridge.forged_withdrawal b ~attacker ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100_000) ~withdrawal_id:999
+      in
+      Alcotest.(check bool) "rejected" true (r.Types.r_status = Types.Reverted);
+      (* Compromise 5 of 9 keys (the Ronin attack). *)
+      Bridge.compromise_validators b ~keys:5;
+      let r2 =
+        Bridge.forged_withdrawal b ~attacker ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100_000) ~withdrawal_id:999
+      in
+      Alcotest.(check bool) "accepted" true (success r2);
+      Alcotest.(check uint256) "stolen" (u 100_000)
+        (Erc20.balance_of b.Bridge.source.Bridge.chain m.Bridge.m_src_token attacker))
+
+let replay_requires_broken_proof =
+  Alcotest.test_case "copy-paste replay only passes with broken proofs" `Quick
+    (fun () ->
+      let b = make_optimistic_bridge () in
+      let m = Bridge.register_token_pair b ~name:"USDC" ~symbol:"USDC" ~decimals:6 in
+      let user = new_user b "user6" 1_000_000 in
+      mint_src b m user (u 10_000);
+      (* Build liquidity on S via a real deposit + withdrawal cycle. *)
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 10_000) ~beneficiary:user
+      in
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      let w =
+        Bridge.request_withdrawal b ~user ~dst_token:m.Bridge.m_dst_token
+          ~amount:(u 1_000) ~beneficiary:user
+      in
+      ignore (Bridge.execute_withdrawal b ~withdrawal:w);
+      let attacker = new_user b "replayer" 1_000_000 in
+      (* Replay the same withdrawal id with the attacker as beneficiary. *)
+      let r =
+        Bridge.forged_withdrawal b ~attacker ~src_token:m.Bridge.m_src_token
+          ~amount:(u 1_000)
+          ~withdrawal_id:(Option.get w.Bridge.w_withdrawal_id)
+      in
+      Alcotest.(check bool) "rejected" true (r.Types.r_status = Types.Reverted);
+      Bridge.break_proof_check b;
+      let r2 =
+        Bridge.forged_withdrawal b ~attacker ~src_token:m.Bridge.m_src_token
+          ~amount:(u 1_000)
+          ~withdrawal_id:(Option.get w.Bridge.w_withdrawal_id)
+      in
+      Alcotest.(check bool) "accepted via broken proof" true (success r2))
+
+let paused_bridge_rejects =
+  Alcotest.test_case "paused bridge rejects deposits" `Quick (fun () ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"USDC" ~symbol:"USDC" ~decimals:6 in
+      let user = new_user b "user7" 1_000_000 in
+      mint_src b m user (u 100);
+      Bridge.pause b;
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100) ~beneficiary:user
+      in
+      Alcotest.(check bool) "reverted" true
+        (d.Bridge.d_receipt.Types.r_status = Types.Reverted))
+
+(* ------------------------------------------------------------------ *)
+(* Anomaly injection paths                                             *)
+
+let direct_transfer_to_bridge =
+  Alcotest.test_case "direct transfer reaches bridge without bridge event"
+    `Quick (fun () ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"USDC" ~symbol:"USDC" ~decimals:6 in
+      let user = new_user b "careless" 1_000_000 in
+      mint_src b m user (u 500);
+      let r =
+        Bridge.direct_token_transfer_to_bridge b ~user
+          ~src_token:m.Bridge.m_src_token ~amount:(u 500)
+      in
+      Alcotest.(check bool) "ok" true (success r);
+      (* Exactly one log: the ERC-20 Transfer.  No bridge event. *)
+      Alcotest.(check int) "one log" 1 (List.length r.Types.r_logs);
+      Alcotest.(check bool) "log from token" true
+        (Address.equal (List.hd r.Types.r_logs).Types.log_address
+           m.Bridge.m_src_token))
+
+let right_padded_beneficiary =
+  Alcotest.test_case "right-padded beneficiary reaches the wrong address"
+    `Quick (fun () ->
+      let b = make_optimistic_bridge () in
+      let m = Bridge.register_token_pair b ~name:"Dai" ~symbol:"DAI" ~decimals:18 in
+      let user = new_user b "pad-user" 1_000_000 in
+      mint_src b m user (u 10);
+      let d =
+        Bridge.deposit_erc20 ~beneficiary_padding:`Right b ~user
+          ~src_token:m.Bridge.m_src_token ~amount:(u 10) ~beneficiary:user
+      in
+      Alcotest.(check bool) "accepted by bridge" true (success d.Bridge.d_receipt);
+      let r = Bridge.complete_deposit b ~deposit:d in
+      Alcotest.(check bool) "relay ok" true (success r);
+      (* The tokens were minted to the contract-extracted (wrong)
+         address: last 20 bytes of a right-padded field are mostly
+         zeros — NOT the user's address. *)
+      Alcotest.(check uint256) "user got nothing" U256.zero
+        (Erc20.balance_of b.Bridge.target.Bridge.chain m.Bridge.m_dst_token user))
+
+let unmapped_withdrawal_emits_without_transfer =
+  Alcotest.test_case
+    "withdrawal of unmapped token emits event without token movement" `Quick
+    (fun () ->
+      let b = make_multisig_bridge () in
+      let user = new_user b "unmapped-user" 1_000_000 in
+      (* A token that exists on T but is not mapped by the bridge. *)
+      let rogue =
+        Erc20.deploy b.Bridge.target.Bridge.chain ~from_:user ~name:"Rogue"
+          ~symbol:"RGE" ~decimals:18 ~owner:user
+      in
+      ignore
+        (Chain.submit_tx b.Bridge.target.Bridge.chain ~from_:user ~to_:rogue
+           ~input:(Erc20.mint_calldata ~to_:user ~amount:(u 100))
+           ());
+      let w =
+        Bridge.request_withdrawal b ~user ~dst_token:rogue ~amount:(u 100)
+          ~beneficiary:user
+      in
+      Alcotest.(check bool) "accepted" true (success w.Bridge.w_receipt);
+      (* Only the bridge's TokenWithdrew event: no Transfer logs. *)
+      Alcotest.(check int) "single log" 1
+        (List.length w.Bridge.w_receipt.Types.r_logs);
+      Alcotest.(check uint256) "tokens did not move" (u 100)
+        (Erc20.balance_of b.Bridge.target.Bridge.chain rogue user))
+
+(* ------------------------------------------------------------------ *)
+(* Conservation properties                                             *)
+
+let prop_lock_unlock_conservation =
+  QCheck.Test.make
+    ~name:"lock-unlock: bridge escrow always covers minted supply on T"
+    ~count:25
+    QCheck.(pair (int_bound 100000) (list_of_size Gen.(1 -- 12) (pair (int_range 1 500) bool)))
+    (fun (seed, ops) ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"T" ~symbol:"T" ~decimals:18 in
+      let user = new_user b (Printf.sprintf "prop-user-%d" seed) 100_000_000 in
+      mint_src b m user (u 1_000_000);
+      let deposited = ref [] in
+      List.iter
+        (fun (amount, is_deposit) ->
+          if is_deposit then begin
+            let d =
+              Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+                ~amount:(u amount) ~beneficiary:user
+            in
+            if d.Bridge.d_deposit_id <> None then begin
+              ignore (Bridge.complete_deposit b ~deposit:d);
+              deposited := amount :: !deposited
+            end
+          end
+          else begin
+            let on_t =
+              Erc20.balance_of b.Bridge.target.Bridge.chain m.Bridge.m_dst_token user
+            in
+            if U256.ge on_t (u amount) then begin
+              let w =
+                Bridge.request_withdrawal b ~user ~dst_token:m.Bridge.m_dst_token
+                  ~amount:(u amount) ~beneficiary:user
+              in
+              if w.Bridge.w_withdrawal_id <> None then
+                ignore (Bridge.execute_withdrawal b ~withdrawal:w)
+            end
+          end)
+        ops;
+      let escrow =
+        Erc20.balance_of b.Bridge.source.Bridge.chain m.Bridge.m_src_token
+          b.Bridge.source.Bridge.bridge_addr
+      in
+      let minted =
+        Erc20.total_supply b.Bridge.target.Bridge.chain m.Bridge.m_dst_token
+      in
+      U256.equal escrow minted)
+
+let prop_deposit_ids_sequential =
+  QCheck.Test.make ~name:"deposit ids are sequential" ~count:20
+    QCheck.(int_range 1 10)
+    (fun n ->
+      let b = make_multisig_bridge () in
+      let m = Bridge.register_token_pair b ~name:"T" ~symbol:"T" ~decimals:18 in
+      let user = new_user b (Printf.sprintf "seq-user-%d" n) 100_000_000 in
+      mint_src b m user (u 1_000_000);
+      let ids =
+        List.init n (fun _ ->
+            let d =
+              Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+                ~amount:(u 10) ~beneficiary:user
+            in
+            Option.get d.Bridge.d_deposit_id)
+      in
+      ids = List.init n Fun.id)
+
+let () =
+  Alcotest.run "bridge"
+    [
+      ( "flows",
+        [
+          erc20_deposit_flow;
+          native_deposit_flow;
+          withdrawal_flow;
+          aggregator_deposit_flow;
+          aggregator_native_value_in_trace;
+        ] );
+      ( "enforcement",
+        [
+          multisig_finality_enforced;
+          optimistic_window_enforced;
+          forged_withdrawal_requires_compromise;
+          replay_requires_broken_proof;
+          paused_bridge_rejects;
+        ] );
+      ( "anomalies",
+        [
+          direct_transfer_to_bridge;
+          right_padded_beneficiary;
+          unmapped_withdrawal_emits_without_transfer;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lock_unlock_conservation; prop_deposit_ids_sequential ] );
+    ]

@@ -1,0 +1,227 @@
+(* Detector completeness: inject exactly one anomaly (of a randomly
+   chosen class) into otherwise protocol-clean traffic, and the
+   detector must flag it with the correct classification — and flag
+   nothing else.  Together with the soundness suite (benign => zero
+   anomalies) this pins the detector's behaviour from both sides. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Detector = Xcw_core.Detector
+module Decoder = Xcw_core.Decoder
+module Report = Xcw_core.Report
+module Pricing = Xcw_core.Pricing
+module Generic = Xcw_workload.Generic
+module Scenario = Xcw_workload.Scenario
+
+type injection =
+  | Inj_direct_transfer
+  | Inj_phishing_token
+  | Inj_forged_withdrawal
+  | Inj_finality_violation
+  | Inj_incomplete_withdrawal
+  | Inj_fake_mapping_deposit
+  | Inj_failed_exploit
+
+let injections =
+  [
+    Inj_direct_transfer; Inj_phishing_token; Inj_forged_withdrawal;
+    Inj_finality_violation; Inj_incomplete_withdrawal;
+    Inj_fake_mapping_deposit; Inj_failed_exploit;
+  ]
+
+let expected_class = function
+  | Inj_direct_transfer -> Report.Direct_transfer_to_bridge
+  | Inj_phishing_token -> Report.Phishing_token_transfer
+  | Inj_forged_withdrawal -> Report.No_correspondence
+  | Inj_finality_violation -> Report.Finality_violation
+  | Inj_incomplete_withdrawal -> Report.No_correspondence
+  | Inj_fake_mapping_deposit -> Report.Token_mapping_violation
+  | Inj_failed_exploit -> Report.Failed_exploit_attempt
+
+(* How many classified anomalies one injection legitimately yields:
+   finality violations are flagged on both chains. *)
+let expected_count = function Inj_finality_violation -> 2 | _ -> 1
+
+let inject (b : Scenario.built) injection =
+  let bridge = b.Scenario.bridge in
+  let src = bridge.Bridge.source and dst = bridge.Bridge.target in
+  let rt = List.hd b.Scenario.tokens in
+  let token = rt.Scenario.rt_mapping.Bridge.m_src_token in
+  let actor = Address.of_seed "completeness-actor" in
+  Chain.fund src.Bridge.chain actor (U256.of_tokens ~decimals:18 10);
+  Chain.fund dst.Bridge.chain actor (U256.of_tokens ~decimals:18 10);
+  (* Synchronize the two chain clocks so cross-chain timing in the
+     injection is controlled by the injection alone. *)
+  let t0 = max (Chain.now src.Bridge.chain) (Chain.now dst.Bridge.chain) + 3600 in
+  Chain.set_time src.Bridge.chain t0;
+  Chain.set_time dst.Bridge.chain t0;
+  let amount = U256.of_int 5_000 in
+  let mint () =
+    ignore
+      (Chain.submit_tx src.Bridge.chain ~from_:src.Bridge.operator ~to_:token
+         ~input:(Erc20.mint_calldata ~to_:actor ~amount)
+         ())
+  in
+  match injection with
+  | Inj_direct_transfer ->
+      mint ();
+      ignore
+        (Bridge.direct_token_transfer_to_bridge bridge ~user:actor
+           ~src_token:token ~amount)
+  | Inj_phishing_token ->
+      let fake =
+        Erc20.deploy src.Bridge.chain ~from_:actor ~name:"USD Coin"
+          ~symbol:"USDC" ~decimals:6 ~owner:actor
+      in
+      ignore
+        (Chain.submit_tx src.Bridge.chain ~from_:actor ~to_:fake
+           ~input:(Erc20.mint_calldata ~to_:actor ~amount)
+           ());
+      ignore
+        (Bridge.direct_token_transfer_to_bridge bridge ~user:actor
+           ~src_token:fake ~amount)
+  | Inj_forged_withdrawal ->
+      (* Ensure escrow exists, then compromise and steal it. *)
+      mint ();
+      let d =
+        Bridge.deposit_erc20 bridge ~user:actor ~src_token:token ~amount
+          ~beneficiary:actor
+      in
+      ignore (Bridge.complete_deposit bridge ~deposit:d);
+      Bridge.compromise_validators bridge ~keys:9;
+      Chain.advance_time src.Bridge.chain 600;
+      let r =
+        Bridge.forged_withdrawal bridge ~attacker:actor ~src_token:token
+          ~amount ~withdrawal_id:987_654
+      in
+      assert (r.Xcw_evm.Types.r_status = Xcw_evm.Types.Success)
+  | Inj_finality_violation ->
+      (match bridge.Bridge.acceptance with
+      | Bridge.Multisig m -> m.enforce_source_finality <- false
+      | Bridge.Optimistic o -> o.enforce_window <- false);
+      mint ();
+      let d =
+        Bridge.deposit_erc20 bridge ~user:actor ~src_token:token ~amount
+          ~beneficiary:actor
+      in
+      ignore (Bridge.complete_deposit bridge ~override_delay:5 ~deposit:d)
+  | Inj_incomplete_withdrawal ->
+      mint ();
+      let d =
+        Bridge.deposit_erc20 bridge ~user:actor ~src_token:token ~amount
+          ~beneficiary:actor
+      in
+      ignore (Bridge.complete_deposit bridge ~deposit:d);
+      Chain.advance_time dst.Bridge.chain 3600;
+      let w =
+        Bridge.request_withdrawal bridge ~user:actor
+          ~dst_token:rt.Scenario.rt_mapping.Bridge.m_dst_token ~amount
+          ~beneficiary:actor
+      in
+      assert (w.Bridge.w_withdrawal_id <> None)
+      (* ...and never execute it on S. *)
+  | Inj_fake_mapping_deposit ->
+      let fake_dst =
+        Erc20.deploy dst.Bridge.chain ~from_:dst.Bridge.operator
+          ~name:"Fake Wrapped" ~symbol:"FAKE" ~decimals:18
+          ~owner:dst.Bridge.bridge_addr
+      in
+      ignore
+        (Bridge.register_raw_mapping bridge
+           ~src_token:(Address.of_seed "unused-src") ~dst_token:fake_dst);
+      ignore
+        (Bridge.relay_fake_deposit bridge ~beneficiary:actor
+           ~dst_token:fake_dst ~amount ~deposit_id:777_777)
+  | Inj_failed_exploit ->
+      let fake =
+        Erc20.deploy dst.Bridge.chain ~from_:actor ~name:"Wrapped ETH"
+          ~symbol:"WETH" ~decimals:18 ~owner:actor
+      in
+      let input =
+        Bridge.sel_request_withdrawal
+        ^ Xcw_abi.Abi.encode
+            [ Xcw_abi.Abi.Type.Address; Xcw_abi.Abi.Type.uint256;
+              Xcw_abi.Abi.Type.bytes32 ]
+            [
+              Xcw_abi.Abi.Value.Address fake;
+              Xcw_abi.Abi.Value.Uint amount;
+              Xcw_abi.Abi.Value.Fixed_bytes
+                (String.make 12 '\000' ^ Address.to_bytes actor);
+            ]
+      in
+      let r =
+        Chain.submit_tx dst.Bridge.chain ~from_:actor ~to_:dst.Bridge.bridge_addr
+          ~input ()
+      in
+      assert (r.Xcw_evm.Types.r_status = Xcw_evm.Types.Reverted)
+
+let detect (b : Scenario.built) =
+  Detector.run
+    (Detector.default_input ~label:"completeness"
+       ~plugin:Decoder.ronin_plugin ~config:b.Scenario.config
+       ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+       ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+       ~pricing:b.Scenario.pricing)
+
+let run_one ~seed injection =
+  let spec =
+    {
+      Generic.default_spec with
+      Generic.g_seed = seed;
+      g_erc20_deposits = 6;
+      g_native_deposits = 2;
+      g_withdrawals = 2;
+      g_via_aggregator = 1;
+      (* The unmapped-withdrawal probe must revert (Nomad-era check). *)
+      g_acceptance = `Multisig;
+    }
+  in
+  let b = Generic.build spec in
+  inject b injection;
+  let result = detect b in
+  let cls = expected_class injection in
+  let flagged = Report.anomalies_of_class result.Detector.report cls in
+  let total = Report.total_anomalies result.Detector.report in
+  (List.length flagged, total)
+
+let injection_name = function
+  | Inj_direct_transfer -> "direct transfer"
+  | Inj_phishing_token -> "phishing token"
+  | Inj_forged_withdrawal -> "forged withdrawal"
+  | Inj_finality_violation -> "finality violation"
+  | Inj_incomplete_withdrawal -> "incomplete withdrawal"
+  | Inj_fake_mapping_deposit -> "fake mapping deposit"
+  | Inj_failed_exploit -> "failed exploit probe"
+
+let unit_cases =
+  List.map
+    (fun injection ->
+      Alcotest.test_case
+        (Printf.sprintf "%s: flagged with the right class, nothing else"
+           (injection_name injection))
+        `Quick
+        (fun () ->
+          let flagged, total = run_one ~seed:99 injection in
+          Alcotest.(check int) "correctly classified" (expected_count injection) flagged;
+          Alcotest.(check int) "no collateral anomalies" (expected_count injection) total))
+    injections
+
+let prop_completeness =
+  QCheck.Test.make
+    ~name:"every injected anomaly class is flagged, for any seed" ~count:21
+    QCheck.(pair (int_range 1 1_000_000) (int_bound (List.length injections - 1)))
+    (fun (seed, idx) ->
+      let injection = List.nth injections idx in
+      let flagged, total = run_one ~seed injection in
+      flagged = expected_count injection && total = expected_count injection)
+
+let () =
+  Alcotest.run "completeness"
+    [
+      ("injections", unit_cases);
+      ("property", [ QCheck_alcotest.to_alcotest prop_completeness ]);
+    ]

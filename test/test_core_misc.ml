@@ -1,0 +1,287 @@
+(* Tests for Config (JSON round-trip, fact generation), Pricing, and
+   the workload generators' determinism. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Config = Xcw_core.Config
+module Facts = Xcw_core.Facts
+module Pricing = Xcw_core.Pricing
+module Scenario = Xcw_workload.Scenario
+
+let sample_config () =
+  {
+    Config.bridge_name = "sample";
+    source_chain_id = 1;
+    target_chain_id = 100;
+    bridge_controlled =
+      [ (1, Address.of_seed "b1"); (100, Address.of_seed "b2"); (100, Address.zero) ];
+    token_mappings =
+      [
+        {
+          Config.src_chain_id = 1;
+          dst_chain_id = 100;
+          src_token = Address.of_seed "tok-s";
+          dst_token = Address.of_seed "tok-t";
+        };
+      ];
+    finality = [ (1, 78); (100, 45) ];
+    wrapped_native = [ (1, Address.of_seed "weth"); (100, Address.of_seed "wnat") ];
+  }
+
+let config_json_roundtrip =
+  Alcotest.test_case "config JSON round-trip" `Quick (fun () ->
+      let c = sample_config () in
+      let c' = Config.of_string (Config.to_string c) in
+      Alcotest.(check string) "name" c.Config.bridge_name c'.Config.bridge_name;
+      Alcotest.(check int) "mappings" 1 (List.length c'.Config.token_mappings);
+      Alcotest.(check bool) "identical" true (c = c'))
+
+let config_fact_counts =
+  Alcotest.test_case "static loader emits one fact per config entry" `Quick
+    (fun () ->
+      let facts = Config.to_facts (sample_config ()) in
+      let count pred =
+        List.length (List.filter (fun f -> Facts.relation_name f = pred) facts)
+      in
+      Alcotest.(check int) "bridge addresses" 3 (count Facts.r_bridge_controlled_address);
+      Alcotest.(check int) "mappings" 1 (count Facts.r_token_mapping);
+      Alcotest.(check int) "finality" 2 (count Facts.r_cctx_finality);
+      Alcotest.(check int) "wrapped" 2 (count Facts.r_wrapped_native_token))
+
+let config_rejects_bad_json =
+  Alcotest.test_case "config loader rejects malformed JSON" `Quick (fun () ->
+      (try
+         ignore (Config.of_string "{}");
+         Alcotest.fail "expected Config_error"
+       with Config.Config_error _ -> ());
+      try
+        ignore (Config.of_string "not json at all");
+        Alcotest.fail "expected Parse_error"
+      with Xcw_util.Json.Parse_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Pricing                                                             *)
+
+let pricing_basics =
+  Alcotest.test_case "usd_value scales by decimals and price" `Quick
+    (fun () ->
+      let p = Pricing.create () in
+      Pricing.register p ~chain_id:1 ~token:"0xAA" ~usd_per_token:2.0 ~decimals:6;
+      Alcotest.(check (float 1e-6)) "3 tokens" 6.0
+        (Pricing.usd_value p ~chain_id:1 ~token:"0xaa" (U256.of_int 3_000_000));
+      Alcotest.(check (float 1e-6)) "unknown token is zero" 0.0
+        (Pricing.usd_value p ~chain_id:1 ~token:"0xbb" (U256.of_int 1_000_000));
+      Alcotest.(check bool) "reputable" true (Pricing.is_reputable p ~chain_id:1 ~token:"0xAA");
+      Alcotest.(check bool) "chain-scoped" false
+        (Pricing.is_reputable p ~chain_id:2 ~token:"0xaa"))
+
+let pricing_native =
+  Alcotest.test_case "native pricing uses 18 decimals" `Quick (fun () ->
+      let p = Pricing.create ~native_price:2000.0 () in
+      Alcotest.(check (float 1e-6)) "1.5 ETH" 3000.0
+        (Pricing.usd_value_native p (U256.of_tokens ~decimals:17 15)))
+
+let pricing_str_amounts =
+  Alcotest.test_case "usd_value_str parses decimal strings" `Quick (fun () ->
+      let p = Pricing.create () in
+      Pricing.register p ~chain_id:1 ~token:"0xcc" ~usd_per_token:1.0 ~decimals:18;
+      Alcotest.(check (float 1e-6)) "5 tokens" 5.0
+        (Pricing.usd_value_str p ~chain_id:1 ~token:"0xcc" "5000000000000000000"))
+
+(* ------------------------------------------------------------------ *)
+(* Workload determinism                                                *)
+
+let nomad_deterministic =
+  Alcotest.test_case "Nomad scenario is seed-deterministic" `Slow (fun () ->
+      let b1 = Xcw_workload.Nomad.build ~seed:3 ~scale:0.005 () in
+      let b2 = Xcw_workload.Nomad.build ~seed:3 ~scale:0.005 () in
+      let sig_of (b : Scenario.built) =
+        ( Chain.transaction_count b.Scenario.bridge.Bridge.source.Bridge.chain,
+          Chain.transaction_count b.Scenario.bridge.Bridge.target.Bridge.chain,
+          b.Scenario.ground_truth.Scenario.gt_erc20_deposits,
+          List.length b.Scenario.incomplete_withdrawals )
+      in
+      Alcotest.(check bool) "identical signatures" true (sig_of b1 = sig_of b2);
+      (* Chains are byte-identical: same last block hash. *)
+      let last_hash (b : Scenario.built) =
+        match Chain.all_blocks b.Scenario.bridge.Bridge.source.Bridge.chain |> List.rev with
+        | blk :: _ -> blk.Xcw_evm.Types.b_hash
+        | [] -> ""
+      in
+      Alcotest.(check bool) "identical chains" true (last_hash b1 = last_hash b2))
+
+let nomad_seeds_differ =
+  Alcotest.test_case "different seeds give different scenarios" `Slow
+    (fun () ->
+      let b1 = Xcw_workload.Nomad.build ~seed:3 ~scale:0.005 () in
+      let b2 = Xcw_workload.Nomad.build ~seed:4 ~scale:0.005 () in
+      let last_hash (b : Scenario.built) =
+        match Chain.all_blocks b.Scenario.bridge.Bridge.source.Bridge.chain |> List.rev with
+        | blk :: _ -> blk.Xcw_evm.Types.b_hash
+        | [] -> ""
+      in
+      Alcotest.(check bool) "chains differ" false (last_hash b1 = last_hash b2))
+
+let scaled_counts =
+  Alcotest.test_case "Scenario.scaled keeps exact zeros and minimums" `Quick
+    (fun () ->
+      Alcotest.(check int) "zero stays zero" 0 (Scenario.scaled 0.1 0);
+      Alcotest.(check int) "small counts keep min" 1 (Scenario.scaled 0.001 5);
+      Alcotest.(check int) "scaling rounds" 50 (Scenario.scaled 0.1 500))
+
+let token_units_positive =
+  QCheck.Test.make ~name:"token_units never returns zero" ~count:200
+    QCheck.(pair (float_range 0.000001 10_000_000.0) (int_range 0 18))
+    (fun (usd, decimals) ->
+      let spec =
+        {
+          Scenario.ts_name = "X";
+          ts_symbol = "X";
+          ts_decimals = decimals;
+          ts_usd = 1.0;
+          ts_weight = 1;
+        }
+      in
+      not (U256.is_zero (Scenario.token_units spec usd)))
+
+let ronin_ground_truth_exact_counts =
+  Alcotest.test_case "Ronin injects the paper's exact anomaly counts" `Slow
+    (fun () ->
+      let b = Xcw_workload.Ronin.build ~seed:5 ~scale:0.005 () in
+      let g = b.Scenario.ground_truth in
+      Alcotest.(check int) "10 deposit finality" 10 g.Scenario.gt_deposit_finality_violations;
+      Alcotest.(check int) "22 withdrawal finality" 22 g.Scenario.gt_withdrawal_finality_violations;
+      Alcotest.(check int) "3 phishing" 3 g.Scenario.gt_phishing_transfers;
+      Alcotest.(check int) "80 direct" 80 g.Scenario.gt_direct_transfers;
+      Alcotest.(check int) "2 attack events" 2 g.Scenario.gt_attack_events;
+      Alcotest.(check int) "2 rogue withdraw events" 2 g.Scenario.gt_withdrawal_mapping_violations;
+      Alcotest.(check bool) "attack > $100M" true (g.Scenario.gt_attack_usd > 1.0e8))
+
+let nomad_ground_truth_exact_counts =
+  Alcotest.test_case "Nomad injects the paper's exact anomaly counts" `Slow
+    (fun () ->
+      let b = Xcw_workload.Nomad.build ~seed:5 ~scale:0.005 () in
+      let g = b.Scenario.ground_truth in
+      Alcotest.(check int) "14 phishing" 14 g.Scenario.gt_phishing_transfers;
+      Alcotest.(check int) "25 direct" 25 g.Scenario.gt_direct_transfers;
+      Alcotest.(check int) "5 finality" 5 g.Scenario.gt_deposit_finality_violations;
+      Alcotest.(check int) "3 unparseable" 3 g.Scenario.gt_unparseable_beneficiaries;
+      Alcotest.(check int) "7 failed exploits" 7 g.Scenario.gt_failed_exploits;
+      Alcotest.(check int) "7 fake-mapping deposits" 7 g.Scenario.gt_deposit_mapping_violations;
+      Alcotest.(check int) "2 fake-mapping withdrawals" 2 g.Scenario.gt_withdrawal_mapping_violations;
+      Alcotest.(check int) "1 right-padded deposit" 1 g.Scenario.gt_invalid_beneficiary_deposits;
+      Alcotest.(check int) "2 outbound phishing" 2 g.Scenario.gt_transfer_from_bridge;
+      Alcotest.(check int) "382 attack events" 382 g.Scenario.gt_attack_events;
+      Alcotest.(check int) "45 EOAs" 45 g.Scenario.gt_attack_deployer_eoas;
+      Alcotest.(check int) "279 sinks" 279 g.Scenario.gt_attack_beneficiaries)
+
+(* ------------------------------------------------------------------ *)
+(* Report exports                                                      *)
+
+module Report = Xcw_core.Report
+
+let sample_report () =
+  let anomaly cls =
+    {
+      Report.a_class = cls;
+      a_tx_hash = "0xabc";
+      a_chain_id = 1;
+      a_usd_value = 12.5;
+      a_detail = "detail";
+    }
+  in
+  {
+    Report.bridge_name = "sample";
+    rows =
+      [
+        {
+          Report.rr_rule = "1. SC_ValidNativeTokenDeposit";
+          rr_captured = 3;
+          rr_anomalies = [ anomaly Report.Phishing_token_transfer ];
+        };
+      ];
+    cctxs =
+      [
+        {
+          Report.c_kind = `Deposit;
+          c_src_tx = "0x1";
+          c_dst_tx = "0x2";
+          c_id = 7;
+          c_amount = "1000";
+          c_token = "0xtok";
+          c_beneficiary = "0xben";
+          c_usd_value = 42.0;
+          c_start_ts = 100;
+          c_end_ts = 1900;
+        };
+      ];
+    total_facts = 10;
+    decode_seconds = 0.1;
+    eval_seconds = 0.2;
+    simulated_rpc_seconds = 0.3;
+  }
+
+let report_json_valid =
+  Alcotest.test_case "report JSON is well-formed and carries the rows" `Quick
+    (fun () ->
+      let j = Xcw_util.Json.of_string (Xcw_util.Json.to_string (Report.to_json (sample_report ()))) in
+      match Xcw_util.Json.member "rules" j with
+      | Some (Xcw_util.Json.List [ _ ]) -> ()
+      | _ -> Alcotest.fail "missing rules array")
+
+let dataset_csv_shape =
+  Alcotest.test_case "dataset CSV has a header plus one row per cctx" `Quick
+    (fun () ->
+      let csv = Report.dataset_csv (sample_report ()) in
+      let lines = String.split_on_char '\n' (String.trim csv) in
+      Alcotest.(check int) "2 lines" 2 (List.length lines);
+      Alcotest.(check bool) "header" true
+        (String.length (List.hd lines) > 0
+        && String.sub (List.hd lines) 0 4 = "kind");
+      Alcotest.(check bool) "latency column = 1800" true
+        (let last = List.nth lines 1 in
+         match List.rev (String.split_on_char ',' last) with
+         | lat :: _ -> lat = "1800"
+         | [] -> false))
+
+let dataset_json_roundtrip =
+  Alcotest.test_case "dataset JSON parses back" `Quick (fun () ->
+      let j = Xcw_util.Json.of_string (Report.dataset_json (sample_report ())) in
+      match Xcw_util.Json.member "cctxs" j with
+      | Some (Xcw_util.Json.List [ c ]) ->
+          Alcotest.(check (option string)) "kind"
+            (Some "deposit")
+            (match Xcw_util.Json.member "kind" c with
+            | Some (Xcw_util.Json.String s) -> Some s
+            | _ -> None)
+      | _ -> Alcotest.fail "missing cctxs")
+
+let anomaly_helpers =
+  Alcotest.test_case "total/of-class helpers" `Quick (fun () ->
+      let r = sample_report () in
+      Alcotest.(check int) "total" 1 (Report.total_anomalies r);
+      Alcotest.(check int) "by class" 1
+        (List.length (Report.anomalies_of_class r Report.Phishing_token_transfer));
+      Alcotest.(check int) "other class empty" 0
+        (List.length (Report.anomalies_of_class r Report.No_correspondence)))
+
+let () =
+  Alcotest.run "core-misc"
+    [
+      ("config", [ config_json_roundtrip; config_fact_counts; config_rejects_bad_json ]);
+      ("pricing", [ pricing_basics; pricing_native; pricing_str_amounts ]);
+      ( "report",
+        [ report_json_valid; dataset_csv_shape; dataset_json_roundtrip; anomaly_helpers ] );
+      ( "workload",
+        [
+          nomad_deterministic;
+          nomad_seeds_differ;
+          scaled_counts;
+          ronin_ground_truth_exact_counts;
+          nomad_ground_truth_exact_counts;
+          QCheck_alcotest.to_alcotest token_units_positive;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for the event/transaction decoder (XChainWatcher phase 1):
+   fact extraction from receipts, native-vs-erc20 classification, the
+   lenient/strict beneficiary handling, and decode-failure marking. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Rpc = Xcw_rpc.Rpc
+module Config = Xcw_core.Config
+module Facts = Xcw_core.Facts
+module Decoder = Xcw_core.Decoder
+
+let u = U256.of_int
+
+let make_bridge repr =
+  let s =
+    Chain.create ~chain_id:1 ~name:"s" ~finality_seconds:60
+      ~genesis_time:1_650_000_000
+  in
+  let t =
+    Chain.create ~chain_id:2 ~name:"t" ~finality_seconds:30
+      ~genesis_time:1_650_000_000
+  in
+  let b =
+    Bridge.create
+      {
+        Bridge.s_label = "dec-test";
+        s_source_chain = s;
+        s_target_chain = t;
+        s_escrow = Bridge.Lock_unlock;
+        s_acceptance =
+          Bridge.Multisig
+            {
+              threshold = 1;
+              validator_count = 1;
+              compromised_keys = 0;
+              enforce_source_finality = true;
+            };
+        s_beneficiary_repr = repr;
+        s_buggy_unmapped_withdrawal = false;
+      }
+  in
+  let m = Bridge.register_token_pair b ~name:"Tok" ~symbol:"TOK" ~decimals:18 in
+  ignore (Bridge.register_native_mapping b);
+  (b, m)
+
+let plugin_of repr =
+  match repr with
+  | Events.B_address -> Decoder.ronin_plugin
+  | Events.B_bytes32 -> Decoder.nomad_plugin
+
+let decode_all ?(role = Decoder.Source) b repr chain =
+  let config = Config.of_bridge b in
+  let rpc = Rpc.create chain in
+  Decoder.decode_chain (plugin_of repr) config ~role rpc chain
+
+let facts_of_kind pred rds =
+  List.concat_map
+    (fun rd ->
+      List.filter (fun f -> Facts.relation_name f = pred) rd.Decoder.rd_facts)
+    rds
+
+let new_user b name =
+  let user = Address.of_seed name in
+  Chain.fund b.Bridge.source.Bridge.chain user (U256.of_tokens ~decimals:18 100);
+  Chain.fund b.Bridge.target.Bridge.chain user (U256.of_tokens ~decimals:18 100);
+  user
+
+let mint b (m : Bridge.token_mapping) user amount =
+  ignore
+    (Chain.submit_tx b.Bridge.source.Bridge.chain
+       ~from_:b.Bridge.source.Bridge.operator ~to_:m.Bridge.m_src_token
+       ~input:(Erc20.mint_calldata ~to_:user ~amount)
+       ())
+
+(* ------------------------------------------------------------------ *)
+
+let erc20_deposit_facts =
+  Alcotest.test_case "an ERC-20 deposit yields the Listing 1 facts" `Quick
+    (fun () ->
+      let b, m = make_bridge Events.B_address in
+      let user = new_user b "dec-u1" in
+      mint b m user (u 100);
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100) ~beneficiary:user
+      in
+      assert (d.Bridge.d_deposit_id <> None);
+      let rds = decode_all b Events.B_address b.Bridge.source.Bridge.chain in
+      Alcotest.(check int) "one sc_token_deposited" 1
+        (List.length (facts_of_kind Facts.r_sc_token_deposited rds));
+      (* approve (Approval, no fact) + transferFrom Transfer + mint *)
+      Alcotest.(check int) "two erc20_transfers (mint + escrow)" 2
+        (List.length (facts_of_kind Facts.r_erc20_transfer rds));
+      (* Every tx gets a transaction fact: deploys excluded? Deploy
+         receipts have no [to]; the decoder records them with the
+         creation pseudo-target. *)
+      Alcotest.(check bool) "transaction facts exist" true
+        (facts_of_kind Facts.r_transaction rds <> []);
+      (* No decode errors. *)
+      Alcotest.(check int) "no errors" 0
+        (List.length (List.concat_map (fun rd -> rd.Decoder.rd_errors) rds)))
+
+let native_deposit_is_traced =
+  Alcotest.test_case "native deposits trigger the tracer path" `Quick
+    (fun () ->
+      let b, _ = make_bridge Events.B_address in
+      let user = new_user b "dec-u2" in
+      ignore (Bridge.deposit_native b ~user ~amount:(u 50) ~beneficiary:user);
+      let rds = decode_all b Events.B_address b.Bridge.source.Bridge.chain in
+      let native =
+        List.filter (fun rd -> rd.Decoder.rd_is_native) rds
+      in
+      Alcotest.(check bool) "at least one native receipt" true (native <> []);
+      Alcotest.(check int) "native_deposit fact built" 1
+        (List.length (facts_of_kind Facts.r_native_deposit rds));
+      (* The transaction fact must carry tx.value (recovered via RPC). *)
+      let deposit_tx_value =
+        List.find_map
+          (fun f ->
+            match f with
+            | Facts.Transaction { value; _ } when not (U256.is_zero value) ->
+                Some value
+            | _ -> None)
+          (List.concat_map (fun rd -> rd.Decoder.rd_facts) rds)
+      in
+      Alcotest.(check bool) "tx.value recovered" true
+        (deposit_tx_value = Some (u 50)))
+
+let weth_event_on_target_is_native_withdrawal =
+  Alcotest.test_case
+    "wrapped-native Deposit decodes as native_withdrawal on T" `Quick
+    (fun () ->
+      let b, _ = make_bridge Events.B_address in
+      ignore (Bridge.register_target_native_mapping b ~name:"WNAT" ~symbol:"WNAT");
+      let user = new_user b "dec-u3" in
+      Chain.fund b.Bridge.target.Bridge.chain user (u 1_000);
+      ignore (Bridge.request_withdrawal_native b ~user ~amount:(u 400) ~beneficiary:user);
+      let rds =
+        decode_all ~role:Decoder.Target b Events.B_address
+          b.Bridge.target.Bridge.chain
+      in
+      Alcotest.(check int) "native_withdrawal fact" 1
+        (List.length (facts_of_kind Facts.r_native_withdrawal rds));
+      Alcotest.(check int) "tc_token_withdrew fact" 1
+        (List.length (facts_of_kind Facts.r_tc_token_withdrew rds));
+      Alcotest.(check int) "no native_deposit on T" 0
+        (List.length (facts_of_kind Facts.r_native_deposit rds)))
+
+let right_padded_deposit_parses_leniently =
+  Alcotest.test_case "right-padded bytes32 beneficiary parses leniently"
+    `Quick (fun () ->
+      let b, m = make_bridge Events.B_bytes32 in
+      let user = new_user b "dec-u4" in
+      mint b m user (u 10);
+      ignore
+        (Bridge.deposit_erc20 ~beneficiary_padding:`Right b ~user
+           ~src_token:m.Bridge.m_src_token ~amount:(u 10) ~beneficiary:user);
+      let rds = decode_all b Events.B_bytes32 b.Bridge.source.Bridge.chain in
+      match facts_of_kind Facts.r_sc_token_deposited rds with
+      | [ Facts.Sc_token_deposited { beneficiary; _ } ] ->
+          (* The tool recovers the user's address despite the wrong
+             padding — the FP behaviour documented in Section 5.2.2. *)
+          Alcotest.(check string) "beneficiary recovered" (Address.to_hex user)
+            beneficiary
+      | _ -> Alcotest.fail "expected exactly one sc_token_deposited fact")
+
+let garbage_beneficiary_fails_with_marker =
+  Alcotest.test_case
+    "garbage bytes32 beneficiary: error + decode-failure fact, no event fact"
+    `Quick (fun () ->
+      let b, m = make_bridge Events.B_bytes32 in
+      let user = new_user b "dec-u5" in
+      mint b m user (u 100);
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100) ~beneficiary:user
+      in
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      let w =
+        Bridge.request_withdrawal ~beneficiary_padding:(`Garbage "g1") b ~user
+          ~dst_token:m.Bridge.m_dst_token ~amount:(u 30) ~beneficiary:user
+      in
+      assert (w.Bridge.w_withdrawal_id <> None);
+      let rds =
+        decode_all ~role:Decoder.Target b Events.B_bytes32
+          b.Bridge.target.Bridge.chain
+      in
+      Alcotest.(check int) "no tc_token_withdrew fact" 0
+        (List.length (facts_of_kind Facts.r_tc_token_withdrew rds));
+      Alcotest.(check int) "decode-failure marker present" 1
+        (List.length (facts_of_kind Facts.r_bridge_event_decode_failure rds));
+      let errors = List.concat_map (fun rd -> rd.Decoder.rd_errors) rds in
+      match errors with
+      | [ e ] ->
+          Alcotest.(check (option int)) "withdrawal id attached"
+            w.Bridge.w_withdrawal_id e.Decoder.err_withdrawal_id
+      | _ -> Alcotest.fail "expected exactly one decode error")
+
+let reverted_txs_yield_status_zero =
+  Alcotest.test_case "reverted txs yield transaction facts with status 0"
+    `Quick (fun () ->
+      let b, m = make_bridge Events.B_address in
+      let user = new_user b "dec-u6" in
+      (* Deposit without owning tokens: reverts. *)
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 5) ~beneficiary:user
+      in
+      Alcotest.(check bool) "reverted" true
+        (d.Bridge.d_receipt.Types.r_status = Types.Reverted);
+      let rds = decode_all b Events.B_address b.Bridge.source.Bridge.chain in
+      let reverted_facts =
+        List.filter
+          (fun f ->
+            match f with Facts.Transaction { status = 0; _ } -> true | _ -> false)
+          (List.concat_map (fun rd -> rd.Decoder.rd_facts) rds)
+      in
+      Alcotest.(check int) "one reverted transaction fact" 1
+        (List.length reverted_facts))
+
+let foreign_events_ignored =
+  Alcotest.test_case "events from unwatched contracts build no bridge facts"
+    `Quick (fun () ->
+      let b, _ = make_bridge Events.B_address in
+      let user = new_user b "dec-u7" in
+      (* A contract that emits a bridge-shaped event but is NOT a
+         bridge-controlled address. *)
+      let imposter =
+        Chain.deploy b.Bridge.source.Bridge.chain ~from_:user ~label:"imposter"
+          (fun env ->
+            env.Chain.emit (Events.sc_token_deposited Events.B_address)
+              [
+                Xcw_abi.Abi.Value.uint_of_int 99;
+                Xcw_abi.Abi.Value.Address user;
+                Xcw_abi.Abi.Value.Address user;
+                Xcw_abi.Abi.Value.Address user;
+                Xcw_abi.Abi.Value.uint_of_int 2;
+                Xcw_abi.Abi.Value.uint_of_int 1;
+              ])
+      in
+      ignore
+        (Chain.submit_tx b.Bridge.source.Bridge.chain ~from_:user ~to_:imposter
+           ~input:"x" ());
+      let rds = decode_all b Events.B_address b.Bridge.source.Bridge.chain in
+      Alcotest.(check int) "no sc_token_deposited" 0
+        (List.length (facts_of_kind Facts.r_sc_token_deposited rds)))
+
+let latency_split_native_vs_not =
+  Alcotest.test_case "per-receipt latency reflects the tracer cost" `Quick
+    (fun () ->
+      let b, m = make_bridge Events.B_address in
+      let user = new_user b "dec-u8" in
+      mint b m user (u 100);
+      ignore
+        (Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+           ~amount:(u 100) ~beneficiary:user);
+      ignore (Bridge.deposit_native b ~user ~amount:(u 10) ~beneficiary:user);
+      let config = Config.of_bridge b in
+      let rpc =
+        Rpc.create ~profile:Xcw_rpc.Latency.nomad_profile ~seed:3
+          b.Bridge.source.Bridge.chain
+      in
+      let rds =
+        Decoder.decode_chain Decoder.ronin_plugin config ~role:Decoder.Source
+          rpc b.Bridge.source.Bridge.chain
+      in
+      let native =
+        List.filter_map
+          (fun rd -> if rd.Decoder.rd_is_native then Some rd.Decoder.rd_latency else None)
+          rds
+      in
+      let non_native =
+        List.filter_map
+          (fun rd -> if rd.Decoder.rd_is_native then None else Some rd.Decoder.rd_latency)
+          rds
+      in
+      Alcotest.(check bool) "one native receipt" true (List.length native = 1);
+      Alcotest.(check bool) "native receipt slower than the median non-native"
+        true
+        (List.hd native > Xcw_util.Stats.median non_native))
+
+let () =
+  Alcotest.run "decoder"
+    [
+      ( "facts",
+        [
+          erc20_deposit_facts;
+          native_deposit_is_traced;
+          weth_event_on_target_is_native_withdrawal;
+          reverted_txs_yield_status_zero;
+          foreign_events_ignored;
+        ] );
+      ( "beneficiaries",
+        [ right_padded_deposit_parses_leniently; garbage_beneficiary_fails_with_marker ] );
+      ("latency", [ latency_split_native_vs_not ]);
+    ]

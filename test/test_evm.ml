@@ -1,0 +1,128 @@
+(* Tests for the EVM data model: addresses, contract-address
+   derivation, call-trace flattening. *)
+
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module U256 = Xcw_uint256.Uint256
+
+let addr_roundtrip =
+  Alcotest.test_case "address hex round-trip" `Quick (fun () ->
+      let a = Address.of_hex "0x1234567890abcdef1234567890abcdef12345678" in
+      Alcotest.(check string)
+        "hex" "0x1234567890abcdef1234567890abcdef12345678" (Address.to_hex a))
+
+let addr_size_enforced =
+  Alcotest.test_case "addresses must be 20 bytes" `Quick (fun () ->
+      (try
+         ignore (Address.of_bytes "short");
+         Alcotest.fail "expected Invalid_argument"
+       with Invalid_argument _ -> ());
+      try
+        ignore (Address.of_hex "0x1234");
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+
+let zero_address =
+  Alcotest.test_case "zero address" `Quick (fun () ->
+      Alcotest.(check bool) "is zero" true (Address.is_zero Address.zero);
+      Alcotest.(check string)
+        "hex" "0x0000000000000000000000000000000000000000"
+        (Address.to_hex Address.zero))
+
+let contract_address_known =
+  Alcotest.test_case "contract address derivation matches mainnet rule" `Quick
+    (fun () ->
+      (* keccak256(rlp([sender, nonce]))[12:] — the canonical test:
+         sender 0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0 with nonce 0
+         creates 0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d (the famous
+         CryptoKitties-era example). *)
+      let sender = Address.of_hex "0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0" in
+      Alcotest.(check string)
+        "nonce 0" "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d"
+        (Address.to_hex (Address.contract_address ~sender ~nonce:0));
+      Alcotest.(check string)
+        "nonce 1" "0x343c43a37d37dff08ae8c4a11544c718abb4fcf8"
+        (Address.to_hex (Address.contract_address ~sender ~nonce:1)))
+
+let contract_addresses_distinct =
+  QCheck.Test.make ~name:"distinct nonces give distinct contract addresses"
+    ~count:100
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (n1, n2) ->
+      QCheck.assume (n1 <> n2);
+      let sender = Address.of_seed "deployer" in
+      not
+        (Address.equal
+           (Address.contract_address ~sender ~nonce:n1)
+           (Address.contract_address ~sender ~nonce:n2)))
+
+let of_seed_deterministic =
+  Alcotest.test_case "of_seed is deterministic and label-sensitive" `Quick
+    (fun () ->
+      Alcotest.(check bool) "same" true
+        (Address.equal (Address.of_seed "x") (Address.of_seed "x"));
+      Alcotest.(check bool) "different" false
+        (Address.equal (Address.of_seed "x") (Address.of_seed "y")))
+
+let make_frame ?(depth = 0) ?(value = 0) ~from_ ~to_ subcalls =
+  {
+    Types.call_type = Types.Call;
+    call_from = Address.of_seed from_;
+    call_to = Address.of_seed to_;
+    call_value = U256.of_int value;
+    call_input = "";
+    call_depth = depth;
+    subcalls;
+  }
+
+let flatten_preorder =
+  Alcotest.test_case "flatten_calls is pre-order" `Quick (fun () ->
+      let tree =
+        make_frame ~from_:"a" ~to_:"b"
+          [
+            make_frame ~depth:1 ~from_:"b" ~to_:"c"
+              [ make_frame ~depth:2 ~from_:"c" ~to_:"d" [] ];
+            make_frame ~depth:1 ~from_:"b" ~to_:"e" [];
+          ]
+      in
+      let flat = Types.flatten_calls tree in
+      Alcotest.(check int) "4 frames" 4 (List.length flat);
+      Alcotest.(check (list int))
+        "depths in pre-order" [ 0; 1; 2; 1 ]
+        (List.map (fun f -> f.Types.call_depth) flat))
+
+let internal_value_transfers_filter =
+  Alcotest.test_case "internal_value_transfers excludes top level and zeros"
+    `Quick (fun () ->
+      let tree =
+        make_frame ~value:100 ~from_:"a" ~to_:"b"
+          [
+            make_frame ~depth:1 ~value:50 ~from_:"b" ~to_:"c" [];
+            make_frame ~depth:1 ~value:0 ~from_:"b" ~to_:"d" [];
+          ]
+      in
+      let transfers = Types.internal_value_transfers tree in
+      Alcotest.(check int) "one internal transfer" 1 (List.length transfers);
+      Alcotest.(check bool) "the 50-value call" true
+        (U256.equal (List.hd transfers).Types.call_value (U256.of_int 50)))
+
+let status_codes =
+  Alcotest.test_case "status codes" `Quick (fun () ->
+      Alcotest.(check int) "success" 1 (Types.status_code Types.Success);
+      Alcotest.(check int) "reverted" 0 (Types.status_code Types.Reverted))
+
+let () =
+  Alcotest.run "evm"
+    [
+      ( "address",
+        [
+          addr_roundtrip;
+          addr_size_enforced;
+          zero_address;
+          contract_address_known;
+          of_seed_deterministic;
+          QCheck_alcotest.to_alcotest contract_addresses_distinct;
+        ] );
+      ( "traces",
+        [ flatten_preorder; internal_value_transfers_filter; status_codes ] );
+    ]

@@ -1,0 +1,174 @@
+(* Robustness fuzzing: decoders over adversarial input must fail with
+   their declared exceptions — never any other way.  This matters for
+   XChainWatcher's threat model: the decoder consumes attacker-crafted
+   on-chain data (fake events, malformed payloads), so "panics" on
+   hostile bytes would be a denial-of-service vector against the
+   monitor. *)
+
+module Abi = Xcw_abi.Abi
+module Rlp = Xcw_rlp.Rlp
+module Parser = Xcw_datalog.Parser
+module Json = Xcw_util.Json
+module U256 = Xcw_uint256.Uint256
+
+let arb_bytes = QCheck.(string_of_size Gen.(0 -- 300))
+
+let abi_decode_total =
+  QCheck.Test.make ~name:"ABI decode on random bytes: Ok or Decode_error"
+    ~count:500
+    QCheck.(pair arb_bytes (int_bound 4))
+    (fun (blob, shape) ->
+      let types =
+        match shape with
+        | 0 -> [ Abi.Type.Address; Abi.Type.uint256 ]
+        | 1 -> [ Abi.Type.Bytes ]
+        | 2 -> [ Abi.Type.Array Abi.Type.uint256 ]
+        | 3 -> [ Abi.Type.String_t; Abi.Type.Bool ]
+        | _ -> [ Abi.Type.Tuple [ Abi.Type.uint256; Abi.Type.Bytes ] ]
+      in
+      match Abi.decode types blob with
+      | _ -> true
+      | exception Abi.Decode_error _ -> true)
+
+let event_decode_total =
+  QCheck.Test.make
+    ~name:"event decode on random topics/data: Ok or Decode_error" ~count:300
+    QCheck.(pair (list_of_size Gen.(0 -- 4) (make Gen.(string_size ~gen:char (return 32)))) arb_bytes)
+    (fun (topics, data) ->
+      let ev = Xcw_chain.Erc20.transfer_event in
+      match Abi.Event.decode_log ev topics data with
+      | _ -> true
+      | exception Abi.Decode_error _ -> true)
+
+let rlp_decode_total =
+  QCheck.Test.make ~name:"RLP decode on random bytes: Ok or Decode_error"
+    ~count:500 arb_bytes
+    (fun blob ->
+      match Rlp.decode blob with
+      | _ -> true
+      | exception Rlp.Decode_error _ -> true)
+
+let parser_total =
+  QCheck.Test.make ~name:"rule parser on random text: Ok or Parse_error"
+    ~count:500
+    QCheck.(string_of_size Gen.(0 -- 120))
+    (fun src ->
+      match Parser.parse_program src with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true)
+
+let json_total =
+  QCheck.Test.make ~name:"JSON parser on random text: Ok or Parse_error"
+    ~count:500
+    QCheck.(string_of_size Gen.(0 -- 120))
+    (fun src ->
+      match Json.of_string src with
+      | _ -> true
+      | exception Json.Parse_error _ -> true)
+
+let uint256_strings_total =
+  QCheck.Test.make
+    ~name:"uint256 of_string on random text: Ok or declared exception"
+    ~count:500
+    QCheck.(string_of_size Gen.(0 -- 100))
+    (fun src ->
+      match U256.of_string src with
+      | _ -> true
+      | exception Invalid_argument _ -> true
+      | exception U256.Overflow -> true)
+
+let hex_total =
+  QCheck.Test.make ~name:"hex decode on random text: Ok or Invalid_argument"
+    ~count:500
+    QCheck.(string_of_size Gen.(0 -- 100))
+    (fun src ->
+      match Xcw_util.Hex.decode src with
+      | _ -> true
+      | exception Invalid_argument _ -> true)
+
+(* Malicious contract: emits a log with a correct Transfer topic0 but
+   garbage topic arity/data; the chain decoder must record an error
+   (or skip), never crash. *)
+let hostile_log_decoding =
+  Alcotest.test_case "decoder survives hostile bridge-shaped logs" `Quick
+    (fun () ->
+      let module Chain = Xcw_chain.Chain in
+      let module Address = Xcw_evm.Address in
+      let module Bridge = Xcw_bridge.Bridge in
+      let module Events = Xcw_bridge.Events in
+      let s =
+        Chain.create ~chain_id:1 ~name:"s" ~finality_seconds:60
+          ~genesis_time:1_650_000_000
+      in
+      let t =
+        Chain.create ~chain_id:2 ~name:"t" ~finality_seconds:30
+          ~genesis_time:1_650_000_000
+      in
+      let b =
+        Bridge.create
+          {
+            Bridge.s_label = "fuzz";
+            s_source_chain = s;
+            s_target_chain = t;
+            s_escrow = Bridge.Lock_unlock;
+            s_acceptance =
+              Bridge.Multisig
+                {
+                  threshold = 1;
+                  validator_count = 1;
+                  compromised_keys = 0;
+                  enforce_source_finality = true;
+                };
+            s_beneficiary_repr = Events.B_address;
+            s_buggy_unmapped_withdrawal = false;
+          }
+      in
+      ignore (Bridge.register_token_pair b ~name:"T" ~symbol:"T" ~decimals:18);
+      let attacker = Address.of_seed "fuzz-attacker" in
+      Chain.fund s attacker (U256.of_tokens ~decimals:18 1);
+      (* A contract that re-emits the Transfer topic0 with truncated
+         data and wrong topic arity. *)
+      let hostile =
+        Chain.deploy s ~from_:attacker ~label:"hostile" (fun env ->
+            (* Emit via a custom raw-ish event: reuse the Transfer event
+               declaration but with a short value — encode_log keeps it
+               well-formed, so instead emit an event whose signature
+               collides only in name. *)
+            env.Xcw_chain.Chain.emit
+              Xcw_abi.Abi.Event.
+                {
+                  name = "Transfer";
+                  params =
+                    [
+                      param ~indexed:true "a" Xcw_abi.Abi.Type.Address;
+                      param "b" Xcw_abi.Abi.Type.Bool;
+                    ];
+                }
+              [ Xcw_abi.Abi.Value.Address attacker; Xcw_abi.Abi.Value.Bool true ])
+      in
+      ignore (Chain.submit_tx s ~from_:attacker ~to_:hostile ~input:"x" ());
+      let config = Xcw_core.Config.of_bridge b in
+      let rpc = Xcw_rpc.Rpc.create s in
+      (* Must not raise. *)
+      let rds =
+        Xcw_core.Decoder.decode_chain Xcw_core.Decoder.ronin_plugin config
+          ~role:Xcw_core.Decoder.Source rpc s
+      in
+      Alcotest.(check bool) "decoded without crashing" true (List.length rds > 0))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "totality",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            abi_decode_total;
+            event_decode_total;
+            rlp_decode_total;
+            parser_total;
+            json_total;
+            uint256_strings_total;
+            hex_total;
+          ] );
+      ("hostile-input", [ hostile_log_decoding ]);
+    ]

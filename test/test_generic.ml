@@ -1,0 +1,198 @@
+(* Detector soundness: on protocol-clean traffic — any seed, volume,
+   acceptance model, escrow model, beneficiary representation — the
+   detector must report ZERO anomalies, and captured counts must match
+   the generated traffic exactly.  This is the anomaly-detection
+   analogue of a no-false-positive guarantee on the modeled behaviour
+   (the paper's rules are designed to capture all expected behaviour;
+   anything flagged on benign input would be a modeling error). *)
+
+module Detector = Xcw_core.Detector
+module Decoder = Xcw_core.Decoder
+module Report = Xcw_core.Report
+module Generic = Xcw_workload.Generic
+module Scenario = Xcw_workload.Scenario
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+
+let detect (b : Scenario.built) repr =
+  let plugin =
+    match repr with
+    | Events.B_address -> Decoder.ronin_plugin
+    | Events.B_bytes32 -> Decoder.nomad_plugin
+  in
+  Detector.run
+    (Detector.default_input ~label:"generic" ~plugin ~config:b.Scenario.config
+       ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+       ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+       ~pricing:b.Scenario.pricing)
+
+let row result name =
+  List.find
+    (fun r -> r.Report.rr_rule = name)
+    result.Detector.report.Report.rows
+
+let check_sound ~name (spec : Generic.spec) =
+  let b = Generic.build spec in
+  let result = detect b spec.Generic.g_beneficiary_repr in
+  let g = b.Scenario.ground_truth in
+  Alcotest.(check int)
+    (name ^ ": zero anomalies") 0
+    (Report.total_anomalies result.Detector.report);
+  Alcotest.(check int)
+    (name ^ ": rule 2 captured")
+    g.Scenario.gt_erc20_deposits
+    (row result "2. SC_ValidERC20TokenDeposit").Report.rr_captured;
+  Alcotest.(check int)
+    (name ^ ": rule 1 captured")
+    g.Scenario.gt_native_deposits
+    (row result "1. SC_ValidNativeTokenDeposit").Report.rr_captured;
+  Alcotest.(check int)
+    (name ^ ": all deposits matched")
+    (g.Scenario.gt_erc20_deposits + g.Scenario.gt_native_deposits)
+    (row result "4. CCTX_ValidDeposit").Report.rr_captured;
+  Alcotest.(check int)
+    (name ^ ": all withdrawals matched")
+    g.Scenario.gt_erc20_withdrawals
+    (row result "8. CCTX_ValidWithdrawal").Report.rr_captured
+
+let multisig_lock_sound =
+  Alcotest.test_case "multisig lock-unlock bridge: clean traffic is clean"
+    `Quick (fun () ->
+      check_sound ~name:"multisig-lock" Generic.default_spec)
+
+let optimistic_bytes32_sound =
+  Alcotest.test_case "optimistic bytes32 bridge: clean traffic is clean"
+    `Quick (fun () ->
+      check_sound ~name:"optimistic"
+        {
+          Generic.default_spec with
+          Generic.g_seed = 2;
+          g_acceptance = `Optimistic;
+          g_beneficiary_repr = Events.B_bytes32;
+          g_source_finality = 1800;
+        })
+
+let burn_mint_sound =
+  Alcotest.test_case "burn-mint bridge: clean traffic is clean" `Quick
+    (fun () ->
+      check_sound ~name:"burn-mint"
+        {
+          Generic.default_spec with
+          Generic.g_seed = 3;
+          g_escrow = Bridge.Burn_mint;
+        })
+
+let prop_soundness_random_specs =
+  QCheck.Test.make ~name:"detector soundness over random benign scenarios"
+    ~count:12
+    QCheck.(
+      quad (int_range 1 100_000) (int_range 0 25) (int_range 0 12)
+        (pair bool bool))
+    (fun (seed, n_erc20, n_wdr, (optimistic, bytes32)) ->
+      let spec =
+        {
+          Generic.default_spec with
+          Generic.g_seed = seed;
+          g_erc20_deposits = n_erc20;
+          g_native_deposits = n_erc20 / 3;
+          g_withdrawals = n_wdr;
+          g_via_aggregator = n_erc20 / 5;
+          g_acceptance = (if optimistic then `Optimistic else `Multisig);
+          g_beneficiary_repr =
+            (if bytes32 then Events.B_bytes32 else Events.B_address);
+          g_source_finality = (if optimistic then 1800 else 78);
+        }
+      in
+      let b = Generic.build spec in
+      let result = detect b spec.Generic.g_beneficiary_repr in
+      Report.total_anomalies result.Detector.report = 0)
+
+let aggregator_deposits_accepted =
+  Alcotest.test_case "aggregator-routed deposits are valid cctxs" `Quick
+    (fun () ->
+      let spec =
+        {
+          Generic.default_spec with
+          Generic.g_seed = 4;
+          g_erc20_deposits = 0;
+          g_native_deposits = 0;
+          g_withdrawals = 0;
+          g_via_aggregator = 8;
+        }
+      in
+      let b = Generic.build spec in
+      let result = detect b Events.B_address in
+      Alcotest.(check int) "zero anomalies" 0
+        (Report.total_anomalies result.Detector.report);
+      Alcotest.(check int) "8 cctxs" 8
+        (row result "4. CCTX_ValidDeposit").Report.rr_captured)
+
+let parsed_rules_equivalent_detection =
+  Alcotest.test_case "detection with .dl-parsed rules matches compiled rules"
+    `Quick (fun () ->
+      let spec = { Generic.default_spec with Generic.g_seed = 8 } in
+      let b = Generic.build spec in
+      (* Inject one anomaly so the comparison is not trivially 0 = 0. *)
+      let bridge = b.Scenario.bridge in
+      let user = Xcw_evm.Address.of_seed "dl-user" in
+      Xcw_chain.Chain.fund bridge.Bridge.source.Bridge.chain user
+        (Xcw_uint256.Uint256.of_tokens ~decimals:18 1);
+      let rt = List.hd b.Scenario.tokens in
+      ignore
+        (Xcw_chain.Chain.submit_tx bridge.Bridge.source.Bridge.chain
+           ~from_:bridge.Bridge.source.Bridge.operator
+           ~to_:rt.Scenario.rt_mapping.Bridge.m_src_token
+           ~input:
+             (Xcw_chain.Erc20.mint_calldata ~to_:user
+                ~amount:(Xcw_uint256.Uint256.of_int 500))
+           ());
+      ignore
+        (Bridge.direct_token_transfer_to_bridge bridge ~user
+           ~src_token:rt.Scenario.rt_mapping.Bridge.m_src_token
+           ~amount:(Xcw_uint256.Uint256.of_int 500));
+      let base_input =
+        Detector.default_input ~label:"dl" ~plugin:Decoder.ronin_plugin
+          ~config:b.Scenario.config
+          ~source_chain:bridge.Bridge.source.Bridge.chain
+          ~target_chain:bridge.Bridge.target.Bridge.chain
+          ~pricing:b.Scenario.pricing
+      in
+      let compiled = Detector.run base_input in
+      (* Round-trip ALL rules through the printer and parser, then
+         detect again. *)
+      let printed =
+        String.concat "\n"
+          (List.map
+             (Format.asprintf "%a" Xcw_datalog.Ast.pp_rule)
+             Xcw_core.Rules.all_rules)
+      in
+      let parsed =
+        { Xcw_datalog.Ast.rules = Xcw_datalog.Parser.parse_program printed }
+      in
+      let reparsed =
+        Detector.run { base_input with Detector.i_program = parsed }
+      in
+      let signature (r : Detector.result) =
+        List.map
+          (fun row -> (row.Report.rr_rule, row.Report.rr_captured,
+                       List.length row.Report.rr_anomalies))
+          r.Detector.report.Report.rows
+      in
+      Alcotest.(check bool) "identical reports" true
+        (signature compiled = signature reparsed);
+      Alcotest.(check bool) "the anomaly is present" true
+        (Report.total_anomalies compiled.Detector.report = 1))
+
+let () =
+  Alcotest.run "generic-soundness"
+    [
+      ( "soundness",
+        [
+          multisig_lock_sound;
+          optimistic_bytes32_sound;
+          burn_mint_sound;
+          aggregator_deposits_accepted;
+          parsed_rules_equivalent_detection;
+          QCheck_alcotest.to_alcotest prop_soundness_random_specs;
+        ] );
+    ]

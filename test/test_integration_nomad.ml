@@ -1,0 +1,247 @@
+(* End-to-end integration test: generate the Nomad scenario (scaled
+   down), run the full XChainWatcher pipeline, and assert the detector
+   recovers exactly the injected ground truth — soundness (no anomalies
+   beyond the injected ones) and completeness (every injected anomaly
+   flagged by the right rule with the right classification). *)
+
+module Detector = Xcw_core.Detector
+module Report = Xcw_core.Report
+module Decoder = Xcw_core.Decoder
+module Nomad = Xcw_workload.Nomad
+module Scenario = Xcw_workload.Scenario
+module Bridge = Xcw_bridge.Bridge
+
+let scale = 0.02
+let built = lazy (Nomad.build ~seed:11 ~scale ())
+
+let result =
+  lazy
+    (let b = Lazy.force built in
+     Detector.run
+       (Detector.default_input ~label:"nomad"
+          ~plugin:Decoder.nomad_plugin ~config:b.Scenario.config
+          ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+          ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+          ~pricing:b.Scenario.pricing))
+
+let row name =
+  let r = Lazy.force result in
+  List.find (fun row -> row.Report.rr_rule = name) r.Detector.report.Report.rows
+
+let count_class row_name cls =
+  let r = row row_name in
+  List.length (List.filter (fun a -> a.Report.a_class = cls) r.Report.rr_anomalies)
+
+let gt () = (Lazy.force built).Scenario.ground_truth
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+
+let captured_counts_match =
+  Alcotest.test_case "captured records match injected benign traffic" `Quick
+    (fun () ->
+      let g = gt () in
+      check_int "rule 1 native deposits"
+        g.Scenario.gt_native_deposits
+        (row "1. SC_ValidNativeTokenDeposit").Report.rr_captured;
+      (* Rule 2 captures valid ERC-20 deposits; the right-padded one is
+         still structurally valid on S. *)
+      check_int "rule 2 erc20 deposits" g.Scenario.gt_erc20_deposits
+        (row "2. SC_ValidERC20TokenDeposit").Report.rr_captured;
+      (* Rule 3 captures all completed deposits on T plus the 7
+         fake-mapping mints. *)
+      check_int "rule 3 tc deposits"
+        (g.Scenario.gt_native_deposits + g.Scenario.gt_erc20_deposits
+       + g.Scenario.gt_deposit_mapping_violations)
+        (row "3. TC_ValidERC20TokenDeposit").Report.rr_captured;
+      check_int "rule 5 native withdrawal requests"
+        g.Scenario.gt_native_withdrawals
+        (row "5. TC_ValidNativeTokenWithdrawal").Report.rr_captured)
+
+let cctx_deposit_counts =
+  Alcotest.test_case "rule 4 captures all but the anomalous deposits" `Quick
+    (fun () ->
+      let g = gt () in
+      (* Valid cctx deposits = all deposits minus: 5 finality violations,
+         1 invalid beneficiary, 7 fake-mapping mints (never on S). *)
+      let expected =
+        g.Scenario.gt_native_deposits + g.Scenario.gt_erc20_deposits
+        - g.Scenario.gt_deposit_finality_violations
+        - g.Scenario.gt_invalid_beneficiary_deposits
+      in
+      check_int "cctx deposits" expected (row "4. CCTX_ValidDeposit").Report.rr_captured)
+
+let deposit_anomaly_classification =
+  Alcotest.test_case "rule 4 anomalies classified as in Table 4" `Quick
+    (fun () ->
+      let g = gt () in
+      (* Finality violations appear on both chains: 5 + 5. *)
+      check_int "finality violations"
+        (2 * g.Scenario.gt_deposit_finality_violations)
+        (count_class "4. CCTX_ValidDeposit" Report.Finality_violation);
+      check_int "mapping violations" g.Scenario.gt_deposit_mapping_violations
+        (count_class "4. CCTX_ValidDeposit" Report.Token_mapping_violation);
+      (* The right-padded deposit: flagged on both chains. *)
+      check_int "invalid beneficiary"
+        (2 * g.Scenario.gt_invalid_beneficiary_deposits)
+        (count_class "4. CCTX_ValidDeposit" Report.Invalid_beneficiary_fp);
+      check_int "no stray no-correspondence deposits" 0
+        (count_class "4. CCTX_ValidDeposit" Report.No_correspondence))
+
+let transfer_anomalies =
+  Alcotest.test_case "phishing and direct transfers (Findings 1-2)" `Quick
+    (fun () ->
+      let g = gt () in
+      check_int "phishing" g.Scenario.gt_phishing_transfers
+        (count_class "2. SC_ValidERC20TokenDeposit" Report.Phishing_token_transfer);
+      check_int "direct transfers" g.Scenario.gt_direct_transfers
+        (count_class "2. SC_ValidERC20TokenDeposit" Report.Direct_transfer_to_bridge);
+      (* USD total of direct transfers ~ $93.86K (exact per generator). *)
+      let r = row "2. SC_ValidERC20TokenDeposit" in
+      let total =
+        List.fold_left
+          (fun acc a ->
+            if a.Report.a_class = Report.Direct_transfer_to_bridge then
+              acc +. a.Report.a_usd_value
+            else acc)
+          0.0 r.Report.rr_anomalies
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "direct transfer USD (%.2f vs %.2f)" total
+           g.Scenario.gt_direct_transfer_usd)
+        true
+        (Float.abs (total -. g.Scenario.gt_direct_transfer_usd)
+         /. g.Scenario.gt_direct_transfer_usd
+        < 0.02))
+
+let withdrawal_row6_anomalies =
+  Alcotest.test_case "rule 6: unparseable beneficiaries and exploit probes"
+    `Quick (fun () ->
+      let g = gt () in
+      check_int "unparseable" g.Scenario.gt_unparseable_beneficiaries
+        (count_class "6. TC_ValidERC20TokenWithdrawal" Report.Unparseable_beneficiary);
+      check_int "failed exploits" g.Scenario.gt_failed_exploits
+        (count_class "6. TC_ValidERC20TokenWithdrawal" Report.Failed_exploit_attempt))
+
+let attack_detected =
+  Alcotest.test_case "the Nomad attack is fully identified (Finding 8)" `Quick
+    (fun () ->
+      let g = gt () in
+      let r = Lazy.force result in
+      let summary = Detector.attack_summary ~source_chain_id:1 r in
+      check_int "attack events" g.Scenario.gt_attack_events
+        summary.Detector.as_events;
+      check_int "attack transactions" g.Scenario.gt_attack_events
+        summary.Detector.as_transactions;
+      Alcotest.(check bool)
+        (Printf.sprintf "stolen USD ~ ground truth (%.0f vs %.0f)"
+           summary.Detector.as_total_usd g.Scenario.gt_attack_usd)
+        true
+        (g.Scenario.gt_attack_usd > 0.0
+        && Float.abs (summary.Detector.as_total_usd -. g.Scenario.gt_attack_usd)
+           /. g.Scenario.gt_attack_usd
+           < 0.02))
+
+let withdrawal_unmatched_counts =
+  Alcotest.test_case "rule 8: unmatched withdrawals match injections" `Quick
+    (fun () ->
+      let g = gt () in
+      (* T-side no-correspondence = incomplete withdrawals (native +
+         erc20).  S-side no-correspondence = attack events.  Mapping
+         violations on the S side = the 2 fake-mapping withdrawals.
+         Invalid-beneficiary FPs = the 3 garbage executions on S. *)
+      let expected_no_corr =
+        g.Scenario.gt_incomplete_native_withdrawals
+        + g.Scenario.gt_incomplete_erc20_withdrawals
+        + g.Scenario.gt_attack_events
+      in
+      check_int "no correspondence" expected_no_corr
+        (count_class "8. CCTX_ValidWithdrawal" Report.No_correspondence);
+      check_int "mapping violations"
+        g.Scenario.gt_withdrawal_mapping_violations
+        (count_class "8. CCTX_ValidWithdrawal" Report.Token_mapping_violation);
+      check_int "invalid beneficiary FPs"
+        g.Scenario.gt_unparseable_beneficiaries
+        (count_class "8. CCTX_ValidWithdrawal" Report.Invalid_beneficiary_fp))
+
+let cctx_withdrawals_complete =
+  Alcotest.test_case "rule 8 captures completed withdrawals" `Quick (fun () ->
+      let g = gt () in
+      let r = Lazy.force result in
+      let withdrawal_cctxs =
+        List.filter
+          (fun c -> c.Report.c_kind = `Withdrawal)
+          r.Detector.report.Report.cctxs
+      in
+      (* Completed = erc20 executed + native executed (native requests
+         minus incomplete natives, minus any post-attack failures
+         counted as incomplete). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "completed withdrawals >= erc20 executions (%d vs %d)"
+           (List.length withdrawal_cctxs)
+           g.Scenario.gt_erc20_withdrawals)
+        true
+        (List.length withdrawal_cctxs >= g.Scenario.gt_erc20_withdrawals))
+
+let cctx_latency_at_window =
+  Alcotest.test_case "all cctx deposits respect the 30-minute window" `Quick
+    (fun () ->
+      let r = Lazy.force result in
+      List.iter
+        (fun c ->
+          if c.Report.c_kind = `Deposit then
+            Alcotest.(check bool) "latency >= 1800" true (Report.cctx_latency c >= 1800))
+        r.Detector.report.Report.cctxs)
+
+let no_decode_errors_beyond_injected =
+  Alcotest.test_case "decode errors are exactly the unparseable inputs" `Quick
+    (fun () ->
+      let g = gt () in
+      let r = Lazy.force result in
+      check_int "decode errors" g.Scenario.gt_unparseable_beneficiaries
+        (List.length r.Detector.decode_errors))
+
+let benign_scenario_clean =
+  Alcotest.test_case "a benign-only scenario raises zero anomalies" `Quick
+    (fun () ->
+      (* Seeded tiny scenario with all anomaly injection suppressed is
+         approximated by asserting the anomaly total equals the ground
+         truth total — no false positives beyond classified ones. *)
+      let g = gt () in
+      let r = Lazy.force result in
+      let total = Report.total_anomalies r.Detector.report in
+      let expected =
+        g.Scenario.gt_phishing_transfers + g.Scenario.gt_direct_transfers
+        + g.Scenario.gt_transfer_from_bridge
+        + (2 * g.Scenario.gt_deposit_finality_violations)
+        + (2 * g.Scenario.gt_invalid_beneficiary_deposits)
+        + g.Scenario.gt_deposit_mapping_violations
+        + g.Scenario.gt_unparseable_beneficiaries (* rule 6 decode *)
+        + g.Scenario.gt_unparseable_beneficiaries (* rule 8 S-side FPs *)
+        + g.Scenario.gt_failed_exploits
+        + g.Scenario.gt_withdrawal_mapping_violations
+        + g.Scenario.gt_incomplete_native_withdrawals
+        + g.Scenario.gt_incomplete_erc20_withdrawals
+        + g.Scenario.gt_attack_events
+      in
+      check_int "total anomalies" expected total)
+
+let () =
+  Alcotest.run "integration-nomad"
+    [
+      ( "nomad",
+        [
+          captured_counts_match;
+          cctx_deposit_counts;
+          deposit_anomaly_classification;
+          transfer_anomalies;
+          withdrawal_row6_anomalies;
+          attack_detected;
+          withdrawal_unmatched_counts;
+          cctx_withdrawals_complete;
+          cctx_latency_at_window;
+          no_decode_errors_beyond_injected;
+          benign_scenario_clean;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* End-to-end integration test for the Ronin scenario: multisig
+   acceptance, pre-window false positives via withdrawal-id numbering,
+   finality violations on both flows, the unmapped-token Withdraw bug,
+   and the March 2022 forged-withdrawal attack. *)
+
+module Detector = Xcw_core.Detector
+module Report = Xcw_core.Report
+module Decoder = Xcw_core.Decoder
+module Ronin = Xcw_workload.Ronin
+module Scenario = Xcw_workload.Scenario
+module Bridge = Xcw_bridge.Bridge
+
+let scale = 0.02
+let built = lazy (Ronin.build ~seed:7 ~scale ())
+
+let result =
+  lazy
+    (let b = Lazy.force built in
+     let input =
+       Detector.default_input ~label:"ronin" ~plugin:Decoder.ronin_plugin
+         ~config:b.Scenario.config
+         ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+         ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+         ~pricing:b.Scenario.pricing
+     in
+     Detector.run
+       {
+         input with
+         Detector.i_first_window_withdrawal_id =
+           b.Scenario.first_window_withdrawal_id;
+       })
+
+let row name =
+  let r = Lazy.force result in
+  List.find (fun row -> row.Report.rr_rule = name) r.Detector.report.Report.rows
+
+let count_class row_name cls =
+  let r = row row_name in
+  List.length (List.filter (fun a -> a.Report.a_class = cls) r.Report.rr_anomalies)
+
+let gt () = (Lazy.force built).Scenario.ground_truth
+
+let check_int = Alcotest.(check int)
+
+let captured_counts =
+  Alcotest.test_case "captured records match injected traffic" `Quick
+    (fun () ->
+      let g = gt () in
+      check_int "rule 1 native deposits" g.Scenario.gt_native_deposits
+        (row "1. SC_ValidNativeTokenDeposit").Report.rr_captured;
+      check_int "rule 2 erc20 deposits" g.Scenario.gt_erc20_deposits
+        (row "2. SC_ValidERC20TokenDeposit").Report.rr_captured;
+      check_int "rule 3 tc deposits"
+        (g.Scenario.gt_native_deposits + g.Scenario.gt_erc20_deposits)
+        (row "3. TC_ValidERC20TokenDeposit").Report.rr_captured;
+      check_int "rule 5 native withdrawals: none on Ronin" 0
+        (row "5. TC_ValidNativeTokenWithdrawal").Report.rr_captured;
+      (* Rule 7 captures: completed withdrawals (incl. 22 violations)
+         + pre-window FP executions + the 2 attack transactions. *)
+      check_int "rule 7 sc withdrawals"
+        (g.Scenario.gt_erc20_withdrawals + g.Scenario.gt_pre_window_fps
+       + g.Scenario.gt_attack_events)
+        (row "7. SC_ValidERC20TokenWithdrawal").Report.rr_captured)
+
+let deposit_finality_violations =
+  Alcotest.test_case "10 deposit finality violations flagged both sides" `Quick
+    (fun () ->
+      let g = gt () in
+      check_int "finality" (2 * g.Scenario.gt_deposit_finality_violations)
+        (count_class "4. CCTX_ValidDeposit" Report.Finality_violation);
+      check_int "deposit finality count is 10" 10
+        g.Scenario.gt_deposit_finality_violations)
+
+let withdrawal_finality_violations =
+  Alcotest.test_case "22 withdrawal finality violations flagged both sides"
+    `Quick (fun () ->
+      let g = gt () in
+      check_int "ground truth is 22" 22 g.Scenario.gt_withdrawal_finality_violations;
+      check_int "flagged" (2 * g.Scenario.gt_withdrawal_finality_violations)
+        (count_class "8. CCTX_ValidWithdrawal" Report.Finality_violation))
+
+let pre_window_fps =
+  Alcotest.test_case "pre-window executions classified as FPs" `Quick
+    (fun () ->
+      let g = gt () in
+      Alcotest.(check bool) "some pre-window fps injected" true
+        (g.Scenario.gt_pre_window_fps > 0);
+      check_int "classified" g.Scenario.gt_pre_window_fps
+        (count_class "8. CCTX_ValidWithdrawal" Report.Pre_window_fp))
+
+let transfers_to_bridge =
+  Alcotest.test_case "83 transfers to bridge: 3 phishing + 80 direct" `Quick
+    (fun () ->
+      check_int "phishing" 3
+        (count_class "2. SC_ValidERC20TokenDeposit" Report.Phishing_token_transfer);
+      check_int "direct" 80
+        (count_class "2. SC_ValidERC20TokenDeposit" Report.Direct_transfer_to_bridge))
+
+let outbound_phishing =
+  Alcotest.test_case "1 fabricated transfer out of the bridge" `Quick
+    (fun () ->
+      check_int "phishing out" 1
+        (count_class "7. SC_ValidERC20TokenWithdrawal" Report.Phishing_token_transfer))
+
+let unmapped_withdraw_events =
+  Alcotest.test_case "2 unmapped-token Withdraw events without escrow" `Quick
+    (fun () ->
+      check_int "event without escrow" 2
+        (count_class "6. TC_ValidERC20TokenWithdrawal" Report.Event_without_escrow))
+
+let attack_identified =
+  Alcotest.test_case "the Ronin attack: 2 forged withdrawals, one EOA" `Quick
+    (fun () ->
+      let g = gt () in
+      let r = Lazy.force result in
+      let summary = Detector.attack_summary ~source_chain_id:1 r in
+      check_int "2 events" 2 summary.Detector.as_events;
+      check_int "ground truth agrees" g.Scenario.gt_attack_events
+        summary.Detector.as_events;
+      Alcotest.(check bool)
+        (Printf.sprintf "stolen USD within 2%% (%.0f vs %.0f)"
+           summary.Detector.as_total_usd g.Scenario.gt_attack_usd)
+        true
+        (g.Scenario.gt_attack_usd > 0.0
+        && Float.abs (summary.Detector.as_total_usd -. g.Scenario.gt_attack_usd)
+           /. g.Scenario.gt_attack_usd
+           < 0.02);
+      (* The attack is in the hundreds of millions, as in the paper
+         (scaled scenario still seeds full-size escrow). *)
+      Alcotest.(check bool) "> $100M" true (g.Scenario.gt_attack_usd > 1.0e8))
+
+let unmatched_withdrawals =
+  Alcotest.test_case "incomplete withdrawals all surface as unmatched" `Quick
+    (fun () ->
+      let g = gt () in
+      check_int "T-side no correspondence + S-side attack"
+        (g.Scenario.gt_incomplete_erc20_withdrawals + g.Scenario.gt_attack_events)
+        (count_class "8. CCTX_ValidWithdrawal" Report.No_correspondence))
+
+let total_anomalies_accounted =
+  Alcotest.test_case "every anomaly is classified (no unexplained ones)" `Quick
+    (fun () ->
+      let g = gt () in
+      let r = Lazy.force result in
+      let total = Report.total_anomalies r.Detector.report in
+      let expected =
+        g.Scenario.gt_phishing_transfers + g.Scenario.gt_direct_transfers
+        + g.Scenario.gt_transfer_from_bridge
+        + (2 * g.Scenario.gt_deposit_finality_violations)
+        + (2 * g.Scenario.gt_withdrawal_finality_violations)
+        + g.Scenario.gt_withdrawal_mapping_violations (* 2 rogue events *)
+        + g.Scenario.gt_pre_window_fps
+        + g.Scenario.gt_incomplete_erc20_withdrawals
+        + g.Scenario.gt_attack_events
+      in
+      check_int "total anomalies" expected total)
+
+let figure1_shape =
+  Alcotest.test_case "deposits stop at discovery (Figure 1 shape)" `Quick
+    (fun () ->
+      let b = Lazy.force built in
+      let after_discovery =
+        List.filter
+          (fun ts -> ts > b.Scenario.discovery_time)
+          b.Scenario.deposit_call_times
+      in
+      check_int "no deposits after discovery" 0 (List.length after_discovery);
+      Alcotest.(check bool) "withdrawal calls continue to t2" true
+        (List.exists
+           (fun ts -> ts > b.Scenario.discovery_time)
+           b.Scenario.withdrawal_call_times))
+
+let () =
+  Alcotest.run "integration-ronin"
+    [
+      ( "ronin",
+        [
+          captured_counts;
+          deposit_finality_violations;
+          withdrawal_finality_violations;
+          pre_window_fps;
+          transfers_to_bridge;
+          outbound_phishing;
+          unmapped_withdraw_events;
+          attack_identified;
+          unmatched_withdrawals;
+          total_anomalies_accounted;
+          figure1_shape;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+(* Keccak-256 test vectors.
+
+   The digest values below are the published Keccak-256 (pre-SHA3
+   padding) vectors, the same function Ethereum uses for transaction
+   hashes, event topics and function selectors. *)
+
+open Xcw_keccak
+
+let check_digest name input expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (Keccak.digest_hex input))
+
+let empty_string =
+  check_digest "empty string" ""
+    "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+
+let abc =
+  check_digest "abc" "abc"
+    "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+
+let transfer_event =
+  (* topic[0] of the ERC-20 Transfer event. *)
+  check_digest "ERC20 Transfer signature"
+    "Transfer(address,address,uint256)"
+    "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"
+
+let approval_event =
+  check_digest "ERC20 Approval signature"
+    "Approval(address,address,uint256)"
+    "8c5be1e5ebec7d5bd14f71427d1e84f3dd0314c0f7b2291e5b200ac8c7c3b925"
+
+let deposit_event =
+  (* topic[0] of the WETH Deposit event. *)
+  check_digest "WETH Deposit signature" "Deposit(address,uint256)"
+    "e1fffcc4923d04b559f4d29a8bfc6cda04eb5b0d3c460751c2402c5c5cc9109c"
+
+let withdrawal_event =
+  check_digest "WETH Withdrawal signature" "Withdrawal(address,uint256)"
+    "7fcf532c15f0a6db0bd6d0e038bea71d30d808c7d98cb3bf7268a95bf5081b65"
+
+let long_input =
+  (* Exercises multi-block absorption: 1000 'a' characters spans
+     several 136-byte rate blocks. *)
+  (* Verified against an independent Keccak-f[1600] reference
+     implementation; exercises multi-block absorption. *)
+  check_digest "1000 x 'a'" (String.make 1000 'a')
+    "b6a4ac1f51884d71f30fa397a5e155de3099e11fc0edef5d08b646e621e19de9"
+
+let block_boundary_sizes =
+  Alcotest.test_case "block boundary sizes produce 32-byte digests" `Quick
+    (fun () ->
+      (* 135, 136, 137 bytes straddle the sponge rate. *)
+      List.iter
+        (fun n ->
+          let d = Keccak.digest (String.make n 'x') in
+          Alcotest.(check int)
+            (Printf.sprintf "digest length for %d-byte input" n)
+            32 (String.length d))
+        [ 0; 1; 135; 136; 137; 271; 272; 273 ])
+
+let deterministic =
+  QCheck.Test.make ~name:"digest is deterministic" ~count:100
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s -> Keccak.digest s = Keccak.digest s)
+
+let injective_in_practice =
+  QCheck.Test.make ~name:"distinct inputs give distinct digests" ~count:100
+    QCheck.(pair (string_of_size Gen.(0 -- 100)) (string_of_size Gen.(0 -- 100)))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      Keccak.digest a <> Keccak.digest b)
+
+let avalanche =
+  QCheck.Test.make ~name:"single-bit flip changes at least 64 output bits"
+    ~count:50
+    QCheck.(string_of_size Gen.(1 -- 100))
+    (fun s ->
+      let flipped =
+        String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) s
+      in
+      let d1 = Keccak.digest s and d2 = Keccak.digest flipped in
+      let diff_bits = ref 0 in
+      String.iteri
+        (fun i c ->
+          let x = Char.code c lxor Char.code d2.[i] in
+          for b = 0 to 7 do
+            if x land (1 lsl b) <> 0 then incr diff_bits
+          done)
+        d1;
+      !diff_bits >= 64)
+
+let () =
+  Alcotest.run "keccak"
+    [
+      ( "vectors",
+        [
+          empty_string;
+          abc;
+          transfer_event;
+          approval_event;
+          deposit_event;
+          withdrawal_event;
+          long_input;
+          block_boundary_sizes;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ deterministic; injective_in_practice; avalanche ] );
+    ]

@@ -1,0 +1,260 @@
+(* Tests for the streaming monitor: incremental decoding, alert
+   de-duplication, and detection latency on an attack scenario — the
+   observability gap of Figure 1 closed to one polling interval. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Config = Xcw_core.Config
+module Pricing = Xcw_core.Pricing
+module Decoder = Xcw_core.Decoder
+module Detector = Xcw_core.Detector
+module Monitor = Xcw_core.Monitor
+module Report = Xcw_core.Report
+
+let u = U256.of_int
+
+let make_bridge () =
+  let s =
+    Chain.create ~chain_id:1 ~name:"s" ~finality_seconds:60
+      ~genesis_time:1_650_000_000
+  in
+  let t =
+    Chain.create ~chain_id:2 ~name:"t" ~finality_seconds:30
+      ~genesis_time:1_650_000_000
+  in
+  let b =
+    Bridge.create
+      {
+        Bridge.s_label = "mon-test";
+        s_source_chain = s;
+        s_target_chain = t;
+        s_escrow = Bridge.Lock_unlock;
+        s_acceptance =
+          Bridge.Multisig
+            {
+              threshold = 2;
+              validator_count = 3;
+              compromised_keys = 0;
+              enforce_source_finality = true;
+            };
+        s_beneficiary_repr = Events.B_address;
+        s_buggy_unmapped_withdrawal = false;
+      }
+  in
+  let m = Bridge.register_token_pair b ~name:"Tok" ~symbol:"TOK" ~decimals:18 in
+  (b, m)
+
+let monitor_input b =
+  let config = Config.of_bridge b in
+  let pricing = Pricing.create () in
+  (* Amounts in these tests are raw token units; price them 1:1. *)
+  Pricing.register pricing ~chain_id:1
+    ~token:(Address.to_hex (List.hd b.Bridge.mappings).Bridge.m_src_token)
+    ~usd_per_token:1.0 ~decimals:0;
+  Detector.default_input ~label:"mon-test" ~plugin:Decoder.ronin_plugin ~config
+    ~source_chain:b.Bridge.source.Bridge.chain
+    ~target_chain:b.Bridge.target.Bridge.chain ~pricing
+
+let user_with_tokens b m name amount =
+  let user = Address.of_seed name in
+  Chain.fund b.Bridge.source.Bridge.chain user (U256.of_tokens ~decimals:18 10);
+  Chain.fund b.Bridge.target.Bridge.chain user (U256.of_tokens ~decimals:18 10);
+  ignore
+    (Chain.submit_tx b.Bridge.source.Bridge.chain
+       ~from_:b.Bridge.source.Bridge.operator ~to_:m.Bridge.m_src_token
+       ~input:(Erc20.mint_calldata ~to_:user ~amount)
+       ());
+  user
+
+let cur b =
+  ( (Chain.all_blocks b.Bridge.source.Bridge.chain |> List.length),
+    (Chain.all_blocks b.Bridge.target.Bridge.chain |> List.length) )
+
+let no_alerts_on_benign_traffic =
+  Alcotest.test_case "benign flows raise no alerts across polls" `Quick
+    (fun () ->
+      let b, m = make_bridge () in
+      let mon = Monitor.create (monitor_input b) in
+      let user = user_with_tokens b m "mon-u1" (u 1000) in
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 400) ~beneficiary:user
+      in
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      let sb, tb = cur b in
+      let alerts = Monitor.poll mon ~source_block:sb ~target_block:tb in
+      Alcotest.(check int) "no alerts after a completed deposit" 0
+        (List.length alerts);
+      (* A withdrawal round-trip is clean too. *)
+      let w =
+        Bridge.request_withdrawal b ~user ~dst_token:m.Bridge.m_dst_token
+          ~amount:(u 100) ~beneficiary:user
+      in
+      ignore (Bridge.execute_withdrawal b ~withdrawal:w);
+      let sb, tb = cur b in
+      let alerts2 = Monitor.poll mon ~source_block:sb ~target_block:tb in
+      Alcotest.(check int) "no alerts after a completed withdrawal" 0
+        (List.length alerts2))
+
+let attack_detected_at_next_poll =
+  Alcotest.test_case "a forged withdrawal is alerted at the next poll" `Quick
+    (fun () ->
+      let b, m = make_bridge () in
+      let mon = Monitor.create (monitor_input b) in
+      let user = user_with_tokens b m "mon-u2" (u 100_000) in
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 100_000) ~beneficiary:user
+      in
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      let sb, tb = cur b in
+      Alcotest.(check int) "clean before attack" 0
+        (List.length (Monitor.poll mon ~source_block:sb ~target_block:tb));
+      (* The attack. *)
+      Bridge.compromise_validators b ~keys:2;
+      let attacker = Address.of_seed "mon-attacker" in
+      Chain.fund b.Bridge.source.Bridge.chain attacker (U256.of_tokens ~decimals:18 1);
+      Chain.advance_time b.Bridge.source.Bridge.chain 600;
+      ignore
+        (Bridge.forged_withdrawal b ~attacker ~src_token:m.Bridge.m_src_token
+           ~amount:(u 100_000) ~withdrawal_id:777);
+      let sb, tb = cur b in
+      let alerts = Monitor.poll mon ~source_block:sb ~target_block:tb in
+      Alcotest.(check int) "exactly one alert" 1 (List.length alerts);
+      let a = List.hd alerts in
+      Alcotest.(check string) "rule 8" "8. CCTX_ValidWithdrawal" a.Monitor.al_rule;
+      Alcotest.(check bool) "classified as no-correspondence" true
+        (a.Monitor.al_anomaly.Report.a_class = Report.No_correspondence);
+      Alcotest.(check (float 1.0)) "valued" 100_000.0
+        a.Monitor.al_anomaly.Report.a_usd_value;
+      (* The same anomaly is not re-alerted. *)
+      let alerts2 = Monitor.poll mon ~source_block:sb ~target_block:tb in
+      Alcotest.(check int) "no duplicate alerts" 0 (List.length alerts2))
+
+let transient_unmatched_not_poisoning =
+  Alcotest.test_case
+    "a deposit pending relay alerts once, then the match clears state"
+    `Quick (fun () ->
+      (* A deposit observed before its completion looks unmatched; the
+         monitor's non-monotonic re-evaluation must retract it silently
+         once the relay lands (alerts are only for NEW anomalies;
+         retractions simply disappear from the report). *)
+      let b, m = make_bridge () in
+      let mon = Monitor.create (monitor_input b) in
+      let user = user_with_tokens b m "mon-u3" (u 500) in
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 500) ~beneficiary:user
+      in
+      let sb, tb = cur b in
+      let alerts1 = Monitor.poll mon ~source_block:sb ~target_block:tb in
+      (* The pending deposit IS reported as unmatched at this point. *)
+      Alcotest.(check int) "pending deposit alerted" 1 (List.length alerts1);
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      let sb, tb = cur b in
+      ignore (Monitor.poll mon ~source_block:sb ~target_block:tb);
+      match Monitor.last_report mon with
+      | Some report ->
+          Alcotest.(check int) "report is clean after the match" 0
+            (Report.total_anomalies report)
+      | None -> Alcotest.fail "no report")
+
+let incremental_decode_caches =
+  Alcotest.test_case "receipts are decoded exactly once across polls" `Quick
+    (fun () ->
+      let b, m = make_bridge () in
+      let mon = Monitor.create (monitor_input b) in
+      let user = user_with_tokens b m "mon-u4" (u 100) in
+      ignore
+        (Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+           ~amount:(u 100) ~beneficiary:user);
+      let sb, tb = cur b in
+      ignore (Monitor.poll mon ~source_block:sb ~target_block:tb);
+      let facts_after_first = Monitor.facts_cached mon in
+      ignore (Monitor.poll mon ~source_block:sb ~target_block:tb);
+      Alcotest.(check int) "no re-decoding" facts_after_first
+        (Monitor.facts_cached mon);
+      Alcotest.(check int) "two polls" 2 (Monitor.polls mon))
+
+let block_cursor_respected =
+  Alcotest.test_case "receipts beyond the cursor stay invisible" `Quick
+    (fun () ->
+      let b, m = make_bridge () in
+      let mon = Monitor.create (monitor_input b) in
+      let user = user_with_tokens b m "mon-u5" (u 100) in
+      let sb0, tb0 = cur b in
+      ignore
+        (Bridge.direct_token_transfer_to_bridge b ~user
+           ~src_token:m.Bridge.m_src_token ~amount:(u 100));
+      (* Poll with the OLD cursor: the anomaly is not yet visible. *)
+      let alerts = Monitor.poll mon ~source_block:sb0 ~target_block:tb0 in
+      Alcotest.(check int) "not seen yet" 0 (List.length alerts);
+      let sb, tb = cur b in
+      let alerts2 = Monitor.poll mon ~source_block:sb ~target_block:tb in
+      Alcotest.(check int) "seen at the new cursor" 1 (List.length alerts2))
+
+let final_report_matches_batch_detector =
+  Alcotest.test_case "monitor's final report equals the batch detector's"
+    `Quick (fun () ->
+      let b, m = make_bridge () in
+      let input = monitor_input b in
+      let mon = Monitor.create input in
+      let user = user_with_tokens b m "mon-u6" (u 10_000) in
+      (* Mixed traffic: a complete round-trip, a stuck withdrawal and a
+         direct transfer. *)
+      let d =
+        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
+          ~amount:(u 5_000) ~beneficiary:user
+      in
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      Chain.advance_time b.Bridge.target.Bridge.chain 600;
+      let w =
+        Bridge.request_withdrawal b ~user ~dst_token:m.Bridge.m_dst_token
+          ~amount:(u 1_000) ~beneficiary:user
+      in
+      ignore (Bridge.execute_withdrawal b ~withdrawal:w);
+      ignore
+        (Bridge.request_withdrawal b ~user ~dst_token:m.Bridge.m_dst_token
+           ~amount:(u 500) ~beneficiary:user);
+      ignore
+        (Bridge.direct_token_transfer_to_bridge b ~user
+           ~src_token:m.Bridge.m_src_token ~amount:(u 100));
+      (* Poll in two steps, then compare against a one-shot detector. *)
+      let sb, tb = cur b in
+      ignore (Monitor.poll mon ~source_block:(sb / 2) ~target_block:(tb / 2));
+      ignore (Monitor.poll mon ~source_block:sb ~target_block:tb);
+      let batch = Detector.run input in
+      let signature (r : Report.t) =
+        List.map
+          (fun row ->
+            ( row.Report.rr_rule,
+              row.Report.rr_captured,
+              List.sort compare
+                (List.map
+                   (fun a -> (Report.class_name a.Report.a_class, a.Report.a_tx_hash))
+                   row.Report.rr_anomalies) ))
+          r.Report.rows
+      in
+      match Monitor.last_report mon with
+      | Some streamed ->
+          Alcotest.(check bool) "identical reports" true
+            (signature streamed = signature batch.Xcw_core.Detector.report)
+      | None -> Alcotest.fail "no report")
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "streaming",
+        [
+          no_alerts_on_benign_traffic;
+          attack_detected_at_next_poll;
+          transient_unmatched_not_poisoning;
+          incremental_decode_caches;
+          block_cursor_respected;
+          final_report_matches_batch_detector;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* RLP encoding tests against the canonical examples from the Ethereum
+   wiki, plus round-trip properties. *)
+
+open Xcw_rlp
+
+let hex = Xcw_util.Hex.encode
+
+let enc v = hex (Rlp.encode v)
+
+let case name expected v =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (enc v))
+
+(* Canonical vectors from the Ethereum RLP specification. *)
+let dog = case "dog" "83646f67" (Rlp.String "dog")
+let cat_dog =
+  case "[cat, dog]" "c88363617483646f67"
+    (Rlp.List [ Rlp.String "cat"; Rlp.String "dog" ])
+let empty_string = case "empty string" "80" (Rlp.String "")
+let empty_list = case "empty list" "c0" (Rlp.List [])
+let integer_0 = case "integer 0" "80" (Rlp.of_int 0)
+let integer_15 = case "integer 15" "0f" (Rlp.of_int 15)
+let integer_1024 = case "integer 1024" "820400" (Rlp.of_int 1024)
+let set_theoretic =
+  (* [ [], [[]], [ [], [[]] ] ] *)
+  case "set-theoretic representation of three" "c7c0c1c0c3c0c1c0"
+    Rlp.(List [ List []; List [ List [] ]; List [ List []; List [ List [] ] ] ])
+let lorem =
+  case "56-byte string uses long form"
+    "b8384c6f72656d20697073756d20646f6c6f722073697420616d65742c20636f6e7365637465747572206164697069736963696e6720656c6974"
+    (Rlp.String "Lorem ipsum dolor sit amet, consectetur adipisicing elit")
+
+let single_byte_below_0x80 =
+  case "single byte 0x7f encodes as itself" "7f" (Rlp.String "\x7f")
+
+let single_byte_0x80 =
+  case "single byte 0x80 gets a length prefix" "8180" (Rlp.String "\x80")
+
+let uint256_encoding =
+  Alcotest.test_case "uint256 strips leading zeros" `Quick (fun () ->
+      let u = Xcw_uint256.Uint256.of_int 1024 in
+      Alcotest.(check string) "1024" "820400" (enc (Rlp.of_uint256 u));
+      Alcotest.(check string) "zero" "80" (enc (Rlp.of_uint256 Xcw_uint256.Uint256.zero)))
+
+let decode_rejects_trailing =
+  Alcotest.test_case "decode rejects trailing bytes" `Quick (fun () ->
+      try
+        ignore (Rlp.decode (Rlp.encode (Rlp.String "dog") ^ "x"));
+        Alcotest.fail "expected Decode_error"
+      with Rlp.Decode_error _ -> ())
+
+let decode_rejects_noncanonical =
+  Alcotest.test_case "decode rejects non-canonical single byte" `Quick
+    (fun () ->
+      (* 0x81 0x05 encodes byte 5 with a superfluous prefix. *)
+      try
+        ignore (Rlp.decode "\x81\x05");
+        Alcotest.fail "expected Decode_error"
+      with Rlp.Decode_error _ -> ())
+
+(* Generator of random RLP values. *)
+let gen_rlp =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n = 0 then map (fun s -> Rlp.String s) (string_size (0 -- 80))
+          else
+            frequency
+              [
+                (2, map (fun s -> Rlp.String s) (string_size (0 -- 80)));
+                (1, map (fun xs -> Rlp.List xs) (list_size (0 -- 4) (self (n / 2))));
+              ])
+        (min n 8))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"rlp decode . encode = id" ~count:300
+    (QCheck.make gen_rlp)
+    (fun v -> Rlp.decode (Rlp.encode v) = v)
+
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"int round-trip" ~count:300
+    QCheck.(int_bound 1_000_000_000)
+    (fun n -> Rlp.to_int (Rlp.decode (Rlp.encode (Rlp.of_int n))) = n)
+
+let prop_encode_injective =
+  QCheck.Test.make ~name:"encoding is injective" ~count:200
+    (QCheck.pair (QCheck.make gen_rlp) (QCheck.make gen_rlp))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      Rlp.encode a <> Rlp.encode b)
+
+let () =
+  Alcotest.run "rlp"
+    [
+      ( "vectors",
+        [
+          dog;
+          cat_dog;
+          empty_string;
+          empty_list;
+          integer_0;
+          integer_15;
+          integer_1024;
+          set_theoretic;
+          lorem;
+          single_byte_below_0x80;
+          single_byte_0x80;
+          uint256_encoding;
+          decode_rejects_trailing;
+          decode_rejects_noncanonical;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_int_roundtrip; prop_encode_injective ] );
+    ]

@@ -1,0 +1,215 @@
+(* Tests for the RPC facade and its latency model. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Rpc = Xcw_rpc.Rpc
+module Latency = Xcw_rpc.Latency
+module Erc20 = Xcw_chain.Erc20
+module Prng = Xcw_util.Prng
+module Stats = Xcw_util.Stats
+
+let u = U256.of_int
+let alice = Address.of_seed "rpc-alice"
+let bob = Address.of_seed "rpc-bob"
+
+let make_chain_with_txs () =
+  let c =
+    Chain.create ~chain_id:1 ~name:"test" ~finality_seconds:60
+      ~genesis_time:1_650_000_000
+  in
+  Chain.fund c alice (u 1_000_000);
+  let deployer = Address.of_seed "rpc-deployer" in
+  let token =
+    Erc20.deploy c ~from_:deployer ~name:"T" ~symbol:"T" ~decimals:18
+      ~owner:deployer
+  in
+  ignore
+    (Chain.submit_tx c ~from_:deployer ~to_:token
+       ~input:(Erc20.mint_calldata ~to_:alice ~amount:(u 1_000))
+       ());
+  let r1 = Chain.submit_tx c ~from_:alice ~to_:bob ~value:(u 5) () in
+  let r2 =
+    Chain.submit_tx c ~from_:alice ~to_:token
+      ~input:(Erc20.transfer_calldata ~to_:bob ~amount:(u 7))
+      ()
+  in
+  (c, token, r1, r2)
+
+let receipt_fetch =
+  Alcotest.test_case "eth_getTransactionReceipt finds recorded txs" `Quick
+    (fun () ->
+      let c, _, r1, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      let resp = Rpc.eth_get_transaction_receipt rpc r1.Types.r_tx_hash in
+      (match resp.Rpc.value with
+      | Some r -> Alcotest.(check bool) "same tx" true (r.Types.r_tx_hash = r1.Types.r_tx_hash)
+      | None -> Alcotest.fail "receipt not found");
+      let missing = Rpc.eth_get_transaction_receipt rpc (String.make 32 'z') in
+      Alcotest.(check bool) "missing is None" true (missing.Rpc.value = None))
+
+let transaction_fetch_has_value =
+  Alcotest.test_case "eth_getTransactionByHash exposes tx.value" `Quick
+    (fun () ->
+      let c, _, r1, r2 = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      (match (Rpc.eth_get_transaction_by_hash rpc r1.Types.r_tx_hash).Rpc.value with
+      | Some tx -> Alcotest.(check bool) "value 5" true (U256.equal tx.Types.tx_value (u 5))
+      | None -> Alcotest.fail "tx not found");
+      match (Rpc.eth_get_transaction_by_hash rpc r2.Types.r_tx_hash).Rpc.value with
+      | Some tx ->
+          Alcotest.(check bool) "erc20 call has zero value" true
+            (U256.is_zero tx.Types.tx_value)
+      | None -> Alcotest.fail "tx not found")
+
+let balance_fetch =
+  Alcotest.test_case "eth_getBalance" `Quick (fun () ->
+      let c, _, _, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      Alcotest.(check bool) "bob got 5" true
+        (U256.equal (Rpc.eth_get_balance rpc bob).Rpc.value (u 5)))
+
+let logs_filter_by_address =
+  Alcotest.test_case "eth_getLogs filters by address and topic0" `Quick
+    (fun () ->
+      let c, token, _, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      let all = (Rpc.eth_get_logs rpc Rpc.default_filter).Rpc.value in
+      (* mint + transfer = 2 Transfer logs *)
+      Alcotest.(check int) "2 logs total" 2 (List.length all);
+      let by_addr =
+        (Rpc.eth_get_logs rpc
+           { Rpc.default_filter with Rpc.filter_addresses = [ token ] })
+          .Rpc.value
+      in
+      Alcotest.(check int) "2 from token" 2 (List.length by_addr);
+      let topic0 = Xcw_abi.Abi.Event.topic0 Erc20.transfer_event in
+      let by_topic =
+        (Rpc.eth_get_logs rpc
+           { Rpc.default_filter with Rpc.filter_topic0 = [ topic0 ] })
+          .Rpc.value
+      in
+      Alcotest.(check int) "2 with Transfer topic0" 2 (List.length by_topic);
+      let none =
+        (Rpc.eth_get_logs rpc
+           { Rpc.default_filter with Rpc.filter_topic0 = [ String.make 32 'q' ] })
+          .Rpc.value
+      in
+      Alcotest.(check int) "0 with foreign topic" 0 (List.length none))
+
+let logs_exclude_reverted =
+  Alcotest.test_case "eth_getLogs never returns logs of reverted txs" `Quick
+    (fun () ->
+      let c, token, _, _ = make_chain_with_txs () in
+      (* A reverting transfer (insufficient balance). *)
+      ignore
+        (Chain.submit_tx c ~from_:bob ~to_:token
+           ~input:(Erc20.transfer_calldata ~to_:alice ~amount:(u 999_999))
+           ());
+      let rpc = Rpc.create c in
+      let all = (Rpc.eth_get_logs rpc Rpc.default_filter).Rpc.value in
+      Alcotest.(check int) "still 2 logs" 2 (List.length all))
+
+let logs_block_range =
+  Alcotest.test_case "eth_getLogs respects block range" `Quick (fun () ->
+      let c, _, _, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      (* token deploy = block 1, mint = block 2, native = 3, erc20 = 4 *)
+      let early =
+        (Rpc.eth_get_logs rpc { Rpc.default_filter with Rpc.to_block = Some 2 })
+          .Rpc.value
+      in
+      Alcotest.(check int) "only the mint" 1 (List.length early);
+      let late =
+        (Rpc.eth_get_logs rpc { Rpc.default_filter with Rpc.from_block = Some 4 })
+          .Rpc.value
+      in
+      Alcotest.(check int) "only the transfer" 1 (List.length late))
+
+let latency_accumulates =
+  Alcotest.test_case "simulated latency accumulates per request" `Quick
+    (fun () ->
+      let c, _, r1, _ = make_chain_with_txs () in
+      let rpc = Rpc.create ~profile:Latency.ronin_profile c in
+      Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Rpc.total_latency rpc);
+      let resp = Rpc.eth_get_transaction_receipt rpc r1.Types.r_tx_hash in
+      Alcotest.(check bool) "positive latency" true (resp.Rpc.latency > 0.0);
+      Alcotest.(check (float 1e-9)) "accumulated" resp.Rpc.latency
+        (Rpc.total_latency rpc);
+      Alcotest.(check int) "one request" 1 (Rpc.request_count rpc))
+
+(* ------------------------------------------------------------------ *)
+(* Latency model properties                                            *)
+
+let prop_latency_positive_and_capped =
+  QCheck.Test.make ~name:"latencies are positive and capped" ~count:300
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      List.for_all
+        (fun profile ->
+          let r = Latency.receipt_fetch profile rng in
+          let t = Latency.trace_fetch profile rng in
+          r > 0.0 && t > 0.0
+          && r <= profile.Latency.max_latency
+          && t <= profile.Latency.max_latency)
+        [ Latency.ronin_profile; Latency.nomad_profile; Latency.colocated_profile ])
+
+let trace_slower_than_receipt =
+  Alcotest.test_case "tracing is slower than receipt fetches on average"
+    `Quick (fun () ->
+      let rng = Prng.create 9 in
+      let n = 3000 in
+      let mean f = Stats.mean (List.init n (fun _ -> f ())) in
+      let receipt = mean (fun () -> Latency.receipt_fetch Latency.ronin_profile rng) in
+      let trace = mean (fun () -> Latency.trace_fetch Latency.ronin_profile rng) in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace %.3f > receipt %.3f" trace receipt)
+        true (trace > receipt))
+
+let ronin_profile_matches_paper_shape =
+  Alcotest.test_case "Ronin profile: ~6.5% of traces exceed 10 s" `Quick
+    (fun () ->
+      let rng = Prng.create 123 in
+      let samples =
+        List.init 20_000 (fun _ -> Latency.trace_fetch Latency.ronin_profile rng)
+      in
+      let frac = Stats.fraction_exceeding samples 10.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%.3f in [0.03; 0.10]" frac)
+        true
+        (frac > 0.03 && frac < 0.10);
+      Alcotest.(check bool) "max capped at 138.15" true
+        (List.for_all (fun s -> s <= 138.15) samples))
+
+let colocated_is_fast =
+  Alcotest.test_case "colocated profile stays in milliseconds" `Quick
+    (fun () ->
+      let rng = Prng.create 5 in
+      let samples =
+        List.init 2000 (fun _ -> Latency.receipt_fetch Latency.colocated_profile rng)
+      in
+      Alcotest.(check bool) "median < 10ms" true (Stats.median samples < 0.01))
+
+let () =
+  Alcotest.run "rpc"
+    [
+      ( "methods",
+        [
+          receipt_fetch;
+          transaction_fetch_has_value;
+          balance_fetch;
+          logs_filter_by_address;
+          logs_exclude_reverted;
+          logs_block_range;
+          latency_accumulates;
+        ] );
+      ( "latency-model",
+        [
+          QCheck_alcotest.to_alcotest prop_latency_positive_and_capped;
+          trace_slower_than_receipt;
+          ronin_profile_matches_paper_shape;
+          colocated_is_fast;
+        ] );
+    ]

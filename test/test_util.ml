@@ -1,0 +1,298 @@
+(* Tests for Xcw_util: hex codecs, PRNG determinism, statistics, JSON. *)
+
+open Xcw_util
+
+(* ------------------------------------------------------------------ *)
+(* Hex                                                                 *)
+
+let hex_encode_basic =
+  Alcotest.test_case "encode basic bytes" `Quick (fun () ->
+      Alcotest.(check string) "empty" "" (Hex.encode "");
+      Alcotest.(check string) "00ff" "00ff" (Hex.encode "\x00\xff");
+      Alcotest.(check string) "deadbeef" "deadbeef" (Hex.encode "\xde\xad\xbe\xef"))
+
+let hex_decode_basic =
+  Alcotest.test_case "decode accepts 0x prefix and mixed case" `Quick
+    (fun () ->
+      Alcotest.(check string) "prefixed" "\xde\xad" (Hex.decode "0xdead");
+      Alcotest.(check string) "uppercase" "\xde\xad" (Hex.decode "DEAD");
+      Alcotest.(check string) "plain" "\xde\xad" (Hex.decode "dead"))
+
+let hex_decode_invalid =
+  Alcotest.test_case "decode rejects invalid input" `Quick (fun () ->
+      Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd-length input")
+        (fun () -> ignore (Hex.decode "abc"));
+      (try
+         ignore (Hex.decode "zz");
+         Alcotest.fail "expected Invalid_argument"
+       with Invalid_argument _ -> ()))
+
+let hex_is_hex_string =
+  Alcotest.test_case "is_hex_string" `Quick (fun () ->
+      Alcotest.(check bool) "valid" true (Hex.is_hex_string "0xdeadBEEF");
+      Alcotest.(check bool) "odd" false (Hex.is_hex_string "abc");
+      Alcotest.(check bool) "bad char" false (Hex.is_hex_string "zz"))
+
+let hex_roundtrip =
+  QCheck.Test.make ~name:"hex round-trip" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s -> Hex.decode (Hex.encode s) = s)
+
+let hex_roundtrip_0x =
+  QCheck.Test.make ~name:"hex 0x round-trip" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s -> Hex.decode (Hex.encode_0x s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+
+let prng_deterministic =
+  Alcotest.test_case "same seed gives same stream" `Quick (fun () ->
+      let a = Prng.create 42 and b = Prng.create 42 in
+      for _ = 1 to 100 do
+        Alcotest.(check int) "stream" (Prng.int a 1000) (Prng.int b 1000)
+      done)
+
+let prng_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:200
+    QCheck.(pair (int_bound 10000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Prng.create seed in
+      let x = Prng.int t bound in
+      x >= 0 && x < bound)
+
+let prng_range_bounds =
+  QCheck.Test.make ~name:"Prng.range stays in bounds" ~count:200
+    QCheck.(triple (int_bound 10000) (int_range 0 500) (int_range 501 1000))
+    (fun (seed, lo, hi) ->
+      let t = Prng.create seed in
+      let x = Prng.range t lo hi in
+      x >= lo && x < hi)
+
+let prng_float_bounds =
+  QCheck.Test.make ~name:"Prng.float stays in bounds" ~count:200
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let t = Prng.create seed in
+      let x = Prng.float t 5.0 in
+      x >= 0.0 && x < 5.0)
+
+let prng_split_independent =
+  Alcotest.test_case "split children do not perturb parent" `Quick (fun () ->
+      let a = Prng.create 7 in
+      let b = Prng.create 7 in
+      let ca = Prng.split a in
+      let _cb = Prng.split b in
+      (* Draw different amounts from the children... *)
+      ignore (Prng.int ca 100);
+      ignore (Prng.int ca 100);
+      (* ...then parents must still agree. *)
+      for _ = 1 to 20 do
+        Alcotest.(check int) "parent stream" (Prng.int a 1000) (Prng.int b 1000)
+      done)
+
+let prng_exponential_positive =
+  QCheck.Test.make ~name:"exponential samples are positive" ~count:200
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let t = Prng.create seed in
+      Prng.exponential t ~mean:3.0 > 0.0)
+
+let prng_pareto_min =
+  QCheck.Test.make ~name:"pareto samples are >= x_min" ~count:200
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let t = Prng.create seed in
+      Prng.pareto t ~x_min:2.0 ~alpha:1.2 >= 2.0)
+
+let prng_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:100
+    QCheck.(pair (int_bound 10000) (list_of_size Gen.(0 -- 50) int))
+    (fun (seed, xs) ->
+      let t = Prng.create seed in
+      List.sort compare (Prng.shuffle t xs) = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let stats_summary =
+  Alcotest.test_case "summarize simple series" `Quick (fun () ->
+      let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+      Alcotest.(check int) "size" 5 s.Stats.size;
+      Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+      Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max;
+      Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.mean;
+      Alcotest.(check (float 1e-9)) "median" 3.0 s.Stats.median;
+      Alcotest.(check (float 1e-9)) "std" (sqrt 2.0) s.Stats.std)
+
+let stats_median_even =
+  Alcotest.test_case "median interpolates for even sizes" `Quick (fun () ->
+      Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.median [ 1.; 2.; 3.; 4. ]))
+
+let stats_percentile =
+  Alcotest.test_case "percentile endpoints" `Quick (fun () ->
+      let xs = [ 10.; 20.; 30.; 40. ] in
+      Alcotest.(check (float 1e-9)) "p0" 10. (Stats.percentile 0. xs);
+      Alcotest.(check (float 1e-9)) "p100" 40. (Stats.percentile 100. xs))
+
+let stats_cdf =
+  Alcotest.test_case "cdf fractions" `Quick (fun () ->
+      let xs = [ 1.; 2.; 3.; 4. ] in
+      let pts = Stats.cdf xs [ 0.5; 2.0; 4.0 ] in
+      Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+        "cdf"
+        [ (0.5, 0.0); (2.0, 0.5); (4.0, 1.0) ]
+        pts)
+
+let stats_fraction_exceeding =
+  Alcotest.test_case "fraction exceeding threshold" `Quick (fun () ->
+      Alcotest.(check (float 1e-9))
+        "quarter" 0.25
+        (Stats.fraction_exceeding [ 1.; 2.; 3.; 10.5 ] 10.0))
+
+let stats_pearson_perfect =
+  Alcotest.test_case "pearson of a perfect linear relation" `Quick (fun () ->
+      let xs = [ 1.; 2.; 3.; 4. ] in
+      let ys = List.map (fun x -> (2. *. x) +. 1.) xs in
+      Alcotest.(check (float 1e-9)) "r" 1.0 (Stats.pearson xs ys);
+      let ys_neg = List.map (fun y -> -.y) ys in
+      Alcotest.(check (float 1e-9)) "r-neg" (-1.0) (Stats.pearson xs ys_neg))
+
+let stats_pearson_bounds =
+  QCheck.Test.make ~name:"pearson in [-1, 1]" ~count:100
+    QCheck.(list_of_size Gen.(2 -- 40) (pair (float_bound_exclusive 100.) (float_bound_exclusive 100.)))
+    (fun pairs ->
+      let xs = List.map fst pairs and ys = List.map snd pairs in
+      let r = Stats.pearson xs ys in
+      r >= -1.0000001 && r <= 1.0000001)
+
+let stats_cdf_monotone =
+  QCheck.Test.make ~name:"cdf is monotone" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let points = List.sort_uniq compare (List.map (fun x -> x +. 0.1) xs) in
+      let c = Stats.cdf xs points in
+      let rec mono = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono c)
+
+let stats_time_buckets =
+  Alcotest.test_case "time_buckets counts per window" `Quick (fun () ->
+      let buckets =
+        Stats.time_buckets [ 0; 5; 10; 21; 22; 23 ] ~start:0 ~stop:23 ~width:10
+      in
+      Alcotest.(check (list (pair int int)))
+        "buckets"
+        [ (0, 2); (10, 1); (20, 3) ]
+        buckets)
+
+let stats_log_histogram_total =
+  QCheck.Test.make ~name:"log_histogram preserves positive counts" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 60) (float_range 0.001 999.0))
+    (fun xs ->
+      let h = Stats.log_histogram xs ~lo_exp:(-3) ~hi_exp:3 ~buckets_per_decade:4 in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 h in
+      total = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let json_print_basic =
+  Alcotest.test_case "serialize basic values" `Quick (fun () ->
+      Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+      Alcotest.(check string) "int" "42" (Json.to_string (Json.Int 42));
+      Alcotest.(check string) "bool" "true" (Json.to_string (Json.Bool true));
+      Alcotest.(check string)
+        "obj" {|{"a":1,"b":[true,"x"]}|}
+        (Json.to_string
+           (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.String "x" ]) ])))
+
+let json_escape =
+  Alcotest.test_case "string escaping" `Quick (fun () ->
+      Alcotest.(check string)
+        "escapes" {|"a\"b\\c\nd"|}
+        (Json.to_string (Json.String "a\"b\\c\nd")))
+
+let json_parse_basic =
+  Alcotest.test_case "parse basic document" `Quick (fun () ->
+      let v = Json.of_string {| {"k": [1, 2.5, null, false, "s"]} |} in
+      match Json.member "k" v with
+      | Some (Json.List [ Json.Int 1; Json.Float f; Json.Null; Json.Bool false; Json.String "s" ]) ->
+          Alcotest.(check (float 1e-9)) "float" 2.5 f
+      | _ -> Alcotest.fail "unexpected parse result")
+
+let json_roundtrip =
+  let rec gen_json depth =
+    let open QCheck.Gen in
+    if depth = 0 then
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+          map (fun s -> Json.String s) (string_size ~gen:printable (0 -- 20));
+        ]
+    else
+      oneof
+        [
+          map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+          map (fun xs -> Json.List xs) (list_size (0 -- 4) (gen_json (depth - 1)));
+          map
+            (fun kvs ->
+              (* Keys must be unique for round-trip comparison. *)
+              let kvs = List.mapi (fun i (k, v) -> (string_of_int i ^ k, v)) kvs in
+              Json.Obj kvs)
+            (list_size (0 -- 4)
+               (pair (string_size ~gen:printable (0 -- 8)) (gen_json (depth - 1))));
+        ]
+  in
+  QCheck.Test.make ~name:"json print/parse round-trip" ~count:100
+    (QCheck.make (gen_json 3))
+    (fun j -> Json.of_string (Json.to_string j) = j)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "hex",
+        [
+          hex_encode_basic;
+          hex_decode_basic;
+          hex_decode_invalid;
+          hex_is_hex_string;
+          QCheck_alcotest.to_alcotest hex_roundtrip;
+          QCheck_alcotest.to_alcotest hex_roundtrip_0x;
+        ] );
+      ( "prng",
+        [
+          prng_deterministic;
+          prng_split_independent;
+          QCheck_alcotest.to_alcotest prng_bounds;
+          QCheck_alcotest.to_alcotest prng_range_bounds;
+          QCheck_alcotest.to_alcotest prng_float_bounds;
+          QCheck_alcotest.to_alcotest prng_exponential_positive;
+          QCheck_alcotest.to_alcotest prng_pareto_min;
+          QCheck_alcotest.to_alcotest prng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          stats_summary;
+          stats_median_even;
+          stats_percentile;
+          stats_cdf;
+          stats_fraction_exceeding;
+          stats_pearson_perfect;
+          stats_time_buckets;
+          QCheck_alcotest.to_alcotest stats_pearson_bounds;
+          QCheck_alcotest.to_alcotest stats_cdf_monotone;
+          QCheck_alcotest.to_alcotest stats_log_histogram_total;
+        ] );
+      ( "json",
+        [
+          json_print_basic;
+          json_escape;
+          json_parse_basic;
+          QCheck_alcotest.to_alcotest json_roundtrip;
+        ] );
+    ]
