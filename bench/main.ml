@@ -42,6 +42,120 @@ let section title =
 let subsection title = Printf.printf "\n--- %s ---\n" title
 
 (* ------------------------------------------------------------------ *)
+(* monitor_steady_state: per-poll monitoring cost, incremental vs
+   from-scratch rule evaluation.  Runnable standalone (and without the
+   heavy full-harness scenarios) via
+   [dune exec bench/main.exe monitor_steady_state]; emits
+   BENCH_monitor.json for machine consumption. *)
+
+let monitor_steady_state () =
+  let module Monitor = Xcw_core.Monitor in
+  let module Erc20 = Xcw_chain.Erc20 in
+  let module U256 = Xcw_uint256.Uint256 in
+  let module Json = Xcw_util.Json in
+  section
+    "Steady-state monitoring: per-poll cost (ms), incremental vs from-scratch";
+  let polls_per_point = 6 in
+  let tx_counts = [ 0; 1; 10 ] in
+  (* One Nomad-scale scenario per mode so injected traffic and RNG
+     streams are identical across the two runs. *)
+  let run_mode ~incremental =
+    let b = Xcw_workload.Nomad.build ~seed:(seed + 77) ~scale () in
+    let bridge = b.Scenario.bridge in
+    let src = bridge.Bridge.source.Bridge.chain in
+    let dst = bridge.Bridge.target.Bridge.chain in
+    let input =
+      Detector.default_input ~label:"nomad-steady" ~plugin:Decoder.nomad_plugin
+        ~config:b.Scenario.config ~source_chain:src ~target_chain:dst
+        ~pricing:b.Scenario.pricing
+    in
+    let mon = Monitor.create ~incremental input in
+    let m = List.hd bridge.Bridge.mappings in
+    let user = Address.of_seed "steady-user" in
+    Chain.fund src user (U256.of_tokens ~decimals:18 10);
+    Chain.fund dst user (U256.of_tokens ~decimals:18 10);
+    ignore
+      (Chain.submit_tx src ~from_:bridge.Bridge.source.Bridge.operator
+         ~to_:m.Bridge.m_src_token
+         ~input:(Erc20.mint_calldata ~to_:user ~amount:(U256.of_int 10_000_000))
+         ());
+    let cur () =
+      ( List.length (Chain.all_blocks src),
+        List.length (Chain.all_blocks dst) )
+    in
+    (* Catch-up sync over the full history is not steady state; poll it
+       away unmeasured. *)
+    let sb, tb = cur () in
+    ignore (Monitor.poll mon ~source_block:sb ~target_block:tb);
+    List.map
+      (fun new_txs ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to polls_per_point do
+          for _ = 1 to new_txs do
+            let d =
+              Bridge.deposit_erc20 bridge ~user
+                ~src_token:m.Bridge.m_src_token ~amount:(U256.of_int 7)
+                ~beneficiary:user
+            in
+            ignore (Bridge.complete_deposit bridge ~deposit:d)
+          done;
+          let sb, tb = cur () in
+          ignore (Monitor.poll mon ~source_block:sb ~target_block:tb)
+        done;
+        let per_poll_ms =
+          1000.0 *. (Unix.gettimeofday () -. t0) /. float_of_int polls_per_point
+        in
+        (new_txs, per_poll_ms))
+      tx_counts
+  in
+  let inc = run_mode ~incremental:true in
+  let scratch = run_mode ~incremental:false in
+  Printf.printf "%18s %16s %16s %9s\n" "new txs per poll" "incremental"
+    "from-scratch" "speedup";
+  let results =
+    List.map2
+      (fun (k, inc_ms) (_, scr_ms) ->
+        let speedup = scr_ms /. Float.max 1e-9 inc_ms in
+        Printf.printf "%18d %13.2f ms %13.2f ms %8.1fx\n" k inc_ms scr_ms
+          speedup;
+        Json.Obj
+          [
+            ("new_txs_per_poll", Json.Int k);
+            ("incremental_ms", Json.Float inc_ms);
+            ("from_scratch_ms", Json.Float scr_ms);
+            ("speedup", Json.Float speedup);
+          ])
+      inc scratch
+  in
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "monitor_steady_state");
+        ("bridge", Json.String "nomad");
+        ("scale", Json.Float scale);
+        ("seed", Json.Int seed);
+        ("polls_per_point", Json.Int polls_per_point);
+        ("results", Json.List results);
+      ]
+  in
+  let oc = open_out "BENCH_monitor.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "(per-poll wall time including decode + rule evaluation + dissection,\n\
+     averaged over %d polls; written to BENCH_monitor.json)\n"
+    polls_per_point
+
+let () =
+  if Array.exists (( = ) "monitor_steady_state") Sys.argv then begin
+    Printf.printf "XChainWatcher monitor bench (scale %.3f, seed %d)\n" scale
+      seed;
+    monitor_steady_state ();
+    exit 0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Scenario construction (shared by several experiments)               *)
 
 let () =
@@ -937,6 +1051,8 @@ let () =
       | Some [ est ] -> Printf.printf "%-40s %14.1f ns/run\n" name est
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
     (List.sort compare rows)
+
+let () = monitor_steady_state ()
 
 let () =
   Printf.printf

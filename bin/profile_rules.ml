@@ -29,8 +29,10 @@ let () =
   let dst_rpc = Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.target.Bridge.chain in
   let src = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Source src_rpc b.Scenario.bridge.Bridge.source.Bridge.chain in
   let dst = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Target dst_rpc b.Scenario.bridge.Bridge.target.Bridge.chain in
-  Xcw_core.Facts.load_all db2 (Xcw_core.Config.to_facts b.Scenario.config);
-  List.iter (fun rd -> Xcw_core.Facts.load_all db2 rd.Decoder.rd_facts) (src @ dst);
+  ignore (Xcw_core.Facts.load_all db2 (Xcw_core.Config.to_facts b.Scenario.config));
+  List.iter
+    (fun rd -> ignore (Xcw_core.Facts.load_all db2 rd.Decoder.rd_facts))
+    (src @ dst);
   List.iter
     (fun rule ->
       let t = Unix.gettimeofday () in

@@ -79,9 +79,10 @@ let run (input : input) : result =
       input.i_target_chain
   in
   let db = Engine.create_db () in
-  Facts.load_all db (Config.to_facts config);
+  ignore (Facts.load_all db (Config.to_facts config));
   List.iter
-    (fun (rd : Decoder.receipt_decode) -> Facts.load_all db rd.Decoder.rd_facts)
+    (fun (rd : Decoder.receipt_decode) ->
+      ignore (Facts.load_all db rd.Decoder.rd_facts))
     (src_decoded @ dst_decoded);
   let decode_seconds = Unix.gettimeofday () -. t0 in
   let total_facts = Engine.total_tuples db in

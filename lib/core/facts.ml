@@ -174,12 +174,14 @@ let to_tuple (fact : t) : string * const list =
 
 let relation_name fact = fst (to_tuple fact)
 
-(** Load a batch of facts into a Datalog database. *)
+(** Load a batch of facts into a Datalog database; returns the facts
+    that were not already present — the fresh-tuple delta consumed by
+    the incremental monitor. *)
 let load_all db facts =
-  List.iter
+  List.filter
     (fun fact ->
       let pred, tuple = to_tuple fact in
-      Xcw_datalog.Engine.add_fact db pred tuple)
+      Xcw_datalog.Engine.insert_fact db pred tuple)
     facts
 
 let hex_of_address (a : Address.t) = Address.to_hex a

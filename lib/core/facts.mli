@@ -119,7 +119,10 @@ val to_tuple : t -> string * Xcw_datalog.Ast.const list
 (** The (relation name, tuple) pair for the Datalog database. *)
 
 val relation_name : t -> string
-val load_all : Xcw_datalog.Engine.db -> t list -> unit
+
+val load_all : Xcw_datalog.Engine.db -> t list -> t list
+(** Load a batch of facts; returns the sub-list that was not already
+    present in the database (the fresh-tuple delta, in input order). *)
 
 val hex_of_address : Address.t -> string
 val hex_of_hash : Types.hash -> string

@@ -4,10 +4,16 @@
     Ronin attack went unnoticed for six days.  A monitor is fed block
     cursors as chains advance, decodes only receipts it has not seen
     (decoding dominates cost — Table 2), re-evaluates the rules, and
-    emits alerts for anomalies new since the previous poll.  Rules are
-    re-run from scratch per poll because the anomaly relations are
-    non-monotonic (an unmatched deposit becomes matched when its
-    completion lands); decoded facts are cached. *)
+    emits alerts for anomalies new since the previous poll.
+
+    Evaluation is incremental by default: one persistent Datalog
+    database lives inside the monitor across polls, fresh facts seed
+    the engine's semi-naive delta ({!Xcw_datalog.Engine.run_incremental}),
+    and the non-monotonic anomaly relations (an unmatched deposit
+    becomes matched when its completion lands) are retracted and
+    re-derived in place — strata untouched by the new facts do no
+    work.  [create ~incremental:false] restores the from-scratch
+    rebuild per poll, for differential testing and benchmarking. *)
 
 type alert = {
   al_anomaly : Report.anomaly;
@@ -15,9 +21,29 @@ type alert = {
   al_detected_at : int * int;  (** (source block, target block) cursor *)
 }
 
+(** Receipt cursor: which receipts of a chain's list have been decoded.
+    A plain count of receipts seen so far silently skips — forever —
+    any receipt that precedes an already-decoded one in list order but
+    lies above the block cursor; this tracks the fully-decoded prefix
+    plus the exact set of decoded indices beyond it.  Exposed for
+    regression testing with out-of-order receipt lists. *)
+module Cursor : sig
+  type t
+
+  val create : unit -> t
+
+  val take : t -> block_of:(int -> int) -> len:int -> up_to:int -> int list
+  (** [take t ~block_of ~len ~up_to] returns the indices (ascending,
+      within [0, len)]) not yet decoded whose block number
+      ([block_of i]) is [<= up_to], and marks them decoded. *)
+
+  val decoded_count : t -> int
+end
+
 type t
 
-val create : Detector.input -> t
+val create : ?incremental:bool -> Detector.input -> t
+(** [incremental] defaults to [true]. *)
 
 val poll : t -> source_block:int -> target_block:int -> alert list
 (** Advance to the given block cursors; returns alerts for anomalies

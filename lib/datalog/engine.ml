@@ -64,6 +64,15 @@ module Relation = struct
 
   let to_list t = Hashtbl.fold (fun tuple () acc -> tuple :: acc) t.tuples []
 
+  (** [clear t] removes every tuple but keeps the arity and the set of
+      registered index position-lists, so indices built by earlier
+      lookups are maintained (not rebuilt) by subsequent [add]s — the
+      retraction primitive for re-deriving non-monotonic relations in
+      place. *)
+  let clear t =
+    Hashtbl.reset t.tuples;
+    Hashtbl.iter (fun _ idx -> Hashtbl.reset idx) t.indices
+
   (** [lookup t positions key] returns all tuples whose projection on
       [positions] equals [key], using (and building on first use) a hash
       index. *)
@@ -86,49 +95,116 @@ end
 (* ------------------------------------------------------------------ *)
 (* Database                                                            *)
 
-type db = (string, Relation.t) Hashtbl.t
+(* A database is designed to persist across evaluation runs (the
+   streaming monitor keeps one per bridge): [db_journal] records EDB
+   tuples inserted since the last run — the initial semi-naive delta of
+   [run_incremental] — and [db_derived] records which predicates the
+   engine itself populates, so retraction can clear exactly those. *)
+type db = {
+  db_rels : (string, Relation.t) Hashtbl.t;
+  db_journal : (string, Relation.tuple list ref) Hashtbl.t;
+  db_derived : (string, unit) Hashtbl.t;
+  mutable db_ran : bool;  (** at least one evaluation has completed *)
+}
 
-let create_db () : db = Hashtbl.create 64
+let create_db () : db =
+  {
+    db_rels = Hashtbl.create 64;
+    db_journal = Hashtbl.create 16;
+    db_derived = Hashtbl.create 16;
+    db_ran = false;
+  }
 
 let relation (db : db) pred =
-  match Hashtbl.find_opt db pred with
+  match Hashtbl.find_opt db.db_rels pred with
   | Some r -> r
   | None ->
       let r = Relation.create () in
-      Hashtbl.replace db pred r;
+      Hashtbl.replace db.db_rels pred r;
       r
 
-let add_fact (db : db) pred tuple = ignore (Relation.add (relation db pred) (Array.of_list tuple))
+(** [insert_fact db pred tuple] inserts and returns [true] iff the
+    tuple is new.  New tuples are journaled as part of the delta for
+    the next {!run_incremental}. *)
+let insert_fact (db : db) pred tuple =
+  let t = Array.of_list tuple in
+  Relation.add (relation db pred) t
+  && begin
+       (match Hashtbl.find_opt db.db_journal pred with
+       | Some l -> l := t :: !l
+       | None -> Hashtbl.replace db.db_journal pred (ref [ t ]));
+       true
+     end
+
+let add_fact (db : db) pred tuple = ignore (insert_fact db pred tuple)
 
 let facts (db : db) pred =
-  match Hashtbl.find_opt db pred with
+  match Hashtbl.find_opt db.db_rels pred with
   | Some r -> Relation.to_list r
   | None -> []
 
 let fact_count (db : db) pred =
-  match Hashtbl.find_opt db pred with Some r -> Relation.size r | None -> 0
+  match Hashtbl.find_opt db.db_rels pred with
+  | Some r -> Relation.size r
+  | None -> 0
 
 let total_tuples (db : db) =
-  Hashtbl.fold (fun _ r acc -> acc + Relation.size r) db 0
+  Hashtbl.fold (fun _ r acc -> acc + Relation.size r) db.db_rels 0
+
+let derived_predicates (db : db) =
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) db.db_derived [])
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* Souffle's TSV reader has no in-band escaping, so a raw tab or
+   newline inside a fact value would silently shift every following
+   cell.  We emit backslash escapes for the four dangerous characters;
+   consumers that need the exact original can unescape them. *)
+let escape_cell s =
+  let needs_escape = ref false in
+  String.iter
+    (function '\t' | '\n' | '\r' | '\\' -> needs_escape := true | _ -> ())
+    s;
+  if not !needs_escape then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
 
 (** Write every relation as a tab-separated [<pred>.facts] file in
     [dir] — the input format Souffle consumes, so an exported fact base
     can be fed to the original XChainWatcher artifact for
-    cross-validation. *)
+    cross-validation.  [dir] and its parents are created as needed;
+    tabs/newlines/backslashes inside values are backslash-escaped. *)
 let dump_facts (db : db) ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   Hashtbl.iter
     (fun pred rel ->
       let oc = open_out (Filename.concat dir (pred ^ ".facts")) in
       Relation.iter rel (fun tuple ->
           let cells =
             Array.to_list tuple
-            |> List.map (function Str s -> s | Int n -> string_of_int n)
+            |> List.map (function
+                 | Str s -> escape_cell s
+                 | Int n -> string_of_int n)
           in
           output_string oc (String.concat "\t" cells);
           output_char oc '\n');
       close_out oc)
-    db
+    db.db_rels
 
 (* ------------------------------------------------------------------ *)
 (* Safety checks                                                       *)
@@ -505,6 +581,103 @@ let recommended_gc_setup () =
       }
   end
 
+(* Evaluate one stratum to fixpoint.  [seed] controls round 0: [`Full]
+   evaluates every rule over the whole database (from-scratch
+   semantics); [`Deltas fresh] evaluates only body occurrences of
+   predicates present in [fresh], restricted to those fresh tuples —
+   semi-naive *insertion*, sound when the stratum is monotone w.r.t.
+   the changed predicates.  [on_new] fires for every tuple actually
+   added to the database (across all rounds). *)
+let eval_stratum (db : db) (stats : stats) ~naive (stratum_rules : rule list)
+    (recursive : bool)
+    ~(seed : [ `Full | `Deltas of (string, Relation.tuple list) Hashtbl.t ])
+    ~(on_new : string -> Relation.tuple -> unit) : unit =
+  let compiled = List.map compile_rule stratum_rules in
+  let stratum_preds =
+    List.sort_uniq compare (List.map (fun r -> r.head.pred) stratum_rules)
+  in
+  let in_stratum p = List.mem p stratum_preds in
+  (* delta per predicate: tuples added in the previous round. *)
+  let delta : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 8 in
+  let record_delta tbl pred tuple =
+    let prev = Option.value (Hashtbl.find_opt tbl pred) ~default:[] in
+    Hashtbl.replace tbl pred (tuple :: prev)
+  in
+  let eval_into tbl cr ~delta_at ~delta_tuples =
+    stats.rules_evaluated <- stats.rules_evaluated + 1;
+    eval_rule db cr ~delta_at ~delta_tuples ~on_derived:(fun tuple ->
+        let pred = cr.cr_head.c_pred in
+        if Relation.add (relation db pred) tuple then begin
+          stats.tuples_derived <- stats.tuples_derived + 1;
+          record_delta tbl pred tuple;
+          on_new pred tuple
+        end)
+  in
+  (* Round 0. *)
+  (match seed with
+  | `Full ->
+      List.iter
+        (fun cr -> eval_into delta cr ~delta_at:None ~delta_tuples:[])
+        compiled
+  | `Deltas fresh ->
+      (* Every new derivable tuple must use at least one fresh tuple at
+         some body position; evaluating each changed occurrence against
+         the (already updated) full database elsewhere covers all new
+         combinations.  Duplicates collapse in [Relation.add]. *)
+      List.iter
+        (fun cr ->
+          Array.iteri
+            (fun idx lit ->
+              match lit with
+              | C_pos a -> (
+                  match Hashtbl.find_opt fresh a.c_pred with
+                  | Some (_ :: _ as delta_tuples) ->
+                      eval_into delta cr ~delta_at:(Some idx) ~delta_tuples
+                  | _ -> ())
+              | _ -> ())
+            cr.cr_body)
+        compiled);
+  stats.iterations <- stats.iterations + 1;
+  (* Non-recursive strata are complete after one pass (their body
+     predicates all live in earlier strata). *)
+  let continue_ =
+    ref (recursive && Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false)
+  in
+  while !continue_ do
+    stats.iterations <- stats.iterations + 1;
+    let new_delta : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 8 in
+    if naive then
+      (* Naive: re-evaluate everything on the full database. *)
+      List.iter
+        (fun cr -> eval_into new_delta cr ~delta_at:None ~delta_tuples:[])
+        compiled
+    else
+      (* Semi-naive: for each rule and each body occurrence of a
+         same-stratum predicate, evaluate with that occurrence
+         restricted to the delta. *)
+      List.iter
+        (fun cr ->
+          Array.iteri
+            (fun idx lit ->
+              match lit with
+              | C_pos a when in_stratum a.c_pred -> (
+                  match Hashtbl.find_opt delta a.c_pred with
+                  | Some (_ :: _ as delta_tuples) ->
+                      eval_into new_delta cr ~delta_at:(Some idx) ~delta_tuples
+                  | _ -> ())
+              | _ -> ())
+            cr.cr_body)
+        compiled;
+    Hashtbl.reset delta;
+    Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) new_delta;
+    continue_ := Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false
+  done
+
+let mark_derived (db : db) (stratum_rules : rule list) =
+  List.iter
+    (fun (r : rule) -> Hashtbl.replace db.db_derived r.head.pred ())
+    stratum_rules
+
 (** [run ?naive db program] evaluates all rules to fixpoint, stratum by
     stratum, adding derived tuples to [db] in place.  [naive] disables
     semi-naive deltas (used by the ablation bench).  Returns evaluation
@@ -515,67 +688,123 @@ let run ?(naive = false) (db : db) (program : program) : stats =
   let strata = stratify program.rules in
   List.iter
     (fun (stratum_rules, recursive) ->
-      let compiled = List.map compile_rule stratum_rules in
-      let stratum_preds =
-        List.sort_uniq compare (List.map (fun r -> r.head.pred) stratum_rules)
-      in
-      let in_stratum p = List.mem p stratum_preds in
-      (* delta per predicate: tuples added in the previous round. *)
-      let delta : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 8 in
-      let record_delta tbl pred tuple =
-        let prev = Option.value (Hashtbl.find_opt tbl pred) ~default:[] in
-        Hashtbl.replace tbl pred (tuple :: prev)
-      in
-      let eval_into tbl cr ~delta_at ~delta_tuples =
-        stats.rules_evaluated <- stats.rules_evaluated + 1;
-        eval_rule db cr ~delta_at ~delta_tuples ~on_derived:(fun tuple ->
-            let pred = cr.cr_head.c_pred in
-            if Relation.add (relation db pred) tuple then begin
-              stats.tuples_derived <- stats.tuples_derived + 1;
-              record_delta tbl pred tuple
-            end)
-      in
-      (* Round 0: evaluate every rule on the full database. *)
-      List.iter (fun cr -> eval_into delta cr ~delta_at:None ~delta_tuples:[]) compiled;
-      stats.iterations <- stats.iterations + 1;
-      (* Non-recursive strata are complete after one pass (their body
-         predicates all live in earlier strata). *)
-      let continue_ =
-        ref
-          (recursive
-          && Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false)
-      in
-      while !continue_ do
-        stats.iterations <- stats.iterations + 1;
-        let new_delta : (string, Relation.tuple list) Hashtbl.t =
-          Hashtbl.create 8
-        in
-        if naive then
-          (* Naive: re-evaluate everything on the full database. *)
-          List.iter
-            (fun cr -> eval_into new_delta cr ~delta_at:None ~delta_tuples:[])
-            compiled
-        else
-          (* Semi-naive: for each rule and each body occurrence of a
-             same-stratum predicate, evaluate with that occurrence
-             restricted to the delta. *)
-          List.iter
-            (fun cr ->
-              Array.iteri
-                (fun idx lit ->
-                  match lit with
-                  | C_pos a when in_stratum a.c_pred -> (
-                      match Hashtbl.find_opt delta a.c_pred with
-                      | Some (_ :: _ as delta_tuples) ->
-                          eval_into new_delta cr ~delta_at:(Some idx)
-                            ~delta_tuples
-                      | _ -> ())
-                  | _ -> ())
-                cr.cr_body)
-            compiled;
-        Hashtbl.reset delta;
-        Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) new_delta;
-        continue_ := Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false
-      done)
+      mark_derived db stratum_rules;
+      eval_stratum db stats ~naive stratum_rules recursive ~seed:`Full
+        ~on_new:(fun _ _ -> ()))
     strata;
+  db.db_ran <- true;
+  Hashtbl.reset db.db_journal;
   stats
+
+(** [run_incremental db program] brings a previously evaluated [db] up
+    to date after EDB insertions, treating the journaled fresh tuples
+    as the initial semi-naive delta.  Per stratum (in dependency
+    order):
+
+    - no input predicate changed → the stratum is skipped outright, its
+      derived tuples standing from the previous run;
+    - inputs changed only through predicates the stratum uses
+      positively → semi-naive insertion seeded with the fresh tuples
+      (old derived tuples are kept, only new joins run);
+    - a changed predicate occurs under negation (or an upstream
+      predicate was recomputed non-monotonically) → the stratum's
+      derived relations are cleared ({!Relation.clear} preserves their
+      hash-index structure) and re-derived from scratch over the
+      current database — the retraction path for the non-monotonic
+      anomaly relations.
+
+    EDB relations and their indices are never rebuilt.  The program
+    must be the same one evaluated on [db] previously (the first call
+    on a fresh database falls back to a full {!run}). *)
+let run_incremental (db : db) (program : program) : stats =
+  if not db.db_ran then run db program
+  else begin
+    List.iter check_rule_safety program.rules;
+    let stats = { rules_evaluated = 0; iterations = 0; tuples_derived = 0 } in
+    let strata = stratify program.rules in
+    (* Tuples added per predicate since the last run: journaled EDB
+       insertions plus everything derived by earlier strata below. *)
+    let added : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun pred l -> if !l <> [] then Hashtbl.replace added pred !l)
+      db.db_journal;
+    (* Predicates recomputed non-monotonically (some tuple retracted):
+       downstream consumers cannot use insertion-only deltas. *)
+    let dirty : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    let changed p = Hashtbl.mem added p || Hashtbl.mem dirty p in
+    let record_added pred tuple =
+      let prev = Option.value (Hashtbl.find_opt added pred) ~default:[] in
+      Hashtbl.replace added pred (tuple :: prev)
+    in
+    List.iter
+      (fun ((stratum_rules : rule list), recursive) ->
+        mark_derived db stratum_rules;
+        let heads =
+          List.sort_uniq compare
+            (List.map (fun (r : rule) -> r.head.pred) stratum_rules)
+        in
+        let pos_added = ref false and non_monotonic = ref false in
+        List.iter
+          (fun (r : rule) ->
+            List.iter
+              (function
+                | Pos a ->
+                    if Hashtbl.mem added a.pred then pos_added := true;
+                    if Hashtbl.mem dirty a.pred then non_monotonic := true
+                | Neg a -> if changed a.pred then non_monotonic := true
+                | Cmp _ -> ())
+              r.body)
+          stratum_rules;
+        (* EDB tuples journaled directly into a derived predicate must
+           survive the clear; force the recompute path and re-insert
+           them. *)
+        let head_journal =
+          List.filter_map
+            (fun p ->
+              match Hashtbl.find_opt db.db_journal p with
+              | Some l when !l <> [] -> Some (p, !l)
+              | _ -> None)
+            heads
+        in
+        if !non_monotonic || head_journal <> [] then begin
+          (* Retraction path: clear and re-derive the whole stratum. *)
+          let snapshots =
+            List.map
+              (fun p ->
+                let rel = relation db p in
+                let old = Relation.to_list rel in
+                Relation.clear rel;
+                (match List.assoc_opt p head_journal with
+                | Some externals ->
+                    List.iter (fun t -> ignore (Relation.add rel t)) externals
+                | None -> ());
+                (p, old))
+              heads
+          in
+          eval_stratum db stats ~naive:false stratum_rules recursive
+            ~seed:`Full
+            ~on_new:(fun _ _ -> ());
+          List.iter
+            (fun (p, old) ->
+              let rel = relation db p in
+              if List.exists (fun t -> not (Relation.mem rel t)) old then
+                Hashtbl.replace dirty p ()
+              else begin
+                (* Additions only: propagate them as an ordinary delta. *)
+                let old_set = Hashtbl.create (max 16 (List.length old)) in
+                List.iter (fun t -> Hashtbl.replace old_set t ()) old;
+                Relation.iter rel (fun t ->
+                    if not (Hashtbl.mem old_set t) then record_added p t)
+              end)
+            snapshots
+        end
+        else if !pos_added then
+          (* Monotone path: keep the old derived tuples and seed
+             semi-naive evaluation with the fresh input tuples. *)
+          eval_stratum db stats ~naive:false stratum_rules recursive
+            ~seed:(`Deltas added) ~on_new:record_added
+        (* else: no input changed — skip the stratum entirely. *))
+      strata;
+    Hashtbl.reset db.db_journal;
+    stats
+  end

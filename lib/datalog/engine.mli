@@ -30,6 +30,12 @@ module Relation : sig
   val iter : t -> (tuple -> unit) -> unit
   val to_list : t -> tuple list
 
+  val clear : t -> unit
+  (** Remove every tuple, preserving the arity and the registered index
+      position-lists so indices are maintained incrementally by later
+      [add]s instead of being rebuilt — the retraction primitive behind
+      {!run_incremental}. *)
+
   val lookup : t -> int list -> const list -> tuple list
   (** [lookup t positions key]: all tuples whose projection on
       [positions] equals [key], via an on-demand hash index.  Empty
@@ -37,6 +43,10 @@ module Relation : sig
 end
 
 type db
+(** A fact database, designed to persist across evaluation runs: EDB
+    relations and their hash indices are kept, facts inserted since the
+    last run are journaled as the next incremental delta, and the set
+    of engine-derived predicates is tracked for retraction. *)
 
 val create_db : unit -> db
 
@@ -44,14 +54,25 @@ val relation : db -> string -> Relation.t
 (** The named relation, created empty on first use. *)
 
 val add_fact : db -> string -> const list -> unit
+
+val insert_fact : db -> string -> const list -> bool
+(** Like {!add_fact} but returns [true] iff the fact was not already
+    present — the building block for fresh-tuple deltas. *)
+
 val facts : db -> string -> Relation.tuple list
 val fact_count : db -> string -> int
 val total_tuples : db -> int
 
+val derived_predicates : db -> string list
+(** Predicates populated by the engine in previous runs (sorted); all
+    other relations are EDB and are never cleared by evaluation. *)
+
 val dump_facts : db -> dir:string -> unit
 (** Write every relation as a tab-separated [<pred>.facts] file in
     [dir] — Souffle's input format, enabling cross-validation against
-    the original Souffle-based artifact. *)
+    the original Souffle-based artifact.  [dir] and missing parents are
+    created; tab, newline and backslash characters inside string values
+    are backslash-escaped so one tuple is always exactly one line. *)
 
 val stratify : rule list -> (rule list * bool) list
 (** Rule groups in evaluation order; the flag marks recursive strata.
@@ -78,3 +99,16 @@ val run : ?naive:bool -> db -> program -> stats
 (** Evaluate all rules to fixpoint, adding derived tuples to [db] in
     place.  [naive] disables semi-naive deltas in recursive strata
     (used by the ablation bench). *)
+
+val run_incremental : db -> program -> stats
+(** Bring a previously evaluated [db] up to date after fact
+    insertions, treating the tuples added since the last run as the
+    initial semi-naive delta.  Strata whose inputs did not change are
+    skipped entirely; strata that depend on changed predicates only
+    positively run insertion-only semi-naive evaluation; strata that
+    negate a changed predicate (the non-monotonic anomaly relations)
+    are cleared and re-derived over the current database.  EDB
+    relations and their hash indices are preserved throughout.  The
+    program must be the same across calls on a given [db]; the first
+    call behaves as {!run}.  Steady-state cost is proportional to the
+    delta and the affected strata, not to the database size. *)

@@ -75,18 +75,27 @@ let receipt_fetch profile rng =
     timeouts. *)
 let trace_fetch profile rng =
   let base =
-    Prng.log_normal rng ~mu:profile.trace_mu ~sigma:profile.trace_sigma
+    clamp profile
+      (Prng.log_normal rng ~mu:profile.trace_mu ~sigma:profile.trace_sigma)
   in
   (* Each attempt independently times out with [trace_timeout_prob];
      retries repeat until success, each failed attempt costing
-     [trace_timeout_cost] (plus growing backoff). *)
-  let rec retries acc attempt =
-    if
+     [trace_timeout_cost] (plus growing backoff).  The running total is
+     clamped per attempt, and retrying stops once the cap is reached —
+     a fetch abandoned at [max_latency] cannot be retried past it — so
+     the result is monotone in [max_latency], not just capped at the
+     end. *)
+  let rec retries total attempt =
+    if total >= profile.max_latency then profile.max_latency
+    else if
       profile.trace_timeout_prob > 0.0
       && Prng.float rng 1.0 < profile.trace_timeout_prob
       && attempt < 12
     then
-      retries (acc +. profile.trace_timeout_cost +. (0.5 *. float_of_int attempt)) (attempt + 1)
-    else acc
+      retries
+        (clamp profile
+           (total +. profile.trace_timeout_cost +. (0.5 *. float_of_int attempt)))
+        (attempt + 1)
+    else total
   in
-  clamp profile (base +. retries 0.0 0)
+  retries base 0

@@ -34,4 +34,7 @@ val receipt_fetch : profile -> Prng.t -> float
 (** Latency of one receipt/logs/balance fetch, in seconds. *)
 
 val trace_fetch : profile -> Prng.t -> float
-(** Latency of one [debug_traceTransaction] including retries. *)
+(** Latency of one [debug_traceTransaction] including retries.  Always
+    in [(0, max_latency]]: retry accounting is clamped per attempt (a
+    fetch abandoned at the cap cannot retry past it), which also makes
+    the result monotone in [max_latency] for a fixed PRNG stream. *)

@@ -302,6 +302,150 @@ let dump_facts_roundtrip =
       let nodes = lines (Filename.concat dir "n.facts") in
       Alcotest.(check int) "derived relation dumped too" 2 (List.length nodes))
 
+let dump_facts_escapes_and_mkdirs =
+  Alcotest.test_case "dump_facts escapes TSV metacharacters, creates parents"
+    `Quick (fun () ->
+      (* A tab or newline inside a string constant must not corrupt the
+         Souffle TSV framing: every tuple stays on one line with
+         exactly arity-1 unescaped tabs. *)
+      let db = Engine.create_db () in
+      Engine.add_fact db "memo" [ Str "with\ttab"; Str "with\nnewline" ];
+      Engine.add_fact db "memo" [ Str "back\\slash"; Str "plain" ];
+      let dir =
+        Filename.concat
+          (Filename.concat (Filename.get_temp_dir_name ()) "xcw-esc-test")
+          "nested/deeper"
+      in
+      Engine.dump_facts db ~dir;
+      let ic = open_in (Filename.concat dir "memo.facts") in
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      let lines = go [] in
+      Alcotest.(check int) "one line per tuple" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          let tabs = String.fold_left (fun n c -> if c = '\t' then n + 1 else n) 0 l in
+          Alcotest.(check int) "exactly one field separator" 1 tabs)
+        lines;
+      Alcotest.(check bool) "tab escaped" true
+        (List.exists
+           (fun l -> String.length l >= 2 && String.sub l 0 4 = "with")
+           lines))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluation                                              *)
+
+(* Transitive closure, shared with the property tests below. *)
+let tc_rules =
+  [
+    atom "path" [ v "x"; v "y" ] <-- [ pos (atom "edge" [ v "x"; v "y" ]) ];
+    atom "path" [ v "x"; v "z" ]
+    <-- [ pos (atom "edge" [ v "x"; v "y" ]); pos (atom "path" [ v "y"; v "z" ]) ];
+  ]
+
+let edges_to_facts edges =
+  List.map (fun (a, b) -> ("edge", [ Int a; Int b ])) edges
+
+let incremental_inserts_recursive =
+  Alcotest.test_case "run_incremental extends a recursive closure" `Quick
+    (fun () ->
+      (* Feed the edge relation in three batches through one persistent
+         db; the final closure must equal a from-scratch run. *)
+      let db = Engine.create_db () in
+      let program = { rules = tc_rules } in
+      let batches =
+        [
+          [ (1, 2); (2, 3) ];
+          [ (3, 4) ];
+          [ (0, 1); (4, 5) ];
+        ]
+      in
+      List.iter
+        (fun batch ->
+          List.iter
+            (fun (a, b) -> ignore (Engine.insert_fact db "edge" [ Int a; Int b ]))
+            batch;
+          ignore (Engine.run_incremental db program))
+        batches;
+      let reference =
+        run_program (edges_to_facts (List.concat batches)) tc_rules
+      in
+      Alcotest.check tuple_list "same closure"
+        (sorted_facts reference "path")
+        (sorted_facts db "path"))
+
+let incremental_retracts_nonmonotonic =
+  Alcotest.test_case "run_incremental retracts stale negation-derived tuples"
+    `Quick (fun () ->
+      (* unmatched(x) :- req(x), !ack(x).  Adding ack(a) later must
+         REMOVE unmatched(a) — the non-monotonic case a pure delta pass
+         cannot handle; the engine re-derives the relation in place. *)
+      let rules =
+        [
+          atom "unmatched" [ v "x" ]
+          <-- [ pos (atom "req" [ v "x" ]); neg (atom "ack" [ v "x" ]) ];
+        ]
+      in
+      let db = Engine.create_db () in
+      let program = { rules } in
+      ignore (Engine.insert_fact db "req" [ Str "a" ]);
+      ignore (Engine.insert_fact db "req" [ Str "b" ]);
+      ignore (Engine.run_incremental db program);
+      Alcotest.check tuple_list "both unmatched initially"
+        [ [| Str "a" |]; [| Str "b" |] ]
+        (sorted_facts db "unmatched");
+      ignore (Engine.insert_fact db "ack" [ Str "a" ]);
+      ignore (Engine.run_incremental db program);
+      Alcotest.check tuple_list "a retracted after its ack arrives"
+        [ [| Str "b" |] ]
+        (sorted_facts db "unmatched");
+      (* EDB relations must survive the retraction pass untouched. *)
+      Alcotest.(check int) "req preserved" 2 (Engine.fact_count db "req"))
+
+let incremental_skips_unchanged_strata =
+  Alcotest.test_case "run_incremental leaves untouched strata alone" `Quick
+    (fun () ->
+      (* Two independent strata; facts added only to the first must not
+         re-evaluate the second's rule. *)
+      let rules =
+        [
+          atom "q" [ v "x" ] <-- [ pos (atom "p" [ v "x" ]) ];
+          atom "t" [ v "x" ] <-- [ pos (atom "s" [ v "x" ]) ];
+        ]
+      in
+      let db = Engine.create_db () in
+      let program = { rules } in
+      ignore (Engine.insert_fact db "p" [ Str "a" ]);
+      ignore (Engine.insert_fact db "s" [ Str "z" ]);
+      ignore (Engine.run_incremental db program);
+      ignore (Engine.insert_fact db "p" [ Str "b" ]);
+      let stats = Engine.run_incremental db program in
+      Alcotest.(check int) "only p's stratum ran" 1 stats.Engine.rules_evaluated;
+      Alcotest.check tuple_list "q extended"
+        [ [| Str "a" |]; [| Str "b" |] ]
+        (sorted_facts db "q");
+      Alcotest.check tuple_list "t intact" [ [| Str "z" |] ]
+        (sorted_facts db "t");
+      (* A no-op increment does no work at all. *)
+      let stats2 = Engine.run_incremental db program in
+      Alcotest.(check int) "idle poll evaluates nothing" 0
+        stats2.Engine.rules_evaluated)
+
+let derived_predicates_tracked =
+  Alcotest.test_case "derived vs EDB predicates are distinguished" `Quick
+    (fun () ->
+      let db = Engine.create_db () in
+      ignore (Engine.insert_fact db "p" [ Str "a" ]);
+      ignore
+        (Engine.run db { rules = [ atom "q" [ v "x" ] <-- [ pos (atom "p" [ v "x" ]) ] ] });
+      Alcotest.(check (list string)) "only q is derived" [ "q" ]
+        (Engine.derived_predicates db))
+
 (* ------------------------------------------------------------------ *)
 (* Error handling                                                      *)
 
@@ -345,16 +489,6 @@ let arity_mismatch_rejected =
 let gen_edges =
   QCheck.Gen.(list_size (0 -- 40) (pair (int_bound 12) (int_bound 12)))
 
-let tc_rules =
-  [
-    atom "path" [ v "x"; v "y" ] <-- [ pos (atom "edge" [ v "x"; v "y" ]) ];
-    atom "path" [ v "x"; v "z" ]
-    <-- [ pos (atom "edge" [ v "x"; v "y" ]); pos (atom "path" [ v "y"; v "z" ]) ];
-  ]
-
-let edges_to_facts edges =
-  List.map (fun (a, b) -> ("edge", [ Int a; Int b ])) edges
-
 let prop_seminaive_equals_naive =
   QCheck.Test.make ~name:"semi-naive = naive on random graphs" ~count:60
     (QCheck.make gen_edges)
@@ -394,6 +528,24 @@ let prop_monotone =
       let p1 = sorted_facts db1 "path" and p2 = sorted_facts db2 "path" in
       List.for_all (fun t -> List.mem t p2) p1)
 
+let prop_incremental_equals_batch =
+  QCheck.Test.make
+    ~name:"incremental batches = one-shot run on random graphs" ~count:60
+    (QCheck.pair (QCheck.make gen_edges) (QCheck.make gen_edges))
+    (fun (e1, e2) ->
+      let db = Engine.create_db () in
+      let program = { rules = tc_rules } in
+      List.iter
+        (fun (p, t) -> ignore (Engine.insert_fact db p t))
+        (edges_to_facts e1);
+      ignore (Engine.run_incremental db program);
+      List.iter
+        (fun (p, t) -> ignore (Engine.insert_fact db p t))
+        (edges_to_facts e2);
+      ignore (Engine.run_incremental db program);
+      let reference = run_program (edges_to_facts (e1 @ e2)) tc_rules in
+      sorted_facts db "path" = sorted_facts reference "path")
+
 let prop_idempotent =
   QCheck.Test.make ~name:"running rules twice adds nothing new" ~count:60
     (QCheck.make gen_edges)
@@ -425,6 +577,14 @@ let () =
           head_constants;
           duplicate_rule_results_deduplicated;
           dump_facts_roundtrip;
+          dump_facts_escapes_and_mkdirs;
+        ] );
+      ( "incremental",
+        [
+          incremental_inserts_recursive;
+          incremental_retracts_nonmonotonic;
+          incremental_skips_unchanged_strata;
+          derived_predicates_tracked;
         ] );
       ( "errors",
         [ unsafe_head_rejected; unstratifiable_rejected; arity_mismatch_rejected ] );
@@ -435,5 +595,6 @@ let () =
             prop_closure_transitive;
             prop_monotone;
             prop_idempotent;
+            prop_incremental_equals_batch;
           ] );
     ]

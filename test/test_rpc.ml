@@ -156,6 +156,29 @@ let prop_latency_positive_and_capped =
           && t <= profile.Latency.max_latency)
         [ Latency.ronin_profile; Latency.nomad_profile; Latency.colocated_profile ])
 
+(* Regression for the cap-accounting bug: the retry total used to be
+   clamped only at the very end, so a timeout-heavy run could first
+   blow past the cap internally and — worse — lowering [max_latency]
+   could change which retries happen without bounding each step,
+   breaking monotonicity of the model in the cap.  With per-attempt
+   clamping, for the same PRNG stream the fetch under a smaller cap is
+   never slower than under a larger one. *)
+let prop_trace_fetch_capped_and_monotone =
+  QCheck.Test.make
+    ~name:"trace_fetch <= max_latency and monotone in the cap" ~count:500
+    QCheck.(triple (int_bound 100_000) (int_range 1 60) (int_range 0 120))
+    (fun (seed, lo_s, extra_s) ->
+      (* A timeout-heavy profile so the retry path is actually
+         exercised, with caps [lo <= hi] derived from the generator. *)
+      let lo = float_of_int lo_s and hi = float_of_int (lo_s + extra_s) in
+      let profile cap =
+        { Latency.ronin_profile with Latency.trace_timeout_prob = 0.5;
+          max_latency = cap }
+      in
+      let fetch cap = Latency.trace_fetch (profile cap) (Prng.create seed) in
+      let a = fetch lo and b = fetch hi in
+      a > 0.0 && a <= lo && b <= hi && a <= b)
+
 let trace_slower_than_receipt =
   Alcotest.test_case "tracing is slower than receipt fetches on average"
     `Quick (fun () ->
@@ -208,6 +231,7 @@ let () =
       ( "latency-model",
         [
           QCheck_alcotest.to_alcotest prop_latency_positive_and_capped;
+          QCheck_alcotest.to_alcotest prop_trace_fetch_capped_and_monotone;
           trace_slower_than_receipt;
           ronin_profile_matches_paper_shape;
           colocated_is_fast;
