@@ -16,6 +16,8 @@ module Prng = Xcw_util.Prng
 module Address = Xcw_evm.Address
 module Chain = Xcw_chain.Chain
 module Rpc = Xcw_rpc.Rpc
+module Client = Xcw_rpc.Client
+module Fault = Xcw_rpc.Fault
 module Latency = Xcw_rpc.Latency
 module Engine = Xcw_datalog.Engine
 module Ast = Xcw_datalog.Ast
@@ -156,6 +158,146 @@ let () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* faults: extraction cost and integrity under a realistic fault plan.
+   Re-decodes the Nomad-scale chains through the resilient client
+   against Ronin-profile nodes, fault-free vs Fault.moderate, then
+   measures how many extra polls a faulty monitor needs to catch up.
+   Runnable standalone via [dune exec bench/main.exe faults]; emits
+   BENCH_faults.json plus a one-line BENCH_FAULTS summary. *)
+
+let bench_faults () =
+  let module Monitor = Xcw_core.Monitor in
+  let module Facts = Xcw_core.Facts in
+  let module Json = Xcw_util.Json in
+  section
+    "Fault injection: Nomad-scale extraction under a moderate fault plan";
+  let b = Xcw_workload.Nomad.build ~seed:(seed + 55) ~scale () in
+  let bridge = b.Scenario.bridge in
+  let src = bridge.Bridge.source.Bridge.chain in
+  let dst = bridge.Bridge.target.Bridge.chain in
+  let profile = Latency.ronin_profile in
+  let decode ~fault rpc_seed =
+    let mk chain s =
+      Client.create ~seed:s (Rpc.create ~profile ~seed:s ?fault chain)
+    in
+    let src_client = mk src rpc_seed in
+    let dst_client = mk dst (rpc_seed + 1) in
+    let rds =
+      Decoder.decode_chain Decoder.nomad_plugin b.Scenario.config
+        ~role:Decoder.Source src_client src
+      @ Decoder.decode_chain Decoder.nomad_plugin b.Scenario.config
+          ~role:Decoder.Target dst_client dst
+    in
+    (rds, src_client, dst_client)
+  in
+  let non_gap_facts rds =
+    List.concat_map
+      (fun rd ->
+        List.filter
+          (function Facts.Trace_gap _ -> false | _ -> true)
+          rd.Decoder.rd_facts)
+      rds
+  in
+  let clean_rds, csrc, cdst = decode ~fault:None 301 in
+  let fault_rds, fsrc, fdst = decode ~fault:(Some Fault.moderate) 301 in
+  let clean_seconds = Client.total_latency csrc +. Client.total_latency cdst in
+  let fault_seconds = Client.total_latency fsrc +. Client.total_latency fdst in
+  let overhead_ratio = fault_seconds /. Float.max 1e-9 clean_seconds in
+  let facts_identical = non_gap_facts clean_rds = non_gap_facts fault_rds in
+  let trace_gaps =
+    List.length (List.filter (fun rd -> rd.Decoder.rd_trace_gap) fault_rds)
+  in
+  let stats c = Client.stats c in
+  let retries = (stats fsrc).Client.s_retries + (stats fdst).Client.s_retries in
+  let give_ups =
+    (stats fsrc).Client.s_give_ups + (stats fdst).Client.s_give_ups
+  in
+  let backoff =
+    (stats fsrc).Client.s_backoff_seconds
+    +. (stats fdst).Client.s_backoff_seconds
+  in
+  Printf.printf "receipts decoded twice:      %d\n" (List.length clean_rds);
+  Printf.printf "simulated RPC seconds clean: %.1f\n" clean_seconds;
+  Printf.printf "simulated RPC seconds fault: %.1f  (%.2fx, %.1f s backoff)\n"
+    fault_seconds overhead_ratio backoff;
+  Printf.printf "retries %d, give-ups %d, trace gaps %d, facts identical: %b\n"
+    retries give_ups trace_gaps facts_identical;
+  (* Monitor catch-up: polls needed to reach a synced report at the
+     final cursors when every request can fail. *)
+  let input =
+    Detector.default_input ~label:"nomad-faults" ~plugin:Decoder.nomad_plugin
+      ~config:b.Scenario.config ~source_chain:src ~target_chain:dst
+      ~pricing:b.Scenario.pricing
+  in
+  let mon =
+    Monitor.create
+      {
+        input with
+        Detector.i_source_fault = Some Fault.moderate;
+        i_target_fault = Some Fault.moderate;
+        i_rpc_seed = seed + 303;
+        i_source_profile = profile;
+        i_target_profile = profile;
+      }
+  in
+  let sb = List.length (Chain.all_blocks src) in
+  let tb = List.length (Chain.all_blocks dst) in
+  let max_polls = 60 in
+  let polls = ref 1 in
+  ignore (Monitor.poll mon ~source_block:sb ~target_block:tb);
+  while
+    (not (Monitor.health mon).Monitor.h_synced) && !polls < max_polls
+  do
+    incr polls;
+    ignore (Monitor.poll mon ~source_block:sb ~target_block:tb)
+  done;
+  let h = Monitor.health mon in
+  Printf.printf
+    "monitor synced after %d poll(s) (trace gaps %d, give-ups %d, reorgs %d)\n"
+    !polls h.Monitor.h_trace_gaps h.Monitor.h_give_ups h.Monitor.h_reorgs;
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "faults");
+        ("bridge", Json.String "nomad");
+        ("scale", Json.Float scale);
+        ("seed", Json.Int seed);
+        ("profile", Json.String "ronin");
+        ("plan", Json.String "moderate");
+        ("receipts", Json.Int (List.length clean_rds));
+        ("clean_rpc_seconds", Json.Float clean_seconds);
+        ("faulty_rpc_seconds", Json.Float fault_seconds);
+        ("overhead_ratio", Json.Float overhead_ratio);
+        ("backoff_seconds", Json.Float backoff);
+        ("retries", Json.Int retries);
+        ("give_ups", Json.Int give_ups);
+        ("trace_gaps", Json.Int trace_gaps);
+        ("facts_identical", Json.Bool facts_identical);
+        ("catchup_polls", Json.Int !polls);
+        ("monitor_synced", Json.Bool h.Monitor.h_synced);
+      ]
+  in
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "BENCH_FAULTS overhead_ratio=%.3f retries=%d give_ups=%d range_splits=%d \
+     trace_gaps=%d facts_identical=%b catchup_polls=%d synced=%b\n"
+    overhead_ratio retries give_ups
+    ((stats fsrc).Client.s_range_splits + (stats fdst).Client.s_range_splits)
+    trace_gaps facts_identical !polls h.Monitor.h_synced;
+  Printf.printf "(written to BENCH_faults.json)\n"
+
+let () =
+  if Array.exists (( = ) "faults") Sys.argv then begin
+    Printf.printf "XChainWatcher fault bench (scale %.3f, seed %d)\n" scale
+      seed;
+    bench_faults ();
+    exit 0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Scenario construction (shared by several experiments)               *)
 
 let () =
@@ -210,21 +352,23 @@ let () =
 (* Re-decode each bridge's chains against RPC nodes with the paper's
    calibrated latency profiles, splitting per token type. *)
 let decode_latencies (built : Scenario.built) plugin profile rpc_seed =
-  let src_rpc =
-    Rpc.create ~profile ~seed:rpc_seed
-      built.Scenario.bridge.Bridge.source.Bridge.chain
+  let src_client =
+    Client.create ~seed:rpc_seed
+      (Rpc.create ~profile ~seed:rpc_seed
+         built.Scenario.bridge.Bridge.source.Bridge.chain)
   in
-  let dst_rpc =
-    Rpc.create ~profile ~seed:(rpc_seed + 1)
-      built.Scenario.bridge.Bridge.target.Bridge.chain
+  let dst_client =
+    Client.create ~seed:(rpc_seed + 1)
+      (Rpc.create ~profile ~seed:(rpc_seed + 1)
+         built.Scenario.bridge.Bridge.target.Bridge.chain)
   in
   let src =
     Decoder.decode_chain plugin built.Scenario.config ~role:Decoder.Source
-      src_rpc built.Scenario.bridge.Bridge.source.Bridge.chain
+      src_client built.Scenario.bridge.Bridge.source.Bridge.chain
   in
   let dst =
     Decoder.decode_chain plugin built.Scenario.config ~role:Decoder.Target
-      dst_rpc built.Scenario.bridge.Bridge.target.Bridge.chain
+      dst_client built.Scenario.bridge.Bridge.target.Bridge.chain
   in
   let all = src @ dst in
   let native =
@@ -1053,6 +1197,7 @@ let () =
     (List.sort compare rows)
 
 let () = monitor_steady_state ()
+let () = bench_faults ()
 
 let () =
   Printf.printf

@@ -25,10 +25,10 @@ let () =
   (* now time rule-by-rule on a fresh db *)
   let db2 = Engine.create_db () in
   (* copy EDB facts only: rebuild from decode *)
-  let src_rpc = Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.source.Bridge.chain in
-  let dst_rpc = Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.target.Bridge.chain in
-  let src = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Source src_rpc b.Scenario.bridge.Bridge.source.Bridge.chain in
-  let dst = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Target dst_rpc b.Scenario.bridge.Bridge.target.Bridge.chain in
+  let src_client = Xcw_rpc.Client.create (Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.source.Bridge.chain) in
+  let dst_client = Xcw_rpc.Client.create (Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.target.Bridge.chain) in
+  let src = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Source src_client b.Scenario.bridge.Bridge.source.Bridge.chain in
+  let dst = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Target dst_client b.Scenario.bridge.Bridge.target.Bridge.chain in
   ignore (Xcw_core.Facts.load_all db2 (Xcw_core.Config.to_facts b.Scenario.config));
   List.iter
     (fun rd -> ignore (Xcw_core.Facts.load_all db2 rd.Decoder.rd_facts))

@@ -132,4 +132,58 @@ let () =
   Format.printf
     "@.The forged withdrawal was alerted at the first poll after it landed\n\
      — a six-hour worst case against the six DAYS of Figure 1, bounding\n\
-     further losses to one polling interval of exposure.@."
+     further losses to one polling interval of exposure.@.";
+  (* Epilogue: replay the same history through badly degraded RPC — 90%
+     of requests fail transiently.  The monitor never raises and never
+     skips data: polls that cannot fetch everything surface through
+     [health] (and withhold alerts rather than emit them off a partial
+     cross-chain view), and the alert arrives as soon as the fetch
+     completes. *)
+  Format.printf "@.Replaying through degraded RPC (90%% transient failures):@.";
+  let module Fault = Xcw_rpc.Fault in
+  let shaky = { Fault.p_transient = 0.9; p_timeout = 0.0 } in
+  let plan =
+    {
+      Fault.none with
+      Fault.f_receipt = shaky;
+      f_transaction = shaky;
+      f_trace = shaky;
+    }
+  in
+  let input =
+    Detector.default_input ~label:"watched-bridge" ~plugin:Decoder.ronin_plugin
+      ~config ~source_chain:source ~target_chain:target ~pricing
+  in
+  let flaky =
+    Monitor.create
+      {
+        input with
+        Detector.i_source_fault = Some plan;
+        i_target_fault = Some plan;
+        i_rpc_seed = 7;
+      }
+  in
+  let sb, tb = cursors () in
+  let rec chase n =
+    let alerts = Monitor.poll flaky ~source_block:sb ~target_block:tb in
+    let h = Monitor.health flaky in
+    if h.Monitor.h_synced then begin
+      Format.printf "[poll %d] synced; %d alert(s), matching the live run@." n
+        (List.length alerts);
+      List.iter
+        (fun (a : Monitor.alert) ->
+          Format.printf "         *** ALERT [%s] %s — $%.0f@." a.Monitor.al_rule
+            (Report.class_name a.Monitor.al_anomaly.Report.a_class)
+            a.Monitor.al_anomaly.Report.a_usd_value)
+        alerts
+    end
+    else begin
+      Format.printf
+        "[poll %d] degraded: %d+%d receipts pending, %d give-ups (%s)@." n
+        h.Monitor.h_pending_source h.Monitor.h_pending_target
+        h.Monitor.h_give_ups
+        (match h.Monitor.h_last_error with Some e -> e | None -> "-");
+      if n < 50 then chase (n + 1)
+    end
+  in
+  chase 1

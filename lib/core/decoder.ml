@@ -23,6 +23,7 @@ module Address = Xcw_evm.Address
 module Types = Xcw_evm.Types
 module Abi = Xcw_abi.Abi
 module Rpc = Xcw_rpc.Rpc
+module Client = Xcw_rpc.Client
 module Events = Xcw_bridge.Events
 module Erc20 = Xcw_chain.Erc20
 module Weth = Xcw_chain.Weth
@@ -54,6 +55,9 @@ type receipt_decode = {
   rd_errors : decode_error list;
   rd_latency : float;  (** simulated seconds to extract this receipt's facts *)
   rd_is_native : bool;  (** required tracer calls (native value involved) *)
+  rd_trace_gap : bool;
+      (** tracer needed but unavailable: decoded without internal
+          transfers, {!Facts.Trace_gap} marker emitted *)
 }
 
 (* Decode a beneficiary value from an event parameter.  Returns the
@@ -93,7 +97,8 @@ let as_addr_hex = function
     [role] states whether this chain is the bridge's source or target;
     [chain_id] is the chain the receipt belongs to. *)
 let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
-    ~(chain_id : int) (rpc : Rpc.t) (r : Types.receipt) : receipt_decode =
+    ~(chain_id : int) (client : Client.t) (r : Types.receipt) :
+    (receipt_decode, Rpc.error) result =
   let latency = ref 0.0 in
   let facts = ref [] in
   let errors = ref [] in
@@ -120,6 +125,7 @@ let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
     push (Facts.Bridge_event_decode_failure { tx_hash })
   in
   let needs_trace = ref false in
+  let trace_gap = ref false in
   (* --- Event decoding ------------------------------------------------ *)
   let decode_log (l : Types.log) =
     match topic0_of l with
@@ -321,57 +327,115 @@ let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
   (* The receipt does not carry tx.value (paper Section 3.2): fetch the
      transaction when the receipt suggests native-value involvement,
      and the call trace to recover internal transfers. *)
-  let tx_value =
+  let tx_value_result =
     if !needs_trace || r.Types.r_logs = [] then begin
-      let resp = Rpc.eth_get_transaction_by_hash rpc r.Types.r_tx_hash in
+      let resp = Client.get_transaction client r.Types.r_tx_hash in
       latency := !latency +. resp.Rpc.latency;
       match resp.Rpc.value with
-      | Some tx ->
+      | Error e ->
+          (* Without the transaction we cannot state tx.value: fail the
+             whole receipt rather than emit a wrong Transaction fact;
+             the caller retries later. *)
+          Error e
+      | Ok (Some tx) ->
           if not (U256.is_zero tx.Types.tx_value) then begin
             (* Native value moved: run the call tracer for internal
                transfers (the expensive path). *)
-            let trace_resp = Rpc.debug_trace_transaction rpc r.Types.r_tx_hash in
+            let trace_resp =
+              Client.trace_transaction client r.Types.r_tx_hash
+            in
             latency := !latency +. trace_resp.Rpc.latency;
-            needs_trace := true
+            needs_trace := true;
+            match trace_resp.Rpc.value with
+            | Ok _ -> ()
+            | Error _ ->
+                (* Degrade to trace-less facts: tx.value is known from
+                   the transaction itself; only internal transfers go
+                   unobserved.  Mark the gap so nothing downstream
+                   mistakes this for full coverage. *)
+                trace_gap := true;
+                push (Facts.Trace_gap { tx_hash; chain_id })
           end;
-          tx.Types.tx_value
-      | None -> U256.zero
+          Ok tx.Types.tx_value
+      | Ok None -> Ok U256.zero
     end
-    else U256.zero
+    else Ok U256.zero
   in
-  push
-    (Facts.Transaction
-       {
-         timestamp = r.Types.r_block_timestamp;
-         chain_id;
-         tx_hash;
-         from_ = Facts.hex_of_address r.Types.r_from;
-         to_ =
-           (match r.Types.r_to with
-           | Some a -> Facts.hex_of_address a
-           | None -> "0xcreate");
-         value = tx_value;
-         status = Types.status_code r.Types.r_status;
-         fee = U256.of_int (r.Types.r_gas_used * 20);
-       });
-  {
-    rd_facts = List.rev !facts;
-    rd_errors = List.rev !errors;
-    rd_latency = !latency;
-    rd_is_native = !needs_trace;
-  }
+  match tx_value_result with
+  | Error e -> Error e
+  | Ok tx_value ->
+      push
+        (Facts.Transaction
+           {
+             timestamp = r.Types.r_block_timestamp;
+             chain_id;
+             tx_hash;
+             from_ = Facts.hex_of_address r.Types.r_from;
+             to_ =
+               (match r.Types.r_to with
+               | Some a -> Facts.hex_of_address a
+               | None -> "0xcreate");
+             value = tx_value;
+             status = Types.status_code r.Types.r_status;
+             fee = U256.of_int (r.Types.r_gas_used * 20);
+           });
+      Ok
+        {
+          rd_facts = List.rev !facts;
+          rd_errors = List.rev !errors;
+          rd_latency = !latency;
+          rd_is_native = !needs_trace;
+          rd_trace_gap = !trace_gap;
+        }
 
 (** Decode a whole chain's receipts; includes the receipt-fetch latency
     per transaction.  Returns per-receipt decode results in chain
-    order. *)
+    order.  Transient RPC failures are retried until the receipt
+    decodes; a receipt that keeps failing yields an empty decode with
+    a single "rpc failure" error instead of raising. *)
 let decode_chain (plugin : plugin) (config : Config.t) ~(role : chain_role)
-    (rpc : Rpc.t) (chain : Xcw_chain.Chain.t) : receipt_decode list =
+    (client : Client.t) (chain : Xcw_chain.Chain.t) : receipt_decode list =
   let chain_id = chain.Xcw_chain.Chain.chain_id in
+  (* The client already retries each RPC up to its policy; this outer
+     loop re-runs whole receipts so batch extraction survives fault
+     plans denser than one client attempt budget. *)
+  let max_rounds = 100 in
+  let abandoned (r : Types.receipt) e =
+    {
+      rd_facts = [];
+      rd_errors =
+        [
+          {
+            err_tx_hash = Facts.hex_of_hash r.Types.r_tx_hash;
+            err_chain_id = chain_id;
+            err_event_index = -1;
+            err_detail =
+              Printf.sprintf "rpc failure: %s" (Rpc.error_to_string e);
+            err_withdrawal_id = None;
+          };
+        ];
+      rd_latency = 0.;
+      rd_is_native = false;
+      rd_trace_gap = false;
+    }
+  in
   List.map
     (fun (r : Types.receipt) ->
-      let fetch = Rpc.eth_get_transaction_receipt rpc r.Types.r_tx_hash in
-      let decoded =
-        decode_receipt plugin config ~role ~chain_id rpc r
+      let rec attempt round =
+        let fetch = Client.get_receipt client r.Types.r_tx_hash in
+        match fetch.Rpc.value with
+        | Error e ->
+            if round >= max_rounds then abandoned r e else attempt (round + 1)
+        | Ok _ -> (
+            match decode_receipt plugin config ~role ~chain_id client r with
+            | Ok decoded ->
+                {
+                  decoded with
+                  rd_latency = decoded.rd_latency +. fetch.Rpc.latency;
+                }
+            | Error e ->
+                if round >= max_rounds then abandoned r e
+                else attempt (round + 1))
       in
-      { decoded with rd_latency = decoded.rd_latency +. fetch.Rpc.latency })
+      attempt 1)
     (Xcw_chain.Chain.all_receipts chain)

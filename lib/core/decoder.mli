@@ -16,6 +16,7 @@
 
 module Types = Xcw_evm.Types
 module Rpc = Xcw_rpc.Rpc
+module Client = Xcw_rpc.Client
 
 type chain_role = Source | Target
 
@@ -46,6 +47,10 @@ type receipt_decode = {
   rd_errors : decode_error list;
   rd_latency : float;  (** simulated seconds to extract this receipt *)
   rd_is_native : bool;  (** required tracer calls *)
+  rd_trace_gap : bool;
+      (** the tracer was needed but unavailable: facts were extracted
+          without internal transfers and a {!Facts.Trace_gap} marker
+          was emitted *)
 }
 
 val decode_receipt :
@@ -53,15 +58,22 @@ val decode_receipt :
   Config.t ->
   role:chain_role ->
   chain_id:int ->
-  Rpc.t ->
+  Client.t ->
   Types.receipt ->
-  receipt_decode
+  (receipt_decode, Rpc.error) result
 (** Decode one transaction's facts (the receipt itself already in
-    hand); charges tx/trace RPC latency when native value is
-    involved. *)
+    hand); charges tx/trace RPC latency when native value is involved.
+    A failed [eth_getTransactionByHash] (after the client's retries)
+    fails the whole receipt so no partial fact set is ever produced —
+    the caller retries later.  A failed tracer degrades instead:
+    facts are emitted trace-less with [rd_trace_gap] set. *)
 
 val decode_chain :
-  plugin -> Config.t -> role:chain_role -> Rpc.t -> Xcw_chain.Chain.t ->
+  plugin -> Config.t -> role:chain_role -> Client.t -> Xcw_chain.Chain.t ->
   receipt_decode list
 (** Decode a whole chain's receipts in order, including the
-    receipt-fetch latency per transaction. *)
+    receipt-fetch latency per transaction.  Transient failures are
+    retried until the receipt decodes; a receipt that keeps failing
+    (non-transient plan) yields an empty decode carrying one
+    {!decode_error} with an ["rpc failure"] detail rather than
+    raising. *)

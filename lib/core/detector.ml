@@ -8,6 +8,8 @@
 
 module Chain = Xcw_chain.Chain
 module Rpc = Xcw_rpc.Rpc
+module Client = Xcw_rpc.Client
+module Fault = Xcw_rpc.Fault
 module Latency = Xcw_rpc.Latency
 module Engine = Xcw_datalog.Engine
 
@@ -30,6 +32,13 @@ type input = {
           {!Rules.program}, replaceable with rules parsed from a [.dl]
           file ({!Xcw_datalog.Parser}).  The dissection expects the
           standard relation names to be present. *)
+  i_source_fault : Fault.plan option;
+  i_target_fault : Fault.plan option;
+      (** fault plans injected into the per-chain RPC facades; [None]
+          (the default) keeps every request infallible *)
+  i_client_policy : Client.policy;
+      (** retry/backoff policy of the resilient client wrapped around
+          each facade *)
 }
 
 let default_input ~label ~plugin ~config ~source_chain ~target_chain ~pricing =
@@ -45,6 +54,9 @@ let default_input ~label ~plugin ~config ~source_chain ~target_chain ~pricing =
     i_first_window_withdrawal_id = None;
     i_rpc_seed = 7;
     i_program = Rules.program;
+    i_source_fault = None;
+    i_target_fault = None;
+    i_client_policy = Client.default_policy;
   }
 
 type result = {
@@ -62,20 +74,23 @@ let run (input : input) : result =
   let config = input.i_config in
   (* Phase 1+2: decode receipts and build relations. *)
   let t0 = Unix.gettimeofday () in
-  let src_rpc =
+  let src_client =
     Rpc.create ~profile:input.i_source_profile ~seed:input.i_rpc_seed
-      input.i_source_chain
+      ?fault:input.i_source_fault input.i_source_chain
+    |> Client.create ~policy:input.i_client_policy ~seed:input.i_rpc_seed
   in
-  let dst_rpc =
+  let dst_client =
     Rpc.create ~profile:input.i_target_profile ~seed:(input.i_rpc_seed + 1)
-      input.i_target_chain
+      ?fault:input.i_target_fault input.i_target_chain
+    |> Client.create ~policy:input.i_client_policy
+         ~seed:(input.i_rpc_seed + 1)
   in
   let src_decoded =
-    Decoder.decode_chain input.i_plugin config ~role:Decoder.Source src_rpc
+    Decoder.decode_chain input.i_plugin config ~role:Decoder.Source src_client
       input.i_source_chain
   in
   let dst_decoded =
-    Decoder.decode_chain input.i_plugin config ~role:Decoder.Target dst_rpc
+    Decoder.decode_chain input.i_plugin config ~role:Decoder.Target dst_client
       input.i_target_chain
   in
   let db = Engine.create_db () in
@@ -97,7 +112,8 @@ let run (input : input) : result =
     Dissect.dissect ~label:input.i_label ~config ~pricing:input.i_pricing
       ~first_window_withdrawal_id:input.i_first_window_withdrawal_id
       ~decode_errors:all_decode_errors ~db ~decode_seconds ~eval_seconds
-      ~simulated_rpc_seconds:(Rpc.total_latency src_rpc +. Rpc.total_latency dst_rpc)
+      ~simulated_rpc_seconds:
+        (Client.total_latency src_client +. Client.total_latency dst_client)
       ~total_facts ()
   in
   {

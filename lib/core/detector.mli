@@ -5,6 +5,8 @@
 
 module Chain = Xcw_chain.Chain
 module Rpc = Xcw_rpc.Rpc
+module Client = Xcw_rpc.Client
+module Fault = Xcw_rpc.Fault
 module Latency = Xcw_rpc.Latency
 module Engine = Xcw_datalog.Engine
 
@@ -26,6 +28,13 @@ type input = {
           {!Rules.program}.  Replace with rules parsed from a [.dl]
           file to fine-tune per bridge; the dissection expects the
           standard relation names. *)
+  i_source_fault : Fault.plan option;
+  i_target_fault : Fault.plan option;
+      (** fault plans injected into the per-chain RPC facades; [None]
+          (the default) keeps every request infallible *)
+  i_client_policy : Client.policy;
+      (** retry/backoff policy of the resilient client wrapped around
+          each facade *)
 }
 
 val default_input :
@@ -36,7 +45,8 @@ val default_input :
   target_chain:Chain.t ->
   pricing:Pricing.t ->
   input
-(** Colocated RPC profiles, no pre-window cutoff. *)
+(** Colocated RPC profiles, no pre-window cutoff, no fault injection,
+    default retry policy. *)
 
 type result = {
   report : Report.t;

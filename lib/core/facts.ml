@@ -37,6 +37,12 @@ let r_wrapped_native_token = "wrapped_native_token"
    misfiring on transactions the decoder only partially understood. *)
 let r_bridge_event_decode_failure = "bridge_event_decode_failure"
 
+(* Not part of Listing 1: marks transactions decoded without the call
+   tracer (node had it disabled or kept timing out).  Internal native
+   transfers of such transactions are invisible; consumed by no rule,
+   but surfaced in the monitor's health status. *)
+let r_trace_gap = "trace_gap"
+
 type t =
   | Native_deposit of {
       tx_hash : string;
@@ -122,6 +128,7 @@ type t =
   | Cctx_finality of { chain_id : int; finality_seconds : int }
   | Wrapped_native_token of { chain_id : int; token : string }
   | Bridge_event_decode_failure of { tx_hash : string }
+  | Trace_gap of { tx_hash : string; chain_id : int }
 
 let amount_term (a : U256.t) = Str (U256.to_decimal_string a)
 
@@ -171,6 +178,7 @@ let to_tuple (fact : t) : string * const list =
   | Cctx_finality f -> (r_cctx_finality, [ Int f.chain_id; Int f.finality_seconds ])
   | Wrapped_native_token f -> (r_wrapped_native_token, [ Int f.chain_id; Str f.token ])
   | Bridge_event_decode_failure f -> (r_bridge_event_decode_failure, [ Str f.tx_hash ])
+  | Trace_gap f -> (r_trace_gap, [ Str f.tx_hash; Int f.chain_id ])
 
 let relation_name fact = fst (to_tuple fact)
 

@@ -30,6 +30,12 @@ val r_bridge_event_decode_failure : string
     present but undecodable (e.g. an unparseable beneficiary), so the
     transfer-without-event detectors don't misfire on them. *)
 
+val r_trace_gap : string
+(** Not part of Listing 1: marks transactions decoded without the call
+    tracer (the node had it disabled or it kept timing out), so their
+    internal native transfers are invisible.  Consumed by no rule;
+    surfaced through the monitor's health status. *)
+
 (** {1 Facts} *)
 
 type t =
@@ -114,6 +120,7 @@ type t =
   | Cctx_finality of { chain_id : int; finality_seconds : int }
   | Wrapped_native_token of { chain_id : int; token : string }
   | Bridge_event_decode_failure of { tx_hash : string }
+  | Trace_gap of { tx_hash : string; chain_id : int }
 
 val to_tuple : t -> string * Xcw_datalog.Ast.const list
 (** The (relation name, tuple) pair for the Datalog database. *)

@@ -17,11 +17,25 @@
     re-derived in place.  Per-poll cost is therefore proportional to
     the new blocks, not to the full history (see the
     [monitor_steady_state] bench).  [create ~incremental:false] keeps
-    the original rebuild-everything behaviour for comparison. *)
+    the original rebuild-everything behaviour for comparison.
+
+    The monitor degrades gracefully under RPC faults (see
+    {!Xcw_rpc.Fault}): a receipt whose fetch or decode fails stays
+    pending — the cursor never advances past unfetched data, so there
+    are no silent gaps — and is retried at the next poll; a failed
+    head observation skips the side for the poll and surfaces through
+    {!health} instead of raising; a reorg signal rewinds the cursor
+    past the replaced blocks and rebuilds the database through the
+    engine's retraction path.  Alerts are only emitted from synced
+    polls (every receipt within the requested cursors decoded), so
+    transient one-sided views never cause spurious or missing
+    alerts relative to a fault-free run — the differential property
+    checked in [test_fault.ml]. *)
 
 module Chain = Xcw_chain.Chain
 module Types = Xcw_evm.Types
 module Rpc = Xcw_rpc.Rpc
+module Client = Xcw_rpc.Client
 module Engine = Xcw_datalog.Engine
 
 type alert = {
@@ -48,45 +62,116 @@ module Cursor = struct
 
   let create () = { c_prefix = 0; c_decoded = Hashtbl.create 16 }
 
+  let normalize t =
+    while Hashtbl.mem t.c_decoded t.c_prefix do
+      Hashtbl.remove t.c_decoded t.c_prefix;
+      t.c_prefix <- t.c_prefix + 1
+    done
+
+  let is_decoded t i = i < t.c_prefix || Hashtbl.mem t.c_decoded i
+
+  (** Not-yet-decoded indices (ascending) whose block is within the
+      cursor; does not mark anything. *)
+  let candidates t ~block_of ~len ~up_to =
+    let out = ref [] in
+    for i = t.c_prefix to len - 1 do
+      if (not (Hashtbl.mem t.c_decoded i)) && block_of i <= up_to then
+        out := i :: !out
+    done;
+    List.rev !out
+
+  let mark t i =
+    if i >= t.c_prefix then begin
+      Hashtbl.replace t.c_decoded i ();
+      normalize t
+    end
+
   (** [take t ~block_of ~len ~up_to] returns the indices (ascending) of
       receipts that are not yet decoded and whose block is within the
       cursor, marking them decoded. *)
   let take t ~block_of ~len ~up_to =
-    let fresh = ref [] in
-    for i = t.c_prefix to len - 1 do
-      if (not (Hashtbl.mem t.c_decoded i)) && block_of i <= up_to then begin
-        Hashtbl.replace t.c_decoded i ();
-        fresh := i :: !fresh
-      end
+    let fresh = candidates t ~block_of ~len ~up_to in
+    List.iter (fun i -> Hashtbl.replace t.c_decoded i ()) fresh;
+    normalize t;
+    fresh
+
+  (** Forget every decoded index whose block is above [above] — the
+      reorg rewind: those receipts will be decoded again when the
+      (possibly different) replacement blocks are served. *)
+  let rewind t ~block_of ~above =
+    let decoded = ref [] in
+    for i = 0 to t.c_prefix - 1 do
+      decoded := i :: !decoded
     done;
-    while Hashtbl.mem t.c_decoded t.c_prefix do
-      Hashtbl.remove t.c_decoded t.c_prefix;
-      t.c_prefix <- t.c_prefix + 1
-    done;
-    List.rev !fresh
+    Hashtbl.iter (fun i () -> decoded := i :: !decoded) t.c_decoded;
+    Hashtbl.reset t.c_decoded;
+    t.c_prefix <- 0;
+    List.iter
+      (fun i -> if block_of i <= above then Hashtbl.replace t.c_decoded i ())
+      !decoded;
+    normalize t
 
   let decoded_count t = t.c_prefix + Hashtbl.length t.c_decoded
 end
 
+(* ------------------------------------------------------------------ *)
+
+(* Everything decoded from one receipt, kept so a reorg rewind can
+   rebuild the database and the report's decode errors from scratch. *)
+type entry = {
+  e_block : int;
+  e_facts : Facts.t list;
+  e_errors : Decoder.decode_error list;
+  e_trace_gap : bool;
+}
+
+type side = {
+  sd_chain : Chain.t;
+  sd_role : Decoder.chain_role;
+  sd_client : Client.t;
+  sd_cursor : Cursor.t;
+  sd_entries : (int, entry) Hashtbl.t;  (** receipt index -> decode *)
+  mutable sd_requested : int;  (** highest block cursor ever requested *)
+}
+
+type health = {
+  h_synced : bool;
+      (** every receipt within the requested cursors is decoded *)
+  h_pending_source : int;  (** receipts awaiting (re)decode on S *)
+  h_pending_target : int;
+  h_trace_gaps : int;  (** receipts decoded without the call tracer *)
+  h_give_ups : int;  (** client requests that exhausted retries *)
+  h_reorgs : int;  (** reorg signals handled *)
+  h_last_error : string option;  (** most recent RPC failure seen *)
+}
+
 type t = {
   m_input : Detector.input;
-  m_src_rpc : Rpc.t;
-  m_dst_rpc : Rpc.t;
-  m_src_cursor : Cursor.t;
-  m_dst_cursor : Cursor.t;
-  (* Facts decoded so far, newest first (used by the from-scratch mode
-     and [facts_cached]). *)
-  mutable m_facts : Facts.t list;
-  mutable m_decode_errors : Decoder.decode_error list;
+  m_src : side;
+  m_dst : side;
   m_incremental : bool;
   (* Persistent Datalog database for incremental evaluation; config
-     facts are pre-loaded at creation. *)
-  m_db : Engine.db;
+     facts are pre-loaded.  Replaced wholesale after a reorg rewind. *)
+  mutable m_db : Engine.db;
   (* Anomaly keys already alerted: (rule, class name, tx hash). *)
   m_known : (string * string * string, unit) Hashtbl.t;
   mutable m_polls : int;
   mutable m_last_report : Report.t option;
+  mutable m_reorgs : int;
+  mutable m_last_error : string option;
 }
+
+let make_side ~input ~role ~chain ~profile ~fault ~seed =
+  {
+    sd_chain = chain;
+    sd_role = role;
+    sd_client =
+      Rpc.create ~profile ~seed ?fault chain
+      |> Client.create ~policy:input.Detector.i_client_policy ~seed;
+    sd_cursor = Cursor.create ();
+    sd_entries = Hashtbl.create 64;
+    sd_requested = 0;
+  }
 
 let create ?(incremental = true) (input : Detector.input) : t =
   Engine.recommended_gc_setup ();
@@ -94,64 +179,144 @@ let create ?(incremental = true) (input : Detector.input) : t =
   ignore (Facts.load_all db (Config.to_facts input.Detector.i_config));
   {
     m_input = input;
-    m_src_rpc =
-      Rpc.create ~profile:input.Detector.i_source_profile
-        ~seed:input.Detector.i_rpc_seed input.Detector.i_source_chain;
-    m_dst_rpc =
-      Rpc.create ~profile:input.Detector.i_target_profile
-        ~seed:(input.Detector.i_rpc_seed + 1)
-        input.Detector.i_target_chain;
-    m_src_cursor = Cursor.create ();
-    m_dst_cursor = Cursor.create ();
-    m_facts = [];
-    m_decode_errors = [];
+    m_src =
+      make_side ~input ~role:Decoder.Source
+        ~chain:input.Detector.i_source_chain
+        ~profile:input.Detector.i_source_profile
+        ~fault:input.Detector.i_source_fault ~seed:input.Detector.i_rpc_seed;
+    m_dst =
+      make_side ~input ~role:Decoder.Target
+        ~chain:input.Detector.i_target_chain
+        ~profile:input.Detector.i_target_profile
+        ~fault:input.Detector.i_target_fault
+        ~seed:(input.Detector.i_rpc_seed + 1);
     m_incremental = incremental;
     m_db = db;
     m_known = Hashtbl.create 256;
     m_polls = 0;
     m_last_report = None;
+    m_reorgs = 0;
+    m_last_error = None;
   }
 
-(* Decode the not-yet-seen receipts of [chain] whose block is within
-   [up_to_block]; returns the freshly decoded facts, oldest receipt
-   first. *)
-let decode_new t chain rpc role cursor ~up_to_block =
-  let receipts = Array.of_list (Chain.all_receipts chain) in
-  let chain_id = chain.Chain.chain_id in
-  let fresh_idx =
-    Cursor.take cursor
-      ~block_of:(fun i -> receipts.(i).Types.r_block_number)
-      ~len:(Array.length receipts) ~up_to:up_to_block
-  in
-  List.concat_map
-    (fun i ->
-      let r = receipts.(i) in
-      let fetch = Rpc.eth_get_transaction_receipt rpc r.Types.r_tx_hash in
-      ignore fetch;
-      let rd =
-        Decoder.decode_receipt t.m_input.Detector.i_plugin
-          t.m_input.Detector.i_config ~role ~chain_id rpc r
+let sorted_entries s =
+  Hashtbl.fold (fun i e acc -> (i, e) :: acc) s.sd_entries []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+(* Facts of every decoded receipt, source side first, receipt order —
+   the same order the batch detector produces them in. *)
+let all_entry_facts t =
+  List.concat_map (fun e -> e.e_facts) (sorted_entries t.m_src)
+  @ List.concat_map (fun e -> e.e_facts) (sorted_entries t.m_dst)
+
+let all_decode_errors t =
+  List.concat_map (fun e -> e.e_errors) (sorted_entries t.m_src)
+  @ List.concat_map (fun e -> e.e_errors) (sorted_entries t.m_dst)
+
+let block_of_receipts receipts i = receipts.(i).Types.r_block_number
+
+let pending_count s =
+  let receipts = Array.of_list (Chain.all_receipts s.sd_chain) in
+  Cursor.candidates s.sd_cursor
+    ~block_of:(block_of_receipts receipts)
+    ~len:(Array.length receipts) ~up_to:s.sd_requested
+  |> List.length
+
+(* Advance one side: observe the node's head (which may lag or signal a
+   reorg), rewind on reorg, then decode every not-yet-decoded receipt
+   the node can currently serve.  Receipts whose fetch or decode fails
+   stay unmarked and are retried next poll — the cursor never moves
+   past data we do not have.  Returns the freshly decoded facts and
+   whether a rewind invalidated previously loaded facts. *)
+let poll_side t s ~up_to_block =
+  s.sd_requested <- max s.sd_requested up_to_block;
+  let head_resp = Client.observe_head s.sd_client ~head:up_to_block in
+  match head_resp.Rpc.value with
+  | Error e ->
+      t.m_last_error <- Some (Rpc.error_to_string e);
+      ([], false)
+  | Ok hv ->
+      let receipts = Array.of_list (Chain.all_receipts s.sd_chain) in
+      let block_of = block_of_receipts receipts in
+      let rewound =
+        match hv.Rpc.hv_reorged_to with
+        | None -> false
+        | Some surviving ->
+            t.m_reorgs <- t.m_reorgs + 1;
+            let dropped =
+              Hashtbl.fold
+                (fun i e acc -> if e.e_block > surviving then i :: acc else acc)
+                s.sd_entries []
+            in
+            if dropped = [] then false
+            else begin
+              List.iter (Hashtbl.remove s.sd_entries) dropped;
+              Cursor.rewind s.sd_cursor ~block_of ~above:surviving;
+              true
+            end
       in
-      t.m_decode_errors <- rd.Decoder.rd_errors @ t.m_decode_errors;
-      rd.Decoder.rd_facts)
-    fresh_idx
+      let chain_id = s.sd_chain.Chain.chain_id in
+      let fresh =
+        Cursor.candidates s.sd_cursor ~block_of ~len:(Array.length receipts)
+          ~up_to:hv.Rpc.hv_head
+        |> List.concat_map (fun i ->
+               let r = receipts.(i) in
+               let fetch = Client.get_receipt s.sd_client r.Types.r_tx_hash in
+               match fetch.Rpc.value with
+               | Error e ->
+                   t.m_last_error <- Some (Rpc.error_to_string e);
+                   []
+               | Ok _ -> (
+                   match
+                     Decoder.decode_receipt t.m_input.Detector.i_plugin
+                       t.m_input.Detector.i_config ~role:s.sd_role ~chain_id
+                       s.sd_client r
+                   with
+                   | Error e ->
+                       t.m_last_error <- Some (Rpc.error_to_string e);
+                       []
+                   | Ok rd ->
+                       Cursor.mark s.sd_cursor i;
+                       Hashtbl.replace s.sd_entries i
+                         {
+                           e_block = r.Types.r_block_number;
+                           e_facts = rd.Decoder.rd_facts;
+                           e_errors = rd.Decoder.rd_errors;
+                           e_trace_gap = rd.Decoder.rd_trace_gap;
+                         };
+                       rd.Decoder.rd_facts))
+      in
+      (fresh, rewound)
 
 (** Advance the monitor to the given block cursors; returns alerts for
-    anomalies that appeared since the previous poll. *)
+    anomalies that appeared since the previous poll.  Under fault
+    injection a poll may return no alerts simply because one side is
+    behind — consult {!health}; the alerts arrive once the monitor
+    catches up. *)
 let poll t ~source_block ~target_block : alert list =
   t.m_polls <- t.m_polls + 1;
-  let fresh_facts =
-    decode_new t t.m_input.Detector.i_source_chain t.m_src_rpc Decoder.Source
-      t.m_src_cursor ~up_to_block:source_block
-    @ decode_new t t.m_input.Detector.i_target_chain t.m_dst_rpc Decoder.Target
-        t.m_dst_cursor ~up_to_block:target_block
-  in
-  t.m_facts <- List.rev_append fresh_facts t.m_facts;
+  let src_fresh, src_rewound = poll_side t t.m_src ~up_to_block:source_block in
+  let dst_fresh, dst_rewound = poll_side t t.m_dst ~up_to_block:target_block in
+  let rewound = src_rewound || dst_rewound in
+  let fresh_facts = src_fresh @ dst_fresh in
   let db =
     if t.m_incremental then begin
-      (* Load only the delta and update the persistent database; strata
-         unaffected by the fresh facts are skipped by the engine. *)
-      ignore (Facts.load_all t.m_db fresh_facts);
+      if rewound then begin
+        (* Facts from replaced blocks are gone: rebuild the persistent
+           database from the surviving entries; the next
+           [run_incremental] re-derives everything (first run on a
+           fresh database evaluates from scratch). *)
+        let db = Engine.create_db () in
+        ignore
+          (Facts.load_all db (Config.to_facts t.m_input.Detector.i_config));
+        ignore (Facts.load_all db (all_entry_facts t));
+        t.m_db <- db
+      end
+      else
+        (* Load only the delta; strata unaffected by the fresh facts
+           are skipped by the engine. *)
+        ignore (Facts.load_all t.m_db fresh_facts);
       ignore (Engine.run_incremental t.m_db t.m_input.Detector.i_program);
       t.m_db
     end
@@ -159,7 +324,7 @@ let poll t ~source_block ~target_block : alert list =
       (* From-scratch reference mode: rebuild the full database. *)
       let db = Engine.create_db () in
       ignore (Facts.load_all db (Config.to_facts t.m_input.Detector.i_config));
-      ignore (Facts.load_all db t.m_facts);
+      ignore (Facts.load_all db (all_entry_facts t));
       ignore (Engine.run db t.m_input.Detector.i_program);
       db
     end
@@ -172,31 +337,59 @@ let poll t ~source_block ~target_block : alert list =
     Dissect.dissect ~label:t.m_input.Detector.i_label
       ~config:t.m_input.Detector.i_config ~pricing:t.m_input.Detector.i_pricing
       ~first_window_withdrawal_id:t.m_input.Detector.i_first_window_withdrawal_id
-      ~decode_errors:t.m_decode_errors ~db ()
+      ~decode_errors:(all_decode_errors t) ~db ()
   in
   t.m_last_report <- Some report;
-  let fresh = ref [] in
-  List.iter
-    (fun row ->
-      List.iter
-        (fun a ->
-          let key =
-            (row.Report.rr_rule, Report.class_name a.Report.a_class, a.Report.a_tx_hash)
-          in
-          if not (Hashtbl.mem t.m_known key) then begin
-            Hashtbl.replace t.m_known key ();
-            fresh :=
-              {
-                al_anomaly = a;
-                al_rule = row.Report.rr_rule;
-                al_detected_at = (source_block, target_block);
-              }
-              :: !fresh
-          end)
-        row.Report.rr_anomalies)
-    report.Report.rows;
-  List.rev !fresh
+  (* Only a synced poll emits alerts: when a side is behind (faults,
+     head lag), the report reflects a partial cross-chain view whose
+     transient unmatched anomalies would both false-alert now and
+     poison [m_known] against the real alert later.  Clean runs are
+     always synced, so this changes nothing fault-free. *)
+  if pending_count t.m_src > 0 || pending_count t.m_dst > 0 then []
+  else begin
+    let fresh = ref [] in
+    List.iter
+      (fun row ->
+        List.iter
+          (fun a ->
+            let key =
+              ( row.Report.rr_rule,
+                Report.class_name a.Report.a_class,
+                a.Report.a_tx_hash )
+            in
+            if not (Hashtbl.mem t.m_known key) then begin
+              Hashtbl.replace t.m_known key ();
+              fresh :=
+                {
+                  al_anomaly = a;
+                  al_rule = row.Report.rr_rule;
+                  al_detected_at = (source_block, target_block);
+                }
+                :: !fresh
+            end)
+          row.Report.rr_anomalies)
+      report.Report.rows;
+    List.rev !fresh
+  end
+
+let health t =
+  let pending_src = pending_count t.m_src in
+  let pending_dst = pending_count t.m_dst in
+  let trace_gaps s =
+    Hashtbl.fold (fun _ e n -> if e.e_trace_gap then n + 1 else n) s.sd_entries 0
+  in
+  let give_ups s = (Client.stats s.sd_client).Client.s_give_ups in
+  {
+    h_synced = pending_src = 0 && pending_dst = 0;
+    h_pending_source = pending_src;
+    h_pending_target = pending_dst;
+    h_trace_gaps = trace_gaps t.m_src + trace_gaps t.m_dst;
+    h_give_ups = give_ups t.m_src + give_ups t.m_dst;
+    h_reorgs = t.m_reorgs;
+    h_last_error = t.m_last_error;
+  }
 
 let last_report t = t.m_last_report
 let polls t = t.m_polls
-let facts_cached t = List.length t.m_facts
+let cached_facts t = all_entry_facts t
+let facts_cached t = List.length (all_entry_facts t)

@@ -13,7 +13,17 @@
     becomes matched when its completion lands) are retracted and
     re-derived in place — strata untouched by the new facts do no
     work.  [create ~incremental:false] restores the from-scratch
-    rebuild per poll, for differential testing and benchmarking. *)
+    rebuild per poll, for differential testing and benchmarking.
+
+    Under RPC fault injection ({!Xcw_rpc.Fault} plans in the
+    {!Detector.input}) the monitor degrades instead of raising: the
+    receipt cursor only advances past fully-fetched data (failed
+    receipts stay pending and are retried next poll — no silent gaps),
+    failed polls surface through {!health}, catch-up happens on
+    recovery, and a reorg signal rewinds the cursor and rebuilds the
+    database through the engine's retraction path.  Alerts are only
+    emitted from synced polls, so a fault-free run and any
+    transient-fault run produce the same alerts. *)
 
 type alert = {
   al_anomaly : Report.anomaly;
@@ -26,7 +36,8 @@ type alert = {
     any receipt that precedes an already-decoded one in list order but
     lies above the block cursor; this tracks the fully-decoded prefix
     plus the exact set of decoded indices beyond it.  Exposed for
-    regression testing with out-of-order receipt lists. *)
+    regression testing with out-of-order receipt lists and reorg
+    rewinds. *)
 module Cursor : sig
   type t
 
@@ -37,8 +48,36 @@ module Cursor : sig
       within [0, len)]) not yet decoded whose block number
       ([block_of i]) is [<= up_to], and marks them decoded. *)
 
+  val candidates :
+    t -> block_of:(int -> int) -> len:int -> up_to:int -> int list
+  (** Like {!take} but without marking: the indices a poll still needs
+      to decode. *)
+
+  val mark : t -> int -> unit
+  (** Mark one index decoded (idempotent). *)
+
+  val is_decoded : t -> int -> bool
+
+  val rewind : t -> block_of:(int -> int) -> above:int -> unit
+  (** Forget every decoded index whose block is above [above] — the
+      reorg rewind; those receipts will be decoded again. *)
+
   val decoded_count : t -> int
 end
+
+(** Degradation status of the monitor under RPC faults. *)
+type health = {
+  h_synced : bool;
+      (** every receipt within the requested cursors is decoded *)
+  h_pending_source : int;  (** receipts awaiting (re)decode on S *)
+  h_pending_target : int;
+  h_trace_gaps : int;
+      (** receipts decoded without the call tracer (internal transfers
+          unobserved; see {!Facts.r_trace_gap}) *)
+  h_give_ups : int;  (** client requests that exhausted retries *)
+  h_reorgs : int;  (** reorg signals handled *)
+  h_last_error : string option;  (** most recent RPC failure seen *)
+}
 
 type t
 
@@ -47,11 +86,23 @@ val create : ?incremental:bool -> Detector.input -> t
 
 val poll : t -> source_block:int -> target_block:int -> alert list
 (** Advance to the given block cursors; returns alerts for anomalies
-    that appeared since the previous poll (each anomaly alerts once). *)
+    that appeared since the previous poll (each anomaly alerts once).
+    Under fault injection a poll may return nothing because a side is
+    behind — consult {!health}; alerts arrive once the monitor catches
+    up. *)
+
+val health : t -> health
 
 val last_report : t -> Report.t option
 (** The full report as of the latest poll (anomalies that have since
-    been retracted by later matches are absent from it). *)
+    been retracted by later matches are absent from it).  When
+    [health] reports unsynced, the report reflects a partial
+    cross-chain view. *)
 
 val polls : t -> int
+
 val facts_cached : t -> int
+
+val cached_facts : t -> Facts.t list
+(** Every fact decoded so far (source side first, receipt order) —
+    lets tests state the no-silent-gap invariant exactly. *)

@@ -1,0 +1,178 @@
+module Types = Xcw_evm.Types
+module Address = Xcw_evm.Address
+module U256 = Xcw_uint256.Uint256
+module Prng = Xcw_util.Prng
+
+type policy = {
+  p_max_attempts : int;
+  p_base_backoff : float;
+  p_backoff_factor : float;
+  p_max_backoff : float;
+  p_jitter : float;
+  p_latency_budget : float;
+  p_max_range_splits : int;
+}
+
+let default_policy =
+  {
+    p_max_attempts = 6;
+    p_base_backoff = 0.1;
+    p_backoff_factor = 2.0;
+    p_max_backoff = 8.0;
+    p_jitter = 0.25;
+    p_latency_budget = 60.0;
+    p_max_range_splits = 8;
+  }
+
+type t = {
+  c_rpc : Rpc.t;
+  c_policy : policy;
+  c_rng : Prng.t;
+  mutable c_retries : int;
+  mutable c_backoff : float;
+  mutable c_give_ups : int;
+  mutable c_splits : int;
+}
+
+let create ?(policy = default_policy) ?(seed = 1) rpc =
+  {
+    c_rpc = rpc;
+    c_policy = policy;
+    c_rng = Prng.create (seed lxor 0x2b0c5);
+    c_retries = 0;
+    c_backoff = 0.;
+    c_give_ups = 0;
+    c_splits = 0;
+  }
+
+let rpc t = t.c_rpc
+
+let backoff_for t ~attempt ~error =
+  let p = t.c_policy in
+  let exp =
+    p.p_base_backoff
+    *. (p.p_backoff_factor ** float_of_int (attempt - 1))
+    |> Float.min p.p_max_backoff
+  in
+  let jittered = exp *. (1. +. Prng.float t.c_rng p.p_jitter) in
+  (* A 429 tells us exactly how long the provider wants us gone. *)
+  match error with
+  | Rpc.Rate_limited { retry_after } -> Float.max jittered retry_after
+  | _ -> jittered
+
+(* Retry loop shared by every operation.  Returns the final response
+   with the latency of all attempts plus backoff folded in, so
+   downstream per-receipt accounting (Table 2) stays honest. *)
+let with_retries t op =
+  let p = t.c_policy in
+  let rec go ~attempt ~spent =
+    let (r : _ Rpc.response) = op () in
+    let spent = spent +. r.Rpc.latency in
+    match r.Rpc.value with
+    | Ok v -> { Rpc.value = Ok v; latency = spent }
+    | Error (Rpc.Truncated_range _ as e) ->
+        (* Not retryable: the same request can only truncate again.
+           The logs path splits the range instead. *)
+        { Rpc.value = Error e; latency = spent }
+    | Error e ->
+        let pause = backoff_for t ~attempt ~error:e in
+        if attempt >= p.p_max_attempts || spent +. pause >= p.p_latency_budget
+        then begin
+          t.c_give_ups <- t.c_give_ups + 1;
+          { Rpc.value = Error e; latency = spent }
+        end
+        else begin
+          t.c_retries <- t.c_retries + 1;
+          t.c_backoff <- t.c_backoff +. pause;
+          go ~attempt:(attempt + 1) ~spent:(spent +. pause)
+        end
+  in
+  go ~attempt:1 ~spent:0.
+
+let get_receipt t hash =
+  with_retries t (fun () -> Rpc.eth_get_transaction_receipt t.c_rpc hash)
+
+let get_transaction t hash =
+  with_retries t (fun () -> Rpc.eth_get_transaction_by_hash t.c_rpc hash)
+
+let get_balance t addr =
+  with_retries t (fun () -> Rpc.eth_get_balance t.c_rpc addr)
+
+let trace_transaction t hash =
+  with_retries t (fun () -> Rpc.debug_trace_transaction t.c_rpc hash)
+
+let block_number t = with_retries t (fun () -> Rpc.eth_block_number t.c_rpc)
+
+let observe_head t ~head =
+  with_retries t (fun () -> Rpc.observe_head t.c_rpc ~head)
+
+let get_logs t (filter : Rpc.log_filter) =
+  let head_default () =
+    match block_number t with
+    | { Rpc.value = Ok h; latency } -> Ok (h, latency)
+    | { Rpc.value = Error e; latency } -> Error (e, latency)
+  in
+  let rec fetch ~depth ~filter ~spent =
+    let (r : _ Rpc.response) =
+      with_retries t (fun () -> Rpc.eth_get_logs t.c_rpc filter)
+    in
+    let spent = spent +. r.Rpc.latency in
+    match r.Rpc.value with
+    | Ok logs -> { Rpc.value = Ok logs; latency = spent }
+    | Error (Rpc.Truncated_range { served_to })
+      when depth < t.c_policy.p_max_range_splits -> (
+        (* Bisect at the provider's cut point: serve [from, served_to]
+           then [served_to + 1, to], keeping oldest-first order. *)
+        t.c_splits <- t.c_splits + 1;
+        let continue from_b to_b spent =
+          let left =
+            fetch ~depth:(depth + 1)
+              ~filter:
+                { filter with Rpc.from_block = Some from_b;
+                  to_block = Some served_to }
+              ~spent:0.
+          in
+          let spent = spent +. left.Rpc.latency in
+          match left.Rpc.value with
+          | Error e -> { Rpc.value = Error e; latency = spent }
+          | Ok lhs -> (
+              let right =
+                fetch ~depth:(depth + 1)
+                  ~filter:
+                    { filter with Rpc.from_block = Some (served_to + 1);
+                      to_block = Some to_b }
+                  ~spent:0.
+              in
+              let spent = spent +. right.Rpc.latency in
+              match right.Rpc.value with
+              | Error e -> { Rpc.value = Error e; latency = spent }
+              | Ok rhs -> { Rpc.value = Ok (lhs @ rhs); latency = spent })
+        in
+        let from_b = max 1 (Option.value filter.Rpc.from_block ~default:1) in
+        match filter.Rpc.to_block with
+        | Some to_b -> continue from_b to_b spent
+        | None -> (
+            (* Need a concrete upper edge to split against. *)
+            match head_default () with
+            | Error (e, l) -> { Rpc.value = Error e; latency = spent +. l }
+            | Ok (h, l) -> continue from_b h (spent +. l)))
+    | Error e -> { Rpc.value = Error e; latency = spent }
+  in
+  fetch ~depth:0 ~filter ~spent:0.
+
+type stats = {
+  s_retries : int;
+  s_backoff_seconds : float;
+  s_give_ups : int;
+  s_range_splits : int;
+}
+
+let stats t =
+  {
+    s_retries = t.c_retries;
+    s_backoff_seconds = t.c_backoff;
+    s_give_ups = t.c_give_ups;
+    s_range_splits = t.c_splits;
+  }
+
+let total_latency t = Rpc.total_latency t.c_rpc +. t.c_backoff

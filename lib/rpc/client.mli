@@ -1,0 +1,80 @@
+(** Resilient RPC client: retries with exponential backoff + jitter,
+    capped by a simulated-latency budget, plus range splitting when a
+    provider truncates [eth_getLogs].
+
+    Wraps an {!Rpc.t}.  Each operation retries transient failures
+    (honouring 429 retry-after hints) until it succeeds, the attempt
+    limit is reached, or another backoff would exceed the latency
+    budget — then the last error is surfaced for the caller
+    ({!Xcw_core.Monitor}) to degrade gracefully instead of raising.
+    Backoff time is simulated like RPC latency: accumulated, never
+    slept. *)
+
+module Types = Xcw_evm.Types
+module Address = Xcw_evm.Address
+module U256 = Xcw_uint256.Uint256
+
+type policy = {
+  p_max_attempts : int;  (** total tries per logical request *)
+  p_base_backoff : float;  (** seconds before the first retry *)
+  p_backoff_factor : float;  (** exponential growth per retry *)
+  p_max_backoff : float;  (** ceiling on a single backoff, seconds *)
+  p_jitter : float;
+      (** each backoff is scaled by uniform [1, 1 + jitter] *)
+  p_latency_budget : float;
+      (** give up once spent latency + next backoff would exceed this
+          many simulated seconds for one logical request *)
+  p_max_range_splits : int;
+      (** recursion depth for splitting truncated [eth_getLogs] *)
+}
+
+val default_policy : policy
+(** 6 attempts, 0.1 s base doubling to an 8 s cap, 25%% jitter, 60 s
+    budget, 8 split levels. *)
+
+type t
+
+val create : ?policy:policy -> ?seed:int -> Rpc.t -> t
+(** The jitter stream is seeded deterministically from [seed]. *)
+
+val rpc : t -> Rpc.t
+
+val get_receipt :
+  t -> Types.hash -> (Types.receipt option, Rpc.error) result Rpc.response
+
+val get_transaction :
+  t -> Types.hash -> (Types.transaction option, Rpc.error) result Rpc.response
+
+val get_balance : t -> Address.t -> (U256.t, Rpc.error) result Rpc.response
+
+val trace_transaction :
+  t -> Types.hash -> (Types.call_frame option, Rpc.error) result Rpc.response
+(** Retries like any other call but gives up fast on
+    [Tracer_unavailable] outages — the caller is expected to degrade
+    to trace-less facts (see {!Xcw_core.Decoder}). *)
+
+val block_number : t -> (int, Rpc.error) result Rpc.response
+
+val observe_head :
+  t -> head:int -> (Rpc.head_view, Rpc.error) result Rpc.response
+
+val get_logs :
+  t ->
+  Rpc.log_filter ->
+  ((Types.receipt * Types.log) list, Rpc.error) result Rpc.response
+(** Splits the block range in half and recurses (up to
+    [p_max_range_splits] levels) when the provider answers
+    [Truncated_range], reassembling the pieces oldest-first. *)
+
+type stats = {
+  s_retries : int;  (** failed attempts that were retried *)
+  s_backoff_seconds : float;  (** simulated seconds spent backing off *)
+  s_give_ups : int;  (** logical requests that exhausted retries *)
+  s_range_splits : int;  (** [eth_getLogs] range bisections *)
+}
+
+val stats : t -> stats
+
+val total_latency : t -> float
+(** RPC latency plus backoff: total simulated seconds attributable to
+    this client. *)

@@ -1,0 +1,176 @@
+module Prng = Xcw_util.Prng
+
+type error =
+  | Transient of string
+  | Timeout
+  | Rate_limited of { retry_after : float }
+  | Tracer_unavailable
+  | Truncated_range of { served_to : int }
+
+let error_to_string = function
+  | Transient msg -> Printf.sprintf "transient: %s" msg
+  | Timeout -> "timeout"
+  | Rate_limited { retry_after } ->
+      Printf.sprintf "rate limited (retry after %.3fs)" retry_after
+  | Tracer_unavailable -> "tracer unavailable"
+  | Truncated_range { served_to } ->
+      Printf.sprintf "log range truncated at block %d" served_to
+
+type method_class = Receipt | Transaction | Balance | Logs | Trace | Head
+
+type probs = { p_transient : float; p_timeout : float }
+
+type plan = {
+  f_receipt : probs;
+  f_transaction : probs;
+  f_balance : probs;
+  f_logs : probs;
+  f_trace : probs;
+  f_head : probs;
+  f_rate_limit_prob : float;
+  f_rate_limit_burst : int;
+  f_retry_after : float;
+  f_timeout_cost : float;
+  f_logs_range_cap : int option;
+  f_trace_outage_prob : float;
+  f_trace_outage_len : int;
+  f_stale_head_lag : int;
+  f_reorg_prob : float;
+  f_reorg_depth : int;
+}
+
+let no_probs = { p_transient = 0.; p_timeout = 0. }
+
+let none =
+  {
+    f_receipt = no_probs;
+    f_transaction = no_probs;
+    f_balance = no_probs;
+    f_logs = no_probs;
+    f_trace = no_probs;
+    f_head = no_probs;
+    f_rate_limit_prob = 0.;
+    f_rate_limit_burst = 0;
+    f_retry_after = 0.;
+    f_timeout_cost = 10.;
+    f_logs_range_cap = None;
+    f_trace_outage_prob = 0.;
+    f_trace_outage_len = 0;
+    f_stale_head_lag = 0;
+    f_reorg_prob = 0.;
+    f_reorg_depth = 0;
+  }
+
+let moderate =
+  {
+    f_receipt = { p_transient = 0.02; p_timeout = 0.01 };
+    f_transaction = { p_transient = 0.02; p_timeout = 0.01 };
+    f_balance = { p_transient = 0.02; p_timeout = 0.01 };
+    f_logs = { p_transient = 0.02; p_timeout = 0.01 };
+    (* trace timeouts match the paper's 6.5% Ronin rate (Table 2) *)
+    f_trace = { p_transient = 0.03; p_timeout = 0.065 };
+    f_head = { p_transient = 0.01; p_timeout = 0.005 };
+    f_rate_limit_prob = 0.005;
+    f_rate_limit_burst = 3;
+    f_retry_after = 1.0;
+    f_timeout_cost = 10.0;
+    f_logs_range_cap = Some 2000;
+    f_trace_outage_prob = 0.002;
+    f_trace_outage_len = 25;
+    f_stale_head_lag = 2;
+    f_reorg_prob = 0.002;
+    f_reorg_depth = 3;
+  }
+
+let transient_probs { p_transient; p_timeout } =
+  p_transient < 1. && p_timeout < 1.
+
+let is_transient p =
+  transient_probs p.f_receipt && transient_probs p.f_transaction
+  && transient_probs p.f_balance && transient_probs p.f_logs
+  && transient_probs p.f_trace && transient_probs p.f_head
+  && p.f_rate_limit_prob < 1.
+  && p.f_trace_outage_prob < 1.
+  && p.f_reorg_prob < 1.
+
+type t = {
+  t_plan : plan;
+  t_rng : Prng.t;
+  mutable t_rate_limit_left : int;
+  mutable t_trace_outage_left : int;
+  mutable t_faults : int;
+  mutable t_reorgs : int;
+}
+
+let create ~seed plan =
+  {
+    t_plan = plan;
+    t_rng = Prng.create (seed lxor 0x5f4c7);
+    t_rate_limit_left = 0;
+    t_trace_outage_left = 0;
+    t_faults = 0;
+    t_reorgs = 0;
+  }
+
+let plan t = t.t_plan
+
+let class_probs plan = function
+  | Receipt -> plan.f_receipt
+  | Transaction -> plan.f_transaction
+  | Balance -> plan.f_balance
+  | Logs -> plan.f_logs
+  | Trace -> plan.f_trace
+  | Head -> plan.f_head
+
+let fault t e =
+  t.t_faults <- t.t_faults + 1;
+  Some e
+
+let intercept t cls =
+  let p = t.t_plan in
+  (* An ongoing 429 burst rejects every method class until it drains. *)
+  if t.t_rate_limit_left > 0 then begin
+    t.t_rate_limit_left <- t.t_rate_limit_left - 1;
+    fault t (Rate_limited { retry_after = p.f_retry_after })
+  end
+  else if
+    p.f_rate_limit_prob > 0. && Prng.float t.t_rng 1.0 < p.f_rate_limit_prob
+  then begin
+    t.t_rate_limit_left <- max 0 (p.f_rate_limit_burst - 1);
+    fault t (Rate_limited { retry_after = p.f_retry_after })
+  end
+  else if cls = Trace && t.t_trace_outage_left > 0 then begin
+    t.t_trace_outage_left <- t.t_trace_outage_left - 1;
+    fault t Tracer_unavailable
+  end
+  else if
+    cls = Trace && p.f_trace_outage_prob > 0.
+    && Prng.float t.t_rng 1.0 < p.f_trace_outage_prob
+  then begin
+    t.t_trace_outage_left <- max 0 (p.f_trace_outage_len - 1);
+    fault t Tracer_unavailable
+  end
+  else
+    let { p_transient; p_timeout } = class_probs p cls in
+    if p_timeout > 0. && Prng.float t.t_rng 1.0 < p_timeout then
+      fault t Timeout
+    else if p_transient > 0. && Prng.float t.t_rng 1.0 < p_transient then
+      fault t
+        (Transient
+           (Prng.pick t.t_rng
+              [ "connection reset"; "http 503"; "bad response body" ]))
+    else None
+
+let observe_head t ~head =
+  let p = t.t_plan in
+  if p.f_reorg_prob > 0. && Prng.float t.t_rng 1.0 < p.f_reorg_prob then begin
+    t.t_reorgs <- t.t_reorgs + 1;
+    let depth = 1 + Prng.int t.t_rng (max 1 p.f_reorg_depth) in
+    (head, Some (max 0 (head - depth)))
+  end
+  else if p.f_stale_head_lag > 0 then
+    (max 0 (head - Prng.int t.t_rng (p.f_stale_head_lag + 1)), None)
+  else (head, None)
+
+let faults_injected t = t.t_faults
+let reorgs_injected t = t.t_reorgs

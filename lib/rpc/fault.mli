@@ -1,0 +1,103 @@
+(** Deterministic RPC fault injection.
+
+    Real nodes misbehave constantly: [debug_traceTransaction] timed out
+    on 6.5%% of the paper's Ronin fetches (Table 2), public providers
+    rate-limit and truncate [eth_getLogs] ranges, and chain heads lag
+    and reorg.  This module turns those failure modes into a seedable
+    {!plan} that the {!Rpc} facade consults before serving each request,
+    so the recovery logic above it ({!Client}, {!Xcw_core.Monitor}) can
+    be exercised deterministically.
+
+    All randomness is drawn from a private {!Xcw_util.Prng} stream: the
+    same seed and request sequence reproduce the same faults, which the
+    differential fault-injection tests rely on. *)
+
+module Prng = Xcw_util.Prng
+
+(** Why a request failed.  [Truncated_range] is produced by the facade
+    (it knows the queried range), the rest by the fault state. *)
+type error =
+  | Transient of string  (** connection reset, 5xx, malformed body … *)
+  | Timeout  (** the request consumed its deadline and died *)
+  | Rate_limited of { retry_after : float }
+      (** HTTP 429 with an advisory delay in (simulated) seconds *)
+  | Tracer_unavailable
+      (** [debug_traceTransaction] disabled or the trace pool is down *)
+  | Truncated_range of { served_to : int }
+      (** [eth_getLogs] span exceeded the provider cap; blocks up to
+          [served_to] would have been served *)
+
+val error_to_string : error -> string
+
+(** Request classes with independently configurable fault rates. *)
+type method_class = Receipt | Transaction | Balance | Logs | Trace | Head
+
+type probs = {
+  p_transient : float;  (** per-request transient failure probability *)
+  p_timeout : float;  (** per-request timeout probability *)
+}
+
+(** A fault plan: flat record of per-class probabilities and the
+    parameters of the structured failure modes.  Plain data so the
+    qcheck generators can range over the whole space. *)
+type plan = {
+  f_receipt : probs;
+  f_transaction : probs;
+  f_balance : probs;
+  f_logs : probs;
+  f_trace : probs;
+  f_head : probs;
+  f_rate_limit_prob : float;
+      (** probability any request starts a 429 burst *)
+  f_rate_limit_burst : int;  (** requests rejected per burst *)
+  f_retry_after : float;  (** advisory retry-after of a 429, seconds *)
+  f_timeout_cost : float;
+      (** simulated seconds burned by a timed-out request (clamped to
+          the latency profile's [max_latency]) *)
+  f_logs_range_cap : int option;
+      (** maximum [eth_getLogs] block span served per request *)
+  f_trace_outage_prob : float;
+      (** probability a trace request starts an unavailability window *)
+  f_trace_outage_len : int;  (** trace requests rejected per window *)
+  f_stale_head_lag : int;
+      (** observed head lags the true head by uniform [0..lag] blocks *)
+  f_reorg_prob : float;
+      (** per-observation probability the last blocks were replaced *)
+  f_reorg_depth : int;  (** maximum blocks replaced by one reorg *)
+}
+
+val none : plan
+(** The identity plan: every request succeeds, heads are exact. *)
+
+val moderate : plan
+(** A realistic public-provider profile: ~2%% transient errors, ~1%%
+    timeouts (6.5%% on traces, Table 2), occasional 429 bursts and
+    tracer outages, a 2000-block [eth_getLogs] cap, small head lag and
+    rare shallow reorgs. *)
+
+val is_transient : plan -> bool
+(** True when every failure mode eventually clears: all probabilities
+    are below 1, so a retrying client succeeds with probability 1.
+    The differential fault-injection property quantifies only over
+    transient plans. *)
+
+type t
+(** Mutable fault state: PRNG stream, remaining 429-burst and
+    trace-outage counters, injection counters. *)
+
+val create : seed:int -> plan -> t
+val plan : t -> plan
+
+val intercept : t -> method_class -> error option
+(** Decide the fate of one request, advancing the fault state.
+    [None] means the request is served. *)
+
+val observe_head : t -> head:int -> int * int option
+(** [observe_head t ~head] is [(observed, rewound_to)]: the head the
+    node reports given the true head, and — when a reorg just fired —
+    the highest block surviving from the previously served chain (the
+    last [head - ancestor] blocks were replaced).  Fault-free this is
+    [(head, None)]. *)
+
+val faults_injected : t -> int
+val reorgs_injected : t -> int

@@ -9,7 +9,12 @@
     The latency is *simulated*: requests return immediately together
     with the number of seconds a real node would have taken, which the
     decoder accumulates per receipt to reproduce Table 2 / Figure 4
-    without actually sleeping. *)
+    without actually sleeping.
+
+    An optional {!Fault.plan} makes requests fail the way real
+    providers do; failed requests still cost simulated time, so the
+    recovery overhead measured by the bench is an honest wall-clock
+    estimate. *)
 
 module U256 = Xcw_uint256.Uint256
 module Address = Xcw_evm.Address
@@ -17,55 +22,111 @@ module Types = Xcw_evm.Types
 module Chain = Xcw_chain.Chain
 module Prng = Xcw_util.Prng
 
+type error = Fault.error =
+  | Transient of string
+  | Timeout
+  | Rate_limited of { retry_after : float }
+  | Tracer_unavailable
+  | Truncated_range of { served_to : int }
+
+let error_to_string = Fault.error_to_string
+
+exception Rpc_error of error
+
 type t = {
   chain : Chain.t;
   profile : Latency.profile;
   rng : Prng.t;
+  fault : Fault.t option;
   mutable total_latency : float;  (** accumulated simulated seconds *)
   mutable request_count : int;
 }
 
-let create ?(profile = Latency.colocated_profile) ?(seed = 1) chain =
-  { chain; profile; rng = Prng.create seed; total_latency = 0.0; request_count = 0 }
+let create ?(profile = Latency.colocated_profile) ?(seed = 1) ?fault chain =
+  {
+    chain;
+    profile;
+    rng = Prng.create seed;
+    fault = Option.map (fun plan -> Fault.create ~seed plan) fault;
+    total_latency = 0.0;
+    request_count = 0;
+  }
 
-let charge_receipt t =
-  let l = Latency.receipt_fetch t.profile t.rng in
+let charge t l =
   t.total_latency <- t.total_latency +. l;
   t.request_count <- t.request_count + 1;
   l
 
-let charge_trace t =
-  let l = Latency.trace_fetch t.profile t.rng in
-  t.total_latency <- t.total_latency +. l;
-  t.request_count <- t.request_count + 1;
-  l
+let charge_receipt t = charge t (Latency.receipt_fetch t.profile t.rng)
+let charge_trace t = charge t (Latency.trace_fetch t.profile t.rng)
 
 (** A response carries the simulated request latency in seconds. *)
 type 'a response = { value : 'a; latency : float }
 
+let ok r = match r.value with Ok v -> v | Error e -> raise (Rpc_error e)
+
+(* Simulated cost of a failed request.  A timeout burns its full
+   deadline (clamped to the profile cap); a 429 is rejected almost
+   instantly; everything else costs about one ordinary round trip. *)
+let fault_cost t = function
+  | Timeout ->
+      (Fault.plan (Option.get t.fault)).Fault.f_timeout_cost
+      |> Float.min t.profile.Latency.max_latency
+  | Rate_limited _ -> 0.003
+  | Transient _ | Tracer_unavailable | Truncated_range _ ->
+      Latency.receipt_fetch t.profile (Prng.copy t.rng)
+
+(* Run one request: consult the fault state, then either charge the
+   failure cost or serve with the normal latency draw. *)
+let respond t cls serve_latency serve =
+  match t.fault with
+  | None -> { value = Ok (serve ()); latency = serve_latency t }
+  | Some f -> (
+      match Fault.intercept f cls with
+      | Some e -> { value = Error e; latency = charge t (fault_cost t e) }
+      | None -> { value = Ok (serve ()); latency = serve_latency t })
+
+let head_block t = Chain.all_blocks t.chain |> List.length
+
 let eth_block_number t =
-  let latency = charge_receipt t in
-  { value = (Chain.all_blocks t.chain |> List.length); latency }
+  respond t Fault.Head charge_receipt (fun () -> head_block t)
 
 let eth_get_transaction_receipt t hash =
-  let latency = charge_receipt t in
-  { value = Chain.receipt t.chain hash; latency }
+  respond t Fault.Receipt charge_receipt (fun () -> Chain.receipt t.chain hash)
 
 let eth_get_transaction_by_hash t hash =
-  let latency = charge_receipt t in
-  { value = Chain.transaction t.chain hash; latency }
+  respond t Fault.Transaction charge_receipt (fun () ->
+      Chain.transaction t.chain hash)
 
 let eth_get_balance t addr =
-  let latency = charge_receipt t in
-  { value = Chain.native_balance t.chain addr; latency }
+  respond t Fault.Balance charge_receipt (fun () ->
+      Chain.native_balance t.chain addr)
 
 (** [debug_trace_transaction] with [{"tracer": "callTracer"}]: the only
     way to observe internal value transfers (Section 3.2 of the paper).
     Significantly slower than receipt fetches under realistic
     profiles. *)
 let debug_trace_transaction t hash =
-  let latency = charge_trace t in
-  { value = Chain.trace t.chain hash; latency }
+  respond t Fault.Trace charge_trace (fun () -> Chain.trace t.chain hash)
+
+type head_view = { hv_head : int; hv_reorged_to : int option }
+
+let observe_head t ~head =
+  match t.fault with
+  | None ->
+      {
+        value = Ok { hv_head = head; hv_reorged_to = None };
+        latency = charge_receipt t;
+      }
+  | Some f -> (
+      match Fault.intercept f Fault.Head with
+      | Some e -> { value = Error e; latency = charge t (fault_cost t e) }
+      | None ->
+          let observed, reorged_to = Fault.observe_head f ~head in
+          {
+            value = Ok { hv_head = observed; hv_reorged_to = reorged_to };
+            latency = charge_receipt t;
+          })
 
 type log_filter = {
   from_block : int option;
@@ -77,11 +138,7 @@ type log_filter = {
 let default_filter =
   { from_block = None; to_block = None; filter_addresses = []; filter_topic0 = [] }
 
-(** [eth_get_logs t filter] returns matching logs together with their
-    enclosing receipt context, oldest first. *)
-let eth_get_logs t (filter : log_filter) :
-    (Types.receipt * Types.log) list response =
-  let latency = charge_receipt t in
+let serve_logs t (filter : log_filter) =
   let in_block_range r =
     (match filter.from_block with
     | Some b -> r.Types.r_block_number >= b
@@ -101,18 +158,47 @@ let eth_get_logs t (filter : log_filter) :
     | t0 :: _ -> List.mem t0 filter.filter_topic0
     | [] -> false
   in
-  let result =
-    Chain.all_receipts t.chain
-    |> List.concat_map (fun r ->
-           if r.Types.r_status = Types.Success && in_block_range r then
-             List.filter_map
-               (fun l ->
-                 if matches_address l && matches_topic l then Some (r, l)
-                 else None)
-               r.Types.r_logs
-           else [])
-  in
-  { value = result; latency }
+  Chain.all_receipts t.chain
+  |> List.concat_map (fun r ->
+         if r.Types.r_status = Types.Success && in_block_range r then
+           List.filter_map
+             (fun l ->
+               if matches_address l && matches_topic l then Some (r, l)
+               else None)
+             r.Types.r_logs
+         else [])
+
+(** [eth_get_logs t filter] returns matching logs of successful
+    transactions with their enclosing receipt context, oldest first. *)
+let eth_get_logs t (filter : log_filter) :
+    ((Types.receipt * Types.log) list, error) result response =
+  match t.fault with
+  | None -> { value = Ok (serve_logs t filter); latency = charge_receipt t }
+  | Some f -> (
+      match Fault.intercept f Fault.Logs with
+      | Some e -> { value = Error e; latency = charge t (fault_cost t e) }
+      | None -> (
+          match (Fault.plan f).Fault.f_logs_range_cap with
+          | Some cap
+            when let head = head_block t in
+                 let from0 = max 1 (Option.value filter.from_block ~default:1) in
+                 let to0 =
+                   min head (Option.value filter.to_block ~default:head)
+                 in
+                 to0 - from0 + 1 > cap ->
+              (* The provider scanned [cap] blocks from the range start
+                 and gave up: deterministic, and still a full-price
+                 request. *)
+              let from0 = max 1 (Option.value filter.from_block ~default:1) in
+              {
+                value = Error (Truncated_range { served_to = from0 + cap - 1 });
+                latency = charge_receipt t;
+              }
+          | _ -> { value = Ok (serve_logs t filter); latency = charge_receipt t }
+          ))
 
 let total_latency t = t.total_latency
 let request_count t = t.request_count
+
+let fault_injections t =
+  match t.fault with None -> 0 | Some f -> Fault.faults_injected f

@@ -6,30 +6,77 @@
     [debug_traceTransaction] with the call tracer — with per-request
     simulated wall-clock latency (see {!Latency}).  Latency is
     simulated: requests return immediately along with the seconds a
-    real node would have taken. *)
+    real node would have taken.
+
+    Every method returns [('a, error) result response]: a fault plan
+    (see {!Fault}) can make any request fail the way a real provider
+    does, and failed requests still cost simulated time.  Without a
+    plan every request succeeds, as before.  Use {!Client} for retries,
+    backoff and range splitting rather than calling this directly. *)
 
 module U256 = Xcw_uint256.Uint256
 module Address = Xcw_evm.Address
 module Types = Xcw_evm.Types
 module Chain = Xcw_chain.Chain
 
+type error = Fault.error =
+  | Transient of string
+  | Timeout
+  | Rate_limited of { retry_after : float }
+  | Tracer_unavailable
+  | Truncated_range of { served_to : int }
+
+val error_to_string : error -> string
+
+exception Rpc_error of error
+
 type t
 
-val create : ?profile:Latency.profile -> ?seed:int -> Chain.t -> t
-(** Defaults to {!Latency.colocated_profile}. *)
+val create :
+  ?profile:Latency.profile -> ?seed:int -> ?fault:Fault.plan -> Chain.t -> t
+(** Defaults to {!Latency.colocated_profile} and no fault plan.  The
+    fault state is seeded deterministically from [seed]. *)
 
 type 'a response = { value : 'a; latency : float }
 (** Result plus the simulated request latency in seconds. *)
 
-val eth_block_number : t -> int response
-val eth_get_transaction_receipt : t -> Types.hash -> Types.receipt option response
-val eth_get_transaction_by_hash : t -> Types.hash -> Types.transaction option response
-val eth_get_balance : t -> Address.t -> U256.t response
+val ok : ('a, error) result response -> 'a
+(** Unwrap a response, raising {!Rpc_error} on failure.  For call
+    sites that opted out of fault injection. *)
 
-val debug_trace_transaction : t -> Types.hash -> Types.call_frame option response
+val eth_block_number : t -> (int, error) result response
+(** The true chain head (block count); subject only to request-level
+    faults, not head lag — use {!observe_head} for the consensus
+    view. *)
+
+val eth_get_transaction_receipt :
+  t -> Types.hash -> (Types.receipt option, error) result response
+
+val eth_get_transaction_by_hash :
+  t -> Types.hash -> (Types.transaction option, error) result response
+
+val eth_get_balance : t -> Address.t -> (U256.t, error) result response
+
+val debug_trace_transaction :
+  t -> Types.hash -> (Types.call_frame option, error) result response
 (** The call tracer: the only way to observe internal value transfers
     (paper Section 3.2); significantly slower under realistic
-    profiles. *)
+    profiles, and the first method to disappear when a node is
+    struggling ([Tracer_unavailable]). *)
+
+type head_view = {
+  hv_head : int;  (** the head this node currently reports *)
+  hv_reorged_to : int option;
+      (** [Some b] when the node replaced recently served blocks: data
+          above block [b] must be considered rewritten *)
+}
+
+val observe_head : t -> head:int -> (head_view, error) result response
+(** The node's view of the chain head given the caller's notion of the
+    true head (its target cursor).  Under a fault plan the view may
+    lag ([f_stale_head_lag]) or signal a bounded reorg
+    ([f_reorg_prob]/[f_reorg_depth]); fault-free it is exactly
+    [{ hv_head = head; hv_reorged_to = None }]. *)
 
 type log_filter = {
   from_block : int option;
@@ -41,11 +88,20 @@ type log_filter = {
 val default_filter : log_filter
 
 val eth_get_logs :
-  t -> log_filter -> (Types.receipt * Types.log) list response
+  t -> log_filter -> ((Types.receipt * Types.log) list, error) result response
 (** Matching logs of successful transactions with their enclosing
-    receipt, oldest first. *)
+    receipt, oldest first.  [from_block]/[to_block] are inclusive;
+    [None] means the chain's edge.  Under a plan with
+    [f_logs_range_cap = Some cap], a query spanning more than [cap]
+    blocks fails with [Truncated_range { served_to }] naming the last
+    block a capped provider would have covered — the client splits the
+    range and retries. *)
 
 val total_latency : t -> float
-(** Accumulated simulated seconds across all requests. *)
+(** Accumulated simulated seconds across all requests, including
+    failed ones. *)
 
 val request_count : t -> int
+
+val fault_injections : t -> int
+(** Faults injected so far (0 without a plan). *)

@@ -55,8 +55,8 @@ let plugin_of repr =
 
 let decode_all ?(role = Decoder.Source) b repr chain =
   let config = Config.of_bridge b in
-  let rpc = Rpc.create chain in
-  Decoder.decode_chain (plugin_of repr) config ~role rpc chain
+  let client = Xcw_rpc.Client.create (Rpc.create chain) in
+  Decoder.decode_chain (plugin_of repr) config ~role client chain
 
 let facts_of_kind pred rds =
   List.concat_map
@@ -261,13 +261,14 @@ let latency_split_native_vs_not =
            ~amount:(u 100) ~beneficiary:user);
       ignore (Bridge.deposit_native b ~user ~amount:(u 10) ~beneficiary:user);
       let config = Config.of_bridge b in
-      let rpc =
-        Rpc.create ~profile:Xcw_rpc.Latency.nomad_profile ~seed:3
-          b.Bridge.source.Bridge.chain
+      let client =
+        Xcw_rpc.Client.create
+          (Rpc.create ~profile:Xcw_rpc.Latency.nomad_profile ~seed:3
+             b.Bridge.source.Bridge.chain)
       in
       let rds =
         Decoder.decode_chain Decoder.ronin_plugin config ~role:Decoder.Source
-          rpc b.Bridge.source.Bridge.chain
+          client b.Bridge.source.Bridge.chain
       in
       let native =
         List.filter_map

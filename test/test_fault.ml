@@ -1,0 +1,342 @@
+(* Fault-injection suite: the differential-testing safety net for the
+   resilient RPC stack.
+
+   The central property: for ANY transient fault plan (every failure
+   mode eventually clears), a monitor polling through faulty RPC must
+   emit exactly the same alerts and converge to exactly the same report
+   as a fault-free monitor over the same chains — faults may delay
+   detection, never change it, and never silently drop data.  The
+   no-silent-gap invariant sharpens this at the fact level: once the
+   faulty monitor reports synced, its decoded fact set equals the
+   fault-free one (modulo trace-gap markers, which no rule consumes). *)
+
+module U256 = Xcw_uint256.Uint256
+module Chain = Xcw_chain.Chain
+module Bridge = Xcw_bridge.Bridge
+module Rpc = Xcw_rpc.Rpc
+module Fault = Xcw_rpc.Fault
+module Client = Xcw_rpc.Client
+module Latency = Xcw_rpc.Latency
+module Facts = Xcw_core.Facts
+module Detector = Xcw_core.Detector
+module Monitor = Xcw_core.Monitor
+module T = Xcw_testlib
+
+let u = U256.of_int
+
+let faulty_input input plan seed =
+  {
+    input with
+    Detector.i_source_fault = Some plan;
+    i_target_fault = Some plan;
+    i_rpc_seed = seed;
+  }
+
+(* Poll at fixed cursors until the monitor reports synced (or the
+   bound trips), accumulating alerts emitted along the way. *)
+let drain ?(max_polls = 300) mon ~sb ~tb =
+  let acc = ref [] in
+  let polls = ref 0 in
+  let synced () = (Monitor.health mon).Monitor.h_synced in
+  acc := Monitor.poll mon ~source_block:sb ~target_block:tb;
+  while (not (synced ())) && !polls < max_polls do
+    incr polls;
+    acc := !acc @ Monitor.poll mon ~source_block:sb ~target_block:tb
+  done;
+  (!acc, synced ())
+
+let non_gap_facts mon =
+  List.filter
+    (function Facts.Trace_gap _ -> false | _ -> true)
+    (Monitor.cached_facts mon)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property                                               *)
+
+let prop_differential =
+  QCheck.Test.make ~count:200
+    ~name:"transient faults never change alerts or the final report"
+    QCheck.(triple (T.arb_ops ~max_len:4) T.arb_fault_plan (int_bound 10_000))
+    (fun (ops, plan, seed) ->
+      QCheck.assume (Fault.is_transient plan);
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let clean = Monitor.create input in
+      let faulty = Monitor.create (faulty_input input plan seed) in
+      let user = T.user_with_tokens b m "flt-prop" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      let clean_alerts = ref [] and faulty_alerts = ref [] in
+      List.iteri
+        (fun i op ->
+          T.apply_op b m user i op;
+          let sb, tb = T.cur b in
+          clean_alerts :=
+            !clean_alerts @ Monitor.poll clean ~source_block:sb ~target_block:tb;
+          faulty_alerts :=
+            !faulty_alerts
+            @ Monitor.poll faulty ~source_block:sb ~target_block:tb)
+        ops;
+      (* Catch-up on recovery: keep polling the faulty monitor at the
+         final cursors until it has fully fetched both chains. *)
+      let sb, tb = T.cur b in
+      let late, synced = drain faulty ~sb ~tb in
+      faulty_alerts := !faulty_alerts @ late;
+      if not synced then false
+      else if T.alert_keys !clean_alerts <> T.alert_keys !faulty_alerts then
+        false
+      else
+        let batch = Detector.run input in
+        match (Monitor.last_report clean, Monitor.last_report faulty) with
+        | Some rc, Some rf ->
+            T.report_signature rc = T.report_signature rf
+            && T.report_signature rf
+               = T.report_signature batch.Detector.report
+        | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* No-silent-gap invariant                                             *)
+
+let prop_no_silent_gap =
+  QCheck.Test.make ~count:1000
+    ~name:"synced under faults = zero pending + the exact fault-free facts"
+    QCheck.(triple (T.arb_ops ~max_len:2) T.arb_fault_plan (int_bound 10_000))
+    (fun (ops, plan, seed) ->
+      QCheck.assume (Fault.is_transient plan);
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let user = T.user_with_tokens b m "flt-gap" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      List.iteri (fun i op -> T.apply_op b m user i op) ops;
+      let sb, tb = T.cur b in
+      let clean = Monitor.create input in
+      ignore (Monitor.poll clean ~source_block:sb ~target_block:tb);
+      let faulty = Monitor.create (faulty_input input plan seed) in
+      let _, synced = drain ~max_polls:150 faulty ~sb ~tb in
+      let h = Monitor.health faulty in
+      synced
+      && h.Monitor.h_pending_source = 0
+      && h.Monitor.h_pending_target = 0
+      && non_gap_facts faulty = non_gap_facts clean)
+
+(* ------------------------------------------------------------------ *)
+(* Structured failure modes, one at a time                             *)
+
+let trace_outage_degrades =
+  Alcotest.test_case
+    "permanent tracer outage: trace-less facts, same report" `Quick (fun () ->
+      let plan =
+        {
+          Fault.none with
+          Fault.f_trace = { Fault.p_transient = 0.0; p_timeout = 1.0 };
+          f_timeout_cost = 0.5;
+        }
+      in
+      let b, m = T.make_bridge () in
+      ignore (Bridge.register_native_mapping b);
+      let input = T.monitor_input b in
+      let user = T.user_with_tokens b m "flt-trace" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      T.apply_op b m user 0 0;
+      T.apply_op b m user 1 2;
+      (* Native value is the only path that needs the call tracer. *)
+      let d =
+        Bridge.deposit_native b ~user ~amount:(u 5_000) ~beneficiary:user
+      in
+      ignore (Bridge.complete_deposit b ~deposit:d);
+      let sb, tb = T.cur b in
+      let clean = Monitor.create input in
+      ignore (Monitor.poll clean ~source_block:sb ~target_block:tb);
+      let faulty = Monitor.create (faulty_input input plan 3) in
+      let _, synced = drain faulty ~sb ~tb in
+      Alcotest.(check bool) "synced despite the dead tracer" true synced;
+      let h = Monitor.health faulty in
+      Alcotest.(check bool) "trace gaps surfaced in health" true
+        (h.Monitor.h_trace_gaps > 0);
+      let gaps =
+        List.filter
+          (function Facts.Trace_gap _ -> true | _ -> false)
+          (Monitor.cached_facts faulty)
+      in
+      Alcotest.(check int) "one gap marker per receipt losing its trace"
+        h.Monitor.h_trace_gaps (List.length gaps);
+      Alcotest.(check bool) "facts identical otherwise" true
+        (non_gap_facts faulty = non_gap_facts clean);
+      match (Monitor.last_report clean, Monitor.last_report faulty) with
+      | Some rc, Some rf ->
+          Alcotest.(check bool) "reports identical" true
+            (T.report_signature rc = T.report_signature rf)
+      | _ -> Alcotest.fail "missing report")
+
+let reorg_rewinds_and_rebuilds =
+  Alcotest.test_case "reorgs rewind the cursor; facts survive exactly once"
+    `Quick (fun () ->
+      let plan =
+        { Fault.none with Fault.f_reorg_prob = 0.5; f_reorg_depth = 3 }
+      in
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let user = T.user_with_tokens b m "flt-reorg" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      let clean = Monitor.create input in
+      let faulty = Monitor.create (faulty_input input plan 7) in
+      List.iteri
+        (fun i op ->
+          T.apply_op b m user i op;
+          let sb, tb = T.cur b in
+          ignore (Monitor.poll clean ~source_block:sb ~target_block:tb);
+          ignore (Monitor.poll faulty ~source_block:sb ~target_block:tb))
+        [ 0; 1; 2; 3 ];
+      let sb, tb = T.cur b in
+      let _, synced = drain faulty ~sb ~tb in
+      Alcotest.(check bool) "synced after reorgs" true synced;
+      Alcotest.(check bool) "reorg signals were handled" true
+        ((Monitor.health faulty).Monitor.h_reorgs > 0);
+      (* Rewound-and-redecoded receipts must not duplicate facts. *)
+      Alcotest.(check bool) "facts appear exactly once" true
+        (non_gap_facts faulty = non_gap_facts clean);
+      match (Monitor.last_report clean, Monitor.last_report faulty) with
+      | Some rc, Some rf ->
+          Alcotest.(check bool) "reports identical" true
+            (T.report_signature rc = T.report_signature rf)
+      | _ -> Alcotest.fail "missing report")
+
+let permanent_failure_degrades =
+  Alcotest.test_case "permanent receipt failure: degraded health, no raise"
+    `Quick (fun () ->
+      let plan =
+        {
+          Fault.none with
+          Fault.f_receipt = { Fault.p_transient = 1.0; p_timeout = 0.0 };
+        }
+      in
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let user = T.user_with_tokens b m "flt-dead" (u 10_000) in
+      T.apply_op b m user 0 1;
+      let sb, tb = T.cur b in
+      let faulty = Monitor.create (faulty_input input plan 5) in
+      let alerts = Monitor.poll faulty ~source_block:sb ~target_block:tb in
+      Alcotest.(check int) "no alerts from an unsynced poll" 0
+        (List.length alerts);
+      let h = Monitor.health faulty in
+      Alcotest.(check bool) "not synced" false h.Monitor.h_synced;
+      Alcotest.(check bool) "pending receipts surfaced" true
+        (h.Monitor.h_pending_source > 0);
+      Alcotest.(check bool) "give-ups counted" true (h.Monitor.h_give_ups > 0);
+      Alcotest.(check bool) "last error recorded" true
+        (h.Monitor.h_last_error <> None))
+
+let rate_limit_burst_shape =
+  Alcotest.test_case "a 429 burst rejects exactly its burst length" `Quick
+    (fun () ->
+      let plan =
+        {
+          Fault.none with
+          Fault.f_rate_limit_prob = 1.0;
+          f_rate_limit_burst = 3;
+          f_retry_after = 2.5;
+        }
+      in
+      let f = Fault.create ~seed:1 plan in
+      for _ = 1 to 6 do
+        match Fault.intercept f Fault.Balance with
+        | Some (Fault.Rate_limited { retry_after }) ->
+            Alcotest.(check (float 0.0)) "advisory delay" 2.5 retry_after
+        | _ -> Alcotest.fail "expected Rate_limited"
+      done;
+      Alcotest.(check int) "every request counted as a fault" 6
+        (Fault.faults_injected f))
+
+let backoff_capped_by_budget =
+  Alcotest.test_case "retries stop before the latency budget" `Quick (fun () ->
+      let plan =
+        {
+          Fault.none with
+          Fault.f_balance = { Fault.p_transient = 1.0; p_timeout = 0.0 };
+        }
+      in
+      let budget = 2.0 in
+      let policy =
+        { Client.default_policy with Client.p_latency_budget = budget }
+      in
+      let rpc = Rpc.create ~fault:plan (fst (T.make_bridge ())).Bridge.source.Bridge.chain in
+      let c = Client.create ~policy ~seed:9 rpc in
+      (match (Client.get_balance c (Xcw_evm.Address.of_seed "x")).Rpc.value with
+      | Error (Fault.Transient _) -> ()
+      | _ -> Alcotest.fail "expected the last transient error");
+      let s = Client.stats c in
+      Alcotest.(check int) "one give-up" 1 s.Client.s_give_ups;
+      Alcotest.(check bool) "backoff stayed under the budget" true
+        (s.Client.s_backoff_seconds < budget);
+      Alcotest.(check bool) "some retries happened" true (s.Client.s_retries > 0))
+
+let fault_stream_deterministic =
+  Alcotest.test_case "same seed, same request sequence, same faults" `Quick
+    (fun () ->
+      let trace seed =
+        let f = Fault.create ~seed Fault.moderate in
+        let classes =
+          [
+            Fault.Receipt; Transaction; Trace; Logs; Head; Balance; Trace;
+            Receipt;
+          ]
+        in
+        let outcomes =
+          List.concat_map
+            (fun _ ->
+              List.map
+                (fun c ->
+                  match Fault.intercept f c with
+                  | None -> "ok"
+                  | Some e -> Fault.error_to_string e)
+                classes)
+            [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+        in
+        let heads =
+          List.map
+            (fun h ->
+              let o, r = Fault.observe_head f ~head:h in
+              (o, r))
+            [ 10; 20; 30; 40; 50 ]
+        in
+        (outcomes, heads)
+      in
+      Alcotest.(check bool) "identical streams" true (trace 42 = trace 42);
+      Alcotest.(check bool) "seed matters" true (trace 42 <> trace 43))
+
+let batch_detector_under_faults =
+  Alcotest.test_case "batch detector under moderate faults = fault-free run"
+    `Quick (fun () ->
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let user = T.user_with_tokens b m "flt-batch" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      List.iteri (fun i op -> T.apply_op b m user i op) [ 0; 1; 2; 3; 0 ];
+      let clean = Detector.run input in
+      let faulty = Detector.run (faulty_input input Fault.moderate 11) in
+      Alcotest.(check bool) "identical reports" true
+        (T.report_signature clean.Detector.report
+        = T.report_signature faulty.Detector.report);
+      Alcotest.(check bool) "faults cost simulated time" true
+        (faulty.Detector.report.Xcw_core.Report.simulated_rpc_seconds
+        >= clean.Detector.report.Xcw_core.Report.simulated_rpc_seconds))
+
+let () =
+  Alcotest.run "fault-injection"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_no_silent_gap;
+        ] );
+      ( "failure-modes",
+        [
+          trace_outage_degrades;
+          reorg_rewinds_and_rebuilds;
+          permanent_failure_degrades;
+          rate_limit_burst_shape;
+          backoff_capped_by_budget;
+          fault_stream_deterministic;
+          batch_detector_under_faults;
+        ] );
+    ]

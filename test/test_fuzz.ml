@@ -11,7 +11,7 @@ module Parser = Xcw_datalog.Parser
 module Json = Xcw_util.Json
 module U256 = Xcw_uint256.Uint256
 
-let arb_bytes = QCheck.(string_of_size Gen.(0 -- 300))
+let arb_bytes = Xcw_testlib.arb_bytes
 
 let abi_decode_total =
   QCheck.Test.make ~name:"ABI decode on random bytes: Ok or Decode_error"
@@ -148,11 +148,11 @@ let hostile_log_decoding =
       in
       ignore (Chain.submit_tx s ~from_:attacker ~to_:hostile ~input:"x" ());
       let config = Xcw_core.Config.of_bridge b in
-      let rpc = Xcw_rpc.Rpc.create s in
+      let client = Xcw_rpc.Client.create (Xcw_rpc.Rpc.create s) in
       (* Must not raise. *)
       let rds =
         Xcw_core.Decoder.decode_chain Xcw_core.Decoder.ronin_plugin config
-          ~role:Xcw_core.Decoder.Source rpc s
+          ~role:Xcw_core.Decoder.Source client s
       in
       Alcotest.(check bool) "decoded without crashing" true (List.length rds > 0))
 

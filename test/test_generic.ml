@@ -84,25 +84,7 @@ let burn_mint_sound =
 
 let prop_soundness_random_specs =
   QCheck.Test.make ~name:"detector soundness over random benign scenarios"
-    ~count:12
-    QCheck.(
-      quad (int_range 1 100_000) (int_range 0 25) (int_range 0 12)
-        (pair bool bool))
-    (fun (seed, n_erc20, n_wdr, (optimistic, bytes32)) ->
-      let spec =
-        {
-          Generic.default_spec with
-          Generic.g_seed = seed;
-          g_erc20_deposits = n_erc20;
-          g_native_deposits = n_erc20 / 3;
-          g_withdrawals = n_wdr;
-          g_via_aggregator = n_erc20 / 5;
-          g_acceptance = (if optimistic then `Optimistic else `Multisig);
-          g_beneficiary_repr =
-            (if bytes32 then Events.B_bytes32 else Events.B_address);
-          g_source_finality = (if optimistic then 1800 else 78);
-        }
-      in
+    ~count:12 Xcw_testlib.arb_generic_spec (fun spec ->
       let b = Generic.build spec in
       let result = detect b spec.Generic.g_beneficiary_repr in
       Report.total_anomalies result.Detector.report = 0)

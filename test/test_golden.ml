@@ -1,0 +1,122 @@
+(* Golden regression tests: the full Ronin and Nomad reports, rendered
+   to a stable text form and pinned to committed fixtures.  Any change
+   to decoding, rule evaluation or dissection that shifts a captured
+   count, anomaly class, transaction hash or USD value shows up as a
+   fixture diff instead of slipping through the count-based assertions.
+
+   Regenerate deliberately with
+     XCW_GOLDEN_WRITE=$PWD/test/golden dune exec test/test_golden.exe
+   from the repository root, then review the diff. *)
+
+module Detector = Xcw_core.Detector
+module Decoder = Xcw_core.Decoder
+module Report = Xcw_core.Report
+module Nomad = Xcw_workload.Nomad
+module Ronin = Xcw_workload.Ronin
+module Scenario = Xcw_workload.Scenario
+module Bridge = Xcw_bridge.Bridge
+
+let render (r : Report.t) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "bridge: %s\n" r.Report.bridge_name;
+  List.iter
+    (fun row ->
+      let anomalies =
+        List.sort compare
+          (List.map
+             (fun (a : Report.anomaly) ->
+               Printf.sprintf "%s(%s chain=%d $%.2f)"
+                 (Report.class_name a.Report.a_class)
+                 a.Report.a_tx_hash a.Report.a_chain_id a.Report.a_usd_value)
+             row.Report.rr_anomalies)
+      in
+      Printf.bprintf buf "%s | captured=%d%s\n" row.Report.rr_rule
+        row.Report.rr_captured
+        (match anomalies with
+        | [] -> ""
+        | l -> " | " ^ String.concat " " l))
+    r.Report.rows;
+  Printf.bprintf buf "total_anomalies=%d cctxs=%d facts=%d\n"
+    (Report.total_anomalies r)
+    (List.length r.Report.cctxs)
+    r.Report.total_facts;
+  Buffer.contents buf
+
+let nomad_report () =
+  let b = Nomad.build ~seed:11 ~scale:0.02 () in
+  (Detector.run
+     (Detector.default_input ~label:"nomad" ~plugin:Decoder.nomad_plugin
+        ~config:b.Scenario.config
+        ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+        ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+        ~pricing:b.Scenario.pricing))
+    .Detector.report
+
+let ronin_report () =
+  let b = Ronin.build ~seed:7 ~scale:0.02 () in
+  let input =
+    Detector.default_input ~label:"ronin" ~plugin:Decoder.ronin_plugin
+      ~config:b.Scenario.config
+      ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+      ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+      ~pricing:b.Scenario.pricing
+  in
+  (Detector.run
+     {
+       input with
+       Detector.i_first_window_withdrawal_id =
+         b.Scenario.first_window_withdrawal_id;
+     })
+    .Detector.report
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let first_diff expected actual =
+  let el = String.split_on_char '\n' expected in
+  let al = String.split_on_char '\n' actual in
+  let rec go i = function
+    | e :: es, a :: aas ->
+        if e = a then go (i + 1) (es, aas)
+        else Printf.sprintf "line %d:\n  expected: %s\n  actual:   %s" i e a
+    | e :: _, [] -> Printf.sprintf "line %d missing:\n  expected: %s" i e
+    | [], a :: _ -> Printf.sprintf "line %d extra:\n  actual: %s" i a
+    | [], [] -> "identical"
+  in
+  go 1 (el, al)
+
+let check ~name report =
+  let rendered = render (report ()) in
+  match Sys.getenv_opt "XCW_GOLDEN_WRITE" with
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".golden") in
+      let oc = open_out_bin path in
+      output_string oc rendered;
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path
+  | None ->
+      let path = Filename.concat "golden" (name ^ ".golden") in
+      if not (Sys.file_exists path) then
+        Alcotest.failf "missing fixture %s (regenerate with XCW_GOLDEN_WRITE)"
+          path
+      else
+        let expected = read_file path in
+        if expected <> rendered then
+          Alcotest.failf "report drifted from %s at %s" path
+            (first_diff expected rendered)
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "reports",
+        [
+          Alcotest.test_case "nomad report matches its fixture" `Quick
+            (fun () -> check ~name:"nomad" nomad_report);
+          Alcotest.test_case "ronin report matches its fixture" `Quick
+            (fun () -> check ~name:"ronin" ronin_report);
+        ] );
+    ]

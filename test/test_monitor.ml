@@ -5,74 +5,20 @@
 module U256 = Xcw_uint256.Uint256
 module Address = Xcw_evm.Address
 module Chain = Xcw_chain.Chain
-module Erc20 = Xcw_chain.Erc20
 module Bridge = Xcw_bridge.Bridge
-module Events = Xcw_bridge.Events
-module Config = Xcw_core.Config
-module Pricing = Xcw_core.Pricing
-module Decoder = Xcw_core.Decoder
 module Detector = Xcw_core.Detector
 module Monitor = Xcw_core.Monitor
 module Report = Xcw_core.Report
+module T = Xcw_testlib
 
 let u = U256.of_int
 
-let make_bridge () =
-  let s =
-    Chain.create ~chain_id:1 ~name:"s" ~finality_seconds:60
-      ~genesis_time:1_650_000_000
-  in
-  let t =
-    Chain.create ~chain_id:2 ~name:"t" ~finality_seconds:30
-      ~genesis_time:1_650_000_000
-  in
-  let b =
-    Bridge.create
-      {
-        Bridge.s_label = "mon-test";
-        s_source_chain = s;
-        s_target_chain = t;
-        s_escrow = Bridge.Lock_unlock;
-        s_acceptance =
-          Bridge.Multisig
-            {
-              threshold = 2;
-              validator_count = 3;
-              compromised_keys = 0;
-              enforce_source_finality = true;
-            };
-        s_beneficiary_repr = Events.B_address;
-        s_buggy_unmapped_withdrawal = false;
-      }
-  in
-  let m = Bridge.register_token_pair b ~name:"Tok" ~symbol:"TOK" ~decimals:18 in
-  (b, m)
-
-let monitor_input b =
-  let config = Config.of_bridge b in
-  let pricing = Pricing.create () in
-  (* Amounts in these tests are raw token units; price them 1:1. *)
-  Pricing.register pricing ~chain_id:1
-    ~token:(Address.to_hex (List.hd b.Bridge.mappings).Bridge.m_src_token)
-    ~usd_per_token:1.0 ~decimals:0;
-  Detector.default_input ~label:"mon-test" ~plugin:Decoder.ronin_plugin ~config
-    ~source_chain:b.Bridge.source.Bridge.chain
-    ~target_chain:b.Bridge.target.Bridge.chain ~pricing
-
-let user_with_tokens b m name amount =
-  let user = Address.of_seed name in
-  Chain.fund b.Bridge.source.Bridge.chain user (U256.of_tokens ~decimals:18 10);
-  Chain.fund b.Bridge.target.Bridge.chain user (U256.of_tokens ~decimals:18 10);
-  ignore
-    (Chain.submit_tx b.Bridge.source.Bridge.chain
-       ~from_:b.Bridge.source.Bridge.operator ~to_:m.Bridge.m_src_token
-       ~input:(Erc20.mint_calldata ~to_:user ~amount)
-       ());
-  user
-
-let cur b =
-  ( (Chain.all_blocks b.Bridge.source.Bridge.chain |> List.length),
-    (Chain.all_blocks b.Bridge.target.Bridge.chain |> List.length) )
+(* Shared scenario infrastructure lives in test/testlib (also used by
+   the fault-injection suite). *)
+let make_bridge = T.make_bridge
+let monitor_input = T.monitor_input ?label:None
+let user_with_tokens = T.user_with_tokens
+let cur = T.cur
 
 let no_alerts_on_benign_traffic =
   Alcotest.test_case "benign flows raise no alerts across polls" `Quick
@@ -228,21 +174,11 @@ let final_report_matches_batch_detector =
       ignore (Monitor.poll mon ~source_block:(sb / 2) ~target_block:(tb / 2));
       ignore (Monitor.poll mon ~source_block:sb ~target_block:tb);
       let batch = Detector.run input in
-      let signature (r : Report.t) =
-        List.map
-          (fun row ->
-            ( row.Report.rr_rule,
-              row.Report.rr_captured,
-              List.sort compare
-                (List.map
-                   (fun a -> (Report.class_name a.Report.a_class, a.Report.a_tx_hash))
-                   row.Report.rr_anomalies) ))
-          r.Report.rows
-      in
       match Monitor.last_report mon with
       | Some streamed ->
           Alcotest.(check bool) "identical reports" true
-            (signature streamed = signature batch.Xcw_core.Detector.report)
+            (T.report_signature streamed
+            = T.report_signature batch.Xcw_core.Detector.report)
       | None -> Alcotest.fail "no report")
 
 let cursor_out_of_order_regression =
@@ -274,81 +210,31 @@ let cursor_out_of_order_regression =
    same alerts at every staged poll and converge to the batch
    detector's report. *)
 let prop_incremental_equals_scratch =
-  let apply_op b m user i op =
-    match op with
-    | 0 ->
-        let d =
-          Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
-            ~amount:(u (100 + i)) ~beneficiary:user
-        in
-        ignore (Bridge.complete_deposit b ~deposit:d)
-    | 1 ->
-        (* left pending: unmatched until (never) relayed *)
-        ignore
-          (Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
-             ~amount:(u (200 + i)) ~beneficiary:user)
-    | 2 ->
-        Chain.advance_time b.Bridge.target.Bridge.chain 120;
-        let w =
-          Bridge.request_withdrawal b ~user ~dst_token:m.Bridge.m_dst_token
-            ~amount:(u (50 + i)) ~beneficiary:user
-        in
-        ignore (Bridge.execute_withdrawal b ~withdrawal:w)
-    | _ ->
-        ignore
-          (Bridge.direct_token_transfer_to_bridge b ~user
-             ~src_token:m.Bridge.m_src_token ~amount:(u (10 + i)))
-  in
-  let alert_keys alerts =
-    List.sort compare
-      (List.map
-         (fun (a : Monitor.alert) ->
-           ( a.Monitor.al_rule,
-             Report.class_name a.Monitor.al_anomaly.Report.a_class,
-             a.Monitor.al_anomaly.Report.a_tx_hash ))
-         alerts)
-  in
-  let signature (r : Report.t) =
-    List.map
-      (fun row ->
-        ( row.Report.rr_rule,
-          row.Report.rr_captured,
-          List.sort compare
-            (List.map
-               (fun a -> (Report.class_name a.Report.a_class, a.Report.a_tx_hash))
-               row.Report.rr_anomalies) ))
-      r.Report.rows
-  in
   QCheck.Test.make ~count:8
     ~name:"incremental monitor = from-scratch monitor = batch detector"
-    QCheck.(list_of_size Gen.(1 -- 6) (int_bound 3))
+    (T.arb_ops ~max_len:6)
     (fun ops ->
       let b, m = make_bridge () in
       let input = monitor_input b in
       let inc = Monitor.create ~incremental:true input in
       let scr = Monitor.create ~incremental:false input in
       let user = user_with_tokens b m "mon-prop" (u 1_000_000) in
-      (* Seed a completed deposit so the user holds destination-side
-         tokens and withdrawal ops cannot revert. *)
-      let d0 =
-        Bridge.deposit_erc20 b ~user ~src_token:m.Bridge.m_src_token
-          ~amount:(u 500_000) ~beneficiary:user
-      in
-      ignore (Bridge.complete_deposit b ~deposit:d0);
+      T.seed_completed_deposit b m user;
       let ok = ref true in
       List.iteri
         (fun i op ->
-          apply_op b m user i op;
+          T.apply_op b m user i op;
           let sb, tb = cur b in
           let a1 = Monitor.poll inc ~source_block:sb ~target_block:tb in
           let a2 = Monitor.poll scr ~source_block:sb ~target_block:tb in
-          if alert_keys a1 <> alert_keys a2 then ok := false)
+          if T.alert_keys a1 <> T.alert_keys a2 then ok := false)
         ops;
       let batch = Detector.run input in
       (match (Monitor.last_report inc, Monitor.last_report scr) with
       | Some r1, Some r2 ->
-          if signature r1 <> signature r2 then ok := false;
-          if signature r1 <> signature batch.Detector.report then ok := false
+          if T.report_signature r1 <> T.report_signature r2 then ok := false;
+          if T.report_signature r1 <> T.report_signature batch.Detector.report
+          then ok := false
       | _ -> ok := false);
       !ok)
 

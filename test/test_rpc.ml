@@ -5,6 +5,8 @@ module Address = Xcw_evm.Address
 module Types = Xcw_evm.Types
 module Chain = Xcw_chain.Chain
 module Rpc = Xcw_rpc.Rpc
+module Fault = Xcw_rpc.Fault
+module Client = Xcw_rpc.Client
 module Latency = Xcw_rpc.Latency
 module Erc20 = Xcw_chain.Erc20
 module Prng = Xcw_util.Prng
@@ -42,22 +44,21 @@ let receipt_fetch =
     (fun () ->
       let c, _, r1, _ = make_chain_with_txs () in
       let rpc = Rpc.create c in
-      let resp = Rpc.eth_get_transaction_receipt rpc r1.Types.r_tx_hash in
-      (match resp.Rpc.value with
+      (match Rpc.ok (Rpc.eth_get_transaction_receipt rpc r1.Types.r_tx_hash) with
       | Some r -> Alcotest.(check bool) "same tx" true (r.Types.r_tx_hash = r1.Types.r_tx_hash)
       | None -> Alcotest.fail "receipt not found");
       let missing = Rpc.eth_get_transaction_receipt rpc (String.make 32 'z') in
-      Alcotest.(check bool) "missing is None" true (missing.Rpc.value = None))
+      Alcotest.(check bool) "missing is None" true (Rpc.ok missing = None))
 
 let transaction_fetch_has_value =
   Alcotest.test_case "eth_getTransactionByHash exposes tx.value" `Quick
     (fun () ->
       let c, _, r1, r2 = make_chain_with_txs () in
       let rpc = Rpc.create c in
-      (match (Rpc.eth_get_transaction_by_hash rpc r1.Types.r_tx_hash).Rpc.value with
+      (match Rpc.ok (Rpc.eth_get_transaction_by_hash rpc r1.Types.r_tx_hash) with
       | Some tx -> Alcotest.(check bool) "value 5" true (U256.equal tx.Types.tx_value (u 5))
       | None -> Alcotest.fail "tx not found");
-      match (Rpc.eth_get_transaction_by_hash rpc r2.Types.r_tx_hash).Rpc.value with
+      match Rpc.ok (Rpc.eth_get_transaction_by_hash rpc r2.Types.r_tx_hash) with
       | Some tx ->
           Alcotest.(check bool) "erc20 call has zero value" true
             (U256.is_zero tx.Types.tx_value)
@@ -68,33 +69,33 @@ let balance_fetch =
       let c, _, _, _ = make_chain_with_txs () in
       let rpc = Rpc.create c in
       Alcotest.(check bool) "bob got 5" true
-        (U256.equal (Rpc.eth_get_balance rpc bob).Rpc.value (u 5)))
+        (U256.equal (Rpc.ok (Rpc.eth_get_balance rpc bob)) (u 5)))
 
 let logs_filter_by_address =
   Alcotest.test_case "eth_getLogs filters by address and topic0" `Quick
     (fun () ->
       let c, token, _, _ = make_chain_with_txs () in
       let rpc = Rpc.create c in
-      let all = (Rpc.eth_get_logs rpc Rpc.default_filter).Rpc.value in
+      let all = Rpc.ok (Rpc.eth_get_logs rpc Rpc.default_filter) in
       (* mint + transfer = 2 Transfer logs *)
       Alcotest.(check int) "2 logs total" 2 (List.length all);
       let by_addr =
-        (Rpc.eth_get_logs rpc
-           { Rpc.default_filter with Rpc.filter_addresses = [ token ] })
-          .Rpc.value
+        Rpc.ok
+          (Rpc.eth_get_logs rpc
+             { Rpc.default_filter with Rpc.filter_addresses = [ token ] })
       in
       Alcotest.(check int) "2 from token" 2 (List.length by_addr);
       let topic0 = Xcw_abi.Abi.Event.topic0 Erc20.transfer_event in
       let by_topic =
-        (Rpc.eth_get_logs rpc
-           { Rpc.default_filter with Rpc.filter_topic0 = [ topic0 ] })
-          .Rpc.value
+        Rpc.ok
+          (Rpc.eth_get_logs rpc
+             { Rpc.default_filter with Rpc.filter_topic0 = [ topic0 ] })
       in
       Alcotest.(check int) "2 with Transfer topic0" 2 (List.length by_topic);
       let none =
-        (Rpc.eth_get_logs rpc
-           { Rpc.default_filter with Rpc.filter_topic0 = [ String.make 32 'q' ] })
-          .Rpc.value
+        Rpc.ok
+          (Rpc.eth_get_logs rpc
+             { Rpc.default_filter with Rpc.filter_topic0 = [ String.make 32 'q' ] })
       in
       Alcotest.(check int) "0 with foreign topic" 0 (List.length none))
 
@@ -108,7 +109,7 @@ let logs_exclude_reverted =
            ~input:(Erc20.transfer_calldata ~to_:alice ~amount:(u 999_999))
            ());
       let rpc = Rpc.create c in
-      let all = (Rpc.eth_get_logs rpc Rpc.default_filter).Rpc.value in
+      let all = Rpc.ok (Rpc.eth_get_logs rpc Rpc.default_filter) in
       Alcotest.(check int) "still 2 logs" 2 (List.length all))
 
 let logs_block_range =
@@ -117,13 +118,14 @@ let logs_block_range =
       let rpc = Rpc.create c in
       (* token deploy = block 1, mint = block 2, native = 3, erc20 = 4 *)
       let early =
-        (Rpc.eth_get_logs rpc { Rpc.default_filter with Rpc.to_block = Some 2 })
-          .Rpc.value
+        Rpc.ok
+          (Rpc.eth_get_logs rpc { Rpc.default_filter with Rpc.to_block = Some 2 })
       in
       Alcotest.(check int) "only the mint" 1 (List.length early);
       let late =
-        (Rpc.eth_get_logs rpc { Rpc.default_filter with Rpc.from_block = Some 4 })
-          .Rpc.value
+        Rpc.ok
+          (Rpc.eth_get_logs rpc
+             { Rpc.default_filter with Rpc.from_block = Some 4 })
       in
       Alcotest.(check int) "only the transfer" 1 (List.length late))
 
@@ -134,10 +136,123 @@ let latency_accumulates =
       let rpc = Rpc.create ~profile:Latency.ronin_profile c in
       Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Rpc.total_latency rpc);
       let resp = Rpc.eth_get_transaction_receipt rpc r1.Types.r_tx_hash in
+      ignore (Rpc.ok resp);
       Alcotest.(check bool) "positive latency" true (resp.Rpc.latency > 0.0);
       Alcotest.(check (float 1e-9)) "accumulated" resp.Rpc.latency
         (Rpc.total_latency rpc);
       Alcotest.(check int) "one request" 1 (Rpc.request_count rpc))
+
+(* ------------------------------------------------------------------ *)
+(* eth_getLogs boundary audit                                          *)
+
+(* The filter semantics the decoders rely on, nailed down explicitly:
+   inclusive bounds on both edges, [None] = chain edge, empty
+   address/topic lists match anything, populated lists are any-of,
+   reverted transactions never contribute logs. *)
+
+let logs_of rpc filter = Rpc.ok (Rpc.eth_get_logs rpc filter)
+
+let logs_single_block_inclusive =
+  Alcotest.test_case "from = to selects exactly that block (inclusive)" `Quick
+    (fun () ->
+      let c, _, _, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      (* mint sits in block 2 *)
+      let one =
+        logs_of rpc
+          { Rpc.default_filter with Rpc.from_block = Some 2; to_block = Some 2 }
+      in
+      Alcotest.(check int) "block 2 alone has the mint" 1 (List.length one);
+      List.iter
+        (fun ((r : Types.receipt), _) ->
+          Alcotest.(check int) "in block 2" 2 r.Types.r_block_number)
+        one)
+
+let logs_inverted_range_empty =
+  Alcotest.test_case "from > to is empty, not an error" `Quick (fun () ->
+      let c, _, _, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      let none =
+        logs_of rpc
+          { Rpc.default_filter with Rpc.from_block = Some 4; to_block = Some 2 }
+      in
+      Alcotest.(check int) "empty" 0 (List.length none))
+
+let logs_none_bounds_cover_chain =
+  Alcotest.test_case "None bounds = chain edges; 0/max are no-ops" `Quick
+    (fun () ->
+      let c, _, _, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      let all = logs_of rpc Rpc.default_filter in
+      let wide =
+        logs_of rpc
+          { Rpc.default_filter with Rpc.from_block = Some 0;
+            to_block = Some max_int }
+      in
+      Alcotest.(check int) "same logs" (List.length all) (List.length wide))
+
+let logs_multi_filters_are_any_of =
+  Alcotest.test_case "populated address/topic lists are any-of" `Quick
+    (fun () ->
+      let c, token, _, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      let other = Address.of_seed "rpc-unrelated-contract" in
+      let by_addr =
+        logs_of rpc
+          { Rpc.default_filter with Rpc.filter_addresses = [ other; token ] }
+      in
+      Alcotest.(check int) "token matches among two addresses" 2
+        (List.length by_addr);
+      let topic0 = Xcw_abi.Abi.Event.topic0 Erc20.transfer_event in
+      let by_topic =
+        logs_of rpc
+          { Rpc.default_filter with
+            Rpc.filter_topic0 = [ String.make 32 'q'; topic0 ] }
+      in
+      Alcotest.(check int) "Transfer matches among two topics" 2
+        (List.length by_topic))
+
+let logs_ordered_oldest_first =
+  Alcotest.test_case "logs come back oldest-first" `Quick (fun () ->
+      let c, _, _, _ = make_chain_with_txs () in
+      let rpc = Rpc.create c in
+      let blocks =
+        logs_of rpc Rpc.default_filter
+        |> List.map (fun ((r : Types.receipt), _) -> r.Types.r_block_number)
+      in
+      Alcotest.(check (list int)) "ascending" (List.sort compare blocks) blocks)
+
+let logs_truncation_and_split =
+  Alcotest.test_case
+    "range cap truncates at served_to; client split recovers all logs"
+    `Quick (fun () ->
+      let c, _, _, _ = make_chain_with_txs () in
+      (* Transient probabilities zero: only the range cap fires. *)
+      let fault = { Fault.none with Fault.f_logs_range_cap = Some 2 } in
+      let rpc = Rpc.create ~fault c in
+      (match (Rpc.eth_get_logs rpc Rpc.default_filter).Rpc.value with
+      | Error (Rpc.Truncated_range { served_to }) ->
+          (* 4 blocks requested, cap 2: the provider covered 1-2. *)
+          Alcotest.(check int) "served_to = from + cap - 1" 2 served_to
+      | Ok _ -> Alcotest.fail "expected truncation over 4 blocks"
+      | Error e -> Alcotest.fail (Rpc.error_to_string e));
+      let reference =
+        Rpc.ok (Rpc.eth_get_logs (Rpc.create c) Rpc.default_filter)
+      in
+      let client = Client.create rpc in
+      let split = Client.get_logs client Rpc.default_filter in
+      (match split.Rpc.value with
+      | Ok logs ->
+          Alcotest.(check int) "split recovers every log"
+            (List.length reference) (List.length logs);
+          Alcotest.(check bool) "same receipts in same order" true
+            (List.map (fun ((r : Types.receipt), _) -> r.Types.r_tx_hash) logs
+            = List.map
+                (fun ((r : Types.receipt), _) -> r.Types.r_tx_hash)
+                reference)
+      | Error e -> Alcotest.fail (Rpc.error_to_string e));
+      Alcotest.(check bool) "at least one split recorded" true
+        ((Client.stats client).Client.s_range_splits > 0))
 
 (* ------------------------------------------------------------------ *)
 (* Latency model properties                                            *)
@@ -227,6 +342,15 @@ let () =
           logs_exclude_reverted;
           logs_block_range;
           latency_accumulates;
+        ] );
+      ( "logs-boundaries",
+        [
+          logs_single_block_inclusive;
+          logs_inverted_range_empty;
+          logs_none_bounds_cover_chain;
+          logs_multi_filters_are_any_of;
+          logs_ordered_oldest_first;
+          logs_truncation_and_split;
         ] );
       ( "latency-model",
         [
