@@ -38,6 +38,13 @@ let scale =
 let seed =
   match Sys.getenv_opt "XCW_SEED" with Some s -> int_of_string s | None -> 42
 
+(* XCW_BENCH_SMOKE=1 shrinks every mode to a seconds-long sanity pass
+   (tiny scale, minimal repetitions) and suppresses the BENCH_*.json
+   side effects, so the @bench-smoke dune alias can run inside
+   [dune runtest] without polluting the tree. *)
+let smoke = Sys.getenv_opt "XCW_BENCH_SMOKE" <> None
+let scale = if smoke then Float.min scale 0.01 else scale
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -57,8 +64,8 @@ let monitor_steady_state () =
   let module Json = Xcw_util.Json in
   section
     "Steady-state monitoring: per-poll cost (ms), incremental vs from-scratch";
-  let polls_per_point = 6 in
-  let tx_counts = [ 0; 1; 10 ] in
+  let polls_per_point = if smoke then 2 else 6 in
+  let tx_counts = if smoke then [ 0; 1 ] else [ 0; 1; 10 ] in
   (* One Nomad-scale scenario per mode so injected traffic and RNG
      streams are identical across the two runs. *)
   let run_mode ~incremental =
@@ -140,14 +147,12 @@ let monitor_steady_state () =
         ("results", Json.List results);
       ]
   in
-  let oc = open_out "BENCH_monitor.json" in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  if not smoke then Json.write_file ~path:"BENCH_monitor.json" json;
   Printf.printf
     "(per-poll wall time including decode + rule evaluation + dissection,\n\
-     averaged over %d polls; written to BENCH_monitor.json)\n"
+     averaged over %d polls%s)\n"
     polls_per_point
+    (if smoke then "" else "; written to BENCH_monitor.json")
 
 let () =
   if Array.exists (( = ) "monitor_steady_state") Sys.argv then begin
@@ -277,23 +282,168 @@ let bench_faults () =
         ("monitor_synced", Json.Bool h.Monitor.h_synced);
       ]
   in
-  let oc = open_out "BENCH_faults.json" in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  if not smoke then Json.write_file ~path:"BENCH_faults.json" json;
   Printf.printf
     "BENCH_FAULTS overhead_ratio=%.3f retries=%d give_ups=%d range_splits=%d \
      trace_gaps=%d facts_identical=%b catchup_polls=%d synced=%b\n"
     overhead_ratio retries give_ups
     ((stats fsrc).Client.s_range_splits + (stats fdst).Client.s_range_splits)
     trace_gaps facts_identical !polls h.Monitor.h_synced;
-  Printf.printf "(written to BENCH_faults.json)\n"
+  if not smoke then Printf.printf "(written to BENCH_faults.json)\n"
 
 let () =
   if Array.exists (( = ) "faults") Sys.argv then begin
     Printf.printf "XChainWatcher fault bench (scale %.3f, seed %d)\n" scale
       seed;
     bench_faults ();
+    exit 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* obs: overhead of the Xcw_obs instrumentation.  Runs the identical
+   Nomad-scale monitor workload twice per repetition — once recording
+   into a live registry and tracer, once into the inert Metrics.noop /
+   Span.noop — and compares the minimum wall times.  Everything on the
+   hot path (RPC meters, decoder counters, per-rule histograms, monitor
+   gauges, spans) is exercised.  Runnable standalone via
+   [dune exec bench/main.exe obs]; emits BENCH_obs.json plus a one-line
+   BENCH_OBS summary. *)
+
+let bench_obs () =
+  let module Monitor = Xcw_core.Monitor in
+  let module Erc20 = Xcw_chain.Erc20 in
+  let module U256 = Xcw_uint256.Uint256 in
+  let module Json = Xcw_util.Json in
+  let module Metrics = Xcw_obs.Metrics in
+  let module Span = Xcw_obs.Span in
+  section "Observability overhead: live registry vs inert instruments";
+  let reps = if smoke then 1 else 4 in
+  let polls = if smoke then 2 else 8 in
+  let txs_per_poll = if smoke then 1 else 5 in
+  (* One full monitor pass: catch-up over the whole Nomad history, then
+     [polls] steady-state polls of [txs_per_poll] fresh round trips.
+     Scenario construction is excluded from the timing — only the
+     instrumented pipeline (decode, rules, monitor) is measured.  The
+     RNG streams are identical on both sides, so the passes do exactly
+     the same work modulo instrumentation. *)
+  let run_pass ~metrics ~tracer =
+    let saved_reg = Metrics.default () and saved_tracer = Span.default () in
+    (* The decoder records through the default registry; point it at the
+       same place as the monitor so live/nil toggles the whole pipeline. *)
+    Metrics.set_default metrics;
+    Span.set_default tracer;
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.set_default saved_reg;
+        Span.set_default saved_tracer)
+      (fun () ->
+        let b = Xcw_workload.Nomad.build ~seed:(seed + 88) ~scale () in
+        let bridge = b.Scenario.bridge in
+        let src = bridge.Bridge.source.Bridge.chain in
+        let dst = bridge.Bridge.target.Bridge.chain in
+        let input =
+          Detector.default_input ~label:"nomad-obs"
+            ~plugin:Decoder.nomad_plugin ~config:b.Scenario.config
+            ~source_chain:src ~target_chain:dst ~pricing:b.Scenario.pricing
+        in
+        let mon = Monitor.create ~metrics input in
+        let m = List.hd bridge.Bridge.mappings in
+        let user = Address.of_seed "obs-user" in
+        Chain.fund src user (U256.of_tokens ~decimals:18 10);
+        Chain.fund dst user (U256.of_tokens ~decimals:18 10);
+        ignore
+          (Chain.submit_tx src ~from_:bridge.Bridge.source.Bridge.operator
+             ~to_:m.Bridge.m_src_token
+             ~input:
+               (Erc20.mint_calldata ~to_:user ~amount:(U256.of_int 10_000_000))
+             ());
+        let cur () =
+          ( List.length (Chain.all_blocks src),
+            List.length (Chain.all_blocks dst) )
+        in
+        let t0 = Unix.gettimeofday () in
+        let sb, tb = cur () in
+        ignore (Monitor.poll mon ~source_block:sb ~target_block:tb);
+        for _ = 1 to polls do
+          for _ = 1 to txs_per_poll do
+            let d =
+              Bridge.deposit_erc20 bridge ~user ~src_token:m.Bridge.m_src_token
+                ~amount:(U256.of_int 7) ~beneficiary:user
+            in
+            ignore (Bridge.complete_deposit bridge ~deposit:d)
+          done;
+          let sb, tb = cur () in
+          ignore (Monitor.poll mon ~source_block:sb ~target_block:tb)
+        done;
+        (1000.0 *. (Unix.gettimeofday () -. t0), mon))
+  in
+  let live_ms = ref infinity and nil_ms = ref infinity in
+  let live_metrics = ref 0 and live_spans = ref 0 in
+  let run_live () =
+    let reg = Metrics.create () in
+    let tracer = Span.create () in
+    let ms, mon = run_pass ~metrics:reg ~tracer in
+    live_ms := Float.min !live_ms ms;
+    live_metrics := List.length (Monitor.metrics_snapshot mon);
+    live_spans := List.length (Span.records tracer) + Span.dropped tracer;
+    ms
+  in
+  let run_nil () =
+    let ms, _ = run_pass ~metrics:Metrics.noop ~tracer:Span.noop in
+    nil_ms := Float.min !nil_ms ms;
+    ms
+  in
+  (* Machine speed drifts between passes (shared hosts, GC state), so a
+     single live/nil ratio is unreliable.  Each repetition times the two
+     sides back to back — alternating which goes first to cancel
+     warm-up bias — and the reported overhead is the median of the
+     per-pair ratios. *)
+  let ratios =
+    List.init reps (fun rep ->
+        if rep mod 2 = 0 then
+          let l = run_live () in
+          let n = run_nil () in
+          l /. Float.max 1e-9 n
+        else
+          let n = run_nil () in
+          let l = run_live () in
+          l /. Float.max 1e-9 n)
+  in
+  let overhead_pct = 100.0 *. (Stats.median ratios -. 1.0) in
+  Printf.printf
+    "monitor pass (catch-up + %d polls x %d cctx): live %.1f ms, nil %.1f ms\n"
+    polls txs_per_poll !live_ms !nil_ms;
+  Printf.printf "%d metric series, %d spans recorded on the live side\n"
+    !live_metrics !live_spans;
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "obs");
+        ("bridge", Json.String "nomad");
+        ("scale", Json.Float scale);
+        ("seed", Json.Int seed);
+        ("reps", Json.Int reps);
+        ("polls", Json.Int polls);
+        ("txs_per_poll", Json.Int txs_per_poll);
+        ("live_ms", Json.Float !live_ms);
+        ("nil_ms", Json.Float !nil_ms);
+        ("overhead_pct", Json.Float overhead_pct);
+        ("metric_series", Json.Int !live_metrics);
+        ("spans", Json.Int !live_spans);
+      ]
+  in
+  if not smoke then Json.write_file ~path:"BENCH_obs.json" json;
+  Printf.printf
+    "BENCH_OBS live_ms=%.1f nil_ms=%.1f overhead_pct=%.2f metric_series=%d \
+     spans=%d\n"
+    !live_ms !nil_ms overhead_pct !live_metrics !live_spans;
+  if not smoke then Printf.printf "(written to BENCH_obs.json)\n"
+
+let () =
+  if Array.exists (( = ) "obs") Sys.argv then begin
+    Printf.printf "XChainWatcher observability bench (scale %.3f, seed %d)\n"
+      scale seed;
+    bench_obs ();
     exit 0
   end
 

@@ -1,43 +1,79 @@
-(* Scratch profiler: time each rule individually on the Ronin fact base. *)
+(* Per-rule profiler built on the Xcw_obs registry: a single evaluation
+   run records every rule's wall time into labelled histograms and every
+   stratum into spans; this program only formats what the registry
+   collected.  XCW_SCALE scales the Ronin fact base (default 0.05). *)
 module Engine = Xcw_datalog.Engine
 module Rules = Xcw_core.Rules
-module Detector = Xcw_core.Detector
 module Decoder = Xcw_core.Decoder
 module Scenario = Xcw_workload.Scenario
 module Bridge = Xcw_bridge.Bridge
+module Metrics = Xcw_obs.Metrics
+module Span = Xcw_obs.Span
 
 let () =
   let scale =
     match Sys.getenv_opt "XCW_SCALE" with Some s -> float_of_string s | None -> 0.05
   in
   let b = Xcw_workload.Ronin.build ~seed:43 ~scale () in
-  let input =
-    Detector.default_input ~label:"ronin" ~plugin:Decoder.ronin_plugin
-      ~config:b.Scenario.config
-      ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
-      ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
-      ~pricing:b.Scenario.pricing
+  Engine.recommended_gc_setup ();
+  (* Decode the scenario (fault-free, colocated) into a fresh fact base. *)
+  let client chain = Xcw_rpc.Client.create (Xcw_rpc.Rpc.create chain) in
+  let src_chain = b.Scenario.bridge.Bridge.source.Bridge.chain in
+  let dst_chain = b.Scenario.bridge.Bridge.target.Bridge.chain in
+  let src =
+    Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config
+      ~role:Decoder.Source (client src_chain) src_chain
   in
-  (* decode only *)
-  let t0 = Unix.gettimeofday () in
-  let r = Detector.run { input with Detector.i_first_window_withdrawal_id = b.Scenario.first_window_withdrawal_id } in
-  Printf.printf "full run: %.2fs (eval %.2fs, facts %d)\n%!" (Unix.gettimeofday () -. t0) r.Detector.report.Xcw_core.Report.eval_seconds r.Detector.report.Xcw_core.Report.total_facts;
-  (* now time rule-by-rule on a fresh db *)
-  let db2 = Engine.create_db () in
-  (* copy EDB facts only: rebuild from decode *)
-  let src_client = Xcw_rpc.Client.create (Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.source.Bridge.chain) in
-  let dst_client = Xcw_rpc.Client.create (Xcw_rpc.Rpc.create b.Scenario.bridge.Bridge.target.Bridge.chain) in
-  let src = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Source src_client b.Scenario.bridge.Bridge.source.Bridge.chain in
-  let dst = Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config ~role:Decoder.Target dst_client b.Scenario.bridge.Bridge.target.Bridge.chain in
-  ignore (Xcw_core.Facts.load_all db2 (Xcw_core.Config.to_facts b.Scenario.config));
+  let dst =
+    Decoder.decode_chain Decoder.ronin_plugin b.Scenario.config
+      ~role:Decoder.Target (client dst_chain) dst_chain
+  in
+  let db = Engine.create_db () in
+  ignore (Xcw_core.Facts.load_all db (Xcw_core.Config.to_facts b.Scenario.config));
   List.iter
-    (fun rd -> ignore (Xcw_core.Facts.load_all db2 rd.Decoder.rd_facts))
+    (fun rd -> ignore (Xcw_core.Facts.load_all db rd.Decoder.rd_facts))
     (src @ dst);
+  (* One run against a dedicated registry and tracer. *)
+  let reg = Metrics.create () in
+  let tracer = Span.create () in
+  Span.set_default tracer;
+  let t0 = Unix.gettimeofday () in
+  let stats = Engine.run ~metrics:reg db Rules.program in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "evaluation: %.3fs — %d rule evaluations, %d tuples derived\n"
+    total stats.Engine.rules_evaluated stats.Engine.tuples_derived;
+  let rules = Array.of_list Rules.all_rules in
+  let rows =
+    Metrics.snapshot reg
+    |> List.filter_map (fun (m : Metrics.metric) ->
+           if m.Metrics.m_name <> "xcw_datalog_rule_seconds" then None
+           else
+             match
+               (List.assoc_opt "rule" m.Metrics.m_labels, m.Metrics.m_value)
+             with
+             | Some label, Metrics.V_histogram h ->
+                 let idx =
+                   int_of_string (String.sub label 0 (String.index label ':'))
+                 in
+                 Some (idx, h.Metrics.h_sum, h.Metrics.h_count)
+             | _ -> None)
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare (b : float) a)
+  in
+  print_newline ();
   List.iter
-    (fun rule ->
-      let t = Unix.gettimeofday () in
-      ignore (Engine.run db2 { Xcw_datalog.Ast.rules = [ rule ] });
-      let dt = Unix.gettimeofday () -. t in
-      if dt > 0.2 then
-        Format.printf "%.3fs  %a@." dt Xcw_datalog.Ast.pp_rule rule)
-    Rules.all_rules
+    (fun (idx, sum, count) ->
+      if idx >= 0 && idx < Array.length rules then
+        Format.printf "%.3fs (%d evals)  %a@." sum count Xcw_datalog.Ast.pp_rule
+          rules.(idx))
+    rows;
+  print_newline ();
+  List.iter
+    (fun (r : Span.record) ->
+      if r.Span.sp_name = "datalog.stratum" then
+        Printf.printf "stratum %-3s %-11s %.3fs\n"
+          (Option.value ~default:"?" (List.assoc_opt "stratum" r.Span.sp_attrs))
+          (if List.assoc_opt "recursive" r.Span.sp_attrs = Some "true" then
+             "(recursive)"
+           else "")
+          r.Span.sp_duration)
+    (Span.records tracer)

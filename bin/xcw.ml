@@ -19,6 +19,9 @@ module Config = Xcw_core.Config
 module Latency = Xcw_rpc.Latency
 module Scenario = Xcw_workload.Scenario
 module Bridge = Xcw_bridge.Bridge
+module Metrics = Xcw_obs.Metrics
+module Span = Xcw_obs.Span
+module Sink = Xcw_obs.Sink
 open Cmdliner
 
 type bridge_kind = Nomad | Ronin
@@ -110,13 +113,46 @@ let dump_facts_arg =
            tab-separated .facts files in $(docv) — Souffle's input \
            format, for cross-validation against the original artifact.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write every metric recorded during the run (RPC, decoder, \
+           Datalog engine, monitor) as a Prometheus text exposition to \
+           $(docv).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the recorded spans (one JSON object per line: name, \
+           attributes, start, duration, nesting depth) to $(docv).")
+
+(* Flush the default registry / tracer after a subcommand body ran. *)
+let write_observability metrics_file trace_file =
+  Option.iter
+    (fun path ->
+      Sink.write_prometheus_file ~path (Metrics.snapshot (Metrics.default ()));
+      Format.printf "metrics written to %s@." path)
+    metrics_file;
+  Option.iter
+    (fun path ->
+      Sink.write_spans_file ~path (Span.records (Span.default ()));
+      Format.printf "trace written to %s@." path)
+    trace_file
+
 let build_scenario kind scale seed =
   match kind with
   | Nomad -> (Xcw_workload.Nomad.build ~seed ~scale (), Decoder.nomad_plugin)
   | Ronin -> (Xcw_workload.Ronin.build ~seed ~scale (), Decoder.ronin_plugin)
 
 let detect_cmd =
-  let run kind scale seed latency report_file dataset_file dataset_csv_file rules_file dump_facts_dir =
+  let run kind scale seed latency report_file dataset_file dataset_csv_file
+      rules_file dump_facts_dir metrics_file trace_file =
     let built, plugin = build_scenario kind scale seed in
     let profile =
       match (latency, kind) with
@@ -175,16 +211,18 @@ let detect_cmd =
       (fun dir ->
         Xcw_datalog.Engine.dump_facts result.Detector.db ~dir;
         Format.printf "fact base dumped to %s/*.facts@." dir)
-      dump_facts_dir
+      dump_facts_dir;
+    write_observability metrics_file trace_file
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Generate a bridge scenario and run anomaly detection")
     Term.(
       const run $ bridge_arg $ scale_arg $ seed_arg $ latency_arg $ report_arg
-      $ dataset_arg $ dataset_csv_arg $ rules_file_arg $ dump_facts_arg)
+      $ dataset_arg $ dataset_csv_arg $ rules_file_arg $ dump_facts_arg
+      $ metrics_arg $ trace_arg)
 
 let monitor_cmd =
-  let run kind scale seed interval_hours =
+  let run kind scale seed interval_hours metrics_file trace_file =
     let built, plugin = build_scenario kind scale seed in
     let module Monitor = Xcw_core.Monitor in
     let module Chain = Xcw_chain.Chain in
@@ -245,7 +283,8 @@ let monitor_cmd =
     done;
     Format.printf
       "@.%d alerts over %d polls (only alerts above $10K were printed)@."
-      !total_alerts (Monitor.polls mon)
+      !total_alerts (Monitor.polls mon);
+    write_observability metrics_file trace_file
   in
   let interval_arg =
     Arg.(
@@ -255,7 +294,9 @@ let monitor_cmd =
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Replay a scenario through the streaming monitor, printing alerts")
-    Term.(const run $ bridge_arg $ scale_arg $ seed_arg $ interval_arg)
+    Term.(
+      const run $ bridge_arg $ scale_arg $ seed_arg $ interval_arg $ metrics_arg
+      $ trace_arg)
 
 let rules_cmd =
   let run () =

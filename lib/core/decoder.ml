@@ -28,6 +28,41 @@ module Events = Xcw_bridge.Events
 module Erc20 = Xcw_chain.Erc20
 module Weth = Xcw_chain.Weth
 module Hex = Xcw_util.Hex
+module Metrics = Xcw_obs.Metrics
+module Span = Xcw_obs.Span
+
+(* Decoder-level instruments.  The decoder API has no registry handle
+   to thread through, so these record into the process-wide default
+   registry; interning is cached against the current default (compared
+   physically) to keep the per-receipt cost at a few gated branches. *)
+type decoder_meters = {
+  dm_reg : Metrics.t;
+  dm_receipts : Metrics.Counter.t;
+  dm_facts : Metrics.Counter.t;
+  dm_errors : Metrics.Counter.t;
+  dm_trace_gaps : Metrics.Counter.t;
+  dm_abandoned : Metrics.Counter.t;
+}
+
+let meters_cache = ref None
+
+let meters () =
+  let reg = Metrics.default () in
+  match !meters_cache with
+  | Some m when m.dm_reg == reg -> m
+  | _ ->
+      let m =
+        {
+          dm_reg = reg;
+          dm_receipts = Metrics.counter reg "xcw_decoder_receipts_total";
+          dm_facts = Metrics.counter reg "xcw_decoder_facts_total";
+          dm_errors = Metrics.counter reg "xcw_decoder_errors_total";
+          dm_trace_gaps = Metrics.counter reg "xcw_decoder_trace_gaps_total";
+          dm_abandoned = Metrics.counter reg "xcw_decoder_abandoned_total";
+        }
+      in
+      meters_cache := Some m;
+      m
 
 type chain_role = Source | Target
 
@@ -361,6 +396,15 @@ let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
     end
     else Ok U256.zero
   in
+  let note_decoded () =
+    let m = meters () in
+    if Metrics.enabled m.dm_reg then begin
+      Metrics.Counter.inc m.dm_receipts;
+      Metrics.Counter.add m.dm_facts (List.length !facts);
+      Metrics.Counter.add m.dm_errors (List.length !errors);
+      if !trace_gap then Metrics.Counter.inc m.dm_trace_gaps
+    end
+  in
   match tx_value_result with
   | Error e -> Error e
   | Ok tx_value ->
@@ -379,6 +423,7 @@ let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
              status = Types.status_code r.Types.r_status;
              fee = U256.of_int (r.Types.r_gas_used * 20);
            });
+      note_decoded ();
       Ok
         {
           rd_facts = List.rev !facts;
@@ -401,6 +446,7 @@ let decode_chain (plugin : plugin) (config : Config.t) ~(role : chain_role)
      plans denser than one client attempt budget. *)
   let max_rounds = 100 in
   let abandoned (r : Types.receipt) e =
+    Metrics.Counter.inc (meters ()).dm_abandoned;
     {
       rd_facts = [];
       rd_errors =
@@ -419,23 +465,28 @@ let decode_chain (plugin : plugin) (config : Config.t) ~(role : chain_role)
       rd_trace_gap = false;
     }
   in
-  List.map
-    (fun (r : Types.receipt) ->
-      let rec attempt round =
-        let fetch = Client.get_receipt client r.Types.r_tx_hash in
-        match fetch.Rpc.value with
-        | Error e ->
-            if round >= max_rounds then abandoned r e else attempt (round + 1)
-        | Ok _ -> (
-            match decode_receipt plugin config ~role ~chain_id client r with
-            | Ok decoded ->
-                {
-                  decoded with
-                  rd_latency = decoded.rd_latency +. fetch.Rpc.latency;
-                }
+  Span.with_
+    ~attrs:[ ("chain_id", string_of_int chain_id) ]
+    "decoder.decode_chain"
+    (fun () ->
+      List.map
+        (fun (r : Types.receipt) ->
+          let rec attempt round =
+            let fetch = Client.get_receipt client r.Types.r_tx_hash in
+            match fetch.Rpc.value with
             | Error e ->
                 if round >= max_rounds then abandoned r e
-                else attempt (round + 1))
-      in
-      attempt 1)
-    (Xcw_chain.Chain.all_receipts chain)
+                else attempt (round + 1)
+            | Ok _ -> (
+                match decode_receipt plugin config ~role ~chain_id client r with
+                | Ok decoded ->
+                    {
+                      decoded with
+                      rd_latency = decoded.rd_latency +. fetch.Rpc.latency;
+                    }
+                | Error e ->
+                    if round >= max_rounds then abandoned r e
+                    else attempt (round + 1))
+          in
+          attempt 1)
+        (Xcw_chain.Chain.all_receipts chain))

@@ -37,6 +37,8 @@ module Types = Xcw_evm.Types
 module Rpc = Xcw_rpc.Rpc
 module Client = Xcw_rpc.Client
 module Engine = Xcw_datalog.Engine
+module Metrics = Xcw_obs.Metrics
+module Span = Xcw_obs.Span
 
 type alert = {
   al_anomaly : Report.anomaly;
@@ -145,11 +147,26 @@ type health = {
   h_last_error : string option;  (** most recent RPC failure seen *)
 }
 
+(* Monitor-level instruments, resolved once at creation. *)
+type monitor_obs = {
+  mo_reg : Metrics.t;
+  mo_polls : Metrics.Counter.t;
+  mo_alerts : Metrics.Counter.t;
+  mo_reorgs : Metrics.Counter.t;
+  mo_poll_seconds : Metrics.Histogram.t;
+  mo_synced : Metrics.Gauge.t;
+  mo_pending_src : Metrics.Gauge.t;
+  mo_pending_dst : Metrics.Gauge.t;
+  mo_facts : Metrics.Gauge.t;
+}
+
 type t = {
   m_input : Detector.input;
   m_src : side;
   m_dst : side;
   m_incremental : bool;
+  m_metrics : Metrics.t;
+  m_obs : monitor_obs;
   (* Persistent Datalog database for incremental evaluation; config
      facts are pre-loaded.  Replaced wholesale after a reorg rewind. *)
   mutable m_db : Engine.db;
@@ -161,20 +178,38 @@ type t = {
   mutable m_last_error : string option;
 }
 
-let make_side ~input ~role ~chain ~profile ~fault ~seed =
+let make_side ~input ~role ~chain ~profile ~fault ~seed ~metrics =
   {
     sd_chain = chain;
     sd_role = role;
     sd_client =
-      Rpc.create ~profile ~seed ?fault chain
-      |> Client.create ~policy:input.Detector.i_client_policy ~seed;
+      Rpc.create ~profile ~seed ?fault ~metrics chain
+      |> Client.create ~policy:input.Detector.i_client_policy ~seed ~metrics;
     sd_cursor = Cursor.create ();
     sd_entries = Hashtbl.create 64;
     sd_requested = 0;
   }
 
-let create ?(incremental = true) (input : Detector.input) : t =
+let make_obs reg =
+  {
+    mo_reg = reg;
+    mo_polls = Metrics.counter reg "xcw_monitor_polls_total";
+    mo_alerts = Metrics.counter reg "xcw_monitor_alerts_total";
+    mo_reorgs = Metrics.counter reg "xcw_monitor_reorgs_total";
+    mo_poll_seconds = Metrics.histogram reg "xcw_monitor_poll_seconds";
+    mo_synced = Metrics.gauge reg "xcw_monitor_synced";
+    mo_pending_src =
+      Metrics.gauge reg ~labels:[ ("side", "source") ] "xcw_monitor_pending";
+    mo_pending_dst =
+      Metrics.gauge reg ~labels:[ ("side", "target") ] "xcw_monitor_pending";
+    mo_facts = Metrics.gauge reg "xcw_monitor_facts_cached";
+  }
+
+let create ?(incremental = true) ?metrics (input : Detector.input) : t =
   Engine.recommended_gc_setup ();
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.default ()
+  in
   let db = Engine.create_db () in
   ignore (Facts.load_all db (Config.to_facts input.Detector.i_config));
   {
@@ -183,14 +218,17 @@ let create ?(incremental = true) (input : Detector.input) : t =
       make_side ~input ~role:Decoder.Source
         ~chain:input.Detector.i_source_chain
         ~profile:input.Detector.i_source_profile
-        ~fault:input.Detector.i_source_fault ~seed:input.Detector.i_rpc_seed;
+        ~fault:input.Detector.i_source_fault ~seed:input.Detector.i_rpc_seed
+        ~metrics;
     m_dst =
       make_side ~input ~role:Decoder.Target
         ~chain:input.Detector.i_target_chain
         ~profile:input.Detector.i_target_profile
         ~fault:input.Detector.i_target_fault
-        ~seed:(input.Detector.i_rpc_seed + 1);
+        ~seed:(input.Detector.i_rpc_seed + 1) ~metrics;
     m_incremental = incremental;
+    m_metrics = metrics;
+    m_obs = make_obs metrics;
     m_db = db;
     m_known = Hashtbl.create 256;
     m_polls = 0;
@@ -244,6 +282,7 @@ let poll_side t s ~up_to_block =
         | None -> false
         | Some surviving ->
             t.m_reorgs <- t.m_reorgs + 1;
+            Metrics.Counter.inc t.m_obs.mo_reorgs;
             let dropped =
               Hashtbl.fold
                 (fun i e acc -> if e.e_block > surviving then i :: acc else acc)
@@ -294,8 +333,39 @@ let poll_side t s ~up_to_block =
     injection a poll may return no alerts simply because one side is
     behind — consult {!health}; the alerts arrive once the monitor
     catches up. *)
-let poll t ~source_block ~target_block : alert list =
+let rec poll t ~source_block ~target_block : alert list =
   t.m_polls <- t.m_polls + 1;
+  let obs = t.m_obs in
+  Metrics.Counter.inc obs.mo_polls;
+  let live = Metrics.enabled obs.mo_reg in
+  let t0 = if live then Unix.gettimeofday () else 0. in
+  let alerts =
+    Span.with_
+      ~attrs:
+        [
+          ("source_block", string_of_int source_block);
+          ("target_block", string_of_int target_block);
+        ]
+      "monitor.poll"
+      (fun () -> poll_body t ~source_block ~target_block)
+  in
+  if live then begin
+    Metrics.Histogram.observe obs.mo_poll_seconds (Unix.gettimeofday () -. t0);
+    let ps = pending_count t.m_src and pd = pending_count t.m_dst in
+    Metrics.Gauge.set obs.mo_pending_src (float_of_int ps);
+    Metrics.Gauge.set obs.mo_pending_dst (float_of_int pd);
+    Metrics.Gauge.set obs.mo_synced (if ps = 0 && pd = 0 then 1. else 0.);
+    (* Count without materializing the (large) concatenated fact list. *)
+    let side_facts s =
+      Hashtbl.fold (fun _ e acc -> acc + List.length e.e_facts) s.sd_entries 0
+    in
+    Metrics.Gauge.set obs.mo_facts
+      (float_of_int (side_facts t.m_src + side_facts t.m_dst))
+  end;
+  Metrics.Counter.add obs.mo_alerts (List.length alerts);
+  alerts
+
+and poll_body t ~source_block ~target_block : alert list =
   let src_fresh, src_rewound = poll_side t t.m_src ~up_to_block:source_block in
   let dst_fresh, dst_rewound = poll_side t t.m_dst ~up_to_block:target_block in
   let rewound = src_rewound || dst_rewound in
@@ -317,7 +387,9 @@ let poll t ~source_block ~target_block : alert list =
         (* Load only the delta; strata unaffected by the fresh facts
            are skipped by the engine. *)
         ignore (Facts.load_all t.m_db fresh_facts);
-      ignore (Engine.run_incremental t.m_db t.m_input.Detector.i_program);
+      ignore
+        (Engine.run_incremental ~metrics:t.m_metrics t.m_db
+           t.m_input.Detector.i_program);
       t.m_db
     end
     else begin
@@ -325,7 +397,7 @@ let poll t ~source_block ~target_block : alert list =
       let db = Engine.create_db () in
       ignore (Facts.load_all db (Config.to_facts t.m_input.Detector.i_config));
       ignore (Facts.load_all db (all_entry_facts t));
-      ignore (Engine.run db t.m_input.Detector.i_program);
+      ignore (Engine.run ~metrics:t.m_metrics db t.m_input.Detector.i_program);
       db
     end
   in
@@ -393,3 +465,4 @@ let last_report t = t.m_last_report
 let polls t = t.m_polls
 let cached_facts t = all_entry_facts t
 let facts_cached t = List.length (all_entry_facts t)
+let metrics_snapshot t = Metrics.snapshot t.m_metrics

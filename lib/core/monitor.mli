@@ -81,8 +81,19 @@ type health = {
 
 type t
 
-val create : ?incremental:bool -> Detector.input -> t
-(** [incremental] defaults to [true]. *)
+val create :
+  ?incremental:bool -> ?metrics:Xcw_obs.Metrics.t -> Detector.input -> t
+(** [incremental] defaults to [true].
+
+    The monitor and everything it builds (RPC nodes, clients, the
+    Datalog engine) record into [metrics] — default: the process-wide
+    {!Xcw_obs.Metrics.default} registry.  Monitor-level instruments:
+    [xcw_monitor_polls_total], [xcw_monitor_alerts_total],
+    [xcw_monitor_reorgs_total], the [xcw_monitor_poll_seconds]
+    histogram, and gauges [xcw_monitor_synced] (1/0),
+    [xcw_monitor_pending{side="source"|"target"}] (cursor lag in
+    receipts) and [xcw_monitor_facts_cached].  Each poll also opens a
+    ["monitor.poll"] span on the default tracer. *)
 
 val poll : t -> source_block:int -> target_block:int -> alert list
 (** Advance to the given block cursors; returns alerts for anomalies
@@ -106,3 +117,8 @@ val facts_cached : t -> int
 val cached_facts : t -> Facts.t list
 (** Every fact decoded so far (source side first, receipt order) —
     lets tests state the no-silent-gap invariant exactly. *)
+
+val metrics_snapshot : t -> Xcw_obs.Metrics.metric list
+(** Snapshot of the monitor's registry — every instrument recorded by
+    this monitor's components (and, when the monitor uses the default
+    registry, by anything else sharing it). *)

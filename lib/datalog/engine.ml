@@ -11,6 +11,8 @@
     with [Not_stratifiable]). *)
 
 open Ast
+module Metrics = Xcw_obs.Metrics
+module Span = Xcw_obs.Span
 
 exception Unsafe_rule of string
 exception Not_stratifiable of string
@@ -581,6 +583,76 @@ let recommended_gc_setup () =
       }
   end
 
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+
+(* Observability context for one evaluation run.  Per-rule histograms
+   are resolved up front (keyed by the rule's physical identity, which
+   [stratify] preserves) so the per-evaluation cost is one [assq]
+   lookup and two [gettimeofday] calls — and nothing at all when the
+   registry is disabled. *)
+type engine_obs = {
+  eo_reg : Metrics.t;
+  eo_live : bool;
+  eo_rule_hist : (rule * Metrics.Histogram.t) list;
+  eo_strata_skipped : Metrics.Counter.t;
+  eo_strata_seminaive : Metrics.Counter.t;
+  eo_strata_recomputed : Metrics.Counter.t;
+  eo_retractions : Metrics.Counter.t;
+  eo_tuples : Metrics.Counter.t;
+  eo_delta : Metrics.Histogram.t;
+}
+
+(* Rules are labelled by position so the label sorts in program order
+   and survives predicates with several rules: "07:cctx_deposit". *)
+let rule_label i (r : rule) = Printf.sprintf "%02d:%s" i r.head.pred
+
+let make_obs reg (program : program) =
+  {
+    eo_reg = reg;
+    eo_live = Metrics.enabled reg;
+    eo_rule_hist =
+      List.mapi
+        (fun i r ->
+          ( r,
+            Metrics.histogram reg
+              ~labels:[ ("rule", rule_label i r) ]
+              "xcw_datalog_rule_seconds" ))
+        program.rules;
+    eo_strata_skipped = Metrics.counter reg "xcw_datalog_strata_skipped_total";
+    eo_strata_seminaive =
+      Metrics.counter reg "xcw_datalog_strata_seminaive_total";
+    eo_strata_recomputed =
+      Metrics.counter reg "xcw_datalog_strata_recomputed_total";
+    eo_retractions = Metrics.counter reg "xcw_datalog_retractions_total";
+    eo_tuples = Metrics.counter reg "xcw_datalog_tuples_derived_total";
+    eo_delta = Metrics.histogram reg "xcw_datalog_delta_tuples";
+  }
+
+(* Time one stratum into its labelled histogram and a span on the
+   default tracer; a no-op (beyond running [f]) when metrics are off. *)
+let with_stratum obs i recursive ~mode f =
+  if not obs.eo_live then f ()
+  else begin
+    let h =
+      Metrics.histogram obs.eo_reg
+        ~labels:[ ("stratum", string_of_int i) ]
+        "xcw_datalog_stratum_seconds"
+    in
+    let attrs =
+      [
+        ("stratum", string_of_int i);
+        ("recursive", string_of_bool recursive);
+        ("mode", mode);
+      ]
+    in
+    Span.with_ ~attrs "datalog.stratum" (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        Metrics.Histogram.observe h (Unix.gettimeofday () -. t0);
+        r)
+  end
+
 (* Evaluate one stratum to fixpoint.  [seed] controls round 0: [`Full]
    evaluates every rule over the whole database (from-scratch
    semantics); [`Deltas fresh] evaluates only body occurrences of
@@ -588,8 +660,8 @@ let recommended_gc_setup () =
    semi-naive *insertion*, sound when the stratum is monotone w.r.t.
    the changed predicates.  [on_new] fires for every tuple actually
    added to the database (across all rounds). *)
-let eval_stratum (db : db) (stats : stats) ~naive (stratum_rules : rule list)
-    (recursive : bool)
+let eval_stratum (db : db) (stats : stats) ~naive ~obs
+    (stratum_rules : rule list) (recursive : bool)
     ~(seed : [ `Full | `Deltas of (string, Relation.tuple list) Hashtbl.t ])
     ~(on_new : string -> Relation.tuple -> unit) : unit =
   let compiled = List.map compile_rule stratum_rules in
@@ -605,13 +677,18 @@ let eval_stratum (db : db) (stats : stats) ~naive (stratum_rules : rule list)
   in
   let eval_into tbl cr ~delta_at ~delta_tuples =
     stats.rules_evaluated <- stats.rules_evaluated + 1;
+    let t0 = if obs.eo_live then Unix.gettimeofday () else 0. in
     eval_rule db cr ~delta_at ~delta_tuples ~on_derived:(fun tuple ->
         let pred = cr.cr_head.c_pred in
         if Relation.add (relation db pred) tuple then begin
           stats.tuples_derived <- stats.tuples_derived + 1;
           record_delta tbl pred tuple;
           on_new pred tuple
-        end)
+        end);
+    if obs.eo_live then
+      match List.assq_opt cr.cr_source obs.eo_rule_hist with
+      | Some h -> Metrics.Histogram.observe h (Unix.gettimeofday () -. t0)
+      | None -> ()
   in
   (* Round 0. *)
   (match seed with
@@ -682,18 +759,24 @@ let mark_derived (db : db) (stratum_rules : rule list) =
     stratum, adding derived tuples to [db] in place.  [naive] disables
     semi-naive deltas (used by the ablation bench).  Returns evaluation
     statistics. *)
-let run ?(naive = false) (db : db) (program : program) : stats =
+let run ?(naive = false) ?metrics (db : db) (program : program) : stats =
+  let reg = match metrics with Some m -> m | None -> Metrics.default () in
+  let obs = make_obs reg program in
   List.iter check_rule_safety program.rules;
   let stats = { rules_evaluated = 0; iterations = 0; tuples_derived = 0 } in
   let strata = stratify program.rules in
-  List.iter
-    (fun (stratum_rules, recursive) ->
-      mark_derived db stratum_rules;
-      eval_stratum db stats ~naive stratum_rules recursive ~seed:`Full
-        ~on_new:(fun _ _ -> ()))
-    strata;
+  Span.with_ "datalog.run" (fun () ->
+      List.iteri
+        (fun i (stratum_rules, recursive) ->
+          mark_derived db stratum_rules;
+          with_stratum obs i recursive ~mode:"full" (fun () ->
+              eval_stratum db stats ~naive ~obs stratum_rules recursive
+                ~seed:`Full
+                ~on_new:(fun _ _ -> ())))
+        strata);
   db.db_ran <- true;
   Hashtbl.reset db.db_journal;
+  Metrics.Counter.add obs.eo_tuples stats.tuples_derived;
   stats
 
 (** [run_incremental db program] brings a previously evaluated [db] up
@@ -716,9 +799,11 @@ let run ?(naive = false) (db : db) (program : program) : stats =
     EDB relations and their indices are never rebuilt.  The program
     must be the same one evaluated on [db] previously (the first call
     on a fresh database falls back to a full {!run}). *)
-let run_incremental (db : db) (program : program) : stats =
-  if not db.db_ran then run db program
+let run_incremental ?metrics (db : db) (program : program) : stats =
+  if not db.db_ran then run ?metrics db program
   else begin
+    let reg = match metrics with Some m -> m | None -> Metrics.default () in
+    let obs = make_obs reg program in
     List.iter check_rule_safety program.rules;
     let stats = { rules_evaluated = 0; iterations = 0; tuples_derived = 0 } in
     let strata = stratify program.rules in
@@ -728,6 +813,10 @@ let run_incremental (db : db) (program : program) : stats =
     Hashtbl.iter
       (fun pred l -> if !l <> [] then Hashtbl.replace added pred !l)
       db.db_journal;
+    if obs.eo_live then
+      Metrics.Histogram.observe obs.eo_delta
+        (float_of_int
+           (Hashtbl.fold (fun _ l acc -> acc + List.length l) added 0));
     (* Predicates recomputed non-monotonically (some tuple retracted):
        downstream consumers cannot use insertion-only deltas. *)
     let dirty : (string, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -736,8 +825,9 @@ let run_incremental (db : db) (program : program) : stats =
       let prev = Option.value (Hashtbl.find_opt added pred) ~default:[] in
       Hashtbl.replace added pred (tuple :: prev)
     in
-    List.iter
-      (fun ((stratum_rules : rule list), recursive) ->
+    Span.with_ "datalog.run_incremental" (fun () ->
+    List.iteri
+      (fun stratum_i ((stratum_rules : rule list), recursive) ->
         mark_derived db stratum_rules;
         let heads =
           List.sort_uniq compare
@@ -768,6 +858,8 @@ let run_incremental (db : db) (program : program) : stats =
         in
         if !non_monotonic || head_journal <> [] then begin
           (* Retraction path: clear and re-derive the whole stratum. *)
+          Metrics.Counter.inc obs.eo_strata_recomputed;
+          with_stratum obs stratum_i recursive ~mode:"recompute" (fun () ->
           let snapshots =
             List.map
               (fun p ->
@@ -781,12 +873,16 @@ let run_incremental (db : db) (program : program) : stats =
                 (p, old))
               heads
           in
-          eval_stratum db stats ~naive:false stratum_rules recursive
+          eval_stratum db stats ~naive:false ~obs stratum_rules recursive
             ~seed:`Full
             ~on_new:(fun _ _ -> ());
           List.iter
             (fun (p, old) ->
               let rel = relation db p in
+              if obs.eo_live then
+                Metrics.Counter.add obs.eo_retractions
+                  (List.length
+                     (List.filter (fun t -> not (Relation.mem rel t)) old));
               if List.exists (fun t -> not (Relation.mem rel t)) old then
                 Hashtbl.replace dirty p ()
               else begin
@@ -796,15 +892,21 @@ let run_incremental (db : db) (program : program) : stats =
                 Relation.iter rel (fun t ->
                     if not (Hashtbl.mem old_set t) then record_added p t)
               end)
-            snapshots
+            snapshots)
         end
-        else if !pos_added then
+        else if !pos_added then begin
           (* Monotone path: keep the old derived tuples and seed
              semi-naive evaluation with the fresh input tuples. *)
-          eval_stratum db stats ~naive:false stratum_rules recursive
-            ~seed:(`Deltas added) ~on_new:record_added
-        (* else: no input changed — skip the stratum entirely. *))
-      strata;
+          Metrics.Counter.inc obs.eo_strata_seminaive;
+          with_stratum obs stratum_i recursive ~mode:"seminaive" (fun () ->
+              eval_stratum db stats ~naive:false ~obs stratum_rules recursive
+                ~seed:(`Deltas added) ~on_new:record_added)
+        end
+        else
+          (* No input changed — skip the stratum entirely. *)
+          Metrics.Counter.inc obs.eo_strata_skipped)
+      strata);
     Hashtbl.reset db.db_journal;
+    Metrics.Counter.add obs.eo_tuples stats.tuples_derived;
     stats
   end

@@ -95,12 +95,20 @@ val recommended_gc_setup : unit -> unit
     scale.  Called automatically by [Xcw_core.Detector.run] and the
     monitor. *)
 
-val run : ?naive:bool -> db -> program -> stats
+val run : ?naive:bool -> ?metrics:Xcw_obs.Metrics.t -> db -> program -> stats
 (** Evaluate all rules to fixpoint, adding derived tuples to [db] in
     place.  [naive] disables semi-naive deltas in recursive strata
-    (used by the ablation bench). *)
+    (used by the ablation bench).
 
-val run_incremental : db -> program -> stats
+    Evaluation records into [metrics] (default: the process-wide
+    registry): per-rule wall time in the [xcw_datalog_rule_seconds]
+    histogram (labelled [rule="NN:pred"], [NN] the rule's position in
+    the program), per-stratum time in [xcw_datalog_stratum_seconds],
+    and [xcw_datalog_tuples_derived_total].  Each stratum also opens a
+    ["datalog.stratum"] span on the default tracer.  With a disabled
+    registry no timing calls are made at all. *)
+
+val run_incremental : ?metrics:Xcw_obs.Metrics.t -> db -> program -> stats
 (** Bring a previously evaluated [db] up to date after fact
     insertions, treating the tuples added since the last run as the
     initial semi-naive delta.  Strata whose inputs did not change are
@@ -111,4 +119,11 @@ val run_incremental : db -> program -> stats
     relations and their hash indices are preserved throughout.  The
     program must be the same across calls on a given [db]; the first
     call behaves as {!run}.  Steady-state cost is proportional to the
-    delta and the affected strata, not to the database size. *)
+    delta and the affected strata, not to the database size.
+
+    Beyond the {!run} instruments, incremental runs record the
+    journaled delta size ([xcw_datalog_delta_tuples]), how each stratum
+    was handled ([xcw_datalog_strata_skipped_total] /
+    [_seminaive_total] / [_recomputed_total]) and how many previously
+    derived tuples the retraction path withdrew
+    ([xcw_datalog_retractions_total]). *)

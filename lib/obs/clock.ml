@@ -1,0 +1,15 @@
+(** Time sources for span tracing: the wall clock, or a manual clock
+    advanced explicitly (simulated time, deterministic tests). *)
+
+type t = Wall | Manual of { mutable m_now : float }
+
+let wall = Wall
+let manual ?(start = 0.) () = Manual { m_now = start }
+
+let now = function Wall -> Unix.gettimeofday () | Manual m -> m.m_now
+
+let advance t dt =
+  if dt < 0. then invalid_arg "Clock.advance: negative amount";
+  match t with
+  | Wall -> invalid_arg "Clock.advance: wall clock"
+  | Manual m -> m.m_now <- m.m_now +. dt

@@ -1,0 +1,25 @@
+(** Time sources for span tracing.
+
+    The pipeline lives in two time domains: real wall-clock time (what
+    rule evaluation and decoding actually cost on this machine) and
+    simulated seconds (what a real RPC node would have cost — see
+    {!Xcw_rpc.Latency}).  A span tracer takes its timestamps from a
+    pluggable clock so both domains can be traced: the default tracer
+    runs on the wall clock, while a {!manual} clock is advanced
+    explicitly — by simulated latency charges, or by tests that want
+    deterministic span timings. *)
+
+type t
+
+val wall : t
+(** The process wall clock ([Unix.gettimeofday]). *)
+
+val manual : ?start:float -> unit -> t
+(** A simulated clock starting at [start] (default [0.]); it only moves
+    when {!advance} is called. *)
+
+val now : t -> float
+
+val advance : t -> float -> unit
+(** Move a {!manual} clock forward by the given seconds.  Raises
+    [Invalid_argument] on the wall clock or on negative amounts. *)

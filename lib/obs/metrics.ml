@@ -1,0 +1,212 @@
+(** Metrics registry: labelled counters, gauges and histograms with
+    O(1) hot-path updates.  See the interface for the model. *)
+
+type labels = (string * string) list
+
+type histogram_conf = {
+  lo_exp : int;
+  hi_exp : int;
+  buckets_per_decade : int;
+}
+
+let default_histogram_conf = { lo_exp = -4; hi_exp = 3; buckets_per_decade = 4 }
+
+let conf_total c = (c.hi_exp - c.lo_exp) * c.buckets_per_decade
+
+(* Same index formula as Stats.log_histogram, including the clamp to
+   the edge buckets; non-positive samples land in bucket 0 (Stats drops
+   them, a metrics histogram must not). *)
+let bucket_index c x =
+  if x <= 0.0 then 0
+  else begin
+    let total = conf_total c in
+    let pos =
+      (log10 x -. float_of_int c.lo_exp) *. float_of_int c.buckets_per_decade
+    in
+    let idx = int_of_float (Float.floor pos) in
+    if idx < 0 then 0 else if idx >= total then total - 1 else idx
+  end
+
+let bucket_upper c i =
+  10.0
+  ** (float_of_int c.lo_exp
+     +. (float_of_int (i + 1) /. float_of_int c.buckets_per_decade))
+
+module Counter = struct
+  type t = { mutable c : int; c_live : bool }
+
+  let make live = { c = 0; c_live = live }
+  let inc t = if t.c_live then t.c <- t.c + 1
+
+  let add t n =
+    if n < 0 then invalid_arg "Counter.add: negative increment";
+    if t.c_live then t.c <- t.c + n
+
+  let value t = t.c
+end
+
+module Gauge = struct
+  type t = { mutable g : float; g_live : bool }
+
+  let make live = { g = 0.; g_live = live }
+  let set t v = if t.g_live then t.g <- v
+  let add t v = if t.g_live then t.g <- t.g +. v
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = {
+    h_conf : histogram_conf;
+    h_counts : int array;
+    mutable h_sum : float;
+    mutable h_count : int;
+    h_live : bool;
+  }
+
+  let make conf live =
+    {
+      h_conf = conf;
+      h_counts = Array.make (max 1 (conf_total conf)) 0;
+      h_sum = 0.;
+      h_count = 0;
+      h_live = live;
+    }
+
+  let observe t x =
+    if t.h_live then begin
+      t.h_count <- t.h_count + 1;
+      t.h_sum <- t.h_sum +. x;
+      let i = bucket_index t.h_conf x in
+      t.h_counts.(i) <- t.h_counts.(i) + 1
+    end
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+
+  let buckets t =
+    Array.to_list (Array.mapi (fun i c -> (bucket_upper t.h_conf i, c)) t.h_counts)
+end
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Histogram.t
+
+type t = {
+  r_enabled : bool;
+  r_tbl : (string * labels, instrument) Hashtbl.t;
+}
+
+let create ?(enabled = true) () = { r_enabled = enabled; r_tbl = Hashtbl.create 64 }
+
+let noop = create ~enabled:false ()
+let enabled t = t.r_enabled
+
+let default_registry = ref (create ())
+let default () = !default_registry
+let set_default r = default_registry := r
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+(* Shared inert instruments handed out by disabled registries: nothing
+   is interned, updates cost one branch. *)
+let dead_counter = Counter.make false
+let dead_gauge = Gauge.make false
+let dead_histogram = Histogram.make default_histogram_conf false
+
+let intern t ~labels name make pick kind =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  let key = (name, normalize_labels labels) in
+  match Hashtbl.find_opt t.r_tbl key with
+  | Some i -> (
+      match pick i with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as another kind"
+               name))
+  | None ->
+      let v, i = make () in
+      Hashtbl.replace t.r_tbl key i;
+      ignore kind;
+      v
+
+let counter t ?(labels = []) name =
+  if not t.r_enabled then dead_counter
+  else
+    intern t ~labels name
+      (fun () ->
+        let c = Counter.make true in
+        (c, I_counter c))
+      (function I_counter c -> Some c | _ -> None)
+      "counter"
+
+let gauge t ?(labels = []) name =
+  if not t.r_enabled then dead_gauge
+  else
+    intern t ~labels name
+      (fun () ->
+        let g = Gauge.make true in
+        (g, I_gauge g))
+      (function I_gauge g -> Some g | _ -> None)
+      "gauge"
+
+let histogram t ?(conf = default_histogram_conf) ?(labels = []) name =
+  if not t.r_enabled then dead_histogram
+  else
+    intern t ~labels name
+      (fun () ->
+        let h = Histogram.make conf true in
+        (h, I_histogram h))
+      (function I_histogram h -> Some h | _ -> None)
+      "histogram"
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type histogram_snapshot = {
+  h_buckets : (float * int) list;
+  h_sum : float;
+  h_count : int;
+}
+
+type value =
+  | V_counter of int
+  | V_gauge of float
+  | V_histogram of histogram_snapshot
+
+type metric = { m_name : string; m_labels : labels; m_value : value }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun (name, labels) instr acc ->
+      let value =
+        match instr with
+        | I_counter c -> V_counter (Counter.value c)
+        | I_gauge g -> V_gauge (Gauge.value g)
+        | I_histogram h ->
+            V_histogram
+              {
+                h_buckets = Histogram.buckets h;
+                h_sum = Histogram.sum h;
+                h_count = Histogram.count h;
+              }
+      in
+      { m_name = name; m_labels = labels; m_value = value } :: acc)
+    t.r_tbl []
+  |> List.sort (fun a b -> compare (a.m_name, a.m_labels) (b.m_name, b.m_labels))
+
+let find metrics ?(labels = []) name =
+  let labels = normalize_labels labels in
+  List.find_opt (fun m -> m.m_name = name && m.m_labels = labels) metrics

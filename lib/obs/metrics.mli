@@ -1,0 +1,122 @@
+(** Metrics registry: labelled counters, gauges and histograms.
+
+    Instruments are interned by [(name, labels)] — asking twice returns
+    the same instrument — and hot-path updates ([inc]/[set]/[observe])
+    are O(1) mutations with no allocation, so instrumentation can live
+    inside the decode and rule-evaluation loops.
+
+    There is one process-wide {!default} registry (every component
+    records there unless told otherwise) and components accept an
+    injectable registry for isolated tests.  The shared {!noop}
+    registry is permanently disabled: its instruments are inert dummies
+    and updating them costs one branch — the "Nil sink" baseline the
+    [obs] bench measures against.
+
+    Histograms bucket over logarithmically spaced upper bounds using
+    exactly the {!Xcw_util.Stats.log_histogram} bucketing (same index
+    formula, same edge clamping), except that non-positive samples are
+    clamped into the first bucket instead of being dropped — a metrics
+    histogram must account for every observation in [sum]/[count]. *)
+
+type labels = (string * string) list
+(** Sorted by key at interning time; order given by the caller does not
+    matter for instrument identity. *)
+
+(** Log-spaced bucket layout: bucket [i] covers samples up to
+    [10^(lo_exp + (i+1)/buckets_per_decade)], with
+    [(hi_exp - lo_exp) * buckets_per_decade] buckets total. *)
+type histogram_conf = {
+  lo_exp : int;
+  hi_exp : int;
+  buckets_per_decade : int;
+}
+
+val default_histogram_conf : histogram_conf
+(** Decades [10^-4 .. 10^3] seconds, 4 buckets per decade: covers
+    colocated RPC fetches (~2 ms) through the paper's 138 s worst
+    case. *)
+
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+  val add : t -> int -> unit
+  (** Raises [Invalid_argument] on negative increments. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val buckets : t -> (float * int) list
+  (** [(upper_bound, count-in-bucket)] pairs (non-cumulative), covering
+      every observation: out-of-range samples are clamped to the edge
+      buckets. *)
+end
+
+type t
+(** A registry. *)
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh registry; [enabled] defaults to [true].  A disabled
+    registry hands out inert instruments and interns nothing. *)
+
+val noop : t
+(** The shared disabled registry. *)
+
+val enabled : t -> bool
+
+val default : unit -> t
+(** The process-wide default registry (live unless {!set_default} said
+    otherwise). *)
+
+val set_default : t -> unit
+(** Swap the default registry — e.g. to [noop] for an overhead
+    baseline, or to a fresh registry per bench run.  Instruments
+    resolved from the previous default keep recording there. *)
+
+val counter : t -> ?labels:labels -> string -> Counter.t
+val gauge : t -> ?labels:labels -> string -> Gauge.t
+
+val histogram :
+  t -> ?conf:histogram_conf -> ?labels:labels -> string -> Histogram.t
+
+(** All three raise [Invalid_argument] if the name is not a valid
+    Prometheus metric name ([[a-zA-Z_:][a-zA-Z0-9_:]*]), or if the
+    [(name, labels)] pair is already registered as a different
+    instrument kind. *)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (consumed by {!Sink})                                     *)
+
+type histogram_snapshot = {
+  h_buckets : (float * int) list;  (** per-bucket, not cumulative *)
+  h_sum : float;
+  h_count : int;
+}
+
+type value =
+  | V_counter of int
+  | V_gauge of float
+  | V_histogram of histogram_snapshot
+
+type metric = { m_name : string; m_labels : labels; m_value : value }
+
+val snapshot : t -> metric list
+(** Every registered instrument, sorted by [(name, labels)]. *)
+
+val find : metric list -> ?labels:labels -> string -> metric option
+(** Convenience lookup in a snapshot (labels in any order). *)

@@ -1,0 +1,424 @@
+(** Exporters for metrics and spans; see the interface. *)
+
+module Json = Xcw_util.Json
+
+type store = {
+  mutable st_metrics : Metrics.metric list;
+  mutable st_spans : Span.record list;
+}
+
+type t =
+  | Nil
+  | Memory of store
+  | Prometheus of (string -> unit)
+  | Json_lines of (string -> unit)
+
+let memory () = Memory { st_metrics = []; st_spans = [] }
+
+let store = function
+  | Memory st -> st
+  | _ -> invalid_arg "Sink.store: not a Memory sink"
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Prometheus spells non-finite values NaN/+Inf/-Inf (JSON has none). *)
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Json.float_string f
+
+let add_labels buf labels =
+  if labels <> [] then begin
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+  end
+
+let add_sample buf name labels value =
+  Buffer.add_string buf name;
+  add_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let kind_of_value = function
+  | Metrics.V_counter _ -> "counter"
+  | Metrics.V_gauge _ -> "gauge"
+  | Metrics.V_histogram _ -> "histogram"
+
+let prometheus_of_metrics metrics =
+  let buf = Buffer.create 1024 in
+  let last_name = ref "" in
+  List.iter
+    (fun (m : Metrics.metric) ->
+      if m.m_name <> !last_name then begin
+        last_name := m.m_name;
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m.m_name (kind_of_value m.m_value))
+      end;
+      match m.m_value with
+      | Metrics.V_counter c -> add_sample buf m.m_name m.m_labels (string_of_int c)
+      | Metrics.V_gauge g -> add_sample buf m.m_name m.m_labels (prom_float g)
+      | Metrics.V_histogram h ->
+          (* Cumulative _bucket series per the exposition convention. *)
+          let cum = ref 0 in
+          List.iter
+            (fun (ub, count) ->
+              cum := !cum + count;
+              add_sample buf (m.m_name ^ "_bucket")
+                (m.m_labels @ [ ("le", Json.float_string ub) ])
+                (string_of_int !cum))
+            h.h_buckets;
+          add_sample buf (m.m_name ^ "_bucket")
+            (m.m_labels @ [ ("le", "+Inf") ])
+            (string_of_int h.h_count);
+          add_sample buf (m.m_name ^ "_sum") m.m_labels (prom_float h.h_sum);
+          add_sample buf (m.m_name ^ "_count") m.m_labels
+            (string_of_int h.h_count))
+    metrics;
+  Buffer.contents buf
+
+let parse_float s =
+  match String.lowercase_ascii s with
+  | "nan" -> Float.nan
+  | "inf" | "+inf" -> Float.infinity
+  | "-inf" -> Float.neg_infinity
+  | _ -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> failwith (Printf.sprintf "Sink: bad float %S" s))
+
+(* Parse one sample line: name{k="v",...} value *)
+let parse_sample line =
+  try
+    let len = String.length line in
+    let i = ref 0 in
+    let is_name_char = function
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+      | _ -> false
+    in
+    while !i < len && is_name_char line.[!i] do incr i done;
+    let name = String.sub line 0 !i in
+    if name = "" then failwith "empty name";
+    let labels = ref [] in
+    if !i < len && line.[!i] = '{' then begin
+      incr i;
+      let rec pairs () =
+        if line.[!i] = '}' then incr i
+        else begin
+          let ks = !i in
+          while line.[!i] <> '=' do incr i done;
+          let key = String.sub line ks (!i - ks) in
+          incr i;
+          if line.[!i] <> '"' then failwith "expected quote";
+          incr i;
+          let buf = Buffer.create 16 in
+          let rec value () =
+            match line.[!i] with
+            | '"' -> incr i
+            | '\\' ->
+                (match line.[!i + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | c -> Buffer.add_char buf c);
+                i := !i + 2;
+                value ()
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                value ()
+          in
+          value ();
+          labels := (key, Buffer.contents buf) :: !labels;
+          if line.[!i] = ',' then incr i;
+          pairs ()
+        end
+      in
+      pairs ()
+    end;
+    while !i < len && line.[!i] = ' ' do incr i done;
+    let value = String.sub line !i (len - !i) in
+    if value = "" then failwith "missing value";
+    (name, List.rev !labels, value)
+  with Invalid_argument _ | Failure _ ->
+    failwith (Printf.sprintf "Sink: malformed exposition line %S" line)
+
+type hist_acc = {
+  mutable hb_cum : (float * int) list;  (** (le, cumulative) as parsed *)
+  mutable hb_sum : float;
+  mutable hb_count : int;
+}
+
+let strip_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  if ls > lf && String.sub s (ls - lf) lf = suf then Some (String.sub s 0 (ls - lf))
+  else None
+
+let metrics_of_prometheus text =
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let samples = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if line.[0] = '#' then
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] -> Hashtbl.replace types name kind
+        | _ -> ()
+      else samples := parse_sample line :: !samples)
+    (String.split_on_char '\n' text);
+  let samples = List.rev !samples in
+  let hist_part name =
+    let check suf tag =
+      match strip_suffix name suf with
+      | Some base when Hashtbl.find_opt types base = Some "histogram" ->
+          Some (base, tag)
+      | _ -> None
+    in
+    match check "_bucket" `Bucket with
+    | Some r -> Some r
+    | None -> (
+        match check "_sum" `Sum with
+        | Some r -> Some r
+        | None -> check "_count" `Count)
+  in
+  let hists : (string * Metrics.labels, hist_acc) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let hist base labels =
+    let key = (base, labels) in
+    match Hashtbl.find_opt hists key with
+    | Some h -> h
+    | None ->
+        let h = { hb_cum = []; hb_sum = 0.; hb_count = 0 } in
+        Hashtbl.replace hists key h;
+        h
+  in
+  let metrics = ref [] in
+  List.iter
+    (fun (name, labels, vstr) ->
+      let labels = normalize_labels labels in
+      match hist_part name with
+      | Some (base, `Bucket) ->
+          let le =
+            match List.assoc_opt "le" labels with
+            | Some le -> le
+            | None -> failwith "Sink: _bucket sample without le label"
+          in
+          let rest = List.filter (fun (k, _) -> k <> "le") labels in
+          if le <> "+Inf" then begin
+            let h = hist base rest in
+            h.hb_cum <-
+              (parse_float le, int_of_float (parse_float vstr)) :: h.hb_cum
+          end
+      | Some (base, `Sum) -> (hist base labels).hb_sum <- parse_float vstr
+      | Some (base, `Count) ->
+          (hist base labels).hb_count <- int_of_float (parse_float vstr)
+      | None -> (
+          match Hashtbl.find_opt types name with
+          | Some "counter" ->
+              metrics :=
+                {
+                  Metrics.m_name = name;
+                  m_labels = labels;
+                  m_value = Metrics.V_counter (int_of_float (parse_float vstr));
+                }
+                :: !metrics
+          | Some "gauge" ->
+              metrics :=
+                {
+                  Metrics.m_name = name;
+                  m_labels = labels;
+                  m_value = Metrics.V_gauge (parse_float vstr);
+                }
+                :: !metrics
+          | Some kind -> failwith ("Sink: unsupported metric type " ^ kind)
+          | None -> failwith ("Sink: sample without # TYPE line: " ^ name)))
+    samples;
+  Hashtbl.iter
+    (fun (base, labels) h ->
+      let cum =
+        List.sort (fun (a, _) (b, _) -> compare a b) (List.rev h.hb_cum)
+      in
+      let rec de_cumulate prev = function
+        | [] -> []
+        | (le, c) :: tl -> (le, c - prev) :: de_cumulate c tl
+      in
+      metrics :=
+        {
+          Metrics.m_name = base;
+          m_labels = labels;
+          m_value =
+            Metrics.V_histogram
+              {
+                h_buckets = de_cumulate 0 cum;
+                h_sum = h.hb_sum;
+                h_count = h.hb_count;
+              };
+        }
+        :: !metrics)
+    hists;
+  List.sort
+    (fun (a : Metrics.metric) (b : Metrics.metric) ->
+      compare (a.m_name, a.m_labels) (b.m_name, b.m_labels))
+    !metrics
+
+(* ------------------------------------------------------------------ *)
+(* JSON codecs                                                         *)
+
+let json_of_labels labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let labels_of_json = function
+  | Json.Obj kvs ->
+      List.map
+        (function
+          | k, Json.String v -> (k, v)
+          | _ -> failwith "Sink: bad label value")
+        kvs
+  | _ -> failwith "Sink: bad labels"
+
+let get key j =
+  match Json.member key j with
+  | Some v -> v
+  | None -> failwith ("Sink: missing field " ^ key)
+
+let to_float = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | Json.Null -> Float.nan  (* non-finite floats serialize as null *)
+  | _ -> failwith "Sink: expected number"
+
+let to_int = function
+  | Json.Int i -> i
+  | _ -> failwith "Sink: expected integer"
+
+let to_string_j = function
+  | Json.String s -> s
+  | _ -> failwith "Sink: expected string"
+
+let json_of_metric (m : Metrics.metric) =
+  let tail =
+    match m.m_value with
+    | Metrics.V_counter c -> [ ("type", Json.String "counter"); ("value", Json.Int c) ]
+    | Metrics.V_gauge g -> [ ("type", Json.String "gauge"); ("value", Json.Float g) ]
+    | Metrics.V_histogram h ->
+        [
+          ("type", Json.String "histogram");
+          ("sum", Json.Float h.h_sum);
+          ("count", Json.Int h.h_count);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (ub, c) ->
+                   Json.Obj [ ("le", Json.Float ub); ("count", Json.Int c) ])
+                 h.h_buckets) );
+        ]
+  in
+  Json.Obj
+    (("name", Json.String m.m_name)
+    :: ("labels", json_of_labels m.m_labels)
+    :: tail)
+
+let metric_of_json j =
+  let name = to_string_j (get "name" j) in
+  let labels = normalize_labels (labels_of_json (get "labels" j)) in
+  let value =
+    match to_string_j (get "type" j) with
+    | "counter" -> Metrics.V_counter (to_int (get "value" j))
+    | "gauge" -> Metrics.V_gauge (to_float (get "value" j))
+    | "histogram" ->
+        let buckets =
+          match get "buckets" j with
+          | Json.List bs ->
+              List.map
+                (fun b -> (to_float (get "le" b), to_int (get "count" b)))
+                bs
+          | _ -> failwith "Sink: bad buckets"
+        in
+        Metrics.V_histogram
+          {
+            h_buckets = buckets;
+            h_sum = to_float (get "sum" j);
+            h_count = to_int (get "count" j);
+          }
+    | kind -> failwith ("Sink: unknown metric type " ^ kind)
+  in
+  { Metrics.m_name = name; m_labels = labels; m_value = value }
+
+let json_of_span (r : Span.record) =
+  Json.Obj
+    [
+      ("name", Json.String r.sp_name);
+      ("start", Json.Float r.sp_start);
+      ("duration", Json.Float r.sp_duration);
+      ("depth", Json.Int r.sp_depth);
+      ("attrs", json_of_labels r.sp_attrs);
+    ]
+
+let span_of_json j =
+  {
+    Span.sp_name = to_string_j (get "name" j);
+    sp_start = to_float (get "start" j);
+    sp_duration = to_float (get "duration" j);
+    sp_depth = to_int (get "depth" j);
+    sp_attrs = labels_of_json (get "attrs" j);
+  }
+
+let json_lines_of_metrics metrics =
+  String.concat ""
+    (List.map (fun m -> Json.to_string (json_of_metric m) ^ "\n") metrics)
+
+let json_lines_of_spans spans =
+  String.concat ""
+    (List.map (fun s -> Json.to_string (json_of_span s) ^ "\n") spans)
+
+(* ------------------------------------------------------------------ *)
+(* Sink dispatch                                                       *)
+
+let emit_metrics t metrics =
+  match t with
+  | Nil -> ()
+  | Memory st -> st.st_metrics <- metrics
+  | Prometheus f -> f (prometheus_of_metrics metrics)
+  | Json_lines f -> f (json_lines_of_metrics metrics)
+
+let emit_spans t spans =
+  match t with
+  | Nil -> ()
+  | Memory st -> st.st_spans <- st.st_spans @ spans
+  | Prometheus _ -> ()  (* the exposition format has no span series *)
+  | Json_lines f -> f (json_lines_of_spans spans)
+
+let write_string_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_prometheus_file ~path metrics =
+  write_string_file path (prometheus_of_metrics metrics)
+
+let write_spans_file ~path spans =
+  write_string_file path (json_lines_of_spans spans)

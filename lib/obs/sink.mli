@@ -1,0 +1,59 @@
+(** Pluggable exporters for metric snapshots and span records.
+
+    The codecs are pure string functions so they can be round-tripped
+    in tests; the [t] variant wires them to a destination.  Histograms
+    are exported in the Prometheus cumulative convention
+    ([_bucket{le=...}] / [_sum] / [_count] series) and converted back
+    to the per-bucket counts of {!Metrics.histogram_snapshot} by the
+    parser, so [metrics_of_prometheus (prometheus_of_metrics m)]
+    recovers every counter, gauge and histogram exactly. *)
+
+type t =
+  | Nil  (** Discard everything (overhead baseline). *)
+  | Memory of store  (** Accumulate in memory, for assertions. *)
+  | Prometheus of (string -> unit)
+      (** Emit one Prometheus text exposition per [emit_metrics]. *)
+  | Json_lines of (string -> unit)
+      (** Emit one JSON object per line, for metrics and spans. *)
+
+and store = {
+  mutable st_metrics : Metrics.metric list;
+      (** Most recent snapshot emitted. *)
+  mutable st_spans : Span.record list;  (** All spans emitted, in order. *)
+}
+
+val memory : unit -> t
+(** A fresh [Memory] sink. *)
+
+val store : t -> store
+(** The store of a [Memory] sink; raises [Invalid_argument] on other
+    sinks. *)
+
+val emit_metrics : t -> Metrics.metric list -> unit
+val emit_spans : t -> Span.record list -> unit
+
+(** {2 Pure codecs} *)
+
+val prometheus_of_metrics : Metrics.metric list -> string
+(** Text exposition format: [# TYPE] comment lines, label values
+    escaped per the Prometheus spec (backslash, double quote,
+    newline). *)
+
+val metrics_of_prometheus : string -> Metrics.metric list
+(** Parse an exposition produced by {!prometheus_of_metrics} back into
+    a snapshot (sorted, as {!Metrics.snapshot} returns).  Raises
+    [Failure] on malformed input. *)
+
+val json_of_metric : Metrics.metric -> Xcw_util.Json.t
+val metric_of_json : Xcw_util.Json.t -> Metrics.metric
+(** Raises [Failure] on malformed input. *)
+
+val json_lines_of_metrics : Metrics.metric list -> string
+val json_of_span : Span.record -> Xcw_util.Json.t
+val span_of_json : Xcw_util.Json.t -> Span.record
+val json_lines_of_spans : Span.record list -> string
+
+(** {2 File helpers (used by [bin/xcw])} *)
+
+val write_prometheus_file : path:string -> Metrics.metric list -> unit
+val write_spans_file : path:string -> Span.record list -> unit

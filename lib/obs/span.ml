@@ -1,0 +1,94 @@
+(** Span tracing into a bounded ring buffer; see the interface. *)
+
+type record = {
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start : float;
+  sp_duration : float;
+  sp_depth : int;
+}
+
+type t = {
+  t_clock : Clock.t;
+  t_ring : record option array;  (** [None] = slot never written *)
+  mutable t_next : int;  (** next write position *)
+  mutable t_written : int;  (** total records ever written *)
+  mutable t_depth : int;  (** current nesting depth *)
+  t_live : bool;
+}
+
+let create ?(capacity = 4096) ?(clock = Clock.wall) () =
+  if capacity <= 0 then invalid_arg "Span.create: capacity must be positive";
+  {
+    t_clock = clock;
+    t_ring = Array.make capacity None;
+    t_next = 0;
+    t_written = 0;
+    t_depth = 0;
+    t_live = true;
+  }
+
+let noop =
+  {
+    t_clock = Clock.manual ();
+    t_ring = Array.make 1 None;
+    t_next = 0;
+    t_written = 0;
+    t_depth = 0;
+    t_live = false;
+  }
+
+let default_tracer = ref (create ())
+let default () = !default_tracer
+let set_default t = default_tracer := t
+
+let push t r =
+  t.t_ring.(t.t_next) <- Some r;
+  t.t_next <- (t.t_next + 1) mod Array.length t.t_ring;
+  t.t_written <- t.t_written + 1
+
+let with_ ?tracer ?(attrs = []) name f =
+  let t = match tracer with Some t -> t | None -> !default_tracer in
+  if not t.t_live then f ()
+  else begin
+    let start = Clock.now t.t_clock in
+    let depth = t.t_depth in
+    t.t_depth <- depth + 1;
+    let finish () =
+      t.t_depth <- depth;
+      push t
+        {
+          sp_name = name;
+          sp_attrs = attrs;
+          sp_start = start;
+          sp_duration = Clock.now t.t_clock -. start;
+          sp_depth = depth;
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let records t =
+  let cap = Array.length t.t_ring in
+  let n = min t.t_written cap in
+  (* Oldest surviving record sits at t_next when the ring has wrapped,
+     at 0 otherwise. *)
+  let first = if t.t_written > cap then t.t_next else 0 in
+  List.init n (fun i ->
+      match t.t_ring.((first + i) mod cap) with
+      | Some r -> r
+      | None -> assert false)
+
+let dropped t = max 0 (t.t_written - Array.length t.t_ring)
+
+let clear t =
+  Array.fill t.t_ring 0 (Array.length t.t_ring) None;
+  t.t_next <- 0;
+  t.t_written <- 0;
+  t.t_depth <- 0

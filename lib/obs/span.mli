@@ -1,0 +1,47 @@
+(** Span tracing: nested timed regions recorded into a bounded ring
+    buffer.
+
+    [with_ "datalog.stratum" f] times [f] on the tracer's {!Clock}
+    (wall by default, or a manual clock for simulated time and
+    deterministic tests), recording name, attributes, start, duration
+    and nesting depth.  A span is recorded even when [f] raises, so
+    traces stay complete across error paths.  Spans complete
+    children-first (a child's record precedes its parent's), as in any
+    post-order tracer.
+
+    The buffer is a fixed-capacity ring: once full, the oldest records
+    are overwritten and {!dropped} counts what was lost — tracing never
+    grows without bound inside a long-lived monitor. *)
+
+type record = {
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start : float;  (** clock timestamp at entry *)
+  sp_duration : float;
+  sp_depth : int;  (** 0 for a root span *)
+}
+
+type t
+(** A tracer. *)
+
+val create : ?capacity:int -> ?clock:Clock.t -> unit -> t
+(** Capacity defaults to 4096 records; clock to {!Clock.wall}. *)
+
+val noop : t
+(** Records nothing; [with_] only runs the thunk. *)
+
+val default : unit -> t
+val set_default : t -> unit
+
+val with_ :
+  ?tracer:t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span on [tracer] (the default
+    tracer if omitted). *)
+
+val records : t -> record list
+(** Completed spans, oldest first (at most [capacity]). *)
+
+val dropped : t -> int
+(** Records overwritten because the ring was full. *)
+
+val clear : t -> unit

@@ -2,6 +2,7 @@ module Types = Xcw_evm.Types
 module Address = Xcw_evm.Address
 module U256 = Xcw_uint256.Uint256
 module Prng = Xcw_util.Prng
+module Metrics = Xcw_obs.Metrics
 
 type policy = {
   p_max_attempts : int;
@@ -24,21 +25,47 @@ let default_policy =
     p_max_range_splits = 8;
   }
 
+(* Cumulative process-wide totals, advanced alongside every client's
+   own counters so callers can report retry pressure without threading
+   per-client state through the pipeline. *)
+let cum_retries = ref 0
+let cum_backoff = ref 0.
+let cum_give_ups = ref 0
+let cum_splits = ref 0
+
+type meters = {
+  mt_retries : Metrics.Counter.t;
+  mt_give_ups : Metrics.Counter.t;
+  mt_splits : Metrics.Counter.t;
+  mt_backoff : Metrics.Histogram.t;
+}
+
 type t = {
   c_rpc : Rpc.t;
   c_policy : policy;
   c_rng : Prng.t;
+  c_meters : meters;
   mutable c_retries : int;
   mutable c_backoff : float;
   mutable c_give_ups : int;
   mutable c_splits : int;
 }
 
-let create ?(policy = default_policy) ?(seed = 1) rpc =
+let create ?(policy = default_policy) ?(seed = 1) ?metrics rpc =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.default ()
+  in
   {
     c_rpc = rpc;
     c_policy = policy;
     c_rng = Prng.create (seed lxor 0x2b0c5);
+    c_meters =
+      {
+        mt_retries = Metrics.counter metrics "xcw_client_retries_total";
+        mt_give_ups = Metrics.counter metrics "xcw_client_give_ups_total";
+        mt_splits = Metrics.counter metrics "xcw_client_range_splits_total";
+        mt_backoff = Metrics.histogram metrics "xcw_client_backoff_seconds";
+      };
     c_retries = 0;
     c_backoff = 0.;
     c_give_ups = 0;
@@ -79,11 +106,17 @@ let with_retries t op =
         if attempt >= p.p_max_attempts || spent +. pause >= p.p_latency_budget
         then begin
           t.c_give_ups <- t.c_give_ups + 1;
+          incr cum_give_ups;
+          Metrics.Counter.inc t.c_meters.mt_give_ups;
           { Rpc.value = Error e; latency = spent }
         end
         else begin
           t.c_retries <- t.c_retries + 1;
           t.c_backoff <- t.c_backoff +. pause;
+          incr cum_retries;
+          cum_backoff := !cum_backoff +. pause;
+          Metrics.Counter.inc t.c_meters.mt_retries;
+          Metrics.Histogram.observe t.c_meters.mt_backoff pause;
           go ~attempt:(attempt + 1) ~spent:(spent +. pause)
         end
   in
@@ -124,6 +157,8 @@ let get_logs t (filter : Rpc.log_filter) =
         (* Bisect at the provider's cut point: serve [from, served_to]
            then [served_to + 1, to], keeping oldest-first order. *)
         t.c_splits <- t.c_splits + 1;
+        incr cum_splits;
+        Metrics.Counter.inc t.c_meters.mt_splits;
         let continue from_b to_b spent =
           let left =
             fetch ~depth:(depth + 1)
@@ -174,5 +209,19 @@ let stats t =
     s_give_ups = t.c_give_ups;
     s_range_splits = t.c_splits;
   }
+
+let stats_snapshot () =
+  {
+    s_retries = !cum_retries;
+    s_backoff_seconds = !cum_backoff;
+    s_give_ups = !cum_give_ups;
+    s_range_splits = !cum_splits;
+  }
+
+let reset_stats () =
+  cum_retries := 0;
+  cum_backoff := 0.;
+  cum_give_ups := 0;
+  cum_splits := 0
 
 let total_latency t = Rpc.total_latency t.c_rpc +. t.c_backoff

@@ -34,8 +34,13 @@ val default_policy : policy
 
 type t
 
-val create : ?policy:policy -> ?seed:int -> Rpc.t -> t
-(** The jitter stream is seeded deterministically from [seed]. *)
+val create :
+  ?policy:policy -> ?seed:int -> ?metrics:Xcw_obs.Metrics.t -> Rpc.t -> t
+(** The jitter stream is seeded deterministically from [seed].
+    Resilience events record into [metrics] (default: the process-wide
+    registry): [xcw_client_retries_total], [xcw_client_give_ups_total],
+    [xcw_client_range_splits_total] and the
+    [xcw_client_backoff_seconds] histogram of individual pauses. *)
 
 val rpc : t -> Rpc.t
 
@@ -74,6 +79,15 @@ type stats = {
 }
 
 val stats : t -> stats
+(** This client's own counters. *)
+
+val stats_snapshot : unit -> stats
+(** Cumulative totals across every client created in this process —
+    lets retries and give-ups be reported without threading per-client
+    state through the pipeline. *)
+
+val reset_stats : unit -> unit
+(** Zero the cumulative totals (per-client counters are untouched). *)
 
 val total_latency : t -> float
 (** RPC latency plus backoff: total simulated seconds attributable to

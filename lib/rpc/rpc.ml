@@ -21,6 +21,7 @@ module Address = Xcw_evm.Address
 module Types = Xcw_evm.Types
 module Chain = Xcw_chain.Chain
 module Prng = Xcw_util.Prng
+module Metrics = Xcw_obs.Metrics
 
 type error = Fault.error =
   | Transient of string
@@ -33,24 +34,75 @@ let error_to_string = Fault.error_to_string
 
 exception Rpc_error of error
 
+(** Per-method-class instruments, resolved once at node creation so the
+    hot path is three O(1) updates. *)
+type meter = {
+  mt_requests : Metrics.Counter.t;
+  mt_faults : Metrics.Counter.t;
+  mt_latency : Metrics.Histogram.t;
+}
+
 type t = {
   chain : Chain.t;
   profile : Latency.profile;
   rng : Prng.t;
   fault : Fault.t option;
+  meters : meter array;  (** indexed by {!class_index} *)
   mutable total_latency : float;  (** accumulated simulated seconds *)
   mutable request_count : int;
 }
 
-let create ?(profile = Latency.colocated_profile) ?(seed = 1) ?fault chain =
+let all_classes =
+  [ Fault.Receipt; Transaction; Balance; Logs; Trace; Head ]
+
+let class_index = function
+  | Fault.Receipt -> 0
+  | Transaction -> 1
+  | Balance -> 2
+  | Logs -> 3
+  | Trace -> 4
+  | Head -> 5
+
+let class_label = function
+  | Fault.Receipt -> "receipt"
+  | Transaction -> "transaction"
+  | Balance -> "balance"
+  | Logs -> "logs"
+  | Trace -> "trace"
+  | Head -> "head"
+
+let make_meters metrics =
+  all_classes
+  |> List.map (fun cls ->
+         let labels = [ ("method", class_label cls) ] in
+         {
+           mt_requests = Metrics.counter metrics ~labels "xcw_rpc_requests_total";
+           mt_faults = Metrics.counter metrics ~labels "xcw_rpc_faults_total";
+           mt_latency =
+             Metrics.histogram metrics ~labels "xcw_rpc_latency_seconds";
+         })
+  |> Array.of_list
+
+let create ?(profile = Latency.colocated_profile) ?(seed = 1) ?fault ?metrics
+    chain =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.default ()
+  in
   {
     chain;
     profile;
     rng = Prng.create seed;
     fault = Option.map (fun plan -> Fault.create ~seed plan) fault;
+    meters = make_meters metrics;
     total_latency = 0.0;
     request_count = 0;
   }
+
+let note t cls latency ~is_fault =
+  let m = t.meters.(class_index cls) in
+  Metrics.Counter.inc m.mt_requests;
+  if is_fault then Metrics.Counter.inc m.mt_faults;
+  Metrics.Histogram.observe m.mt_latency latency
 
 let charge t l =
   t.total_latency <- t.total_latency +. l;
@@ -80,11 +132,20 @@ let fault_cost t = function
    failure cost or serve with the normal latency draw. *)
 let respond t cls serve_latency serve =
   match t.fault with
-  | None -> { value = Ok (serve ()); latency = serve_latency t }
+  | None ->
+      let l = serve_latency t in
+      note t cls l ~is_fault:false;
+      { value = Ok (serve ()); latency = l }
   | Some f -> (
       match Fault.intercept f cls with
-      | Some e -> { value = Error e; latency = charge t (fault_cost t e) }
-      | None -> { value = Ok (serve ()); latency = serve_latency t })
+      | Some e ->
+          let l = charge t (fault_cost t e) in
+          note t cls l ~is_fault:true;
+          { value = Error e; latency = l }
+      | None ->
+          let l = serve_latency t in
+          note t cls l ~is_fault:false;
+          { value = Ok (serve ()); latency = l })
 
 let head_block t = Chain.all_blocks t.chain |> List.length
 
@@ -114,18 +175,22 @@ type head_view = { hv_head : int; hv_reorged_to : int option }
 let observe_head t ~head =
   match t.fault with
   | None ->
-      {
-        value = Ok { hv_head = head; hv_reorged_to = None };
-        latency = charge_receipt t;
-      }
+      let l = charge_receipt t in
+      note t Fault.Head l ~is_fault:false;
+      { value = Ok { hv_head = head; hv_reorged_to = None }; latency = l }
   | Some f -> (
       match Fault.intercept f Fault.Head with
-      | Some e -> { value = Error e; latency = charge t (fault_cost t e) }
+      | Some e ->
+          let l = charge t (fault_cost t e) in
+          note t Fault.Head l ~is_fault:true;
+          { value = Error e; latency = l }
       | None ->
           let observed, reorged_to = Fault.observe_head f ~head in
+          let l = charge_receipt t in
+          note t Fault.Head l ~is_fault:false;
           {
             value = Ok { hv_head = observed; hv_reorged_to = reorged_to };
-            latency = charge_receipt t;
+            latency = l;
           })
 
 type log_filter = {
@@ -173,10 +238,16 @@ let serve_logs t (filter : log_filter) =
 let eth_get_logs t (filter : log_filter) :
     ((Types.receipt * Types.log) list, error) result response =
   match t.fault with
-  | None -> { value = Ok (serve_logs t filter); latency = charge_receipt t }
+  | None ->
+      let l = charge_receipt t in
+      note t Fault.Logs l ~is_fault:false;
+      { value = Ok (serve_logs t filter); latency = l }
   | Some f -> (
       match Fault.intercept f Fault.Logs with
-      | Some e -> { value = Error e; latency = charge t (fault_cost t e) }
+      | Some e ->
+          let l = charge t (fault_cost t e) in
+          note t Fault.Logs l ~is_fault:true;
+          { value = Error e; latency = l }
       | None -> (
           match (Fault.plan f).Fault.f_logs_range_cap with
           | Some cap
@@ -190,12 +261,16 @@ let eth_get_logs t (filter : log_filter) :
                  and gave up: deterministic, and still a full-price
                  request. *)
               let from0 = max 1 (Option.value filter.from_block ~default:1) in
+              let l = charge_receipt t in
+              note t Fault.Logs l ~is_fault:true;
               {
                 value = Error (Truncated_range { served_to = from0 + cap - 1 });
-                latency = charge_receipt t;
+                latency = l;
               }
-          | _ -> { value = Ok (serve_logs t filter); latency = charge_receipt t }
-          ))
+          | _ ->
+              let l = charge_receipt t in
+              note t Fault.Logs l ~is_fault:false;
+              { value = Ok (serve_logs t filter); latency = l }))
 
 let total_latency t = t.total_latency
 let request_count t = t.request_count

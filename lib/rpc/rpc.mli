@@ -33,9 +33,22 @@ exception Rpc_error of error
 type t
 
 val create :
-  ?profile:Latency.profile -> ?seed:int -> ?fault:Fault.plan -> Chain.t -> t
+  ?profile:Latency.profile ->
+  ?seed:int ->
+  ?fault:Fault.plan ->
+  ?metrics:Xcw_obs.Metrics.t ->
+  Chain.t ->
+  t
 (** Defaults to {!Latency.colocated_profile} and no fault plan.  The
-    fault state is seeded deterministically from [seed]. *)
+    fault state is seeded deterministically from [seed].
+
+    Every request records into [metrics] (default: the process-wide
+    {!Xcw_obs.Metrics.default} registry), labelled by method class
+    ([method="receipt"|"transaction"|"balance"|"logs"|"trace"|"head"]):
+    [xcw_rpc_requests_total], [xcw_rpc_faults_total] (injected faults,
+    including capped-range truncations) and the
+    [xcw_rpc_latency_seconds] histogram of simulated per-request
+    latency. *)
 
 type 'a response = { value : 'a; latency : float }
 (** Result plus the simulated request latency in seconds. *)

@@ -29,14 +29,28 @@ let escape_string s =
     s;
   Buffer.contents buf
 
+(* Shortest %g rendering that parses back to the same float.  %.15g is
+   enough for most values; fall through to %.17g which is always exact
+   for IEEE doubles.  Printf is locale-independent in OCaml (always '.'
+   as the decimal separator), unlike C's printf. *)
+let float_string f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    match try_prec 15 with
+    | Some s -> s
+    | None -> (
+        match try_prec 16 with Some s -> s | None -> Printf.sprintf "%.17g" f)
+
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Buffer.add_string buf (Printf.sprintf "%.1f" f)
-      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  | Float f -> Buffer.add_string buf (float_string f)
   | String s ->
       Buffer.add_char buf '"';
       Buffer.add_string buf (escape_string s);
@@ -228,3 +242,11 @@ let of_string s =
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs
   | _ -> None
+
+let write_file ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')

@@ -17,6 +17,17 @@ exception Parse_error of string
 val to_string : t -> string
 (** Compact serialization with string escaping. *)
 
+val float_string : float -> string
+(** Locale-independent, round-trippable float rendering: the shortest
+    of %.15g/%.16g/%.17g that [float_of_string]s back to the same bits;
+    integral values below 1e15 keep a ".0" suffix so they read as
+    floats; non-finite values render as ["null"] (JSON has no
+    NaN/infinity). *)
+
+val write_file : path:string -> t -> unit
+(** Write the compact serialization plus a trailing newline to [path],
+    truncating any existing file. *)
+
 val of_string : string -> t
 (** Raises {!Parse_error} on malformed input or trailing garbage. *)
 

@@ -135,6 +135,23 @@ let stats_percentile =
       Alcotest.(check (float 1e-9)) "p0" 10. (Stats.percentile 0. xs);
       Alcotest.(check (float 1e-9)) "p100" 40. (Stats.percentile 100. xs))
 
+let stats_percentile_interpolates =
+  Alcotest.test_case "percentile interpolates between ranks" `Quick (fun () ->
+      let xs = [ 10.; 20.; 30.; 40. ] in
+      (* Rank position for p50 over 4 samples is 1.5: halfway between
+         the 2nd and 3rd order statistics. *)
+      Alcotest.(check (float 1e-9)) "p50" 25. (Stats.percentile 50. xs);
+      Alcotest.(check (float 1e-9)) "p25" 17.5 (Stats.percentile 25. xs);
+      (* Input order must not matter. *)
+      Alcotest.(check (float 1e-9))
+        "unsorted" 25.
+        (Stats.percentile 50. [ 40.; 10.; 30.; 20. ]);
+      (* Single sample: every percentile is that sample. *)
+      Alcotest.(check (float 1e-9)) "single" 7. (Stats.percentile 99. [ 7. ]);
+      Alcotest.check_raises "empty input"
+        (Invalid_argument "Stats.percentile: empty input") (fun () ->
+          ignore (Stats.percentile 50. [])))
+
 let stats_cdf =
   Alcotest.test_case "cdf fractions" `Quick (fun () ->
       let xs = [ 1.; 2.; 3.; 4. ] in
@@ -196,6 +213,36 @@ let stats_log_histogram_total =
       let total = List.fold_left (fun acc (_, c) -> acc + c) 0 h in
       total = List.length xs)
 
+let stats_log_histogram_clamping =
+  Alcotest.test_case "log_histogram clamps to edges, drops non-positive"
+    `Quick (fun () ->
+      let h =
+        Stats.log_histogram
+          [ 1e-9; 0.5; 1e9; 0.0; -3.0 ]
+          ~lo_exp:(-1) ~hi_exp:1 ~buckets_per_decade:1
+      in
+      (* Two buckets: (1.0, _) and (10.0, _).  The tiny sample clamps
+         into the first, the huge one into the last; zero and negative
+         samples are dropped entirely. *)
+      Alcotest.(check (list (pair (float 1e-9) int)))
+        "buckets"
+        [ (1.0, 2); (10.0, 1) ]
+        h)
+
+let stats_time_buckets_boundaries =
+  Alcotest.test_case "time_buckets boundary timestamps" `Quick (fun () ->
+      (* start and stop are inclusive; a timestamp exactly on a window
+         edge belongs to the window it opens; out-of-range timestamps
+         are dropped. *)
+      let buckets =
+        Stats.time_buckets [ -1; 0; 9; 10; 20; 29; 30 ] ~start:0 ~stop:29
+          ~width:10
+      in
+      Alcotest.(check (list (pair int int)))
+        "buckets"
+        [ (0, 2); (10, 1); (20, 2) ]
+        buckets)
+
 (* ------------------------------------------------------------------ *)
 (* Json                                                                *)
 
@@ -222,6 +269,20 @@ let json_parse_basic =
       | Some (Json.List [ Json.Int 1; Json.Float f; Json.Null; Json.Bool false; Json.String "s" ]) ->
           Alcotest.(check (float 1e-9)) "float" 2.5 f
       | _ -> Alcotest.fail "unexpected parse result")
+
+let json_float_string =
+  Alcotest.test_case "float_string special cases" `Quick (fun () ->
+      Alcotest.(check string) "integral" "3.0" (Json.float_string 3.0);
+      Alcotest.(check string) "negative zero" "-0.0" (Json.float_string (-0.0));
+      Alcotest.(check string) "nan is null" "null" (Json.float_string nan);
+      Alcotest.(check string) "inf is null" "null" (Json.float_string infinity))
+
+let json_float_string_roundtrip =
+  QCheck.Test.make ~name:"float_string round-trips finite floats" ~count:500
+    QCheck.float
+    (fun f ->
+      QCheck.assume (Float.is_finite f);
+      float_of_string (Json.float_string f) = f)
 
 let json_roundtrip =
   let rec gen_json depth =
@@ -280,10 +341,13 @@ let () =
           stats_summary;
           stats_median_even;
           stats_percentile;
+          stats_percentile_interpolates;
           stats_cdf;
           stats_fraction_exceeding;
           stats_pearson_perfect;
           stats_time_buckets;
+          stats_time_buckets_boundaries;
+          stats_log_histogram_clamping;
           QCheck_alcotest.to_alcotest stats_pearson_bounds;
           QCheck_alcotest.to_alcotest stats_cdf_monotone;
           QCheck_alcotest.to_alcotest stats_log_histogram_total;
@@ -293,6 +357,8 @@ let () =
           json_print_basic;
           json_escape;
           json_parse_basic;
+          json_float_string;
+          QCheck_alcotest.to_alcotest json_float_string_roundtrip;
           QCheck_alcotest.to_alcotest json_roundtrip;
         ] );
     ]
