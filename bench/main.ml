@@ -300,6 +300,114 @@ let () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* quorum: cost of Byzantine-tolerant quorum reads.  Re-decodes the
+   Nomad-scale chains twice — once through a plain single-endpoint
+   client, once through a 3-endpoint / 2-quorum pool with one lying
+   (Fault.byzantine) endpoint — and reports the simulated-latency
+   overhead (fan-out is parallel, so the target is well under 3x:
+   < 2.5x at n=3), whether the facts stayed identical, and whether the
+   pool identified the liar.  Runnable standalone via
+   [dune exec bench/main.exe quorum]; emits BENCH_quorum.json plus a
+   one-line BENCH_QUORUM summary. *)
+
+let bench_quorum () =
+  let module Pool = Xcw_rpc.Pool in
+  let module Json = Xcw_util.Json in
+  section
+    "Quorum reads: Nomad-scale extraction, 1 endpoint vs a 3-endpoint pool \
+     with one liar";
+  let b = Xcw_workload.Nomad.build ~seed:(seed + 77) ~scale () in
+  let bridge = b.Scenario.bridge in
+  let src = bridge.Bridge.source.Bridge.chain in
+  let dst = bridge.Bridge.target.Bridge.chain in
+  let profile = Latency.nomad_profile in
+  let decode ~endpoints ~endpoint_faults rpc_seed =
+    let mk chain s =
+      Detector.build_client ~profile ~seed:s ~policy:Client.default_policy
+        ~endpoints ~quorum:2 ~fault:None ~endpoint_faults chain
+    in
+    let src_client = mk src rpc_seed in
+    let dst_client = mk dst (rpc_seed + 1) in
+    let rds =
+      Decoder.decode_chain Decoder.nomad_plugin b.Scenario.config
+        ~role:Decoder.Source src_client src
+      @ Decoder.decode_chain Decoder.nomad_plugin b.Scenario.config
+          ~role:Decoder.Target dst_client dst
+    in
+    (rds, src_client, dst_client)
+  in
+  let clean_rds, csrc, cdst = decode ~endpoints:1 ~endpoint_faults:[] 401 in
+  let pool_rds, psrc, pdst =
+    decode ~endpoints:3
+      ~endpoint_faults:[ None; None; Some Fault.byzantine ]
+      401
+  in
+  let clean_seconds = Client.total_latency csrc +. Client.total_latency cdst in
+  let pool_seconds = Client.total_latency psrc +. Client.total_latency pdst in
+  let overhead_ratio = pool_seconds /. Float.max 1e-9 clean_seconds in
+  let facts rds = List.concat_map (fun rd -> rd.Decoder.rd_facts) rds in
+  let facts_identical = facts clean_rds = facts pool_rds in
+  let pool_stats c =
+    match Client.pool c with
+    | Some p -> Some (Pool.health p)
+    | None -> None
+  in
+  let healths = List.filter_map pool_stats [ psrc; pdst ] in
+  let liar_identified =
+    List.for_all (fun h -> h.Pool.ph_suspects = [ 2 ]) healths
+    && List.length healths = 2
+  in
+  let disagreements =
+    List.fold_left (fun acc h -> acc + h.Pool.ph_disagreements) 0 healths
+  in
+  let refusals =
+    List.fold_left (fun acc h -> acc + h.Pool.ph_refusals) 0 healths
+  in
+  Printf.printf "receipts decoded twice:        %d\n" (List.length clean_rds);
+  Printf.printf "simulated RPC seconds single:  %.1f\n" clean_seconds;
+  Printf.printf "simulated RPC seconds quorum:  %.1f  (%.2fx, target < 2.5x)\n"
+    pool_seconds overhead_ratio;
+  Printf.printf
+    "disagreements %d, refusals %d, liar identified: %b, facts identical: %b\n"
+    disagreements refusals liar_identified facts_identical;
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "quorum");
+        ("bridge", Json.String "nomad");
+        ("scale", Json.Float scale);
+        ("seed", Json.Int seed);
+        ("profile", Json.String "nomad");
+        ("endpoints", Json.Int 3);
+        ("quorum", Json.Int 2);
+        ("byzantine_endpoint", Json.Int 2);
+        ("receipts", Json.Int (List.length clean_rds));
+        ("single_rpc_seconds", Json.Float clean_seconds);
+        ("quorum_rpc_seconds", Json.Float pool_seconds);
+        ("overhead_ratio", Json.Float overhead_ratio);
+        ("overhead_target", Json.Float 2.5);
+        ("disagreements", Json.Int disagreements);
+        ("refusals", Json.Int refusals);
+        ("liar_identified", Json.Bool liar_identified);
+        ("facts_identical", Json.Bool facts_identical);
+      ]
+  in
+  if not smoke then Json.write_file ~path:"BENCH_quorum.json" json;
+  Printf.printf
+    "BENCH_QUORUM overhead_ratio=%.3f target_lt=2.5 disagreements=%d \
+     refusals=%d liar_identified=%b facts_identical=%b\n"
+    overhead_ratio disagreements refusals liar_identified facts_identical;
+  if not smoke then Printf.printf "(written to BENCH_quorum.json)\n"
+
+let () =
+  if Array.exists (( = ) "quorum") Sys.argv then begin
+    Printf.printf "XChainWatcher quorum bench (scale %.3f, seed %d)\n" scale
+      seed;
+    bench_quorum ();
+    exit 0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* obs: overhead of the Xcw_obs instrumentation.  Runs the identical
    Nomad-scale monitor workload twice per repetition — once recording
    into a live registry and tracer, once into the inert Metrics.noop /

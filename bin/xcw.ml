@@ -132,6 +132,94 @@ let trace_arg =
           "Write the recorded spans (one JSON object per line: name, \
            attributes, start, duration, nesting depth) to $(docv).")
 
+let endpoints_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "endpoints" ] ~docv:"N"
+        ~doc:
+          "Independent RPC endpoints per chain.  Above 1 every read goes \
+           through a Byzantine-tolerant k-of-n quorum pool that \
+           cross-validates responses by content.")
+
+let quorum_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "quorum" ] ~docv:"K"
+        ~doc:
+          "Endpoints that must agree on a response's exact content before \
+           the pool serves it (ignored with a single endpoint).")
+
+let byzantine_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "byzantine" ] ~docv:"IDX"
+        ~doc:
+          "Make endpoint $(docv) (0-based, on both chains) a lying node: it \
+           answers every request but corrupts roughly 30% of its responses \
+           in each Byzantine mode.  Requires --endpoints > 1.")
+
+(* Thread the quorum flags into a detector input; exits with a usage
+   error when the combination cannot form a valid pool. *)
+let apply_quorum input endpoints quorum byzantine =
+  if endpoints <= 1 then input
+  else begin
+    if quorum < 1 || quorum > endpoints then begin
+      Format.eprintf "xcw: --quorum %d out of range for %d endpoints@." quorum
+        endpoints;
+      exit 2
+    end;
+    (match byzantine with
+    | Some j when j < 0 || j >= endpoints ->
+        Format.eprintf "xcw: --byzantine %d out of range for %d endpoints@." j
+          endpoints;
+        exit 2
+    | _ -> ());
+    let efs =
+      match byzantine with
+      | None -> []
+      | Some j ->
+          List.init endpoints (fun i ->
+              if i = j then Some Xcw_rpc.Fault.byzantine else None)
+    in
+    {
+      input with
+      Detector.i_endpoints = endpoints;
+      i_quorum = quorum;
+      i_source_endpoint_faults = efs;
+      i_target_endpoint_faults = efs;
+    }
+  end
+
+let pp_pool_health label (h : Xcw_rpc.Pool.health) =
+  let state_name = function
+    | Xcw_rpc.Pool.Active -> "active"
+    | Xcw_rpc.Pool.Probation -> "probation"
+    | Xcw_rpc.Pool.Quarantined -> "quarantined"
+  in
+  Format.printf
+    "%s pool (quorum %d/%d): %d requests, %d disagreements, %d refusals@."
+    label h.Xcw_rpc.Pool.ph_quorum
+    (List.length h.Xcw_rpc.Pool.ph_endpoints)
+    h.Xcw_rpc.Pool.ph_requests h.Xcw_rpc.Pool.ph_disagreements
+    h.Xcw_rpc.Pool.ph_refusals;
+  List.iter
+    (fun (er : Xcw_rpc.Pool.endpoint_report) ->
+      Format.printf
+        "  endpoint %d: %-11s trust %.3f  (%d agreed, %d disagreed, %d \
+         errors, %d quarantines)@."
+        er.Xcw_rpc.Pool.er_index
+        (state_name er.Xcw_rpc.Pool.er_state)
+        er.Xcw_rpc.Pool.er_trust er.Xcw_rpc.Pool.er_agreements
+        er.Xcw_rpc.Pool.er_disagreements er.Xcw_rpc.Pool.er_errors
+        er.Xcw_rpc.Pool.er_quarantines)
+    h.Xcw_rpc.Pool.ph_endpoints;
+  match h.Xcw_rpc.Pool.ph_suspects with
+  | [] -> ()
+  | s ->
+      Format.printf "  suspected Byzantine endpoint(s): %s@."
+        (String.concat ", " (List.map string_of_int s))
+
 (* Flush the default registry / tracer after a subcommand body ran. *)
 let write_observability metrics_file trace_file =
   Option.iter
@@ -151,8 +239,9 @@ let build_scenario kind scale seed =
   | Ronin -> (Xcw_workload.Ronin.build ~seed ~scale (), Decoder.ronin_plugin)
 
 let detect_cmd =
-  let run kind scale seed latency report_file dataset_file dataset_csv_file
-      rules_file dump_facts_dir metrics_file trace_file =
+  let run kind scale seed latency endpoints quorum byzantine report_file
+      dataset_file dataset_csv_file rules_file dump_facts_dir metrics_file
+      trace_file =
     let built, plugin = build_scenario kind scale seed in
     let profile =
       match (latency, kind) with
@@ -177,8 +266,15 @@ let detect_cmd =
         i_program = load_rules rules_file;
       }
     in
+    let input = apply_quorum input endpoints quorum byzantine in
     let result = Detector.run input in
     Format.printf "%a@." Report.pp result.Detector.report;
+    Option.iter
+      (fun (sh, th) ->
+        Format.printf "@.";
+        pp_pool_health "source" sh;
+        pp_pool_health "target" th)
+      result.Detector.pool_health;
     let summary = Detector.attack_summary ~source_chain_id:1 result in
     if summary.Detector.as_events > 0 then
       Format.printf
@@ -217,12 +313,14 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect" ~doc:"Generate a bridge scenario and run anomaly detection")
     Term.(
-      const run $ bridge_arg $ scale_arg $ seed_arg $ latency_arg $ report_arg
-      $ dataset_arg $ dataset_csv_arg $ rules_file_arg $ dump_facts_arg
-      $ metrics_arg $ trace_arg)
+      const run $ bridge_arg $ scale_arg $ seed_arg $ latency_arg
+      $ endpoints_arg $ quorum_arg $ byzantine_arg $ report_arg $ dataset_arg
+      $ dataset_csv_arg $ rules_file_arg $ dump_facts_arg $ metrics_arg
+      $ trace_arg)
 
 let monitor_cmd =
-  let run kind scale seed interval_hours metrics_file trace_file =
+  let run kind scale seed interval_hours endpoints quorum byzantine
+      metrics_file trace_file =
     let built, plugin = build_scenario kind scale seed in
     let module Monitor = Xcw_core.Monitor in
     let module Chain = Xcw_chain.Chain in
@@ -241,6 +339,7 @@ let monitor_cmd =
           built.Scenario.first_window_withdrawal_id;
       }
     in
+    let input = apply_quorum input endpoints quorum byzantine in
     let mon = Monitor.create input in
     let src_blocks =
       Chain.all_blocks built.Scenario.bridge.Bridge.source.Bridge.chain
@@ -284,6 +383,12 @@ let monitor_cmd =
     Format.printf
       "@.%d alerts over %d polls (only alerts above $10K were printed)@."
       !total_alerts (Monitor.polls mon);
+    Option.iter
+      (fun (sh, th) ->
+        Format.printf "@.";
+        pp_pool_health "source" sh;
+        pp_pool_health "target" th)
+      (Monitor.pool_health mon);
     write_observability metrics_file trace_file
   in
   let interval_arg =
@@ -295,8 +400,8 @@ let monitor_cmd =
     (Cmd.info "monitor"
        ~doc:"Replay a scenario through the streaming monitor, printing alerts")
     Term.(
-      const run $ bridge_arg $ scale_arg $ seed_arg $ interval_arg $ metrics_arg
-      $ trace_arg)
+      const run $ bridge_arg $ scale_arg $ seed_arg $ interval_arg
+      $ endpoints_arg $ quorum_arg $ byzantine_arg $ metrics_arg $ trace_arg)
 
 let rules_cmd =
   let run () =

@@ -93,6 +93,11 @@ type receipt_decode = {
   rd_trace_gap : bool;
       (** tracer needed but unavailable: decoded without internal
           transfers, {!Facts.Trace_gap} marker emitted *)
+  rd_provenance : Client.provenance;
+      (** where the data came from: a single endpoint, or a k-of-n
+          quorum.  Deliberately not part of the facts themselves, so
+          pool-backed and single-endpoint runs derive identical fact
+          multisets and reports. *)
 }
 
 (* Decode a beneficiary value from an event parameter.  Returns the
@@ -431,6 +436,7 @@ let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
           rd_latency = !latency;
           rd_is_native = !needs_trace;
           rd_trace_gap = !trace_gap;
+          rd_provenance = Client.provenance client;
         }
 
 (** Decode a whole chain's receipts; includes the receipt-fetch latency
@@ -463,6 +469,7 @@ let decode_chain (plugin : plugin) (config : Config.t) ~(role : chain_role)
       rd_latency = 0.;
       rd_is_native = false;
       rd_trace_gap = false;
+      rd_provenance = Client.provenance client;
     }
   in
   Span.with_

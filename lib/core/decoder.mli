@@ -51,6 +51,12 @@ type receipt_decode = {
       (** the tracer was needed but unavailable: facts were extracted
           without internal transfers and a {!Facts.Trace_gap} marker
           was emitted *)
+  rd_provenance : Client.provenance;
+      (** where the data came from: [Single] endpoint or
+          [Quorum {k; n}] cross-validated reads.  Deliberately not
+          part of the facts themselves, so pool-backed and
+          single-endpoint runs derive identical fact multisets and
+          reports. *)
 }
 
 val decode_receipt :

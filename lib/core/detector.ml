@@ -39,6 +39,19 @@ type input = {
   i_client_policy : Client.policy;
       (** retry/backoff policy of the resilient client wrapped around
           each facade *)
+  i_endpoints : int;
+      (** RPC endpoints per chain; above 1 every read goes through a
+          quorum {!Xcw_rpc.Pool} of independently seeded facades *)
+  i_quorum : int;
+      (** k-of-n agreement required by the pool (ignored with a single
+          endpoint) *)
+  i_source_endpoint_faults : Fault.plan option list;
+  i_target_endpoint_faults : Fault.plan option list;
+      (** per-endpoint fault overrides, by endpoint index: an entry
+          replaces the side-wide plan for that endpoint ([None] = that
+          endpoint is faultless); indices beyond the list fall back to
+          [i_source_fault]/[i_target_fault].  This is how tests make
+          exactly one endpoint Byzantine. *)
 }
 
 let default_input ~label ~plugin ~config ~source_chain ~target_chain ~pricing =
@@ -57,7 +70,38 @@ let default_input ~label ~plugin ~config ~source_chain ~target_chain ~pricing =
     i_source_fault = None;
     i_target_fault = None;
     i_client_policy = Client.default_policy;
+    i_endpoints = 1;
+    i_quorum = 1;
+    i_source_endpoint_faults = [];
+    i_target_endpoint_faults = [];
   }
+
+(* Build one side's client: a plain single-endpoint client, or — with
+   [endpoints > 1] — a quorum pool of independently seeded facades over
+   the same chain.  Endpoint 0 keeps exactly the single-endpoint seed,
+   so its latency/fault streams match a non-pooled run. *)
+let build_client ?metrics ~profile ~seed ~policy ~endpoints ~quorum ~fault
+    ~endpoint_faults chain =
+  if endpoints <= 1 then
+    Rpc.create ~profile ~seed ?fault ?metrics chain
+    |> Client.create ~policy ~seed ?metrics
+  else begin
+    let eps =
+      List.init endpoints (fun j ->
+          let fault =
+            match List.nth_opt endpoint_faults j with
+            | Some override -> override
+            | None -> fault
+          in
+          Rpc.create ~profile ~seed:(seed + (j * 7919)) ?fault ?metrics chain)
+    in
+    let pool =
+      Xcw_rpc.Pool.create
+        ~policy:{ Xcw_rpc.Pool.default_policy with q_quorum = quorum }
+        ?metrics eps
+    in
+    Client.create_pooled ~policy ~seed ?metrics pool
+  end
 
 type result = {
   report : Report.t;
@@ -65,6 +109,9 @@ type result = {
   decode_results : (Decoder.chain_role * Decoder.receipt_decode) list;
   decode_errors : Decoder.decode_error list;
   rule_stats : Engine.stats;
+  pool_health : (Xcw_rpc.Pool.health * Xcw_rpc.Pool.health) option;
+      (** (source, target) quorum-pool reports when [i_endpoints > 1];
+          [ph_suspects] names the endpoints caught lying *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -75,15 +122,16 @@ let run (input : input) : result =
   (* Phase 1+2: decode receipts and build relations. *)
   let t0 = Unix.gettimeofday () in
   let src_client =
-    Rpc.create ~profile:input.i_source_profile ~seed:input.i_rpc_seed
-      ?fault:input.i_source_fault input.i_source_chain
-    |> Client.create ~policy:input.i_client_policy ~seed:input.i_rpc_seed
+    build_client ~profile:input.i_source_profile ~seed:input.i_rpc_seed
+      ~policy:input.i_client_policy ~endpoints:input.i_endpoints
+      ~quorum:input.i_quorum ~fault:input.i_source_fault
+      ~endpoint_faults:input.i_source_endpoint_faults input.i_source_chain
   in
   let dst_client =
-    Rpc.create ~profile:input.i_target_profile ~seed:(input.i_rpc_seed + 1)
-      ?fault:input.i_target_fault input.i_target_chain
-    |> Client.create ~policy:input.i_client_policy
-         ~seed:(input.i_rpc_seed + 1)
+    build_client ~profile:input.i_target_profile ~seed:(input.i_rpc_seed + 1)
+      ~policy:input.i_client_policy ~endpoints:input.i_endpoints
+      ~quorum:input.i_quorum ~fault:input.i_target_fault
+      ~endpoint_faults:input.i_target_endpoint_faults input.i_target_chain
   in
   let src_decoded =
     Decoder.decode_chain input.i_plugin config ~role:Decoder.Source src_client
@@ -124,6 +172,11 @@ let run (input : input) : result =
       @ List.map (fun rd -> (Decoder.Target, rd)) dst_decoded;
     decode_errors = all_decode_errors;
     rule_stats;
+    pool_health =
+      (match (Client.pool src_client, Client.pool dst_client) with
+      | Some sp, Some dp ->
+          Some (Xcw_rpc.Pool.health sp, Xcw_rpc.Pool.health dp)
+      | _ -> None);
   }
 
 (* ------------------------------------------------------------------ *)

@@ -35,6 +35,20 @@ type input = {
   i_client_policy : Client.policy;
       (** retry/backoff policy of the resilient client wrapped around
           each facade *)
+  i_endpoints : int;
+      (** RPC endpoints per chain (default 1); above 1 every read goes
+          through a Byzantine-tolerant quorum {!Xcw_rpc.Pool} of
+          independently seeded facades over the same chain *)
+  i_quorum : int;
+      (** k-of-n agreement required by the pool (ignored with a single
+          endpoint) *)
+  i_source_endpoint_faults : Xcw_rpc.Fault.plan option list;
+  i_target_endpoint_faults : Xcw_rpc.Fault.plan option list;
+      (** per-endpoint fault overrides, by endpoint index: an entry
+          replaces the side-wide plan for that endpoint ([None] = that
+          endpoint is faultless); indices beyond the list fall back to
+          the side-wide plan.  This is how tests make exactly one
+          endpoint Byzantine. *)
 }
 
 val default_input :
@@ -46,7 +60,24 @@ val default_input :
   pricing:Pricing.t ->
   input
 (** Colocated RPC profiles, no pre-window cutoff, no fault injection,
-    default retry policy. *)
+    default retry policy, a single endpoint per chain. *)
+
+val build_client :
+  ?metrics:Xcw_obs.Metrics.t ->
+  profile:Latency.profile ->
+  seed:int ->
+  policy:Client.policy ->
+  endpoints:int ->
+  quorum:int ->
+  fault:Fault.plan option ->
+  endpoint_faults:Fault.plan option list ->
+  Chain.t ->
+  Client.t
+(** Build one side's client the way {!run} and {!Monitor} do: a plain
+    single-endpoint client when [endpoints <= 1], otherwise a
+    {!Client.create_pooled} quorum pool of [endpoints] independently
+    seeded facades (endpoint [j] is seeded [seed + j * 7919], so
+    endpoint 0 reproduces the single-endpoint streams exactly). *)
 
 type result = {
   report : Report.t;
@@ -54,6 +85,9 @@ type result = {
   decode_results : (Decoder.chain_role * Decoder.receipt_decode) list;
   decode_errors : Decoder.decode_error list;
   rule_stats : Engine.stats;
+  pool_health : (Xcw_rpc.Pool.health * Xcw_rpc.Pool.health) option;
+      (** (source, target) quorum-pool reports when [i_endpoints > 1];
+          [ph_suspects] names the endpoints caught lying *)
 }
 
 val run : input -> result

@@ -178,13 +178,21 @@ type t = {
   mutable m_last_error : string option;
 }
 
-let make_side ~input ~role ~chain ~profile ~fault ~seed ~metrics =
+let make_side ~input ~role ~chain ~profile ~fault ~endpoint_faults ~seed
+    ~metrics =
   {
     sd_chain = chain;
     sd_role = role;
     sd_client =
-      Rpc.create ~profile ~seed ?fault ~metrics chain
-      |> Client.create ~policy:input.Detector.i_client_policy ~seed ~metrics;
+      (* Same construction as the batch detector: single endpoint, or a
+         Byzantine-tolerant quorum pool when i_endpoints > 1.  The
+         cursor then only ever advances past quorum-verified data, and
+         a degraded quorum (refusals) keeps receipts pending — the
+         synced-only alerting path of PR 2 applies unchanged. *)
+      Detector.build_client ~metrics ~profile ~seed
+        ~policy:input.Detector.i_client_policy
+        ~endpoints:input.Detector.i_endpoints ~quorum:input.Detector.i_quorum
+        ~fault ~endpoint_faults chain;
     sd_cursor = Cursor.create ();
     sd_entries = Hashtbl.create 64;
     sd_requested = 0;
@@ -218,13 +226,15 @@ let create ?(incremental = true) ?metrics (input : Detector.input) : t =
       make_side ~input ~role:Decoder.Source
         ~chain:input.Detector.i_source_chain
         ~profile:input.Detector.i_source_profile
-        ~fault:input.Detector.i_source_fault ~seed:input.Detector.i_rpc_seed
-        ~metrics;
+        ~fault:input.Detector.i_source_fault
+        ~endpoint_faults:input.Detector.i_source_endpoint_faults
+        ~seed:input.Detector.i_rpc_seed ~metrics;
     m_dst =
       make_side ~input ~role:Decoder.Target
         ~chain:input.Detector.i_target_chain
         ~profile:input.Detector.i_target_profile
         ~fault:input.Detector.i_target_fault
+        ~endpoint_faults:input.Detector.i_target_endpoint_faults
         ~seed:(input.Detector.i_rpc_seed + 1) ~metrics;
     m_incremental = incremental;
     m_metrics = metrics;
@@ -460,6 +470,16 @@ let health t =
     h_reorgs = t.m_reorgs;
     h_last_error = t.m_last_error;
   }
+
+let pools t =
+  match (Client.pool t.m_src.sd_client, Client.pool t.m_dst.sd_client) with
+  | Some sp, Some dp -> Some (sp, dp)
+  | _ -> None
+
+let pool_health t =
+  match pools t with
+  | Some (sp, dp) -> Some (Xcw_rpc.Pool.health sp, Xcw_rpc.Pool.health dp)
+  | None -> None
 
 let last_report t = t.m_last_report
 let polls t = t.m_polls

@@ -104,6 +104,19 @@ val poll : t -> source_block:int -> target_block:int -> alert list
 
 val health : t -> health
 
+val pools : t -> (Xcw_rpc.Pool.t * Xcw_rpc.Pool.t) option
+(** The (source, target) quorum pools when the input requested
+    [i_endpoints > 1] — their endpoints expose per-node ground truth
+    ({!Xcw_rpc.Rpc.byzantine_injections}) for tests. *)
+
+val pool_health : t -> (Xcw_rpc.Pool.health * Xcw_rpc.Pool.health) option
+(** Quorum-read reports for the (source, target) pools: endpoint trust
+    and quarantine states, with [ph_suspects] naming the endpoints
+    caught lying.  A degraded quorum shows up as refusals here and as
+    pending receipts in {!health} — the cursor never advances past
+    data the pool would not vouch for, so alerting stays synced-only
+    exactly as under PR 2's fail-stop degradation. *)
+
 val last_report : t -> Report.t option
 (** The full report as of the latest poll (anomalies that have since
     been retracted by later matches are absent from it).  When

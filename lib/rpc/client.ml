@@ -40,8 +40,15 @@ type meters = {
   mt_backoff : Metrics.Histogram.t;
 }
 
+(* A client reads either from one node or from a quorum pool; retries
+   and backoff compose identically with both (a pool refusal is just
+   another retryable error). *)
+type backend = B_single of Rpc.t | B_pool of Pool.t
+
+type provenance = Single | Quorum of { k : int; n : int }
+
 type t = {
-  c_rpc : Rpc.t;
+  c_backend : backend;
   c_policy : policy;
   c_rng : Prng.t;
   c_meters : meters;
@@ -51,41 +58,65 @@ type t = {
   mutable c_splits : int;
 }
 
-let create ?(policy = default_policy) ?(seed = 1) ?metrics rpc =
+let make_meters metrics =
+  {
+    mt_retries = Metrics.counter metrics "xcw_client_retries_total";
+    mt_give_ups = Metrics.counter metrics "xcw_client_give_ups_total";
+    mt_splits = Metrics.counter metrics "xcw_client_range_splits_total";
+    mt_backoff = Metrics.histogram metrics "xcw_client_backoff_seconds";
+  }
+
+let make ~policy ~seed ~metrics backend =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.default ()
   in
   {
-    c_rpc = rpc;
+    c_backend = backend;
     c_policy = policy;
     c_rng = Prng.create (seed lxor 0x2b0c5);
-    c_meters =
-      {
-        mt_retries = Metrics.counter metrics "xcw_client_retries_total";
-        mt_give_ups = Metrics.counter metrics "xcw_client_give_ups_total";
-        mt_splits = Metrics.counter metrics "xcw_client_range_splits_total";
-        mt_backoff = Metrics.histogram metrics "xcw_client_backoff_seconds";
-      };
+    c_meters = make_meters metrics;
     c_retries = 0;
     c_backoff = 0.;
     c_give_ups = 0;
     c_splits = 0;
   }
 
-let rpc t = t.c_rpc
+let create ?(policy = default_policy) ?(seed = 1) ?metrics rpc =
+  make ~policy ~seed ~metrics (B_single rpc)
+
+let create_pooled ?(policy = default_policy) ?(seed = 1) ?metrics pool =
+  make ~policy ~seed ~metrics (B_pool pool)
+
+let rpc t =
+  match t.c_backend with
+  | B_single r -> r
+  | B_pool p -> List.hd (Pool.endpoints p)
+
+let pool t = match t.c_backend with B_single _ -> None | B_pool p -> Some p
+
+let provenance t =
+  match t.c_backend with
+  | B_single _ -> Single
+  | B_pool p -> Quorum { k = Pool.quorum p; n = Pool.size p }
+
+let provenance_label = function
+  | Single -> "single"
+  | Quorum { k; n } -> Printf.sprintf "quorum %d/%d" k n
 
 let backoff_for t ~attempt ~error =
   let p = t.c_policy in
   let exp =
-    p.p_base_backoff
-    *. (p.p_backoff_factor ** float_of_int (attempt - 1))
-    |> Float.min p.p_max_backoff
+    p.p_base_backoff *. (p.p_backoff_factor ** float_of_int (attempt - 1))
   in
   let jittered = exp *. (1. +. Prng.float t.c_rng p.p_jitter) in
-  (* A 429 tells us exactly how long the provider wants us gone. *)
+  (* Clamp *after* jitter: scaling a pause already at the cap by
+     [1, 1 + jitter] would overshoot the documented ceiling. *)
+  let capped = Float.min jittered p.p_max_backoff in
+  (* A 429 tells us exactly how long the provider wants us gone; its
+     advisory may legitimately exceed the ceiling. *)
   match error with
-  | Rpc.Rate_limited { retry_after } -> Float.max jittered retry_after
-  | _ -> jittered
+  | Rpc.Rate_limited { retry_after } -> Float.max capped retry_after
+  | _ -> capped
 
 (* Retry loop shared by every operation.  Returns the final response
    with the latency of all attempts plus backoff folded in, so
@@ -123,21 +154,40 @@ let with_retries t op =
   go ~attempt:1 ~spent:0.
 
 let get_receipt t hash =
-  with_retries t (fun () -> Rpc.eth_get_transaction_receipt t.c_rpc hash)
+  with_retries t (fun () ->
+      match t.c_backend with
+      | B_single r -> Rpc.eth_get_transaction_receipt r hash
+      | B_pool p -> Pool.eth_get_transaction_receipt p hash)
 
 let get_transaction t hash =
-  with_retries t (fun () -> Rpc.eth_get_transaction_by_hash t.c_rpc hash)
+  with_retries t (fun () ->
+      match t.c_backend with
+      | B_single r -> Rpc.eth_get_transaction_by_hash r hash
+      | B_pool p -> Pool.eth_get_transaction_by_hash p hash)
 
 let get_balance t addr =
-  with_retries t (fun () -> Rpc.eth_get_balance t.c_rpc addr)
+  with_retries t (fun () ->
+      match t.c_backend with
+      | B_single r -> Rpc.eth_get_balance r addr
+      | B_pool p -> Pool.eth_get_balance p addr)
 
 let trace_transaction t hash =
-  with_retries t (fun () -> Rpc.debug_trace_transaction t.c_rpc hash)
+  with_retries t (fun () ->
+      match t.c_backend with
+      | B_single r -> Rpc.debug_trace_transaction r hash
+      | B_pool p -> Pool.debug_trace_transaction p hash)
 
-let block_number t = with_retries t (fun () -> Rpc.eth_block_number t.c_rpc)
+let block_number t =
+  with_retries t (fun () ->
+      match t.c_backend with
+      | B_single r -> Rpc.eth_block_number r
+      | B_pool p -> Pool.eth_block_number p)
 
 let observe_head t ~head =
-  with_retries t (fun () -> Rpc.observe_head t.c_rpc ~head)
+  with_retries t (fun () ->
+      match t.c_backend with
+      | B_single r -> Rpc.observe_head r ~head
+      | B_pool p -> Pool.observe_head p ~head)
 
 let get_logs t (filter : Rpc.log_filter) =
   let head_default () =
@@ -147,7 +197,10 @@ let get_logs t (filter : Rpc.log_filter) =
   in
   let rec fetch ~depth ~filter ~spent =
     let (r : _ Rpc.response) =
-      with_retries t (fun () -> Rpc.eth_get_logs t.c_rpc filter)
+      with_retries t (fun () ->
+          match t.c_backend with
+          | B_single rpc -> Rpc.eth_get_logs rpc filter
+          | B_pool p -> Pool.eth_get_logs p filter)
     in
     let spent = spent +. r.Rpc.latency in
     match r.Rpc.value with
@@ -224,4 +277,10 @@ let reset_stats () =
   cum_give_ups := 0;
   cum_splits := 0
 
-let total_latency t = Rpc.total_latency t.c_rpc +. t.c_backoff
+let total_latency t =
+  let backend_latency =
+    match t.c_backend with
+    | B_single r -> Rpc.total_latency r
+    | B_pool p -> Pool.total_latency p
+  in
+  backend_latency +. t.c_backoff

@@ -2,7 +2,11 @@
     capped by a simulated-latency budget, plus range splitting when a
     provider truncates [eth_getLogs].
 
-    Wraps an {!Rpc.t}.  Each operation retries transient failures
+    Wraps an {!Rpc.t} ({!create}) or a quorum {!Pool.t}
+    ({!create_pooled}) — retries compose identically with both: a pool
+    refusal ([Quorum_divergence] / [Quorum_unavailable]) is just
+    another retryable error, and a retry re-rolls the liars'
+    corruption draws.  Each operation retries transient failures
     (honouring 429 retry-after hints) until it succeeds, the attempt
     limit is reached, or another backoff would exceed the latency
     budget — then the last error is surfaced for the caller
@@ -18,7 +22,9 @@ type policy = {
   p_max_attempts : int;  (** total tries per logical request *)
   p_base_backoff : float;  (** seconds before the first retry *)
   p_backoff_factor : float;  (** exponential growth per retry *)
-  p_max_backoff : float;  (** ceiling on a single backoff, seconds *)
+  p_max_backoff : float;
+      (** ceiling on a single backoff, seconds; applied {e after}
+          jitter (only a 429's explicit retry-after may exceed it) *)
   p_jitter : float;
       (** each backoff is scaled by uniform [1, 1 + jitter] *)
   p_latency_budget : float;
@@ -42,7 +48,27 @@ val create :
     [xcw_client_range_splits_total] and the
     [xcw_client_backoff_seconds] histogram of individual pauses. *)
 
+val create_pooled :
+  ?policy:policy -> ?seed:int -> ?metrics:Xcw_obs.Metrics.t -> Pool.t -> t
+(** Like {!create}, but every operation is a quorum read through the
+    pool. *)
+
 val rpc : t -> Rpc.t
+(** The underlying node — for a pooled client, its first endpoint
+    (diagnostics only). *)
+
+val pool : t -> Pool.t option
+(** The quorum pool behind a {!create_pooled} client, [None] for a
+    single-endpoint client. *)
+
+(** Where this client's data comes from — stamped onto every decode
+    ({!Xcw_core.Decoder.receipt_decode}). *)
+type provenance = Single | Quorum of { k : int; n : int }
+
+val provenance : t -> provenance
+
+val provenance_label : provenance -> string
+(** ["single"] or ["quorum k/n"]. *)
 
 val get_receipt :
   t -> Types.hash -> (Types.receipt option, Rpc.error) result Rpc.response

@@ -6,6 +6,8 @@ type error =
   | Rate_limited of { retry_after : float }
   | Tracer_unavailable
   | Truncated_range of { served_to : int }
+  | Quorum_divergence of { agreeing : int; needed : int; responders : int }
+  | Quorum_unavailable of { responders : int; needed : int }
 
 let error_to_string = function
   | Transient msg -> Printf.sprintf "transient: %s" msg
@@ -15,6 +17,13 @@ let error_to_string = function
   | Tracer_unavailable -> "tracer unavailable"
   | Truncated_range { served_to } ->
       Printf.sprintf "log range truncated at block %d" served_to
+  | Quorum_divergence { agreeing; needed; responders } ->
+      Printf.sprintf
+        "quorum divergence: best agreement %d/%d among %d responders" agreeing
+        needed responders
+  | Quorum_unavailable { responders; needed } ->
+      Printf.sprintf "quorum unavailable: %d responders, %d required"
+        responders needed
 
 type method_class = Receipt | Transaction | Balance | Logs | Trace | Head
 
@@ -37,6 +46,11 @@ type plan = {
   f_stale_head_lag : int;
   f_reorg_prob : float;
   f_reorg_depth : int;
+  f_byz_log_mutate : float;
+  f_byz_log_drop : float;
+  f_byz_receipt_forge : float;
+  f_byz_trace_truncate : float;
+  f_byz_head_equivocate : float;
 }
 
 let no_probs = { p_transient = 0.; p_timeout = 0. }
@@ -59,6 +73,11 @@ let none =
     f_stale_head_lag = 0;
     f_reorg_prob = 0.;
     f_reorg_depth = 0;
+    f_byz_log_mutate = 0.;
+    f_byz_log_drop = 0.;
+    f_byz_receipt_forge = 0.;
+    f_byz_trace_truncate = 0.;
+    f_byz_head_equivocate = 0.;
   }
 
 let moderate =
@@ -80,11 +99,38 @@ let moderate =
     f_stale_head_lag = 2;
     f_reorg_prob = 0.002;
     f_reorg_depth = 3;
+    f_byz_log_mutate = 0.;
+    f_byz_log_drop = 0.;
+    f_byz_receipt_forge = 0.;
+    f_byz_trace_truncate = 0.;
+    f_byz_head_equivocate = 0.;
   }
+
+(* A lying node: never refuses a request, but a sizeable fraction of
+   its answers are corrupted.  Availability-wise it looks perfectly
+   healthy — only cross-validation can catch it. *)
+let byzantine =
+  {
+    none with
+    f_byz_log_mutate = 0.3;
+    f_byz_log_drop = 0.3;
+    f_byz_receipt_forge = 0.3;
+    f_byz_trace_truncate = 0.3;
+    f_byz_head_equivocate = 0.3;
+  }
+
+let is_byzantine p =
+  p.f_byz_log_mutate > 0. || p.f_byz_log_drop > 0.
+  || p.f_byz_receipt_forge > 0.
+  || p.f_byz_trace_truncate > 0.
+  || p.f_byz_head_equivocate > 0.
 
 let transient_probs { p_transient; p_timeout } =
   p_transient < 1. && p_timeout < 1.
 
+(* Byzantine plans are never transient: a corrupted response *succeeds*
+   from the client's point of view, so no amount of retrying repairs
+   it — only quorum reads do. *)
 let is_transient p =
   transient_probs p.f_receipt && transient_probs p.f_transaction
   && transient_probs p.f_balance && transient_probs p.f_logs
@@ -92,24 +138,32 @@ let is_transient p =
   && p.f_rate_limit_prob < 1.
   && p.f_trace_outage_prob < 1.
   && p.f_reorg_prob < 1.
+  && not (is_byzantine p)
 
 type t = {
   t_plan : plan;
   t_rng : Prng.t;
+  t_byz_rng : Prng.t;
+      (* separate stream: Byzantine decisions and mutations never
+         perturb the availability fault stream, so adding corruption to
+         a plan leaves its transient faults bit-identical *)
   mutable t_rate_limit_left : int;
   mutable t_trace_outage_left : int;
   mutable t_faults : int;
   mutable t_reorgs : int;
+  mutable t_byz : int;
 }
 
 let create ~seed plan =
   {
     t_plan = plan;
     t_rng = Prng.create (seed lxor 0x5f4c7);
+    t_byz_rng = Prng.create (seed lxor 0x3a9d1);
     t_rate_limit_left = 0;
     t_trace_outage_left = 0;
     t_faults = 0;
     t_reorgs = 0;
+    t_byz = 0;
   }
 
 let plan t = t.t_plan
@@ -172,5 +226,35 @@ let observe_head t ~head =
     (max 0 (head - Prng.int t.t_rng (p.f_stale_head_lag + 1)), None)
   else (head, None)
 
+type byz_action =
+  | Byz_mutate_log
+  | Byz_drop_log
+  | Byz_forge_status
+  | Byz_truncate_trace
+  | Byz_equivocate_head
+
+(* Decide whether a *served* response of this class gets corrupted.
+   Draws are gated on prob > 0 and come from the dedicated Byzantine
+   stream, so plans without a Byzantine tier never touch it. *)
+let byz_intercept t cls =
+  let p = t.t_plan in
+  let draw prob = prob > 0. && Prng.float t.t_byz_rng 1.0 < prob in
+  match cls with
+  | Receipt ->
+      if draw p.f_byz_receipt_forge then Some Byz_forge_status
+      else if draw p.f_byz_log_mutate then Some Byz_mutate_log
+      else None
+  | Logs ->
+      if draw p.f_byz_log_drop then Some Byz_drop_log
+      else if draw p.f_byz_log_mutate then Some Byz_mutate_log
+      else None
+  | Trace -> if draw p.f_byz_trace_truncate then Some Byz_truncate_trace else None
+  | Head -> if draw p.f_byz_head_equivocate then Some Byz_equivocate_head else None
+  | Transaction | Balance -> None
+
+let byz_rng t = t.t_byz_rng
+let note_byz t = t.t_byz <- t.t_byz + 1
+
 let faults_injected t = t.t_faults
 let reorgs_injected t = t.t_reorgs
+let byz_injected t = t.t_byz

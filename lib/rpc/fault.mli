@@ -26,6 +26,13 @@ type error =
   | Truncated_range of { served_to : int }
       (** [eth_getLogs] span exceeded the provider cap; blocks up to
           [served_to] would have been served *)
+  | Quorum_divergence of { agreeing : int; needed : int; responders : int }
+      (** produced by {!Pool}: endpoints answered but no content group
+          reached the quorum — [agreeing] is the largest group among
+          [responders] successful responses, [needed] the quorum *)
+  | Quorum_unavailable of { responders : int; needed : int }
+      (** produced by {!Pool}: fewer than [needed] endpoints produced
+          any successful response *)
 
 val error_to_string : error -> string
 
@@ -64,6 +71,21 @@ type plan = {
   f_reorg_prob : float;
       (** per-observation probability the last blocks were replaced *)
   f_reorg_depth : int;  (** maximum blocks replaced by one reorg *)
+  f_byz_log_mutate : float;
+      (** Byzantine: per-served-response probability that one log's
+          data or topics are corrupted (receipts and [eth_getLogs]) *)
+  f_byz_log_drop : float;
+      (** Byzantine: per-response probability one matching log is
+          silently omitted from an [eth_getLogs] answer *)
+  f_byz_receipt_forge : float;
+      (** Byzantine: per-receipt probability the execution status is
+          forged (success reported as revert and vice versa) *)
+  f_byz_trace_truncate : float;
+      (** Byzantine: per-trace probability the call tree is cut
+          mid-frame, hiding internal transfers *)
+  f_byz_head_equivocate : float;
+      (** Byzantine: per-observation probability the node reports a
+          head far from its actual view *)
 }
 
 val none : plan
@@ -73,13 +95,23 @@ val moderate : plan
 (** A realistic public-provider profile: ~2%% transient errors, ~1%%
     timeouts (6.5%% on traces, Table 2), occasional 429 bursts and
     tracer outages, a 2000-block [eth_getLogs] cap, small head lag and
-    rare shallow reorgs. *)
+    rare shallow reorgs.  No Byzantine behaviour. *)
+
+val byzantine : plan
+(** A lying node: never refuses a request — availability-wise it looks
+    perfectly healthy — but ~30%% of its answers are corrupted in each
+    Byzantine mode.  Only cross-validation ({!Pool}) catches it. *)
 
 val is_transient : plan -> bool
 (** True when every failure mode eventually clears: all probabilities
     are below 1, so a retrying client succeeds with probability 1.
     The differential fault-injection property quantifies only over
-    transient plans. *)
+    transient plans.  Byzantine plans are never transient: a corrupted
+    response {e succeeds} from the client's point of view, so retrying
+    cannot repair it — only quorum reads do. *)
+
+val is_byzantine : plan -> bool
+(** True when any data-corruption probability is positive. *)
 
 type t
 (** Mutable fault state: PRNG stream, remaining 429-burst and
@@ -99,5 +131,32 @@ val observe_head : t -> head:int -> int * int option
     last [head - ancestor] blocks were replaced).  Fault-free this is
     [(head, None)]. *)
 
+(** How a served response is about to be corrupted.  The {!Rpc} facade
+    applies the type-aware mutation; this module only decides. *)
+type byz_action =
+  | Byz_mutate_log
+  | Byz_drop_log
+  | Byz_forge_status
+  | Byz_truncate_trace
+  | Byz_equivocate_head
+
+val byz_intercept : t -> method_class -> byz_action option
+(** Decide whether one {e served} response of this class gets
+    corrupted.  Draws come from a dedicated Byzantine PRNG stream,
+    gated on the corresponding probability being positive — a plan
+    without a Byzantine tier never advances it, so adding corruption
+    leaves the availability fault stream bit-identical. *)
+
+val byz_rng : t -> Prng.t
+(** The Byzantine mutation stream, for the facade's mutators (which
+    log to corrupt, which bytes to flip, how far to equivocate). *)
+
+val note_byz : t -> unit
+(** Record that a corruption was actually applied. *)
+
 val faults_injected : t -> int
 val reorgs_injected : t -> int
+
+val byz_injected : t -> int
+(** Corruptions applied so far — ground truth for tests that assert
+    the pool identified the right liar. *)

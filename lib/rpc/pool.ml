@@ -1,0 +1,382 @@
+module Types = Xcw_evm.Types
+module Address = Xcw_evm.Address
+module U256 = Xcw_uint256.Uint256
+module Metrics = Xcw_obs.Metrics
+
+type policy = {
+  q_quorum : int;
+  q_suspicion_limit : int;
+  q_quarantine_requests : int;
+  q_probation_agreements : int;
+  q_head_tolerance : int;
+}
+
+let default_policy =
+  {
+    q_quorum = 2;
+    q_suspicion_limit = 3;
+    q_quarantine_requests = 64;
+    q_probation_agreements = 16;
+    q_head_tolerance = 3;
+  }
+
+type endpoint_state = Active | Probation | Quarantined
+
+type ep = {
+  e_rpc : Rpc.t;
+  e_index : int;
+  e_trust_gauge : Metrics.Gauge.t;
+  mutable e_state : endpoint_state;
+  mutable e_trust : float;
+  mutable e_agreements : int;
+  mutable e_disagreements : int;
+  mutable e_errors : int;
+  mutable e_strikes : int;  (* disagreements since last quarantine *)
+  mutable e_agree_streak : int;  (* consecutive agreements, for probation *)
+  mutable e_quarantines : int;
+  mutable e_quarantine_len : int;  (* current term; doubles on relapse *)
+  mutable e_release_at : int;  (* request index ending the quarantine *)
+}
+
+type endpoint_report = {
+  er_index : int;
+  er_state : endpoint_state;
+  er_trust : float;
+  er_agreements : int;
+  er_disagreements : int;
+  er_errors : int;
+  er_quarantines : int;
+}
+
+type health = {
+  ph_endpoints : endpoint_report list;
+  ph_quorum : int;
+  ph_requests : int;
+  ph_disagreements : int;
+  ph_refusals : int;
+  ph_suspects : int list;
+}
+
+type t = {
+  p_policy : policy;
+  p_endpoints : ep list;
+  p_m_requests : Metrics.Counter.t;
+  p_m_disagreements : Metrics.Counter.t;
+  p_m_refusals : Metrics.Counter.t;
+  mutable p_requests : int;
+  mutable p_disagreements : int;
+  mutable p_refusals : int;
+  mutable p_latency : float;
+}
+
+let create ?(policy = default_policy) ?metrics rpcs =
+  let n = List.length rpcs in
+  if n = 0 then invalid_arg "Pool.create: no endpoints";
+  if policy.q_quorum < 1 || policy.q_quorum > n then
+    invalid_arg
+      (Printf.sprintf "Pool.create: quorum %d out of range for %d endpoints"
+         policy.q_quorum n);
+  let metrics = match metrics with Some m -> m | None -> Metrics.default () in
+  let endpoints =
+    List.mapi
+      (fun i rpc ->
+        let gauge =
+          Metrics.gauge metrics
+            ~labels:[ ("endpoint", string_of_int i) ]
+            "xcw_pool_endpoint_trust"
+        in
+        Metrics.Gauge.set gauge 1.0;
+        {
+          e_rpc = rpc;
+          e_index = i;
+          e_trust_gauge = gauge;
+          e_state = Active;
+          e_trust = 1.0;
+          e_agreements = 0;
+          e_disagreements = 0;
+          e_errors = 0;
+          e_strikes = 0;
+          e_agree_streak = 0;
+          e_quarantines = 0;
+          e_quarantine_len = 0;
+          e_release_at = 0;
+        })
+      rpcs
+  in
+  {
+    p_policy = policy;
+    p_endpoints = endpoints;
+    p_m_requests = Metrics.counter metrics "xcw_pool_requests_total";
+    p_m_disagreements = Metrics.counter metrics "xcw_pool_disagreements_total";
+    p_m_refusals = Metrics.counter metrics "xcw_pool_refusals_total";
+    p_requests = 0;
+    p_disagreements = 0;
+    p_refusals = 0;
+    p_latency = 0.;
+  }
+
+let size t = List.length t.p_endpoints
+let quorum t = t.p_policy.q_quorum
+let endpoints t = List.map (fun ep -> ep.e_rpc) t.p_endpoints
+
+(* --- Scoring / quarantine state machine ----------------------------- *)
+
+let quarantine t ep =
+  ep.e_state <- Quarantined;
+  ep.e_quarantines <- ep.e_quarantines + 1;
+  ep.e_quarantine_len <-
+    (if ep.e_quarantine_len = 0 then t.p_policy.q_quarantine_requests
+     else ep.e_quarantine_len * 2);
+  ep.e_release_at <- t.p_requests + ep.e_quarantine_len;
+  ep.e_strikes <- 0;
+  ep.e_agree_streak <- 0
+
+let disagree t ep =
+  ep.e_disagreements <- ep.e_disagreements + 1;
+  ep.e_agree_streak <- 0;
+  ep.e_trust <- ep.e_trust *. 0.5;
+  Metrics.Gauge.set ep.e_trust_gauge ep.e_trust;
+  t.p_disagreements <- t.p_disagreements + 1;
+  Metrics.Counter.inc t.p_m_disagreements;
+  match ep.e_state with
+  | Probation -> quarantine t ep
+  | Active ->
+      ep.e_strikes <- ep.e_strikes + 1;
+      if ep.e_strikes >= t.p_policy.q_suspicion_limit then quarantine t ep
+  | Quarantined ->
+      (* Only participates when forced in to keep the pool readable;
+         still lying, so the term restarts. *)
+      ep.e_release_at <- t.p_requests + ep.e_quarantine_len
+
+let agree t ep =
+  ep.e_agreements <- ep.e_agreements + 1;
+  ep.e_agree_streak <- ep.e_agree_streak + 1;
+  ep.e_trust <- Float.min 1.0 (ep.e_trust +. 0.02);
+  Metrics.Gauge.set ep.e_trust_gauge ep.e_trust;
+  if
+    ep.e_state = Probation
+    && ep.e_agree_streak >= t.p_policy.q_probation_agreements
+  then ep.e_state <- Active
+
+let note_error ep = ep.e_errors <- ep.e_errors + 1
+
+let release_quarantines t =
+  List.iter
+    (fun ep ->
+      if ep.e_state = Quarantined && t.p_requests >= ep.e_release_at then begin
+        ep.e_state <- Probation;
+        ep.e_agree_streak <- 0
+      end)
+    t.p_endpoints
+
+(* Quarantined endpoints sit out the fan-out — unless so many are
+   quarantined that the quorum is unreachable, in which case everyone
+   is recalled: requiring k identical answers still protects content,
+   so availability wins. *)
+let participants t =
+  let avail = List.filter (fun ep -> ep.e_state <> Quarantined) t.p_endpoints in
+  if List.length avail >= t.p_policy.q_quorum then avail else t.p_endpoints
+
+type 'a outcome = { o_ep : ep; o_result : ('a, Rpc.error) result }
+
+(* Fan one logical request out to every participant.  Simulated as a
+   parallel fan-out: the request costs the slowest endpoint's latency,
+   not the sum. *)
+let fan_out t call =
+  t.p_requests <- t.p_requests + 1;
+  Metrics.Counter.inc t.p_m_requests;
+  release_quarantines t;
+  let latency = ref 0. in
+  let outs =
+    List.map
+      (fun ep ->
+        let (r : _ Rpc.response) = call ep.e_rpc in
+        latency := Float.max !latency r.Rpc.latency;
+        { o_ep = ep; o_result = r.Rpc.value })
+      (participants t)
+  in
+  t.p_latency <- t.p_latency +. !latency;
+  (outs, !latency)
+
+let oks outs =
+  List.filter_map
+    (fun o -> match o.o_result with Ok v -> Some (o, v) | Error _ -> None)
+    outs
+
+let first_error outs =
+  List.find_map
+    (fun o -> match o.o_result with Error e -> Some e | Ok _ -> None)
+    outs
+
+(* A refusal: not enough agreement to serve anything safely.  When at
+   least k endpoints answered, the vote is split — Byzantine territory,
+   and retrying (the client will) re-rolls the liars' corruption draws.
+   With fewer answers, surface the first availability error so the
+   client's backoff logic applies; if nobody even erred, the pool
+   itself is short of endpoints. *)
+let refuse t outs ~agreeing ~latency =
+  t.p_refusals <- t.p_refusals + 1;
+  Metrics.Counter.inc t.p_m_refusals;
+  let k = t.p_policy.q_quorum in
+  let ok_count = List.length (oks outs) in
+  let e =
+    if ok_count >= k then
+      Rpc.Quorum_divergence
+        { agreeing; needed = k; responders = List.length outs }
+    else
+      match first_error outs with
+      | Some e -> e
+      | None -> Rpc.Quorum_unavailable { responders = ok_count; needed = k }
+  in
+  { Rpc.value = Error e; latency }
+
+(* --- Content quorum -------------------------------------------------- *)
+
+(* Canonical content hash.  Honest endpoints serve structurally equal
+   values (the same chain's data), which [No_sharing] marshalling maps
+   to identical bytes; a Byzantine mutation changes the content and
+   therefore the digest. *)
+let fingerprint v = Digest.string (Marshal.to_string v [ Marshal.No_sharing ])
+
+let quorum_read t call =
+  let outs, latency = fan_out t call in
+  let k = t.p_policy.q_quorum in
+  let ok_responses = oks outs in
+  (* Group successful responses by content, preserving first-seen
+     order so ties break deterministically. *)
+  let groups = ref [] in
+  List.iter
+    (fun (o, v) ->
+      let d = fingerprint v in
+      match List.find_opt (fun (d', _, _) -> d' = d) !groups with
+      | Some (_, _, members) -> members := o :: !members
+      | None -> groups := !groups @ [ (d, v, ref [ o ]) ])
+    ok_responses;
+  let best =
+    List.fold_left
+      (fun acc (_, v, members) ->
+        match acc with
+        | Some (_, best_members) when List.length !members <= List.length best_members
+          ->
+            acc
+        | _ -> Some (v, !members))
+      None !groups
+  in
+  match best with
+  | Some (v, members) when List.length members >= k ->
+      List.iter
+        (fun (o, _) ->
+          if List.memq o members then agree t o.o_ep else disagree t o.o_ep)
+        ok_responses;
+      List.iter
+        (fun o ->
+          match o.o_result with Error _ -> note_error o.o_ep | Ok _ -> ())
+        outs;
+      { Rpc.value = Ok v; latency }
+  | _ ->
+      let agreeing =
+        match best with Some (_, ms) -> List.length ms | None -> 0
+      in
+      refuse t outs ~agreeing ~latency
+
+(* --- Numeric quorum (heads) ------------------------------------------ *)
+
+(* Honest endpoints may lag a few blocks, so exact content agreement is
+   the wrong test for heads.  Accept the k-th highest report — at least
+   k endpoints claim to have reached that block, so reading up to it is
+   safe — and treat only deviations beyond the tolerance as lies. *)
+let numeric_quorum t outs ~latency ~value_of ~rebuild =
+  let k = t.p_policy.q_quorum in
+  let ok_responses = oks outs in
+  if List.length ok_responses < k then refuse t outs ~agreeing:0 ~latency
+  else begin
+    let sorted =
+      List.sort
+        (fun (_, a) (_, b) -> compare (value_of b) (value_of a))
+        ok_responses
+    in
+    let accepted = value_of (snd (List.nth sorted (k - 1))) in
+    let tol = t.p_policy.q_head_tolerance in
+    List.iter
+      (fun (o, v) ->
+        if abs (value_of v - accepted) <= tol then agree t o.o_ep
+        else disagree t o.o_ep)
+      ok_responses;
+    List.iter
+      (fun o -> match o.o_result with Error _ -> note_error o.o_ep | Ok _ -> ())
+      outs;
+    { Rpc.value = Ok (rebuild accepted (List.map snd ok_responses)); latency }
+  end
+
+(* --- Request surface -------------------------------------------------- *)
+
+let eth_get_transaction_receipt t hash =
+  quorum_read t (fun rpc -> Rpc.eth_get_transaction_receipt rpc hash)
+
+let eth_get_transaction_by_hash t hash =
+  quorum_read t (fun rpc -> Rpc.eth_get_transaction_by_hash rpc hash)
+
+let eth_get_balance t addr =
+  quorum_read t (fun rpc -> Rpc.eth_get_balance rpc addr)
+
+let debug_trace_transaction t hash =
+  quorum_read t (fun rpc -> Rpc.debug_trace_transaction rpc hash)
+
+let eth_get_logs t filter = quorum_read t (fun rpc -> Rpc.eth_get_logs rpc filter)
+
+let eth_block_number t =
+  let outs, latency = fan_out t (fun rpc -> Rpc.eth_block_number rpc) in
+  numeric_quorum t outs ~latency
+    ~value_of:(fun h -> h)
+    ~rebuild:(fun accepted _ -> accepted)
+
+let observe_head t ~head =
+  let outs, latency = fan_out t (fun rpc -> Rpc.observe_head rpc ~head) in
+  numeric_quorum t outs ~latency
+    ~value_of:(fun hv -> hv.Rpc.hv_head)
+    ~rebuild:(fun accepted views ->
+      (* A reorg only counts when at least k endpoints signal one; the
+         surviving block is the lowest claimed (rewinding further is
+         safe, ignoring a real reorg is not). *)
+      let reorgs = List.filter_map (fun hv -> hv.Rpc.hv_reorged_to) views in
+      let reorged_to =
+        if List.length reorgs >= t.p_policy.q_quorum then
+          Some (List.fold_left min max_int reorgs)
+        else None
+      in
+      { Rpc.hv_head = accepted; hv_reorged_to = reorged_to })
+
+(* --- Introspection ---------------------------------------------------- *)
+
+let total_latency t = t.p_latency
+let request_count t = t.p_requests
+
+let health t =
+  let reports =
+    List.map
+      (fun ep ->
+        {
+          er_index = ep.e_index;
+          er_state = ep.e_state;
+          er_trust = ep.e_trust;
+          er_agreements = ep.e_agreements;
+          er_disagreements = ep.e_disagreements;
+          er_errors = ep.e_errors;
+          er_quarantines = ep.e_quarantines;
+        })
+      t.p_endpoints
+  in
+  let suspects =
+    List.filter (fun ep -> ep.e_disagreements > 0) t.p_endpoints
+    |> List.sort (fun a b ->
+           compare (b.e_disagreements, a.e_index) (a.e_disagreements, b.e_index))
+    |> List.map (fun ep -> ep.e_index)
+  in
+  {
+    ph_endpoints = reports;
+    ph_quorum = t.p_policy.q_quorum;
+    ph_requests = t.p_requests;
+    ph_disagreements = t.p_disagreements;
+    ph_refusals = t.p_refusals;
+    ph_suspects = suspects;
+  }

@@ -1,0 +1,134 @@
+(** Byzantine-tolerant quorum reads over multiple RPC endpoints.
+
+    A single endpoint is a single point of trust: PR 2's fault model is
+    fail-stop, but a {e lying} node ({!Fault} Byzantine tier) answers
+    requests successfully with corrupted data, silently poisoning the
+    fact base.  The pool fans each logical request out to N
+    independently seeded {!Rpc.t} endpoints (each wrapping the same
+    chain but with its own fault plan), cross-validates the responses
+    by canonical content hash, and accepts a result only when at least
+    k endpoints agree on the exact same content.
+
+    Why k-of-n + content hashing suffices here: observation is
+    read-only, so there is no state to equivocate about over time — a
+    response is either the chain's answer or it is not, and honest
+    endpoints serving the same chain produce byte-identical answers.
+    With at most f < k non-colluding Byzantine endpoints, every
+    accepted value is honest (a corrupted value would need k identical
+    corruptions drawn from independent PRNG streams), and with f >= k
+    independent liars no corrupted group reaches quorum either — the
+    pool refuses ([Quorum_divergence]) instead of serving corrupt
+    data.
+
+    Endpoints are scored: a minority that disagrees with an accepted
+    quorum value accrues suspicion and halves its trust; repeat
+    offenders are quarantined (excluded from fan-out) and readmitted
+    through probation after a clean streak, with quarantine terms
+    doubling on relapse.  Availability failures (timeouts, 429s) are
+    {e not} suspicious — they are what {!Client} retries are for.
+
+    Head observations get a numeric quorum instead of an exact one:
+    honest nodes may lag a few blocks ([f_stale_head_lag]), so the pool
+    accepts the k-th highest reported head (at least k endpoints claim
+    to have reached it) and only counts deviations beyond
+    [q_head_tolerance] as disagreements.
+
+    Everything surfaces through {!Xcw_obs.Metrics}
+    ([xcw_pool_requests_total], [xcw_pool_disagreements_total],
+    [xcw_pool_refusals_total], per-endpoint [xcw_pool_endpoint_trust]
+    gauges) and the structured {!health} report. *)
+
+module Types = Xcw_evm.Types
+module Address = Xcw_evm.Address
+module U256 = Xcw_uint256.Uint256
+
+type policy = {
+  q_quorum : int;  (** k: endpoints that must agree on content *)
+  q_suspicion_limit : int;
+      (** disagreements before an active endpoint is quarantined *)
+  q_quarantine_requests : int;
+      (** logical requests a first quarantine lasts (doubles on
+          relapse) *)
+  q_probation_agreements : int;
+      (** consecutive agreements needed to graduate probation *)
+  q_head_tolerance : int;
+      (** blocks an honest head report may deviate from the accepted
+          head without suspicion (covers [f_stale_head_lag]) *)
+}
+
+val default_policy : policy
+(** k = 2, quarantine after 3 disagreements for 64 requests, 16 clean
+    reads to graduate probation, 3-block head tolerance. *)
+
+type endpoint_state = Active | Probation | Quarantined
+
+type endpoint_report = {
+  er_index : int;  (** position in the [create] list *)
+  er_state : endpoint_state;
+  er_trust : float;  (** 1.0 fresh, halved per disagreement *)
+  er_agreements : int;  (** responses that matched an accepted quorum *)
+  er_disagreements : int;  (** responses outvoted by an accepted quorum *)
+  er_errors : int;  (** availability failures (never suspicious) *)
+  er_quarantines : int;  (** times quarantined *)
+}
+
+type health = {
+  ph_endpoints : endpoint_report list;  (** in [create] order *)
+  ph_quorum : int;
+  ph_requests : int;  (** logical requests fanned out *)
+  ph_disagreements : int;  (** minority responses outvoted overall *)
+  ph_refusals : int;
+      (** logical requests answered with [Quorum_divergence] or
+          [Quorum_unavailable] rather than risking corrupt data *)
+  ph_suspects : int list;
+      (** endpoint indices with at least one disagreement, most
+          suspicious first — under the f < k assumption these are the
+          liars *)
+}
+
+type t
+
+val create : ?policy:policy -> ?metrics:Xcw_obs.Metrics.t -> Rpc.t list -> t
+(** Raises [Invalid_argument] when the endpoint list is empty or the
+    policy's quorum exceeds its length. *)
+
+val size : t -> int
+val quorum : t -> int
+val endpoints : t -> Rpc.t list
+
+(** {1 Quorum-read request surface (mirrors {!Rpc})}
+
+    Fan-out is simulated as parallel: a logical request's latency is
+    the {e slowest} participating endpoint's, not the sum. *)
+
+val eth_block_number : t -> (int, Rpc.error) result Rpc.response
+
+val eth_get_transaction_receipt :
+  t -> Types.hash -> (Types.receipt option, Rpc.error) result Rpc.response
+
+val eth_get_transaction_by_hash :
+  t -> Types.hash -> (Types.transaction option, Rpc.error) result Rpc.response
+
+val eth_get_balance : t -> Address.t -> (U256.t, Rpc.error) result Rpc.response
+
+val debug_trace_transaction :
+  t -> Types.hash -> (Types.call_frame option, Rpc.error) result Rpc.response
+
+val observe_head :
+  t -> head:int -> (Rpc.head_view, Rpc.error) result Rpc.response
+(** Numeric quorum: the accepted head is the k-th highest report; a
+    reorg is surfaced only when at least k endpoints signal one (the
+    surviving block is the most conservative, i.e. lowest, of
+    theirs). *)
+
+val eth_get_logs :
+  t ->
+  Rpc.log_filter ->
+  ((Types.receipt * Types.log) list, Rpc.error) result Rpc.response
+
+val total_latency : t -> float
+(** Accumulated simulated seconds of the pool's parallel fan-outs
+    (per request: the slowest endpoint). *)
+
+val request_count : t -> int
+val health : t -> health

@@ -29,6 +29,8 @@ type error = Fault.error =
   | Rate_limited of { retry_after : float }
   | Tracer_unavailable
   | Truncated_range of { served_to : int }
+  | Quorum_divergence of { agreeing : int; needed : int; responders : int }
+  | Quorum_unavailable of { responders : int; needed : int }
 
 let error_to_string = Fault.error_to_string
 
@@ -125,12 +127,139 @@ let fault_cost t = function
       (Fault.plan (Option.get t.fault)).Fault.f_timeout_cost
       |> Float.min t.profile.Latency.max_latency
   | Rate_limited _ -> 0.003
-  | Transient _ | Tracer_unavailable | Truncated_range _ ->
+  | Transient _ | Tracer_unavailable | Truncated_range _
+  | Quorum_divergence _ | Quorum_unavailable _ ->
       Latency.receipt_fetch t.profile (Prng.copy t.rng)
 
+(* --- Byzantine mutators --------------------------------------------- *)
+(* Applied to *served* values when the fault plan's Byzantine tier
+   fires.  Mutations are drawn from the plan's private Byzantine PRNG
+   stream, so two independently seeded liars almost never agree on a
+   corrupted value — the non-collusion assumption k-of-n rests on. *)
+
+(* Flip one byte to a guaranteed-different value; corrupt empty strings
+   to a non-empty marker so the content always changes. *)
+let mutate_bytes rng s =
+  if String.length s = 0 then "\x2a"
+  else begin
+    let b = Bytes.of_string s in
+    let i = Prng.int rng (Bytes.length b) in
+    Bytes.set b i
+      (Char.chr (Char.code (Bytes.get b i) lxor (1 + Prng.int rng 255)));
+    Bytes.to_string b
+  end
+
+let mutate_log rng (l : Types.log) =
+  match l.Types.topics with
+  | t0 :: rest when Prng.bool rng ->
+      { l with Types.topics = mutate_bytes rng t0 :: rest }
+  | _ -> { l with Types.data = mutate_bytes rng l.data }
+
+let mutate_receipt_log rng (r : Types.receipt) =
+  match r.Types.r_logs with
+  | [] -> { r with Types.r_gas_used = r.Types.r_gas_used lxor (1 + Prng.int rng 0xffff) }
+  | logs ->
+      let victim = Prng.int rng (List.length logs) in
+      {
+        r with
+        Types.r_logs =
+          List.mapi (fun j l -> if j = victim then mutate_log rng l else l) logs;
+      }
+
+let forge_receipt_status rng (r : Types.receipt) =
+  {
+    r with
+    Types.r_status =
+      (match r.Types.r_status with
+      | Types.Success -> Types.Reverted
+      | Types.Reverted -> Types.Success);
+    (* Perturb gas too: a forged outcome comes with a forged cost, and
+       the randomness keeps independently seeded liars from agreeing. *)
+    r_gas_used = r.Types.r_gas_used lxor (1 + Prng.int rng 0xffff);
+  }
+
+let truncate_trace rng (f : Types.call_frame) =
+  match f.Types.subcalls with
+  | [] -> { f with Types.call_input = mutate_bytes rng f.Types.call_input }
+  | subs -> (
+      let keep = Prng.int rng (List.length subs) in
+      let kept = List.filteri (fun i _ -> i < keep) subs in
+      (* Cut mid-frame: damage the frame at the cut as well, so two
+         independent truncators that happen to pick the same prefix
+         length still diverge — the non-collusion assumption the
+         quorum's f >= k refusal rests on. *)
+      match List.rev kept with
+      | [] ->
+          {
+            f with
+            Types.subcalls = [];
+            call_input = mutate_bytes rng f.Types.call_input;
+          }
+      | last :: before ->
+          let last =
+            { last with Types.call_input = mutate_bytes rng last.Types.call_input }
+          in
+          { f with Types.subcalls = List.rev (last :: before) })
+
+let byz_receipt f (ro : Types.receipt option) =
+  match ro with
+  | None -> ro
+  | Some r -> (
+      match Fault.byz_intercept f Fault.Receipt with
+      | Some Fault.Byz_forge_status ->
+          Fault.note_byz f;
+          Some (forge_receipt_status (Fault.byz_rng f) r)
+      | Some Fault.Byz_mutate_log ->
+          Fault.note_byz f;
+          Some (mutate_receipt_log (Fault.byz_rng f) r)
+      | _ -> ro)
+
+let byz_logs f (pairs : (Types.receipt * Types.log) list) =
+  match Fault.byz_intercept f Fault.Logs with
+  | Some Fault.Byz_drop_log when pairs <> [] ->
+      Fault.note_byz f;
+      let victim = Prng.int (Fault.byz_rng f) (List.length pairs) in
+      List.filteri (fun i _ -> i <> victim) pairs
+  | Some Fault.Byz_mutate_log when pairs <> [] ->
+      Fault.note_byz f;
+      let rng = Fault.byz_rng f in
+      let victim = Prng.int rng (List.length pairs) in
+      List.mapi
+        (fun i (r, l) -> if i = victim then (r, mutate_log rng l) else (r, l))
+        pairs
+  | _ -> pairs
+
+let byz_trace f (fo : Types.call_frame option) =
+  match fo with
+  | None -> fo
+  | Some frame -> (
+      match Fault.byz_intercept f Fault.Trace with
+      | Some Fault.Byz_truncate_trace ->
+          Fault.note_byz f;
+          Some (truncate_trace (Fault.byz_rng f) frame)
+      | _ -> fo)
+
+(* Equivocated heads land well outside any honest stale-head lag, so a
+   quorum's deviation tolerance separates liars from laggards. *)
+let byz_head f h =
+  match Fault.byz_intercept f Fault.Head with
+  | Some Fault.Byz_equivocate_head ->
+      Fault.note_byz f;
+      let rng = Fault.byz_rng f in
+      let delta = 8 + Prng.int rng 25 in
+      (* Deviate by the full delta in both directions: clamping a
+         downward lie near genesis would shrink it inside the honest
+         stale-head tolerance, making an injected equivocation
+         undetectable — and tests treat every injection as detectable
+         ground truth. *)
+      let down = h - delta in
+      if Prng.bool rng && down >= 0 then down else h + delta
+  | _ -> h
+
 (* Run one request: consult the fault state, then either charge the
-   failure cost or serve with the normal latency draw. *)
-let respond t cls serve_latency serve =
+   failure cost or serve with the normal latency draw; [byz] corrupts
+   a served value when the plan's Byzantine tier fires. *)
+let respond t cls serve_latency ?byz serve =
   match t.fault with
   | None ->
       let l = serve_latency t in
@@ -145,15 +274,18 @@ let respond t cls serve_latency serve =
       | None ->
           let l = serve_latency t in
           note t cls l ~is_fault:false;
-          { value = Ok (serve ()); latency = l })
+          let v = serve () in
+          let v = match byz with Some corrupt -> corrupt f v | None -> v in
+          { value = Ok v; latency = l })
 
 let head_block t = Chain.all_blocks t.chain |> List.length
 
 let eth_block_number t =
-  respond t Fault.Head charge_receipt (fun () -> head_block t)
+  respond t Fault.Head charge_receipt ~byz:byz_head (fun () -> head_block t)
 
 let eth_get_transaction_receipt t hash =
-  respond t Fault.Receipt charge_receipt (fun () -> Chain.receipt t.chain hash)
+  respond t Fault.Receipt charge_receipt ~byz:byz_receipt (fun () ->
+      Chain.receipt t.chain hash)
 
 let eth_get_transaction_by_hash t hash =
   respond t Fault.Transaction charge_receipt (fun () ->
@@ -168,7 +300,8 @@ let eth_get_balance t addr =
     Significantly slower than receipt fetches under realistic
     profiles. *)
 let debug_trace_transaction t hash =
-  respond t Fault.Trace charge_trace (fun () -> Chain.trace t.chain hash)
+  respond t Fault.Trace charge_trace ~byz:byz_trace (fun () ->
+      Chain.trace t.chain hash)
 
 type head_view = { hv_head : int; hv_reorged_to : int option }
 
@@ -186,6 +319,7 @@ let observe_head t ~head =
           { value = Error e; latency = l }
       | None ->
           let observed, reorged_to = Fault.observe_head f ~head in
+          let observed = byz_head f observed in
           let l = charge_receipt t in
           note t Fault.Head l ~is_fault:false;
           {
@@ -270,10 +404,13 @@ let eth_get_logs t (filter : log_filter) :
           | _ ->
               let l = charge_receipt t in
               note t Fault.Logs l ~is_fault:false;
-              { value = Ok (serve_logs t filter); latency = l }))
+              { value = Ok (byz_logs f (serve_logs t filter)); latency = l }))
 
 let total_latency t = t.total_latency
 let request_count t = t.request_count
 
 let fault_injections t =
   match t.fault with None -> 0 | Some f -> Fault.faults_injected f
+
+let byzantine_injections t =
+  match t.fault with None -> 0 | Some f -> Fault.byz_injected f

@@ -25,6 +25,8 @@ type error = Fault.error =
   | Rate_limited of { retry_after : float }
   | Tracer_unavailable
   | Truncated_range of { served_to : int }
+  | Quorum_divergence of { agreeing : int; needed : int; responders : int }
+  | Quorum_unavailable of { responders : int; needed : int }
 
 val error_to_string : error -> string
 
@@ -118,3 +120,8 @@ val request_count : t -> int
 
 val fault_injections : t -> int
 (** Faults injected so far (0 without a plan). *)
+
+val byzantine_injections : t -> int
+(** Served responses corrupted by the plan's Byzantine tier so far —
+    ground truth for tests asserting the pool blamed the right
+    endpoint. *)

@@ -11,11 +11,13 @@
    fault-free one (modulo trace-gap markers, which no rule consumes). *)
 
 module U256 = Xcw_uint256.Uint256
+module Types = Xcw_evm.Types
 module Chain = Xcw_chain.Chain
 module Bridge = Xcw_bridge.Bridge
 module Rpc = Xcw_rpc.Rpc
 module Fault = Xcw_rpc.Fault
 module Client = Xcw_rpc.Client
+module Pool = Xcw_rpc.Pool
 module Latency = Xcw_rpc.Latency
 module Facts = Xcw_core.Facts
 module Detector = Xcw_core.Detector
@@ -321,6 +323,263 @@ let batch_detector_under_faults =
         (faulty.Detector.report.Xcw_core.Report.simulated_rpc_seconds
         >= clean.Detector.report.Xcw_core.Report.simulated_rpc_seconds))
 
+(* ------------------------------------------------------------------ *)
+(* Byzantine endpoints and quorum reads                                *)
+
+(* An n=3 / k=2 quorum input with exactly one lying endpoint (the same
+   index on both sides); the other two endpoints are faultless. *)
+let quorum_input input ~liar ~plan ~seed =
+  let efs = List.init 3 (fun j -> if j = liar then Some plan else None) in
+  {
+    input with
+    Detector.i_endpoints = 3;
+    i_quorum = 2;
+    i_rpc_seed = seed;
+    i_source_endpoint_faults = efs;
+    i_target_endpoint_faults = efs;
+  }
+
+(* The headline property: with f = 1 < k = 2 Byzantine endpoints —
+   however aggressively they lie — alerts, facts and the final report
+   are identical to a faultless single-endpoint run, and whenever the
+   liar actually corrupted a response ({!Rpc.byzantine_injections} is
+   the ground truth) it shows up in [ph_suspects]. *)
+let prop_quorum_differential =
+  QCheck.Test.make ~count:100
+    ~name:"one Byzantine endpoint of three changes nothing and is identified"
+    QCheck.(
+      quad (T.arb_ops ~max_len:3) T.arb_byz_plan (int_bound 2)
+        (int_bound 10_000))
+    (fun (ops, plan, liar, seed) ->
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let clean = Monitor.create input in
+      let quorum = Monitor.create (quorum_input input ~liar ~plan ~seed) in
+      let user = T.user_with_tokens b m "byz-prop" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      let clean_alerts = ref [] and q_alerts = ref [] in
+      List.iteri
+        (fun i op ->
+          T.apply_op b m user i op;
+          let sb, tb = T.cur b in
+          clean_alerts :=
+            !clean_alerts @ Monitor.poll clean ~source_block:sb ~target_block:tb;
+          q_alerts :=
+            !q_alerts @ Monitor.poll quorum ~source_block:sb ~target_block:tb)
+        ops;
+      let sb, tb = T.cur b in
+      let late, synced = drain quorum ~sb ~tb in
+      q_alerts := !q_alerts @ late;
+      let liar_caught =
+        match (Monitor.pools quorum, Monitor.pool_health quorum) with
+        | Some (sp, tp), Some (sh, th) ->
+            let caught pool (h : Pool.health) =
+              Rpc.byzantine_injections (List.nth (Pool.endpoints pool) liar) = 0
+              || List.mem liar h.Pool.ph_suspects
+            in
+            caught sp sh && caught tp th
+        | _ -> false
+      in
+      synced && liar_caught
+      && T.alert_keys !clean_alerts = T.alert_keys !q_alerts
+      && non_gap_facts quorum = non_gap_facts clean
+      &&
+      match (Monitor.last_report clean, Monitor.last_report quorum) with
+      | Some rc, Some rq -> T.report_signature rc = T.report_signature rq
+      | _ -> false)
+
+(* A small chain with receipts, logs and traces for driving the pool
+   directly. *)
+let chain_with_txs () =
+  let b, m = T.make_bridge () in
+  let user = T.user_with_tokens b m "byz-unit" (u 1_000_000) in
+  T.seed_completed_deposit b m user;
+  let c = b.Bridge.source.Bridge.chain in
+  (* A transaction with a recorded call trace (deploys have none), so
+     every Byzantine mode has content to corrupt. *)
+  let traced =
+    List.find
+      (fun (r : Types.receipt) -> Chain.trace c r.Types.r_tx_hash <> None)
+      (Chain.all_receipts c)
+  in
+  (c, traced.Types.r_tx_hash)
+
+let pool_with_liars ?(n = 3) ?(k = 2) ~liars ~plan c =
+  let eps =
+    List.init n (fun j ->
+        if j < liars then Rpc.create ~seed:(1_000 + (j * 7919)) ~fault:plan c
+        else Rpc.create ~seed:(1_000 + (j * 7919)) c)
+  in
+  Pool.create ~policy:{ Pool.default_policy with Pool.q_quorum = k } eps
+
+(* f >= k liars: their corruptions are drawn from independent PRNG
+   streams, so no corrupted content group reaches the quorum either —
+   the pool refuses with [Quorum_divergence] instead of serving any of
+   the lies.  One unit per content-corrupting Byzantine mode. *)
+let expect_divergence name plan do_call =
+  Alcotest.test_case name `Quick (fun () ->
+      let c, tx = chain_with_txs () in
+      let pool = pool_with_liars ~liars:2 ~plan c in
+      (match (do_call pool tx).Rpc.value with
+      | Error (Rpc.Quorum_divergence { agreeing; needed; responders }) ->
+          Alcotest.(check bool) "largest group below quorum" true
+            (agreeing < needed);
+          Alcotest.(check int) "all three responded" 3 responders
+      | Ok _ -> Alcotest.fail "a Byzantine majority was served as truth"
+      | Error e ->
+          Alcotest.failf "unexpected error: %s" (Fault.error_to_string e));
+      Alcotest.(check bool) "refusal surfaced in health" true
+        ((Pool.health pool).Pool.ph_refusals > 0))
+
+let byz_majority_receipt_forge =
+  expect_divergence "two status forgers of three: pool refuses"
+    { Fault.none with Fault.f_byz_receipt_forge = 1.0 }
+    (fun pool tx -> Pool.eth_get_transaction_receipt pool tx)
+
+let byz_majority_log_mutate =
+  expect_divergence "two log mutators of three: pool refuses"
+    { Fault.none with Fault.f_byz_log_mutate = 1.0 }
+    (fun pool tx -> Pool.eth_get_transaction_receipt pool tx)
+
+let byz_majority_log_drop =
+  expect_divergence "two log droppers of three: pool refuses"
+    { Fault.none with Fault.f_byz_log_drop = 1.0 }
+    (fun pool _ -> Pool.eth_get_logs pool Rpc.default_filter)
+
+let byz_majority_trace_truncate =
+  expect_divergence "two trace truncators of three: pool refuses"
+    { Fault.none with Fault.f_byz_trace_truncate = 1.0 }
+    (fun pool tx -> Pool.debug_trace_transaction pool tx)
+
+(* Heads use a numeric quorum, which cannot refuse — but equivocation
+   is still visible.  With f < k the accepted head is exactly the
+   honest one and the liar is flagged; with f >= k every observation
+   still records at least one beyond-tolerance deviation, so the
+   inconsistent endpoint set shows up in [ph_disagreements] and
+   [ph_suspects] even when the liars outnumber the quorum. *)
+let byz_head_equivocation_detected =
+  Alcotest.test_case "head equivocators are flagged (f < k and f >= k)"
+    `Quick (fun () ->
+      let c, _ = chain_with_txs () in
+      let plan = { Fault.none with Fault.f_byz_head_equivocate = 1.0 } in
+      (* f = 1 < k: accepted head is the honest one, liar 0 flagged. *)
+      let one = pool_with_liars ~liars:1 ~plan c in
+      (match (Pool.observe_head one ~head:100).Rpc.value with
+      | Ok hv -> Alcotest.(check int) "honest head accepted" 100 hv.Rpc.hv_head
+      | Error e -> Alcotest.failf "unexpected: %s" (Fault.error_to_string e));
+      Alcotest.(check (list int)) "the equivocator is the suspect" [ 0 ]
+        (Pool.health one).Pool.ph_suspects;
+      (* f = 2 >= k: the lie may bound the accepted head, but every
+         observation exposes the inconsistency. *)
+      let two = pool_with_liars ~liars:2 ~plan c in
+      for _ = 1 to 4 do
+        ignore (Pool.observe_head two ~head:100)
+      done;
+      let h = Pool.health two in
+      Alcotest.(check bool) "disagreements recorded" true
+        (h.Pool.ph_disagreements >= 4);
+      Alcotest.(check bool) "suspect list non-empty" true
+        (h.Pool.ph_suspects <> []))
+
+(* Retries compose with quorum refusals: a pooled client retries a
+   divergence (re-rolling the liars' draws) and surfaces it once the
+   attempts are spent. *)
+let client_retries_divergence =
+  Alcotest.test_case "pooled client retries then surfaces a divergence"
+    `Quick (fun () ->
+      let c, tx = chain_with_txs () in
+      let pool =
+        pool_with_liars ~liars:2
+          ~plan:{ Fault.none with Fault.f_byz_receipt_forge = 1.0 }
+          c
+      in
+      let client = Client.create_pooled ~seed:5 pool in
+      Alcotest.(check bool) "pooled provenance" true
+        (Client.provenance client = Client.Quorum { k = 2; n = 3 });
+      (match (Client.get_receipt client tx).Rpc.value with
+      | Error (Rpc.Quorum_divergence _) -> ()
+      | _ -> Alcotest.fail "expected a divergence after retries");
+      let s = Client.stats client in
+      Alcotest.(check bool) "divergences were retried" true
+        (s.Client.s_retries > 0);
+      Alcotest.(check int) "one give-up" 1 s.Client.s_give_ups)
+
+(* Satellite: the backoff ceiling applies after jitter.  With base =
+   cap = 8 s and 100% jitter every pre-clamp pause lands in [8, 16] —
+   the clamped total over three retries is exactly 24 s, where the old
+   clamp-before-jitter ordering produced up to 48. *)
+let backoff_clamped_after_jitter =
+  Alcotest.test_case "p_max_backoff caps the pause after jitter" `Quick
+    (fun () ->
+      let plan =
+        {
+          Fault.none with
+          Fault.f_balance = { Fault.p_transient = 1.0; p_timeout = 0.0 };
+        }
+      in
+      let policy =
+        {
+          Client.default_policy with
+          Client.p_max_attempts = 4;
+          p_base_backoff = 8.0;
+          p_backoff_factor = 2.0;
+          p_max_backoff = 8.0;
+          p_jitter = 1.0;
+          p_latency_budget = 1_000.0;
+        }
+      in
+      let b, _ = T.make_bridge () in
+      let rpc = Rpc.create ~fault:plan b.Bridge.source.Bridge.chain in
+      let client = Client.create ~policy ~seed:17 rpc in
+      (match (Client.get_balance client (Xcw_evm.Address.of_seed "cap")).Rpc.value
+       with
+      | Error (Fault.Transient _) -> ()
+      | _ -> Alcotest.fail "expected the final transient error");
+      let s = Client.stats client in
+      Alcotest.(check int) "three retries" 3 s.Client.s_retries;
+      Alcotest.(check (float 1e-6)) "every pause clamped to the 8 s ceiling"
+        24.0 s.Client.s_backoff_seconds)
+
+(* Satellite: every error variant prints a specific, distinct
+   description — nothing falls through to a placeholder. *)
+let error_strings_cover_every_variant =
+  Alcotest.test_case "every error variant prints a distinct description"
+    `Quick (fun () ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      let all =
+        [
+          Rpc.Transient "connection reset";
+          Rpc.Timeout;
+          Rpc.Rate_limited { retry_after = 1.5 };
+          Rpc.Tracer_unavailable;
+          Rpc.Truncated_range { served_to = 9 };
+          Rpc.Quorum_divergence { agreeing = 1; needed = 2; responders = 3 };
+          Rpc.Quorum_unavailable { responders = 1; needed = 2 };
+        ]
+      in
+      let strings = List.map Fault.error_to_string all in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "non-empty" true (String.length s > 0);
+          Alcotest.(check bool) "no placeholder" false
+            (contains (String.lowercase_ascii s) "unknown"))
+        strings;
+      Alcotest.(check int) "descriptions pairwise distinct"
+        (List.length all)
+        (List.length (List.sort_uniq compare strings));
+      (* The quorum errors carry their numbers. *)
+      Alcotest.(check bool) "divergence shows the vote" true
+        (contains
+           (Fault.error_to_string
+              (Rpc.Quorum_divergence { agreeing = 1; needed = 2; responders = 3 }))
+           "1/2"))
+
 let () =
   Alcotest.run "fault-injection"
     [
@@ -328,6 +587,18 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_differential;
           QCheck_alcotest.to_alcotest prop_no_silent_gap;
+          QCheck_alcotest.to_alcotest prop_quorum_differential;
+        ] );
+      ( "byzantine",
+        [
+          byz_majority_receipt_forge;
+          byz_majority_log_mutate;
+          byz_majority_log_drop;
+          byz_majority_trace_truncate;
+          byz_head_equivocation_detected;
+          client_retries_divergence;
+          backoff_clamped_after_jitter;
+          error_strings_cover_every_variant;
         ] );
       ( "failure-modes",
         [

@@ -11,6 +11,8 @@
 module Detector = Xcw_core.Detector
 module Decoder = Xcw_core.Decoder
 module Report = Xcw_core.Report
+module Fault = Xcw_rpc.Fault
+module Pool = Xcw_rpc.Pool
 module Nomad = Xcw_workload.Nomad
 module Ronin = Xcw_workload.Ronin
 module Scenario = Xcw_workload.Scenario
@@ -42,17 +44,15 @@ let render (r : Report.t) =
     r.Report.total_facts;
   Buffer.contents buf
 
-let nomad_report () =
+let nomad_input () =
   let b = Nomad.build ~seed:11 ~scale:0.02 () in
-  (Detector.run
-     (Detector.default_input ~label:"nomad" ~plugin:Decoder.nomad_plugin
-        ~config:b.Scenario.config
-        ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
-        ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
-        ~pricing:b.Scenario.pricing))
-    .Detector.report
+  Detector.default_input ~label:"nomad" ~plugin:Decoder.nomad_plugin
+    ~config:b.Scenario.config
+    ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+    ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+    ~pricing:b.Scenario.pricing
 
-let ronin_report () =
+let ronin_input () =
   let b = Ronin.build ~seed:7 ~scale:0.02 () in
   let input =
     Detector.default_input ~label:"ronin" ~plugin:Decoder.ronin_plugin
@@ -61,13 +61,14 @@ let ronin_report () =
       ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
       ~pricing:b.Scenario.pricing
   in
-  (Detector.run
-     {
-       input with
-       Detector.i_first_window_withdrawal_id =
-         b.Scenario.first_window_withdrawal_id;
-     })
-    .Detector.report
+  {
+    input with
+    Detector.i_first_window_withdrawal_id =
+      b.Scenario.first_window_withdrawal_id;
+  }
+
+let nomad_report () = (Detector.run (nomad_input ())).Detector.report
+let ronin_report () = (Detector.run (ronin_input ())).Detector.report
 
 let read_file path =
   let ic = open_in_bin path in
@@ -109,6 +110,45 @@ let check ~name report =
           Alcotest.failf "report drifted from %s at %s" path
             (first_diff expected rendered)
 
+(* Quorum reuse: a 3-endpoint / 2-quorum run with one Byzantine
+   endpoint must reproduce the {e existing} single-endpoint fixtures
+   byte for byte — no fixtures are regenerated for pool-backed runs —
+   and the pool must name the liar.  Skipped in write mode: fixtures
+   come from the single-endpoint run only. *)
+let check_quorum_reuse ~name build_input =
+  match Sys.getenv_opt "XCW_GOLDEN_WRITE" with
+  | Some _ ->
+      Printf.printf
+        "skipping %s quorum reuse: fixtures are written single-endpoint\n%!"
+        name
+  | None ->
+      let efs = [ None; None; Some Fault.byzantine ] in
+      let input =
+        {
+          (build_input ()) with
+          Detector.i_endpoints = 3;
+          i_quorum = 2;
+          i_source_endpoint_faults = efs;
+          i_target_endpoint_faults = efs;
+        }
+      in
+      let result = Detector.run input in
+      let rendered = render result.Detector.report in
+      let path = Filename.concat "golden" (name ^ ".golden") in
+      let expected = read_file path in
+      if expected <> rendered then
+        Alcotest.failf "quorum run drifted from %s at %s" path
+          (first_diff expected rendered);
+      (match result.Detector.pool_health with
+      | None -> Alcotest.fail "expected pool health from a quorum run"
+      | Some (sh, th) ->
+          Alcotest.(check (list int))
+            "source pool names the Byzantine endpoint" [ 2 ]
+            sh.Pool.ph_suspects;
+          Alcotest.(check (list int))
+            "target pool names the Byzantine endpoint" [ 2 ]
+            th.Pool.ph_suspects)
+
 let () =
   Alcotest.run "golden"
     [
@@ -118,5 +158,11 @@ let () =
             (fun () -> check ~name:"nomad" nomad_report);
           Alcotest.test_case "ronin report matches its fixture" `Quick
             (fun () -> check ~name:"ronin" ronin_report);
+          Alcotest.test_case
+            "nomad quorum run reuses the fixture and names the liar" `Quick
+            (fun () -> check_quorum_reuse ~name:"nomad" nomad_input);
+          Alcotest.test_case
+            "ronin quorum run reuses the fixture and names the liar" `Quick
+            (fun () -> check_quorum_reuse ~name:"ronin" ronin_input);
         ] );
     ]

@@ -1,0 +1,283 @@
+(* Unit tests for the Byzantine-tolerant quorum pool: construction
+   invariants, agreement and parallel-latency accounting, per-mode liar
+   identification, the quarantine/probation state machine, and the
+   honest-laggard head tolerance. *)
+
+module U256 = Xcw_uint256.Uint256
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Bridge = Xcw_bridge.Bridge
+module Rpc = Xcw_rpc.Rpc
+module Fault = Xcw_rpc.Fault
+module Pool = Xcw_rpc.Pool
+module T = Xcw_testlib
+
+let u = U256.of_int
+
+let chain_with_txs () =
+  let b, m = T.make_bridge () in
+  let user = T.user_with_tokens b m "pool-unit" (u 1_000_000) in
+  T.seed_completed_deposit b m user;
+  let c = b.Bridge.source.Bridge.chain in
+  (* Pick a transaction that recorded a call trace (deploys do not), so
+     the trace-corruption modes have something to lie about. *)
+  let traced =
+    List.find
+      (fun (r : Types.receipt) -> Chain.trace c r.Types.r_tx_hash <> None)
+      (Chain.all_receipts c)
+  in
+  (c, traced.Types.r_tx_hash)
+
+(* Endpoint [j] gets the j-th plan of [plans] ([None] = faultless). *)
+let mk_pool ?policy ~plans c =
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> { Pool.default_policy with Pool.q_quorum = 2 }
+  in
+  let eps =
+    List.mapi
+      (fun j fault ->
+        match fault with
+        | None -> Rpc.create ~seed:(500 + (j * 7919)) c
+        | Some f -> Rpc.create ~seed:(500 + (j * 7919)) ~fault:f c)
+      plans
+  in
+  Pool.create ~policy eps
+
+let ep_report pool i = List.nth (Pool.health pool).Pool.ph_endpoints i
+let state pool i = (ep_report pool i).Pool.er_state
+
+let create_validates =
+  Alcotest.test_case "create rejects empty pools and impossible quorums"
+    `Quick (fun () ->
+      let c, _ = chain_with_txs () in
+      let expect_invalid f =
+        match f () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument"
+      in
+      expect_invalid (fun () -> Pool.create []);
+      expect_invalid (fun () ->
+          Pool.create
+            ~policy:{ Pool.default_policy with Pool.q_quorum = 4 }
+            (List.init 3 (fun j -> Rpc.create ~seed:j c)));
+      expect_invalid (fun () ->
+          Pool.create
+            ~policy:{ Pool.default_policy with Pool.q_quorum = 0 }
+            [ Rpc.create ~seed:1 c ]))
+
+let honest_agreement =
+  Alcotest.test_case "faultless endpoints agree; latency is the slowest leg"
+    `Quick (fun () ->
+      let c, tx = chain_with_txs () in
+      let pool = mk_pool ~plans:[ None; None; None ] c in
+      (match (Pool.eth_get_transaction_receipt pool tx).Rpc.value with
+      | Ok (Some r) ->
+          Alcotest.(check bool) "the chain's receipt" true
+            (r.Types.r_tx_hash = tx)
+      | _ -> Alcotest.fail "expected the receipt");
+      ignore (Pool.eth_block_number pool);
+      ignore (Pool.eth_get_logs pool Rpc.default_filter);
+      let per_ep = List.map Rpc.total_latency (Pool.endpoints pool) in
+      let max_ep = List.fold_left Float.max 0. per_ep in
+      let sum_ep = List.fold_left ( +. ) 0. per_ep in
+      (* Parallel fan-out: at least as slow as any single endpoint,
+         strictly cheaper than serializing all three. *)
+      Alcotest.(check bool) "latency >= slowest endpoint" true
+        (Pool.total_latency pool >= max_ep -. 1e-9);
+      Alcotest.(check bool) "latency < sum of endpoints" true
+        (Pool.total_latency pool < sum_ep);
+      let h = Pool.health pool in
+      Alcotest.(check int) "no disagreements" 0 h.Pool.ph_disagreements;
+      Alcotest.(check int) "no refusals" 0 h.Pool.ph_refusals;
+      Alcotest.(check (list int)) "no suspects" [] h.Pool.ph_suspects;
+      List.iter
+        (fun (er : Pool.endpoint_report) ->
+          Alcotest.(check bool) "active" true (er.Pool.er_state = Pool.Active);
+          Alcotest.(check (float 1e-9)) "full trust" 1.0 er.Pool.er_trust)
+        h.Pool.ph_endpoints)
+
+(* One liar per Byzantine mode: the pool keeps serving honest data and
+   pins the disagreements on the right endpoint. *)
+let liar_identified name plan do_call =
+  Alcotest.test_case name `Quick (fun () ->
+      let c, tx = chain_with_txs () in
+      let pool = mk_pool ~plans:[ None; None; Some plan ] c in
+      for _ = 1 to 4 do
+        match (do_call pool tx).Rpc.value with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "quorum should hold: %s" (Fault.error_to_string e)
+      done;
+      let h = Pool.health pool in
+      Alcotest.(check (list int)) "endpoint 2 is the suspect" [ 2 ]
+        h.Pool.ph_suspects;
+      Alcotest.(check bool) "its trust dropped" true
+        ((ep_report pool 2).Pool.er_trust < 1.0);
+      Alcotest.(check int) "honest endpoint 0 clean" 0
+        (ep_report pool 0).Pool.er_disagreements;
+      Alcotest.(check int) "honest endpoint 1 clean" 0
+        (ep_report pool 1).Pool.er_disagreements;
+      Alcotest.(check bool) "ground truth: the liar really lied" true
+        (Rpc.byzantine_injections (List.nth (Pool.endpoints pool) 2) > 0))
+
+let forger_identified =
+  liar_identified "a status forger is identified"
+    { Fault.none with Fault.f_byz_receipt_forge = 1.0 }
+    (fun pool tx -> Pool.eth_get_transaction_receipt pool tx)
+
+let mutator_identified =
+  liar_identified "a log mutator is identified"
+    { Fault.none with Fault.f_byz_log_mutate = 1.0 }
+    (fun pool tx -> Pool.eth_get_transaction_receipt pool tx)
+
+let dropper_identified =
+  liar_identified "a log dropper is identified"
+    { Fault.none with Fault.f_byz_log_drop = 1.0 }
+    (fun pool _ -> Pool.eth_get_logs pool Rpc.default_filter)
+
+let truncator_identified =
+  liar_identified "a trace truncator is identified"
+    { Fault.none with Fault.f_byz_trace_truncate = 1.0 }
+    (fun pool tx -> Pool.debug_trace_transaction pool tx)
+
+let equivocator_identified =
+  liar_identified "a head equivocator is identified"
+    { Fault.none with Fault.f_byz_head_equivocate = 1.0 }
+    (fun pool _ -> Pool.observe_head pool ~head:100)
+
+(* The full quarantine lifecycle, request by request.  Policy: 3
+   strikes to quarantine, a 4-request first term (doubling on relapse),
+   2 clean reads to graduate probation. *)
+let quarantine_lifecycle =
+  Alcotest.test_case
+    "strikes -> quarantine -> probation -> relapse -> readmission" `Quick
+    (fun () ->
+      let c, tx = chain_with_txs () in
+      let policy =
+        {
+          Pool.q_quorum = 2;
+          q_suspicion_limit = 3;
+          q_quarantine_requests = 4;
+          q_probation_agreements = 2;
+          q_head_tolerance = 3;
+        }
+      in
+      let liar = { Fault.none with Fault.f_byz_receipt_forge = 1.0 } in
+      let pool = mk_pool ~policy ~plans:[ None; None; Some liar ] c in
+      let addr = Xcw_evm.Address.of_seed "pool-quarantine" in
+      let receipt () = ignore (Pool.eth_get_transaction_receipt pool tx) in
+      let balance () = ignore (Pool.eth_get_balance pool addr) in
+      (* Requests 1-3: forged receipts -> three strikes -> quarantined. *)
+      receipt ();
+      receipt ();
+      Alcotest.(check bool) "still active after two strikes" true
+        (state pool 2 = Pool.Active);
+      receipt ();
+      Alcotest.(check bool) "quarantined on the third strike" true
+        (state pool 2 = Pool.Quarantined);
+      Alcotest.(check int) "first quarantine" 1
+        (ep_report pool 2).Pool.er_quarantines;
+      (* Requests 4-6: the liar sits out; term not yet served. *)
+      balance ();
+      balance ();
+      balance ();
+      Alcotest.(check bool) "still quarantined mid-term" true
+        (state pool 2 = Pool.Quarantined);
+      (* Request 7: term served -> probation; a clean read counts. *)
+      balance ();
+      Alcotest.(check bool) "released to probation" true
+        (state pool 2 = Pool.Probation);
+      (* Request 8: lying on probation -> immediate re-quarantine with a
+         doubled term (8 requests, ending after request 16). *)
+      receipt ();
+      Alcotest.(check bool) "probation relapse re-quarantines" true
+        (state pool 2 = Pool.Quarantined);
+      Alcotest.(check int) "second quarantine" 2
+        (ep_report pool 2).Pool.er_quarantines;
+      (* Requests 9-15: sitting out the doubled term. *)
+      for _ = 9 to 15 do
+        balance ()
+      done;
+      Alcotest.(check bool) "doubled term still running" true
+        (state pool 2 = Pool.Quarantined);
+      (* Requests 16-17: probation again, two clean reads -> active. *)
+      balance ();
+      Alcotest.(check bool) "probation after the doubled term" true
+        (state pool 2 = Pool.Probation);
+      balance ();
+      Alcotest.(check bool) "readmitted after a clean streak" true
+        (state pool 2 = Pool.Active);
+      (* The record survives readmission. *)
+      let er = ep_report pool 2 in
+      Alcotest.(check bool) "trust still below par" true
+        (er.Pool.er_trust < 1.0);
+      Alcotest.(check (list int)) "history keeps it on the suspect list"
+        [ 2 ] (Pool.health pool).Pool.ph_suspects)
+
+(* Honest stale-head lag within the tolerance is not suspicious; only
+   the equivocator (whose deviation is always >= 8 blocks) is. *)
+let laggard_not_punished =
+  Alcotest.test_case "head tolerance spares laggards, flags equivocators"
+    `Quick (fun () ->
+      let c, _ = chain_with_txs () in
+      let laggard = { Fault.none with Fault.f_stale_head_lag = 2 } in
+      let liar = { Fault.none with Fault.f_byz_head_equivocate = 1.0 } in
+      let pool = mk_pool ~plans:[ None; Some laggard; Some liar ] c in
+      for _ = 1 to 6 do
+        match (Pool.observe_head pool ~head:50).Rpc.value with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "head quorum should hold: %s"
+              (Fault.error_to_string e)
+      done;
+      Alcotest.(check int) "laggard never flagged" 0
+        (ep_report pool 1).Pool.er_disagreements;
+      Alcotest.(check (list int)) "only the equivocator is suspect" [ 2 ]
+        (Pool.health pool).Pool.ph_suspects)
+
+(* Availability failures are never suspicious: a flaky-but-honest
+   endpoint keeps its trust while its errors are counted separately. *)
+let availability_errors_not_suspicious =
+  Alcotest.test_case "availability failures accrue errors, not suspicion"
+    `Quick (fun () ->
+      let c, tx = chain_with_txs () in
+      let flaky =
+        {
+          Fault.none with
+          Fault.f_receipt = { Fault.p_transient = 1.0; p_timeout = 0.0 };
+        }
+      in
+      let pool = mk_pool ~plans:[ None; None; Some flaky ] c in
+      for _ = 1 to 4 do
+        match (Pool.eth_get_transaction_receipt pool tx).Rpc.value with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "two honest endpoints still make quorum: %s"
+              (Fault.error_to_string e)
+      done;
+      let er = ep_report pool 2 in
+      Alcotest.(check int) "no disagreements" 0 er.Pool.er_disagreements;
+      Alcotest.(check bool) "errors counted" true (er.Pool.er_errors > 0);
+      Alcotest.(check (float 1e-9)) "trust intact" 1.0 er.Pool.er_trust;
+      Alcotest.(check (list int)) "no suspects" []
+        (Pool.health pool).Pool.ph_suspects)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "quorum",
+        [
+          create_validates;
+          honest_agreement;
+          forger_identified;
+          mutator_identified;
+          dropper_identified;
+          truncator_identified;
+          equivocator_identified;
+          quarantine_lifecycle;
+          laggard_not_punished;
+          availability_errors_not_suspicious;
+        ] );
+    ]

@@ -236,6 +236,11 @@ let arb_fault_plan =
       f_stale_head_lag = lag;
       f_reorg_prob = float_of_int reorg_pct /. 100.;
       f_reorg_depth = depth;
+      f_byz_log_mutate = 0.;
+      f_byz_log_drop = 0.;
+      f_byz_receipt_forge = 0.;
+      f_byz_trace_truncate = 0.;
+      f_byz_head_equivocate = 0.;
     }
   in
   map plan_of
@@ -244,3 +249,25 @@ let arb_fault_plan =
        (triple (int_bound 10) (int_range 1 4) (int_bound 3))
        (triple (int_bound 20) (int_range 1 3) (int_bound 5))
        (int_bound 5))
+
+(* Byzantine plans: the endpoint answers every request (no availability
+   faults at all) but corrupts served data with the given per-mode
+   percentages — up to and including always-lying (100%).  Used as the
+   liar's plan in the quorum differential property. *)
+let arb_byz_plan =
+  let open QCheck in
+  let plan_of ((mutate, drop), (forge, trunc), equiv) =
+    {
+      Fault.none with
+      Fault.f_byz_log_mutate = float_of_int mutate /. 100.;
+      f_byz_log_drop = float_of_int drop /. 100.;
+      f_byz_receipt_forge = float_of_int forge /. 100.;
+      f_byz_trace_truncate = float_of_int trunc /. 100.;
+      f_byz_head_equivocate = float_of_int equiv /. 100.;
+    }
+  in
+  map plan_of
+    (triple
+       (pair (int_bound 100) (int_bound 100))
+       (pair (int_bound 100) (int_bound 100))
+       (int_bound 100))

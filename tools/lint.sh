@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Format lint: ocamlformat in check mode over every OCaml source in
+# lib/, bin/, bench/ and test/.  Invoked via `dune build @lint` (and
+# from @runtest); skips successfully when ocamlformat is not installed,
+# so minimal build environments are not broken by an optional tool.
+set -u
+
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "lint: ocamlformat not found; skipping the format check"
+  exit 0
+fi
+
+status=0
+while IFS= read -r f; do
+  if ! ocamlformat --check "$f" >/dev/null 2>&1; then
+    echo "lint: $f is not formatted (fix with: ocamlformat -i $f)"
+    status=1
+  fi
+done < <(find lib bin bench test \( -name '*.ml' -o -name '*.mli' \) | sort)
+
+if [ "$status" -eq 0 ]; then
+  echo "lint: all sources formatted"
+fi
+exit $status
