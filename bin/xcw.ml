@@ -149,6 +149,24 @@ let quorum_arg =
           "Endpoints that must agree on a response's exact content before \
            the pool serves it (ignored with a single endpoint).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for Datalog rule evaluation and log decoding.  \
+           The default 1 runs the sequential code paths untouched; any \
+           value produces an identical report (the cross-chain program's \
+           strata are non-recursive, so even derivation order is \
+           reproduced bit-for-bit).")
+
+let apply_jobs input jobs =
+  if jobs < 1 then begin
+    Format.eprintf "xcw: --jobs %d must be at least 1@." jobs;
+    exit 2
+  end;
+  if jobs = 1 then input else { input with Detector.i_ndomains = jobs }
+
 let byzantine_arg =
   Arg.(
     value
@@ -239,7 +257,7 @@ let build_scenario kind scale seed =
   | Ronin -> (Xcw_workload.Ronin.build ~seed ~scale (), Decoder.ronin_plugin)
 
 let detect_cmd =
-  let run kind scale seed latency endpoints quorum byzantine report_file
+  let run kind scale seed latency endpoints quorum byzantine jobs report_file
       dataset_file dataset_csv_file rules_file dump_facts_dir metrics_file
       trace_file =
     let built, plugin = build_scenario kind scale seed in
@@ -267,6 +285,7 @@ let detect_cmd =
       }
     in
     let input = apply_quorum input endpoints quorum byzantine in
+    let input = apply_jobs input jobs in
     let result = Detector.run input in
     Format.printf "%a@." Report.pp result.Detector.report;
     Option.iter
@@ -314,12 +333,12 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Generate a bridge scenario and run anomaly detection")
     Term.(
       const run $ bridge_arg $ scale_arg $ seed_arg $ latency_arg
-      $ endpoints_arg $ quorum_arg $ byzantine_arg $ report_arg $ dataset_arg
-      $ dataset_csv_arg $ rules_file_arg $ dump_facts_arg $ metrics_arg
-      $ trace_arg)
+      $ endpoints_arg $ quorum_arg $ byzantine_arg $ jobs_arg $ report_arg
+      $ dataset_arg $ dataset_csv_arg $ rules_file_arg $ dump_facts_arg
+      $ metrics_arg $ trace_arg)
 
 let monitor_cmd =
-  let run kind scale seed interval_hours endpoints quorum byzantine
+  let run kind scale seed interval_hours endpoints quorum byzantine jobs
       metrics_file trace_file =
     let built, plugin = build_scenario kind scale seed in
     let module Monitor = Xcw_core.Monitor in
@@ -340,6 +359,7 @@ let monitor_cmd =
       }
     in
     let input = apply_quorum input endpoints quorum byzantine in
+    let input = apply_jobs input jobs in
     let mon = Monitor.create input in
     let src_blocks =
       Chain.all_blocks built.Scenario.bridge.Bridge.source.Bridge.chain
@@ -401,7 +421,8 @@ let monitor_cmd =
        ~doc:"Replay a scenario through the streaming monitor, printing alerts")
     Term.(
       const run $ bridge_arg $ scale_arg $ seed_arg $ interval_arg
-      $ endpoints_arg $ quorum_arg $ byzantine_arg $ metrics_arg $ trace_arg)
+      $ endpoints_arg $ quorum_arg $ byzantine_arg $ jobs_arg $ metrics_arg
+      $ trace_arg)
 
 let rules_cmd =
   let run () =

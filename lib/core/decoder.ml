@@ -132,14 +132,21 @@ let as_addr_hex = function
   | Abi.Value.Address a -> Hex.encode_0x a
   | _ -> invalid_arg "expected address"
 
-(** Decode all facts from one transaction, given its receipt fetched
-    from [rpc].  [config] identifies the watched contracts;
-    [role] states whether this chain is the bridge's source or target;
-    [chain_id] is the chain the receipt belongs to. *)
-let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
-    ~(chain_id : int) (client : Client.t) (r : Types.receipt) :
-    (receipt_decode, Rpc.error) result =
-  let latency = ref 0.0 in
+(* The pure part of a receipt decode: what the event logs alone yield,
+   with no RPC involved.  Facts and errors are in reverse push order
+   (the completion step keeps pushing and reverses once at the end).
+   Being a pure function of the receipt, this is the phase that
+   parallel decoding fans out across domains. *)
+type logs_decode = {
+  ld_facts : Facts.t list;
+  ld_errors : decode_error list;
+  ld_needs_trace : bool;
+}
+
+(** Decode the event logs of one receipt into facts — the RPC-free
+    phase 1 of {!decode_receipt}. *)
+let decode_logs (plugin : plugin) (config : Config.t) ~(role : chain_role)
+    ~(chain_id : int) (r : Types.receipt) : logs_decode =
   let facts = ref [] in
   let errors = ref [] in
   let tx_hash = Facts.hex_of_hash r.Types.r_tx_hash in
@@ -165,7 +172,6 @@ let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
     push (Facts.Bridge_event_decode_failure { tx_hash })
   in
   let needs_trace = ref false in
-  let trace_gap = ref false in
   (* --- Event decoding ------------------------------------------------ *)
   let decode_log (l : Types.log) =
     match topic0_of l with
@@ -363,6 +369,22 @@ let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
         end
   in
   List.iter decode_log r.Types.r_logs;
+  { ld_facts = !facts; ld_errors = !errors; ld_needs_trace = !needs_trace }
+
+(** Complete a receipt decode from its pure log phase: fetch the
+    transaction (and call trace) when native value may be involved,
+    append the Transaction fact, and assemble the result.  This is the
+    RPC-bound phase 2 — it stays on the submitting domain. *)
+let decode_receipt_from (ld : logs_decode) ~(chain_id : int)
+    (client : Client.t) (r : Types.receipt) :
+    (receipt_decode, Rpc.error) result =
+  let latency = ref 0.0 in
+  let facts = ref ld.ld_facts in
+  let errors = ref ld.ld_errors in
+  let tx_hash = Facts.hex_of_hash r.Types.r_tx_hash in
+  let push f = facts := f :: !facts in
+  let needs_trace = ref ld.ld_needs_trace in
+  let trace_gap = ref false in
   (* --- Transaction fact ---------------------------------------------- *)
   (* The receipt does not carry tx.value (paper Section 3.2): fetch the
      transaction when the receipt suggests native-value involvement,
@@ -439,13 +461,49 @@ let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
           rd_provenance = Client.provenance client;
         }
 
+(** Decode all facts from one transaction, given its receipt fetched
+    from [rpc].  [config] identifies the watched contracts;
+    [role] states whether this chain is the bridge's source or target;
+    [chain_id] is the chain the receipt belongs to. *)
+let decode_receipt (plugin : plugin) (config : Config.t) ~(role : chain_role)
+    ~(chain_id : int) (client : Client.t) (r : Types.receipt) :
+    (receipt_decode, Rpc.error) result =
+  decode_receipt_from
+    (decode_logs plugin config ~role ~chain_id r)
+    ~chain_id client r
+
+(* Contiguous order-preserving chunks for the decode fan-out. *)
+let chunk_receipts k l =
+  match l with
+  | [] -> []
+  | l ->
+      let n = List.length l in
+      let size = (n + k - 1) / k in
+      let rec go acc cur cnt = function
+        | [] -> List.rev (List.rev cur :: acc)
+        | x :: rest ->
+            if cnt = size then go (List.rev cur :: acc) [ x ] 1 rest
+            else go acc (x :: cur) (cnt + 1) rest
+      in
+      go [] [] 0 l
+
 (** Decode a whole chain's receipts; includes the receipt-fetch latency
     per transaction.  Returns per-receipt decode results in chain
     order.  Transient RPC failures are retried until the receipt
     decodes; a receipt that keeps failing yields an empty decode with
-    a single "rpc failure" error instead of raising. *)
-let decode_chain (plugin : plugin) (config : Config.t) ~(role : chain_role)
-    (client : Client.t) (chain : Xcw_chain.Chain.t) : receipt_decode list =
+    a single "rpc failure" error instead of raising.
+
+    [ndomains] (default 1: the unchanged sequential path) splits the
+    decode into three phases — sequential receipt fetch, pure log
+    decoding fanned out over the shared domain pool in contiguous
+    chunks, then sequential transaction/trace fetches — because the
+    simulated RPC client is single-domain.  The fact lists, errors and
+    result order are identical to the sequential path; only the
+    {e order} of RPC calls changes (fetches are batched up front), so
+    individual simulated latency draws land on different calls. *)
+let decode_chain ?(ndomains = 1) (plugin : plugin) (config : Config.t)
+    ~(role : chain_role) (client : Client.t) (chain : Xcw_chain.Chain.t) :
+    receipt_decode list =
   let chain_id = chain.Xcw_chain.Chain.chain_id in
   (* The client already retries each RPC up to its policy; this outer
      loop re-runs whole receipts so batch extraction survives fault
@@ -476,24 +534,83 @@ let decode_chain (plugin : plugin) (config : Config.t) ~(role : chain_role)
     ~attrs:[ ("chain_id", string_of_int chain_id) ]
     "decoder.decode_chain"
     (fun () ->
-      List.map
-        (fun (r : Types.receipt) ->
-          let rec attempt round =
-            let fetch = Client.get_receipt client r.Types.r_tx_hash in
-            match fetch.Rpc.value with
-            | Error e ->
-                if round >= max_rounds then abandoned r e
-                else attempt (round + 1)
-            | Ok _ -> (
-                match decode_receipt plugin config ~role ~chain_id client r with
-                | Ok decoded ->
-                    {
-                      decoded with
-                      rd_latency = decoded.rd_latency +. fetch.Rpc.latency;
-                    }
+      if ndomains <= 1 then
+        List.map
+          (fun (r : Types.receipt) ->
+            let rec attempt round =
+              let fetch = Client.get_receipt client r.Types.r_tx_hash in
+              match fetch.Rpc.value with
+              | Error e ->
+                  if round >= max_rounds then abandoned r e
+                  else attempt (round + 1)
+              | Ok _ -> (
+                  match
+                    decode_receipt plugin config ~role ~chain_id client r
+                  with
+                  | Ok decoded ->
+                      {
+                        decoded with
+                        rd_latency = decoded.rd_latency +. fetch.Rpc.latency;
+                      }
+                  | Error e ->
+                      if round >= max_rounds then abandoned r e
+                      else attempt (round + 1))
+            in
+            attempt 1)
+          (Xcw_chain.Chain.all_receipts chain)
+      else begin
+        (* Phase A (sequential): fetch every receipt through the
+           client's usual retry envelope. *)
+        let fetched =
+          List.map
+            (fun (r : Types.receipt) ->
+              let rec attempt round =
+                let fetch = Client.get_receipt client r.Types.r_tx_hash in
+                match fetch.Rpc.value with
+                | Error e ->
+                    if round >= max_rounds then Error (abandoned r e)
+                    else attempt (round + 1)
+                | Ok _ -> Ok (r, fetch.Rpc.latency)
+              in
+              attempt 1)
+            (Xcw_chain.Chain.all_receipts chain)
+        in
+        (* Phase B (parallel): pure log decoding, fanned out in
+           contiguous chunks; chunk outputs concatenate back in chain
+           order. *)
+        let oks =
+          List.filter_map
+            (function Ok rf -> Some rf | Error _ -> None)
+            fetched
+        in
+        let pool = Xcw_par.Pool.get ~ndomains in
+        let decoded =
+          List.concat
+            (Xcw_par.Pool.run pool
+               (List.map
+                  (fun chunk () ->
+                    List.map
+                      (fun ((r : Types.receipt), _) ->
+                        decode_logs plugin config ~role ~chain_id r)
+                      chunk)
+                  (chunk_receipts ndomains oks)))
+        in
+        (* Phase C (sequential): transaction/trace fetches and result
+           assembly, retrying the RPC-bound completion per receipt. *)
+        let rec zip fetched decoded =
+          match (fetched, decoded) with
+          | [], [] -> []
+          | Error rd :: fs, ds -> rd :: zip fs ds
+          | Ok (r, fetch_latency) :: fs, ld :: ds ->
+              let rec complete round =
+                match decode_receipt_from ld ~chain_id client r with
+                | Ok d -> { d with rd_latency = d.rd_latency +. fetch_latency }
                 | Error e ->
                     if round >= max_rounds then abandoned r e
-                    else attempt (round + 1))
-          in
-          attempt 1)
-        (Xcw_chain.Chain.all_receipts chain))
+                    else complete (round + 1)
+              in
+              complete 1 :: zip fs ds
+          | _ -> assert false
+        in
+        zip fetched decoded
+      end)

@@ -75,11 +75,24 @@ val decode_receipt :
     facts are emitted trace-less with [rd_trace_gap] set. *)
 
 val decode_chain :
-  plugin -> Config.t -> role:chain_role -> Client.t -> Xcw_chain.Chain.t ->
+  ?ndomains:int ->
+  plugin ->
+  Config.t ->
+  role:chain_role ->
+  Client.t ->
+  Xcw_chain.Chain.t ->
   receipt_decode list
 (** Decode a whole chain's receipts in order, including the
     receipt-fetch latency per transaction.  Transient failures are
     retried until the receipt decodes; a receipt that keeps failing
     (non-transient plan) yields an empty decode carrying one
     {!decode_error} with an ["rpc failure"] detail rather than
-    raising. *)
+    raising.
+
+    [ndomains] (default 1: the sequential path, unchanged) fans the
+    RPC-free log-decoding phase out over the shared {!Xcw_par.Pool} in
+    contiguous per-receipt chunks, while receipt and transaction/trace
+    fetches stay sequential (the simulated client is single-domain).
+    Facts, errors and result order are identical at any worker count;
+    only the order of RPC calls — and hence which simulated latency
+    draw lands on which call — changes. *)

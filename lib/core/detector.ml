@@ -52,6 +52,10 @@ type input = {
           endpoint is faultless); indices beyond the list fall back to
           [i_source_fault]/[i_target_fault].  This is how tests make
           exactly one endpoint Byzantine. *)
+  i_ndomains : int;
+      (** worker domains for rule evaluation and log decoding
+          ({!Engine.run} / {!Decoder.decode_chain}); 1 (the default)
+          runs the sequential paths untouched *)
 }
 
 let default_input ~label ~plugin ~config ~source_chain ~target_chain ~pricing =
@@ -74,6 +78,7 @@ let default_input ~label ~plugin ~config ~source_chain ~target_chain ~pricing =
     i_quorum = 1;
     i_source_endpoint_faults = [];
     i_target_endpoint_faults = [];
+    i_ndomains = 1;
   }
 
 (* Build one side's client: a plain single-endpoint client, or — with
@@ -134,12 +139,12 @@ let run (input : input) : result =
       ~endpoint_faults:input.i_target_endpoint_faults input.i_target_chain
   in
   let src_decoded =
-    Decoder.decode_chain input.i_plugin config ~role:Decoder.Source src_client
-      input.i_source_chain
+    Decoder.decode_chain ~ndomains:input.i_ndomains input.i_plugin config
+      ~role:Decoder.Source src_client input.i_source_chain
   in
   let dst_decoded =
-    Decoder.decode_chain input.i_plugin config ~role:Decoder.Target dst_client
-      input.i_target_chain
+    Decoder.decode_chain ~ndomains:input.i_ndomains input.i_plugin config
+      ~role:Decoder.Target dst_client input.i_target_chain
   in
   let db = Engine.create_db () in
   ignore (Facts.load_all db (Config.to_facts config));
@@ -151,7 +156,7 @@ let run (input : input) : result =
   let total_facts = Engine.total_tuples db in
   (* Phase 3: evaluate the cross-chain rules. *)
   let t1 = Unix.gettimeofday () in
-  let rule_stats = Engine.run db input.i_program in
+  let rule_stats = Engine.run ~ndomains:input.i_ndomains db input.i_program in
   let eval_seconds = Unix.gettimeofday () -. t1 in
   let all_decode_errors =
     List.concat_map (fun rd -> rd.Decoder.rd_errors) (src_decoded @ dst_decoded)

@@ -49,6 +49,12 @@ type input = {
           endpoint is faultless); indices beyond the list fall back to
           the side-wide plan.  This is how tests make exactly one
           endpoint Byzantine. *)
+  i_ndomains : int;
+      (** worker domains for rule evaluation and log decoding
+          ({!Xcw_datalog.Engine.run} / {!Decoder.decode_chain});
+          1 (the default) runs the sequential paths untouched, and any
+          value produces an identical report (see the determinism notes
+          on those two functions) *)
 }
 
 val default_input :

@@ -398,7 +398,8 @@ and poll_body t ~source_block ~target_block : alert list =
            are skipped by the engine. *)
         ignore (Facts.load_all t.m_db fresh_facts);
       ignore
-        (Engine.run_incremental ~metrics:t.m_metrics t.m_db
+        (Engine.run_incremental ~metrics:t.m_metrics
+           ~ndomains:t.m_input.Detector.i_ndomains t.m_db
            t.m_input.Detector.i_program);
       t.m_db
     end
@@ -407,7 +408,10 @@ and poll_body t ~source_block ~target_block : alert list =
       let db = Engine.create_db () in
       ignore (Facts.load_all db (Config.to_facts t.m_input.Detector.i_config));
       ignore (Facts.load_all db (all_entry_facts t));
-      ignore (Engine.run ~metrics:t.m_metrics db t.m_input.Detector.i_program);
+      ignore
+        (Engine.run ~metrics:t.m_metrics
+           ~ndomains:t.m_input.Detector.i_ndomains db
+           t.m_input.Detector.i_program);
       db
     end
   in

@@ -13,6 +13,7 @@
 open Ast
 module Metrics = Xcw_obs.Metrics
 module Span = Xcw_obs.Span
+module Pool = Xcw_par.Pool
 
 exception Unsafe_rule of string
 exception Not_stratifiable of string
@@ -23,12 +24,47 @@ exception Not_stratifiable of string
 module Relation = struct
   type tuple = const array
 
+  (* An index is sharded by key hash into a fixed number of sub-tables
+     so a large build can be filled by several domains at once — one
+     task per shard, no shared mutable table.  The shard count is a
+     constant, never a function of the pool, so the structure (and with
+     it every lookup result) is identical at any worker count; within a
+     shard, the tuples of one key are inserted in relation-iteration
+     order exactly as an unsharded fill would insert them, so each
+     per-key candidate list is identical to a sequential on-demand
+     build. *)
+  type index = (const list, tuple list ref) Hashtbl.t array
+
   type t = {
     mutable arity : int option;
     tuples : (tuple, unit) Hashtbl.t;
-    (* position list -> (projected key -> tuples with that key) *)
-    indices : (int list, (const list, tuple list ref) Hashtbl.t) Hashtbl.t;
+    (* position list -> key-hash-sharded (projected key -> tuples) *)
+    indices : (int list, index) Hashtbl.t;
   }
+
+  let nshards = 16
+
+  (* O(1) shard pick.  Sampling a couple of characters spreads keys
+     over 16 shards perfectly well (hex-digit tails are uniform), and —
+     unlike [Hashtbl.hash] — doesn't re-walk a 66-character hash string
+     on every lookup on top of the hash the sub-table's own find
+     already computes. *)
+  let shard_of_const = function
+    | Int i -> i
+    | Str s ->
+        let n = String.length s in
+        if n = 0 then 0
+        else
+          n
+          + (31 * Char.code (String.unsafe_get s (n - 1)))
+          + Char.code (String.unsafe_get s (n / 2))
+
+  let shard_of key =
+    match key with
+    | [] -> 0
+    | [ c ] -> shard_of_const c land (nshards - 1)
+    | c1 :: c2 :: _ ->
+        (shard_of_const c1 + (131 * shard_of_const c2)) land (nshards - 1)
 
   let create () =
     { arity = None; tuples = Hashtbl.create 256; indices = Hashtbl.create 4 }
@@ -46,11 +82,12 @@ module Relation = struct
             (Printf.sprintf "Relation: arity mismatch (%d vs %d)" a
                (Array.length tuple))
 
-  let index_insert idx positions tuple =
+  let index_insert (idx : index) positions tuple =
     let key = List.map (fun p -> tuple.(p)) positions in
-    match Hashtbl.find_opt idx key with
+    let tbl = idx.(shard_of key) in
+    match Hashtbl.find_opt tbl key with
     | Some l -> l := tuple :: !l
-    | None -> Hashtbl.replace idx key (ref [ tuple ])
+    | None -> Hashtbl.replace tbl key (ref [ tuple ])
 
   (** [add t tuple] inserts; returns [true] if the tuple is new. *)
   let add t tuple =
@@ -66,6 +103,24 @@ module Relation = struct
 
   let to_list t = Hashtbl.fold (fun tuple () acc -> tuple :: acc) t.tuples []
 
+  (* Same element order as [to_list] (the array is filled back to
+     front, and stdlib [Hashtbl.iter] and [Hashtbl.fold] traverse
+     identically) — parallel chunking partitions this array, so the
+     order must match what the sequential path gets from [lookup]. *)
+  let to_array t =
+    let n = Hashtbl.length t.tuples in
+    if n = 0 then [||]
+    else begin
+      let arr = Array.make n [||] in
+      let i = ref n in
+      Hashtbl.iter
+        (fun tuple () ->
+          decr i;
+          arr.(!i) <- tuple)
+        t.tuples;
+      arr
+    end
+
   (** [clear t] removes every tuple but keeps the arity and the set of
       registered index position-lists, so indices built by earlier
       lookups are maintained (not rebuilt) by subsequent [add]s — the
@@ -73,7 +128,79 @@ module Relation = struct
       place. *)
   let clear t =
     Hashtbl.reset t.tuples;
-    Hashtbl.iter (fun _ idx -> Hashtbl.reset idx) t.indices
+    Hashtbl.iter (fun _ idx -> Array.iter Hashtbl.reset idx) t.indices
+
+  let new_index t : index =
+    Array.init nshards (fun _ -> Hashtbl.create (max 16 (size t / nshards)))
+
+  (** [ensure_index t positions] builds the hash index for [positions]
+      if absent.  Parallel evaluation pre-builds every index a stratum
+      can touch so worker domains only ever {e read} the relation. *)
+  let ensure_index t positions =
+    match positions with
+    | [] -> ()
+    | _ ->
+        if not (Hashtbl.mem t.indices positions) then begin
+          let idx = new_index t in
+          iter t (fun tuple -> index_insert idx positions tuple);
+          Hashtbl.replace t.indices positions idx
+        end
+
+  (* Parallel index construction: register the (empty) index on the
+     submitting domain — so a single thread owns the [indices] map —
+     and return closures that fill it on any domain.  [`Fill f] is one
+     task for the whole index (small relations).  [`Sharded (n, ka, is)]
+     splits a big fill two ways: [ka lo hi] projects and shard-hashes
+     tuples [lo, hi) of a snapshot array into scratch arrays (disjoint
+     ranges, any domain), and — only after {e every} range task has
+     run — [is s] inserts the tuples of shard [s] (one task per shard,
+     each owning a disjoint sub-table).  The snapshot array is in
+     [to_list] order, i.e. the reverse of iteration order, so the
+     insert loop walks it backwards to reproduce the exact insert
+     order of a sequential fill.  Contract: no [add] until every
+     returned phase has run, or the tuple would be indexed twice.
+     [None] when the index already exists (or [positions] is empty). *)
+  let shard_fill_threshold = 4096
+
+  let prepare_index t positions =
+    match positions with
+    | [] -> None
+    | _ ->
+        if Hashtbl.mem t.indices positions then None
+        else begin
+          let idx = new_index t in
+          Hashtbl.replace t.indices positions idx;
+          let n = size t in
+          if n < shard_fill_threshold then
+            Some
+              (`Fill
+                (fun () -> iter t (fun tuple -> index_insert idx positions tuple)))
+          else begin
+            let arr = to_array t in
+            let keys = Array.make n [] in
+            let shards = Array.make n 0 in
+            let keys_range lo hi =
+              for i = lo to hi - 1 do
+                let tuple = arr.(i) in
+                let key = List.map (fun p -> tuple.(p)) positions in
+                keys.(i) <- key;
+                shards.(i) <- shard_of key
+              done
+            in
+            let insert_shard s =
+              let tbl = idx.(s) in
+              for i = n - 1 downto 0 do
+                if shards.(i) = s then begin
+                  let key = keys.(i) in
+                  match Hashtbl.find_opt tbl key with
+                  | Some l -> l := arr.(i) :: !l
+                  | None -> Hashtbl.replace tbl key (ref [ arr.(i) ])
+                end
+              done
+            in
+            Some (`Sharded (n, keys_range, insert_shard))
+          end
+        end
 
   (** [lookup t positions key] returns all tuples whose projection on
       [positions] equals [key], using (and building on first use) a hash
@@ -82,16 +209,11 @@ module Relation = struct
     match positions with
     | [] -> to_list t
     | _ -> (
-        let idx =
-          match Hashtbl.find_opt t.indices positions with
-          | Some idx -> idx
-          | None ->
-              let idx = Hashtbl.create (max 16 (size t)) in
-              iter t (fun tuple -> index_insert idx positions tuple);
-              Hashtbl.replace t.indices positions idx;
-              idx
-        in
-        match Hashtbl.find_opt idx key with Some l -> !l | None -> [])
+        ensure_index t positions;
+        let idx = Hashtbl.find t.indices positions in
+        match Hashtbl.find_opt idx.(shard_of key) key with
+        | Some l -> !l
+        | None -> [])
 end
 
 (* ------------------------------------------------------------------ *)
@@ -190,12 +312,16 @@ let escape_cell s =
     [dir] — the input format Souffle consumes, so an exported fact base
     can be fed to the original XChainWatcher artifact for
     cross-validation.  [dir] and its parents are created as needed;
-    tabs/newlines/backslashes inside values are backslash-escaped. *)
+    tabs/newlines/backslashes inside values are backslash-escaped.
+    Rows are sorted lexicographically, so the files are byte-stable
+    across insertion orders and worker counts (a relation is a set; the
+    hash-table iteration order is an implementation detail). *)
 let dump_facts (db : db) ~dir =
   mkdir_p dir;
   Hashtbl.iter
     (fun pred rel ->
       let oc = open_out (Filename.concat dir (pred ^ ".facts")) in
+      let lines = ref [] in
       Relation.iter rel (fun tuple ->
           let cells =
             Array.to_list tuple
@@ -203,8 +329,12 @@ let dump_facts (db : db) ~dir =
                  | Str s -> escape_cell s
                  | Int n -> string_of_int n)
           in
-          output_string oc (String.concat "\t" cells);
-          output_char oc '\n');
+          lines := String.concat "\t" cells :: !lines);
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (List.sort compare !lines);
       close_out oc)
     db.db_rels
 
@@ -515,44 +645,93 @@ let instantiate (a : compiled_atom) (env : env) : Relation.tuple =
 
 (* Depth-first evaluation of the body from literal [idx]; calls [emit]
    for every satisfying environment.  [delta_at]/[delta_tuples]
-   restrict one positive literal to the semi-naive delta. *)
+   restrict one positive literal to the semi-naive delta; [over]
+   overrides the candidate list of one positive literal outright — the
+   hook domain-parallel evaluation uses to hand each worker a
+   contiguous chunk [(pos, arr, start, len)] of the driving literal's
+   candidate array (a range, so the submitter never re-conses
+   per-chunk sublists).
+
+   Body evaluation never mutates the database: relations are read via
+   [Hashtbl.find_opt] (a missing relation simply has no tuples) and any
+   index a lookup needs is pre-built by the parallel driver, so
+   concurrent workers share the structures read-only. *)
 let rec eval_from (db : db) (cr : compiled_rule) (env : env) ~idx ~delta_at
-    ~delta_tuples ~emit =
+    ~delta_tuples ~over ~emit =
   if idx >= Array.length cr.cr_body then emit env
   else
     match cr.cr_body.(idx) with
-    | C_pos a ->
-        let candidates =
-          match delta_at with
-          | Some d when d = idx -> delta_tuples
-          | _ ->
-              let rel = relation db a.c_pred in
-              let positions, key = bound_positions a env in
-              Relation.lookup rel positions key
+    | C_pos a -> (
+        let visit tuple =
+          let trail = ref [] in
+          if unify_tuple a tuple env trail then begin
+            eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~over
+              ~emit;
+            List.iter (fun i -> env.(i) <- None) !trail
+          end
         in
-        List.iter
-          (fun tuple ->
-            let trail = ref [] in
-            if unify_tuple a tuple env trail then begin
-              eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit;
-              List.iter (fun i -> env.(i) <- None) !trail
-            end)
-          candidates
+        match over with
+        | Some (o, arr, start, len) when o = idx ->
+            for i = start to start + len - 1 do
+              visit arr.(i)
+            done
+        | _ ->
+            let candidates =
+              match delta_at with
+              | Some d when d = idx -> delta_tuples
+              | _ -> (
+                  match Hashtbl.find_opt db.db_rels a.c_pred with
+                  | None -> []
+                  | Some rel ->
+                      let positions, key = bound_positions a env in
+                      Relation.lookup rel positions key)
+            in
+            List.iter visit candidates)
     | C_neg a ->
-        let tuple = instantiate a env in
-        if not (Relation.mem (relation db a.c_pred) tuple) then
-          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit
+        let present =
+          match Hashtbl.find_opt db.db_rels a.c_pred with
+          | Some rel -> Relation.mem rel (instantiate a env)
+          | None -> false
+        in
+        if not present then
+          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~over ~emit
     | C_cmp (op, lhs, rhs) ->
         if eval_ccmp env op lhs rhs then
-          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit
+          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~over ~emit
 
 (* Evaluate a compiled rule, calling [on_derived] with each (possibly
    duplicate) head tuple. *)
 let eval_rule (db : db) (cr : compiled_rule) ~delta_at ~delta_tuples
     ~on_derived =
   let env : env = Array.make (max 1 cr.cr_nvars) None in
-  eval_from db cr env ~idx:0 ~delta_at ~delta_tuples ~emit:(fun env ->
-      on_derived (instantiate cr.cr_head env))
+  eval_from db cr env ~idx:0 ~delta_at ~delta_tuples ~over:None
+    ~emit:(fun env -> on_derived (instantiate cr.cr_head env))
+
+(* Worker-side evaluation of one partition: collect the head tuples in
+   derivation order instead of inserting them — the submitter merges
+   partitions in submission order, so concatenating the per-partition
+   lists reproduces the exact sequential derivation sequence.
+
+   Duplicates within the partition are dropped on the worker, keeping
+   each tuple's {e first} derivation.  That moves dedup work off the
+   serial merge without changing the result: sequentially a tuple is
+   inserted at its first derivation and later duplicates are no-ops,
+   and since partitions merge in submission order, the first surviving
+   occurrence lands at exactly the sequential insertion position.
+   (Cross-partition duplicates still exist; [Relation.add] in the
+   merge handles those as before.) *)
+let eval_rule_partition (db : db) (cr : compiled_rule) ~delta_at ~delta_tuples
+    ~over : Relation.tuple list =
+  let env : env = Array.make (max 1 cr.cr_nvars) None in
+  let out = ref [] in
+  let seen : (Relation.tuple, unit) Hashtbl.t = Hashtbl.create 64 in
+  eval_from db cr env ~idx:0 ~delta_at ~delta_tuples ~over ~emit:(fun env ->
+      let tuple = instantiate cr.cr_head env in
+      if not (Hashtbl.mem seen tuple) then begin
+        Hashtbl.replace seen tuple ();
+        out := tuple :: !out
+      end);
+  List.rev !out
 
 (* ------------------------------------------------------------------ *)
 (* Fixpoint                                                            *)
@@ -601,6 +780,7 @@ type engine_obs = {
   eo_retractions : Metrics.Counter.t;
   eo_tuples : Metrics.Counter.t;
   eo_delta : Metrics.Histogram.t;
+  eo_par_tasks : Metrics.Counter.t;
 }
 
 (* Rules are labelled by position so the label sorts in program order
@@ -627,6 +807,7 @@ let make_obs reg (program : program) =
     eo_retractions = Metrics.counter reg "xcw_datalog_retractions_total";
     eo_tuples = Metrics.counter reg "xcw_datalog_tuples_derived_total";
     eo_delta = Metrics.histogram reg "xcw_datalog_delta_tuples";
+    eo_par_tasks = Metrics.counter reg "xcw_datalog_parallel_tasks_total";
   }
 
 (* Time one stratum into its labelled histogram and a span on the
@@ -660,7 +841,7 @@ let with_stratum obs i recursive ~mode f =
    semi-naive *insertion*, sound when the stratum is monotone w.r.t.
    the changed predicates.  [on_new] fires for every tuple actually
    added to the database (across all rounds). *)
-let eval_stratum (db : db) (stats : stats) ~naive ~obs
+let eval_stratum_seq (db : db) (stats : stats) ~naive ~obs
     (stratum_rules : rule list) (recursive : bool)
     ~(seed : [ `Full | `Deltas of (string, Relation.tuple list) Hashtbl.t ])
     ~(on_new : string -> Relation.tuple -> unit) : unit =
@@ -750,16 +931,344 @@ let eval_stratum (db : db) (stats : stats) ~naive ~obs
     continue_ := Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false
   done
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel stratum evaluation                                  *)
+
+(* Partitioning scheme: within a pass, each (rule, delta-occurrence)
+   job splits the candidate list of its {e driving literal} — the first
+   positive body literal, the outermost loop of the backtracking join —
+   into contiguous chunks (several per domain).  Workers evaluate chunks against
+   the shared relations read-only (every index a chunk can touch is
+   pre-built below; head insertions are deferred), and the submitter
+   merges the per-chunk derivation lists in submission order.
+
+   Determinism argument: for a non-recursive stratum the body
+   predicates are all fully materialized by earlier strata, so chunk
+   evaluation is a pure function of the frozen database and
+   concatenating chunk outputs in order is {e exactly} the sequential
+   derivation sequence; first-come deduplication at merge time then
+   reproduces the sequential insertion order bit-for-bit, for any
+   worker count.  Recursive strata synchronize per semi-naive round
+   (workers read the frozen previous-round state), which reaches the
+   same fixpoint — the same tuple sets and derived-tuple counts — but
+   may order insertions differently than the interleaved sequential
+   rounds; the shipped cross-chain program is fully non-recursive. *)
+
+(* The variable slots bound when control reaches body literal [idx] are
+   statically known — exactly the variables of earlier positive
+   literals ([unify_tuple] binds every variable of an atom; negations
+   and comparisons bind nothing).  Hence the index position-list each
+   lookup will use is static too, and can be pre-built sequentially. *)
+let static_bound_positions (cr : compiled_rule) : (int * int list) list =
+  let bound = Array.make (max 1 cr.cr_nvars) false in
+  let acc = ref [] in
+  Array.iteri
+    (fun idx lit ->
+      match lit with
+      | C_pos a ->
+          let positions = ref [] in
+          Array.iteri
+            (fun k arg ->
+              match arg with
+              | S_const _ -> positions := k :: !positions
+              | S_var i -> if bound.(i) then positions := k :: !positions)
+            a.c_args;
+          acc := (idx, List.rev !positions) :: !acc;
+          Array.iter
+            (function S_var i -> bound.(i) <- true | S_const _ -> ())
+            a.c_args
+      | C_neg _ | C_cmp _ -> ())
+    cr.cr_body;
+  List.rev !acc
+
+(* Pre-build every index the stratum's lookups can touch, fanning the
+   work out over the pool — empty index tables are registered
+   sequentially here (a single thread owns each relation's index map)
+   and the fills run as independent tasks, so no two tasks share
+   mutable state and a relation needing several indices doesn't
+   serialize them into one long task.  Small indices are one task
+   each; a large index splits into key-projection range tasks followed
+   by one insert task per shard (the phase barrier between the two
+   batches is what lets the shard inserts read every scratch key).
+   Index contents are a pure function of the relation, so build order
+   is irrelevant; the pool's batch synchronization publishes the
+   writes to all workers before evaluation starts. *)
+let prepare_indices (db : db) ~pool compiled =
+  let seen : (string * int list, unit) Hashtbl.t = Hashtbl.create 16 in
+  let phase_a = ref [] in
+  let phase_b = ref [] in
+  let k = max 1 (Pool.ndomains pool) in
+  List.iter
+    (fun cr ->
+      List.iter
+        (fun (idx, positions) ->
+          match (positions, cr.cr_body.(idx)) with
+          | [], _ -> ()
+          | _, C_pos a ->
+              if not (Hashtbl.mem seen (a.c_pred, positions)) then begin
+                Hashtbl.add seen (a.c_pred, positions) ();
+                match Hashtbl.find_opt db.db_rels a.c_pred with
+                | Some rel -> (
+                    match Relation.prepare_index rel positions with
+                    | Some (`Fill fill) -> phase_a := fill :: !phase_a
+                    | Some (`Sharded (n, keys_range, insert_shard)) ->
+                        let chunk = max 2048 ((n + (4 * k) - 1) / (4 * k)) in
+                        let lo = ref 0 in
+                        while !lo < n do
+                          let lo' = !lo in
+                          let hi = min n (lo' + chunk) in
+                          phase_a := (fun () -> keys_range lo' hi) :: !phase_a;
+                          lo := hi
+                        done;
+                        for s = 0 to Relation.nshards - 1 do
+                          phase_b := (fun () -> insert_shard s) :: !phase_b
+                        done
+                    | None -> ())
+                | None -> ()
+              end
+          | _ -> ())
+        (static_bound_positions cr))
+    compiled;
+  ignore (Pool.run pool !phase_a);
+  ignore (Pool.run pool !phase_b)
+
+let first_pos (cr : compiled_rule) =
+  let n = Array.length cr.cr_body in
+  let rec go i =
+    if i >= n then None
+    else match cr.cr_body.(i) with C_pos _ -> Some i | _ -> go (i + 1)
+  in
+  go 0
+
+(* One (rule, delta-occurrence) evaluation job, as the sequential
+   [eval_into] call sites produce them. *)
+type par_occurrence = {
+  po_cr : compiled_rule;
+  po_delta_at : int option;
+  po_delta_tuples : Relation.tuple list;
+}
+
+(* The driving literal's candidates are materialized once as an array
+   and chunked as contiguous index ranges — no per-chunk sublists to
+   cons on the submitter.  Range boundaries never affect the result:
+   the merge concatenates chunk outputs in submission order. *)
+let occurrence_chunks (db : db) ~k (oc : par_occurrence) :
+    (int * Relation.tuple array * int * int) option list =
+  let cr = oc.po_cr in
+  match first_pos cr with
+  | None -> [ None ]
+  | Some p ->
+      let candidates =
+        match oc.po_delta_at with
+        | Some d when d = p -> Array.of_list oc.po_delta_tuples
+        | _ -> (
+            match cr.cr_body.(p) with
+            | C_pos a -> (
+                match Hashtbl.find_opt db.db_rels a.c_pred with
+                | None -> [||]
+                | Some rel -> (
+                    let env : env = Array.make (max 1 cr.cr_nvars) None in
+                    let positions, key = bound_positions a env in
+                    match positions with
+                    | [] -> Relation.to_array rel
+                    | _ -> Array.of_list (Relation.lookup rel positions key)))
+            | _ -> assert false)
+      in
+      let n = Array.length candidates in
+      if n = 0 then []
+      else begin
+        (* ~[k] chunks for balance, but never more than 64 candidates
+           per chunk: a rule's matches can cluster brutally in one
+           candidate range (observed: one of 32 chunks carrying 89% of
+           a batch's work), and a capped chunk bounds how much of a hot
+           range the unluckiest worker inherits. *)
+        let size = max 1 (min ((n + k - 1) / k) 64) in
+        let rec go start acc =
+          if start >= n then List.rev acc
+          else
+            let len = min size (n - start) in
+            go (start + len) (Some (p, candidates, start, len) :: acc)
+        in
+        go 0 []
+      end
+
+(* Run one pass (the parallel analogue of one sequence of [eval_into]
+   calls): fan the chunks out, then merge derivations back in
+   submission order through the usual add/record/on_new chain. *)
+let eval_pass_parallel (db : db) (stats : stats) ~obs ~pool ~fanout_gauge tbl
+    ~record_delta ~on_new (occurrences : par_occurrence list) =
+  (* Many chunks per domain: the pool's dynamic claiming then evens
+     out skewed chunk costs (rules whose matches cluster in one part of
+     the candidate list — common here, where a handful of join-heavy
+     rules dominate a stratum), at a per-chunk cost of two timestamps
+     and a result slot.  Chunk count never affects the result — the
+     merge concatenates chunk outputs in submission order regardless. *)
+  let k = 16 * Pool.ndomains pool in
+  let jobs =
+    List.map
+      (fun oc ->
+        stats.rules_evaluated <- stats.rules_evaluated + 1;
+        (oc, occurrence_chunks db ~k oc))
+      occurrences
+  in
+  let flat =
+    List.concat_map (fun (oc, chunks) -> List.map (fun c -> (oc, c)) chunks)
+      jobs
+  in
+  let ntasks = List.length flat in
+  Metrics.Counter.add obs.eo_par_tasks ntasks;
+  Metrics.Gauge.set fanout_gauge (float_of_int ntasks);
+  let thunks =
+    List.map
+      (fun (oc, over) () ->
+        let t0 = if obs.eo_live then Unix.gettimeofday () else 0. in
+        let out =
+          eval_rule_partition db oc.po_cr ~delta_at:oc.po_delta_at
+            ~delta_tuples:oc.po_delta_tuples ~over
+        in
+        ((if obs.eo_live then Unix.gettimeofday () -. t0 else 0.), out))
+      flat
+  in
+  let results = Pool.run pool thunks in
+  List.iter2
+    (fun (oc, _) (_, out) ->
+      match out with
+      | [] -> ()
+      | out ->
+          let pred = oc.po_cr.cr_head.c_pred in
+          let rel = relation db pred in
+          List.iter
+            (fun tuple ->
+              if Relation.add rel tuple then begin
+                stats.tuples_derived <- stats.tuples_derived + 1;
+                record_delta tbl pred tuple;
+                on_new pred tuple
+              end)
+            out)
+    flat results;
+  if obs.eo_live then begin
+    (* Per-rule histograms get each occurrence's summed chunk busy
+       time: one sample per occurrence, as in sequential mode. *)
+    let rec walk jobs results =
+      match jobs with
+      | [] -> ()
+      | (oc, chunks) :: jobs ->
+          let n = List.length chunks in
+          let rec take n acc results =
+            if n = 0 then (acc, results)
+            else
+              match results with
+              | (dt, _) :: rest -> take (n - 1) (acc +. dt) rest
+              | [] -> (acc, [])
+          in
+          let busy, rest = take n 0. results in
+          (match List.assq_opt oc.po_cr.cr_source obs.eo_rule_hist with
+          | Some h -> Metrics.Histogram.observe h busy
+          | None -> ());
+          walk jobs rest
+    in
+    walk jobs results
+  end
+
+let eval_stratum_parallel (db : db) (stats : stats) ~naive ~obs ~pool
+    ~fanout_gauge (stratum_rules : rule list) (recursive : bool)
+    ~(seed : [ `Full | `Deltas of (string, Relation.tuple list) Hashtbl.t ])
+    ~(on_new : string -> Relation.tuple -> unit) : unit =
+  let compiled = List.map compile_rule stratum_rules in
+  prepare_indices db ~pool compiled;
+  let stratum_preds =
+    List.sort_uniq compare (List.map (fun r -> r.head.pred) stratum_rules)
+  in
+  let in_stratum p = List.mem p stratum_preds in
+  let delta : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 8 in
+  let record_delta tbl pred tuple =
+    let prev = Option.value (Hashtbl.find_opt tbl pred) ~default:[] in
+    Hashtbl.replace tbl pred (tuple :: prev)
+  in
+  let run_pass tbl occurrences =
+    eval_pass_parallel db stats ~obs ~pool ~fanout_gauge tbl ~record_delta
+      ~on_new occurrences
+  in
+  let full_occurrences () =
+    List.map
+      (fun cr -> { po_cr = cr; po_delta_at = None; po_delta_tuples = [] })
+      compiled
+  in
+  (* Delta occurrences in the order the sequential call sites visit
+     them: rule-major, body position ascending. *)
+  let delta_occurrences tbl ~only_stratum =
+    List.concat_map
+      (fun cr ->
+        let occs = ref [] in
+        Array.iteri
+          (fun idx lit ->
+            match lit with
+            | C_pos a when (not only_stratum) || in_stratum a.c_pred -> (
+                match Hashtbl.find_opt tbl a.c_pred with
+                | Some (_ :: _ as dts) ->
+                    occs :=
+                      { po_cr = cr; po_delta_at = Some idx; po_delta_tuples = dts }
+                      :: !occs
+                | _ -> ())
+            | _ -> ())
+          cr.cr_body;
+        List.rev !occs)
+      compiled
+  in
+  (match seed with
+  | `Full -> run_pass delta (full_occurrences ())
+  | `Deltas fresh -> run_pass delta (delta_occurrences fresh ~only_stratum:false));
+  stats.iterations <- stats.iterations + 1;
+  let continue_ =
+    ref (recursive && Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false)
+  in
+  while !continue_ do
+    stats.iterations <- stats.iterations + 1;
+    let new_delta : (string, Relation.tuple list) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    (if naive then run_pass new_delta (full_occurrences ())
+     else run_pass new_delta (delta_occurrences delta ~only_stratum:true));
+    Hashtbl.reset delta;
+    Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) new_delta;
+    continue_ := Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false
+  done
+
+(* Dispatcher: the 1-domain path is the untouched sequential code. *)
+let eval_stratum (db : db) (stats : stats) ~naive ~obs ?pool ~stratum_i
+    (stratum_rules : rule list) (recursive : bool) ~seed ~on_new : unit =
+  match pool with
+  | Some pool when Pool.ndomains pool > 1 ->
+      let fanout_gauge =
+        Metrics.gauge obs.eo_reg
+          ~labels:[ ("stratum", string_of_int stratum_i) ]
+          "xcw_datalog_parallel_fanout"
+      in
+      eval_stratum_parallel db stats ~naive ~obs ~pool ~fanout_gauge
+        stratum_rules recursive ~seed ~on_new
+  | _ -> eval_stratum_seq db stats ~naive ~obs stratum_rules recursive ~seed ~on_new
+
 let mark_derived (db : db) (stratum_rules : rule list) =
   List.iter
     (fun (r : rule) -> Hashtbl.replace db.db_derived r.head.pred ())
     stratum_rules
 
+let pool_for ?pool ndomains =
+  match pool with
+  | Some p -> if Pool.ndomains p > 1 then Some p else None
+  | None ->
+      if ndomains < 1 then invalid_arg "Engine: ndomains must be >= 1"
+      else if ndomains = 1 then None
+      else Some (Pool.get ~ndomains)
+
 (** [run ?naive db program] evaluates all rules to fixpoint, stratum by
     stratum, adding derived tuples to [db] in place.  [naive] disables
-    semi-naive deltas (used by the ablation bench).  Returns evaluation
-    statistics. *)
-let run ?(naive = false) ?metrics (db : db) (program : program) : stats =
+    semi-naive deltas (used by the ablation bench).  [ndomains]
+    (default 1: bit-identical sequential behaviour) evaluates each
+    stratum on a shared domain pool.  Returns evaluation statistics. *)
+let run ?(naive = false) ?metrics ?(ndomains = 1) ?pool (db : db)
+    (program : program) : stats =
+  let pool = pool_for ?pool ndomains in
   let reg = match metrics with Some m -> m | None -> Metrics.default () in
   let obs = make_obs reg program in
   List.iter check_rule_safety program.rules;
@@ -770,8 +1279,8 @@ let run ?(naive = false) ?metrics (db : db) (program : program) : stats =
         (fun i (stratum_rules, recursive) ->
           mark_derived db stratum_rules;
           with_stratum obs i recursive ~mode:"full" (fun () ->
-              eval_stratum db stats ~naive ~obs stratum_rules recursive
-                ~seed:`Full
+              eval_stratum db stats ~naive ~obs ?pool ~stratum_i:i
+                stratum_rules recursive ~seed:`Full
                 ~on_new:(fun _ _ -> ())))
         strata);
   db.db_ran <- true;
@@ -799,9 +1308,11 @@ let run ?(naive = false) ?metrics (db : db) (program : program) : stats =
     EDB relations and their indices are never rebuilt.  The program
     must be the same one evaluated on [db] previously (the first call
     on a fresh database falls back to a full {!run}). *)
-let run_incremental ?metrics (db : db) (program : program) : stats =
-  if not db.db_ran then run ?metrics db program
+let run_incremental ?metrics ?(ndomains = 1) ?pool (db : db)
+    (program : program) : stats =
+  if not db.db_ran then run ?metrics ~ndomains ?pool db program
   else begin
+    let pool = pool_for ?pool ndomains in
     let reg = match metrics with Some m -> m | None -> Metrics.default () in
     let obs = make_obs reg program in
     List.iter check_rule_safety program.rules;
@@ -873,8 +1384,8 @@ let run_incremental ?metrics (db : db) (program : program) : stats =
                 (p, old))
               heads
           in
-          eval_stratum db stats ~naive:false ~obs stratum_rules recursive
-            ~seed:`Full
+          eval_stratum db stats ~naive:false ~obs ?pool ~stratum_i
+            stratum_rules recursive ~seed:`Full
             ~on_new:(fun _ _ -> ());
           List.iter
             (fun (p, old) ->
@@ -899,8 +1410,9 @@ let run_incremental ?metrics (db : db) (program : program) : stats =
              semi-naive evaluation with the fresh input tuples. *)
           Metrics.Counter.inc obs.eo_strata_seminaive;
           with_stratum obs stratum_i recursive ~mode:"seminaive" (fun () ->
-              eval_stratum db stats ~naive:false ~obs stratum_rules recursive
-                ~seed:(`Deltas added) ~on_new:record_added)
+              eval_stratum db stats ~naive:false ~obs ?pool ~stratum_i
+                stratum_rules recursive ~seed:(`Deltas added)
+                ~on_new:record_added)
         end
         else
           (* No input changed — skip the stratum entirely. *)

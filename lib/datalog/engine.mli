@@ -40,6 +40,12 @@ module Relation : sig
   (** [lookup t positions key]: all tuples whose projection on
       [positions] equals [key], via an on-demand hash index.  Empty
       [positions] returns everything. *)
+
+  val ensure_index : t -> int list -> unit
+  (** Build the hash index for [positions] if absent, without looking
+      anything up.  Parallel evaluation pre-builds every index a
+      stratum can need so worker domains share the relation strictly
+      read-only. *)
 end
 
 type db
@@ -72,7 +78,9 @@ val dump_facts : db -> dir:string -> unit
     [dir] — Souffle's input format, enabling cross-validation against
     the original Souffle-based artifact.  [dir] and missing parents are
     created; tab, newline and backslash characters inside string values
-    are backslash-escaped so one tuple is always exactly one line. *)
+    are backslash-escaped so one tuple is always exactly one line.
+    Rows are sorted lexicographically, making the files byte-stable
+    across insertion orders and worker counts. *)
 
 val stratify : rule list -> (rule list * bool) list
 (** Rule groups in evaluation order; the flag marks recursive strata.
@@ -95,20 +103,57 @@ val recommended_gc_setup : unit -> unit
     scale.  Called automatically by [Xcw_core.Detector.run] and the
     monitor. *)
 
-val run : ?naive:bool -> ?metrics:Xcw_obs.Metrics.t -> db -> program -> stats
+val run :
+  ?naive:bool ->
+  ?metrics:Xcw_obs.Metrics.t ->
+  ?ndomains:int ->
+  ?pool:Xcw_par.Pool.t ->
+  db ->
+  program ->
+  stats
 (** Evaluate all rules to fixpoint, adding derived tuples to [db] in
     place.  [naive] disables semi-naive deltas in recursive strata
     (used by the ablation bench).
+
+    [ndomains] (default 1) evaluates each stratum's rules on a shared
+    {!Xcw_par.Pool} of that many domains: every (rule, delta) job's
+    driving literal is split into contiguous candidate chunks, workers
+    join against the shared read-only indices (pre-built before
+    fan-out), and chunk derivations are merged in submission order.
+    With [ndomains = 1] no domain is spawned and the sequential code
+    path runs untouched.  For non-recursive strata — the whole shipped
+    cross-chain program — the parallel evaluation reproduces the
+    sequential derivation, insertion order included, bit-for-bit at any
+    worker count; recursive strata synchronize per semi-naive round and
+    reach the identical tuple sets and derived-tuple counts, though
+    relation iteration order (and [iterations]) may differ from
+    sequential.  Raises [Invalid_argument] if [ndomains < 1].
+
+    [pool] overrides [ndomains] with an explicit pool to evaluate on —
+    a pool shared with other subsystems, or a
+    {!Xcw_par.Pool.sequential} modeling pool that partitions as its
+    declared domain count but executes inline (how the parallel bench
+    obtains clean per-task times on hosts with fewer cores than
+    domains).  A 1-domain [pool] falls back to the sequential path.
 
     Evaluation records into [metrics] (default: the process-wide
     registry): per-rule wall time in the [xcw_datalog_rule_seconds]
     histogram (labelled [rule="NN:pred"], [NN] the rule's position in
     the program), per-stratum time in [xcw_datalog_stratum_seconds],
-    and [xcw_datalog_tuples_derived_total].  Each stratum also opens a
-    ["datalog.stratum"] span on the default tracer.  With a disabled
-    registry no timing calls are made at all. *)
+    and [xcw_datalog_tuples_derived_total].  Parallel runs additionally
+    record [xcw_datalog_parallel_tasks_total], the per-stratum
+    [xcw_datalog_parallel_fanout] gauge, and the pool's own
+    [xcw_par_*] series.  Each stratum also opens a ["datalog.stratum"]
+    span on the default tracer.  With a disabled registry no timing
+    calls are made at all. *)
 
-val run_incremental : ?metrics:Xcw_obs.Metrics.t -> db -> program -> stats
+val run_incremental :
+  ?metrics:Xcw_obs.Metrics.t ->
+  ?ndomains:int ->
+  ?pool:Xcw_par.Pool.t ->
+  db ->
+  program ->
+  stats
 (** Bring a previously evaluated [db] up to date after fact
     insertions, treating the tuples added since the last run as the
     initial semi-naive delta.  Strata whose inputs did not change are
@@ -120,6 +165,9 @@ val run_incremental : ?metrics:Xcw_obs.Metrics.t -> db -> program -> stats
     program must be the same across calls on a given [db]; the first
     call behaves as {!run}.  Steady-state cost is proportional to the
     delta and the affected strata, not to the database size.
+    [ndomains] (and the [pool] override) parallelizes the semi-naive
+    and recompute passes exactly as in {!run}, with the same
+    determinism guarantees.
 
     Beyond the {!run} instruments, incremental runs record the
     journaled delta size ([xcw_datalog_delta_tuples]), how each stratum

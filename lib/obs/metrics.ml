@@ -32,59 +32,74 @@ let bucket_upper c i =
   ** (float_of_int c.lo_exp
      +. (float_of_int (i + 1) /. float_of_int c.buckets_per_decade))
 
-module Counter = struct
-  type t = { mutable c : int; c_live : bool }
+(* Lock-free float accumulation: retry CAS until our read of the cell
+   was not concurrently overwritten.  Updates stay O(1) and
+   allocation-light on the uncontended hot path while surviving
+   concurrent observers on multiple domains (decode and stratum
+   evaluation both run pooled). *)
+let atomic_fadd cell v =
+  let rec go () =
+    let old = Atomic.get cell in
+    if not (Atomic.compare_and_set cell old (old +. v)) then go ()
+  in
+  go ()
 
-  let make live = { c = 0; c_live = live }
-  let inc t = if t.c_live then t.c <- t.c + 1
+module Counter = struct
+  type t = { c : int Atomic.t; c_live : bool }
+
+  let make live = { c = Atomic.make 0; c_live = live }
+  let inc t = if t.c_live then ignore (Atomic.fetch_and_add t.c 1)
 
   let add t n =
     if n < 0 then invalid_arg "Counter.add: negative increment";
-    if t.c_live then t.c <- t.c + n
+    if t.c_live then ignore (Atomic.fetch_and_add t.c n)
 
-  let value t = t.c
+  let value t = Atomic.get t.c
 end
 
 module Gauge = struct
-  type t = { mutable g : float; g_live : bool }
+  type t = { g : float Atomic.t; g_live : bool }
 
-  let make live = { g = 0.; g_live = live }
-  let set t v = if t.g_live then t.g <- v
-  let add t v = if t.g_live then t.g <- t.g +. v
-  let value t = t.g
+  let make live = { g = Atomic.make 0.; g_live = live }
+  let set t v = if t.g_live then Atomic.set t.g v
+  let add t v = if t.g_live then atomic_fadd t.g v
+  let value t = Atomic.get t.g
 end
 
 module Histogram = struct
   type t = {
     h_conf : histogram_conf;
-    h_counts : int array;
-    mutable h_sum : float;
-    mutable h_count : int;
+    h_counts : int Atomic.t array;
+    h_sum : float Atomic.t;
+    h_count : int Atomic.t;
     h_live : bool;
   }
 
   let make conf live =
     {
       h_conf = conf;
-      h_counts = Array.make (max 1 (conf_total conf)) 0;
-      h_sum = 0.;
-      h_count = 0;
+      h_counts = Array.init (max 1 (conf_total conf)) (fun _ -> Atomic.make 0);
+      h_sum = Atomic.make 0.;
+      h_count = Atomic.make 0;
       h_live = live;
     }
 
   let observe t x =
     if t.h_live then begin
-      t.h_count <- t.h_count + 1;
-      t.h_sum <- t.h_sum +. x;
+      ignore (Atomic.fetch_and_add t.h_count 1);
+      atomic_fadd t.h_sum x;
       let i = bucket_index t.h_conf x in
-      t.h_counts.(i) <- t.h_counts.(i) + 1
+      ignore (Atomic.fetch_and_add t.h_counts.(i) 1)
     end
 
-  let count t = t.h_count
-  let sum t = t.h_sum
+  let count t = Atomic.get t.h_count
+  let sum t = Atomic.get t.h_sum
 
   let buckets t =
-    Array.to_list (Array.mapi (fun i c -> (bucket_upper t.h_conf i, c)) t.h_counts)
+    Array.to_list
+      (Array.mapi
+         (fun i c -> (bucket_upper t.h_conf i, Atomic.get c))
+         t.h_counts)
 end
 
 type instrument =
@@ -95,9 +110,11 @@ type instrument =
 type t = {
   r_enabled : bool;
   r_tbl : (string * labels, instrument) Hashtbl.t;
+  r_mu : Mutex.t;  (** guards [r_tbl]: interning may race across domains *)
 }
 
-let create ?(enabled = true) () = { r_enabled = enabled; r_tbl = Hashtbl.create 64 }
+let create ?(enabled = true) () =
+  { r_enabled = enabled; r_tbl = Hashtbl.create 64; r_mu = Mutex.create () }
 
 let noop = create ~enabled:false ()
 let enabled t = t.r_enabled
@@ -128,19 +145,24 @@ let intern t ~labels name make pick kind =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
   let key = (name, normalize_labels labels) in
-  match Hashtbl.find_opt t.r_tbl key with
-  | Some i -> (
-      match pick i with
-      | Some v -> v
-      | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %s already registered as another kind"
-               name))
-  | None ->
-      let v, i = make () in
-      Hashtbl.replace t.r_tbl key i;
-      ignore kind;
-      v
+  Mutex.lock t.r_mu;
+  let result =
+    match Hashtbl.find_opt t.r_tbl key with
+    | Some i -> (
+        match pick i with
+        | Some v -> Ok v
+        | None ->
+            Error
+              (Printf.sprintf "Metrics: %s already registered as another kind"
+                 name))
+    | None ->
+        let v, i = make () in
+        Hashtbl.replace t.r_tbl key i;
+        ignore kind;
+        Ok v
+  in
+  Mutex.unlock t.r_mu;
+  match result with Ok v -> v | Error msg -> invalid_arg msg
 
 let counter t ?(labels = []) name =
   if not t.r_enabled then dead_counter
@@ -189,7 +211,8 @@ type value =
 type metric = { m_name : string; m_labels : labels; m_value : value }
 
 let snapshot t =
-  Hashtbl.fold
+  Mutex.lock t.r_mu;
+  let metrics = Hashtbl.fold
     (fun (name, labels) instr acc ->
       let value =
         match instr with
@@ -205,7 +228,11 @@ let snapshot t =
       in
       { m_name = name; m_labels = labels; m_value = value } :: acc)
     t.r_tbl []
-  |> List.sort (fun a b -> compare (a.m_name, a.m_labels) (b.m_name, b.m_labels))
+  in
+  Mutex.unlock t.r_mu;
+  List.sort
+    (fun a b -> compare (a.m_name, a.m_labels) (b.m_name, b.m_labels))
+    metrics
 
 let find metrics ?(labels = []) name =
   let labels = normalize_labels labels in

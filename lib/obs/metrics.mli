@@ -3,7 +3,10 @@
     Instruments are interned by [(name, labels)] — asking twice returns
     the same instrument — and hot-path updates ([inc]/[set]/[observe])
     are O(1) mutations with no allocation, so instrumentation can live
-    inside the decode and rule-evaluation loops.
+    inside the decode and rule-evaluation loops.  Updates are
+    domain-safe ([Atomic] counters, gauges and histogram buckets;
+    interning and snapshots lock the registry), so pooled decode and
+    parallel stratum evaluation never lose increments.
 
     There is one process-wide {!default} registry (every component
     records there unless told otherwise) and components accept an

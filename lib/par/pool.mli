@@ -1,0 +1,73 @@
+(** A small fixed-size domain pool for data-parallel batches.
+
+    A pool owns [ndomains - 1] worker domains (the submitting domain is
+    the remaining worker, so [ndomains] tasks really run concurrently)
+    that persist across batches — spawning a domain costs far more than
+    a stratum evaluation, so consumers create one pool and reuse it.
+
+    [run] submits a batch of independent thunks and returns their
+    results {e in submission order}, whatever order the workers finished
+    in: callers that merge per-task outputs get a deterministic,
+    worker-count-independent merge for free.  A task that raises does
+    not kill its worker or deadlock the batch — the exception is
+    re-raised in the submitter once the batch has drained, and if
+    several tasks raise, the one with the lowest index wins (again
+    deterministic).
+
+    [ndomains = 1] is the graceful fallback: no domain is ever spawned
+    and [run] degenerates to [List.map (fun f -> f ())] on the calling
+    domain, preserving bit-identical sequential behaviour.
+
+    Per-batch task durations feed cumulative {!stats}; on hosts with
+    fewer cores than domains the [st_modeled_wall] figure is what an
+    unconstrained [ndomains]-core run of the same batches would cost
+    (greedy least-loaded assignment of the measured task times). *)
+
+type t
+
+val create : ndomains:int -> t
+(** [create ~ndomains] spawns [ndomains - 1] persistent workers.
+    Raises [Invalid_argument] if [ndomains < 1]. *)
+
+val ndomains : t -> int
+
+val sequential : ndomains:int -> t
+(** A modeling pool: it reports [ndomains] (so consumers partition work
+    into [ndomains]-way batches and {!stats} computes the
+    [st_modeled_wall] makespan for [ndomains] cores) but never spawns a
+    domain — every batch executes inline on the submitter.  On hosts
+    with fewer cores than domains this is the honest way to measure
+    what a real [ndomains]-core run would cost: per-task times are
+    taken with the core to themselves, free of the time-sharing and
+    stop-the-world GC noise that pollutes task timings when
+    [ndomains] mutator domains contend for one core. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute a batch; results in submission order.  Re-raises the
+    lowest-indexed task exception after the whole batch has drained.
+    An empty batch returns [[]] immediately without touching the
+    workers.  Not reentrant: one batch at a time per pool. *)
+
+val shutdown : t -> unit
+(** Join the workers.  Idempotent; a later [run] on a shut-down pool
+    with [ndomains > 1] raises [Invalid_argument]. *)
+
+val get : ndomains:int -> t
+(** Interned process-wide pools, one per [ndomains], created on first
+    use and never shut down — the cheap way for the engine, decoder and
+    monitor to share workers instead of each spawning their own. *)
+
+type stats = {
+  st_batches : int;  (** batches run (including inline 1-domain ones) *)
+  st_tasks : int;  (** total tasks executed *)
+  st_busy : float;  (** summed per-task execution time, seconds *)
+  st_modeled_wall : float;
+      (** what the same batches would cost wall-clock on [ndomains]
+          unconstrained cores: per batch, the makespan of assigning the
+          measured task times to the least-loaded worker in submission
+          order, summed over batches.  Equals [st_busy] when
+          [ndomains = 1]. *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -490,7 +490,7 @@ let gen_edges =
   QCheck.Gen.(list_size (0 -- 40) (pair (int_bound 12) (int_bound 12)))
 
 let prop_seminaive_equals_naive =
-  QCheck.Test.make ~name:"semi-naive = naive on random graphs" ~count:60
+  QCheck.Test.make ~name:"semi-naive = naive on random graphs" ~count:(Xcw_testlib.qcount 60)
     (QCheck.make gen_edges)
     (fun edges ->
       let facts = edges_to_facts edges in
@@ -500,7 +500,7 @@ let prop_seminaive_equals_naive =
 
 let prop_closure_transitive =
   QCheck.Test.make ~name:"derived path relation is transitively closed"
-    ~count:60
+    ~count:(Xcw_testlib.qcount 60)
     (QCheck.make gen_edges)
     (fun edges ->
       let db = run_program (edges_to_facts edges) tc_rules in
@@ -520,7 +520,7 @@ let prop_closure_transitive =
         paths)
 
 let prop_monotone =
-  QCheck.Test.make ~name:"adding facts never removes derived tuples" ~count:60
+  QCheck.Test.make ~name:"adding facts never removes derived tuples" ~count:(Xcw_testlib.qcount 60)
     (QCheck.pair (QCheck.make gen_edges) (QCheck.make gen_edges))
     (fun (e1, e2) ->
       let db1 = run_program (edges_to_facts e1) tc_rules in
@@ -530,7 +530,7 @@ let prop_monotone =
 
 let prop_incremental_equals_batch =
   QCheck.Test.make
-    ~name:"incremental batches = one-shot run on random graphs" ~count:60
+    ~name:"incremental batches = one-shot run on random graphs" ~count:(Xcw_testlib.qcount 60)
     (QCheck.pair (QCheck.make gen_edges) (QCheck.make gen_edges))
     (fun (e1, e2) ->
       let db = Engine.create_db () in
@@ -547,7 +547,7 @@ let prop_incremental_equals_batch =
       sorted_facts db "path" = sorted_facts reference "path")
 
 let prop_idempotent =
-  QCheck.Test.make ~name:"running rules twice adds nothing new" ~count:60
+  QCheck.Test.make ~name:"running rules twice adds nothing new" ~count:(Xcw_testlib.qcount 60)
     (QCheck.make gen_edges)
     (fun edges ->
       let db = Engine.create_db () in

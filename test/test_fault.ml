@@ -56,7 +56,7 @@ let non_gap_facts mon =
 (* Differential property                                               *)
 
 let prop_differential =
-  QCheck.Test.make ~count:200
+  QCheck.Test.make ~count:(T.qcount 200)
     ~name:"transient faults never change alerts or the final report"
     QCheck.(triple (T.arb_ops ~max_len:4) T.arb_fault_plan (int_bound 10_000))
     (fun (ops, plan, seed) ->
@@ -99,7 +99,7 @@ let prop_differential =
 (* No-silent-gap invariant                                             *)
 
 let prop_no_silent_gap =
-  QCheck.Test.make ~count:1000
+  QCheck.Test.make ~count:(T.qcount 1000)
     ~name:"synced under faults = zero pending + the exact fault-free facts"
     QCheck.(triple (T.arb_ops ~max_len:2) T.arb_fault_plan (int_bound 10_000))
     (fun (ops, plan, seed) ->
@@ -345,7 +345,7 @@ let quorum_input input ~liar ~plan ~seed =
    liar actually corrupted a response ({!Rpc.byzantine_injections} is
    the ground truth) it shows up in [ph_suspects]. *)
 let prop_quorum_differential =
-  QCheck.Test.make ~count:100
+  QCheck.Test.make ~count:(T.qcount 100)
     ~name:"one Byzantine endpoint of three changes nothing and is identified"
     QCheck.(
       quad (T.arb_ops ~max_len:3) T.arb_byz_plan (int_bound 2)

@@ -149,6 +149,26 @@ let check_quorum_reuse ~name build_input =
             "target pool names the Byzantine endpoint" [ 2 ]
             th.Pool.ph_suspects)
 
+(* Parallel reuse: a --jobs 4 run must reproduce the {e existing}
+   sequential fixtures byte for byte — the fixtures are never
+   regenerated for parallel runs, so any divergence between the
+   partitioned and sequential evaluation orders fails here.  Skipped in
+   write mode: fixtures come from the sequential run only. *)
+let check_parallel_reuse ~name build_input =
+  match Sys.getenv_opt "XCW_GOLDEN_WRITE" with
+  | Some _ ->
+      Printf.printf
+        "skipping %s parallel reuse: fixtures are written sequentially\n%!"
+        name
+  | None ->
+      let input = { (build_input ()) with Detector.i_ndomains = 4 } in
+      let rendered = render (Detector.run input).Detector.report in
+      let path = Filename.concat "golden" (name ^ ".golden") in
+      let expected = read_file path in
+      if expected <> rendered then
+        Alcotest.failf "--jobs 4 run drifted from %s at %s" path
+          (first_diff expected rendered)
+
 let () =
   Alcotest.run "golden"
     [
@@ -164,5 +184,9 @@ let () =
           Alcotest.test_case
             "ronin quorum run reuses the fixture and names the liar" `Quick
             (fun () -> check_quorum_reuse ~name:"ronin" ronin_input);
+          Alcotest.test_case "nomad --jobs 4 run reuses the fixture" `Quick
+            (fun () -> check_parallel_reuse ~name:"nomad" nomad_input);
+          Alcotest.test_case "ronin --jobs 4 run reuses the fixture" `Quick
+            (fun () -> check_parallel_reuse ~name:"ronin" ronin_input);
         ] );
     ]

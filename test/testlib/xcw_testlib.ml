@@ -151,6 +151,19 @@ let report_signature (r : Report.t) =
     r.Report.rows
 
 (* ------------------------------------------------------------------ *)
+(* Stress scaling                                                      *)
+
+(* QCheck case-count scaling for the @stress alias: [qcount n] is [n]
+   normally and [n * XCW_STRESS] when that variable holds a multiplier
+   (tools/stress.sh sets 10).  Suites whose properties matter at scale
+   (parallel/incremental/quorum differentials) route their [~count]
+   through this. *)
+let qcount n =
+  match Sys.getenv_opt "XCW_STRESS" with
+  | Some s -> ( match int_of_string_opt s with Some m when m > 0 -> n * m | _ -> n * 10)
+  | None -> n
+
+(* ------------------------------------------------------------------ *)
 (* Misc generators                                                     *)
 
 (* Random raw bytes for hostile-input fuzzing. *)

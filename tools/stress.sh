@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Stress run of the differential suites: parallel sequential-equivalence,
+# datalog incremental properties, and the RPC fault/quorum net, each at
+# XCW_STRESS x their default qcheck case counts (default 10x).
+#
+# Equivalent to `dune build @stress`; this wrapper exists so the knob is
+# discoverable and overridable:
+#
+#   tools/stress.sh            # 10x case counts
+#   XCW_STRESS=50 tools/stress.sh
+#
+# Deliberately not part of the default `dune runtest` — at 10x counts the
+# differential properties take minutes, which is the point: they explore
+# far more random programs, op scripts and fault plans than the tier-1
+# gate can afford.
+set -eu
+cd "$(dirname "$0")/.."
+
+export XCW_STRESS="${XCW_STRESS:-10}"
+echo "stress: running differential suites at ${XCW_STRESS}x case counts"
+exec dune build @stress
