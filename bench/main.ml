@@ -824,6 +824,297 @@ let () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* throughput: interned int-array tuples vs the boxed [const array]
+   reference ([Xcw_datalog.Boxed]) on a Nomad-shaped fact base.
+
+   The workload is the paper's Nomad benign-deposit traffic rendered
+   synthetically: one deposit round trip = 2 receipts (the deposit
+   transaction on Ethereum and its completion on Moonbeam), each
+   contributing 3 facts per side exactly as the decoders emit them.
+   1x = 11,874 round trips — Table 3's 7,187 native + 4,223 ERC-20
+   deposits + 464 withdrawals.  The timed region is fact loading plus
+   full rule evaluation (ingestion throughput, receipts/sec), which is
+   what the representation change targets: packed fact load via
+   [Facts.to_packed] and int-array joins vs boxed [const list] loads
+   and [const] joins over the identical algorithm.
+
+   Two speedups are reported.  [speedup_seq_vs_boxed] isolates the
+   representation change alone (sequential vs sequential);
+   [speedup_jobs4_vs_boxed] — the headline, since the boxed engine
+   predates the domain pool and has no parallel mode — is the
+   detector's --jobs 4 configuration against that same baseline, the
+   combination the tentpole targets (PR 5 chunking over flat ranges
+   with zero boxing).  The --jobs 4 row follows the parallel bench's
+   honesty protocol for core-constrained hosts: the measured wall
+   (domains time-sharing whatever cores exist) is recorded, and the
+   reported receipts/sec uses serial load plus the modeled eval wall —
+   the identical partitioning re-timed on a sequential modeling pool
+   with its greedy 4-core makespan substituted for the serialized task
+   time.  Runnable standalone via [dune exec bench/main.exe
+   throughput]; emits BENCH_throughput.json plus a one-line
+   BENCH_THROUGHPUT summary. *)
+
+let bench_throughput () =
+  let module F = Xcw_core.Facts in
+  let module Boxed = Xcw_datalog.Boxed in
+  let module Json = Xcw_util.Json in
+  let module Pool = Xcw_par.Pool in
+  Engine.recommended_gc_setup ();
+  section "Throughput: interned columnar tuples vs boxed representation";
+  let host_cores = Domain.recommended_domain_count () in
+  let rounds_1x = if smoke then 200 else 11_874 in
+  let src_token = "0x6b175474e89094c44da98b954eedeac495271d0f" in
+  let dst_token = "0xc234a67a4f840e61ade794be47de455361b52413" in
+  let bridge_s = "0x88a69b4e698a4b090df6cf5bd7b2d47325ad30a3" in
+  let bridge_t = "0xb70588b1a51f847d13158ff18e9cac861df5fb00" in
+  let facts_for ~rounds =
+    let statics =
+      [
+        F.Token_mapping
+          { src_chain_id = 1; dst_chain_id = 2; src_token; dst_token };
+        F.Bridge_controlled_address { chain_id = 1; address = bridge_s };
+        F.Bridge_controlled_address { chain_id = 2; address = bridge_t };
+        F.Bridge_controlled_address { chain_id = 2; address = Rules.zero_addr };
+        F.Cctx_finality { chain_id = 1; finality_seconds = 100 };
+        F.Cctx_finality { chain_id = 2; finality_seconds = 50 };
+        F.Wrapped_native_token { chain_id = 1; token = src_token };
+      ]
+    in
+    let per_round i =
+      let stx = Printf.sprintf "0x%056xaa%06x" i (i land 0xffffff) in
+      let dtx = Printf.sprintf "0x%056xbb%06x" i (i land 0xffffff) in
+      (* Beneficiary churn: repeat visitors, as on the real bridge. *)
+      let ben = Printf.sprintf "0x00000000000000000000000000000000000%05x" (i mod 997) in
+      let amount = U256.of_int (1_000_000 + i) in
+      [
+        F.Sc_token_deposited
+          {
+            tx_hash = stx; event_index = 1; deposit_id = i; beneficiary = ben;
+            dst_token; orig_token = src_token; dst_chain_id = 2; amount;
+          };
+        F.Erc20_transfer
+          {
+            tx_hash = stx; chain_id = 1; event_index = 0; contract = src_token;
+            from_ = ben; to_ = bridge_s; amount;
+          };
+        F.Transaction
+          {
+            timestamp = 1_000 + i; chain_id = 1; tx_hash = stx; from_ = ben;
+            to_ = bridge_s; value = U256.zero; status = 1; fee = U256.zero;
+          };
+        F.Tc_token_deposited
+          {
+            tx_hash = dtx; event_index = 1; deposit_id = i; beneficiary = ben;
+            dst_token; amount;
+          };
+        F.Erc20_transfer
+          {
+            tx_hash = dtx; chain_id = 2; event_index = 0; contract = dst_token;
+            from_ = Rules.zero_addr; to_ = ben; amount;
+          };
+        F.Transaction
+          {
+            (* src_ts + 100s finality <= dst_ts for every round. *)
+            timestamp = 2_000 + rounds + i; chain_id = 2; tx_hash = dtx;
+            from_ = bridge_t; to_ = bridge_t; value = U256.zero; status = 1;
+            fee = U256.zero;
+          };
+      ]
+    in
+    statics @ List.concat_map per_round (List.init rounds Fun.id)
+  in
+  (* Both engines report (load, eval) separately; the receipts/sec
+     wall is their sum — interning happens at load time, so excluding
+     the load would hide the cost the tentpole shifted there. *)
+  let one_boxed facts =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let db = Boxed.create_db () in
+    List.iter
+      (fun f ->
+        let pred, tuple = F.to_tuple f in
+        ignore (Boxed.insert_fact db pred tuple))
+      facts;
+    let t1 = Unix.gettimeofday () in
+    let derived = Boxed.run db Rules.program in
+    (t1 -. t0, Unix.gettimeofday () -. t1, derived)
+  in
+  let one_interned ?mode facts =
+    Gc.full_major ();
+    let pool =
+      match mode with
+      | None -> None
+      | Some (`Domains k) -> Some (Pool.get ~ndomains:k)
+      | Some (`Inline k) -> Some (Pool.sequential ~ndomains:k)
+    in
+    Option.iter Pool.reset_stats pool;
+    let t0 = Unix.gettimeofday () in
+    let db = Engine.create_db () in
+    ignore (F.load_all db facts);
+    let t1 = Unix.gettimeofday () in
+    let stats =
+      match pool with
+      | None -> Engine.run db Rules.program
+      | Some pool -> Engine.run ~pool db Rules.program
+    in
+    let t2 = Unix.gettimeofday () in
+    let pstats =
+      match pool with
+      | Some p -> Pool.stats p
+      | None ->
+          { Pool.st_batches = 0; st_tasks = 0; st_busy = 0.; st_modeled_wall = 0. }
+    in
+    (t1 -. t0, t2 -. t1, pstats, stats.Engine.tuples_derived)
+  in
+  let reps = if smoke then 1 else 2 in
+  (* Best-of-[reps] keyed on the figure the row reports (total wall,
+     modeled where applicable) — not on element-wise tuple order. *)
+  let best ~key f =
+    let b = ref (f ()) in
+    for _ = 2 to reps do
+      let r = f () in
+      if key r < key !b then b := r
+    done;
+    !b
+  in
+  let row scale_x =
+    let rounds = rounds_1x * scale_x in
+    let receipts = 2 * rounds in
+    let facts = facts_for ~rounds in
+    let nfacts = List.length facts in
+    subsection
+      (Printf.sprintf "%dx Nomad (%d round trips, %d receipts, %d facts)"
+         scale_x rounds receipts nfacts);
+    let boxed_load, boxed_eval, boxed_derived =
+      best ~key:(fun (l, e, _) -> l +. e) (fun () -> one_boxed facts)
+    in
+    let interned_load, interned_eval, _, interned_derived =
+      best ~key:(fun (l, e, _, _) -> l +. e) (fun () -> one_interned facts)
+    in
+    let dom_load, dom_eval, _, dom_derived =
+      best
+        ~key:(fun (l, e, _, _) -> l +. e)
+        (fun () -> one_interned ~mode:(`Domains 4) facts)
+    in
+    (* Modeled --jobs 4 total: serial load, plus the inline eval wall
+       with the greedy 4-core makespan substituted for serialized task
+       time (the parallel bench's protocol for core-constrained hosts). *)
+    let j4_load, j4_eval, j4_modeled_eval, j4_derived =
+      best
+        ~key:(fun (l, _, m, _) -> l +. m)
+        (fun () ->
+          let l, e, (p : Pool.stats), d =
+            one_interned ~mode:(`Inline 4) facts
+          in
+          (l, e, e -. p.Pool.st_busy +. p.Pool.st_modeled_wall, d))
+    in
+    let boxed_wall = boxed_load +. boxed_eval in
+    let interned_wall = interned_load +. interned_eval in
+    let jobs4_wall = j4_load +. j4_modeled_eval in
+    let rps wall = float_of_int receipts /. wall in
+    let boxed_rps = rps boxed_wall in
+    let interned_rps = rps interned_wall in
+    let jobs4_rps = rps jobs4_wall in
+    let speedup_seq = boxed_wall /. interned_wall in
+    let speedup_jobs4 = boxed_wall /. jobs4_wall in
+    let identical =
+      boxed_derived = interned_derived
+      && dom_derived = interned_derived
+      && j4_derived = interned_derived
+    in
+    Printf.printf "%14s %9s %9s %10s %14s %10s\n" "engine" "load s" "eval s"
+      "wall s" "receipts/s" "speedup";
+    Printf.printf "%14s %9.3f %9.3f %10.3f %14.0f %9.2fx\n" "boxed seq"
+      boxed_load boxed_eval boxed_wall boxed_rps 1.0;
+    Printf.printf "%14s %9.3f %9.3f %10.3f %14.0f %9.2fx\n" "interned seq"
+      interned_load interned_eval interned_wall interned_rps speedup_seq;
+    Printf.printf
+      "%14s %9.3f %9.3f %10.3f %14.0f %9.2fx  (measured wall %.3fs on %d \
+       core(s))\n"
+      "interned -j4" j4_load j4_modeled_eval jobs4_wall jobs4_rps
+      speedup_jobs4
+      (dom_load +. dom_eval)
+      host_cores;
+    Printf.printf "derived tuples identical across engines: %b\n" identical;
+    ( scale_x,
+      speedup_seq,
+      speedup_jobs4,
+      identical,
+      Json.Obj
+        [
+          ("scale_x", Json.Int scale_x);
+          ("round_trips", Json.Int rounds);
+          ("receipts", Json.Int receipts);
+          ("facts", Json.Int nfacts);
+          ("boxed_load_s", Json.Float boxed_load);
+          ("boxed_eval_s", Json.Float boxed_eval);
+          ("boxed_wall_s", Json.Float boxed_wall);
+          ("boxed_receipts_per_s", Json.Float boxed_rps);
+          ("interned_load_s", Json.Float interned_load);
+          ("interned_eval_s", Json.Float interned_eval);
+          ("interned_wall_s", Json.Float interned_wall);
+          ("interned_receipts_per_s", Json.Float interned_rps);
+          ("jobs4_measured_wall_s", Json.Float (dom_load +. dom_eval));
+          ("jobs4_inline_eval_s", Json.Float j4_eval);
+          ("jobs4_modeled_eval_s", Json.Float j4_modeled_eval);
+          ("jobs4_modeled_wall_s", Json.Float jobs4_wall);
+          ("jobs4_receipts_per_s", Json.Float jobs4_rps);
+          ("speedup_seq_vs_boxed", Json.Float speedup_seq);
+          ("speedup_jobs4_vs_boxed", Json.Float speedup_jobs4);
+          ("derived_identical", Json.Bool identical);
+        ] )
+  in
+  let rows = List.map row [ 1; 10 ] in
+  let seq10, jobs410, identical10 =
+    match List.find_opt (fun (s, _, _, _, _) -> s = 10) rows with
+    | Some (_, seq, j4, identical, _) -> (seq, j4, identical)
+    | None -> (Float.nan, Float.nan, false)
+  in
+  let all_identical = List.for_all (fun (_, _, _, ok, _) -> ok) rows in
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "throughput");
+        ("seed", Json.Int seed);
+        ("host_cores", Json.Int host_cores);
+        ("rounds_1x", Json.Int rounds_1x);
+        ( "note",
+          Json.String
+            "1x = 11,874 Nomad deposit round trips (Table 3: 7,187 native + \
+             4,223 ERC-20 deposits + 464 withdrawals), 2 receipts and 6 \
+             facts per round trip; wall = fact load + full rule evaluation \
+             (interning happens at load, so load stays in the timed \
+             region); speedup_at_10x compares the detector's --jobs 4 \
+             configuration against the boxed sequential baseline — the \
+             boxed engine predates the domain pool and has no parallel \
+             mode — while speedup_seq_vs_boxed isolates the representation \
+             change alone; jobs4_receipts_per_s uses the modeled wall \
+             (serial load plus inline eval re-timing with the greedy \
+             4-core makespan substituted for serialized task time), \
+             jobs4_measured_wall_s is the real spawned-domain run on this \
+             host's cores" );
+        ("speedup_target_at_10x", Json.Float 5.0);
+        ("speedup_at_10x", Json.Float jobs410);
+        ("speedup_seq_at_10x", Json.Float seq10);
+        ("rows", Json.List (List.map (fun (_, _, _, _, j) -> j) rows));
+      ]
+  in
+  if not smoke then Json.write_file ~path:"BENCH_throughput.json" json;
+  Printf.printf
+    "BENCH_THROUGHPUT speedup_at_10x=%.2f (seq %.2fx, --jobs 4 %.2fx) \
+     target_ge=5.0 derived_identical=%b\n"
+    jobs410 seq10 jobs410
+    (all_identical && identical10);
+  if not smoke then Printf.printf "(written to BENCH_throughput.json)\n"
+
+let () =
+  if Array.exists (( = ) "throughput") Sys.argv then begin
+    Printf.printf "XChainWatcher throughput bench (seed %d)\n" seed;
+    bench_throughput ();
+    exit 0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Scenario construction (shared by several experiments)               *)
 
 let () =
@@ -1506,7 +1797,7 @@ let () =
   let hits_indexed =
     List.fold_left
       (fun acc k ->
-        acc + List.length (Engine.Relation.lookup rel [ 0 ] [ Ast.Int k ]))
+        acc + List.length (Engine.Relation.lookup rel [ 0 ] [| Ast.pack_int k |]))
       0 keys
   in
   let indexed_time = Unix.gettimeofday () -. t0 in
@@ -1515,7 +1806,9 @@ let () =
   let hits_scan =
     List.fold_left
       (fun acc k ->
-        acc + List.length (List.filter (fun t -> t.(0) = Ast.Int k) all_tuples))
+        acc
+        + List.length
+            (List.filter (fun t -> t.(0) = Ast.pack_int k) all_tuples))
       0 keys
   in
   let scan_time = Unix.gettimeofday () -. t1 in

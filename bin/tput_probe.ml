@@ -1,0 +1,114 @@
+(* Scratch: load vs eval breakdown, boxed vs interned, on the
+   throughput bench's Nomad-shaped workload. *)
+module Engine = Xcw_datalog.Engine
+module Boxed = Xcw_datalog.Boxed
+module F = Xcw_core.Facts
+module Rules = Xcw_core.Rules
+module U256 = Xcw_uint256.Uint256
+
+let facts_for ~rounds =
+  let src_token = "0x6b175474e89094c44da98b954eedeac495271d0f" in
+  let dst_token = "0xc234a67a4f840e61ade794be47de455361b52413" in
+  let bridge_s = "0x88a69b4e698a4b090df6cf5bd7b2d47325ad30a3" in
+  let bridge_t = "0xb70588b1a51f847d13158ff18e9cac861df5fb00" in
+  let statics =
+    [
+      F.Token_mapping { src_chain_id = 1; dst_chain_id = 2; src_token; dst_token };
+      F.Bridge_controlled_address { chain_id = 1; address = bridge_s };
+      F.Bridge_controlled_address { chain_id = 2; address = bridge_t };
+      F.Bridge_controlled_address { chain_id = 2; address = Rules.zero_addr };
+      F.Cctx_finality { chain_id = 1; finality_seconds = 100 };
+      F.Cctx_finality { chain_id = 2; finality_seconds = 50 };
+      F.Wrapped_native_token { chain_id = 1; token = src_token };
+    ]
+  in
+  let per_round i =
+    let stx = Printf.sprintf "0x%056xaa%06x" i (i land 0xffffff) in
+    let dtx = Printf.sprintf "0x%056xbb%06x" i (i land 0xffffff) in
+    let ben = Printf.sprintf "0x00000000000000000000000000000000000%05x" (i mod 997) in
+    let amount = U256.of_int (1_000_000 + i) in
+    [
+      F.Sc_token_deposited
+        { tx_hash = stx; event_index = 1; deposit_id = i; beneficiary = ben;
+          dst_token; orig_token = src_token; dst_chain_id = 2; amount };
+      F.Erc20_transfer
+        { tx_hash = stx; chain_id = 1; event_index = 0; contract = src_token;
+          from_ = ben; to_ = bridge_s; amount };
+      F.Transaction
+        { timestamp = 1_000 + i; chain_id = 1; tx_hash = stx; from_ = ben;
+          to_ = bridge_s; value = U256.zero; status = 1; fee = U256.zero };
+      F.Tc_token_deposited
+        { tx_hash = dtx; event_index = 1; deposit_id = i; beneficiary = ben;
+          dst_token; amount };
+      F.Erc20_transfer
+        { tx_hash = dtx; chain_id = 2; event_index = 0; contract = dst_token;
+          from_ = Rules.zero_addr; to_ = ben; amount };
+      F.Transaction
+        { timestamp = 2_000 + rounds + i; chain_id = 2; tx_hash = dtx;
+          from_ = bridge_t; to_ = bridge_t; value = U256.zero; status = 1;
+          fee = U256.zero };
+    ]
+  in
+  statics @ List.concat_map per_round (List.init rounds Fun.id)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let () =
+  Engine.recommended_gc_setup ();
+  let rounds = int_of_string Sys.argv.(1) in
+  let facts = facts_for ~rounds in
+  Gc.full_major ();
+  let t_load_i, idb =
+    time (fun () ->
+        let db = Engine.create_db () in
+        ignore (F.load_all db facts);
+        db)
+  in
+  let g0 = Gc.quick_stat () in
+  let t_eval_i, istats = time (fun () -> Engine.run idb Rules.program) in
+  let g1 = Gc.quick_stat () in
+  Printf.printf
+    "eval gc: minor_words=%.0fM promoted=%.0fM minor_cols=%d major_cols=%d\n%!"
+    ((g1.Gc.minor_words -. g0.Gc.minor_words) /. 1e6)
+    ((g1.Gc.promoted_words -. g0.Gc.promoted_words) /. 1e6)
+    (g1.Gc.minor_collections - g0.Gc.minor_collections)
+    (g1.Gc.major_collections - g0.Gc.major_collections);
+  let t_eval_i2, _ = time (fun () -> Engine.run idb Rules.program) in
+  Printf.printf "interned re-run (joins only, no inserts): %.3fs\n%!" t_eval_i2;
+  Gc.full_major ();
+  let t_load_b, bdb =
+    time (fun () ->
+        let db = Boxed.create_db () in
+        List.iter
+          (fun f ->
+            let pred, tuple = F.to_tuple f in
+            ignore (Boxed.insert_fact db pred tuple))
+          facts;
+        db)
+  in
+  let t_eval_b, bderived = time (fun () -> Boxed.run bdb Rules.program) in
+  Printf.printf
+    "rounds=%d facts=%d\n\
+     interned: load=%.3fs eval=%.3fs derived=%d\n\
+     boxed:    load=%.3fs eval=%.3fs derived=%d\n"
+    rounds (List.length facts) t_load_i t_eval_i
+    istats.Engine.tuples_derived t_load_b t_eval_b bderived;
+  (* Per-rule cost of the interned pass, from the default registry. *)
+  let module M = Xcw_obs.Metrics in
+  let rows =
+    List.filter_map
+      (fun (m : M.metric) ->
+        match (m.M.m_name, m.M.m_value) with
+        | "xcw_datalog_rule_seconds", M.V_histogram h ->
+            Some (h.M.h_sum, m.M.m_labels)
+        | _ -> None)
+      (M.snapshot (M.default ()))
+  in
+  List.iter
+    (fun (s, labels) ->
+      Printf.printf "  %7.3fs %s\n" s
+        (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)))
+    (List.sort (fun (a, _) (b, _) -> compare b a) rows)

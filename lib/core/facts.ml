@@ -182,14 +182,71 @@ let to_tuple (fact : t) : string * const list =
 
 let relation_name fact = fst (to_tuple fact)
 
+(* Packed-tuple builders: straight to the engine's interned int-array
+   representation, skipping the [const list] box chain of [to_tuple].
+   Loading is the monitor's steady-state hot path — at paper scale a
+   poll packs tens of thousands of cells. *)
+let ps = Xcw_datalog.Ast.pack_string
+let pi = Xcw_datalog.Ast.pack_int
+let pa (a : U256.t) = ps (U256.to_decimal_string a)
+
+(** The (relation name, packed tuple) pair — same cells as
+    {!to_tuple}, already interned. *)
+let to_packed (fact : t) : string * Xcw_datalog.Engine.Relation.tuple =
+  match fact with
+  | Native_deposit f ->
+      ( r_native_deposit,
+        [| ps f.tx_hash; pi f.chain_id; pi f.event_index; ps f.from_;
+           ps f.to_; pa f.amount |] )
+  | Native_withdrawal f ->
+      ( r_native_withdrawal,
+        [| ps f.tx_hash; pi f.chain_id; pi f.event_index; ps f.from_;
+           ps f.to_; pa f.amount |] )
+  | Sc_token_deposited f ->
+      ( r_sc_token_deposited,
+        [| ps f.tx_hash; pi f.event_index; pi f.deposit_id; ps f.beneficiary;
+           ps f.dst_token; ps f.orig_token; pi f.dst_chain_id; pa f.amount |] )
+  | Tc_token_deposited f ->
+      ( r_tc_token_deposited,
+        [| ps f.tx_hash; pi f.event_index; pi f.deposit_id; ps f.beneficiary;
+           ps f.dst_token; pa f.amount |] )
+  | Tc_token_withdrew f ->
+      ( r_tc_token_withdrew,
+        [| ps f.tx_hash; pi f.event_index; pi f.withdrawal_id;
+           ps f.beneficiary; ps f.orig_token; ps f.dst_token;
+           pi f.dst_chain_id; pa f.amount |] )
+  | Sc_token_withdrew f ->
+      ( r_sc_token_withdrew,
+        [| ps f.tx_hash; pi f.event_index; pi f.withdrawal_id;
+           ps f.beneficiary; ps f.dst_token; pa f.amount |] )
+  | Erc20_transfer f ->
+      ( r_erc20_transfer,
+        [| ps f.tx_hash; pi f.chain_id; pi f.event_index; ps f.contract;
+           ps f.from_; ps f.to_; pa f.amount |] )
+  | Transaction f ->
+      ( r_transaction,
+        [| pi f.timestamp; pi f.chain_id; ps f.tx_hash; ps f.from_;
+           ps f.to_; pa f.value; pi f.status; pa f.fee |] )
+  | Bridge_controlled_address f ->
+      (r_bridge_controlled_address, [| pi f.chain_id; ps f.address |])
+  | Token_mapping f ->
+      ( r_token_mapping,
+        [| pi f.src_chain_id; pi f.dst_chain_id; ps f.src_token;
+           ps f.dst_token |] )
+  | Cctx_finality f -> (r_cctx_finality, [| pi f.chain_id; pi f.finality_seconds |])
+  | Wrapped_native_token f -> (r_wrapped_native_token, [| pi f.chain_id; ps f.token |])
+  | Bridge_event_decode_failure f ->
+      (r_bridge_event_decode_failure, [| ps f.tx_hash |])
+  | Trace_gap f -> (r_trace_gap, [| ps f.tx_hash; pi f.chain_id |])
+
 (** Load a batch of facts into a Datalog database; returns the facts
     that were not already present — the fresh-tuple delta consumed by
     the incremental monitor. *)
 let load_all db facts =
   List.filter
     (fun fact ->
-      let pred, tuple = to_tuple fact in
-      Xcw_datalog.Engine.insert_fact db pred tuple)
+      let pred, tuple = to_packed fact in
+      Xcw_datalog.Engine.insert_packed db pred tuple)
     facts
 
 let hex_of_address (a : Address.t) = Address.to_hex a

@@ -125,6 +125,10 @@ type t =
 val to_tuple : t -> string * Xcw_datalog.Ast.const list
 (** The (relation name, tuple) pair for the Datalog database. *)
 
+val to_packed : t -> string * Xcw_datalog.Engine.Relation.tuple
+(** The same cells as {!to_tuple}, packed straight into the engine's
+    interned int-array representation — the fact-loading hot path. *)
+
 val relation_name : t -> string
 
 val load_all : Xcw_datalog.Engine.db -> t list -> t list

@@ -14,6 +14,81 @@ type const =
   | Str of string
   | Int of int
 
+(* ------------------------------------------------------------------ *)
+(* Global symbol table and packed constants                            *)
+
+(** The global string intern table.  Ids are assigned in first-intern
+    order and are never reused or compacted, so an id obtained at any
+    point in the process stays valid (and decodes to the same string)
+    forever — the property the incremental monitor relies on across
+    polls and reorg rewinds.  Interning happens on the orchestrating
+    thread (parsing, rule construction, fact loading, output decoding);
+    worker domains only ever read already-assigned ids.  The mutex
+    still serializes concurrent [intern] calls so an accidental
+    multi-threaded load cannot corrupt the table. *)
+module Symtab = struct
+  let lock = Mutex.create ()
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 4096
+  let names = ref (Array.make 4096 "")
+  let count = ref 0
+
+  let intern s =
+    Mutex.lock lock;
+    let id =
+      match Hashtbl.find_opt ids s with
+      | Some id -> id
+      | None ->
+          let id = !count in
+          if id = Array.length !names then begin
+            let bigger = Array.make (2 * id) "" in
+            Array.blit !names 0 bigger 0 id;
+            names := bigger
+          end;
+          !names.(id) <- s;
+          Hashtbl.replace ids s id;
+          count := id + 1;
+          id
+    in
+    Mutex.unlock lock;
+    id
+
+  let to_string id = !names.(id)
+  let size () = !count
+end
+
+type packed = int
+(** A constant packed into one immutable int: even values are integers
+    ([Int n] as [n lsl 1]), odd values are interned strings
+    ([Str s] as [(intern s lsl 1) lor 1]).  Interning is canonical, so
+    packed equality coincides with structural constant equality — the
+    engine joins, hashes and compares tuples on naked ints.  [min_int]
+    is reserved as the engine's unbound-slot sentinel and is never a
+    valid packed constant. *)
+
+let max_packed_int = max_int asr 1
+
+let pack_int n : packed =
+  if n > max_packed_int || n < -max_packed_int then
+    invalid_arg
+      (Printf.sprintf "Ast.pack_int: %d outside the packed range" n)
+  else n lsl 1
+
+let pack_string s : packed = (Symtab.intern s lsl 1) lor 1
+
+let pack : const -> packed = function
+  | Int n -> pack_int n
+  | Str s -> pack_string s
+
+let packed_is_int (p : packed) = p land 1 = 0
+
+let unpack (p : packed) : const =
+  if p land 1 = 0 then Int (p asr 1) else Str (Symtab.to_string (p asr 1))
+
+(** Decode straight to the string a TSV cell or report wants, skipping
+    the [const] box. *)
+let packed_to_string (p : packed) =
+  if p land 1 = 0 then string_of_int (p asr 1) else Symtab.to_string (p asr 1)
+
 type term =
   | Var of string
   | Const of const
@@ -113,8 +188,11 @@ let rule_vars r =
 (** [v "x"] is the variable [x]. *)
 let v name = Var name
 
-(** [s "abc"] is the string constant ["abc"]. *)
-let s value = Const (Str value)
+(** [s "abc"] is the string constant ["abc"], interned eagerly so rule
+    constants get their symbol ids at program-construction time. *)
+let s value =
+  ignore (Symtab.intern value);
+  Const (Str value)
 
 (** [i 42] is the integer constant [42]. *)
 let i value = Const (Int value)

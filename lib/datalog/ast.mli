@@ -9,6 +9,53 @@
 
 type const = Str of string | Int of int
 
+(** {1 Interning and packed constants}
+
+    The evaluation engine does not join over boxed [const] values: every
+    constant is packed into one immutable int — even values are
+    integers ([Int n] as [n lsl 1]), odd values are ids in the global
+    string intern table ([Str s] as [(intern s lsl 1) lor 1]).
+    Interning is canonical, so packed equality coincides with
+    structural equality and tuples hash/compare as flat int arrays.
+
+    Ids are assigned in first-intern order, append-only, and never
+    reused or compacted for the lifetime of the process — an id decodes
+    to the same string forever, which keeps interned databases stable
+    across incremental polls and reorg rewinds.  Interning is expected
+    on the orchestrating thread only (parse, rule construction, fact
+    load, output); a mutex nevertheless serializes concurrent calls. *)
+
+module Symtab : sig
+  val intern : string -> int
+  (** The id of [s], assigning the next fresh id on first sight. *)
+
+  val to_string : int -> string
+  (** Decode an id previously returned by {!intern}. *)
+
+  val size : unit -> int
+  (** Number of distinct strings interned so far. *)
+end
+
+type packed = int
+
+val max_packed_int : int
+(** Largest magnitude {!pack_int} accepts ([max_int asr 1]). *)
+
+val pack : const -> packed
+val unpack : packed -> const
+
+val pack_int : int -> packed
+(** Raises [Invalid_argument] outside [[-2{^61}+1, 2{^61}-1]]: one bit
+    is the tag and [min_int] is reserved as the engine's unbound-slot
+    sentinel. *)
+
+val pack_string : string -> packed
+val packed_is_int : packed -> bool
+
+val packed_to_string : packed -> string
+(** Decode straight to the string a TSV cell or report wants ([Int]
+    via [string_of_int], [Str] verbatim). *)
+
 type term = Var of string | Const of const
 
 type atom = { pred : string; args : term list }

@@ -1,0 +1,451 @@
+(** The boxed reference engine — the pre-interning evaluation path,
+    kept as a faithful sequential replica.
+
+    {!Engine} joins over tuples of packed ints (see {!Ast.packed});
+    this module preserves the previous representation — [const array]
+    tuples, [const list] index keys, [const option array] environments,
+    per-probe bound-position scans — exactly as the engine evaluated
+    before the interning change.  Two consumers keep it alive:
+
+    - the qcheck differential suite runs random programs through both
+      engines and requires identical relations, derived counts and
+      dumped TSV bytes — the strongest regression net the interned
+      representation can have;
+    - the throughput bench uses it as the baseline the interned
+      engine's receipts/sec speedup is measured against, keeping the
+      comparison honest (same algorithm, same index structure, only the
+      tuple representation differs).
+
+    Deliberately sequential-only and non-incremental: no domain pool,
+    no journal, no retraction.  Stratification and safety checking are
+    shared with {!Engine} — they operate on the AST, before any
+    representation choice. *)
+
+open Ast
+
+module Relation = struct
+  type tuple = const array
+  type index = (const list, tuple list ref) Hashtbl.t array
+
+  type t = {
+    mutable arity : int option;
+    tuples : (tuple, unit) Hashtbl.t;
+    indices : (int list, index) Hashtbl.t;
+  }
+
+  let nshards = 16
+
+  (* The historical shard hash: samples characters of string constants
+     and uses int constants raw.  Adequate for boxed keys; kept
+     verbatim so the baseline's join behaviour is the old engine's. *)
+  let shard_of_const = function
+    | Int i -> i
+    | Str s ->
+        let n = String.length s in
+        if n = 0 then 0
+        else
+          n
+          + (31 * Char.code (String.unsafe_get s (n - 1)))
+          + Char.code (String.unsafe_get s (n / 2))
+
+  let shard_of key =
+    match key with
+    | [] -> 0
+    | [ c ] -> shard_of_const c land (nshards - 1)
+    | c1 :: c2 :: _ ->
+        (shard_of_const c1 + (131 * shard_of_const c2)) land (nshards - 1)
+
+  let create () =
+    { arity = None; tuples = Hashtbl.create 256; indices = Hashtbl.create 4 }
+
+  let size t = Hashtbl.length t.tuples
+  let mem t tuple = Hashtbl.mem t.tuples tuple
+
+  let check_arity t tuple =
+    match t.arity with
+    | None -> t.arity <- Some (Array.length tuple)
+    | Some a ->
+        if a <> Array.length tuple then
+          invalid_arg
+            (Printf.sprintf "Boxed.Relation: arity mismatch (%d vs %d)" a
+               (Array.length tuple))
+
+  let index_insert (idx : index) positions tuple =
+    let key = List.map (fun p -> tuple.(p)) positions in
+    let tbl = idx.(shard_of key) in
+    match Hashtbl.find_opt tbl key with
+    | Some l -> l := tuple :: !l
+    | None -> Hashtbl.replace tbl key (ref [ tuple ])
+
+  let add t tuple =
+    check_arity t tuple;
+    if Hashtbl.mem t.tuples tuple then false
+    else begin
+      Hashtbl.replace t.tuples tuple ();
+      Hashtbl.iter
+        (fun positions idx -> index_insert idx positions tuple)
+        t.indices;
+      true
+    end
+
+  let iter t f = Hashtbl.iter (fun tuple () -> f tuple) t.tuples
+  let to_list t = Hashtbl.fold (fun tuple () acc -> tuple :: acc) t.tuples []
+
+  let ensure_index t positions =
+    match positions with
+    | [] -> ()
+    | _ ->
+        if not (Hashtbl.mem t.indices positions) then begin
+          let idx =
+            Array.init nshards (fun _ ->
+                Hashtbl.create (max 16 (size t / nshards)))
+          in
+          iter t (fun tuple -> index_insert idx positions tuple);
+          Hashtbl.replace t.indices positions idx
+        end
+
+  let lookup t positions key =
+    match positions with
+    | [] -> to_list t
+    | _ -> (
+        ensure_index t positions;
+        let idx = Hashtbl.find t.indices positions in
+        match Hashtbl.find_opt idx.(shard_of key) key with
+        | Some l -> !l
+        | None -> [])
+end
+
+type db = { db_rels : (string, Relation.t) Hashtbl.t }
+
+let create_db () : db = { db_rels = Hashtbl.create 64 }
+
+let relation (db : db) pred =
+  match Hashtbl.find_opt db.db_rels pred with
+  | Some r -> r
+  | None ->
+      let r = Relation.create () in
+      Hashtbl.replace db.db_rels pred r;
+      r
+
+let insert_fact (db : db) pred tuple =
+  Relation.add (relation db pred) (Array.of_list tuple)
+
+let add_fact (db : db) pred tuple = ignore (insert_fact db pred tuple)
+
+(* Same contract as {!Engine.facts}: decoded (here: already boxed) and
+   sorted, so the two engines' outputs compare directly. *)
+let facts (db : db) pred =
+  match Hashtbl.find_opt db.db_rels pred with
+  | Some r -> List.sort compare (Relation.to_list r)
+  | None -> []
+
+let fact_count (db : db) pred =
+  match Hashtbl.find_opt db.db_rels pred with
+  | Some r -> Relation.size r
+  | None -> 0
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let escape_cell s =
+  let needs_escape = ref false in
+  String.iter
+    (function '\t' | '\n' | '\r' | '\\' -> needs_escape := true | _ -> ())
+    s;
+  if not !needs_escape then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+(* Byte-compatible with {!Engine.dump_facts}: same escaping, same
+   lexicographic row sort — the differential suite diffs the files. *)
+let dump_facts (db : db) ~dir =
+  mkdir_p dir;
+  Hashtbl.iter
+    (fun pred rel ->
+      let oc = open_out (Filename.concat dir (pred ^ ".facts")) in
+      let lines = ref [] in
+      Relation.iter rel (fun tuple ->
+          let cells =
+            Array.to_list tuple
+            |> List.map (function
+                 | Str s -> escape_cell s
+                 | Int n -> string_of_int n)
+          in
+          lines := String.concat "\t" cells :: !lines);
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (List.sort compare !lines);
+      close_out oc)
+    db.db_rels
+
+(* ------------------------------------------------------------------ *)
+(* Rule evaluation — the boxed compiled representation                  *)
+
+type slot_term = S_const of const | S_var of int
+type compiled_atom = { c_pred : string; c_args : slot_term array }
+
+type compiled_expr =
+  | CE_const of const
+  | CE_var of int
+  | CE_add of compiled_expr * compiled_expr
+  | CE_sub of compiled_expr * compiled_expr
+  | CE_mul of compiled_expr * compiled_expr
+
+type compiled_literal =
+  | C_pos of compiled_atom
+  | C_neg of compiled_atom
+  | C_cmp of cmp_op * compiled_expr * compiled_expr
+
+type compiled_rule = {
+  cr_nvars : int;
+  cr_head : compiled_atom;
+  cr_body : compiled_literal array;
+}
+
+let compile_rule (r : rule) : compiled_rule =
+  let slots = Hashtbl.create 16 in
+  let nvars = ref 0 in
+  let slot_of v =
+    match Hashtbl.find_opt slots v with
+    | Some i -> i
+    | None ->
+        let i = !nvars in
+        incr nvars;
+        Hashtbl.replace slots v i;
+        i
+  in
+  let compile_term = function
+    | Const c -> S_const c
+    | Var v -> S_var (slot_of v)
+  in
+  let compile_atom (a : atom) =
+    { c_pred = a.pred; c_args = Array.of_list (List.map compile_term a.args) }
+  in
+  let rec compile_expr = function
+    | E_const c -> CE_const c
+    | E_var v -> CE_var (slot_of v)
+    | E_add (a, b) -> CE_add (compile_expr a, compile_expr b)
+    | E_sub (a, b) -> CE_sub (compile_expr a, compile_expr b)
+    | E_mul (a, b) -> CE_mul (compile_expr a, compile_expr b)
+  in
+  let body =
+    List.map
+      (function
+        | Pos a -> C_pos (compile_atom a)
+        | Neg a -> C_neg (compile_atom a)
+        | Cmp (op, a, b) -> C_cmp (op, compile_expr a, compile_expr b))
+      r.body
+  in
+  { cr_nvars = !nvars; cr_head = compile_atom r.head; cr_body = Array.of_list body }
+
+type env = const option array
+
+let rec eval_cexpr (env : env) = function
+  | CE_const (Int n) -> n
+  | CE_const (Str str) ->
+      raise
+        (Engine.Unsafe_rule (Printf.sprintf "string %S in arithmetic" str))
+  | CE_var i -> (
+      match env.(i) with
+      | Some (Int n) -> n
+      | Some (Str str) ->
+          raise
+            (Engine.Unsafe_rule (Printf.sprintf "string %S in arithmetic" str))
+      | None -> raise (Engine.Unsafe_rule "unbound variable in comparison"))
+  | CE_add (a, b) -> eval_cexpr env a + eval_cexpr env b
+  | CE_sub (a, b) -> eval_cexpr env a - eval_cexpr env b
+  | CE_mul (a, b) -> eval_cexpr env a * eval_cexpr env b
+
+let eval_ccmp (env : env) op lhs rhs =
+  let as_const = function
+    | CE_const c -> Some c
+    | CE_var i -> env.(i)
+    | _ -> None
+  in
+  match (op, as_const lhs, as_const rhs) with
+  | Eq, Some a, Some b -> a = b
+  | Ne, Some a, Some b -> a <> b
+  | _ -> (
+      let a = eval_cexpr env lhs and b = eval_cexpr env rhs in
+      match op with
+      | Lt -> a < b
+      | Le -> a <= b
+      | Gt -> a > b
+      | Ge -> a >= b
+      | Eq -> a = b
+      | Ne -> a <> b)
+
+(* The per-probe dynamic scan the interned engine compiled away. *)
+let bound_positions (a : compiled_atom) (env : env) =
+  let positions = ref [] and key = ref [] in
+  Array.iteri
+    (fun k arg ->
+      match arg with
+      | S_const c ->
+          positions := k :: !positions;
+          key := c :: !key
+      | S_var i -> (
+          match env.(i) with
+          | Some c ->
+              positions := k :: !positions;
+              key := c :: !key
+          | None -> ()))
+    a.c_args;
+  (List.rev !positions, List.rev !key)
+
+let unify_tuple (a : compiled_atom) (tuple : Relation.tuple) (env : env)
+    (trail : int list ref) : bool =
+  let n = Array.length a.c_args in
+  if n <> Array.length tuple then false
+  else begin
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < n do
+      (match a.c_args.(!k) with
+      | S_const c -> if c <> tuple.(!k) then ok := false
+      | S_var i -> (
+          match env.(i) with
+          | Some bound -> if bound <> tuple.(!k) then ok := false
+          | None ->
+              env.(i) <- Some tuple.(!k);
+              trail := i :: !trail));
+      incr k
+    done;
+    if not !ok then begin
+      List.iter (fun i -> env.(i) <- None) !trail;
+      trail := []
+    end;
+    !ok
+  end
+
+let instantiate (a : compiled_atom) (env : env) : Relation.tuple =
+  Array.map
+    (function
+      | S_const c -> c
+      | S_var i -> (
+          match env.(i) with
+          | Some c -> c
+          | None ->
+              raise (Engine.Unsafe_rule "unbound variable at instantiation")))
+    a.c_args
+
+let rec eval_from (db : db) (cr : compiled_rule) (env : env) ~idx ~delta_at
+    ~delta_tuples ~emit =
+  if idx >= Array.length cr.cr_body then emit env
+  else
+    match cr.cr_body.(idx) with
+    | C_pos a ->
+        let visit tuple =
+          let trail = ref [] in
+          if unify_tuple a tuple env trail then begin
+            eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit;
+            List.iter (fun i -> env.(i) <- None) !trail
+          end
+        in
+        let candidates =
+          match delta_at with
+          | Some d when d = idx -> delta_tuples
+          | _ -> (
+              match Hashtbl.find_opt db.db_rels a.c_pred with
+              | None -> []
+              | Some rel ->
+                  let positions, key = bound_positions a env in
+                  Relation.lookup rel positions key)
+        in
+        List.iter visit candidates
+    | C_neg a ->
+        let present =
+          match Hashtbl.find_opt db.db_rels a.c_pred with
+          | Some rel -> Relation.mem rel (instantiate a env)
+          | None -> false
+        in
+        if not present then
+          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit
+    | C_cmp (op, lhs, rhs) ->
+        if eval_ccmp env op lhs rhs then
+          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~emit
+
+let eval_rule (db : db) (cr : compiled_rule) ~delta_at ~delta_tuples
+    ~on_derived =
+  let env : env = Array.make (max 1 cr.cr_nvars) None in
+  eval_from db cr env ~idx:0 ~delta_at ~delta_tuples ~emit:(fun env ->
+      on_derived (instantiate cr.cr_head env))
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                            *)
+
+let eval_stratum (db : db) (derived : int ref) (stratum_rules : rule list)
+    (recursive : bool) : unit =
+  let compiled = List.map compile_rule stratum_rules in
+  let stratum_preds =
+    List.sort_uniq compare (List.map (fun r -> r.head.pred) stratum_rules)
+  in
+  let in_stratum p = List.mem p stratum_preds in
+  let delta : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 8 in
+  let record_delta tbl pred tuple =
+    let prev = Option.value (Hashtbl.find_opt tbl pred) ~default:[] in
+    Hashtbl.replace tbl pred (tuple :: prev)
+  in
+  let eval_into tbl cr ~delta_at ~delta_tuples =
+    eval_rule db cr ~delta_at ~delta_tuples ~on_derived:(fun tuple ->
+        let pred = cr.cr_head.c_pred in
+        if Relation.add (relation db pred) tuple then begin
+          incr derived;
+          record_delta tbl pred tuple
+        end)
+  in
+  List.iter
+    (fun cr -> eval_into delta cr ~delta_at:None ~delta_tuples:[])
+    compiled;
+  let continue_ =
+    ref (recursive && Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false)
+  in
+  while !continue_ do
+    let new_delta : (string, Relation.tuple list) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun cr ->
+        Array.iteri
+          (fun idx lit ->
+            match lit with
+            | C_pos a when in_stratum a.c_pred -> (
+                match Hashtbl.find_opt delta a.c_pred with
+                | Some (_ :: _ as delta_tuples) ->
+                    eval_into new_delta cr ~delta_at:(Some idx) ~delta_tuples
+                | _ -> ())
+            | _ -> ())
+          cr.cr_body)
+      compiled;
+    Hashtbl.reset delta;
+    Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) new_delta;
+    continue_ := Hashtbl.fold (fun _ l acc -> acc || l <> []) delta false
+  done
+
+(** Evaluate all rules to fixpoint; returns the number of derived
+    tuples.  Stratification and safety checks are {!Engine}'s — they
+    precede any representation choice. *)
+let run (db : db) (program : program) : int =
+  List.iter Engine.check_rule_safety program.rules;
+  let derived = ref 0 in
+  List.iter
+    (fun (stratum_rules, recursive) ->
+      eval_stratum db derived stratum_rules recursive)
+    (Engine.stratify program.rules);
+  !derived

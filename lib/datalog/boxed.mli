@@ -1,0 +1,69 @@
+(** The boxed reference engine — the pre-interning sequential
+    evaluation path, preserved as a differential oracle and bench
+    baseline.
+
+    {!Engine} packs every constant into an interned int ({!Ast.packed})
+    and joins over [int array] tuples; this module keeps the previous
+    representation — [Ast.const array] tuples, [const list] index keys,
+    [const option array] environments — with the same semi-naive
+    fixpoint algorithm.  Two consumers:
+
+    - the qcheck differential suite ([test/test_interned.ml]) runs
+      random programs through both engines and asserts identical
+      relations, derived counts and dumped TSV bytes;
+    - [bench/main.exe throughput] measures the interned engine's
+      receipts/sec speedup against this baseline.
+
+    Sequential-only and non-incremental by design: no domain pool, no
+    journal, no retraction.  Stratification and safety checking are
+    shared with {!Engine.stratify} / {!Engine.check_rule_safety} (they
+    operate on the AST, before any representation choice), so an
+    unsafe rule raises {!Engine.Unsafe_rule} from here too. *)
+
+module Relation : sig
+  type tuple = Ast.const array
+
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val mem : t -> tuple -> bool
+
+  val add : t -> tuple -> bool
+  (** [add t tuple] inserts; returns [false] if already present.
+      Raises [Invalid_argument] on arity mismatch. *)
+
+  val iter : t -> (tuple -> unit) -> unit
+  val to_list : t -> tuple list
+
+  val ensure_index : t -> int list -> unit
+
+  val lookup : t -> int list -> Ast.const list -> tuple list
+  (** [lookup t positions key] returns tuples matching [key] at
+      [positions]; [positions = []] scans the whole relation. *)
+end
+
+type db
+
+val create_db : unit -> db
+
+val insert_fact : db -> string -> Ast.const list -> bool
+(** Returns [false] if the tuple was already present. *)
+
+val add_fact : db -> string -> Ast.const list -> unit
+
+val facts : db -> string -> Relation.tuple list
+(** Sorted with polymorphic compare — the same contract as
+    {!Engine.facts}, so the two engines' outputs compare directly. *)
+
+val fact_count : db -> string -> int
+
+val dump_facts : db -> dir:string -> unit
+(** Byte-compatible with {!Engine.dump_facts}: one [<pred>.facts] TSV
+    per relation, rows sorted lexicographically, cells escaped the
+    same way. *)
+
+val run : db -> Ast.program -> int
+(** Evaluate all rules to fixpoint (stratified, semi-naive); returns
+    the number of derived tuples.  Raises {!Engine.Unsafe_rule} /
+    {!Engine.Not_stratifiable} as {!Engine.run} does. *)

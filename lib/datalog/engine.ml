@@ -22,7 +22,37 @@ exception Not_stratifiable of string
 (* Relations with on-demand indices                                    *)
 
 module Relation = struct
-  type tuple = const array
+  type tuple = int array
+  (** A tuple of {!Ast.packed} constants — interned at load time, so
+      equality/hashing/joining never touch a string. *)
+
+  (* Tuples and index keys are flat int arrays.  The generic
+     polymorphic hash would work, but a dedicated functor instance
+     skips the tag dispatch, never truncates (Hashtbl.hash stops after
+     10 meaningful words), and makes the hash explicit. *)
+  module Key = struct
+    type t = int array
+
+    let equal (a : int array) (b : int array) =
+      let n = Array.length a in
+      n = Array.length b
+      &&
+      let i = ref 0 in
+      while !i < n && Array.unsafe_get a !i = Array.unsafe_get b !i do
+        incr i
+      done;
+      !i = n
+
+    let hash (a : int array) =
+      let h = ref 0 in
+      for i = 0 to Array.length a - 1 do
+        h := (!h * 0x9E3779B1) + Array.unsafe_get a i
+      done;
+      let h = !h in
+      (h lxor (h lsr 17)) land max_int
+  end
+
+  module Ktbl = Hashtbl.Make (Key)
 
   (* An index is sharded by key hash into a fixed number of sub-tables
      so a large build can be filled by several domains at once — one
@@ -32,46 +62,144 @@ module Relation = struct
      shard, the tuples of one key are inserted in relation-iteration
      order exactly as an unsharded fill would insert them, so each
      per-key candidate list is identical to a sequential on-demand
-     build. *)
-  type index = (const list, tuple list ref) Hashtbl.t array
+     build.
 
+     Each shard is an open-addressing map from projected key to the
+     key's candidate list, with the key hash cached per entry — the
+     same layout as the relation's tuple set, and for the same
+     reasons: one hash per probe or insert (the hash picks the shard
+     {e and} the slot, where the old [Hashtbl]-backed shards hashed
+     once for the shard and again inside the table), hash-first
+     rejection, and growth without re-hashing.  A slot stores (entry
+     index + 1), 0 meaning empty; load factor ≤ 1/2. *)
+  type ishard = {
+    mutable sk : int array array;  (* projected key per entry *)
+    mutable sh : int array;  (* cached key hash per entry *)
+    mutable sv : tuple list ref array;  (* candidates, newest first *)
+    mutable sn : int;
+    mutable sslots : int array;  (* open addressing; power-of-two length *)
+  }
+
+  type index = {
+    ix_positions : int array;
+    ix_shards : ishard array;
+    ix_scratch : int array;
+        (* projection buffer for [index_insert], so a tuple whose key
+           is already present allocates nothing.  Safe because every
+           [index_insert] context is single-writer: sequential adds,
+           the parallel merge (submitter only), and whole-index fill
+           tasks (one task per index, disjoint scratches). *)
+  }
+
+  (* Tuple storage is an insertion log plus an open-addressing slot
+     table over it, instead of a [unit Ktbl.t]:
+
+     - [add]/[mem] compute the tuple hash {e once} (stdlib hash tables
+       hash again per operation, so the old mem-then-insert pair
+       hashed every new tuple twice and every duplicate once more);
+     - hashes are cached per log entry, so growing the slot table
+       re-places entries without ever re-hashing a tuple, and slot
+       probes reject non-equal tuples on a one-word hash compare
+       before touching the arrays;
+     - iteration order is insertion order by construction — stable,
+       load-order-reproducible, and shared for free by [iter],
+       [to_list] and [to_array] (the latter a plain [Array.sub], where
+       the hash-table fold used to walk every bucket);
+     - no per-entry list cells: the log and slot tables are flat int
+       and pointer arrays.
+
+     The slot table keeps load factor ≤ 1/2; a slot stores (log index
+     + 1), 0 meaning empty.  There is no deletion — [clear] resets the
+     whole relation. *)
   type t = {
     mutable arity : int option;
-    tuples : (tuple, unit) Hashtbl.t;
+    mutable log : tuple array;  (* entries [0, n) live, insertion order *)
+    mutable hashes : int array;  (* cached [Key.hash] per log entry *)
+    mutable n : int;
+    mutable slots : int array;  (* open addressing; power-of-two length *)
     (* position list -> key-hash-sharded (projected key -> tuples) *)
     indices : (int list, index) Hashtbl.t;
+    (* same indices as a list — [add] maintains every index per tuple,
+       and walking a cons list beats an [Hashtbl.iter] bucket sweep on
+       a path taken once per inserted tuple. *)
+    mutable index_list : index list;
   }
 
   let nshards = 16
 
-  (* O(1) shard pick.  Sampling a couple of characters spreads keys
-     over 16 shards perfectly well (hex-digit tails are uniform), and —
-     unlike [Hashtbl.hash] — doesn't re-walk a 66-character hash string
-     on every lookup on top of the hash the sub-table's own find
-     already computes. *)
-  let shard_of_const = function
-    | Int i -> i
-    | Str s ->
-        let n = String.length s in
-        if n = 0 then 0
-        else
-          n
-          + (31 * Char.code (String.unsafe_get s (n - 1)))
-          + Char.code (String.unsafe_get s (n / 2))
+  (* O(1) shard pick over packed-int keys.  Packed constants are far
+     from uniform in their low bits — string constants are sequential
+     intern ids shifted left with the tag bit set (all odd), ints are
+     all even — so taking [land (nshards - 1)] of a raw sum would use
+     half the shards at best.  Re-mixing the accumulated key hash with
+     a multiply–xor–shift finalizer (murmur3-style) avalanches the low
+     bits before the mask; the distribution test in test_interned.ml
+     pins this property. *)
+  let mix k =
+    let h = k * 0x9E3779B1 in
+    let h = h lxor (h lsr 16) in
+    let h = h * 0x85EBCA77 in
+    h lxor (h lsr 13)
 
-  let shard_of key =
-    match key with
-    | [] -> 0
-    | [ c ] -> shard_of_const c land (nshards - 1)
-    | c1 :: c2 :: _ ->
-        (shard_of_const c1 + (131 * shard_of_const c2)) land (nshards - 1)
+  let shard_of_key (key : int array) = mix (Key.hash key) land (nshards - 1)
 
   let create () =
-    { arity = None; tuples = Hashtbl.create 256; indices = Hashtbl.create 4 }
+    {
+      arity = None;
+      log = Array.make 16 [||];
+      hashes = Array.make 16 0;
+      n = 0;
+      slots = Array.make 64 0;
+      indices = Hashtbl.create 4;
+      index_list = [];
+    }
 
-  let size t = Hashtbl.length t.tuples
+  let size t = t.n
 
-  let mem t tuple = Hashtbl.mem t.tuples tuple
+  (* Locate [tuple] (whose hash is [h]) in the slot table: returns the
+     slot {e content} ([log index + 1]) when present, and [-(s + 1)]
+     for the first empty slot [s] of its probe sequence when absent. *)
+  let find_slot t (h : int) (tuple : tuple) =
+    let slots = t.slots in
+    let hashes = t.hashes in
+    let log = t.log in
+    let mask = Array.length slots - 1 in
+    let i = ref (mix h land mask) in
+    let res = ref 0 in
+    let searching = ref true in
+    while !searching do
+      let e = Array.unsafe_get slots !i in
+      if e = 0 then begin
+        res := -(!i + 1);
+        searching := false
+      end
+      else if
+        Array.unsafe_get hashes (e - 1) = h
+        && Key.equal (Array.unsafe_get log (e - 1)) tuple
+      then begin
+        res := e;
+        searching := false
+      end
+      else i := (!i + 1) land mask
+    done;
+    !res
+
+  let mem t tuple = find_slot t (Key.hash tuple) tuple > 0
+
+  (* Double the slot table, re-placing every live entry from its cached
+     hash — no tuple is re-hashed. *)
+  let grow_slots t =
+    let size = 2 * Array.length t.slots in
+    let slots = Array.make size 0 in
+    let mask = size - 1 in
+    for j = 0 to t.n - 1 do
+      let i = ref (mix (Array.unsafe_get t.hashes j) land mask) in
+      while Array.unsafe_get slots !i <> 0 do
+        i := (!i + 1) land mask
+      done;
+      Array.unsafe_set slots !i (j + 1)
+    done;
+    t.slots <- slots
 
   let check_arity t tuple =
     match t.arity with
@@ -82,44 +210,186 @@ module Relation = struct
             (Printf.sprintf "Relation: arity mismatch (%d vs %d)" a
                (Array.length tuple))
 
-  let index_insert (idx : index) positions tuple =
-    let key = List.map (fun p -> tuple.(p)) positions in
-    let tbl = idx.(shard_of key) in
-    match Hashtbl.find_opt tbl key with
-    | Some l -> l := tuple :: !l
-    | None -> Hashtbl.replace tbl key (ref [ tuple ])
+  let project (positions : int array) (tuple : tuple) =
+    let np = Array.length positions in
+    let key = Array.make np 0 in
+    for j = 0 to np - 1 do
+      key.(j) <- tuple.(Array.unsafe_get positions j)
+    done;
+    key
+
+  let ishard_create cap =
+    let cap = max 8 cap in
+    let slots = ref 32 in
+    while !slots < 2 * cap do
+      slots := 2 * !slots
+    done;
+    {
+      sk = Array.make cap [||];
+      sh = Array.make cap 0;
+      sv = Array.make cap (ref []);
+      sn = 0;
+      sslots = Array.make !slots 0;
+    }
+
+  (* Mirrors [find_slot]: positive slot content ([entry index + 1])
+     when [key] is present, [-(s + 1)] for the first empty slot [s]
+     when absent. *)
+  let ishard_find_slot (s : ishard) (h : int) (key : int array) =
+    let slots = s.sslots in
+    let sh = s.sh in
+    let sk = s.sk in
+    let mask = Array.length slots - 1 in
+    let i = ref (mix h land mask) in
+    let res = ref 0 in
+    let searching = ref true in
+    while !searching do
+      let e = Array.unsafe_get slots !i in
+      if e = 0 then begin
+        res := -(!i + 1);
+        searching := false
+      end
+      else if
+        Array.unsafe_get sh (e - 1) = h
+        && Key.equal (Array.unsafe_get sk (e - 1)) key
+      then begin
+        res := e;
+        searching := false
+      end
+      else i := (!i + 1) land mask
+    done;
+    !res
+
+  let ishard_grow_slots (s : ishard) =
+    let size = 2 * Array.length s.sslots in
+    let slots = Array.make size 0 in
+    let mask = size - 1 in
+    for j = 0 to s.sn - 1 do
+      let i = ref (mix (Array.unsafe_get s.sh j) land mask) in
+      while Array.unsafe_get slots !i <> 0 do
+        i := (!i + 1) land mask
+      done;
+      Array.unsafe_set slots !i (j + 1)
+    done;
+    s.sslots <- slots
+
+  (* Cons [tuple] onto [key]'s candidate list, creating the entry if
+     the key is new.  [h] must be [Key.hash key].  [~copy_key] copies
+     the key array before storing it — pass [false] only when the
+     caller owns [key] outright (the parallel fill, whose key arrays
+     are freshly projected per tuple). *)
+  let ishard_add (s : ishard) (h : int) (key : int array) ~copy_key tuple =
+    let f = ishard_find_slot s h key in
+    if f > 0 then begin
+      let l = Array.unsafe_get s.sv (f - 1) in
+      l := tuple :: !l
+    end
+    else begin
+      let cap = Array.length s.sk in
+      if s.sn = cap then begin
+        let sk = Array.make (2 * cap) [||] in
+        Array.blit s.sk 0 sk 0 s.sn;
+        let sh = Array.make (2 * cap) 0 in
+        Array.blit s.sh 0 sh 0 s.sn;
+        let sv = Array.make (2 * cap) (ref []) in
+        Array.blit s.sv 0 sv 0 s.sn;
+        s.sk <- sk;
+        s.sh <- sh;
+        s.sv <- sv
+      end;
+      s.sk.(s.sn) <- (if copy_key then Array.copy key else key);
+      s.sh.(s.sn) <- h;
+      s.sv.(s.sn) <- ref [ tuple ];
+      let slot =
+        if 2 * (s.sn + 1) > Array.length s.sslots then begin
+          ishard_grow_slots s;
+          let mask = Array.length s.sslots - 1 in
+          let i = ref (mix h land mask) in
+          while Array.unsafe_get s.sslots !i <> 0 do
+            i := (!i + 1) land mask
+          done;
+          !i
+        end
+        else -f - 1
+      in
+      s.sslots.(slot) <- s.sn + 1;
+      s.sn <- s.sn + 1
+    end
+
+  let ishard_reset (s : ishard) =
+    Array.fill s.sk 0 s.sn [||];
+    Array.fill s.sv 0 s.sn (ref []);
+    s.sn <- 0;
+    Array.fill s.sslots 0 (Array.length s.sslots) 0
+
+  let index_insert (idx : index) tuple =
+    let key = idx.ix_scratch in
+    let positions = idx.ix_positions in
+    for j = 0 to Array.length positions - 1 do
+      Array.unsafe_set key j
+        (Array.unsafe_get tuple (Array.unsafe_get positions j))
+    done;
+    let h = Key.hash key in
+    ishard_add idx.ix_shards.(mix h land (nshards - 1)) h key ~copy_key:true
+      tuple
 
   (** [add t tuple] inserts; returns [true] if the tuple is new. *)
   let add t tuple =
     check_arity t tuple;
-    if Hashtbl.mem t.tuples tuple then false
+    let h = Key.hash tuple in
+    let f = find_slot t h tuple in
+    if f > 0 then false
     else begin
-      Hashtbl.replace t.tuples tuple ();
-      Hashtbl.iter (fun positions idx -> index_insert idx positions tuple) t.indices;
+      let cap = Array.length t.log in
+      if t.n = cap then begin
+        let log = Array.make (2 * cap) [||] in
+        Array.blit t.log 0 log 0 t.n;
+        let hashes = Array.make (2 * cap) 0 in
+        Array.blit t.hashes 0 hashes 0 t.n;
+        t.log <- log;
+        t.hashes <- hashes
+      end;
+      Array.unsafe_set t.log t.n tuple;
+      Array.unsafe_set t.hashes t.n h;
+      let s =
+        if 2 * (t.n + 1) > Array.length t.slots then begin
+          grow_slots t;
+          (* The empty slot from [find_slot] is stale now. *)
+          let mask = Array.length t.slots - 1 in
+          let i = ref (mix h land mask) in
+          while Array.unsafe_get t.slots !i <> 0 do
+            i := (!i + 1) land mask
+          done;
+          !i
+        end
+        else -f - 1
+      in
+      t.slots.(s) <- t.n + 1;
+      t.n <- t.n + 1;
+      List.iter (fun idx -> index_insert idx tuple) t.index_list;
       true
     end
 
-  let iter t f = Hashtbl.iter (fun tuple () -> f tuple) t.tuples
+  (* Insertion order — which [to_list] and [to_array] share, so
+     parallel chunking (which partitions the array) visits candidates
+     in exactly the order the sequential path does.  Log and count are
+     latched up front: entries below [n] are immutable once appended,
+     so this behaves as a snapshot even if [f] adds tuples (a
+     recursive rule joining over its own head). *)
+  let iter t f =
+    let log = t.log and n = t.n in
+    for i = 0 to n - 1 do
+      f (Array.unsafe_get log i)
+    done
 
-  let to_list t = Hashtbl.fold (fun tuple () acc -> tuple :: acc) t.tuples []
+  let to_list t =
+    let l = ref [] in
+    for i = t.n - 1 downto 0 do
+      l := Array.unsafe_get t.log i :: !l
+    done;
+    !l
 
-  (* Same element order as [to_list] (the array is filled back to
-     front, and stdlib [Hashtbl.iter] and [Hashtbl.fold] traverse
-     identically) — parallel chunking partitions this array, so the
-     order must match what the sequential path gets from [lookup]. *)
-  let to_array t =
-    let n = Hashtbl.length t.tuples in
-    if n = 0 then [||]
-    else begin
-      let arr = Array.make n [||] in
-      let i = ref n in
-      Hashtbl.iter
-        (fun tuple () ->
-          decr i;
-          arr.(!i) <- tuple)
-        t.tuples;
-      arr
-    end
+  let to_array t = Array.sub t.log 0 t.n
 
   (** [clear t] removes every tuple but keeps the arity and the set of
       registered index position-lists, so indices built by earlier
@@ -127,11 +397,18 @@ module Relation = struct
       retraction primitive for re-deriving non-monotonic relations in
       place. *)
   let clear t =
-    Hashtbl.reset t.tuples;
-    Hashtbl.iter (fun _ idx -> Array.iter Hashtbl.reset idx) t.indices
+    Array.fill t.log 0 t.n [||];
+    t.n <- 0;
+    Array.fill t.slots 0 (Array.length t.slots) 0;
+    Hashtbl.iter (fun _ idx -> Array.iter ishard_reset idx.ix_shards) t.indices
 
-  let new_index t : index =
-    Array.init nshards (fun _ -> Hashtbl.create (max 16 (size t / nshards)))
+  let new_index t positions : index =
+    {
+      ix_positions = Array.of_list positions;
+      ix_shards =
+        Array.init nshards (fun _ -> ishard_create (size t / (2 * nshards)));
+      ix_scratch = Array.make (List.length positions) 0;
+    }
 
   (** [ensure_index t positions] builds the hash index for [positions]
       if absent.  Parallel evaluation pre-builds every index a stratum
@@ -141,9 +418,10 @@ module Relation = struct
     | [] -> ()
     | _ ->
         if not (Hashtbl.mem t.indices positions) then begin
-          let idx = new_index t in
-          iter t (fun tuple -> index_insert idx positions tuple);
-          Hashtbl.replace t.indices positions idx
+          let idx = new_index t positions in
+          iter t (fun tuple -> index_insert idx tuple);
+          Hashtbl.replace t.indices positions idx;
+          t.index_list <- idx :: t.index_list
         end
 
   (* Parallel index construction: register the (empty) index on the
@@ -155,9 +433,9 @@ module Relation = struct
      ranges, any domain), and — only after {e every} range task has
      run — [is s] inserts the tuples of shard [s] (one task per shard,
      each owning a disjoint sub-table).  The snapshot array is in
-     [to_list] order, i.e. the reverse of iteration order, so the
-     insert loop walks it backwards to reproduce the exact insert
-     order of a sequential fill.  Contract: no [add] until every
+     iteration (insertion) order, so the insert loop walks it forward
+     to reproduce the exact insert order of a sequential fill.
+     Contract: no [add] until every
      returned phase has run, or the tuple would be indexed twice.
      [None] when the index already exists (or [positions] is empty). *)
   let shard_fill_threshold = 4096
@@ -168,52 +446,63 @@ module Relation = struct
     | _ ->
         if Hashtbl.mem t.indices positions then None
         else begin
-          let idx = new_index t in
+          let idx = new_index t positions in
           Hashtbl.replace t.indices positions idx;
+          t.index_list <- idx :: t.index_list;
           let n = size t in
           if n < shard_fill_threshold then
-            Some
-              (`Fill
-                (fun () -> iter t (fun tuple -> index_insert idx positions tuple)))
+            Some (`Fill (fun () -> iter t (fun tuple -> index_insert idx tuple)))
           else begin
             let arr = to_array t in
-            let keys = Array.make n [] in
+            let keys = Array.make n [||] in
+            let hs = Array.make n 0 in
             let shards = Array.make n 0 in
             let keys_range lo hi =
               for i = lo to hi - 1 do
-                let tuple = arr.(i) in
-                let key = List.map (fun p -> tuple.(p)) positions in
+                let key = project idx.ix_positions arr.(i) in
+                let h = Key.hash key in
                 keys.(i) <- key;
-                shards.(i) <- shard_of key
+                hs.(i) <- h;
+                shards.(i) <- mix h land (nshards - 1)
               done
             in
             let insert_shard s =
-              let tbl = idx.(s) in
-              for i = n - 1 downto 0 do
-                if shards.(i) = s then begin
-                  let key = keys.(i) in
-                  match Hashtbl.find_opt tbl key with
-                  | Some l -> l := arr.(i) :: !l
-                  | None -> Hashtbl.replace tbl key (ref [ arr.(i) ])
-                end
+              let sh = idx.ix_shards.(s) in
+              for i = 0 to n - 1 do
+                if shards.(i) = s then
+                  ishard_add sh hs.(i) keys.(i) ~copy_key:false arr.(i)
               done
             in
             Some (`Sharded (n, keys_range, insert_shard))
           end
         end
 
+  (** [find_index t positions] returns the hash index for [positions],
+      building it on first use.  [positions] must be non-empty.  The
+      returned handle stays valid for the relation's whole lifetime:
+      indices are registered once and maintained in place (even across
+      {!clear}), never replaced — which is what lets the evaluator
+      cache it per compiled probe instead of re-walking the
+      position-list hash table on every lookup. *)
+  let find_index t positions : index =
+    ensure_index t positions;
+    Hashtbl.find t.indices positions
+
+  (** [probe idx key] returns all tuples of [idx] whose projection
+      equals [key]. *)
+  let probe (idx : index) (key : int array) =
+    let h = Key.hash key in
+    let s = idx.ix_shards.(mix h land (nshards - 1)) in
+    let f = ishard_find_slot s h key in
+    if f > 0 then !(Array.unsafe_get s.sv (f - 1)) else []
+
   (** [lookup t positions key] returns all tuples whose projection on
       [positions] equals [key], using (and building on first use) a hash
       index. *)
-  let lookup t positions key =
+  let lookup t positions (key : int array) =
     match positions with
     | [] -> to_list t
-    | _ -> (
-        ensure_index t positions;
-        let idx = Hashtbl.find t.indices positions in
-        match Hashtbl.find_opt idx.(shard_of key) key with
-        | Some l -> !l
-        | None -> [])
+    | _ -> probe (find_index t positions) key
 end
 
 (* ------------------------------------------------------------------ *)
@@ -229,6 +518,10 @@ type db = {
   db_journal : (string, Relation.tuple list ref) Hashtbl.t;
   db_derived : (string, unit) Hashtbl.t;
   mutable db_ran : bool;  (** at least one evaluation has completed *)
+  mutable db_gen : int;
+      (** bumped whenever a relation is created — the only change the
+          evaluator's per-atom relation-handle caches need to observe
+          (relations are never replaced or removed, only added). *)
 }
 
 let create_db () : db =
@@ -237,6 +530,7 @@ let create_db () : db =
     db_journal = Hashtbl.create 16;
     db_derived = Hashtbl.create 16;
     db_ran = false;
+    db_gen = 0;
   }
 
 let relation (db : db) pred =
@@ -245,13 +539,15 @@ let relation (db : db) pred =
   | None ->
       let r = Relation.create () in
       Hashtbl.replace db.db_rels pred r;
+      db.db_gen <- db.db_gen + 1;
       r
 
-(** [insert_fact db pred tuple] inserts and returns [true] iff the
-    tuple is new.  New tuples are journaled as part of the delta for
-    the next {!run_incremental}. *)
-let insert_fact (db : db) pred tuple =
-  let t = Array.of_list tuple in
+(** [insert_packed db pred tuple] inserts an already-packed tuple and
+    returns [true] iff it is new.  The fact-loading hot path: no
+    [const] boxes are ever allocated.  The array is owned by the
+    database afterwards — callers must not mutate it.  New tuples are
+    journaled as part of the delta for the next {!run_incremental}. *)
+let insert_packed (db : db) pred (t : Relation.tuple) =
   Relation.add (relation db pred) t
   && begin
        (match Hashtbl.find_opt db.db_journal pred with
@@ -260,9 +556,25 @@ let insert_fact (db : db) pred tuple =
        true
      end
 
+(** [insert_fact db pred tuple] packs and inserts; [true] iff new. *)
+let insert_fact (db : db) pred tuple =
+  insert_packed db pred (Array.of_list (List.map Ast.pack tuple))
+
 let add_fact (db : db) pred tuple = ignore (insert_fact db pred tuple)
 
+(* Decoded and sorted: relation contents are sets held in hash tables
+   whose traversal order depends on hash values — which the interning
+   scheme ties to load order.  Every output-facing consumer (dissect
+   rows, alert streams, exports) reads facts through here, so sorting
+   makes reports a function of the fact {e set}, not the load order. *)
 let facts (db : db) pred =
+  match Hashtbl.find_opt db.db_rels pred with
+  | Some r ->
+      List.sort compare
+        (List.rev_map (Array.map Ast.unpack) (Relation.to_list r))
+  | None -> []
+
+let packed_facts (db : db) pred =
   match Hashtbl.find_opt db.db_rels pred with
   | Some r -> Relation.to_list r
   | None -> []
@@ -325,9 +637,9 @@ let dump_facts (db : db) ~dir =
       Relation.iter rel (fun tuple ->
           let cells =
             Array.to_list tuple
-            |> List.map (function
-                 | Str s -> escape_cell s
-                 | Int n -> string_of_int n)
+            |> List.map (fun p ->
+                   if Ast.packed_is_int p then Ast.packed_to_string p
+                   else escape_cell (Ast.packed_to_string p))
           in
           lines := String.concat "\t" cells :: !lines);
       List.iter
@@ -485,19 +797,52 @@ let stratify (rules : rule list) : (rule list * bool) list =
    candidate tuple — rule evaluation over large fact bases is
    allocation-bound. *)
 
-type slot_term = S_const of const | S_var of int
+(* [S_const] holds the {e packed} constant (see {!Ast.packed}). *)
+type slot_term = S_const of int | S_var of int
 
-type compiled_atom = { c_pred : string; c_args : slot_term array }
+(* [c_rel]/[c_gen] cache the atom's relation handle per database
+   generation: resolving the predicate through [db_rels] costs a string
+   hash per probe, and the resolution can only change when a relation
+   is created ([db_gen] bumps).  Compiled rules are per-run (each
+   stratum evaluation recompiles), so a cache never outlives its
+   database.  During a parallel pass the caches are pre-resolved on the
+   submitting domain ([resolve_caches]) and [db_gen] is frozen, so
+   worker domains only ever {e read} them. *)
+type compiled_atom = {
+  c_pred : string;
+  c_args : slot_term array;
+  mutable c_rel : Relation.t option;
+  mutable c_gen : int;
+}
+
+type pr_cache = PC_none | PC_some of Relation.t * Relation.index
+
+(* A probe: the statically-known bound positions of a positive body
+   literal, with the key sources aligned position-for-position.  The
+   variable slots bound when control reaches a body literal are
+   statically known — evaluation is strictly left-to-right, positive
+   literals bind all their variables, negations and comparisons bind
+   none — so the per-candidate [bound_positions] scan of the boxed
+   engine (two list allocations per probe) collapses to filling a
+   small int-array key from a precomputed template.  [pr_cache] holds
+   the resolved index handle (valid as long as the cached relation is
+   the atom's current one — index handles themselves never go stale,
+   see {!Relation.find_index}). *)
+type probe = {
+  pr_positions : int list;  (* index registration/lookup key *)
+  pr_sources : slot_term array;  (* aligned with pr_positions *)
+  mutable pr_cache : pr_cache;
+}
 
 type compiled_expr =
-  | CE_const of const
+  | CE_packed of int
   | CE_var of int
   | CE_add of compiled_expr * compiled_expr
   | CE_sub of compiled_expr * compiled_expr
   | CE_mul of compiled_expr * compiled_expr
 
 type compiled_literal =
-  | C_pos of compiled_atom
+  | C_pos of compiled_atom * probe
   | C_neg of compiled_atom
   | C_cmp of cmp_op * compiled_expr * compiled_expr
 
@@ -521,62 +866,109 @@ let compile_rule (r : rule) : compiled_rule =
         i
   in
   let compile_term = function
-    | Const c -> S_const c
+    | Const c -> S_const (Ast.pack c)
     | Var v -> S_var (slot_of v)
   in
   let compile_atom (a : atom) =
-    { c_pred = a.pred; c_args = Array.of_list (List.map compile_term a.args) }
+    {
+      c_pred = a.pred;
+      c_args = Array.of_list (List.map compile_term a.args);
+      c_rel = None;
+      c_gen = min_int;
+    }
   in
   let rec compile_expr = function
-    | E_const c -> CE_const c
+    | E_const c -> CE_packed (Ast.pack c)
     | E_var v -> CE_var (slot_of v)
     | E_add (a, b) -> CE_add (compile_expr a, compile_expr b)
     | E_sub (a, b) -> CE_sub (compile_expr a, compile_expr b)
     | E_mul (a, b) -> CE_mul (compile_expr a, compile_expr b)
   in
+  let head = compile_atom r.head in
+  let body_atoms =
+    List.map
+      (function
+        | Pos a -> `Pos (compile_atom a)
+        | Neg a -> `Neg (compile_atom a)
+        | Cmp (op, a, b) -> `Cmp (op, compile_expr a, compile_expr b))
+      r.body
+  in
+  (* Left-to-right bound-slot tracking for the probe templates; all
+     slots exist now that head and body are compiled. *)
+  let bound = Array.make (max 1 !nvars) false in
   let body =
     List.map
       (function
-        | Pos a -> C_pos (compile_atom a)
-        | Neg a -> C_neg (compile_atom a)
-        | Cmp (op, a, b) -> C_cmp (op, compile_expr a, compile_expr b))
-      r.body
+        | `Pos (a : compiled_atom) ->
+            let positions = ref [] and sources = ref [] in
+            Array.iteri
+              (fun k arg ->
+                match arg with
+                | S_const _ ->
+                    positions := k :: !positions;
+                    sources := arg :: !sources
+                | S_var i ->
+                    if bound.(i) then begin
+                      positions := k :: !positions;
+                      sources := arg :: !sources
+                    end)
+              a.c_args;
+            Array.iter
+              (function S_var i -> bound.(i) <- true | S_const _ -> ())
+              a.c_args;
+            C_pos
+              ( a,
+                {
+                  pr_positions = List.rev !positions;
+                  pr_sources = Array.of_list (List.rev !sources);
+                  pr_cache = PC_none;
+                } )
+        | `Neg a -> C_neg a
+        | `Cmp (op, a, b) -> C_cmp (op, a, b))
+      body_atoms
   in
   {
     cr_nvars = !nvars;
-    cr_head = compile_atom r.head;
+    cr_head = head;
     cr_body = Array.of_list body;
     cr_source = r;
   }
 
-(* The environment: one cell per variable slot; [None] = unbound. *)
-type env = const option array
+(* The environment: one packed constant per variable slot.  [min_int]
+   marks an unbound slot; {!Ast.pack_int} excludes it from the packed
+   range, so no binding can collide with the sentinel. *)
+type env = int array
+
+let unbound = min_int
+
+let arith_error p =
+  raise
+    (Unsafe_rule (Printf.sprintf "string %S in arithmetic" (Ast.packed_to_string p)))
 
 let rec eval_cexpr (env : env) = function
-  | CE_const (Int n) -> n
-  | CE_const (Str str) ->
-      raise (Unsafe_rule (Printf.sprintf "string %S in arithmetic" str))
-  | CE_var i -> (
-      match env.(i) with
-      | Some (Int n) -> n
-      | Some (Str str) ->
-          raise (Unsafe_rule (Printf.sprintf "string %S in arithmetic" str))
-      | None -> raise (Unsafe_rule "unbound variable in comparison"))
+  | CE_packed p -> if p land 1 = 0 then p asr 1 else arith_error p
+  | CE_var i ->
+      let p = env.(i) in
+      if p = unbound then raise (Unsafe_rule "unbound variable in comparison")
+      else if p land 1 = 0 then p asr 1
+      else arith_error p
   | CE_add (a, b) -> eval_cexpr env a + eval_cexpr env b
   | CE_sub (a, b) -> eval_cexpr env a - eval_cexpr env b
   | CE_mul (a, b) -> eval_cexpr env a * eval_cexpr env b
 
-(* String (in)equality comparisons are permitted for Eq/Ne when both
-   sides are a variable or constant. *)
+(* (In)equality comparisons are permitted on any constants for Eq/Ne
+   when both sides are a variable or constant: interning is canonical,
+   so packed equality is structural constant equality. *)
 let eval_ccmp (env : env) op lhs rhs =
-  let as_const = function
-    | CE_const c -> Some c
+  let as_packed = function
+    | CE_packed p -> p
     | CE_var i -> env.(i)
-    | _ -> None
+    | _ -> unbound
   in
-  match (op, as_const lhs, as_const rhs) with
-  | Eq, Some a, Some b -> a = b
-  | Ne, Some a, Some b -> a <> b
+  match op with
+  | (Eq | Ne) when as_packed lhs <> unbound && as_packed rhs <> unbound ->
+      let a = as_packed lhs and b = as_packed rhs in
+      if op = Eq then a = b else a <> b
   | _ -> (
       let a = eval_cexpr env lhs and b = eval_cexpr env rhs in
       match op with
@@ -587,61 +979,115 @@ let eval_ccmp (env : env) op lhs rhs =
       | Eq -> a = b
       | Ne -> a <> b)
 
-(* Bound (position, key) pairs of an atom under the current env. *)
-let bound_positions (a : compiled_atom) (env : env) =
-  let positions = ref [] and key = ref [] in
-  Array.iteri
-    (fun k arg ->
-      match arg with
-      | S_const c ->
-          positions := k :: !positions;
-          key := c :: !key
-      | S_var i -> (
-          match env.(i) with
-          | Some c ->
-              positions := k :: !positions;
-              key := c :: !key
-          | None -> ()))
-    a.c_args;
-  (List.rev !positions, List.rev !key)
+(* Fill a probe's flat key from the current environment.  Every
+   [S_var] source is statically guaranteed bound here (see [probe]). *)
+let probe_key (pr : probe) (env : env) : int array =
+  let np = Array.length pr.pr_sources in
+  let key = Array.make np 0 in
+  for j = 0 to np - 1 do
+    key.(j) <-
+      (match Array.unsafe_get pr.pr_sources j with
+      | S_const p -> p
+      | S_var i -> Array.unsafe_get env i)
+  done;
+  key
 
-(* Try to unify [tuple] with [a] under [env]; newly bound slots are
-   pushed onto [trail] for backtracking.  Returns success. *)
-let unify_tuple (a : compiled_atom) (tuple : Relation.tuple) (env : env)
-    (trail : int list ref) : bool =
+(* Same, into a caller-owned scratch buffer sized to the probe:
+   [Ktbl.find_opt] only reads the key, so the buffer can be refilled
+   for the next probe without ever escaping. *)
+let probe_key_into (pr : probe) (env : env) (key : int array) =
+  for j = 0 to Array.length key - 1 do
+    Array.unsafe_set key j
+      (match Array.unsafe_get pr.pr_sources j with
+      | S_const p -> p
+      | S_var i -> Array.unsafe_get env i)
+  done
+
+(* All mutable per-evaluation state, allocated once per [eval_rule]
+   call: the environment, a trail of bound slots operated as a stack
+   (each body frame unwinds to its entry depth — a slot is bound at
+   most once along any root-to-leaf path, so [cr_nvars] entries always
+   suffice), and one key scratch buffer per body literal.  Rule
+   evaluation over large fact bases is allocation-bound; with the
+   frame, the per-candidate cost of the join loop allocates nothing. *)
+type frame = {
+  fr_env : env;
+  fr_trail : int array;
+  mutable fr_tn : int;  (* trail depth *)
+  fr_keys : int array array;  (* per body literal, [||] for non-probes *)
+}
+
+(* Resolve the relation an atom refers to, through its generation
+   cache. *)
+let atom_rel (db : db) (a : compiled_atom) =
+  if a.c_gen = db.db_gen then a.c_rel
+  else begin
+    let r = Hashtbl.find_opt db.db_rels a.c_pred in
+    a.c_rel <- r;
+    a.c_gen <- db.db_gen;
+    r
+  end
+
+(* Resolve a probe's index handle against [rel] (the atom's current
+   relation), through its cache.  [pr_positions] must be non-empty. *)
+let probe_index (rel : Relation.t) (pr : probe) =
+  match pr.pr_cache with
+  | PC_some (r, idx) when r == rel -> idx
+  | _ ->
+      let idx = Relation.find_index rel pr.pr_positions in
+      pr.pr_cache <- PC_some (rel, idx);
+      idx
+
+(* Try to unify [tuple] with [a] under the frame's environment; newly
+   bound slots are pushed onto the trail.  On failure the trail is
+   unwound to its entry depth; on success the {e caller} unwinds after
+   exploring deeper literals.  Returns success. *)
+let unify_tuple (a : compiled_atom) (tuple : Relation.tuple) (fr : frame) :
+    bool =
   let n = Array.length a.c_args in
   if n <> Array.length tuple then false
   else begin
+    let env = fr.fr_env in
+    let t0 = fr.fr_tn in
     let ok = ref true in
     let k = ref 0 in
     while !ok && !k < n do
-      (match a.c_args.(!k) with
-      | S_const c -> if c <> tuple.(!k) then ok := false
-      | S_var i -> (
-          match env.(i) with
-          | Some bound -> if bound <> tuple.(!k) then ok := false
-          | None ->
-              env.(i) <- Some tuple.(!k);
-              trail := i :: !trail));
+      (match Array.unsafe_get a.c_args !k with
+      | S_const p -> if p <> Array.unsafe_get tuple !k then ok := false
+      | S_var i ->
+          let b = Array.unsafe_get env i in
+          let tv = Array.unsafe_get tuple !k in
+          if b = unbound then begin
+            Array.unsafe_set env i tv;
+            Array.unsafe_set fr.fr_trail fr.fr_tn i;
+            fr.fr_tn <- fr.fr_tn + 1
+          end
+          else if b <> tv then ok := false);
       incr k
     done;
-    if not !ok then begin
+    if not !ok then
       (* Roll back the bindings made during this failed attempt. *)
-      List.iter (fun i -> env.(i) <- None) !trail;
-      trail := []
-    end;
+      while fr.fr_tn > t0 do
+        fr.fr_tn <- fr.fr_tn - 1;
+        Array.unsafe_set env (Array.unsafe_get fr.fr_trail fr.fr_tn) unbound
+      done;
     !ok
   end
 
 let instantiate (a : compiled_atom) (env : env) : Relation.tuple =
-  Array.map
-    (function
-      | S_const c -> c
-      | S_var i -> (
-          match env.(i) with
-          | Some c -> c
-          | None -> raise (Unsafe_rule "unbound variable at instantiation")))
-    a.c_args
+  let n = Array.length a.c_args in
+  let out = Array.make n 0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set out k
+      (match Array.unsafe_get a.c_args k with
+      | S_const p -> p
+      | S_var i ->
+          let p = Array.unsafe_get env i in
+          if p = unbound then
+            raise (Unsafe_rule "unbound variable at instantiation")
+          else p)
+  done;
+  out
 
 (* Depth-first evaluation of the body from literal [idx]; calls [emit]
    for every satisfying environment.  [delta_at]/[delta_tuples]
@@ -652,22 +1098,25 @@ let instantiate (a : compiled_atom) (env : env) : Relation.tuple =
    candidate array (a range, so the submitter never re-conses
    per-chunk sublists).
 
-   Body evaluation never mutates the database: relations are read via
-   [Hashtbl.find_opt] (a missing relation simply has no tuples) and any
-   index a lookup needs is pre-built by the parallel driver, so
+   Body evaluation never mutates the database: relations are read
+   through the atom caches (a missing relation simply has no tuples)
+   and any index a lookup needs is pre-built by the parallel driver, so
    concurrent workers share the structures read-only. *)
-let rec eval_from (db : db) (cr : compiled_rule) (env : env) ~idx ~delta_at
+let rec eval_from (db : db) (cr : compiled_rule) (fr : frame) ~idx ~delta_at
     ~delta_tuples ~over ~emit =
-  if idx >= Array.length cr.cr_body then emit env
+  if idx >= Array.length cr.cr_body then emit fr.fr_env
   else
     match cr.cr_body.(idx) with
-    | C_pos a -> (
+    | C_pos (a, pr) -> (
         let visit tuple =
-          let trail = ref [] in
-          if unify_tuple a tuple env trail then begin
-            eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~over
+          let t0 = fr.fr_tn in
+          if unify_tuple a tuple fr then begin
+            eval_from db cr fr ~idx:(idx + 1) ~delta_at ~delta_tuples ~over
               ~emit;
-            List.iter (fun i -> env.(i) <- None) !trail
+            while fr.fr_tn > t0 do
+              fr.fr_tn <- fr.fr_tn - 1;
+              fr.fr_env.(fr.fr_trail.(fr.fr_tn)) <- unbound
+            done
           end
         in
         match over with
@@ -675,36 +1124,57 @@ let rec eval_from (db : db) (cr : compiled_rule) (env : env) ~idx ~delta_at
             for i = start to start + len - 1 do
               visit arr.(i)
             done
-        | _ ->
-            let candidates =
-              match delta_at with
-              | Some d when d = idx -> delta_tuples
-              | _ -> (
-                  match Hashtbl.find_opt db.db_rels a.c_pred with
-                  | None -> []
-                  | Some rel ->
-                      let positions, key = bound_positions a env in
-                      Relation.lookup rel positions key)
-            in
-            List.iter visit candidates)
+        | _ -> (
+            match delta_at with
+            | Some d when d = idx -> List.iter visit delta_tuples
+            | _ -> (
+                match atom_rel db a with
+                | None -> ()
+                | Some rel -> (
+                    match pr.pr_positions with
+                    | [] ->
+                        (* Full scan straight off the insertion log —
+                           same element order as [to_list]/[to_array]
+                           (so sequential and chunked parallel
+                           evaluation still agree), without
+                           materializing a list per occurrence. *)
+                        Relation.iter rel visit
+                    | _ ->
+                        let key = fr.fr_keys.(idx) in
+                        probe_key_into pr fr.fr_env key;
+                        List.iter visit
+                          (Relation.probe (probe_index rel pr) key)))))
     | C_neg a ->
         let present =
-          match Hashtbl.find_opt db.db_rels a.c_pred with
-          | Some rel -> Relation.mem rel (instantiate a env)
+          match atom_rel db a with
+          | Some rel -> Relation.mem rel (instantiate a fr.fr_env)
           | None -> false
         in
         if not present then
-          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~over ~emit
+          eval_from db cr fr ~idx:(idx + 1) ~delta_at ~delta_tuples ~over ~emit
     | C_cmp (op, lhs, rhs) ->
-        if eval_ccmp env op lhs rhs then
-          eval_from db cr env ~idx:(idx + 1) ~delta_at ~delta_tuples ~over ~emit
+        if eval_ccmp fr.fr_env op lhs rhs then
+          eval_from db cr fr ~idx:(idx + 1) ~delta_at ~delta_tuples ~over ~emit
+
+let make_frame (cr : compiled_rule) : frame =
+  {
+    fr_env = Array.make (max 1 cr.cr_nvars) unbound;
+    fr_trail = Array.make (max 1 cr.cr_nvars) 0;
+    fr_tn = 0;
+    fr_keys =
+      Array.map
+        (function
+          | C_pos (_, pr) -> Array.make (Array.length pr.pr_sources) 0
+          | _ -> [||])
+        cr.cr_body;
+  }
 
 (* Evaluate a compiled rule, calling [on_derived] with each (possibly
    duplicate) head tuple. *)
 let eval_rule (db : db) (cr : compiled_rule) ~delta_at ~delta_tuples
     ~on_derived =
-  let env : env = Array.make (max 1 cr.cr_nvars) None in
-  eval_from db cr env ~idx:0 ~delta_at ~delta_tuples ~over:None
+  let fr = make_frame cr in
+  eval_from db cr fr ~idx:0 ~delta_at ~delta_tuples ~over:None
     ~emit:(fun env -> on_derived (instantiate cr.cr_head env))
 
 (* Worker-side evaluation of one partition: collect the head tuples in
@@ -722,13 +1192,13 @@ let eval_rule (db : db) (cr : compiled_rule) ~delta_at ~delta_tuples
    merge handles those as before.) *)
 let eval_rule_partition (db : db) (cr : compiled_rule) ~delta_at ~delta_tuples
     ~over : Relation.tuple list =
-  let env : env = Array.make (max 1 cr.cr_nvars) None in
+  let fr = make_frame cr in
   let out = ref [] in
-  let seen : (Relation.tuple, unit) Hashtbl.t = Hashtbl.create 64 in
-  eval_from db cr env ~idx:0 ~delta_at ~delta_tuples ~over ~emit:(fun env ->
+  let seen = Relation.Ktbl.create 64 in
+  eval_from db cr fr ~idx:0 ~delta_at ~delta_tuples ~over ~emit:(fun env ->
       let tuple = instantiate cr.cr_head env in
-      if not (Hashtbl.mem seen tuple) then begin
-        Hashtbl.replace seen tuple ();
+      if not (Relation.Ktbl.mem seen tuple) then begin
+        Relation.Ktbl.replace seen tuple ();
         out := tuple :: !out
       end);
   List.rev !out
@@ -852,20 +1322,35 @@ let eval_stratum_seq (db : db) (stats : stats) ~naive ~obs
   let in_stratum p = List.mem p stratum_preds in
   (* delta per predicate: tuples added in the previous round. *)
   let delta : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 8 in
-  let record_delta tbl pred tuple =
-    let prev = Option.value (Hashtbl.find_opt tbl pred) ~default:[] in
-    Hashtbl.replace tbl pred (tuple :: prev)
-  in
   let eval_into tbl cr ~delta_at ~delta_tuples =
     stats.rules_evaluated <- stats.rules_evaluated + 1;
     let t0 = if obs.eo_live then Unix.gettimeofday () else 0. in
+    (* Resolve the head's relation and delta slot once per rule
+       evaluation, not once per derived tuple — at paper scale a rule
+       can derive hundreds of thousands of tuples, and three
+       string-keyed hash lookups per tuple show up.  The relation is
+       resolved at the {e first} derivation, not eagerly: creating it
+       for a rule that derives nothing would add a spurious empty
+       relation to the database (visible in [dump_facts]). *)
+    let pred = cr.cr_head.c_pred in
+    let rel = ref None in
+    let acc = ref (Option.value (Hashtbl.find_opt tbl pred) ~default:[]) in
+    let acc0 = !acc in
     eval_rule db cr ~delta_at ~delta_tuples ~on_derived:(fun tuple ->
-        let pred = cr.cr_head.c_pred in
-        if Relation.add (relation db pred) tuple then begin
+        let r =
+          match !rel with
+          | Some r -> r
+          | None ->
+              let r = relation db pred in
+              rel := Some r;
+              r
+        in
+        if Relation.add r tuple then begin
           stats.tuples_derived <- stats.tuples_derived + 1;
-          record_delta tbl pred tuple;
+          acc := tuple :: !acc;
           on_new pred tuple
         end);
+    if not (!acc == acc0) then Hashtbl.replace tbl pred !acc;
     if obs.eo_live then
       match List.assq_opt cr.cr_source obs.eo_rule_hist with
       | Some h -> Metrics.Histogram.observe h (Unix.gettimeofday () -. t0)
@@ -887,7 +1372,7 @@ let eval_stratum_seq (db : db) (stats : stats) ~naive ~obs
           Array.iteri
             (fun idx lit ->
               match lit with
-              | C_pos a -> (
+              | C_pos (a, _) -> (
                   match Hashtbl.find_opt fresh a.c_pred with
                   | Some (_ :: _ as delta_tuples) ->
                       eval_into delta cr ~delta_at:(Some idx) ~delta_tuples
@@ -918,7 +1403,7 @@ let eval_stratum_seq (db : db) (stats : stats) ~naive ~obs
           Array.iteri
             (fun idx lit ->
               match lit with
-              | C_pos a when in_stratum a.c_pred -> (
+              | C_pos (a, _) when in_stratum a.c_pred -> (
                   match Hashtbl.find_opt delta a.c_pred with
                   | Some (_ :: _ as delta_tuples) ->
                       eval_into new_delta cr ~delta_at:(Some idx) ~delta_tuples
@@ -954,32 +1439,9 @@ let eval_stratum_seq (db : db) (stats : stats) ~naive ~obs
    may order insertions differently than the interleaved sequential
    rounds; the shipped cross-chain program is fully non-recursive. *)
 
-(* The variable slots bound when control reaches body literal [idx] are
-   statically known — exactly the variables of earlier positive
-   literals ([unify_tuple] binds every variable of an atom; negations
-   and comparisons bind nothing).  Hence the index position-list each
-   lookup will use is static too, and can be pre-built sequentially. *)
-let static_bound_positions (cr : compiled_rule) : (int * int list) list =
-  let bound = Array.make (max 1 cr.cr_nvars) false in
-  let acc = ref [] in
-  Array.iteri
-    (fun idx lit ->
-      match lit with
-      | C_pos a ->
-          let positions = ref [] in
-          Array.iteri
-            (fun k arg ->
-              match arg with
-              | S_const _ -> positions := k :: !positions
-              | S_var i -> if bound.(i) then positions := k :: !positions)
-            a.c_args;
-          acc := (idx, List.rev !positions) :: !acc;
-          Array.iter
-            (function S_var i -> bound.(i) <- true | S_const _ -> ())
-            a.c_args
-      | C_neg _ | C_cmp _ -> ())
-    cr.cr_body;
-  List.rev !acc
+(* The index position-list each body lookup uses is already compiled
+   into its probe ([compile_rule] tracks bound slots left-to-right), so
+   pre-building just walks the compiled bodies. *)
 
 (* Pre-build every index the stratum's lookups can touch, fanning the
    work out over the pool — empty index tables are registered
@@ -1000,11 +1462,10 @@ let prepare_indices (db : db) ~pool compiled =
   let k = max 1 (Pool.ndomains pool) in
   List.iter
     (fun cr ->
-      List.iter
-        (fun (idx, positions) ->
-          match (positions, cr.cr_body.(idx)) with
-          | [], _ -> ()
-          | _, C_pos a ->
+      Array.iter
+        (function
+          | C_pos (a, pr) when pr.pr_positions <> [] ->
+              let positions = pr.pr_positions in
               if not (Hashtbl.mem seen (a.c_pred, positions)) then begin
                 Hashtbl.add seen (a.c_pred, positions) ();
                 match Hashtbl.find_opt db.db_rels a.c_pred with
@@ -1027,10 +1488,34 @@ let prepare_indices (db : db) ~pool compiled =
                 | None -> ()
               end
           | _ -> ())
-        (static_bound_positions cr))
+        cr.cr_body)
     compiled;
   ignore (Pool.run pool !phase_a);
   ignore (Pool.run pool !phase_b)
+
+(* Resolve every body atom's relation handle and every probe's index
+   handle on the submitting domain, so worker domains only ever {e
+   read} the compiled-rule caches during a fan-out: after this sweep
+   each cache check hits (nothing creates relations or replaces
+   indices mid-pass), so no worker writes them.  This also covers
+   relations created {e after} stratum start — head predicates of
+   recursive strata — whose indices [prepare_indices] could not have
+   seen: [probe_index] builds them here, single-threaded, instead of
+   workers racing through a lazy [ensure_index]. *)
+let resolve_caches (db : db) (crs : compiled_rule list) =
+  List.iter
+    (fun cr ->
+      Array.iter
+        (function
+          | C_pos (a, pr) -> (
+              match atom_rel db a with
+              | None -> ()
+              | Some rel ->
+                  if pr.pr_positions <> [] then ignore (probe_index rel pr))
+          | C_neg a -> ignore (atom_rel db a)
+          | C_cmp _ -> ())
+        cr.cr_body)
+    crs
 
 let first_pos (cr : compiled_rule) =
   let n = Array.length cr.cr_body in
@@ -1063,15 +1548,19 @@ let occurrence_chunks (db : db) ~k (oc : par_occurrence) :
         | Some d when d = p -> Array.of_list oc.po_delta_tuples
         | _ -> (
             match cr.cr_body.(p) with
-            | C_pos a -> (
+            | C_pos (a, pr) -> (
                 match Hashtbl.find_opt db.db_rels a.c_pred with
                 | None -> [||]
                 | Some rel -> (
-                    let env : env = Array.make (max 1 cr.cr_nvars) None in
-                    let positions, key = bound_positions a env in
-                    match positions with
+                    (* The driving literal is the first positive one, so
+                       its probe template holds constants only — the
+                       dummy env is never read. *)
+                    let env : env = Array.make (max 1 cr.cr_nvars) unbound in
+                    match pr.pr_positions with
                     | [] -> Relation.to_array rel
-                    | _ -> Array.of_list (Relation.lookup rel positions key)))
+                    | positions ->
+                        Array.of_list
+                          (Relation.lookup rel positions (probe_key pr env))))
             | _ -> assert false)
       in
       let n = Array.length candidates in
@@ -1096,7 +1585,7 @@ let occurrence_chunks (db : db) ~k (oc : par_occurrence) :
    calls): fan the chunks out, then merge derivations back in
    submission order through the usual add/record/on_new chain. *)
 let eval_pass_parallel (db : db) (stats : stats) ~obs ~pool ~fanout_gauge tbl
-    ~record_delta ~on_new (occurrences : par_occurrence list) =
+    ~on_new (occurrences : par_occurrence list) =
   (* Many chunks per domain: the pool's dynamic claiming then evens
      out skewed chunk costs (rules whose matches cluster in one part of
      the candidate list — common here, where a handful of join-heavy
@@ -1104,6 +1593,7 @@ let eval_pass_parallel (db : db) (stats : stats) ~obs ~pool ~fanout_gauge tbl
      and a result slot.  Chunk count never affects the result — the
      merge concatenates chunk outputs in submission order regardless. *)
   let k = 16 * Pool.ndomains pool in
+  resolve_caches db (List.map (fun oc -> oc.po_cr) occurrences);
   let jobs =
     List.map
       (fun oc ->
@@ -1137,14 +1627,21 @@ let eval_pass_parallel (db : db) (stats : stats) ~obs ~pool ~fanout_gauge tbl
       | out ->
           let pred = oc.po_cr.cr_head.c_pred in
           let rel = relation db pred in
+          (* Delta slot resolved once per merged partition, as in the
+             sequential [eval_into]. *)
+          let acc =
+            ref (Option.value (Hashtbl.find_opt tbl pred) ~default:[])
+          in
+          let acc0 = !acc in
           List.iter
             (fun tuple ->
               if Relation.add rel tuple then begin
                 stats.tuples_derived <- stats.tuples_derived + 1;
-                record_delta tbl pred tuple;
+                acc := tuple :: !acc;
                 on_new pred tuple
               end)
-            out)
+            out;
+          if not (!acc == acc0) then Hashtbl.replace tbl pred !acc)
     flat results;
   if obs.eo_live then begin
     (* Per-rule histograms get each occurrence's summed chunk busy
@@ -1181,13 +1678,8 @@ let eval_stratum_parallel (db : db) (stats : stats) ~naive ~obs ~pool
   in
   let in_stratum p = List.mem p stratum_preds in
   let delta : (string, Relation.tuple list) Hashtbl.t = Hashtbl.create 8 in
-  let record_delta tbl pred tuple =
-    let prev = Option.value (Hashtbl.find_opt tbl pred) ~default:[] in
-    Hashtbl.replace tbl pred (tuple :: prev)
-  in
   let run_pass tbl occurrences =
-    eval_pass_parallel db stats ~obs ~pool ~fanout_gauge tbl ~record_delta
-      ~on_new occurrences
+    eval_pass_parallel db stats ~obs ~pool ~fanout_gauge tbl ~on_new occurrences
   in
   let full_occurrences () =
     List.map
@@ -1203,7 +1695,7 @@ let eval_stratum_parallel (db : db) (stats : stats) ~naive ~obs ~pool
         Array.iteri
           (fun idx lit ->
             match lit with
-            | C_pos a when (not only_stratum) || in_stratum a.c_pred -> (
+            | C_pos (a, _) when (not only_stratum) || in_stratum a.c_pred -> (
                 match Hashtbl.find_opt tbl a.c_pred with
                 | Some (_ :: _ as dts) ->
                     occs :=

@@ -16,7 +16,12 @@ exception Unsafe_rule of string
 exception Not_stratifiable of string
 
 module Relation : sig
-  type tuple = const array
+  type tuple = int array
+  (** A tuple of {!Ast.packed} constants — every cell interned/packed
+      at load time, so joins, hashing and equality never touch a
+      string.  Decode cells with {!Ast.unpack} /
+      {!Ast.packed_to_string}. *)
+
   type t
 
   val create : unit -> t
@@ -25,7 +30,8 @@ module Relation : sig
 
   val add : t -> tuple -> bool
   (** [true] iff the tuple is new.  Raises [Invalid_argument] on arity
-      mismatch with previous tuples. *)
+      mismatch with previous tuples.  The tuple array is owned by the
+      relation afterwards — do not mutate it. *)
 
   val iter : t -> (tuple -> unit) -> unit
   val to_list : t -> tuple list
@@ -36,16 +42,27 @@ module Relation : sig
       [add]s instead of being rebuilt — the retraction primitive behind
       {!run_incremental}. *)
 
-  val lookup : t -> int list -> const list -> tuple list
+  val lookup : t -> int list -> int array -> tuple list
   (** [lookup t positions key]: all tuples whose projection on
-      [positions] equals [key], via an on-demand hash index.  Empty
-      [positions] returns everything. *)
+      [positions] equals [key] (packed constants, one per position),
+      via an on-demand hash index.  Empty [positions] returns
+      everything. *)
 
   val ensure_index : t -> int list -> unit
   (** Build the hash index for [positions] if absent, without looking
       anything up.  Parallel evaluation pre-builds every index a
       stratum can need so worker domains share the relation strictly
       read-only. *)
+
+  val nshards : int
+  (** Number of hash shards per index (a structural constant — never a
+      function of the worker count). *)
+
+  val shard_of_key : int array -> int
+  (** The shard a projected key lands in: a multiply–xor–shift mix of
+      the packed cells, masked to [nshards].  Exposed so tests can pin
+      the distribution quality on interned keys (packed ints are far
+      from uniform in their low bits). *)
 end
 
 type db
@@ -63,9 +80,25 @@ val add_fact : db -> string -> const list -> unit
 
 val insert_fact : db -> string -> const list -> bool
 (** Like {!add_fact} but returns [true] iff the fact was not already
-    present — the building block for fresh-tuple deltas. *)
+    present — the building block for fresh-tuple deltas.  Constants are
+    packed (strings interned) on the way in. *)
 
-val facts : db -> string -> Relation.tuple list
+val insert_packed : db -> string -> Relation.tuple -> bool
+(** {!insert_fact} for an already-packed tuple — the fact-loading hot
+    path, no [const] boxing.  The array is owned by the database
+    afterwards; do not mutate it. *)
+
+val facts : db -> string -> const array list
+(** The relation's tuples, decoded and {e sorted}: every output-facing
+    consumer (dissection rows, alert streams, exports) reads facts
+    through here, and sorting makes their order a function of the fact
+    set rather than of hash-table traversal — which the interning
+    scheme would otherwise tie to load order. *)
+
+val packed_facts : db -> string -> Relation.tuple list
+(** The raw packed tuples, in unspecified (hash traversal) order — for
+    hot paths that only count, aggregate or re-pack. *)
+
 val fact_count : db -> string -> int
 val total_tuples : db -> int
 

@@ -205,7 +205,11 @@ let parse_term st : Ast.term =
       match q.tok with
       | T_int n -> Ast.Const (Ast.Int (-n))
       | _ -> error ~line:q.t_line ~col:q.t_col "expected integer after '-'")
-  | T_string s -> Ast.Const (Ast.Str s)
+  | T_string s ->
+      (* Intern at parse time: rule constants get their symbol ids the
+         moment the program text is read, before any fact load. *)
+      ignore (Ast.Symtab.intern s);
+      Ast.Const (Ast.Str s)
   | _ -> error ~line:p.t_line ~col:p.t_col "expected term"
 
 let parse_atom_args st name : Ast.atom =
@@ -253,7 +257,9 @@ and parse_prim st : Ast.expr =
       match q.tok with
       | T_int n -> Ast.E_const (Ast.Int (-n))
       | _ -> error ~line:q.t_line ~col:q.t_col "expected integer after '-'")
-  | T_string s -> Ast.E_const (Ast.Str s)
+  | T_string s ->
+      ignore (Ast.Symtab.intern s);
+      Ast.E_const (Ast.Str s)
   | T_lparen ->
       let e = parse_expr st in
       expect st T_rparen "')'";

@@ -295,20 +295,51 @@ let of_decimal_string s =
     s;
   !acc
 
+(* Decimal rendering is a fact-load hot path: every token amount
+   becomes a Datalog string cell through here.  Digit-at-a-time
+   [divmod v ten] costs a full 256-bit long division per digit; instead
+   divide by 10^9 over eight 32-bit half-limbs (the intermediate
+   [rem << 32 | half] stays under 2^62, so plain [Int64.div] works),
+   peeling nine digits per pass — at most nine short divisions for a
+   full-width value. *)
 let to_decimal_string t =
-  if is_zero t then "0"
+  if t.l1 = 0L && t.l2 = 0L && t.l3 = 0L && Int64.compare t.l0 0L >= 0 then
+    Int64.to_string t.l0
   else begin
-    let buf = Buffer.create 78 in
-    let rec loop v =
-      if not (is_zero v) then begin
-        let q, r = divmod v ten in
-        Buffer.add_char buf (Char.chr (Char.code '0' + to_int r));
-        loop q
-      end
+    let d = Array.make 8 0L in
+    let put i l =
+      d.(2 * i) <- Int64.logand l 0xFFFFFFFFL;
+      d.((2 * i) + 1) <- Int64.shift_right_logical l 32
     in
-    loop t;
-    let s = Buffer.contents buf in
-    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+    put 0 t.l0;
+    put 1 t.l1;
+    put 2 t.l2;
+    put 3 t.l3;
+    let base = 1_000_000_000L in
+    let hi = ref 7 in
+    while !hi > 0 && d.(!hi) = 0L do
+      decr hi
+    done;
+    let groups = ref [] in
+    while !hi > 0 || d.(0) <> 0L do
+      let rem = ref 0L in
+      for i = !hi downto 0 do
+        let cur = Int64.logor (Int64.shift_left !rem 32) d.(i) in
+        d.(i) <- Int64.div cur base;
+        rem := Int64.rem cur base
+      done;
+      while !hi > 0 && d.(!hi) = 0L do
+        decr hi
+      done;
+      groups := Int64.to_int !rem :: !groups
+    done;
+    match !groups with
+    | [] -> "0"
+    | g :: rest ->
+        let buf = Buffer.create 78 in
+        Buffer.add_string buf (string_of_int g);
+        List.iter (fun g -> Buffer.add_string buf (Printf.sprintf "%09d" g)) rest;
+        Buffer.contents buf
   end
 
 (** 32-byte big-endian encoding, as stored in EVM words. *)

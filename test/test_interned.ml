@@ -1,0 +1,391 @@
+(* Regression net for the interned, columnar tuple representation.
+
+   The engine now packs every constant into an interned int
+   ([Ast.packed]) and joins over [int array] tuples; the boxed
+   [const array] path survives as [Boxed], a sequential reference
+   implementation.  This suite pins the properties the representation
+   change must preserve:
+
+   - packing is lossless and the symbol table canonical (same string,
+     same id — packed equality is structural equality);
+   - output byte-stability does not depend on fact insertion order
+     (Hashtbl iteration order must never leak into dump_facts, facts,
+     or reports);
+   - the shard hash spreads interned keys evenly — raw packed ints are
+     all-odd (strings) or all-even (small ints), exactly the shape a
+     low-bit mask degrades on;
+   - symbol ids are stable across incremental polls and reorg rewinds,
+     so a rewind + re-derive yields byte-identical reports;
+   - differentially: the interned engine agrees with the boxed one on
+     random programs — same relations, same derived counts, same TSV
+     bytes — at every worker count. *)
+
+open Xcw_datalog
+open Ast
+module U256 = Xcw_uint256.Uint256
+module Fault = Xcw_rpc.Fault
+module Facts = Xcw_core.Facts
+module Detector = Xcw_core.Detector
+module Monitor = Xcw_core.Monitor
+module Report = Xcw_core.Report
+module T = Xcw_testlib
+
+let u = U256.of_int
+let qcount = T.qcount
+
+(* ------------------------------------------------------------------ *)
+(* Packing and symbol-table basics                                     *)
+
+let pack_roundtrip =
+  Alcotest.test_case "pack/unpack is the identity on consts" `Quick (fun () ->
+      let consts =
+        [
+          Int 0; Int 1; Int (-1); Int 123_456_789; Int (-987_654);
+          Int max_packed_int; Int (-max_packed_int); Str ""; Str "0x00";
+          Str "hello\tworld"; Str (String.make 100 'x');
+        ]
+      in
+      List.iter
+        (fun c ->
+          let p = pack c in
+          let label = Format.asprintf "%a" pp_const c in
+          if unpack p <> c then Alcotest.failf "roundtrip failed for %s" label;
+          Alcotest.(check bool) (label ^ " tag")
+            (match c with Int _ -> true | Str _ -> false)
+            (packed_is_int p))
+        consts;
+      (match pack_int (max_packed_int + 1) with
+      | _ -> Alcotest.fail "expected Invalid_argument above max_packed_int"
+      | exception Invalid_argument _ -> ());
+      match pack_int (-max_packed_int - 1) with
+      | _ -> Alcotest.fail "expected Invalid_argument below -max_packed_int"
+      | exception Invalid_argument _ -> ())
+
+let symtab_canonical =
+  Alcotest.test_case "interning is canonical: same string, same id" `Quick
+    (fun () ->
+      let a = Symtab.intern "canonical-probe" in
+      let b = Symtab.intern "canonical-probe" in
+      Alcotest.(check int) "same id" a b;
+      Alcotest.(check string) "decodes back" "canonical-probe"
+        (Symtab.to_string a);
+      (* Packed equality is structural equality — distinct strings get
+         distinct odd codes, equal strings the same one. *)
+      Alcotest.(check bool) "equal strings, equal packed" true
+        (pack_string "canonical-probe" = pack_string "canonical-probe");
+      Alcotest.(check bool) "distinct strings, distinct packed" true
+        (pack_string "canonical-probe" <> pack_string "canonical-probe-2"))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: insertion-order independence of every output surface      *)
+
+(* The feature-complete differential program from the parallel suite:
+   joins, negation, comparisons, recursion. *)
+let diff_rules =
+  [
+    atom "two_hop" [ v "x"; v "z" ]
+    <-- [
+          pos (atom "edge" [ v "x"; v "y" ]);
+          pos (atom "edge" [ v "y"; v "z" ]);
+        ];
+    atom "forward" [ v "x"; v "y" ]
+    <-- [ pos (atom "edge" [ v "x"; v "y" ]); ev "y" >! ev "x" ];
+    atom "one_way" [ v "x"; v "y" ]
+    <-- [
+          pos (atom "edge" [ v "x"; v "y" ]);
+          neg (atom "edge" [ v "y"; v "x" ]);
+        ];
+    atom "path" [ v "x"; v "y" ] <-- [ pos (atom "edge" [ v "x"; v "y" ]) ];
+    atom "path" [ v "x"; v "z" ]
+    <-- [ pos (atom "edge" [ v "x"; v "y" ]); pos (atom "path" [ v "y"; v "z" ]) ];
+  ]
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let rec go i =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xcw-intern-%d-%d" !tmp_counter i)
+    in
+    if Sys.file_exists d then go (i + 1)
+    else begin
+      Sys.mkdir d 0o700;
+      d
+    end
+  in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* File names plus exact bytes of a dump directory, then clean up. *)
+let collect_dump dump dir =
+  dump ~dir;
+  let files = Sys.readdir dir in
+  Array.sort compare files;
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun f ->
+      Buffer.add_string buf f;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (read_file (Filename.concat dir f));
+      Sys.remove (Filename.concat dir f))
+    files;
+  Sys.rmdir dir;
+  Buffer.contents buf
+
+let engine_dump_bytes db = collect_dump (Engine.dump_facts db) (fresh_dir ())
+let boxed_dump_bytes db = collect_dump (Boxed.dump_facts db) (fresh_dir ())
+
+(* Facts with shared and distinct strings across several relations —
+   enough aliasing that a leaked hash order would show. *)
+let order_facts =
+  List.concat_map
+    (fun i ->
+      let h = Printf.sprintf "0xhash%03d" i in
+      let addr = Printf.sprintf "0xaddr%02d" (i mod 7) in
+      [
+        ("edge", [ Int (i mod 9); Int ((i * 5) mod 9) ]);
+        ("seen", [ Str h; Int i; Str addr ]);
+        ("owner", [ Str addr; Str (Printf.sprintf "user-%d" (i mod 3)) ]);
+      ])
+    (List.init 40 Fun.id)
+
+let load_and_run facts =
+  let db = Engine.create_db () in
+  List.iter (fun (p, t) -> Engine.add_fact db p t) facts;
+  ignore (Engine.run db { rules = diff_rules });
+  db
+
+let insertion_order_independent =
+  Alcotest.test_case
+    "different load orders produce identical dump_facts bytes" `Quick
+    (fun () ->
+      let orders =
+        [
+          order_facts;
+          List.rev order_facts;
+          (* An interleaving that groups by relation, stressing index
+             build order. *)
+          List.stable_sort (fun (p1, _) (p2, _) -> compare p1 p2) order_facts;
+        ]
+      in
+      match List.map (fun o -> load_and_run o) orders with
+      | [] -> assert false
+      | ref_db :: rest ->
+          let ref_bytes = engine_dump_bytes ref_db in
+          let ref_facts p = Engine.facts ref_db p in
+          List.iteri
+            (fun i db ->
+              if engine_dump_bytes db <> ref_bytes then
+                Alcotest.failf "dump bytes diverged for order %d" (i + 1);
+              List.iter
+                (fun p ->
+                  if Engine.facts db p <> ref_facts p then
+                    Alcotest.failf "Engine.facts %S diverged for order %d" p
+                      (i + 1))
+                [ "edge"; "seen"; "owner"; "path"; "two_hop"; "one_way" ])
+            rest)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: shard distribution on interned keys                       *)
+
+(* Raw packed values are all-odd for strings and all-even for ints; a
+   shard function that just masks low bits collapses either family onto
+   half (or fewer) of the shards.  On a uniform workload no shard may
+   hold more than 2x the mean. *)
+let check_distribution name keys =
+  let counts = Array.make Engine.Relation.nshards 0 in
+  List.iter
+    (fun key ->
+      let s = Engine.Relation.shard_of_key key in
+      counts.(s) <- counts.(s) + 1)
+    keys;
+  let total = List.length keys in
+  let mean = float_of_int total /. float_of_int Engine.Relation.nshards in
+  Array.iteri
+    (fun i c ->
+      if float_of_int c > 2.0 *. mean then
+        Alcotest.failf "%s: shard %d holds %d keys (mean %.1f)" name i c mean)
+    counts
+
+let shard_distribution =
+  Alcotest.test_case "no shard holds >2x the mean on uniform workloads"
+    `Quick (fun () ->
+      let n = 4096 in
+      (* All-string single-cell keys: every packed value odd. *)
+      check_distribution "string keys"
+        (List.init n (fun i ->
+             [| pack_string (Printf.sprintf "0x%040x" i) |]));
+      (* All-int single-cell keys: every packed value even; sequential
+         ints are the worst case for a low-bit mask. *)
+      check_distribution "int keys"
+        (List.init n (fun i -> [| pack_int i |]));
+      (* Strided ints: the classic mask-degenerate workload. *)
+      check_distribution "strided int keys"
+        (List.init n (fun i -> [| pack_int (i * 16) |]));
+      (* Two-cell composite keys as join probes produce them. *)
+      check_distribution "composite keys"
+        (List.init n (fun i ->
+             [| pack_string (Printf.sprintf "tok-%d" (i mod 64)); pack_int i |])))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: symbol-id stability across polls and reorg rewinds        *)
+
+let symtab_stable_under_rewind =
+  Alcotest.test_case
+    "reorg rewind + re-derive: same symbol ids, identical report bytes"
+    `Quick (fun () ->
+      let plan =
+        { Fault.none with Fault.f_reorg_prob = 0.5; f_reorg_depth = 3 }
+      in
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let user = T.user_with_tokens b m "intern-reorg" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      let clean = Monitor.create input in
+      let faulty =
+        Monitor.create
+          {
+            input with
+            Detector.i_source_fault = Some plan;
+            i_target_fault = Some plan;
+            i_rpc_seed = 7;
+          }
+      in
+      List.iteri
+        (fun i op ->
+          T.apply_op b m user i op;
+          let sb, tb = T.cur b in
+          ignore (Monitor.poll clean ~source_block:sb ~target_block:tb);
+          ignore (Monitor.poll faulty ~source_block:sb ~target_block:tb))
+        [ 0; 1; 2; 3 ];
+      (* Snapshot the packed encoding of everything decoded so far. *)
+      let packed_snapshot mon =
+        List.map Facts.to_packed (Monitor.cached_facts mon)
+      in
+      let before = packed_snapshot faulty in
+      let sb, tb = T.cur b in
+      (* Drain until at least one reorg has been signalled AND the
+         monitor is synced again — each poll is another chance for the
+         plan to fire a reorg, so this terminates fast. *)
+      let polls = ref 0 in
+      let settled () =
+        let h = Monitor.health faulty in
+        h.Monitor.h_synced && h.Monitor.h_reorgs > 0
+      in
+      while (not (settled ())) && !polls < 300 do
+        incr polls;
+        ignore (Monitor.poll faulty ~source_block:sb ~target_block:tb)
+      done;
+      ignore (Monitor.poll clean ~source_block:sb ~target_block:tb);
+      Alcotest.(check bool) "faulty monitor synced" true
+        (Monitor.health faulty).Monitor.h_synced;
+      Alcotest.(check bool) "reorg signals were handled" true
+        ((Monitor.health faulty).Monitor.h_reorgs > 0);
+      (* Id stability: re-packing the same facts after rewinds and
+         re-derivation yields byte-identical int tuples — the symbol
+         table never reassigned an id. *)
+      let after = packed_snapshot faulty in
+      List.iter
+        (fun (pred, tuple) ->
+          match
+            List.find_opt
+              (fun (p, t) -> p = pred && t = tuple)
+              after
+          with
+          | Some _ -> ()
+          | None ->
+              Alcotest.failf
+                "packed tuple of %s changed across the rewind" pred)
+        before;
+      (* Report bytes: rewind + re-derive converges to the clean run. *)
+      match (Monitor.last_report clean, Monitor.last_report faulty) with
+      | Some rc, Some rf ->
+          Alcotest.(check string) "report bytes identical"
+            (Report.to_string rc) (Report.to_string rf)
+      | _ -> Alcotest.fail "missing report")
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: qcheck differential, boxed vs interned                    *)
+
+(* Random programs: a random non-empty subset of a safe rule pool over
+   random edge facts.  Every pool member is range-restricted, so any
+   subset is a valid program; subsets vary the stratum structure (with
+   and without recursion, negation, comparisons). *)
+let rule_pool = Array.of_list diff_rules
+
+let gen_program =
+  QCheck.Gen.(
+    list_size
+      (1 -- Array.length rule_pool)
+      (int_bound (Array.length rule_pool - 1))
+    >|= fun picks ->
+    List.sort_uniq compare picks |> List.map (Array.get rule_pool))
+
+let gen_edges =
+  QCheck.Gen.(list_size (0 -- 40) (pair (int_bound 12) (int_bound 12)))
+
+let arb_case = QCheck.make QCheck.Gen.(pair gen_program gen_edges)
+
+let head_preds rules =
+  List.sort_uniq compare ("edge" :: List.map (fun r -> r.head.pred) rules)
+
+let boxed_run rules edges =
+  let db = Boxed.create_db () in
+  List.iter (fun (a, b) -> Boxed.add_fact db "edge" [ Int a; Int b ]) edges;
+  let derived = Boxed.run db { rules } in
+  let sign =
+    List.map
+      (fun p -> (p, Boxed.facts db p))
+      (head_preds rules)
+  in
+  (sign, derived, boxed_dump_bytes db)
+
+let interned_run ~ndomains rules edges =
+  let db = Engine.create_db () in
+  List.iter (fun (a, b) -> Engine.add_fact db "edge" [ Int a; Int b ]) edges;
+  let stats = Engine.run ~ndomains db { rules } in
+  let sign =
+    List.map
+      (fun p -> (p, Engine.facts db p))
+      (head_preds rules)
+  in
+  (sign, stats.Engine.tuples_derived, engine_dump_bytes db)
+
+(* Both engines' signatures are [(pred, const array list) list];
+   compare on lists to keep polymorphic equality structural. *)
+let normalise (sign, derived, bytes) =
+  (List.map (fun (p, ts) -> (p, List.map Array.to_list ts)) sign, derived, bytes)
+
+let prop_boxed_vs_interned =
+  QCheck.Test.make
+    ~name:
+      "boxed = interned on random programs (relations, counts, TSV bytes) \
+       at --jobs 1/2/4"
+    ~count:(qcount 40) arb_case
+    (fun (rules, edges) ->
+      let reference = normalise (boxed_run rules edges) in
+      List.for_all
+        (fun k -> normalise (interned_run ~ndomains:k rules edges) = reference)
+        [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "interned"
+    [
+      ("packing", [ pack_roundtrip; symtab_canonical ]);
+      ("order", [ insertion_order_independent ]);
+      ("shards", [ shard_distribution ]);
+      ("symtab-stability", [ symtab_stable_under_rewind ]);
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest [ prop_boxed_vs_interned ] );
+    ]
