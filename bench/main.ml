@@ -408,6 +408,105 @@ let () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* attacks: per-class build + detection latency over the attack packs
+   (2023 hack corpus, DESIGN.md §12), with the exactness verdict — the
+   dedicated rule must flag exactly the injected transactions.
+   Runnable standalone via [dune exec bench/main.exe attacks]; emits
+   BENCH_attacks.json plus a one-line BENCH_ATTACKS summary. *)
+
+let bench_attacks () =
+  let module Json = Xcw_util.Json in
+  let module Attacks = Xcw_workload.Attacks in
+  let module Generic = Xcw_workload.Generic in
+  section "Attack packs: per-class build + detection latency (ms)";
+  let reps = if smoke then 1 else 5 in
+  let rows =
+    List.map
+      (fun cls ->
+        let slug = Attacks.class_slug cls in
+        let spec = Attacks.default_spec cls in
+        let spec =
+          {
+            spec with
+            Attacks.a_base = { spec.Attacks.a_base with Generic.g_seed = seed };
+          }
+        in
+        let build_ms = ref [] and detect_ms = ref [] in
+        let hits = ref 0 and exact = ref true in
+        (* A fresh scenario per repetition: the build cost is part of
+           the measurement, and detection then sees cold chains. *)
+        for _ = 1 to reps do
+          let t0 = Unix.gettimeofday () in
+          let inj = Attacks.build spec in
+          let t1 = Unix.gettimeofday () in
+          let b = inj.Attacks.inj_built in
+          let input =
+            Detector.default_input ~label:("attack-" ^ slug)
+              ~plugin:Decoder.ronin_plugin ~config:b.Scenario.config
+              ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+              ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+              ~pricing:b.Scenario.pricing
+          in
+          let result = Detector.run input in
+          let t2 = Unix.gettimeofday () in
+          build_ms := (1000.0 *. (t1 -. t0)) :: !build_ms;
+          detect_ms := (1000.0 *. (t2 -. t1)) :: !detect_ms;
+          let flagged =
+            match Report.attack_row result.Detector.report cls with
+            | Some ar ->
+                List.sort compare
+                  (List.map (fun h -> h.Report.ah_tx_hash) ar.Report.ar_hits)
+            | None -> []
+          in
+          hits := List.length flagged;
+          exact := !exact && flagged = inj.Attacks.inj_attack_txs
+        done;
+        let b_ms = Stats.median !build_ms and d_ms = Stats.median !detect_ms in
+        Printf.printf "%-22s build %7.1f ms  detect %7.1f ms  hits %d  exact %b\n"
+          slug b_ms d_ms !hits !exact;
+        (slug, b_ms, d_ms, !hits, !exact))
+      Report.attack_classes
+  in
+  let all_exact = List.for_all (fun (_, _, _, _, e) -> e) rows in
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "attacks");
+        ("seed", Json.Int seed);
+        ("reps", Json.Int reps);
+        ("all_exact", Json.Bool all_exact);
+        ( "classes",
+          Json.List
+            (List.map
+               (fun (slug, b_ms, d_ms, hits, exact) ->
+                 Json.Obj
+                   [
+                     ("class", Json.String slug);
+                     ("build_ms", Json.Float b_ms);
+                     ("detect_ms", Json.Float d_ms);
+                     ("hits", Json.Int hits);
+                     ("exact", Json.Bool exact);
+                   ])
+               rows) );
+      ]
+  in
+  if not smoke then Json.write_file ~path:"BENCH_attacks.json" json;
+  Printf.printf "BENCH_ATTACKS all_exact=%b %s\n" all_exact
+    (String.concat " "
+       (List.map
+          (fun (slug, _, d_ms, hits, _) ->
+            Printf.sprintf "%s=%.1fms/%d" slug d_ms hits)
+          rows));
+  if not smoke then Printf.printf "(written to BENCH_attacks.json)\n"
+
+let () =
+  if Array.exists (( = ) "attacks") Sys.argv then begin
+    Printf.printf "XChainWatcher attack-pack bench (seed %d)\n" seed;
+    bench_attacks ();
+    exit 0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* obs: overhead of the Xcw_obs instrumentation.  Runs the identical
    Nomad-scale monitor workload twice per repetition — once recording
    into a live registry and tracer, once into the inert Metrics.noop /

@@ -9,6 +9,7 @@
    Examples:
      xcw detect --bridge nomad --scale 0.05 --report report.json
      xcw detect --bridge ronin --latency realistic
+     xcw detect --attack forged-proof --seed 3
      xcw rules *)
 
 module Detector = Xcw_core.Detector
@@ -18,6 +19,8 @@ module Rules = Xcw_core.Rules
 module Config = Xcw_core.Config
 module Latency = Xcw_rpc.Latency
 module Scenario = Xcw_workload.Scenario
+module Attacks = Xcw_workload.Attacks
+module Generic = Xcw_workload.Generic
 module Bridge = Xcw_bridge.Bridge
 module Metrics = Xcw_obs.Metrics
 module Span = Xcw_obs.Span
@@ -42,6 +45,42 @@ let bridge_arg =
     required
     & opt (some bridge_conv) None
     & info [ "b"; "bridge" ] ~docv:"BRIDGE" ~doc:"Bridge scenario: nomad or ronin.")
+
+(* [detect] accepts either --bridge or --attack, so its bridge flag is
+   optional and the pairing is validated in the command body. *)
+let opt_bridge_arg =
+  Arg.(
+    value
+    & opt (some bridge_conv) None
+    & info [ "b"; "bridge" ] ~docv:"BRIDGE"
+        ~doc:"Bridge scenario: nomad or ronin.  Exactly one of $(b,--bridge) \
+              and $(b,--attack) must be given.")
+
+let attack_conv =
+  let parse s =
+    match Attacks.class_of_string s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown attack class %S \
+                 (forged-proof|validator-takeover|unauthorized-mint|inconsistent-event)"
+                s))
+  in
+  let print fmt c = Format.pp_print_string fmt (Attacks.class_slug c) in
+  Arg.conv (parse, print)
+
+let attack_arg =
+  Arg.(
+    value
+    & opt (some attack_conv) None
+    & info [ "attack" ] ~docv:"CLASS"
+        ~doc:
+          "Attack-pack scenario from the 2023 hack corpus: inject $(docv) \
+           (forged-proof, validator-takeover, unauthorized-mint or \
+           inconsistent-event) into benign generic-bridge traffic and \
+           detect it.  Mutually exclusive with $(b,--bridge).")
 
 let scale_arg =
   Arg.(
@@ -257,20 +296,41 @@ let build_scenario kind scale seed =
   | Ronin -> (Xcw_workload.Ronin.build ~seed ~scale (), Decoder.ronin_plugin)
 
 let detect_cmd =
-  let run kind scale seed latency endpoints quorum byzantine jobs report_file
-      dataset_file dataset_csv_file rules_file dump_facts_dir metrics_file
-      trace_file =
-    let built, plugin = build_scenario kind scale seed in
+  let run kind attack scale seed latency endpoints quorum byzantine jobs
+      report_file dataset_file dataset_csv_file rules_file dump_facts_dir
+      metrics_file trace_file =
+    let built, plugin, label =
+      match (kind, attack) with
+      | Some _, Some _ ->
+          Format.eprintf "xcw: --bridge and --attack are mutually exclusive@.";
+          exit 2
+      | None, None ->
+          Format.eprintf "xcw: one of --bridge or --attack is required@.";
+          exit 2
+      | Some kind, None ->
+          let built, plugin = build_scenario kind scale seed in
+          (built, plugin, (match kind with Nomad -> "nomad" | Ronin -> "ronin"))
+      | None, Some cls ->
+          let spec = Attacks.default_spec cls in
+          let spec =
+            {
+              spec with
+              Attacks.a_base = { spec.Attacks.a_base with Generic.g_seed = seed };
+            }
+          in
+          let inj = Attacks.build spec in
+          ( inj.Attacks.inj_built,
+            Decoder.ronin_plugin,
+            "attack-" ^ Attacks.class_slug cls )
+    in
     let profile =
       match (latency, kind) with
       | `Colocated, _ -> Latency.colocated_profile
-      | `Realistic, Nomad -> Latency.nomad_profile
-      | `Realistic, Ronin -> Latency.ronin_profile
+      | `Realistic, Some Nomad -> Latency.nomad_profile
+      | `Realistic, _ -> Latency.ronin_profile
     in
     let input =
-      Detector.default_input
-        ~label:(match kind with Nomad -> "nomad" | Ronin -> "ronin")
-        ~plugin ~config:built.Scenario.config
+      Detector.default_input ~label ~plugin ~config:built.Scenario.config
         ~source_chain:built.Scenario.bridge.Bridge.source.Bridge.chain
         ~target_chain:built.Scenario.bridge.Bridge.target.Bridge.chain
         ~pricing:built.Scenario.pricing
@@ -332,10 +392,10 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect" ~doc:"Generate a bridge scenario and run anomaly detection")
     Term.(
-      const run $ bridge_arg $ scale_arg $ seed_arg $ latency_arg
-      $ endpoints_arg $ quorum_arg $ byzantine_arg $ jobs_arg $ report_arg
-      $ dataset_arg $ dataset_csv_arg $ rules_file_arg $ dump_facts_arg
-      $ metrics_arg $ trace_arg)
+      const run $ opt_bridge_arg $ attack_arg $ scale_arg $ seed_arg
+      $ latency_arg $ endpoints_arg $ quorum_arg $ byzantine_arg $ jobs_arg
+      $ report_arg $ dataset_arg $ dataset_csv_arg $ rules_file_arg
+      $ dump_facts_arg $ metrics_arg $ trace_arg)
 
 let monitor_cmd =
   let run kind scale seed interval_hours endpoints quorum byzantine jobs

@@ -250,6 +250,110 @@ let dissect ~label ~(config : Config.t) ~(pricing : Pricing.t)
         })
       (facts_of Rules.r_cctx_valid_withdrawal)
   in
+  (* --- attack-pack tables (2023 hack corpus) ------------------------ *)
+  (* Pre-window S-side releases have a legitimate (uncaptured) T-side
+     request; exclude them from the forged-proof evidence exactly as
+     rule 8's dissection classifies them as FPs. *)
+  let pre_window wid =
+    match first_window_withdrawal_id with
+    | Some first -> wid < first
+    | None -> false
+  in
+  let forged_proof_hits =
+    List.filter_map
+      (fun t ->
+        let wid = int_at t 1 in
+        if pre_window wid then None
+        else
+          let token = str_at t 3 and amt = str_at t 4 in
+          Some
+            {
+              Report.ah_tx_hash = str_at t 0;
+              ah_chain_id = src_chain_id;
+              ah_id = wid;
+              ah_usd_value = usd ~chain_id:src_chain_id ~token amt;
+              ah_detail =
+                Printf.sprintf
+                  "withdrawal_id %d released %s of %s to %s, never requested on T"
+                  wid amt token (str_at t 2);
+            })
+      (facts_of Rules.r_forged_proof_withdrawal)
+  in
+  let takeover_hits =
+    List.map
+      (fun t ->
+        let wid = int_at t 2 in
+        let token = str_at t 3 in
+        let amt_t = str_at t 4 and amt_s = str_at t 5 in
+        {
+          Report.ah_tx_hash = str_at t 1;
+          ah_chain_id = src_chain_id;
+          ah_id = wid;
+          ah_usd_value = usd ~chain_id:src_chain_id ~token amt_s;
+          ah_detail =
+            Printf.sprintf
+              "withdrawal_id %d re-signed: %s requested on T, %s released on S"
+              wid amt_t amt_s;
+        })
+      (facts_of Rules.r_validator_takeover_withdrawal)
+  in
+  let unauthorized_mint_hits =
+    List.map
+      (fun t ->
+        let did = int_at t 1 in
+        let token = str_at t 3 and amt = str_at t 4 in
+        {
+          Report.ah_tx_hash = str_at t 0;
+          ah_chain_id = dst_chain_id;
+          ah_id = did;
+          ah_usd_value = usd ~chain_id:dst_chain_id ~token amt;
+          ah_detail =
+            Printf.sprintf "deposit_id %d minted %s of %s with no lock on S"
+              did amt token;
+        })
+      (facts_of Rules.r_unauthorized_mint)
+  in
+  let inconsistent_event_hits =
+    List.map
+      (fun t ->
+        let did = int_at t 2 in
+        let token = str_at t 3 in
+        let amt_s = str_at t 4 and amt_t = str_at t 5 in
+        {
+          Report.ah_tx_hash = str_at t 1;
+          ah_chain_id = dst_chain_id;
+          ah_id = did;
+          ah_usd_value = usd ~chain_id:dst_chain_id ~token amt_t;
+          ah_detail =
+            Printf.sprintf "deposit_id %d locked %s on S but minted %s on T"
+              did amt_s amt_t;
+        })
+      (facts_of Rules.r_inconsistent_deposit_event)
+  in
+  let attack_rows =
+    [
+      {
+        Report.ar_class = Report.Forged_proof;
+        ar_rule = Rules.r_forged_proof_withdrawal;
+        ar_hits = forged_proof_hits;
+      };
+      {
+        Report.ar_class = Report.Validator_takeover;
+        ar_rule = Rules.r_validator_takeover_withdrawal;
+        ar_hits = takeover_hits;
+      };
+      {
+        Report.ar_class = Report.Unauthorized_mint;
+        ar_rule = Rules.r_unauthorized_mint;
+        ar_hits = unauthorized_mint_hits;
+      };
+      {
+        Report.ar_class = Report.Inconsistent_event;
+        ar_rule = Rules.r_inconsistent_deposit_event;
+        ar_hits = inconsistent_event_hits;
+      };
+    ]
+  in
   let rows =
     [
       {
@@ -299,6 +403,7 @@ let dissect ~label ~(config : Config.t) ~(pricing : Pricing.t)
   {
     Report.bridge_name = label;
     rows;
+    attack_rows;
     cctxs = cctx_deposits @ cctx_withdrawals;
     total_facts =
       (match total_facts with Some n -> n | None -> Engine.total_tuples db);

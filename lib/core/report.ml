@@ -55,6 +55,37 @@ type rule_row = {
   rr_anomalies : anomaly list;
 }
 
+(* --- attack-pack tables (2023 hack corpus) ------------------------- *)
+
+type attack_class =
+  | Forged_proof  (** forged proof/signature acceptance (BNB-style) *)
+  | Validator_takeover  (** compromised-key re-signing (Ronin-style) *)
+  | Unauthorized_mint  (** mint without a matching lock (Qubit-style) *)
+  | Inconsistent_event  (** Xscope unmatched/inconsistent event pattern *)
+
+let attack_classes =
+  [ Forged_proof; Validator_takeover; Unauthorized_mint; Inconsistent_event ]
+
+let attack_class_name = function
+  | Forged_proof -> "forged-proof withdrawal"
+  | Validator_takeover -> "validator-takeover withdrawal"
+  | Unauthorized_mint -> "unauthorized mint"
+  | Inconsistent_event -> "inconsistent deposit event"
+
+type attack_hit = {
+  ah_tx_hash : string;  (** the attacker's transaction *)
+  ah_chain_id : int;
+  ah_id : int;  (** deposit or withdrawal id *)
+  ah_usd_value : float;
+  ah_detail : string;
+}
+
+type attack_row = {
+  ar_class : attack_class;
+  ar_rule : string;  (** the derived relation that fired *)
+  ar_hits : attack_hit list;
+}
+
 (** A valid cross-chain transaction (rules 4 and 8 output) — the unit
     of the open dataset. *)
 type cctx = {
@@ -75,12 +106,19 @@ let cctx_latency c = c.c_end_ts - c.c_start_ts
 type t = {
   bridge_name : string;
   rows : rule_row list;
+  attack_rows : attack_row list;
+      (** one row per attack class, in {!attack_classes} order *)
   cctxs : cctx list;
   total_facts : int;
   decode_seconds : float;  (** wall-clock decode + relation building *)
   eval_seconds : float;  (** wall-clock rule evaluation *)
   simulated_rpc_seconds : float;
 }
+
+let attack_row t cls = List.find_opt (fun r -> r.ar_class = cls) t.attack_rows
+
+let total_attack_hits t =
+  List.fold_left (fun acc r -> acc + List.length r.ar_hits) 0 t.attack_rows
 
 let total_anomalies t =
   List.fold_left (fun acc r -> acc + List.length r.rr_anomalies) 0 t.rows
@@ -123,6 +161,22 @@ let pp fmt t =
             Format.fprintf fmt "    - %-38s %5d@," (class_name cls) count)
         (summarize_anomalies r.rr_anomalies))
     t.rows;
+  if total_attack_hits t > 0 then begin
+    Format.fprintf fmt "@,attack packs:@,";
+    List.iter
+      (fun r ->
+        if r.ar_hits <> [] then begin
+          Format.fprintf fmt "%-34s hits %5d  ($%.2f)@."
+            (attack_class_name r.ar_class)
+            (List.length r.ar_hits)
+            (List.fold_left (fun acc h -> acc +. h.ah_usd_value) 0.0 r.ar_hits);
+          List.iter
+            (fun h ->
+              Format.fprintf fmt "    - %s %s@." h.ah_tx_hash h.ah_detail)
+            r.ar_hits
+        end)
+      t.attack_rows
+  end;
   Format.fprintf fmt "@,total anomalies: %d | valid cctxs: %d@]"
     (total_anomalies t) (List.length t.cctxs)
 
@@ -173,6 +227,29 @@ let to_json t =
                    ("anomalies", Json.List (List.map anomaly_to_json r.rr_anomalies));
                  ])
              t.rows) );
+      ( "attacks",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("class", Json.String (attack_class_name r.ar_class));
+                   ("rule", Json.String r.ar_rule);
+                   ( "hits",
+                     Json.List
+                       (List.map
+                          (fun h ->
+                            Json.Obj
+                              [
+                                ("tx_hash", Json.String h.ah_tx_hash);
+                                ("chain_id", Json.Int h.ah_chain_id);
+                                ("id", Json.Int h.ah_id);
+                                ("usd_value", Json.Float h.ah_usd_value);
+                                ("detail", Json.String h.ah_detail);
+                              ])
+                          r.ar_hits) );
+                 ])
+             t.attack_rows) );
       ("cctxs", Json.List (List.map cctx_to_json t.cctxs));
     ]
 

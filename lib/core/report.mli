@@ -35,6 +35,33 @@ type rule_row = {
   rr_anomalies : anomaly list;
 }
 
+(** {1 Attack-pack tables (2023 hack corpus, DESIGN.md §12)} *)
+
+type attack_class =
+  | Forged_proof  (** forged proof/signature acceptance (BNB-style) *)
+  | Validator_takeover  (** compromised-key re-signing (Ronin-style) *)
+  | Unauthorized_mint  (** mint without a matching lock (Qubit-style) *)
+  | Inconsistent_event  (** Xscope unmatched/inconsistent event pattern *)
+
+val attack_classes : attack_class list
+(** All four classes, in report-row order. *)
+
+val attack_class_name : attack_class -> string
+
+type attack_hit = {
+  ah_tx_hash : string;  (** the attacker's transaction *)
+  ah_chain_id : int;
+  ah_id : int;  (** deposit or withdrawal id *)
+  ah_usd_value : float;
+  ah_detail : string;
+}
+
+type attack_row = {
+  ar_class : attack_class;
+  ar_rule : string;  (** the derived relation that fired *)
+  ar_hits : attack_hit list;
+}
+
 (** A valid cross-chain transaction (rules 4 and 8 output) — the unit
     of the open dataset. *)
 type cctx = {
@@ -55,12 +82,17 @@ val cctx_latency : cctx -> int
 type t = {
   bridge_name : string;
   rows : rule_row list;
+  attack_rows : attack_row list;
+      (** one row per attack class, in {!attack_classes} order *)
   cctxs : cctx list;
   total_facts : int;
   decode_seconds : float;
   eval_seconds : float;
   simulated_rpc_seconds : float;
 }
+
+val attack_row : t -> attack_class -> attack_row option
+val total_attack_hits : t -> int
 
 val total_anomalies : t -> int
 val anomalies_of_class : t -> anomaly_class -> anomaly list

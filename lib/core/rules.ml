@@ -50,6 +50,14 @@ let r_deposit_mapping_violation = "deposit_mapping_violation"
 let r_withdrawal_mapping_violation = "withdrawal_mapping_violation"
 let r_reverted_bridge_interaction = "reverted_bridge_interaction"
 
+(* Attack-pack relations (2023 hack corpus; DESIGN.md §12). *)
+let r_tc_withdrawal_requested = "tc_withdrawal_requested"
+let r_forged_proof_withdrawal = "forged_proof_withdrawal"
+let r_validator_takeover_withdrawal = "validator_takeover_withdrawal"
+let r_sc_deposit_initiated = "sc_deposit_initiated"
+let r_unauthorized_mint = "unauthorized_mint"
+let r_inconsistent_deposit_event = "inconsistent_deposit_event"
+
 let zero_addr = "0x0000000000000000000000000000000000000000"
 
 (* Shorthand for the Listing 1 relations. *)
@@ -578,6 +586,78 @@ let reverted_bridge_interaction =
       ]
 
 (* ------------------------------------------------------------------ *)
+(* Attack pack: rule signatures for the 2023 hack corpus (SoK of 2023  *)
+(* bridge hacks / Xscope).  Each attack class injected by              *)
+(* Xcw_workload.Attacks has one dedicated detection rule here; the     *)
+(* per-class evidence surfaces in Report.attack_rows.                  *)
+
+(* Forged proof/signature acceptance (BNB Bridge, Nomad replays): the
+   source chain released funds for a withdrawal id that was never
+   requested on the target chain — the acceptance proof was forged, so
+   no T-side TokenWithdrew event exists anywhere in the captured data. *)
+let forged_proof_rules =
+  [
+    atom r_tc_withdrawal_requested [ v "wid" ]
+    <-- [ pos (tc_token_withdrew
+                 [ any (); any (); v "wid"; any (); any (); any (); any (); any () ]) ];
+    atom r_forged_proof_withdrawal [ v "tx"; v "wid"; v "ben"; v "token"; v "amt" ]
+    <-- [
+          pos (sc_token_withdrew [ v "tx"; any (); v "wid"; v "ben"; v "token"; v "amt" ]);
+          neg (atom r_tc_withdrawal_requested [ v "wid" ]);
+        ];
+  ]
+
+(* Compromised-key validator takeover (Ronin, Harmony Horizon): a
+   genuine T-side request exists, but the S-side release signed by the
+   stolen quorum carries a different amount — the attacker re-signed
+   the message with inflated parameters. *)
+let validator_takeover_rule =
+  atom r_validator_takeover_withdrawal
+    [ v "tc_tx"; v "sc_tx"; v "wid"; v "token"; v "amt_t"; v "amt_s" ]
+  <-- [
+        pos (tc_token_withdrew
+               [ v "tc_tx"; any (); v "wid"; any (); v "token"; any (); any (); v "amt_t" ]);
+        pos (sc_token_withdrew [ v "sc_tx"; any (); v "wid"; any (); v "token"; v "amt_s" ]);
+        ev "amt_t" <>! ev "amt_s";
+      ]
+
+(* Unauthorized mint without a matching lock (Qubit, Meter.io): the
+   target chain minted a properly mapped token for a deposit id that
+   never appeared on the source chain.  Restricting to mapped tokens
+   separates this from plain mapping violations (Finding 6). *)
+let unauthorized_mint_rules =
+  [
+    atom r_sc_deposit_initiated [ v "did" ]
+    <-- [ pos (sc_token_deposited
+                 [ any (); any (); v "did"; any (); any (); any (); any (); any () ]) ];
+    atom r_unauthorized_mint [ v "tx"; v "did"; v "ben"; v "token"; v "amt" ]
+    <-- [
+          pos (tc_token_deposited [ v "tx"; any (); v "did"; v "ben"; v "token"; v "amt" ]);
+          pos (atom r_mapped_dst_token [ v "token" ]);
+          neg (atom r_sc_deposit_initiated [ v "did" ]);
+        ];
+  ]
+
+(* Unmatched/inconsistent event pattern (Xscope): both sides emitted
+   deposit events for the same id and token, but the amounts disagree —
+   the completion does not reproduce what was locked. *)
+let inconsistent_event_rule =
+  atom r_inconsistent_deposit_event
+    [ v "src_tx"; v "dst_tx"; v "did"; v "token"; v "amt_s"; v "amt_t" ]
+  <-- [
+        pos (sc_token_deposited
+               [ v "src_tx"; any (); v "did"; any (); v "token"; any (); any (); v "amt_s" ]);
+        pos (tc_token_deposited [ v "dst_tx"; any (); v "did"; any (); v "token"; v "amt_t" ]);
+        ev "amt_s" <>! ev "amt_t";
+      ]
+
+let attack_pack_rules =
+  forged_proof_rules
+  @ [ validator_takeover_rule ]
+  @ unauthorized_mint_rules
+  @ [ inconsistent_event_rule ]
+
+(* ------------------------------------------------------------------ *)
 (* The full program                                                    *)
 
 let core_rules =
@@ -596,6 +676,7 @@ let auxiliary_rules =
   @ matched_rules @ unmatched_rules @ finality_violation_rules
   @ mapping_violation_rules @ beneficiary_mismatch_rules
   @ [ reverted_bridge_interaction ]
+  @ attack_pack_rules
 
 let all_rules = core_rules @ auxiliary_rules
 

@@ -73,6 +73,34 @@ val r_deposit_beneficiary_mismatch : string
 val r_withdrawal_beneficiary_mismatch : string
 val r_reverted_bridge_interaction : string
 
+(** {1 Attack-pack relations (2023 hack corpus)} *)
+
+val r_tc_withdrawal_requested : string
+(** Helper: withdrawal ids requested on T. *)
+
+val r_forged_proof_withdrawal : string
+(** Forged proof/signature acceptance (BNB-style): [(tx, wid,
+    beneficiary, token, amount)] — an S-side release whose id was never
+    requested on T. *)
+
+val r_validator_takeover_withdrawal : string
+(** Compromised-key takeover (Ronin-style): [(tc_tx, sc_tx, wid, token,
+    amt_t, amt_s)] — matching ids but re-signed with a different
+    amount. *)
+
+val r_sc_deposit_initiated : string
+(** Helper: deposit ids initiated on S. *)
+
+val r_unauthorized_mint : string
+(** Mint without a matching lock (Qubit-style): [(tx, did, beneficiary,
+    token, amount)] — a mapped token minted on T for an id absent from
+    S. *)
+
+val r_inconsistent_deposit_event : string
+(** Xscope inconsistent event pattern: [(src_tx, dst_tx, did, token,
+    amt_s, amt_t)] — both sides emitted the deposit but the amounts
+    disagree. *)
+
 val zero_addr : string
 (** ["0x0000...0000"]. *)
 
@@ -83,6 +111,11 @@ val core_rules : Xcw_datalog.Ast.rule list
     each). *)
 
 val auxiliary_rules : Xcw_datalog.Ast.rule list
+
+val attack_pack_rules : Xcw_datalog.Ast.rule list
+(** The six attack-pack rules (two helpers + four detection heads);
+    included in {!all_rules}. *)
+
 val all_rules : Xcw_datalog.Ast.rule list
 val program : Xcw_datalog.Ast.program
 val rule_count : int

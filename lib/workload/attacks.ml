@@ -1,0 +1,212 @@
+(** Attack-pack workloads from the 2023 hack corpus (DESIGN.md §12).
+
+    The generator reuses the {!Scenario.built} machinery: a benign
+    {!Generic} scenario is built first, then the attack transactions
+    are appended with both chain clocks synchronized — so the benign
+    prefix is bit-identical to {!benign_twin} and the set difference of
+    transaction hashes is exactly the injection. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Erc20 = Xcw_chain.Erc20
+module Bridge = Xcw_bridge.Bridge
+module Prng = Xcw_util.Prng
+module Report = Xcw_core.Report
+module Facts = Xcw_core.Facts
+open Scenario
+
+type spec = {
+  a_class : Report.attack_class;
+  a_base : Generic.spec;
+  a_count : int;
+}
+
+let class_slug = function
+  | Report.Forged_proof -> "forged-proof"
+  | Report.Validator_takeover -> "validator-takeover"
+  | Report.Unauthorized_mint -> "unauthorized-mint"
+  | Report.Inconsistent_event -> "inconsistent-event"
+
+let class_of_string s =
+  List.find_opt (fun c -> class_slug c = s) Report.attack_classes
+
+let default_spec cls =
+  {
+    a_class = cls;
+    a_base =
+      {
+        Generic.default_spec with
+        Generic.g_label = "attack-" ^ class_slug cls;
+        (* The BNB/Nomad forged-proof shape lives on an optimistic
+           bridge; the key-takeover shape on a multisig one. *)
+        g_acceptance =
+          (match cls with Report.Forged_proof -> `Optimistic | _ -> `Multisig);
+      };
+    a_count = 3;
+  }
+
+let benign_twin spec = Generic.build spec.a_base
+
+let all_txs (b : Scenario.built) =
+  let of_chain c =
+    List.concat_map
+      (fun (blk : Types.block) -> blk.Types.b_transactions)
+      (Chain.all_blocks c)
+  in
+  List.sort compare
+    (List.map Facts.hex_of_hash
+       (of_chain b.bridge.Bridge.source.Bridge.chain
+       @ of_chain b.bridge.Bridge.target.Bridge.chain))
+
+type injected = {
+  inj_built : Scenario.built;
+  inj_spec : spec;
+  inj_attack_txs : string list;
+  inj_txs : string list;
+}
+
+(* Defeat the acceptance check whichever model the base bridge runs:
+   break the proof verification (Nomad's upgrade bug) or steal a
+   signing quorum (Ronin's five of nine keys). *)
+let compromise_acceptance bridge =
+  match bridge.Bridge.acceptance with
+  | Bridge.Optimistic _ -> Bridge.break_proof_check bridge
+  | Bridge.Multisig m -> Bridge.compromise_validators bridge ~keys:m.threshold
+
+let build spec : injected =
+  if spec.a_count < 0 then invalid_arg "Attacks.build: a_count < 0";
+  let b = benign_twin spec in
+  let before = all_txs b in
+  let bridge = b.bridge in
+  let src = bridge.Bridge.source and dst = bridge.Bridge.target in
+  let rt = List.hd b.tokens in
+  let token = rt.rt_mapping.Bridge.m_src_token in
+  let dst_token = rt.rt_mapping.Bridge.m_dst_token in
+  let rng = Prng.create (spec.a_base.Generic.g_seed + 7211) in
+  let label = class_slug spec.a_class in
+  let attacker = Address.of_seed (label ^ "-attacker") in
+  let victim = Address.of_seed (label ^ "-victim") in
+  List.iter
+    (fun who ->
+      Chain.fund src.Bridge.chain who (eth_to_wei 10.0);
+      Chain.fund dst.Bridge.chain who (eth_to_wei 10.0))
+    [ attacker; victim ];
+  (* Synchronize the chain clocks so the injection alone controls
+     cross-chain timing. *)
+  let t0 =
+    max (Chain.now src.Bridge.chain) (Chain.now dst.Bridge.chain) + 3600
+  in
+  Chain.set_time src.Bridge.chain t0;
+  Chain.set_time dst.Bridge.chain t0;
+  let mint who amount =
+    ignore
+      (Chain.submit_tx src.Bridge.chain ~from_:src.Bridge.operator ~to_:token
+         ~input:(Erc20.mint_calldata ~to_:who ~amount)
+         ())
+  in
+  let draw_amount () = U256.of_int (1_000 + Prng.int rng 9_000) in
+  let assert_success what (r : Types.receipt) =
+    if r.Types.r_status <> Types.Success then
+      failwith (Printf.sprintf "Attacks.build: %s reverted" what);
+    Facts.hex_of_hash r.Types.r_tx_hash
+  in
+  let attack_txs = ref [] in
+  let record tx = attack_txs := tx :: !attack_txs in
+  (match spec.a_class with
+  | Report.Forged_proof ->
+      (* Seed the S-side escrow with honest round-trips, then release
+         withdrawal ids that were never requested on T. *)
+      let amounts = List.init spec.a_count (fun _ -> draw_amount ()) in
+      List.iter
+        (fun amount ->
+          mint victim amount;
+          let d =
+            Bridge.deposit_erc20 bridge ~user:victim ~src_token:token ~amount
+              ~beneficiary:victim
+          in
+          ignore (Bridge.complete_deposit bridge ~deposit:d))
+        amounts;
+      compromise_acceptance bridge;
+      Chain.advance_time src.Bridge.chain 600;
+      List.iteri
+        (fun k amount ->
+          record
+            (assert_success "forged_withdrawal"
+               (Bridge.forged_withdrawal bridge ~attacker ~src_token:token
+                  ~amount ~withdrawal_id:(5_000_000 + k))))
+        amounts
+  | Report.Validator_takeover ->
+      (* Honest request of A on T; the stolen quorum re-signs it as a
+         release of 2A to the attacker on S. *)
+      let wids_amounts =
+        List.init spec.a_count (fun _ ->
+            let amount = draw_amount () in
+            let escrow = U256.mul amount (U256.of_int 3) in
+            mint victim escrow;
+            let d =
+              Bridge.deposit_erc20 bridge ~user:victim ~src_token:token
+                ~amount:escrow ~beneficiary:victim
+            in
+            ignore (Bridge.complete_deposit bridge ~deposit:d);
+            Chain.advance_time dst.Bridge.chain 3600;
+            let w =
+              Bridge.request_withdrawal bridge ~user:victim
+                ~dst_token ~amount ~beneficiary:victim
+            in
+            match w.Bridge.w_withdrawal_id with
+            | Some wid -> (wid, amount)
+            | None -> failwith "Attacks.build: withdrawal request reverted")
+      in
+      compromise_acceptance bridge;
+      Chain.advance_time src.Bridge.chain 600;
+      List.iter
+        (fun (wid, amount) ->
+          record
+            (assert_success "takeover withdrawal"
+               (Bridge.forged_withdrawal bridge ~attacker ~src_token:token
+                  ~amount:(U256.mul amount (U256.of_int 2))
+                  ~withdrawal_id:wid)))
+        wids_amounts
+  | Report.Unauthorized_mint ->
+      (* Operator-keyed completion of deposits that never happened:
+         properly mapped token, fresh ids, no S-side lock. *)
+      for k = 0 to spec.a_count - 1 do
+        record
+          (assert_success "relay_fake_deposit"
+             (Bridge.relay_fake_deposit bridge ~beneficiary:attacker
+                ~dst_token ~amount:(draw_amount ())
+                ~deposit_id:(700_000 + k)))
+      done
+  | Report.Inconsistent_event ->
+      (* A genuine lock of A on S completed on T with 2A: same id and
+         token on both sides, inconsistent amounts. *)
+      for _ = 1 to spec.a_count do
+        let amount = draw_amount () in
+        mint victim amount;
+        let d =
+          Bridge.deposit_erc20 bridge ~user:victim ~src_token:token ~amount
+            ~beneficiary:victim
+        in
+        match d.Bridge.d_deposit_id with
+        | None -> failwith "Attacks.build: deposit reverted"
+        | Some did ->
+            Chain.advance_time dst.Bridge.chain 3600;
+            record
+              (assert_success "inconsistent completion"
+                 (Bridge.relay_fake_deposit bridge ~beneficiary:victim
+                    ~dst_token
+                    ~amount:(U256.mul amount (U256.of_int 2))
+                    ~deposit_id:did))
+      done);
+  let after = all_txs b in
+  let before_set = Hashtbl.create 256 in
+  List.iter (fun tx -> Hashtbl.replace before_set tx ()) before;
+  let inj_txs = List.filter (fun tx -> not (Hashtbl.mem before_set tx)) after in
+  {
+    inj_built = b;
+    inj_spec = spec;
+    inj_attack_txs = List.sort compare !attack_txs;
+    inj_txs;
+  }

@@ -96,7 +96,16 @@ let build (spec : spec) : built =
         s_buggy_unmapped_withdrawal = false;
       }
   in
-  let n_tokens = max 1 (min spec.g_n_tokens (List.length default_tokens)) in
+  (* An out-of-range token count used to clamp silently, hiding spec
+     mistakes; reject it instead. *)
+  if spec.g_n_tokens < 1 || spec.g_n_tokens > List.length default_tokens then
+    invalid_arg
+      (Printf.sprintf
+         "Generic.build: g_n_tokens = %d out of range 1..%d (the default \
+          token list)"
+         spec.g_n_tokens
+         (List.length default_tokens));
+  let n_tokens = spec.g_n_tokens in
   let tokens =
     List.filteri (fun i _ -> i < n_tokens) default_tokens
     |> List.map (fun ts ->

@@ -16,7 +16,9 @@ type spec = {
   g_source_finality : int;
   g_target_finality : int;
   g_n_users : int;
-  g_n_tokens : int;  (** capped by {!Scenario.default_tokens} *)
+  g_n_tokens : int;
+      (** must be within [1 .. length Scenario.default_tokens];
+          {!build} raises [Invalid_argument] otherwise *)
   g_erc20_deposits : int;
   g_native_deposits : int;
   g_withdrawals : int;  (** complete deposit + withdrawal round-trips *)

@@ -218,6 +218,7 @@ let sample_report () =
           c_end_ts = 1900;
         };
       ];
+    attack_rows = [];
     total_facts = 10;
     decode_seconds = 0.1;
     eval_seconds = 0.2;

@@ -16,6 +16,7 @@ module Pool = Xcw_rpc.Pool
 module Nomad = Xcw_workload.Nomad
 module Ronin = Xcw_workload.Ronin
 module Scenario = Xcw_workload.Scenario
+module Attacks = Xcw_workload.Attacks
 module Bridge = Xcw_bridge.Bridge
 
 let render (r : Report.t) =
@@ -43,6 +44,42 @@ let render (r : Report.t) =
     (List.length r.Report.cctxs)
     r.Report.total_facts;
   Buffer.contents buf
+
+(* Attack-pack reports additionally pin the per-class attack tables:
+   the hits carry ids, USD values and the human-readable detail line,
+   so any drift in the attack rules or their dissection shows up. *)
+let render_attack_report (r : Report.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (render r);
+  List.iter
+    (fun (ar : Report.attack_row) ->
+      let hits =
+        List.map
+          (fun (h : Report.attack_hit) ->
+            Printf.sprintf "%s(chain=%d id=%d $%.2f %s)" h.Report.ah_tx_hash
+              h.Report.ah_chain_id h.Report.ah_id h.Report.ah_usd_value
+              h.Report.ah_detail)
+          ar.Report.ar_hits
+      in
+      Printf.bprintf buf "attack: %s | rule=%s | hits=%d%s\n"
+        (Report.attack_class_name ar.Report.ar_class)
+        ar.Report.ar_rule (List.length hits)
+        (match hits with [] -> "" | l -> " | " ^ String.concat " " l))
+    r.Report.attack_rows;
+  Buffer.contents buf
+
+let attack_input cls () =
+  let inj = Attacks.build (Attacks.default_spec cls) in
+  let b = inj.Attacks.inj_built in
+  Detector.default_input
+    ~label:("attack-" ^ Attacks.class_slug cls)
+    ~plugin:Decoder.ronin_plugin ~config:b.Scenario.config
+    ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+    ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+    ~pricing:b.Scenario.pricing
+
+let attack_report cls () =
+  (Detector.run (attack_input cls ())).Detector.report
 
 let nomad_input () =
   let b = Nomad.build ~seed:11 ~scale:0.02 () in
@@ -90,7 +127,7 @@ let first_diff expected actual =
   in
   go 1 (el, al)
 
-let check ~name report =
+let check ?(render = render) ~name report =
   let rendered = render (report ()) in
   match Sys.getenv_opt "XCW_GOLDEN_WRITE" with
   | Some dir ->
@@ -189,4 +226,16 @@ let () =
           Alcotest.test_case "ronin --jobs 4 run reuses the fixture" `Quick
             (fun () -> check_parallel_reuse ~name:"ronin" ronin_input);
         ] );
+      ( "attack-packs",
+        List.map
+          (fun cls ->
+            let slug = Attacks.class_slug cls in
+            Alcotest.test_case
+              (Printf.sprintf "attack pack %s matches its fixture" slug)
+              `Quick
+              (fun () ->
+                check ~render:render_attack_report
+                  ~name:("attack_" ^ slug)
+                  (attack_report cls)))
+          Report.attack_classes );
     ]

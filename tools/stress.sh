@@ -2,8 +2,10 @@
 # Stress run of the differential suites: parallel sequential-equivalence,
 # datalog incremental properties, the boxed-vs-interned representation
 # differential (random programs through both engines — same relations,
-# derived counts and TSV bytes at --jobs 1/2/4), and the RPC fault/quorum
-# net, each at XCW_STRESS x their default qcheck case counts (default 10x).
+# derived counts and TSV bytes at --jobs 1/2/4), the RPC fault/quorum
+# net, and the attack-pack cross-product (class x fault/quorum x jobs,
+# plus the twin-differential generator properties), each at XCW_STRESS x
+# their default qcheck case counts (default 10x).
 #
 # Equivalent to `dune build @stress`; this wrapper exists so the knob is
 # discoverable and overridable:
