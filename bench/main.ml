@@ -923,6 +923,260 @@ let () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* fleet: multi-bridge supervision at 4 / 8 / 16 lanes under clean,
+   moderate and mixed (one majority-Byzantine quorum lane + one
+   moderate-fault lane) plans.  Reports per-poll fleet latency vs
+   bridge count — measured sequential wall plus the 4-domain modeled
+   makespan per the parallel bench's honesty protocol — and asserts
+   the isolation contract: every lane's alert stream is byte-identical
+   to a solo single-lane supervisor run of the same spec.  Fleets of 6+
+   lanes carry a mirrored attack lane (same scenario, different lane
+   name) so the bus's cross-bridge collapse shows up in the collapsed
+   column.  Runnable standalone via [dune exec bench/main.exe fleet];
+   emits BENCH_fleet.json plus a one-line BENCH_FLEET summary. *)
+
+(* The subject is lane-count scaling, not per-lane volume: 16 lanes
+   replay 16 full scenarios, so the default trims the per-lane scale to
+   keep the 3x3 matrix (plus solo differentials) in CI territory.  An
+   explicit XCW_SCALE (and smoke mode) still wins. *)
+let fleet_scale =
+  if smoke || Sys.getenv_opt "XCW_SCALE" <> None then scale
+  else Float.min scale 0.02
+
+let bench_fleet () =
+  let module Json = Xcw_util.Json in
+  let module Pool = Xcw_par.Pool in
+  let module Mon = Xcw_core.Monitor in
+  let module Sup = Xcw_fleet.Supervisor in
+  let module Bus = Xcw_fleet.Bus in
+  let module Presets = Xcw_fleet.Presets in
+  Engine.recommended_gc_setup ();
+  let scale = fleet_scale in
+  section
+    "Fleet supervision: per-poll latency vs bridge count, lane isolation";
+  (* XCW_FLEET_FULL=1 restores the full lane matrix under smoke gating
+     (tiny scale, no BENCH_fleet.json) — the @stress alias's shape. *)
+  let full = Sys.getenv_opt "XCW_FLEET_FULL" <> None in
+  let counts = if smoke && not full then [ 2; 4 ] else [ 4; 8; 16 ] in
+  let max_n = List.fold_left max 0 counts in
+  let rounds_to_sync = if smoke && not full then 4 else 8 in
+  let rounds = rounds_to_sync + 4 in
+  let plans = [ `Clean; `Moderate; `Mixed ] in
+  let plan_name = function
+    | `Clean -> "clean"
+    | `Moderate -> "moderate"
+    | `Mixed -> "mixed"
+  in
+  let kinds =
+    [|
+      Presets.Generic_kind Xcw_workload.Generic.default_spec;
+      Presets.Attack Report.Forged_proof;
+      Presets.Nomad;
+      Presets.Ronin;
+    |]
+  in
+  (* Lane i of every fleet: kind round-robin, scenario seed and RPC
+     seed derived from the index — so lane i is the same bridge at
+     every fleet size and the solo-stream cache below carries across
+     bridge counts. *)
+  let fault_of plan i =
+    match plan with
+    | `Clean -> `None
+    | `Moderate -> `Moderate
+    | `Mixed -> if i = 1 then `Byzantine else if i = 2 then `Moderate else `None
+  in
+  let fault_tag = function
+    | `None -> "none"
+    | `Moderate -> "moderate"
+    | `Byzantine -> "byzantine"
+  in
+  let tweak_of fault ~rpc_seed input =
+    let input = { input with Detector.i_rpc_seed = rpc_seed } in
+    match fault with
+    | `None -> input
+    | `Moderate ->
+        {
+          input with
+          Detector.i_source_fault = Some Fault.moderate;
+          i_target_fault = Some Fault.moderate;
+        }
+    | `Byzantine ->
+        (* Two of three endpoints lie: below the f < k Byzantine
+           threshold the quorum cannot protect the lane — lies that
+           agree outvote the honest node — but the damage stays inside
+           this lane's stream, which the differential still pins. *)
+        let efs = [ None; Some Fault.byzantine; Some Fault.byzantine ] in
+        {
+          input with
+          Detector.i_endpoints = 3;
+          i_quorum = 2;
+          i_source_endpoint_faults = efs;
+          i_target_endpoint_faults = efs;
+        }
+  in
+  (* (kind slug, scenario seed, fault tag) — lane identity for the solo
+     cache; the mirrored dup lane shares its original's key. *)
+  let lane_of plan i ~dup_of =
+    let src = match dup_of with Some j -> j | None -> i in
+    let kind = kinds.(src mod Array.length kinds) in
+    let lane_seed = seed + (src * 17) in
+    let rpc_seed = seed + (src * 101) in
+    let fault = fault_of plan i in
+    let name =
+      Printf.sprintf "%s-%02d%s" (Presets.kind_slug kind) i
+        (match dup_of with Some _ -> "-dup" | None -> "")
+    in
+    let key =
+      Printf.sprintf "%s|%d|%s" (Presets.kind_slug kind) lane_seed
+        (fault_tag fault)
+    in
+    ( key,
+      Presets.lane ~scale ~seed:lane_seed ~rounds_to_sync ~name
+        ~tweak:(tweak_of fault ~rpc_seed) kind )
+  in
+  let render_stream alerts =
+    String.concat "\n"
+      (List.map
+         (fun (a : Mon.alert) ->
+           let sb, tb = a.Mon.al_detected_at in
+           Printf.sprintf "%s|(%d,%d)" (Bus.signature a) sb tb)
+         alerts)
+  in
+  (* Solo reference streams, computed once per lane identity: a
+     single-lane supervisor with the identical breaker / budget /
+     window configuration. *)
+  let solo_cache : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let solo_stream key lane =
+    match Hashtbl.find_opt solo_cache key with
+    | Some s -> s
+    | None ->
+        let sup = Sup.create [ lane ] in
+        ignore (Sup.run sup ~rounds);
+        let s = render_stream (Sup.lane_alerts sup 0) in
+        Hashtbl.add solo_cache key s;
+        s
+  in
+  let mismatches = ref [] in
+  let one_config plan n =
+    (* One lane list per config; the specs are immutable (prebuilt
+       chains + cursor closures), so the sequential run, the modeled
+       run and the solo references all reuse them. *)
+    let lanes =
+      List.init n (fun i ->
+          if n >= 6 && i = n - 1 then lane_of plan i ~dup_of:(Some 5)
+          else lane_of plan i ~dup_of:None)
+    in
+    let specs = List.map snd lanes in
+    (* Measured pass: sequential in-process polling, per-round wall. *)
+    let sup = Sup.create specs in
+    let walls =
+      List.init rounds (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Sup.poll sup);
+          Unix.gettimeofday () -. t0)
+    in
+    (* Modeled pass: the identical fleet over a sequential modeling
+       pool — clean per-lane task times, greedy 4-core makespan. *)
+    let pool = Pool.sequential ~ndomains:4 in
+    let sup_m = Sup.create ~pool specs in
+    let modeled =
+      List.init rounds (fun _ ->
+          Pool.reset_stats pool;
+          let t0 = Unix.gettimeofday () in
+          ignore (Sup.poll sup_m);
+          let wall = Unix.gettimeofday () -. t0 in
+          let st = Pool.stats pool in
+          Float.max 1e-9 (wall -. st.Pool.st_busy +. st.Pool.st_modeled_wall))
+    in
+    (* Isolation differential: every lane (faulted ones included — the
+       supervisor shares nothing between lanes) against its solo run,
+       in both the measured and the modeled fleet. *)
+    List.iteri
+      (fun i (key, lane) ->
+        let want = solo_stream key lane in
+        let check tag sup =
+          let got = render_stream (Sup.lane_alerts sup i) in
+          if got <> want then
+            mismatches :=
+              Printf.sprintf "%s/%d lane %d (%s, %s)" (plan_name plan) n i
+                lane.Sup.l_name tag
+              :: !mismatches
+        in
+        check "measured" sup;
+        check "modeled" sup_m)
+      lanes;
+    let h = Sup.health sup in
+    let total = List.fold_left ( +. ) 0. walls in
+    let mean = total /. float_of_int rounds in
+    let vmax = List.fold_left Float.max 0. walls in
+    let m_total = List.fold_left ( +. ) 0. modeled in
+    let m_mean = m_total /. float_of_int rounds in
+    Printf.printf "%9s %8d %8d %11.3f %11.3f %11.3f %11.3f %8d %10d %7d\n"
+      (plan_name plan) n rounds mean vmax m_mean
+      (mean /. Float.max 1e-9 m_mean)
+      h.Sup.fh_emitted h.Sup.fh_collapsed h.Sup.fh_parked;
+    Json.Obj
+      [
+        ("plan", Json.String (plan_name plan));
+        ("bridges", Json.Int n);
+        ("rounds", Json.Int rounds);
+        ("mean_poll_wall_s", Json.Float mean);
+        ("max_poll_wall_s", Json.Float vmax);
+        ("total_wall_s", Json.Float total);
+        ("modeled4_mean_poll_s", Json.Float m_mean);
+        ("modeled4_total_s", Json.Float m_total);
+        ("modeled_speedup", Json.Float (mean /. Float.max 1e-9 m_mean));
+        ("emitted", Json.Int h.Sup.fh_emitted);
+        ("collapsed", Json.Int h.Sup.fh_collapsed);
+        ("parked_final", Json.Int h.Sup.fh_parked);
+        ("lanes_identical", Json.Bool (!mismatches = []));
+      ]
+  in
+  Printf.printf "%9s %8s %8s %11s %11s %11s %11s %8s %10s %7s\n" "plan"
+    "bridges" "rounds" "mean s" "max s" "model4 s" "speedup" "emitted"
+    "collapsed" "parked";
+  let rows =
+    List.concat_map (fun plan -> List.map (one_config plan) counts) plans
+  in
+  let all_identical = !mismatches = [] in
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "fleet");
+        ("scale", Json.Float scale);
+        ("seed", Json.Int seed);
+        ("rounds_to_sync", Json.Int rounds_to_sync);
+        ( "note",
+          Json.String
+            "mean_poll_wall_s is the sequential in-process fleet round; \
+             modeled4_mean_poll_s re-times the identical round on a \
+             sequential modeling pool and replaces the serialized lane \
+             time with the greedy least-loaded 4-core makespan; \
+             lanes_identical asserts every lane's alert stream is \
+             byte-identical to a solo single-lane supervisor run" );
+        ("rows", Json.List rows);
+      ]
+  in
+  if not smoke then Json.write_file ~path:"BENCH_fleet.json" json;
+  Printf.printf
+    "BENCH_FLEET configs=%d max_bridges=%d lanes_identical=%b \
+     solo_refs=%d\n"
+    (List.length rows) max_n all_identical (Hashtbl.length solo_cache);
+  if not smoke then Printf.printf "(written to BENCH_fleet.json)\n";
+  if not all_identical then begin
+    List.iter (Printf.printf "  MISMATCH %s\n") (List.rev !mismatches);
+    failwith "fleet bench: lane stream diverged from its solo run"
+  end
+
+let () =
+  if Array.exists (( = ) "fleet") Sys.argv then begin
+    Printf.printf "XChainWatcher fleet bench (scale %.3f, seed %d)\n"
+      fleet_scale seed;
+    bench_fleet ();
+    exit 0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* throughput: interned int-array tuples vs the boxed [const array]
    reference ([Xcw_datalog.Boxed]) on a Nomad-shaped fact base.
 

@@ -2,6 +2,7 @@
 
    Subcommands:
    - [detect]     generate a bridge scenario and run anomaly detection
+   - [fleet]      supervise a whole fleet of bridges at once
    - [rules]      print the cross-chain Datalog rules
    - [config]     print a bridge's static configuration (JSON)
    - [timeframes] print the data-extraction timeframes (Table 1)
@@ -10,6 +11,7 @@
      xcw detect --bridge nomad --scale 0.05 --report report.json
      xcw detect --bridge ronin --latency realistic
      xcw detect --attack forged-proof --seed 3
+     xcw fleet --bridges nomad,ronin,generic,attack-forged-proof --generics 4
      xcw rules *)
 
 module Detector = Xcw_core.Detector
@@ -25,6 +27,9 @@ module Bridge = Xcw_bridge.Bridge
 module Metrics = Xcw_obs.Metrics
 module Span = Xcw_obs.Span
 module Sink = Xcw_obs.Sink
+module Supervisor = Xcw_fleet.Supervisor
+module Bus = Xcw_fleet.Bus
+module Presets = Xcw_fleet.Presets
 open Cmdliner
 
 type bridge_kind = Nomad | Ronin
@@ -484,6 +489,234 @@ let monitor_cmd =
       $ endpoints_arg $ quorum_arg $ byzantine_arg $ jobs_arg $ metrics_arg
       $ trace_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fleet: run N bridge monitors under one supervisor                   *)
+
+let fleet_state_name = function
+  | Supervisor.Active -> "active"
+  | Supervisor.Degraded -> "degraded"
+  | Supervisor.Probation -> "probation"
+  | Supervisor.Parked { until; term } ->
+      Printf.sprintf "parked(until r%d, term %d)" until term
+
+let print_fleet_table (h : Supervisor.health) =
+  List.iter
+    (fun (lh : Supervisor.lane_health) ->
+      Format.printf "  [%d] %-24s %-10s polls %-3d alerts %-4d lag %-5d%s@."
+        lh.Supervisor.lh_index lh.Supervisor.lh_name
+        (fleet_state_name lh.Supervisor.lh_state)
+        lh.Supervisor.lh_polls lh.Supervisor.lh_alerts lh.Supervisor.lh_lag
+        (match lh.Supervisor.lh_last_error with
+        | Some e when lh.Supervisor.lh_failures > 0 || lh.Supervisor.lh_trips > 0
+          ->
+            "  last: " ^ e
+        | _ -> ""))
+    h.Supervisor.fh_lanes
+
+let fleet_cmd =
+  let run bridges generics scale seed rounds sync_rounds jobs fault_lanes
+      byz_lanes budget window metrics_file trace_file =
+    let kinds =
+      List.map
+        (fun slug ->
+          match Presets.kind_of_string slug with
+          | Ok k -> k
+          | Error msg ->
+              Format.eprintf "xcw: %s@." msg;
+              exit 2)
+        (String.split_on_char ',' bridges |> List.filter (( <> ) ""))
+    in
+    let kinds =
+      kinds @ List.init generics (fun _ -> Presets.Generic_kind Generic.default_spec)
+    in
+    if kinds = [] then begin
+      Format.eprintf "xcw: empty fleet (--bridges or --generics required)@.";
+      exit 2
+    end;
+    let n = List.length kinds in
+    let check_lane what = function
+      | j when j < 0 || j >= n ->
+          Format.eprintf "xcw: %s %d out of range for %d lanes@." what j n;
+          exit 2
+      | _ -> ()
+    in
+    List.iter (check_lane "--fault-lane") fault_lanes;
+    List.iter (check_lane "--byzantine-lane") byz_lanes;
+    (* Unique lane names: duplicate kinds get a #k suffix. *)
+    let seen = Hashtbl.create 8 in
+    let lanes =
+      List.mapi
+        (fun i kind ->
+          let label = Presets.kind_slug kind in
+          let name =
+            match Hashtbl.find_opt seen label with
+            | None ->
+                Hashtbl.replace seen label 1;
+                label
+            | Some k ->
+                Hashtbl.replace seen label (k + 1);
+                Printf.sprintf "%s#%d" label (k + 1)
+          in
+          let tweak input =
+            let input =
+              { input with Detector.i_rpc_seed = seed + (i * 101) }
+            in
+            let input =
+              if List.mem i fault_lanes then
+                {
+                  input with
+                  Detector.i_source_fault = Some Xcw_rpc.Fault.moderate;
+                  i_target_fault = Some Xcw_rpc.Fault.moderate;
+                }
+              else input
+            in
+            if List.mem i byz_lanes then
+              (* Two liars out of three put the 2-of-3 quorum past its
+                 f < k guarantee: when the independently-seeded liars
+                 happen to agree they outvote the honest endpoint, so the
+                 lane's own stream corrupts (false alerts, divergence
+                 stalls) — but the damage stays in-lane; the rest of the
+                 fleet keeps its cadence and its exact solo streams. *)
+              let efs =
+                [ None; Some Xcw_rpc.Fault.byzantine; Some Xcw_rpc.Fault.byzantine ]
+              in
+              {
+                input with
+                Detector.i_endpoints = 3;
+                i_quorum = 2;
+                i_source_endpoint_faults = efs;
+                i_target_endpoint_faults = efs;
+              }
+            else input
+          in
+          Presets.lane ~scale ~seed:(seed + (i * 17)) ~rounds_to_sync:sync_rounds
+            ~name ~tweak kind)
+        kinds
+    in
+    let sup =
+      Supervisor.create ~ndomains:jobs ~dedup_window:window
+        ?poll_budget:budget lanes
+    in
+    Format.printf "fleet of %d bridge lane(s), %d round(s), --jobs %d@." n
+      rounds jobs;
+    for _ = 1 to rounds do
+      let emitted = Supervisor.poll sup in
+      let h = Supervisor.health sup in
+      Format.printf "@.round %d/%d  emitted +%d  collapsed %d  parked %d  lag %d@."
+        h.Supervisor.fh_rounds rounds (List.length emitted)
+        h.Supervisor.fh_collapsed h.Supervisor.fh_parked h.Supervisor.fh_lag;
+      print_fleet_table h;
+      List.iter
+        (fun (fa : Bus.fleet_alert) ->
+          let a = fa.Bus.fa_alert.Xcw_core.Monitor.al_anomaly in
+          if a.Report.a_usd_value > 10_000.0 then
+            Format.printf "  ALERT #%d [%s] %s %s: %s ($%.0f)@." fa.Bus.fa_seq
+              fa.Bus.fa_bridge fa.Bus.fa_alert.Xcw_core.Monitor.al_rule
+              (Report.class_name a.Report.a_class)
+              a.Report.a_tx_hash a.Report.a_usd_value)
+        emitted
+    done;
+    let h = Supervisor.health sup in
+    Format.printf
+      "@.alert bus: %d emitted, %d cross-bridge duplicates collapsed@."
+      h.Supervisor.fh_emitted h.Supervisor.fh_collapsed;
+    List.iter
+      (fun (fa : Bus.fleet_alert) ->
+        if List.length fa.Bus.fa_origins > 1 then
+          Format.printf "  #%d first seen on %s, also raised by %s@."
+            fa.Bus.fa_seq fa.Bus.fa_bridge
+            (String.concat ", "
+               (List.tl fa.Bus.fa_origins
+               |> List.map (fun (o : Bus.origin) ->
+                      Printf.sprintf "%s (round %d)" o.Bus.o_bridge o.Bus.o_round))))
+      (Supervisor.alerts sup);
+    write_observability metrics_file trace_file
+  in
+  let bridges_arg =
+    Arg.(
+      value
+      & opt string "nomad,ronin,generic,attack-forged-proof"
+      & info [ "bridges" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated lane kinds: nomad, ronin, generic, or \
+             attack-<class> (e.g. attack-forged-proof).  Each lane gets \
+             its own scenario seed.")
+  in
+  let generics_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "generics" ] ~docv:"N"
+          ~doc:"Append $(docv) extra generic-bridge lanes to the fleet.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "rounds" ] ~docv:"N" ~doc:"Fleet poll rounds to run.")
+  in
+  let sync_rounds_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "sync-rounds" ] ~docv:"N"
+          ~doc:
+            "Rounds over which each lane's schedule replays its scenario \
+             window before holding at the chain heads.")
+  in
+  let fleet_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains polling lanes concurrently.  Fleet output is \
+             identical at any value (lanes are polled in index order and \
+             merged deterministically).")
+  in
+  let fault_lane_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "fault-lane" ] ~docv:"IDX"
+          ~doc:
+            "Inject the moderate RPC fault plan into lane $(docv) \
+             (repeatable).  The lane degrades and catches up; the rest \
+             of the fleet keeps its cadence.")
+  in
+  let byz_lane_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "byzantine-lane" ] ~docv:"IDX"
+          ~doc:
+            "Give lane $(docv) a 3-endpoint/2-quorum pool with two \
+             Byzantine endpoints — past the f < k guarantee, so \
+             agreeing lies can outvote the honest endpoint.  The lane's \
+             own stream corrupts or stalls; the rest of the fleet is \
+             untouched (repeatable).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"BLOCKS"
+          ~doc:
+            "Per-round poll budget: each lane's cursors advance at most \
+             $(docv) blocks per side per round.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "dedup-window" ] ~docv:"ROUNDS"
+          ~doc:
+            "Alert-bus dedup horizon: identical signatures from several \
+             bridges within $(docv) rounds collapse into one alert.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a configured fleet of bridge monitors under one supervisor \
+          with per-bridge fault isolation and a unified alert bus")
+    Term.(
+      const run $ bridges_arg $ generics_arg $ scale_arg $ seed_arg
+      $ rounds_arg $ sync_rounds_arg $ fleet_jobs_arg $ fault_lane_arg
+      $ byz_lane_arg $ budget_arg $ window_arg $ metrics_arg $ trace_arg)
+
 let rules_cmd =
   let run () =
     Format.printf "XChainWatcher cross-chain rules (%d total)@.@." Rules.rule_count;
@@ -520,4 +753,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "xcw" ~version:"1.0.0" ~doc)
-          [ detect_cmd; monitor_cmd; rules_cmd; config_cmd; timeframes_cmd ]))
+          [
+            detect_cmd; monitor_cmd; fleet_cmd; rules_cmd; config_cmd;
+            timeframes_cmd;
+          ]))

@@ -419,11 +419,19 @@ and poll_body t ~source_block ~target_block : alert list =
      pre-decoded snapshot: the detector decodes chains itself, so here
      we rebuild only the classification layer via a lightweight
      re-dissection. *)
+  (* Match the detector's [total_facts] semantics — the EDB loaded into
+     the engine, not the post-evaluation tuple count (the incremental
+     db also carries every derived tuple at this point). *)
+  let total_facts =
+    List.fold_left
+      (fun acc p -> acc - Engine.fact_count db p)
+      (Engine.total_tuples db) (Engine.derived_predicates db)
+  in
   let report =
     Dissect.dissect ~label:t.m_input.Detector.i_label
       ~config:t.m_input.Detector.i_config ~pricing:t.m_input.Detector.i_pricing
       ~first_window_withdrawal_id:t.m_input.Detector.i_first_window_withdrawal_id
-      ~decode_errors:(all_decode_errors t) ~db ()
+      ~decode_errors:(all_decode_errors t) ~db ~total_facts ()
   in
   t.m_last_report <- Some report;
   (* Only a synced poll emits alerts: when a side is behind (faults,

@@ -1,0 +1,78 @@
+(* Unified fleet alert bus: one ordered stream, cross-bridge dedup. *)
+
+module Monitor = Xcw_core.Monitor
+module Report = Xcw_core.Report
+module Metrics = Xcw_obs.Metrics
+
+type origin = { o_bridge : string; o_round : int }
+
+type fleet_alert = {
+  fa_seq : int;
+  fa_round : int;
+  fa_bridge : string;
+  fa_alert : Monitor.alert;
+  mutable fa_origins : origin list;
+}
+
+let signature (a : Monitor.alert) =
+  let an = a.Monitor.al_anomaly in
+  Printf.sprintf "%s|%s|%d|%s|%s" a.Monitor.al_rule
+    (Report.class_name an.Report.a_class)
+    an.Report.a_chain_id an.Report.a_tx_hash an.Report.a_detail
+
+type t = {
+  b_window : int;
+  (* signature -> latest emission carrying it *)
+  b_live : (string, fleet_alert) Hashtbl.t;
+  mutable b_stream : fleet_alert list;  (** reversed *)
+  mutable b_emitted : int;
+  mutable b_collapsed : int;
+  bm_emitted : Metrics.Counter.t;
+  bm_collapsed : Metrics.Counter.t;
+}
+
+let create ?(window = 16) ?metrics () =
+  if window < 0 then invalid_arg "Bus.create: negative window";
+  let reg = match metrics with Some m -> m | None -> Metrics.default () in
+  {
+    b_window = window;
+    b_live = Hashtbl.create 128;
+    b_stream = [];
+    b_emitted = 0;
+    b_collapsed = 0;
+    bm_emitted = Metrics.counter reg "xcw_fleet_bus_emitted_total";
+    bm_collapsed = Metrics.counter reg "xcw_fleet_bus_collapsed_total";
+  }
+
+let window t = t.b_window
+
+let publish t ~bridge ~round alert =
+  let key = signature alert in
+  let org = { o_bridge = bridge; o_round = round } in
+  match Hashtbl.find_opt t.b_live key with
+  | Some fa when round - fa.fa_round <= t.b_window ->
+      fa.fa_origins <- fa.fa_origins @ [ org ];
+      t.b_collapsed <- t.b_collapsed + 1;
+      Metrics.Counter.inc t.bm_collapsed;
+      `Collapsed fa
+  | _ ->
+      (* Unseen signature, or the previous emission aged out of the
+         window — either way this is a fresh page. *)
+      let fa =
+        {
+          fa_seq = t.b_emitted;
+          fa_round = round;
+          fa_bridge = bridge;
+          fa_alert = alert;
+          fa_origins = [ org ];
+        }
+      in
+      Hashtbl.replace t.b_live key fa;
+      t.b_stream <- fa :: t.b_stream;
+      t.b_emitted <- t.b_emitted + 1;
+      Metrics.Counter.inc t.bm_emitted;
+      `Emitted fa
+
+let alerts t = List.rev t.b_stream
+let emitted t = t.b_emitted
+let collapsed t = t.b_collapsed

@@ -1,0 +1,65 @@
+(** Unified fleet alert bus with cross-bridge deduplication.
+
+    Alerts from every bridge lane flow through one bus in a fixed merge
+    order (fleet round, then lane index, then the lane's own alert
+    order), each emission getting a dense, fleet-wide sequence number.
+    Two bridges flagging the {e same} signature — rule, anomaly class,
+    chain id, transaction hash and detail line (which carries the token
+    and amount) — within [window] fleet rounds collapse into one bus
+    alert annotated with every origin; the same signature re-appearing
+    after the window expires is a fresh alert again (a stuck anomaly
+    that resurfaces days later deserves a new page, not a dropped
+    increment on a long-forgotten one).
+
+    The bus never reorders or drops an alert that does not collapse:
+    the per-lane subsequence of {!alerts} is exactly the lane's own
+    alert stream — the property the fleet isolation differential
+    checks byte-for-byte against solo monitor runs. *)
+
+module Monitor = Xcw_core.Monitor
+module Metrics = Xcw_obs.Metrics
+
+type origin = {
+  o_bridge : string;  (** lane name *)
+  o_round : int;  (** fleet poll round the lane raised it in *)
+}
+
+type fleet_alert = {
+  fa_seq : int;  (** dense bus sequence number, from 0 *)
+  fa_round : int;  (** round of (re-)emission *)
+  fa_bridge : string;  (** first origin *)
+  fa_alert : Monitor.alert;
+  mutable fa_origins : origin list;
+      (** every origin in arrival order; head is the emitter *)
+}
+
+val signature : Monitor.alert -> string
+(** The dedup key: rule | class | chain id | tx hash | detail. *)
+
+type t
+
+val create : ?window:int -> ?metrics:Metrics.t -> unit -> t
+(** [window] (default 16) is the collapse horizon in fleet rounds: a
+    duplicate arriving at round [r] collapses into an emission from
+    round [r0] iff [r - r0 <= window].  Bus instruments
+    ([xcw_fleet_bus_emitted_total], [xcw_fleet_bus_collapsed_total])
+    record into [metrics] — default {!Metrics.default}. *)
+
+val window : t -> int
+
+val publish :
+  t ->
+  bridge:string ->
+  round:int ->
+  Monitor.alert ->
+  [ `Emitted of fleet_alert | `Collapsed of fleet_alert ]
+(** Route one lane alert.  [`Emitted a] appended [a] to the stream;
+    [`Collapsed a] recorded [bridge] as an extra origin of the earlier
+    emission [a].  Rounds must be non-decreasing across calls. *)
+
+val alerts : t -> fleet_alert list
+(** The emission stream in sequence order (collapsed duplicates appear
+    only as extra origins on their emission). *)
+
+val emitted : t -> int
+val collapsed : t -> int

@@ -1,0 +1,118 @@
+(* Lane builders over the workload generators. *)
+
+module Chain = Xcw_chain.Chain
+module Types = Xcw_evm.Types
+module Bridge = Xcw_bridge.Bridge
+module Detector = Xcw_core.Detector
+module Decoder = Xcw_core.Decoder
+module Report = Xcw_core.Report
+module Scenario = Xcw_workload.Scenario
+module Generic = Xcw_workload.Generic
+module Attacks = Xcw_workload.Attacks
+
+type kind =
+  | Nomad
+  | Ronin
+  | Generic_kind of Generic.spec
+  | Attack of Report.attack_class
+
+let kind_of_string s =
+  match s with
+  | "nomad" -> Ok Nomad
+  | "ronin" -> Ok Ronin
+  | "generic" -> Ok (Generic_kind Generic.default_spec)
+  | s -> (
+      match
+        if String.length s > 7 && String.sub s 0 7 = "attack-" then
+          Attacks.class_of_string (String.sub s 7 (String.length s - 7))
+        else None
+      with
+      | Some cls -> Ok (Attack cls)
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown lane kind %S \
+                (nomad|ronin|generic|attack-<class>)"
+               s))
+
+let kind_slug = function
+  | Nomad -> "nomad"
+  | Ronin -> "ronin"
+  | Generic_kind _ -> "generic"
+  | Attack cls -> "attack-" ^ Attacks.class_slug cls
+
+let build ?scale ?seed kind =
+  match kind with
+  | Nomad -> (Xcw_workload.Nomad.build ?seed ?scale (), Decoder.nomad_plugin, "nomad")
+  | Ronin -> (Xcw_workload.Ronin.build ?seed ?scale (), Decoder.ronin_plugin, "ronin")
+  | Generic_kind spec ->
+      let spec =
+        match seed with
+        | Some s -> { spec with Generic.g_seed = s }
+        | None -> spec
+      in
+      (Generic.build spec, Decoder.ronin_plugin, spec.Generic.g_label)
+  | Attack cls ->
+      let spec = Attacks.default_spec cls in
+      let spec =
+        match seed with
+        | Some s ->
+            {
+              spec with
+              Attacks.a_base = { spec.Attacks.a_base with Generic.g_seed = s };
+            }
+        | None -> spec
+      in
+      ( (Attacks.build spec).Attacks.inj_built,
+        Decoder.ronin_plugin,
+        "attack-" ^ Attacks.class_slug cls )
+
+let input_of ~built ~plugin ~label =
+  let input =
+    Detector.default_input ~label ~plugin ~config:built.Scenario.config
+      ~source_chain:built.Scenario.bridge.Bridge.source.Bridge.chain
+      ~target_chain:built.Scenario.bridge.Bridge.target.Bridge.chain
+      ~pricing:built.Scenario.pricing
+  in
+  {
+    input with
+    Detector.i_first_window_withdrawal_id =
+      built.Scenario.first_window_withdrawal_id;
+  }
+
+let lane_spec ?(rounds_to_sync = 8) ?name ~built ~input () =
+  if rounds_to_sync < 1 then invalid_arg "Presets.lane_spec: rounds_to_sync";
+  let src = built.Scenario.bridge.Bridge.source.Bridge.chain in
+  let dst = built.Scenario.bridge.Bridge.target.Bridge.chain in
+  (* The chains are fully generated before the fleet runs, so the block
+     lists are fixed; snapshot them once. *)
+  let blocks c = Array.of_list (Chain.all_blocks c) in
+  let src_blocks = blocks src and dst_blocks = blocks dst in
+  let head bs =
+    Array.fold_left (fun acc b -> max acc b.Types.b_number) 0 bs
+  in
+  let src_head = head src_blocks and dst_head = head dst_blocks in
+  let cursor_at bs tm =
+    Array.fold_left
+      (fun acc b ->
+        if b.Types.b_timestamp <= tm then max acc b.Types.b_number else acc)
+      0 bs
+  in
+  let t1, t2 = built.Scenario.window in
+  let cursors round =
+    if round >= rounds_to_sync then (src_head, dst_head)
+    else
+      let tm = t1 + (t2 - t1) * round / rounds_to_sync in
+      (cursor_at src_blocks tm, cursor_at dst_blocks tm)
+  in
+  {
+    Supervisor.l_name =
+      (match name with Some n -> n | None -> input.Detector.i_label);
+    l_input = input;
+    l_cursors = cursors;
+  }
+
+let lane ?scale ?seed ?rounds_to_sync ?name ?(tweak = fun i -> i) kind =
+  let built, plugin, label = build ?scale ?seed kind in
+  let input = tweak (input_of ~built ~plugin ~label) in
+  lane_spec ?rounds_to_sync ?name ~built ~input ()

@@ -1,0 +1,62 @@
+(** Lane builders over the workload generators: turn a Ronin / Nomad /
+    Generic / attack-pack scenario into a {!Supervisor.lane_spec} with
+    a timestamp-interpolated cursor schedule, the way the [xcw fleet]
+    CLI and the fleet bench assemble their fleets. *)
+
+module Detector = Xcw_core.Detector
+module Decoder = Xcw_core.Decoder
+module Report = Xcw_core.Report
+module Scenario = Xcw_workload.Scenario
+module Generic = Xcw_workload.Generic
+
+type kind =
+  | Nomad
+  | Ronin
+  | Generic_kind of Generic.spec
+  | Attack of Report.attack_class
+
+val kind_of_string : string -> (kind, string) result
+(** Parses [nomad], [ronin], [generic] (the default benign spec) and
+    [attack-<class>] slugs. *)
+
+val kind_slug : kind -> string
+
+val build :
+  ?scale:float -> ?seed:int -> kind -> Scenario.built * Decoder.plugin * string
+(** Build the scenario: [(built, plugin, label)].  [seed] overrides the
+    scenario seed ([Generic_kind]'s spec keeps its own volumes but is
+    re-seeded); [scale] applies to Nomad/Ronin only. *)
+
+val input_of :
+  built:Scenario.built ->
+  plugin:Decoder.plugin ->
+  label:string ->
+  Detector.input
+(** {!Detector.default_input} plus the scenario's pre-window cutoff —
+    the same input the solo golden fixtures are generated from. *)
+
+val lane_spec :
+  ?rounds_to_sync:int ->
+  ?name:string ->
+  built:Scenario.built ->
+  input:Detector.input ->
+  unit ->
+  Supervisor.lane_spec
+(** A lane whose cursor schedule replays the scenario's collection
+    window over [rounds_to_sync] fleet rounds (default 8) by timestamp
+    interpolation, then holds at the full chain heads — so a fleet run
+    of at least [rounds_to_sync + 1] rounds brings a clean lane to the
+    exact database the batch detector builds.  [name] defaults to the
+    input's label. *)
+
+val lane :
+  ?scale:float ->
+  ?seed:int ->
+  ?rounds_to_sync:int ->
+  ?name:string ->
+  ?tweak:(Detector.input -> Detector.input) ->
+  kind ->
+  Supervisor.lane_spec
+(** [build] + [input_of] + [lane_spec] in one step; [tweak] edits the
+    detector input in between (fault plans, quorum endpoints, RPC
+    seeds). *)

@@ -1,0 +1,418 @@
+(* Fleet supervisor: N bridge monitors as isolated lanes over a shared
+   domain pool, a circuit breaker per lane, one deduplicating bus.
+
+   Determinism contract: lanes are polled in index order each round and
+   share no mutable state (each owns its monitor, chains, RPC facades
+   and PRNG streams; the symbol table and metrics registry they do
+   share are lock-protected and order-insensitive), and the domain pool
+   returns results in submission order — so the bus stream, lane
+   streams and health trajectory are identical at any [ndomains] and
+   across two runs with the same seeds. *)
+
+module Monitor = Xcw_core.Monitor
+module Detector = Xcw_core.Detector
+module Metrics = Xcw_obs.Metrics
+module Span = Xcw_obs.Span
+module Pool = Xcw_par.Pool
+
+type lane_spec = {
+  l_name : string;
+  l_input : Detector.input;
+  l_cursors : int -> int * int;
+}
+
+type breaker = {
+  cb_failure_threshold : int;
+  cb_base_term : int;
+  cb_max_term : int;
+}
+
+let default_breaker =
+  { cb_failure_threshold = 3; cb_base_term = 4; cb_max_term = 64 }
+
+type lane_state =
+  | Active
+  | Degraded
+  | Parked of { until : int; term : int }
+  | Probation
+
+(* Per-lane instruments, resolved once at creation. *)
+type lane_obs = {
+  lo_poll_seconds : Metrics.Histogram.t;
+  lo_polls : Metrics.Counter.t;
+  lo_alerts : Metrics.Counter.t;
+}
+
+type lane = {
+  ln_index : int;
+  ln_spec : lane_spec;
+  mutable ln_monitor : Monitor.t option;  (** created on first poll *)
+  mutable ln_state : lane_state;
+  mutable ln_src : int;  (** achieved (requested) source cursor *)
+  mutable ln_dst : int;
+  mutable ln_target : int * int;  (** latest unclamped schedule target *)
+  mutable ln_failures : int;  (** consecutive failing polls *)
+  mutable ln_next_term : int;  (** park term of the next trip *)
+  mutable ln_trips : int;
+  mutable ln_exceptions : int;
+  mutable ln_polls : int;  (** monitor polls executed *)
+  mutable ln_prev_pending : int option;  (** pending after the last poll *)
+  mutable ln_alerts_rev : Monitor.alert list;  (** raw stream, reversed *)
+  mutable ln_alert_count : int;
+  mutable ln_last_error : string option;
+  ln_obs : lane_obs;
+}
+
+type fleet_obs = {
+  fo_reg : Metrics.t;
+  fo_rounds : Metrics.Counter.t;
+  fo_parks : Metrics.Counter.t;
+  fo_round_seconds : Metrics.Histogram.t;
+  fo_lag : Metrics.Gauge.t;
+  fo_parked : Metrics.Gauge.t;
+}
+
+type t = {
+  s_lanes : lane array;
+  s_pool : Pool.t option;  (** [None] = sequential inline *)
+  s_breaker : breaker;
+  s_budget : int;
+  s_bus : Bus.t;
+  s_metrics : Metrics.t;
+  s_obs : fleet_obs;
+  mutable s_rounds : int;
+}
+
+type lane_health = {
+  lh_index : int;
+  lh_name : string;
+  lh_state : lane_state;
+  lh_polls : int;
+  lh_alerts : int;
+  lh_failures : int;
+  lh_trips : int;
+  lh_exceptions : int;
+  lh_lag : int;
+  lh_monitor : Monitor.health option;
+  lh_last_error : string option;
+}
+
+type health = {
+  fh_rounds : int;
+  fh_parked : int;
+  fh_emitted : int;
+  fh_collapsed : int;
+  fh_lag : int;
+  fh_lanes : lane_health list;
+}
+
+let create ?(ndomains = 1) ?pool ?(breaker = default_breaker)
+    ?dedup_window ?(poll_budget = max_int) ?metrics specs =
+  if specs = [] then invalid_arg "Supervisor.create: no lanes";
+  if ndomains < 1 then invalid_arg "Supervisor.create: ndomains < 1";
+  if poll_budget < 1 then invalid_arg "Supervisor.create: poll_budget < 1";
+  if breaker.cb_failure_threshold < 1 || breaker.cb_base_term < 1 then
+    invalid_arg "Supervisor.create: degenerate breaker";
+  let names = List.map (fun s -> s.l_name) specs in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Supervisor.create: duplicate lane names";
+  let effective =
+    match pool with Some p -> Pool.ndomains p | None -> ndomains
+  in
+  if
+    effective > 1
+    && List.exists (fun s -> s.l_input.Detector.i_ndomains > 1) specs
+  then
+    invalid_arg
+      "Supervisor.create: fleet-level parallelism over lanes with \
+       i_ndomains > 1 would nest domain pools; parallelize one level";
+  let metrics = match metrics with Some m -> m | None -> Metrics.default () in
+  let lane i spec =
+    {
+      ln_index = i;
+      ln_spec = spec;
+      ln_monitor = None;
+      ln_state = Active;
+      ln_src = 0;
+      ln_dst = 0;
+      ln_target = (0, 0);
+      ln_failures = 0;
+      ln_next_term = breaker.cb_base_term;
+      ln_trips = 0;
+      ln_exceptions = 0;
+      ln_polls = 0;
+      ln_prev_pending = None;
+      ln_alerts_rev = [];
+      ln_alert_count = 0;
+      ln_last_error = None;
+      ln_obs =
+        (let labels = [ ("bridge", spec.l_name) ] in
+         {
+           lo_poll_seconds =
+             Metrics.histogram metrics ~labels "xcw_fleet_poll_seconds";
+           lo_polls =
+             Metrics.counter metrics ~labels "xcw_fleet_lane_polls_total";
+           lo_alerts =
+             Metrics.counter metrics ~labels "xcw_fleet_lane_alerts_total";
+         });
+    }
+  in
+  {
+    s_lanes = Array.of_list (List.mapi lane specs);
+    s_pool =
+      (match pool with
+      | Some p -> Some p
+      | None -> if ndomains > 1 then Some (Pool.get ~ndomains) else None);
+    s_breaker = breaker;
+    s_budget = poll_budget;
+    s_bus = Bus.create ?window:dedup_window ~metrics ();
+    s_metrics = metrics;
+    s_obs =
+      {
+        fo_reg = metrics;
+        fo_rounds = Metrics.counter metrics "xcw_fleet_rounds_total";
+        fo_parks = Metrics.counter metrics "xcw_fleet_parks_total";
+        fo_round_seconds =
+          Metrics.histogram metrics "xcw_fleet_round_seconds";
+        fo_lag = Metrics.gauge metrics "xcw_fleet_lag";
+        fo_parked = Metrics.gauge metrics "xcw_fleet_parked";
+      };
+    s_rounds = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* One fleet round                                                     *)
+
+let park t ln ~round =
+  let term = ln.ln_next_term in
+  ln.ln_state <- Parked { until = round + term; term };
+  ln.ln_next_term <- min (ln.ln_next_term * 2) t.s_breaker.cb_max_term;
+  ln.ln_failures <- 0;
+  ln.ln_trips <- ln.ln_trips + 1;
+  Metrics.Counter.inc t.s_obs.fo_parks
+
+(* A lane poll failed (exception, or unsynced with zero progress while
+   its schedule stood still).  Probation failures re-park immediately
+   at the doubled term; otherwise the threshold decides. *)
+let note_failure t ln ~round ~was_probation =
+  ln.ln_failures <- ln.ln_failures + 1;
+  if was_probation then park t ln ~round
+  else if ln.ln_failures >= t.s_breaker.cb_failure_threshold then
+    park t ln ~round
+  else ln.ln_state <- Degraded
+
+(* The outcome one lane thunk reports back to the submitter. *)
+type poll_outcome =
+  | P_ok of Monitor.alert list * Monitor.health * float  (** alerts, health, s *)
+  | P_exn of string * float
+
+let pending_of (h : Monitor.health) =
+  h.Monitor.h_pending_source + h.Monitor.h_pending_target
+
+let poll t : Bus.fleet_alert list =
+  let round = t.s_rounds + 1 in
+  t.s_rounds <- round;
+  let obs = t.s_obs in
+  Metrics.Counter.inc obs.fo_rounds;
+  let live = Metrics.enabled obs.fo_reg in
+  let t0 = if live then Unix.gettimeofday () else 0. in
+  let emitted =
+    Span.with_ ~attrs:[ ("round", string_of_int round) ] "fleet.round"
+      (fun () ->
+        (* Phase 1 (sequential, lane order): decide who runs this round
+           and at which clamped cursors; create missing monitors.  A
+           schedule or monitor-construction failure is a lane failure,
+           never a fleet one. *)
+        let participants =
+          Array.to_list t.s_lanes
+          |> List.filter_map (fun ln ->
+                 let was_probation =
+                   match ln.ln_state with
+                   | Parked { until; _ } when round < until -> false
+                   | Parked _ ->
+                       ln.ln_state <- Probation;
+                       true
+                   | _ -> false
+                 in
+                 match ln.ln_state with
+                 | Parked _ -> None
+                 | _ -> (
+                     match
+                       let uts, utt = ln.ln_spec.l_cursors round in
+                       ln.ln_target <- (uts, utt);
+                       let mon =
+                         match ln.ln_monitor with
+                         | Some m -> m
+                         | None ->
+                             let m =
+                               Monitor.create ~metrics:t.s_metrics
+                                 ln.ln_spec.l_input
+                             in
+                             ln.ln_monitor <- Some m;
+                             m
+                       in
+                       (* Saturating: the default budget is [max_int]
+                          and [pos + max_int] wraps negative. *)
+                       let clamp pos target =
+                         if t.s_budget >= max_int - pos then target
+                         else min target (pos + t.s_budget)
+                       in
+                       (mon, clamp ln.ln_src uts, clamp ln.ln_dst utt)
+                     with
+                     | mon, ts, tt -> Some (ln, was_probation, mon, ts, tt)
+                     | exception e ->
+                         ln.ln_last_error <- Some (Printexc.to_string e);
+                         ln.ln_exceptions <- ln.ln_exceptions + 1;
+                         note_failure t ln ~round ~was_probation;
+                         None))
+        in
+        (* Phase 2 (parallel, submission order = lane order): poll the
+           runnable monitors.  Exceptions are captured inside the thunk
+           so one lane's blow-up cannot abort the batch. *)
+        let thunks =
+          List.map
+            (fun (_, _, mon, ts, tt) () ->
+              let p0 = Unix.gettimeofday () in
+              match Monitor.poll mon ~source_block:ts ~target_block:tt with
+              | alerts ->
+                  P_ok (alerts, Monitor.health mon, Unix.gettimeofday () -. p0)
+              | exception e ->
+                  P_exn (Printexc.to_string e, Unix.gettimeofday () -. p0))
+            participants
+        in
+        let outcomes =
+          match t.s_pool with
+          | Some pool -> Pool.run pool thunks
+          | None -> List.map (fun f -> f ()) thunks
+        in
+        (* Phase 3 (sequential, lane order): advance lane state, drive
+           the breaker, merge alerts into the bus. *)
+        let emitted = ref [] in
+        List.iter2
+          (fun (ln, was_probation, _, ts, tt) outcome ->
+            match outcome with
+            | P_exn (msg, dt) ->
+                ln.ln_polls <- ln.ln_polls + 1;
+                Metrics.Counter.inc ln.ln_obs.lo_polls;
+                Metrics.Histogram.observe ln.ln_obs.lo_poll_seconds dt;
+                ln.ln_last_error <- Some msg;
+                ln.ln_exceptions <- ln.ln_exceptions + 1;
+                note_failure t ln ~round ~was_probation
+            | P_ok (alerts, h, dt) ->
+                let advanced = ts > ln.ln_src || tt > ln.ln_dst in
+                ln.ln_polls <- ln.ln_polls + 1;
+                Metrics.Counter.inc ln.ln_obs.lo_polls;
+                Metrics.Histogram.observe ln.ln_obs.lo_poll_seconds dt;
+                ln.ln_src <- ts;
+                ln.ln_dst <- tt;
+                let pending = pending_of h in
+                let progressed =
+                  match ln.ln_prev_pending with
+                  | Some prev -> pending < prev
+                  | None -> true
+                in
+                ln.ln_prev_pending <- Some pending;
+                (match h.Monitor.h_last_error with
+                | Some e -> ln.ln_last_error <- Some e
+                | None -> ());
+                if h.Monitor.h_synced then begin
+                  ln.ln_failures <- 0;
+                  ln.ln_next_term <- t.s_breaker.cb_base_term;
+                  ln.ln_state <- Active
+                end
+                else if progressed || advanced then begin
+                  (* Behind but earning its keep: catch-up after a park,
+                     a budget-limited replay, a transient fault being
+                     retried down. *)
+                  ln.ln_failures <- 0;
+                  ln.ln_state <- Degraded
+                end
+                else note_failure t ln ~round ~was_probation;
+                if alerts <> [] then begin
+                  ln.ln_alerts_rev <-
+                    List.rev_append alerts ln.ln_alerts_rev;
+                  ln.ln_alert_count <- ln.ln_alert_count + List.length alerts;
+                  Metrics.Counter.add ln.ln_obs.lo_alerts (List.length alerts);
+                  List.iter
+                    (fun a ->
+                      match
+                        Bus.publish t.s_bus ~bridge:ln.ln_spec.l_name ~round a
+                      with
+                      | `Emitted fa -> emitted := fa :: !emitted
+                      | `Collapsed _ -> ())
+                    alerts
+                end)
+          participants outcomes;
+        List.rev !emitted)
+  in
+  if live then begin
+    Metrics.Histogram.observe obs.fo_round_seconds
+      (Unix.gettimeofday () -. t0);
+    let lag = ref 0 and parked = ref 0 in
+    Array.iter
+      (fun ln ->
+        let uts, utt = ln.ln_target in
+        lag := !lag + max 0 (uts - ln.ln_src) + max 0 (utt - ln.ln_dst);
+        (match ln.ln_prev_pending with Some p -> lag := !lag + p | None -> ());
+        match ln.ln_state with Parked _ -> incr parked | _ -> ())
+      t.s_lanes;
+    Metrics.Gauge.set obs.fo_lag (float_of_int !lag);
+    Metrics.Gauge.set obs.fo_parked (float_of_int !parked)
+  end;
+  emitted
+
+let run t ~rounds =
+  List.concat (List.init rounds (fun _ -> poll t))
+
+(* ------------------------------------------------------------------ *)
+
+let lane_health ln =
+  let mh = Option.map Monitor.health ln.ln_monitor in
+  let uts, utt = ln.ln_target in
+  let pending =
+    match mh with Some h -> pending_of h | None -> 0
+  in
+  {
+    lh_index = ln.ln_index;
+    lh_name = ln.ln_spec.l_name;
+    lh_state = ln.ln_state;
+    lh_polls = ln.ln_polls;
+    lh_alerts = ln.ln_alert_count;
+    lh_failures = ln.ln_failures;
+    lh_trips = ln.ln_trips;
+    lh_exceptions = ln.ln_exceptions;
+    lh_lag = max 0 (uts - ln.ln_src) + max 0 (utt - ln.ln_dst) + pending;
+    lh_monitor = mh;
+    lh_last_error = ln.ln_last_error;
+  }
+
+let health t =
+  let lanes = Array.to_list (Array.map lane_health t.s_lanes) in
+  {
+    fh_rounds = t.s_rounds;
+    fh_parked =
+      List.length
+        (List.filter
+           (fun lh -> match lh.lh_state with Parked _ -> true | _ -> false)
+           lanes);
+    fh_emitted = Bus.emitted t.s_bus;
+    fh_collapsed = Bus.collapsed t.s_bus;
+    fh_lag = List.fold_left (fun acc lh -> acc + lh.lh_lag) 0 lanes;
+    fh_lanes = lanes;
+  }
+
+let rounds t = t.s_rounds
+let bus t = t.s_bus
+let alerts t = Bus.alerts t.s_bus
+
+let lane_alerts t i =
+  if i < 0 || i >= Array.length t.s_lanes then
+    invalid_arg "Supervisor.lane_alerts: index out of range";
+  List.rev t.s_lanes.(i).ln_alerts_rev
+
+let lane_monitor t i =
+  if i < 0 || i >= Array.length t.s_lanes then
+    invalid_arg "Supervisor.lane_monitor: index out of range";
+  t.s_lanes.(i).ln_monitor
+
+let lane_count t = Array.length t.s_lanes

@@ -8,6 +8,7 @@
      XCW_GOLDEN_WRITE=$PWD/test/golden dune exec test/test_golden.exe
    from the repository root, then review the diff. *)
 
+module T = Xcw_testlib
 module Detector = Xcw_core.Detector
 module Decoder = Xcw_core.Decoder
 module Report = Xcw_core.Report
@@ -19,54 +20,10 @@ module Scenario = Xcw_workload.Scenario
 module Attacks = Xcw_workload.Attacks
 module Bridge = Xcw_bridge.Bridge
 
-let render (r : Report.t) =
-  let buf = Buffer.create 1024 in
-  Printf.bprintf buf "bridge: %s\n" r.Report.bridge_name;
-  List.iter
-    (fun row ->
-      let anomalies =
-        List.sort compare
-          (List.map
-             (fun (a : Report.anomaly) ->
-               Printf.sprintf "%s(%s chain=%d $%.2f)"
-                 (Report.class_name a.Report.a_class)
-                 a.Report.a_tx_hash a.Report.a_chain_id a.Report.a_usd_value)
-             row.Report.rr_anomalies)
-      in
-      Printf.bprintf buf "%s | captured=%d%s\n" row.Report.rr_rule
-        row.Report.rr_captured
-        (match anomalies with
-        | [] -> ""
-        | l -> " | " ^ String.concat " " l))
-    r.Report.rows;
-  Printf.bprintf buf "total_anomalies=%d cctxs=%d facts=%d\n"
-    (Report.total_anomalies r)
-    (List.length r.Report.cctxs)
-    r.Report.total_facts;
-  Buffer.contents buf
-
-(* Attack-pack reports additionally pin the per-class attack tables:
-   the hits carry ids, USD values and the human-readable detail line,
-   so any drift in the attack rules or their dissection shows up. *)
-let render_attack_report (r : Report.t) =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf (render r);
-  List.iter
-    (fun (ar : Report.attack_row) ->
-      let hits =
-        List.map
-          (fun (h : Report.attack_hit) ->
-            Printf.sprintf "%s(chain=%d id=%d $%.2f %s)" h.Report.ah_tx_hash
-              h.Report.ah_chain_id h.Report.ah_id h.Report.ah_usd_value
-              h.Report.ah_detail)
-          ar.Report.ar_hits
-      in
-      Printf.bprintf buf "attack: %s | rule=%s | hits=%d%s\n"
-        (Report.attack_class_name ar.Report.ar_class)
-        ar.Report.ar_rule (List.length hits)
-        (match hits with [] -> "" | l -> " | " ^ String.concat " " l))
-    r.Report.attack_rows;
-  Buffer.contents buf
+(* The renderers live in the shared testlib so the fleet suite can pin
+   per-lane monitor reports against these same fixtures. *)
+let render = T.render_report
+let render_attack_report = T.render_attack_report
 
 let attack_input cls () =
   let inj = Attacks.build (Attacks.default_spec cls) in
@@ -107,25 +64,8 @@ let ronin_input () =
 let nomad_report () = (Detector.run (nomad_input ())).Detector.report
 let ronin_report () = (Detector.run (ronin_input ())).Detector.report
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let first_diff expected actual =
-  let el = String.split_on_char '\n' expected in
-  let al = String.split_on_char '\n' actual in
-  let rec go i = function
-    | e :: es, a :: aas ->
-        if e = a then go (i + 1) (es, aas)
-        else Printf.sprintf "line %d:\n  expected: %s\n  actual:   %s" i e a
-    | e :: _, [] -> Printf.sprintf "line %d missing:\n  expected: %s" i e
-    | [], a :: _ -> Printf.sprintf "line %d extra:\n  actual: %s" i a
-    | [], [] -> "identical"
-  in
-  go 1 (el, al)
+let read_file = T.read_file
+let first_diff = T.first_diff
 
 let check ?(render = render) ~name report =
   let rendered = render (report ()) in

@@ -3,9 +3,13 @@
 # datalog incremental properties, the boxed-vs-interned representation
 # differential (random programs through both engines — same relations,
 # derived counts and TSV bytes at --jobs 1/2/4), the RPC fault/quorum
-# net, and the attack-pack cross-product (class x fault/quorum x jobs,
-# plus the twin-differential generator properties), each at XCW_STRESS x
-# their default qcheck case counts (default 10x).
+# net, the attack-pack cross-product (class x fault/quorum x jobs,
+# plus the twin-differential generator properties), and the fleet suite
+# (bus dedup, breaker lifecycle, solo-vs-fleet isolation differential,
+# --jobs determinism over random traffic), each at XCW_STRESS x their
+# default qcheck case counts (default 10x) — plus the full-matrix fleet
+# bench (4/8/16 bridges x clean/moderate/mixed fault plans via
+# XCW_FLEET_FULL=1).
 #
 # Equivalent to `dune build @stress`; this wrapper exists so the knob is
 # discoverable and overridable:
