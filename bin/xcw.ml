@@ -402,9 +402,22 @@ let detect_cmd =
       $ report_arg $ dataset_arg $ dataset_csv_arg $ rules_file_arg
       $ dump_facts_arg $ metrics_arg $ trace_arg)
 
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable state directory.  Polls are checkpointed to a \
+           crash-safe WAL + snapshot store under $(docv); re-running \
+           with the same directory recovers the last durable state and \
+           resumes instead of starting over.  Alerts already durable at \
+           the crash boundary are re-delivered once on startup \
+           (dedupable by their sequence number).")
+
 let monitor_cmd =
   let run kind scale seed interval_hours endpoints quorum byzantine jobs
-      metrics_file trace_file =
+      state_dir metrics_file trace_file =
     let built, plugin = build_scenario kind scale seed in
     let module Monitor = Xcw_core.Monitor in
     let module Chain = Xcw_chain.Chain in
@@ -425,7 +438,17 @@ let monitor_cmd =
     in
     let input = apply_quorum input endpoints quorum byzantine in
     let input = apply_jobs input jobs in
-    let mon = Monitor.create input in
+    let ckpt =
+      Option.map (fun dir -> Monitor.Checkpoint.open_ ~dir ()) state_dir
+    in
+    let mon = Monitor.create ?checkpoint:ckpt input in
+    (match Monitor.replayed mon with
+    | [] -> ()
+    | replay ->
+        Format.printf
+          "recovered %d durable poll(s); re-delivering %d alert(s) from \
+           the last durable poll (dedup by seq <= %d)@."
+          (Monitor.polls mon) (List.length replay) (Monitor.alert_seq mon));
     let src_blocks =
       Chain.all_blocks built.Scenario.bridge.Bridge.source.Bridge.chain
     in
@@ -474,6 +497,7 @@ let monitor_cmd =
         pp_pool_health "source" sh;
         pp_pool_health "target" th)
       (Monitor.pool_health mon);
+    Option.iter Monitor.Checkpoint.close ckpt;
     write_observability metrics_file trace_file
   in
   let interval_arg =
@@ -486,8 +510,8 @@ let monitor_cmd =
        ~doc:"Replay a scenario through the streaming monitor, printing alerts")
     Term.(
       const run $ bridge_arg $ scale_arg $ seed_arg $ interval_arg
-      $ endpoints_arg $ quorum_arg $ byzantine_arg $ jobs_arg $ metrics_arg
-      $ trace_arg)
+      $ endpoints_arg $ quorum_arg $ byzantine_arg $ jobs_arg
+      $ state_dir_arg $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fleet: run N bridge monitors under one supervisor                   *)
@@ -515,7 +539,7 @@ let print_fleet_table (h : Supervisor.health) =
 
 let fleet_cmd =
   let run bridges generics scale seed rounds sync_rounds jobs fault_lanes
-      byz_lanes budget window metrics_file trace_file =
+      byz_lanes budget window state_dir metrics_file trace_file =
     let kinds =
       List.map
         (fun slug ->
@@ -595,10 +619,17 @@ let fleet_cmd =
     in
     let sup =
       Supervisor.create ~ndomains:jobs ~dedup_window:window
-        ?poll_budget:budget lanes
+        ?poll_budget:budget ?state_dir lanes
     in
     Format.printf "fleet of %d bridge lane(s), %d round(s), --jobs %d@." n
       rounds jobs;
+    (match Supervisor.replayed sup with
+    | [] -> ()
+    | replay ->
+        Format.printf
+          "recovered %d durable round(s); re-delivering %d alert(s) from \
+           the last durable round (dedup by fa_seq)@."
+          (Supervisor.rounds sup) (List.length replay));
     for _ = 1 to rounds do
       let emitted = Supervisor.poll sup in
       let h = Supervisor.health sup in
@@ -715,7 +746,8 @@ let fleet_cmd =
     Term.(
       const run $ bridges_arg $ generics_arg $ scale_arg $ seed_arg
       $ rounds_arg $ sync_rounds_arg $ fleet_jobs_arg $ fault_lane_arg
-      $ byz_lane_arg $ budget_arg $ window_arg $ metrics_arg $ trace_arg)
+      $ byz_lane_arg $ budget_arg $ window_arg $ state_dir_arg
+      $ metrics_arg $ trace_arg)
 
 let rules_cmd =
   let run () =

@@ -239,6 +239,106 @@ let to_packed (fact : t) : string * Xcw_datalog.Engine.Relation.tuple =
       (r_bridge_event_decode_failure, [| ps f.tx_hash |])
   | Trace_gap f -> (r_trace_gap, [| ps f.tx_hash; pi f.chain_id |])
 
+exception Shape
+
+(** Inverse of {!to_packed}, for the durable-store recovery path: a
+    persisted packed tuple decodes back to the exact fact value, so a
+    restarted monitor rebuilds its database from checkpointed entries
+    without re-fetching receipts.  Returns [None] when the tuple does
+    not match the relation's layout (a store version mismatch). *)
+let of_packed (pred : string) (tuple : Xcw_datalog.Engine.Relation.tuple) :
+    t option =
+  let c = Array.map unpack tuple in
+  let str i = match c.(i) with Str s -> s | Int _ -> raise Shape in
+  let int i = match c.(i) with Int n -> n | Str _ -> raise Shape in
+  let amt i =
+    match c.(i) with
+    | Str s -> U256.of_decimal_string s
+    | Int _ -> raise Shape
+  in
+  let arity n = if Array.length c <> n then raise Shape in
+  try
+    Some
+      (if pred = r_native_deposit then begin
+         arity 6;
+         Native_deposit
+           { tx_hash = str 0; chain_id = int 1; event_index = int 2;
+             from_ = str 3; to_ = str 4; amount = amt 5 }
+       end
+       else if pred = r_native_withdrawal then begin
+         arity 6;
+         Native_withdrawal
+           { tx_hash = str 0; chain_id = int 1; event_index = int 2;
+             from_ = str 3; to_ = str 4; amount = amt 5 }
+       end
+       else if pred = r_sc_token_deposited then begin
+         arity 8;
+         Sc_token_deposited
+           { tx_hash = str 0; event_index = int 1; deposit_id = int 2;
+             beneficiary = str 3; dst_token = str 4; orig_token = str 5;
+             dst_chain_id = int 6; amount = amt 7 }
+       end
+       else if pred = r_tc_token_deposited then begin
+         arity 6;
+         Tc_token_deposited
+           { tx_hash = str 0; event_index = int 1; deposit_id = int 2;
+             beneficiary = str 3; dst_token = str 4; amount = amt 5 }
+       end
+       else if pred = r_tc_token_withdrew then begin
+         arity 8;
+         Tc_token_withdrew
+           { tx_hash = str 0; event_index = int 1; withdrawal_id = int 2;
+             beneficiary = str 3; orig_token = str 4; dst_token = str 5;
+             dst_chain_id = int 6; amount = amt 7 }
+       end
+       else if pred = r_sc_token_withdrew then begin
+         arity 6;
+         Sc_token_withdrew
+           { tx_hash = str 0; event_index = int 1; withdrawal_id = int 2;
+             beneficiary = str 3; dst_token = str 4; amount = amt 5 }
+       end
+       else if pred = r_erc20_transfer then begin
+         arity 7;
+         Erc20_transfer
+           { tx_hash = str 0; chain_id = int 1; event_index = int 2;
+             contract = str 3; from_ = str 4; to_ = str 5; amount = amt 6 }
+       end
+       else if pred = r_transaction then begin
+         arity 8;
+         Transaction
+           { timestamp = int 0; chain_id = int 1; tx_hash = str 2;
+             from_ = str 3; to_ = str 4; value = amt 5; status = int 6;
+             fee = amt 7 }
+       end
+       else if pred = r_bridge_controlled_address then begin
+         arity 2;
+         Bridge_controlled_address { chain_id = int 0; address = str 1 }
+       end
+       else if pred = r_token_mapping then begin
+         arity 4;
+         Token_mapping
+           { src_chain_id = int 0; dst_chain_id = int 1; src_token = str 2;
+             dst_token = str 3 }
+       end
+       else if pred = r_cctx_finality then begin
+         arity 2;
+         Cctx_finality { chain_id = int 0; finality_seconds = int 1 }
+       end
+       else if pred = r_wrapped_native_token then begin
+         arity 2;
+         Wrapped_native_token { chain_id = int 0; token = str 1 }
+       end
+       else if pred = r_bridge_event_decode_failure then begin
+         arity 1;
+         Bridge_event_decode_failure { tx_hash = str 0 }
+       end
+       else if pred = r_trace_gap then begin
+         arity 2;
+         Trace_gap { tx_hash = str 0; chain_id = int 1 }
+       end
+       else raise Shape)
+  with Shape | Invalid_argument _ | Failure _ -> None
+
 (** Load a batch of facts into a Datalog database; returns the facts
     that were not already present — the fresh-tuple delta consumed by
     the incremental monitor. *)

@@ -129,6 +129,11 @@ val to_packed : t -> string * Xcw_datalog.Engine.Relation.tuple
 (** The same cells as {!to_tuple}, packed straight into the engine's
     interned int-array representation — the fact-loading hot path. *)
 
+val of_packed : string -> Xcw_datalog.Engine.Relation.tuple -> t option
+(** Inverse of {!to_packed}: decode a persisted (relation, packed
+    tuple) pair back to the fact value, for durable-store recovery.
+    [None] when the tuple does not match the relation's layout. *)
+
 val relation_name : t -> string
 
 val load_all : Xcw_datalog.Engine.db -> t list -> t list

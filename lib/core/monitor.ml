@@ -41,10 +41,99 @@ module Metrics = Xcw_obs.Metrics
 module Span = Xcw_obs.Span
 
 type alert = {
+  al_seq : int;  (** monotone per-monitor sequence number (from 1) *)
   al_anomaly : Report.anomaly;
   al_rule : string;  (** the rule row that flagged it *)
   al_detected_at : int * int;  (** (source block, target block) cursor *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Durable checkpoint handle                                           *)
+
+module Checkpoint = struct
+  module Store = Xcw_store.Store
+  module Codec = Xcw_store.Codec
+
+  type t = {
+    ck_store : Store.t;
+    ck_sym : Xcw_store.Symmap.t;
+    ck_every : int;
+    mutable ck_recovered : Store.recovered option;
+  }
+
+  let open_ ?crash ?(snapshot_every = 8) ~dir () =
+    let store, recovered = Store.open_ ?crash ~dir () in
+    {
+      ck_store = store;
+      ck_sym = Xcw_store.Symmap.create ();
+      ck_every = snapshot_every;
+      ck_recovered = Some recovered;
+    }
+
+  let store t = t.ck_store
+  let close t = Store.close t.ck_store
+
+  let consume t =
+    match t.ck_recovered with
+    | Some r ->
+        t.ck_recovered <- None;
+        r
+    | None -> invalid_arg "Monitor.Checkpoint: already attached to a monitor"
+
+  (* The class list fixes the wire tags; order is append-only. *)
+  let anomaly_classes =
+    Report.
+      [
+        Phishing_token_transfer; Direct_transfer_to_bridge;
+        Unparseable_beneficiary; Failed_exploit_attempt; Event_without_escrow;
+        Finality_violation; Token_mapping_violation; Invalid_beneficiary_fp;
+        No_correspondence; Pre_window_fp;
+      ]
+
+  let class_tag c =
+    let rec go i = function
+      | [] -> assert false
+      | c' :: tl -> if c' = c then i else go (i + 1) tl
+    in
+    go 0 anomaly_classes
+
+  let class_of_tag tag =
+    match List.nth_opt anomaly_classes tag with
+    | Some c -> c
+    | None ->
+        raise (Codec.R.Corrupt (Printf.sprintf "anomaly class tag %d" tag))
+
+  let put_anomaly b (a : Report.anomaly) =
+    Codec.W.int b (class_tag a.Report.a_class);
+    Codec.W.str b a.Report.a_tx_hash;
+    Codec.W.int b a.Report.a_chain_id;
+    Codec.W.float b a.Report.a_usd_value;
+    Codec.W.str b a.Report.a_detail
+
+  let get_anomaly r =
+    let a_class = class_of_tag (Codec.R.int r) in
+    let a_tx_hash = Codec.R.str r in
+    let a_chain_id = Codec.R.int r in
+    let a_usd_value = Codec.R.float r in
+    let a_detail = Codec.R.str r in
+    { Report.a_class; a_tx_hash; a_chain_id; a_usd_value; a_detail }
+
+  let put_alert b (al : alert) =
+    Codec.W.int b al.al_seq;
+    Codec.W.str b al.al_rule;
+    put_anomaly b al.al_anomaly;
+    let sb, tb = al.al_detected_at in
+    Codec.W.int b sb;
+    Codec.W.int b tb
+
+  let get_alert r =
+    let al_seq = Codec.R.int r in
+    let al_rule = Codec.R.str r in
+    let al_anomaly = get_anomaly r in
+    let sb = Codec.R.int r in
+    let tb = Codec.R.int r in
+    { al_seq; al_anomaly; al_rule; al_detected_at = (sb, tb) }
+end
 
 (* ------------------------------------------------------------------ *)
 (* Receipt cursor                                                      *)
@@ -176,6 +265,12 @@ type t = {
   mutable m_last_report : Report.t option;
   mutable m_reorgs : int;
   mutable m_last_error : string option;
+  (* Durable-state extension (PR 9): per-poll WAL + snapshots. *)
+  m_ckpt : Checkpoint.t option;
+  mutable m_seq : int;  (** last alert sequence number assigned *)
+  mutable m_replay : alert list;
+      (** alerts of the most recent durable WAL record — after recovery,
+          the tail a consumer must dedup by [al_seq] *)
 }
 
 let make_side ~input ~role ~chain ~profile ~fault ~endpoint_faults ~seed
@@ -213,40 +308,6 @@ let make_obs reg =
     mo_facts = Metrics.gauge reg "xcw_monitor_facts_cached";
   }
 
-let create ?(incremental = true) ?metrics (input : Detector.input) : t =
-  Engine.recommended_gc_setup ();
-  let metrics =
-    match metrics with Some m -> m | None -> Metrics.default ()
-  in
-  let db = Engine.create_db () in
-  ignore (Facts.load_all db (Config.to_facts input.Detector.i_config));
-  {
-    m_input = input;
-    m_src =
-      make_side ~input ~role:Decoder.Source
-        ~chain:input.Detector.i_source_chain
-        ~profile:input.Detector.i_source_profile
-        ~fault:input.Detector.i_source_fault
-        ~endpoint_faults:input.Detector.i_source_endpoint_faults
-        ~seed:input.Detector.i_rpc_seed ~metrics;
-    m_dst =
-      make_side ~input ~role:Decoder.Target
-        ~chain:input.Detector.i_target_chain
-        ~profile:input.Detector.i_target_profile
-        ~fault:input.Detector.i_target_fault
-        ~endpoint_faults:input.Detector.i_target_endpoint_faults
-        ~seed:(input.Detector.i_rpc_seed + 1) ~metrics;
-    m_incremental = incremental;
-    m_metrics = metrics;
-    m_obs = make_obs metrics;
-    m_db = db;
-    m_known = Hashtbl.create 256;
-    m_polls = 0;
-    m_last_report = None;
-    m_reorgs = 0;
-    m_last_error = None;
-  }
-
 let sorted_entries s =
   Hashtbl.fold (fun i e acc -> (i, e) :: acc) s.sd_entries []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -262,6 +323,309 @@ let all_decode_errors t =
   List.concat_map (fun e -> e.e_errors) (sorted_entries t.m_src)
   @ List.concat_map (fun e -> e.e_errors) (sorted_entries t.m_dst)
 
+(* ------------------------------------------------------------------ *)
+(* Durable state codec                                                 *)
+
+(* WAL record layout (one per poll), after the symbol section:
+   polls, reorgs, last_error, seq, then per side (source first)
+   the requested cursor + removed entry indices + added entries, then
+   the alerts emitted by the poll.  Snapshots reuse the same side
+   codec with removed = [] and added = every entry, and add the
+   already-alerted key set.  Fact tuples go through the store-local
+   {!Xcw_store.Symmap} so persisted cells re-pack identically no
+   matter what the process intern table looks like after restart. *)
+
+module CW = Xcw_store.Codec.W
+module CR = Xcw_store.Codec.R
+module Symmap = Xcw_store.Symmap
+
+let put_fact sym b fact =
+  let pred, tuple = Facts.to_packed fact in
+  CW.int b (Symmap.encode_cell sym (Xcw_datalog.Ast.pack_string pred));
+  CW.int b (Array.length tuple);
+  Array.iter (fun c -> CW.int b (Symmap.encode_cell sym c)) tuple
+
+let get_fact sym r =
+  let pred =
+    match Xcw_datalog.Ast.unpack (Symmap.decode_cell sym (CR.int r)) with
+    | Xcw_datalog.Ast.Str s -> s
+    | Xcw_datalog.Ast.Int _ -> raise (CR.Corrupt "fact predicate is an int")
+  in
+  let n = CR.int r in
+  if n < 0 || n > 64 then raise (CR.Corrupt "fact arity out of range");
+  let tuple = Array.make n 0 in
+  for i = 0 to n - 1 do
+    tuple.(i) <- Symmap.decode_cell sym (CR.int r)
+  done;
+  match Facts.of_packed pred tuple with
+  | Some f -> f
+  | None -> raise (CR.Corrupt ("fact layout for relation " ^ pred))
+
+let put_error b (e : Decoder.decode_error) =
+  CW.str b e.Decoder.err_tx_hash;
+  CW.int b e.Decoder.err_chain_id;
+  CW.int b e.Decoder.err_event_index;
+  CW.str b e.Decoder.err_detail;
+  match e.Decoder.err_withdrawal_id with
+  | None -> CW.bool b false
+  | Some w ->
+      CW.bool b true;
+      CW.int b w
+
+let get_error r =
+  let err_tx_hash = CR.str r in
+  let err_chain_id = CR.int r in
+  let err_event_index = CR.int r in
+  let err_detail = CR.str r in
+  let err_withdrawal_id = if CR.bool r then Some (CR.int r) else None in
+  { Decoder.err_tx_hash; err_chain_id; err_event_index; err_detail;
+    err_withdrawal_id }
+
+let put_entry sym b (i, e) =
+  CW.int b i;
+  CW.int b e.e_block;
+  CW.list b (put_fact sym b) e.e_facts;
+  CW.list b (put_error b) e.e_errors;
+  CW.bool b e.e_trace_gap
+
+let get_entry sym r =
+  let i = CR.int r in
+  let e_block = CR.int r in
+  let e_facts = CR.list r (fun () -> get_fact sym r) in
+  let e_errors = CR.list r (fun () -> get_error r) in
+  let e_trace_gap = CR.bool r in
+  (i, { e_block; e_facts; e_errors; e_trace_gap })
+
+let put_side sym b s ~removed ~added =
+  CW.int b s.sd_requested;
+  CW.list b (CW.int b) removed;
+  CW.list b (put_entry sym b) added
+
+let apply_side sym r s =
+  s.sd_requested <- CR.int r;
+  let removed = CR.list r (fun () -> CR.int r) in
+  List.iter (Hashtbl.remove s.sd_entries) removed;
+  let added = CR.list r (fun () -> get_entry sym r) in
+  List.iter (fun (i, e) -> Hashtbl.replace s.sd_entries i e) added;
+  (List.length removed, added)
+
+(* Shared core of WAL records and snapshots; [known] distinguishes
+   them (a record's m_known additions are exactly its alerts). *)
+let put_state t ck b ~src ~dst ~alerts ~known =
+  CW.int b t.m_polls;
+  CW.int b t.m_reorgs;
+  CW.opt_str b t.m_last_error;
+  CW.int b t.m_seq;
+  let src_removed, src_added = src and dst_removed, dst_added = dst in
+  put_side ck.Checkpoint.ck_sym b t.m_src ~removed:src_removed ~added:src_added;
+  put_side ck.Checkpoint.ck_sym b t.m_dst ~removed:dst_removed ~added:dst_added;
+  CW.list b (Checkpoint.put_alert b) alerts;
+  match known with
+  | None -> CW.bool b false
+  | Some keys ->
+      CW.bool b true;
+      CW.list b
+        (fun (ru, cl, tx) ->
+          CW.str b ru;
+          CW.str b cl;
+          CW.str b tx)
+        keys
+
+(* Returns the record's rewind-removal count and added entries (source
+   first, record order) so recovery can replay the WAL tail as an
+   ordinary incremental delta — or detect that a rewind invalidated the
+   snapshot's restored fixpoint. *)
+let apply_state t ck r =
+  t.m_polls <- CR.int r;
+  t.m_reorgs <- CR.int r;
+  t.m_last_error <- CR.opt_str r;
+  t.m_seq <- CR.int r;
+  let src_removed, src_added = apply_side ck.Checkpoint.ck_sym r t.m_src in
+  let dst_removed, dst_added = apply_side ck.Checkpoint.ck_sym r t.m_dst in
+  let alerts = CR.list r (fun () -> Checkpoint.get_alert r) in
+  t.m_replay <- alerts;
+  (* A record's already-alerted additions are its alerts; a snapshot
+     carries the full key set explicitly. *)
+  List.iter
+    (fun al ->
+      Hashtbl.replace t.m_known
+        ( al.al_rule,
+          Report.class_name al.al_anomaly.Report.a_class,
+          al.al_anomaly.Report.a_tx_hash )
+        ())
+    alerts;
+  if CR.bool r then
+    List.iter
+      (fun key -> Hashtbl.replace t.m_known key ())
+      (CR.list r (fun () ->
+           let ru = CR.str r in
+           let cl = CR.str r in
+           let tx = CR.str r in
+           (ru, cl, tx)));
+  (src_removed + dst_removed, src_added @ dst_added)
+
+(* Frame a payload: the strings newly assigned to store ids while
+   encoding the body must precede the body, so the decoder can bind
+   them before the first cell that uses them. *)
+let with_symbols ck ~all body =
+  let sym = ck.Checkpoint.ck_sym in
+  let syms = if all then Symmap.dump sym else Symmap.take_fresh sym in
+  if all then ignore (Symmap.take_fresh sym);
+  let b = CW.create () in
+  CW.list b (CW.str b) syms;
+  Buffer.add_buffer b body;
+  Buffer.contents b
+
+(* Snapshots additionally persist the engine-derived tuples, so
+   recovery can graft them back via {!Engine.restore_fixpoint} instead
+   of re-deriving every rule over the reloaded history. *)
+let put_tuple sym b tuple =
+  CW.int b (Array.length tuple);
+  Array.iter (fun c -> CW.int b (Symmap.encode_cell sym c)) tuple
+
+let get_tuple sym r =
+  let n = CR.int r in
+  if n < 0 || n > 64 then raise (CR.Corrupt "derived tuple arity out of range");
+  let tuple = Array.make n 0 in
+  for i = 0 to n - 1 do
+    tuple.(i) <- Symmap.decode_cell sym (CR.int r)
+  done;
+  tuple
+
+let put_derived sym b db =
+  CW.list b
+    (fun pred ->
+      CW.int b (Symmap.encode_cell sym (Xcw_datalog.Ast.pack_string pred));
+      CW.list b (put_tuple sym b) (Engine.packed_facts db pred))
+    (Engine.derived_predicates db)
+
+let get_derived sym r =
+  CR.list r (fun () ->
+      let pred =
+        match Xcw_datalog.Ast.unpack (Symmap.decode_cell sym (CR.int r)) with
+        | Xcw_datalog.Ast.Str s -> s
+        | Xcw_datalog.Ast.Int _ ->
+            raise (CR.Corrupt "derived predicate is an int")
+      in
+      (pred, CR.list r (fun () -> get_tuple sym r)))
+
+let encode_record t ck ~src ~dst ~alerts =
+  let body = CW.create () in
+  put_state t ck body ~src ~dst ~alerts ~known:None;
+  with_symbols ck ~all:false body
+
+let encode_snapshot t ck =
+  let body = CW.create () in
+  let full s =
+    ( [],
+      Hashtbl.fold (fun i e acc -> (i, e) :: acc) s.sd_entries []
+      |> List.sort (fun (a, _) (b, _) -> compare a b) )
+  in
+  let known = Hashtbl.fold (fun k () acc -> k :: acc) t.m_known [] in
+  put_state t ck body ~src:(full t.m_src) ~dst:(full t.m_dst)
+    ~alerts:t.m_replay ~known:(Some (List.sort compare known));
+  put_derived ck.Checkpoint.ck_sym body t.m_db;
+  with_symbols ck ~all:true body
+
+(* Returns the applied record's (rewind removals, added-entry facts)
+   plus the reader, positioned after the state body so snapshot
+   recovery can continue into the derived-tuple section. *)
+let apply_payload t ck payload =
+  let r = CR.of_string payload in
+  List.iter
+    (Symmap.register ck.Checkpoint.ck_sym)
+    (CR.list r (fun () -> CR.str r));
+  let removed, added = apply_state t ck r in
+  (removed, List.concat_map (fun (_i, e) -> e.e_facts) added, r)
+
+let recover t ck =
+  let { Xcw_store.Store.r_snapshot; r_records; r_truncated_bytes = _ } =
+    Checkpoint.consume ck
+  in
+  let restored_fixpoint =
+    match r_snapshot with
+    | None -> false
+    | Some p ->
+        let _, _, r = apply_payload t ck p in
+        let derived = get_derived ck.Checkpoint.ck_sym r in
+        (* The snapshot's entries are the EDB of a persisted fixpoint:
+           load them, graft the derived tuples back, and declare the
+           database evaluated — the WAL tail and the next poll then run
+           as ordinary incremental deltas instead of re-deriving every
+           rule over the reloaded history. *)
+        ignore (Facts.load_all t.m_db (all_entry_facts t));
+        Engine.restore_fixpoint t.m_db ~derived;
+        true
+  in
+  let tail_removed = ref 0 in
+  List.iter
+    (fun (_idx, p) ->
+      let removed, added_facts, _r = apply_payload t ck p in
+      tail_removed := !tail_removed + removed;
+      if restored_fixpoint then ignore (Facts.load_all t.m_db added_facts))
+    r_records;
+  (* The cursor invariant is "decoded set = entry keys": rebuild it
+     from the restored entries rather than replaying cursor motion. *)
+  let rebuild s = Hashtbl.iter (fun i _ -> Cursor.mark s.sd_cursor i) s.sd_entries in
+  rebuild t.m_src;
+  rebuild t.m_dst;
+  if restored_fixpoint && !tail_removed > 0 then begin
+    (* A reorg rewind in the WAL tail retracted part of the restored
+       fixpoint: fall back to the post-reorg rebuild path — fresh
+       database, full reload, next poll re-derives from scratch. *)
+    let db = Engine.create_db () in
+    ignore (Facts.load_all db (Config.to_facts t.m_input.Detector.i_config));
+    ignore (Facts.load_all db (all_entry_facts t));
+    t.m_db <- db
+  end
+  else if not restored_fixpoint then
+    (* No snapshot: refill the fresh database; the next poll's
+       [run_incremental] treats the reload as its initial delta and
+       re-derives everything, exactly like the post-reorg rebuild. *)
+    ignore (Facts.load_all t.m_db (all_entry_facts t))
+
+let create ?(incremental = true) ?metrics ?checkpoint (input : Detector.input)
+    : t =
+  Engine.recommended_gc_setup ();
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.default ()
+  in
+  let db = Engine.create_db () in
+  ignore (Facts.load_all db (Config.to_facts input.Detector.i_config));
+  let t =
+    {
+      m_input = input;
+      m_src =
+        make_side ~input ~role:Decoder.Source
+          ~chain:input.Detector.i_source_chain
+          ~profile:input.Detector.i_source_profile
+          ~fault:input.Detector.i_source_fault
+          ~endpoint_faults:input.Detector.i_source_endpoint_faults
+          ~seed:input.Detector.i_rpc_seed ~metrics;
+      m_dst =
+        make_side ~input ~role:Decoder.Target
+          ~chain:input.Detector.i_target_chain
+          ~profile:input.Detector.i_target_profile
+          ~fault:input.Detector.i_target_fault
+          ~endpoint_faults:input.Detector.i_target_endpoint_faults
+          ~seed:(input.Detector.i_rpc_seed + 1) ~metrics;
+      m_incremental = incremental;
+      m_metrics = metrics;
+      m_obs = make_obs metrics;
+      m_db = db;
+      m_known = Hashtbl.create 256;
+      m_polls = 0;
+      m_last_report = None;
+      m_reorgs = 0;
+      m_last_error = None;
+      m_ckpt = checkpoint;
+      m_seq = 0;
+      m_replay = [];
+    }
+  in
+  (match checkpoint with None -> () | Some ck -> recover t ck);
+  t
+
 let block_of_receipts receipts i = receipts.(i).Types.r_block_number
 
 let pending_count s =
@@ -275,21 +639,22 @@ let pending_count s =
    reorg), rewind on reorg, then decode every not-yet-decoded receipt
    the node can currently serve.  Receipts whose fetch or decode fails
    stay unmarked and are retried next poll — the cursor never moves
-   past data we do not have.  Returns the freshly decoded facts and
-   whether a rewind invalidated previously loaded facts. *)
+   past data we do not have.  Returns the freshly decoded facts,
+   whether a rewind invalidated previously loaded facts, and the
+   removed/added entry delta for the durable WAL record. *)
 let poll_side t s ~up_to_block =
   s.sd_requested <- max s.sd_requested up_to_block;
   let head_resp = Client.observe_head s.sd_client ~head:up_to_block in
   match head_resp.Rpc.value with
   | Error e ->
       t.m_last_error <- Some (Rpc.error_to_string e);
-      ([], false)
+      ([], false, [], [])
   | Ok hv ->
       let receipts = Array.of_list (Chain.all_receipts s.sd_chain) in
       let block_of = block_of_receipts receipts in
-      let rewound =
+      let rewound, removed =
         match hv.Rpc.hv_reorged_to with
-        | None -> false
+        | None -> (false, [])
         | Some surviving ->
             t.m_reorgs <- t.m_reorgs + 1;
             Metrics.Counter.inc t.m_obs.mo_reorgs;
@@ -298,14 +663,15 @@ let poll_side t s ~up_to_block =
                 (fun i e acc -> if e.e_block > surviving then i :: acc else acc)
                 s.sd_entries []
             in
-            if dropped = [] then false
+            if dropped = [] then (false, [])
             else begin
               List.iter (Hashtbl.remove s.sd_entries) dropped;
               Cursor.rewind s.sd_cursor ~block_of ~above:surviving;
-              true
+              (true, dropped)
             end
       in
       let chain_id = s.sd_chain.Chain.chain_id in
+      let added = ref [] in
       let fresh =
         Cursor.candidates s.sd_cursor ~block_of ~len:(Array.length receipts)
           ~up_to:hv.Rpc.hv_head
@@ -327,16 +693,19 @@ let poll_side t s ~up_to_block =
                        []
                    | Ok rd ->
                        Cursor.mark s.sd_cursor i;
-                       Hashtbl.replace s.sd_entries i
+                       let entry =
                          {
                            e_block = r.Types.r_block_number;
                            e_facts = rd.Decoder.rd_facts;
                            e_errors = rd.Decoder.rd_errors;
                            e_trace_gap = rd.Decoder.rd_trace_gap;
-                         };
+                         }
+                       in
+                       Hashtbl.replace s.sd_entries i entry;
+                       added := (i, entry) :: !added;
                        rd.Decoder.rd_facts))
       in
-      (fresh, rewound)
+      (fresh, rewound, removed, List.rev !added)
 
 (** Advance the monitor to the given block cursors; returns alerts for
     anomalies that appeared since the previous poll.  Under fault
@@ -376,8 +745,12 @@ let rec poll t ~source_block ~target_block : alert list =
   alerts
 
 and poll_body t ~source_block ~target_block : alert list =
-  let src_fresh, src_rewound = poll_side t t.m_src ~up_to_block:source_block in
-  let dst_fresh, dst_rewound = poll_side t t.m_dst ~up_to_block:target_block in
+  let src_fresh, src_rewound, src_removed, src_added =
+    poll_side t t.m_src ~up_to_block:source_block
+  in
+  let dst_fresh, dst_rewound, dst_removed, dst_added =
+    poll_side t t.m_dst ~up_to_block:target_block
+  in
   let rewound = src_rewound || dst_rewound in
   let fresh_facts = src_fresh @ dst_fresh in
   let db =
@@ -439,32 +812,58 @@ and poll_body t ~source_block ~target_block : alert list =
      transient unmatched anomalies would both false-alert now and
      poison [m_known] against the real alert later.  Clean runs are
      always synced, so this changes nothing fault-free. *)
-  if pending_count t.m_src > 0 || pending_count t.m_dst > 0 then []
-  else begin
-    let fresh = ref [] in
-    List.iter
-      (fun row ->
-        List.iter
-          (fun a ->
-            let key =
-              ( row.Report.rr_rule,
-                Report.class_name a.Report.a_class,
-                a.Report.a_tx_hash )
-            in
-            if not (Hashtbl.mem t.m_known key) then begin
-              Hashtbl.replace t.m_known key ();
-              fresh :=
-                {
-                  al_anomaly = a;
-                  al_rule = row.Report.rr_rule;
-                  al_detected_at = (source_block, target_block);
-                }
-                :: !fresh
-            end)
-          row.Report.rr_anomalies)
-      report.Report.rows;
-    List.rev !fresh
-  end
+  let alerts =
+    if pending_count t.m_src > 0 || pending_count t.m_dst > 0 then []
+    else begin
+      let fresh = ref [] in
+      List.iter
+        (fun row ->
+          List.iter
+            (fun a ->
+              let key =
+                ( row.Report.rr_rule,
+                  Report.class_name a.Report.a_class,
+                  a.Report.a_tx_hash )
+              in
+              if not (Hashtbl.mem t.m_known key) then begin
+                Hashtbl.replace t.m_known key ();
+                t.m_seq <- t.m_seq + 1;
+                fresh :=
+                  {
+                    al_seq = t.m_seq;
+                    al_anomaly = a;
+                    al_rule = row.Report.rr_rule;
+                    al_detected_at = (source_block, target_block);
+                  }
+                  :: !fresh
+              end)
+            row.Report.rr_anomalies)
+        report.Report.rows;
+      List.rev !fresh
+    end
+  in
+  (* Durability point: the record (cursor delta + alert seqs) hits the
+     WAL before the alerts are released to the caller, so a crash can
+     only lose alerts the caller never saw — recovery re-offers the
+     last record's alerts through {!replayed} and the caller dedups by
+     [al_seq], which is exactly-once emission across the crash. *)
+  (match t.m_ckpt with
+  | None -> ()
+  | Some ck ->
+      let payload =
+        encode_record t ck
+          ~src:(src_removed, src_added)
+          ~dst:(dst_removed, dst_added)
+          ~alerts
+      in
+      ignore (Xcw_store.Store.append ck.Checkpoint.ck_store payload);
+      t.m_replay <- alerts;
+      if
+        ck.Checkpoint.ck_every > 0
+        && t.m_polls mod ck.Checkpoint.ck_every = 0
+      then
+        Xcw_store.Store.snapshot ck.Checkpoint.ck_store (encode_snapshot t ck));
+  alerts
 
 let health t =
   let pending_src = pending_count t.m_src in
@@ -493,8 +892,14 @@ let pool_health t =
   | Some (sp, dp) -> Some (Xcw_rpc.Pool.health sp, Xcw_rpc.Pool.health dp)
   | None -> None
 
+let rpc_seconds t =
+  Client.total_latency t.m_src.sd_client
+  +. Client.total_latency t.m_dst.sd_client
+
 let last_report t = t.m_last_report
 let polls t = t.m_polls
+let replayed t = t.m_replay
+let alert_seq t = t.m_seq
 let cached_facts t = all_entry_facts t
 let facts_cached t = List.length (all_entry_facts t)
 let metrics_snapshot t = Metrics.snapshot t.m_metrics

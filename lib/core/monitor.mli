@@ -26,10 +26,50 @@
     transient-fault run produce the same alerts. *)
 
 type alert = {
+  al_seq : int;
+      (** monotone per-monitor sequence number (from 1); survives
+          restarts, so consumers dedup replayed alerts by keeping a
+          high-water mark *)
   al_anomaly : Report.anomaly;
   al_rule : string;  (** the rule row that flagged it *)
   al_detected_at : int * int;  (** (source block, target block) cursor *)
 }
+
+(** Durable checkpoint handle (PR 9).
+
+    A checkpoint directory holds an append-only CRC-framed WAL with one
+    record per poll (cursor advance, decoded-entry delta as packed
+    tuples, emitted alerts with their sequence numbers) plus periodic
+    atomic snapshots ([snapshot_every] polls; write-temp + fsync +
+    rename, then WAL truncation).  [Monitor.create ~checkpoint]
+    recovers: latest valid snapshot, WAL tail replayed, torn or corrupt
+    trailing records truncated, and the monitor resumes with cursors,
+    database, alert dedup set and sequence counter exactly as they were
+    at the last durable record.  A handle is consumed by the monitor it
+    is passed to — reusing it raises [Invalid_argument]. *)
+module Checkpoint : sig
+  type t
+
+  val open_ :
+    ?crash:Xcw_store.Crash_plan.t ->
+    ?snapshot_every:int ->
+    dir:string ->
+    unit ->
+    t
+  (** [snapshot_every] defaults to 8 polls; [0] disables snapshots
+      (the WAL then grows unboundedly).  [crash] threads a
+      deterministic crash-injection plan into every write point. *)
+
+  val store : t -> Xcw_store.Store.t
+  (** The underlying store (WAL sizes for benches and tests). *)
+
+  val close : t -> unit
+
+  (** Alert wire codec, shared with the fleet supervisor's own store. *)
+
+  val put_alert : Buffer.t -> alert -> unit
+  val get_alert : Xcw_store.Codec.R.t -> alert
+end
 
 (** Receipt cursor: which receipts of a chain's list have been decoded.
     A plain count of receipts seen so far silently skips — forever —
@@ -82,8 +122,18 @@ type health = {
 type t
 
 val create :
-  ?incremental:bool -> ?metrics:Xcw_obs.Metrics.t -> Detector.input -> t
+  ?incremental:bool ->
+  ?metrics:Xcw_obs.Metrics.t ->
+  ?checkpoint:Checkpoint.t ->
+  Detector.input ->
+  t
 (** [incremental] defaults to [true].
+
+    [checkpoint] makes every poll durable: the poll's state delta and
+    alerts are fsynced to the checkpoint's WAL before [poll] returns
+    them, and creation first recovers whatever the directory already
+    holds (see {!Checkpoint}).  After a crash, consult {!replayed} for
+    the alerts of the last durable poll and dedup by [al_seq].
 
     The monitor and everything it builds (RPC nodes, clients, the
     Datalog engine) record into [metrics] — default: the process-wide
@@ -124,6 +174,20 @@ val last_report : t -> Report.t option
     cross-chain view. *)
 
 val polls : t -> int
+
+val replayed : t -> alert list
+(** The alerts of the most recent durable WAL record.  After recovery
+    this is the tail a consumer may have missed: re-deliver and dedup
+    by [al_seq].  Empty for monitors without a checkpoint. *)
+
+val alert_seq : t -> int
+(** Last alert sequence number assigned (0 before any alert). *)
+
+val rpc_seconds : t -> float
+(** Simulated RPC seconds (node latency plus retry backoff) accrued by
+    the monitor's two side clients — the extraction cost a real
+    deployment pays in wall time.  Accumulated by the latency model,
+    never slept; [0.] until the first poll fetches something. *)
 
 val facts_cached : t -> int
 

@@ -590,6 +590,22 @@ let total_tuples (db : db) =
 let derived_predicates (db : db) =
   List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) db.db_derived [])
 
+(* Declare a database restored from durable storage to be at an
+   evaluation fixpoint: graft the persisted engine-derived tuples
+   (without journaling them), absorb everything loaded so far into the
+   fixpoint by clearing the pending delta journal, and mark the
+   database as evaluated so the next [run_incremental] treats only
+   facts inserted after this call as its delta. *)
+let restore_fixpoint (db : db) ~derived =
+  List.iter
+    (fun (pred, tuples) ->
+      let r = relation db pred in
+      List.iter (fun t -> ignore (Relation.add r t)) tuples;
+      Hashtbl.replace db.db_derived pred ())
+    derived;
+  Hashtbl.reset db.db_journal;
+  db.db_ran <- true
+
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     let parent = Filename.dirname dir in
@@ -632,7 +648,13 @@ let dump_facts (db : db) ~dir =
   mkdir_p dir;
   Hashtbl.iter
     (fun pred rel ->
-      let oc = open_out (Filename.concat dir (pred ^ ".facts")) in
+      (* Write-temp + atomic rename: a crash mid-dump must never leave
+         a truncated [.facts] file where a reader expects a complete
+         one.  The temp name is deterministic, so a leftover from an
+         aborted dump is simply overwritten on the next attempt. *)
+      let path = Filename.concat dir (pred ^ ".facts") in
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
       let lines = ref [] in
       Relation.iter rel (fun tuple ->
           let cells =
@@ -647,7 +669,8 @@ let dump_facts (db : db) ~dir =
           output_string oc line;
           output_char oc '\n')
         (List.sort compare !lines);
-      close_out oc)
+      close_out oc;
+      Sys.rename tmp path)
     db.db_rels
 
 (* ------------------------------------------------------------------ *)

@@ -106,6 +106,19 @@ val derived_predicates : db -> string list
 (** Predicates populated by the engine in previous runs (sorted); all
     other relations are EDB and are never cleared by evaluation. *)
 
+val restore_fixpoint : db -> derived:(string * Relation.tuple list) list -> unit
+(** Declare a database reloaded from durable storage to be at an
+    evaluation fixpoint: insert each [(pred, tuples)] pair as
+    engine-derived output (tuple arrays are owned by the database
+    afterwards), clear the pending delta journal — every fact loaded so
+    far becomes part of the restored fixpoint rather than of the next
+    incremental delta — and mark the database as evaluated.  Facts
+    inserted after this call are journaled normally, so the next
+    {!run_incremental} evaluates exactly the post-restore delta instead
+    of re-deriving the whole database.  The fixpoint claim is the
+    caller's to uphold: the tuples must be the complete derived output
+    of the same program over the loaded EDB. *)
+
 val dump_facts : db -> dir:string -> unit
 (** Write every relation as a tab-separated [<pred>.facts] file in
     [dir] — Souffle's input format, enabling cross-validation against
@@ -113,7 +126,9 @@ val dump_facts : db -> dir:string -> unit
     created; tab, newline and backslash characters inside string values
     are backslash-escaped so one tuple is always exactly one line.
     Rows are sorted lexicographically, making the files byte-stable
-    across insertion orders and worker counts. *)
+    across insertion orders and worker counts.  Each file is written to
+    a [.tmp] sibling and atomically renamed into place, so readers
+    never observe a partially written dump. *)
 
 val stratify : rule list -> (rule list * bool) list
 (** Rule groups in evaluation order; the flag marks recursive strata.

@@ -76,3 +76,26 @@ let publish t ~bridge ~round alert =
 let alerts t = List.rev t.b_stream
 let emitted t = t.b_emitted
 let collapsed t = t.b_collapsed
+
+(* Durable-state support (PR 9): the dedup window and counters are the
+   bus state that must survive a restart — without the live table a
+   restarted fleet would re-emit a signature the window had already
+   collapsed, and without the counters the dense [fa_seq] numbering
+   would restart from 0.  The emission history ([b_stream]) is
+   deliberately not part of it: it is a read-model of past output, and
+   the supervisor re-delivers the crash-boundary tail through its own
+   replay record. *)
+
+let export t =
+  let live =
+    Hashtbl.fold (fun k fa acc -> (k, fa) :: acc) t.b_live []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  (live, t.b_emitted, t.b_collapsed)
+
+let restore t ~live ~emitted ~collapsed =
+  if t.b_stream <> [] || t.b_emitted > 0 then
+    invalid_arg "Bus.restore: bus is not fresh";
+  List.iter (fun (k, fa) -> Hashtbl.replace t.b_live k fa) live;
+  t.b_emitted <- emitted;
+  t.b_collapsed <- collapsed

@@ -63,3 +63,22 @@ val alerts : t -> fleet_alert list
 
 val emitted : t -> int
 val collapsed : t -> int
+
+(** {1 Durable-state support (PR 9)}
+
+    What a restart must preserve: the live dedup window (else a
+    collapsed signature would re-emit) and the counters (else [fa_seq]
+    numbering would restart).  The emission history is not exported —
+    the supervisor re-delivers the crash-boundary tail itself. *)
+
+val export : t -> (string * fleet_alert) list * int * int
+(** [(live, emitted, collapsed)]; live entries sorted by signature. *)
+
+val restore :
+  t ->
+  live:(string * fleet_alert) list ->
+  emitted:int ->
+  collapsed:int ->
+  unit
+(** Refill a freshly created bus; raises [Invalid_argument] if the bus
+    has already emitted. *)

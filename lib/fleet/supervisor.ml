@@ -60,6 +60,12 @@ type lane = {
   mutable ln_alerts_rev : Monitor.alert list;  (** raw stream, reversed *)
   mutable ln_alert_count : int;
   mutable ln_last_error : string option;
+  ln_dir : string option;  (** per-lane checkpoint directory *)
+  mutable ln_bus_seq : int;
+      (** high-water mark of monitor alert seqs merged into the bus *)
+  mutable ln_replay_tail : Monitor.alert list;
+      (** durable alerts above [ln_bus_seq] the bus never saw; merged
+          ahead of the lane's next successful poll *)
   ln_obs : lane_obs;
 }
 
@@ -81,6 +87,13 @@ type t = {
   s_metrics : Metrics.t;
   s_obs : fleet_obs;
   mutable s_rounds : int;
+  (* Durable-state extension (PR 9). *)
+  s_store : Xcw_store.Store.t option;
+  s_crash : Xcw_store.Crash_plan.t option;
+  s_snapshot_every : int;
+  mutable s_replay : Bus.fleet_alert list;
+      (** emissions of the last durable round — the tail a consumer
+          must dedup by [fa_seq] after a restart *)
 }
 
 type lane_health = {
@@ -106,8 +119,148 @@ type health = {
   fh_lanes : lane_health list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Durable fleet state (PR 9)                                          *)
+
+module CW = Xcw_store.Codec.W
+module CR = Xcw_store.Codec.R
+module Crash_plan = Xcw_store.Crash_plan
+
+(* A simulated process death must abort the fleet poll, not be absorbed
+   as a lane failure by the breaker. *)
+let is_crash = function Crash_plan.Crashed _ -> true | _ -> false
+
+let sanitize_name name =
+  String.map (fun c -> if c = '/' || c = '\\' then '_' else c) name
+
+(* The fleet's own WAL record is the full supervisor state: breaker and
+   cursor fields per lane, the bus dedup window and counters, and the
+   round's emissions (the replay tail a consumer dedups by [fa_seq]).
+   Records are self-contained, so recovery applies only the newest
+   one; snapshots reuse the same payload and merely truncate the WAL. *)
+
+let put_origin b (o : Bus.origin) =
+  CW.str b o.Bus.o_bridge;
+  CW.int b o.Bus.o_round
+
+let get_origin r =
+  let o_bridge = CR.str r in
+  let o_round = CR.int r in
+  { Bus.o_bridge; o_round }
+
+let put_fleet_alert b (fa : Bus.fleet_alert) =
+  CW.int b fa.Bus.fa_seq;
+  CW.int b fa.Bus.fa_round;
+  CW.str b fa.Bus.fa_bridge;
+  Monitor.Checkpoint.put_alert b fa.Bus.fa_alert;
+  CW.list b (put_origin b) fa.Bus.fa_origins
+
+let get_fleet_alert r =
+  let fa_seq = CR.int r in
+  let fa_round = CR.int r in
+  let fa_bridge = CR.str r in
+  let fa_alert = Monitor.Checkpoint.get_alert r in
+  let fa_origins = CR.list r (fun () -> get_origin r) in
+  { Bus.fa_seq; fa_round; fa_bridge; fa_alert; fa_origins }
+
+let put_lane_state b = function
+  | Active -> CW.int b 0
+  | Degraded -> CW.int b 1
+  | Parked { until; term } ->
+      CW.int b 2;
+      CW.int b until;
+      CW.int b term
+  | Probation -> CW.int b 3
+
+let get_lane_state r =
+  match CR.int r with
+  | 0 -> Active
+  | 1 -> Degraded
+  | 2 ->
+      let until = CR.int r in
+      let term = CR.int r in
+      Parked { until; term }
+  | 3 -> Probation
+  | n -> raise (CR.Corrupt (Printf.sprintf "lane state tag %d" n))
+
+let put_opt_int b = function
+  | None -> CW.bool b false
+  | Some n ->
+      CW.bool b true;
+      CW.int b n
+
+let get_opt_int r = if CR.bool r then Some (CR.int r) else None
+
+let encode_fleet t ~replay =
+  let b = CW.create () in
+  CW.int b t.s_rounds;
+  CW.int b (Array.length t.s_lanes);
+  Array.iter
+    (fun ln ->
+      put_lane_state b ln.ln_state;
+      CW.int b ln.ln_src;
+      CW.int b ln.ln_dst;
+      let ts, tt = ln.ln_target in
+      CW.int b ts;
+      CW.int b tt;
+      CW.int b ln.ln_failures;
+      CW.int b ln.ln_next_term;
+      CW.int b ln.ln_trips;
+      CW.int b ln.ln_exceptions;
+      CW.int b ln.ln_polls;
+      put_opt_int b ln.ln_prev_pending;
+      CW.int b ln.ln_alert_count;
+      CW.opt_str b ln.ln_last_error;
+      CW.int b ln.ln_bus_seq)
+    t.s_lanes;
+  let live, emitted, collapsed = Bus.export t.s_bus in
+  CW.int b emitted;
+  CW.int b collapsed;
+  CW.list b
+    (fun (k, fa) ->
+      CW.str b k;
+      put_fleet_alert b fa)
+    live;
+  CW.list b (put_fleet_alert b) replay;
+  Buffer.contents b
+
+let apply_fleet t payload =
+  let r = CR.of_string payload in
+  t.s_rounds <- CR.int r;
+  if CR.int r <> Array.length t.s_lanes then
+    raise (CR.Corrupt "fleet record lane count mismatch");
+  Array.iter
+    (fun ln ->
+      ln.ln_state <- get_lane_state r;
+      ln.ln_src <- CR.int r;
+      ln.ln_dst <- CR.int r;
+      let ts = CR.int r in
+      let tt = CR.int r in
+      ln.ln_target <- (ts, tt);
+      ln.ln_failures <- CR.int r;
+      ln.ln_next_term <- CR.int r;
+      ln.ln_trips <- CR.int r;
+      ln.ln_exceptions <- CR.int r;
+      ln.ln_polls <- CR.int r;
+      ln.ln_prev_pending <- get_opt_int r;
+      ln.ln_alert_count <- CR.int r;
+      ln.ln_last_error <- CR.opt_str r;
+      ln.ln_bus_seq <- CR.int r)
+    t.s_lanes;
+  let emitted = CR.int r in
+  let collapsed = CR.int r in
+  let live =
+    CR.list r (fun () ->
+        let k = CR.str r in
+        let fa = get_fleet_alert r in
+        (k, fa))
+  in
+  Bus.restore t.s_bus ~live ~emitted ~collapsed;
+  t.s_replay <- CR.list r (fun () -> get_fleet_alert r)
+
 let create ?(ndomains = 1) ?pool ?(breaker = default_breaker)
-    ?dedup_window ?(poll_budget = max_int) ?metrics specs =
+    ?dedup_window ?(poll_budget = max_int) ?metrics ?state_dir ?crash
+    ?(snapshot_every = 8) specs =
   if specs = [] then invalid_arg "Supervisor.create: no lanes";
   if ndomains < 1 then invalid_arg "Supervisor.create: ndomains < 1";
   if poll_budget < 1 then invalid_arg "Supervisor.create: poll_budget < 1";
@@ -145,6 +298,12 @@ let create ?(ndomains = 1) ?pool ?(breaker = default_breaker)
       ln_alerts_rev = [];
       ln_alert_count = 0;
       ln_last_error = None;
+      ln_dir =
+        Option.map
+          (fun dir -> Filename.concat dir (sanitize_name spec.l_name))
+          state_dir;
+      ln_bus_seq = 0;
+      ln_replay_tail = [];
       ln_obs =
         (let labels = [ ("bridge", spec.l_name) ] in
          {
@@ -157,28 +316,55 @@ let create ?(ndomains = 1) ?pool ?(breaker = default_breaker)
          });
     }
   in
-  {
-    s_lanes = Array.of_list (List.mapi lane specs);
-    s_pool =
-      (match pool with
-      | Some p -> Some p
-      | None -> if ndomains > 1 then Some (Pool.get ~ndomains) else None);
-    s_breaker = breaker;
-    s_budget = poll_budget;
-    s_bus = Bus.create ?window:dedup_window ~metrics ();
-    s_metrics = metrics;
-    s_obs =
-      {
-        fo_reg = metrics;
-        fo_rounds = Metrics.counter metrics "xcw_fleet_rounds_total";
-        fo_parks = Metrics.counter metrics "xcw_fleet_parks_total";
-        fo_round_seconds =
-          Metrics.histogram metrics "xcw_fleet_round_seconds";
-        fo_lag = Metrics.gauge metrics "xcw_fleet_lag";
-        fo_parked = Metrics.gauge metrics "xcw_fleet_parked";
-      };
-    s_rounds = 0;
-  }
+  let store_state =
+    match state_dir with
+    | None -> None
+    | Some dir ->
+        Some
+          (Xcw_store.Store.open_ ?crash
+             ~dir:(Filename.concat dir "_fleet")
+             ())
+  in
+  let t =
+    {
+      s_lanes = Array.of_list (List.mapi lane specs);
+      s_pool =
+        (match pool with
+        | Some p -> Some p
+        | None -> if ndomains > 1 then Some (Pool.get ~ndomains) else None);
+      s_breaker = breaker;
+      s_budget = poll_budget;
+      s_bus = Bus.create ?window:dedup_window ~metrics ();
+      s_metrics = metrics;
+      s_obs =
+        {
+          fo_reg = metrics;
+          fo_rounds = Metrics.counter metrics "xcw_fleet_rounds_total";
+          fo_parks = Metrics.counter metrics "xcw_fleet_parks_total";
+          fo_round_seconds =
+            Metrics.histogram metrics "xcw_fleet_round_seconds";
+          fo_lag = Metrics.gauge metrics "xcw_fleet_lag";
+          fo_parked = Metrics.gauge metrics "xcw_fleet_parked";
+        };
+      s_rounds = 0;
+      s_store = Option.map fst store_state;
+      s_crash = crash;
+      s_snapshot_every = snapshot_every;
+      s_replay = [];
+    }
+  in
+  (match store_state with
+  | None -> ()
+  | Some (_, recovered) -> (
+      (* Records are self-contained full states: the newest one (or,
+         after a truncation, the snapshot) wins. *)
+      let payload =
+        match List.rev recovered.Xcw_store.Store.r_records with
+        | (_, p) :: _ -> Some p
+        | [] -> recovered.Xcw_store.Store.r_snapshot
+      in
+      match payload with None -> () | Some p -> apply_fleet t p));
+  t
 
 (* ------------------------------------------------------------------ *)
 (* One fleet round                                                     *)
@@ -244,10 +430,34 @@ let poll t : Bus.fleet_alert list =
                          match ln.ln_monitor with
                          | Some m -> m
                          | None ->
+                             let checkpoint =
+                               Option.map
+                                 (fun dir ->
+                                   Monitor.Checkpoint.open_ ?crash:t.s_crash
+                                     ~snapshot_every:t.s_snapshot_every ~dir
+                                     ())
+                                 ln.ln_dir
+                             in
                              let m =
-                               Monitor.create ~metrics:t.s_metrics
+                               Monitor.create ~metrics:t.s_metrics ?checkpoint
                                  ln.ln_spec.l_input
                              in
+                             (* Capture the replay tail now, while
+                                [Monitor.replayed] still holds the
+                                recovered crash-boundary alerts — the
+                                first new poll overwrites it.
+                                Unconditional: even when the
+                                supervisor's own store has no durable
+                                round (crash before the first round
+                                committed), a lane store may already
+                                hold durable alerts the bus never saw.
+                                The [ln_bus_seq] filter drops anything
+                                already merged, so a fresh lane or an
+                                up-to-date bus makes this a no-op. *)
+                             ln.ln_replay_tail <-
+                               List.filter
+                                 (fun al -> al.Monitor.al_seq > ln.ln_bus_seq)
+                                 (Monitor.replayed m);
                              ln.ln_monitor <- Some m;
                              m
                        in
@@ -260,7 +470,7 @@ let poll t : Bus.fleet_alert list =
                        (mon, clamp ln.ln_src uts, clamp ln.ln_dst utt)
                      with
                      | mon, ts, tt -> Some (ln, was_probation, mon, ts, tt)
-                     | exception e ->
+                     | exception e when not (is_crash e) ->
                          ln.ln_last_error <- Some (Printexc.to_string e);
                          ln.ln_exceptions <- ln.ln_exceptions + 1;
                          note_failure t ln ~round ~was_probation;
@@ -276,7 +486,7 @@ let poll t : Bus.fleet_alert list =
               match Monitor.poll mon ~source_block:ts ~target_block:tt with
               | alerts ->
                   P_ok (alerts, Monitor.health mon, Unix.gettimeofday () -. p0)
-              | exception e ->
+              | exception e when not (is_crash e) ->
                   P_exn (Printexc.to_string e, Unix.gettimeofday () -. p0))
             participants
         in
@@ -328,6 +538,17 @@ let poll t : Bus.fleet_alert list =
                   ln.ln_state <- Degraded
                 end
                 else note_failure t ln ~round ~was_probation;
+                (* After a restart, the lane's monitor may hold durable
+                   alerts the bus never saw (the fleet record for their
+                   round did not commit): prepend the replay tail above
+                   the lane's merged high-water mark.  A re-polled
+                   monitor returns [] for an already-processed round —
+                   the tail carries those alerts instead, in their
+                   original sequence order, so the merged stream is the
+                   uninterrupted one. *)
+                let tail = ln.ln_replay_tail in
+                ln.ln_replay_tail <- [];
+                let alerts = tail @ alerts in
                 if alerts <> [] then begin
                   ln.ln_alerts_rev <-
                     List.rev_append alerts ln.ln_alerts_rev;
@@ -335,6 +556,7 @@ let poll t : Bus.fleet_alert list =
                   Metrics.Counter.add ln.ln_obs.lo_alerts (List.length alerts);
                   List.iter
                     (fun a ->
+                      ln.ln_bus_seq <- max ln.ln_bus_seq a.Monitor.al_seq;
                       match
                         Bus.publish t.s_bus ~bridge:ln.ln_spec.l_name ~round a
                       with
@@ -343,7 +565,18 @@ let poll t : Bus.fleet_alert list =
                     alerts
                 end)
           participants outcomes;
-        List.rev !emitted)
+        let emitted = List.rev !emitted in
+        (* Durability point: the round's full state and emissions hit
+           the fleet WAL before the caller sees them. *)
+        (match t.s_store with
+        | None -> ()
+        | Some store ->
+            t.s_replay <- emitted;
+            let payload = encode_fleet t ~replay:emitted in
+            ignore (Xcw_store.Store.append store payload);
+            if t.s_snapshot_every > 0 && round mod t.s_snapshot_every = 0
+            then Xcw_store.Store.snapshot store payload);
+        emitted)
   in
   if live then begin
     Metrics.Histogram.observe obs.fo_round_seconds
@@ -404,6 +637,7 @@ let health t =
 let rounds t = t.s_rounds
 let bus t = t.s_bus
 let alerts t = Bus.alerts t.s_bus
+let replayed t = t.s_replay
 
 let lane_alerts t i =
   if i < 0 || i >= Array.length t.s_lanes then

@@ -99,6 +99,9 @@ val create :
   ?dedup_window:int ->
   ?poll_budget:int ->
   ?metrics:Metrics.t ->
+  ?state_dir:string ->
+  ?crash:Xcw_store.Crash_plan.t ->
+  ?snapshot_every:int ->
   lane_spec list ->
   t
 (** [ndomains] (default 1) is the fleet-level worker count; lane polls
@@ -117,7 +120,22 @@ val create :
     [xcw_fleet_rounds_total] / [xcw_fleet_parks_total] counters, the
     [xcw_fleet_round_seconds] histogram and [xcw_fleet_lag] /
     [xcw_fleet_parked] gauges; every round opens a ["fleet.round"]
-    span. *)
+    span.
+
+    [state_dir] makes the fleet durable (PR 9): each lane's monitor
+    checkpoints into [state_dir/<lane-name>] and the supervisor itself
+    appends one self-contained record per round (breaker and cursor
+    state, the bus dedup window and counters, the round's emissions) to
+    [state_dir/_fleet], snapshotting every [snapshot_every] rounds
+    (default 8).  Creation recovers whatever the directory holds and
+    resumes at the last durable round; re-running the crashed round
+    merges each lane's durable alert tail back into the bus in lane
+    order, so the emission stream (after the consumer dedups
+    {!replayed} by [fa_seq]) is byte-identical to an uninterrupted run.
+    [crash] threads a deterministic crash-injection plan through every
+    store write of the fleet — a {!Xcw_store.Crash_plan.Crashed} escape
+    aborts the poll like a process death instead of tripping the lane
+    breaker. *)
 
 val poll : t -> Bus.fleet_alert list
 (** Run one fleet round; returns the alerts the bus emitted this round
@@ -131,7 +149,15 @@ val rounds : t -> int
 val bus : t -> Bus.t
 
 val alerts : t -> Bus.fleet_alert list
-(** Everything the bus emitted so far, in sequence order. *)
+(** Everything the bus emitted so far, in sequence order.  After a
+    restart this covers only the current process — the durable
+    crash-boundary tail is {!replayed}. *)
+
+val replayed : t -> Bus.fleet_alert list
+(** The emissions of the last durable round.  After recovery, the tail
+    a consumer may have missed: re-deliver and dedup by [fa_seq] (a
+    round that crashed before its record committed simply re-runs).
+    Empty without [state_dir]. *)
 
 val lane_alerts : t -> int -> Monitor.alert list
 (** Lane [i]'s raw alert stream in emission order — before bus dedup;

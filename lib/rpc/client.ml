@@ -103,7 +103,7 @@ let provenance_label = function
   | Single -> "single"
   | Quorum { k; n } -> Printf.sprintf "quorum %d/%d" k n
 
-let backoff_for t ~attempt ~error =
+let backoff_for t ~attempt ~error ~remaining =
   let p = t.c_policy in
   let exp =
     p.p_base_backoff *. (p.p_backoff_factor ** float_of_int (attempt - 1))
@@ -113,10 +113,19 @@ let backoff_for t ~attempt ~error =
      [1, 1 + jitter] would overshoot the documented ceiling. *)
   let capped = Float.min jittered p.p_max_backoff in
   (* A 429 tells us exactly how long the provider wants us gone; its
-     advisory may legitimately exceed the ceiling. *)
-  match error with
-  | Rpc.Rate_limited { retry_after } -> Float.max capped retry_after
-  | _ -> capped
+     advisory may legitimately exceed the ceiling — but never the
+     remaining overall latency budget, else one sleep would blow
+     straight past the deadline (or, worse, a huge hint would turn a
+     perfectly affordable retry into a spurious give-up).  The first
+     component is the policy's own pause, which drives the give-up
+     decision; the second is the sleep actually taken on retry. *)
+  let pause =
+    match error with
+    | Rpc.Rate_limited { retry_after } ->
+        Float.min (Float.max capped retry_after) (Float.max capped remaining)
+    | _ -> capped
+  in
+  (capped, pause)
 
 (* Retry loop shared by every operation.  Returns the final response
    with the latency of all attempts plus backoff folded in, so
@@ -133,8 +142,11 @@ let with_retries t op =
            The logs path splits the range instead. *)
         { Rpc.value = Error e; latency = spent }
     | Error e ->
-        let pause = backoff_for t ~attempt ~error:e in
-        if attempt >= p.p_max_attempts || spent +. pause >= p.p_latency_budget
+        let capped, pause =
+          backoff_for t ~attempt ~error:e
+            ~remaining:(p.p_latency_budget -. spent)
+        in
+        if attempt >= p.p_max_attempts || spent +. capped >= p.p_latency_budget
         then begin
           t.c_give_ups <- t.c_give_ups + 1;
           incr cum_give_ups;

@@ -1,0 +1,93 @@
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let int b n = Buffer.add_int64_le b (Int64.of_int n)
+  let bool b v = Buffer.add_char b (if v then '\001' else '\000')
+  let float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+  let str b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let opt_str b = function
+    | None -> bool b false
+    | Some s ->
+        bool b true;
+        str b s
+
+  let list b f xs =
+    int b (List.length xs);
+    List.iter f xs
+end
+
+module R = struct
+  type t = { src : string; mutable pos : int }
+
+  exception Corrupt of string
+
+  let of_string src = { src; pos = 0 }
+
+  let need r n what =
+    if r.pos + n > String.length r.src then
+      raise (Corrupt (Printf.sprintf "truncated %s at offset %d" what r.pos))
+
+  let int r =
+    need r 8 "int";
+    let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let bool r =
+    need r 1 "bool";
+    let c = r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    c <> '\000'
+
+  let float r =
+    need r 8 "float";
+    let v = Int64.float_of_bits (String.get_int64_le r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let str r =
+    let n = int r in
+    if n < 0 then raise (Corrupt "negative string length");
+    need r n "string";
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let opt_str r = if bool r then Some (str r) else None
+
+  let list r f =
+    let n = int r in
+    if n < 0 then raise (Corrupt "negative list length");
+    List.init n (fun _ -> f ())
+
+  let at_end r = r.pos = String.length r.src
+end

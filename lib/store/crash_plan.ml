@@ -1,0 +1,46 @@
+type point =
+  | Wal_torn_record
+  | Wal_pre_sync
+  | Wal_post_sync
+  | Snap_torn_temp
+  | Snap_pre_rename
+  | Snap_pre_truncate
+
+let point_name = function
+  | Wal_torn_record -> "wal-torn-record"
+  | Wal_pre_sync -> "wal-pre-sync"
+  | Wal_post_sync -> "wal-post-sync"
+  | Snap_torn_temp -> "snap-torn-temp"
+  | Snap_pre_rename -> "snap-pre-rename"
+  | Snap_pre_truncate -> "snap-pre-truncate"
+
+exception Crashed of point * int
+
+(* One plan may be shared by every store of a fleet, whose lanes poll
+   in parallel domains: the counter is mutex-protected so each write
+   opportunity gets a unique index and exactly one of them fires.  The
+   partial effect runs under the lock — by then the process is dead
+   anyway. *)
+type t = { mutable ops : int; target : int; mu : Mutex.t }
+
+let none () = { ops = 0; target = 0; mu = Mutex.create () }
+let at target = { ops = 0; target = max 1 target; mu = Mutex.create () }
+
+let ops t =
+  Mutex.lock t.mu;
+  let n = t.ops in
+  Mutex.unlock t.mu;
+  n
+
+let step t point ~partial =
+  Mutex.lock t.mu;
+  t.ops <- t.ops + 1;
+  let fire = t.target > 0 && t.ops = t.target in
+  let n = t.ops in
+  if fire then begin
+    let fin () = Mutex.unlock t.mu in
+    (try partial () with e -> fin (); raise e);
+    fin ();
+    raise (Crashed (point, n))
+  end
+  else Mutex.unlock t.mu

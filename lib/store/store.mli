@@ -1,0 +1,50 @@
+(** Durable checkpoint/WAL store.
+
+    A store is a directory holding [wal.log] (append-only records, each
+    framed as [len:u64][index:u64][crc32:u32][payload]) and
+    [snapshot.bin] ([XCWSNAP1] magic, last covered record index, CRC,
+    payload).  Records carry monotone indices; a snapshot commits via
+    write-temp + fsync + rename and records the highest index it
+    covers, so the WAL truncation that follows does not need to be
+    atomic with the rename — recovery simply skips WAL records whose
+    index the snapshot already covers.
+
+    On [open_], recovery loads the newest valid snapshot (a torn temp
+    file or corrupt snapshot is discarded), scans the WAL, truncates
+    any torn or CRC-corrupt tail, and returns the surviving payloads.
+
+    [append] returns only after the record is fsynced: a record is
+    either durable or (on a torn tail) invisible after recovery, never
+    half-applied. *)
+
+type t
+
+type recovered = {
+  r_snapshot : string option;  (** newest valid snapshot payload *)
+  r_records : (int * string) list;
+      (** WAL payloads not covered by the snapshot, ascending index *)
+  r_truncated_bytes : int;  (** torn/corrupt WAL tail bytes dropped *)
+}
+
+val open_ : ?crash:Crash_plan.t -> dir:string -> unit -> t * recovered
+(** Creates [dir] if needed.  [crash] injects deterministic failures at
+    every subsequent write opportunity (see {!Crash_plan}). *)
+
+val append : t -> string -> int
+(** Append one record; returns its index.  Durable once it returns. *)
+
+val snapshot : t -> string -> unit
+(** Atomically replace the snapshot with [payload] covering every
+    record appended so far, then truncate the WAL. *)
+
+val next_index : t -> int
+
+val wal_bytes : t -> int
+(** Current WAL file length. *)
+
+val appended_bytes : t -> int
+(** Lifetime bytes appended (for the recovery bench). *)
+
+val close : t -> unit
+(** Safe even after a {!Crash_plan.Crashed} escape: the store flushes
+    before every crash point, so closing never writes new bytes. *)

@@ -1,0 +1,69 @@
+type t = {
+  sm_fwd : (string, int) Hashtbl.t;
+  mutable sm_back : int array; (* store id -> process packed cell *)
+  mutable sm_strs : string array; (* store id -> string, for snapshots *)
+  mutable sm_n : int;
+  mutable sm_fresh_rev : string list;
+}
+
+let create () =
+  {
+    sm_fwd = Hashtbl.create 64;
+    sm_back = Array.make 64 0;
+    sm_strs = Array.make 64 "";
+    sm_n = 0;
+    sm_fresh_rev = [];
+  }
+
+let grow t =
+  if t.sm_n = Array.length t.sm_back then begin
+    let cap = 2 * Array.length t.sm_back in
+    let back = Array.make cap 0 and strs = Array.make cap "" in
+    Array.blit t.sm_back 0 back 0 t.sm_n;
+    Array.blit t.sm_strs 0 strs 0 t.sm_n;
+    t.sm_back <- back;
+    t.sm_strs <- strs
+  end
+
+let assign t s ~fresh =
+  grow t;
+  let id = t.sm_n in
+  Hashtbl.add t.sm_fwd s id;
+  t.sm_back.(id) <- Xcw_datalog.Ast.pack_string s;
+  t.sm_strs.(id) <- s;
+  t.sm_n <- id + 1;
+  if fresh then t.sm_fresh_rev <- s :: t.sm_fresh_rev;
+  id
+
+let encode_cell t packed =
+  if Xcw_datalog.Ast.packed_is_int packed then packed
+  else
+    let s =
+      match Xcw_datalog.Ast.unpack packed with
+      | Xcw_datalog.Ast.Str s -> s
+      | Xcw_datalog.Ast.Int _ -> assert false
+    in
+    let id =
+      match Hashtbl.find_opt t.sm_fwd s with
+      | Some id -> id
+      | None -> assign t s ~fresh:true
+    in
+    (id lsl 1) lor 1
+
+let decode_cell t stored =
+  if stored land 1 = 0 then stored
+  else
+    let id = stored lsr 1 in
+    if id >= t.sm_n then
+      raise (Codec.R.Corrupt (Printf.sprintf "symbol id %d out of range" id))
+    else t.sm_back.(id)
+
+let register t s = ignore (assign t s ~fresh:false)
+
+let take_fresh t =
+  let fresh = List.rev t.sm_fresh_rev in
+  t.sm_fresh_rev <- [];
+  fresh
+
+let size t = t.sm_n
+let dump t = Array.to_list (Array.sub t.sm_strs 0 t.sm_n)

@@ -42,7 +42,8 @@ let mk_alert ?(rule = "8. CCTX_ValidWithdrawal")
     ?(cls = Report.No_correspondence) ?(tx = "0xaaaa") ?(chain = 2)
     ?(detail = "no correspondence on other chain") ?(at = (5, 5)) () =
   {
-    Monitor.al_rule = rule;
+    Monitor.al_seq = 0;
+    al_rule = rule;
     al_detected_at = at;
     al_anomaly =
       {

@@ -1,0 +1,692 @@
+(* Durable-state suite (DESIGN.md §14).
+
+   Five axes:
+   - store primitives: WAL framing round-trips, torn tails and
+     CRC-corrupt records truncate to the last valid record, snapshots
+     commit atomically and absorb the WAL prefix they cover, and a
+     deterministic crash sweep over every write opportunity of a fixed
+     append/snapshot script leaves a clean prefix of the record stream;
+   - satellites: Engine.dump_facts survives a simulated partial write
+     (stale temp files are invisible to readers), and a huge 429
+     retry-after hint is clamped against the remaining retry budget
+     instead of blowing the deadline or forcing a spurious give-up;
+   - monitor resumption: a checkpointed monitor stopped mid-timeline
+     and recovered from its state directory emits exactly the
+     uninterrupted alert stream (dedup by al_seq) and converges to the
+     identical report; a reorg-storm lane restarted mid-rewind still
+     matches the clean monitor's alert keys;
+   - fleet crash sweep: the qcheck property "crash at any injected
+     write point, restart, resume == uninterrupted run" over a
+     nomad/ronin/attack-pack fleet at --jobs 1 and 4 (full 1..N sweep
+     under XCW_CRASH_FULL=1, i.e. the @crash alias);
+   - golden: the post-restart fleet health table is pinned in
+     golden/recovery.golden, and a split (run, stop, resume) fleet run
+     reproduces the uninterrupted emission stream byte for byte. *)
+
+module T = Xcw_testlib
+module Codec = Xcw_store.Codec
+module Crash_plan = Xcw_store.Crash_plan
+module Store = Xcw_store.Store
+module Engine = Xcw_datalog.Engine
+module Rpc = Xcw_rpc.Rpc
+module Fault = Xcw_rpc.Fault
+module Client = Xcw_rpc.Client
+module Bridge = Xcw_bridge.Bridge
+module Detector = Xcw_core.Detector
+module Monitor = Xcw_core.Monitor
+module Report = Xcw_core.Report
+module Sup = Xcw_fleet.Supervisor
+module Bus = Xcw_fleet.Bus
+module Presets = Xcw_fleet.Presets
+
+let u = T.u
+
+(* A unique scratch directory path (not yet created — the store mkdirs
+   it); Filename.temp_file reserves the name race-free. *)
+let fresh_dir () =
+  let f = Filename.temp_file "xcw-store" "" in
+  Sys.remove f;
+  f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let codec_roundtrip =
+  Alcotest.test_case "codec round-trips every primitive; crc32 is IEEE"
+    `Quick (fun () ->
+      Alcotest.(check int32) "crc32 check vector" 0xCBF43926l
+        (Codec.crc32 "123456789");
+      let b = Buffer.create 64 in
+      Codec.W.int b (-42);
+      Codec.W.int b max_int;
+      Codec.W.bool b true;
+      Codec.W.float b 1.5;
+      Codec.W.str b "hello\000world";
+      Codec.W.opt_str b None;
+      Codec.W.opt_str b (Some "x");
+      Codec.W.list b (Codec.W.int b) [ 1; 2; 3 ];
+      let r = Codec.R.of_string (Buffer.contents b) in
+      Alcotest.(check int) "neg int" (-42) (Codec.R.int r);
+      Alcotest.(check int) "max int" max_int (Codec.R.int r);
+      Alcotest.(check bool) "bool" true (Codec.R.bool r);
+      Alcotest.(check (float 0.0)) "float" 1.5 (Codec.R.float r);
+      Alcotest.(check string) "str with NUL" "hello\000world" (Codec.R.str r);
+      Alcotest.(check (option string)) "none" None (Codec.R.opt_str r);
+      Alcotest.(check (option string)) "some" (Some "x") (Codec.R.opt_str r);
+      Alcotest.(check (list int)) "list" [ 1; 2; 3 ]
+        (Codec.R.list r (fun () -> Codec.R.int r));
+      Alcotest.(check bool) "fully consumed" true (Codec.R.at_end r);
+      match Codec.R.int (Codec.R.of_string "short") with
+      | exception Codec.R.Corrupt _ -> ()
+      | _ -> Alcotest.fail "truncated read must raise Corrupt")
+
+(* ------------------------------------------------------------------ *)
+(* WAL + snapshot primitives                                           *)
+
+let wal_roundtrip =
+  Alcotest.test_case "append / close / reopen round-trips the records"
+    `Quick (fun () ->
+      let dir = fresh_dir () in
+      let t, r0 = Store.open_ ~dir () in
+      Alcotest.(check bool) "fresh dir is empty" true
+        (r0.Store.r_snapshot = None && r0.Store.r_records = []);
+      Alcotest.(check int) "first index" 1 (Store.append t "one");
+      Alcotest.(check int) "second index" 2 (Store.append t "two");
+      Store.close t;
+      let t2, r = Store.open_ ~dir () in
+      Alcotest.(check (list (pair int string)))
+        "records back in order"
+        [ (1, "one"); (2, "two") ]
+        r.Store.r_records;
+      Alcotest.(check int) "no bytes truncated" 0 r.Store.r_truncated_bytes;
+      Alcotest.(check int) "indices continue" 3 (Store.append t2 "three");
+      Store.close t2)
+
+let wal_torn_tail =
+  Alcotest.test_case "a torn trailing record is truncated away" `Quick
+    (fun () ->
+      let dir = fresh_dir () in
+      let t, _ = Store.open_ ~dir () in
+      ignore (Store.append t "alpha");
+      ignore (Store.append t "beta");
+      Store.close t;
+      let wal = Filename.concat dir "wal.log" in
+      let good = read_file wal in
+      (* Half a frame of a third record reaches disk. *)
+      write_file wal (good ^ String.sub good 0 13);
+      let t2, r = Store.open_ ~dir () in
+      Alcotest.(check (list (pair int string)))
+        "valid prefix survives"
+        [ (1, "alpha"); (2, "beta") ]
+        r.Store.r_records;
+      Alcotest.(check int) "torn bytes reported" 13 r.Store.r_truncated_bytes;
+      Alcotest.(check int) "file truncated to the valid length"
+        (String.length good)
+        (String.length (read_file wal));
+      (* The store keeps appending cleanly after the amputation. *)
+      ignore (Store.append t2 "gamma");
+      Store.close t2;
+      let _, r2 = Store.open_ ~dir () in
+      Alcotest.(check (list (pair int string)))
+        "append after truncation is durable"
+        [ (1, "alpha"); (2, "beta"); (3, "gamma") ]
+        r2.Store.r_records)
+
+let wal_corrupt_record =
+  Alcotest.test_case "a CRC-corrupt record cuts the scan at its offset"
+    `Quick (fun () ->
+      let dir = fresh_dir () in
+      let t, _ = Store.open_ ~dir () in
+      ignore (Store.append t "first");
+      let mid_off = Store.wal_bytes t in
+      ignore (Store.append t "second");
+      ignore (Store.append t "third");
+      Store.close t;
+      let wal = Filename.concat dir "wal.log" in
+      let raw = Bytes.of_string (read_file wal) in
+      (* Flip one payload byte of the middle record. *)
+      let off = mid_off + 20 in
+      Bytes.set raw off (Char.chr (Char.code (Bytes.get raw off) lxor 0xff));
+      write_file wal (Bytes.to_string raw);
+      let _, r = Store.open_ ~dir () in
+      Alcotest.(check (list (pair int string)))
+        "only the records before the corruption survive"
+        [ (1, "first") ]
+        r.Store.r_records;
+      Alcotest.(check bool) "corrupt tail truncated" true
+        (r.Store.r_truncated_bytes > 0))
+
+let snapshot_recovery =
+  Alcotest.test_case
+    "snapshot absorbs the WAL prefix; stale temp files are discarded"
+    `Quick (fun () ->
+      let dir = fresh_dir () in
+      let t, _ = Store.open_ ~dir () in
+      ignore (Store.append t "a");
+      ignore (Store.append t "b");
+      Store.snapshot t "state-after-2";
+      Alcotest.(check int) "WAL truncated after the snapshot" 0
+        (Store.wal_bytes t);
+      ignore (Store.append t "c");
+      Store.close t;
+      (* A leftover temp from an aborted later snapshot must be inert. *)
+      write_file (Filename.concat dir "snapshot.bin.tmp") "garbage";
+      let t2, r = Store.open_ ~dir () in
+      Alcotest.(check (option string)) "snapshot payload" (Some "state-after-2")
+        r.Store.r_snapshot;
+      Alcotest.(check (list (pair int string)))
+        "only the post-snapshot tail replays"
+        [ (3, "c") ]
+        r.Store.r_records;
+      Alcotest.(check bool) "temp file removed" false
+        (Sys.file_exists (Filename.concat dir "snapshot.bin.tmp"));
+      Alcotest.(check int) "indices continue past the snapshot" 4
+        (Store.append t2 "d");
+      Store.close t2)
+
+(* Deterministic store-level crash sweep: run a fixed append/snapshot
+   script once per write opportunity, crashing at each; after every
+   crash the reopened store must hold a clean prefix of the record
+   stream containing at least every append that returned. *)
+let store_crash_sweep =
+  Alcotest.test_case "crash at every write point leaves a clean prefix"
+    `Quick (fun () ->
+      let script crash dir =
+        let completed = ref [] in
+        let t, _ = Store.open_ ?crash ~dir () in
+        (try
+           for i = 1 to 6 do
+             let p = Printf.sprintf "rec-%d" i in
+             ignore (Store.append t p);
+             completed := p :: !completed;
+             if i = 3 then Store.snapshot t "upto-3"
+           done
+         with Crash_plan.Crashed _ -> ());
+        Store.close t;
+        List.rev !completed
+      in
+      let count = Crash_plan.none () in
+      ignore (script (Some count) (fresh_dir ()));
+      let n = Crash_plan.ops count in
+      Alcotest.(check bool) "script exercises both paths" true (n >= 12);
+      for k = 1 to n do
+        let dir = fresh_dir () in
+        let completed = script (Some (Crash_plan.at k)) dir in
+        let _, r = Store.open_ ~dir () in
+        let visible =
+          (match r.Store.r_snapshot with
+          | Some "upto-3" -> [ "rec-1"; "rec-2"; "rec-3" ]
+          | Some s -> Alcotest.failf "k=%d: unexpected snapshot %S" k s
+          | None -> [])
+          @ List.map snd r.Store.r_records
+        in
+        let m = List.length visible in
+        let expect_prefix =
+          List.init m (fun i -> Printf.sprintf "rec-%d" (i + 1))
+        in
+        Alcotest.(check (list string))
+          (Printf.sprintf "k=%d: visible records form a clean prefix" k)
+          expect_prefix visible;
+        Alcotest.(check bool)
+          (Printf.sprintf "k=%d: no returned append was lost" k)
+          true
+          (m >= List.length completed)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: dump_facts atomicity                                     *)
+
+let dump_facts_atomic =
+  Alcotest.test_case
+    "dump_facts commits by rename; a partial write is invisible" `Quick
+    (fun () ->
+      let db = Engine.create_db () in
+      Engine.add_fact db "edge" [ Xcw_datalog.Ast.Str "a"; Xcw_datalog.Ast.Int 1 ];
+      Engine.add_fact db "edge" [ Xcw_datalog.Ast.Str "b"; Xcw_datalog.Ast.Int 2 ];
+      let dir = fresh_dir () in
+      Unix.mkdir dir 0o755;
+      (* A crash mid-dump leaves only the temp file behind: readers of
+         the published path never see it... *)
+      write_file (Filename.concat dir "edge.facts.tmp") "torn\tgarbage";
+      Alcotest.(check bool) "partial dump not visible under the real name"
+        false
+        (Sys.file_exists (Filename.concat dir "edge.facts"));
+      (* ...and the next complete dump replaces it atomically. *)
+      Engine.dump_facts db ~dir;
+      let content = read_file (Filename.concat dir "edge.facts") in
+      Alcotest.(check string) "full TSV published" "a\t1\nb\t2\n" content;
+      Alcotest.(check bool) "temp file consumed by the rename" false
+        (Sys.file_exists (Filename.concat dir "edge.facts.tmp")))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: retry-after clamped against the remaining budget         *)
+
+let retry_after_clamped =
+  Alcotest.test_case
+    "a huge 429 hint neither sleeps past the budget nor forces give-up"
+    `Quick (fun () ->
+      (* Every request is rate-limited with a 500 s advisory; the
+         budget is 10 s.  The un-clamped behaviour either slept 500 s
+         (blowing the deadline) or — feeding the inflated pause into
+         the give-up check — gave up on attempt 1 with zero retries. *)
+      let plan =
+        {
+          Fault.none with
+          Fault.f_rate_limit_prob = 1.0;
+          f_rate_limit_burst = 1;
+          f_retry_after = 500.0;
+        }
+      in
+      let budget = 10.0 in
+      let policy =
+        {
+          Client.default_policy with
+          Client.p_max_attempts = 5;
+          p_base_backoff = 1.0;
+          p_backoff_factor = 2.0;
+          p_max_backoff = 4.0;
+          p_jitter = 0.0;
+          p_latency_budget = budget;
+        }
+      in
+      let b, _ = T.make_bridge () in
+      let rpc = Rpc.create ~fault:plan b.Bridge.source.Bridge.chain in
+      let c = Client.create ~policy ~seed:21 rpc in
+      (match
+         (Client.get_balance c (Xcw_evm.Address.of_seed "clamp")).Rpc.value
+       with
+      | Error (Fault.Rate_limited _) -> ()
+      | _ -> Alcotest.fail "expected the final rate-limit error");
+      let s = Client.stats c in
+      Alcotest.(check bool)
+        "the affordable retry happened despite the huge hint" true
+        (s.Client.s_retries >= 1);
+      Alcotest.(check bool) "total sleep stayed within the budget" true
+        (s.Client.s_backoff_seconds <= budget);
+      Alcotest.(check int) "exactly one give-up, at the deadline" 1
+        s.Client.s_give_ups)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor resumption                                                  *)
+
+let render_alerts alerts =
+  String.concat "\n"
+    (List.map
+       (fun (a : Monitor.alert) ->
+         let sb, tb = a.Monitor.al_detected_at in
+         Printf.sprintf "%d|%s|(%d,%d)" a.Monitor.al_seq (Bus.signature a) sb
+           tb)
+       alerts)
+
+(* Merge polls across a restart: drop replayed alerts at or below the
+   consumer's sequence high-water mark (the documented dedup rule). *)
+let dedup_alerts hwm alerts =
+  List.filter (fun (a : Monitor.alert) -> a.Monitor.al_seq > !hwm) alerts
+  |> List.map (fun (a : Monitor.alert) ->
+         hwm := max !hwm a.Monitor.al_seq;
+         a)
+
+let monitor_resume =
+  Alcotest.test_case
+    "stop/recover mid-timeline: alert stream and report identical" `Quick
+    (fun () ->
+      let ops = [ 0; 1; 2; 3; 0; 2 ] in
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let user = T.user_with_tokens b m "store-resume" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      let snaps =
+        List.mapi
+          (fun i op ->
+            T.apply_op b m user i op;
+            T.cur b)
+          ops
+      in
+      let clean = Monitor.create input in
+      let clean_alerts =
+        List.concat_map
+          (fun (sb, tb) -> Monitor.poll clean ~source_block:sb ~target_block:tb)
+          snaps
+      in
+      let dir = fresh_dir () in
+      let hwm = ref 0 in
+      (* First life: snapshot every 2 polls, stop after the third. *)
+      let ck1 = Monitor.Checkpoint.open_ ~snapshot_every:2 ~dir () in
+      let mon1 = Monitor.create ~checkpoint:ck1 input in
+      let first, rest =
+        (List.filteri (fun i _ -> i < 3) snaps,
+         List.filteri (fun i _ -> i >= 3) snaps)
+      in
+      let alerts1 =
+        List.concat_map
+          (fun (sb, tb) ->
+            dedup_alerts hwm (Monitor.poll mon1 ~source_block:sb ~target_block:tb))
+          first
+      in
+      let seq1 = Monitor.alert_seq mon1 in
+      Monitor.Checkpoint.close ck1;
+      (* Second life: recover and replay the remaining timeline. *)
+      let ck2 = Monitor.Checkpoint.open_ ~snapshot_every:2 ~dir () in
+      let mon2 = Monitor.create ~checkpoint:ck2 input in
+      Alcotest.(check int) "sequence counter recovered" seq1
+        (Monitor.alert_seq mon2);
+      Alcotest.(check int) "poll counter recovered" 3 (Monitor.polls mon2);
+      let replay = dedup_alerts hwm (Monitor.replayed mon2) in
+      Alcotest.(check string) "replay tail already covered by the consumer"
+        "" (render_alerts replay);
+      let alerts2 =
+        List.concat_map
+          (fun (sb, tb) ->
+            dedup_alerts hwm (Monitor.poll mon2 ~source_block:sb ~target_block:tb))
+          rest
+      in
+      Alcotest.(check string) "alert stream identical across the restart"
+        (render_alerts clean_alerts)
+        (render_alerts (alerts1 @ replay @ alerts2));
+      (match (Monitor.last_report clean, Monitor.last_report mon2) with
+      | Some rc, Some rr ->
+          Alcotest.(check bool) "final reports identical" true
+            (T.report_signature rc = T.report_signature rr)
+      | _ -> Alcotest.fail "missing report");
+      Monitor.Checkpoint.close ck2)
+
+let reorg_restart =
+  Alcotest.test_case
+    "reorg rewind survives a restart: same alert keys, same report" `Quick
+    (fun () ->
+      let plan =
+        { Fault.none with Fault.f_reorg_prob = 0.5; f_reorg_depth = 3 }
+      in
+      let b, m = T.make_bridge () in
+      let input = T.monitor_input b in
+      let faulty_input =
+        {
+          input with
+          Detector.i_source_fault = Some plan;
+          i_target_fault = Some plan;
+          i_rpc_seed = 7;
+        }
+      in
+      let user = T.user_with_tokens b m "store-reorg" (u 1_000_000) in
+      T.seed_completed_deposit b m user;
+      let clean = Monitor.create input in
+      let dir = fresh_dir () in
+      let ck1 = Monitor.Checkpoint.open_ ~dir () in
+      let faulty1 = Monitor.create ~checkpoint:ck1 faulty_input in
+      let clean_alerts = ref [] and faulty_alerts = ref [] in
+      List.iteri
+        (fun i op ->
+          T.apply_op b m user i op;
+          let sb, tb = T.cur b in
+          clean_alerts :=
+            !clean_alerts @ Monitor.poll clean ~source_block:sb ~target_block:tb;
+          faulty_alerts :=
+            !faulty_alerts
+            @ Monitor.poll faulty1 ~source_block:sb ~target_block:tb)
+        [ 0; 1; 2; 3 ];
+      (* Keep polling until a reorg has actually rewound the cursor, so
+         the stop lands mid-rewind — but never to full sync. *)
+      let sb, tb = T.cur b in
+      let polls = ref 0 in
+      while (Monitor.health faulty1).Monitor.h_reorgs = 0 && !polls < 100 do
+        incr polls;
+        faulty_alerts :=
+          !faulty_alerts
+          @ Monitor.poll faulty1 ~source_block:sb ~target_block:tb
+      done;
+      let reorgs1 = (Monitor.health faulty1).Monitor.h_reorgs in
+      Alcotest.(check bool) "a reorg fired before the stop" true (reorgs1 > 0);
+      Monitor.Checkpoint.close ck1;
+      (* Restart mid-rewind: the recovered monitor re-derives the
+         database and keeps chasing the chains.  The fault PRNG restarts
+         with the process, so the claim is key equality (exactly the
+         clean alerts, no duplicates), not byte-identity of cursors. *)
+      let ck2 = Monitor.Checkpoint.open_ ~dir () in
+      let faulty2 = Monitor.create ~checkpoint:ck2 faulty_input in
+      Alcotest.(check int) "reorg count recovered" reorgs1
+        (Monitor.health faulty2).Monitor.h_reorgs;
+      let hwm = ref (Monitor.alert_seq faulty2) in
+      let synced = ref false in
+      let polls = ref 0 in
+      while (not !synced) && !polls < 300 do
+        incr polls;
+        let late = Monitor.poll faulty2 ~source_block:sb ~target_block:tb in
+        faulty_alerts := !faulty_alerts @ dedup_alerts hwm late;
+        synced := (Monitor.health faulty2).Monitor.h_synced
+      done;
+      Alcotest.(check bool) "synced after the restart" true !synced;
+      Alcotest.(check bool) "reorg signals survived recovery" true
+        ((Monitor.health faulty2).Monitor.h_reorgs > 0);
+      Alcotest.(check bool) "alert keys identical to the clean run" true
+        (T.alert_keys !clean_alerts = T.alert_keys !faulty_alerts);
+      (match (Monitor.last_report clean, Monitor.last_report faulty2) with
+      | Some rc, Some rf ->
+          Alcotest.(check bool) "reports identical" true
+            (T.report_signature rc = T.report_signature rf)
+      | _ -> Alcotest.fail "missing report");
+      Monitor.Checkpoint.close ck2)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet crash sweep                                                   *)
+
+let sweep_rounds = 4
+
+let sweep_lanes () =
+  [
+    Presets.lane ~scale:0.01 ~seed:3 ~rounds_to_sync:3 Presets.Nomad;
+    Presets.lane ~scale:0.01 ~seed:5 ~rounds_to_sync:3 Presets.Ronin;
+    Presets.lane ~rounds_to_sync:3 (Presets.Attack Report.Forged_proof);
+  ]
+
+let render_fleet_stream fas =
+  String.concat "\n"
+    (List.map
+       (fun (fa : Bus.fleet_alert) ->
+         Printf.sprintf "#%d r%d %s a%d %s" fa.Bus.fa_seq fa.Bus.fa_round
+           fa.Bus.fa_bridge fa.Bus.fa_alert.Monitor.al_seq
+           (Bus.signature fa.Bus.fa_alert))
+       fas)
+
+(* Drive a durable fleet to [sweep_rounds], restarting (without the
+   plan — a process crashes once) whenever the injected crash fires.
+   The consumer dedups by [fa_seq] high-water mark, exactly as the
+   Supervisor docs prescribe.  Returns the merged emission stream and
+   how many crashes were survived. *)
+let drive_fleet ~jobs ~dir ~crash =
+  let stream = ref [] and hwm = ref (-1) in
+  let add fas =
+    List.iter
+      (fun (fa : Bus.fleet_alert) ->
+        if fa.Bus.fa_seq > !hwm then begin
+          stream := fa :: !stream;
+          hwm := fa.Bus.fa_seq
+        end)
+      fas
+  in
+  let crashes = ref 0 in
+  let rec go crash =
+    let sup = Sup.create ~ndomains:jobs ~state_dir:dir ?crash (sweep_lanes ()) in
+    add (Sup.replayed sup);
+    match
+      while Sup.rounds sup < sweep_rounds do
+        add (Sup.poll sup)
+      done
+    with
+    | () -> ()
+    | exception Crash_plan.Crashed _ ->
+        incr crashes;
+        go None
+  in
+  go crash;
+  (List.rev !stream, !crashes)
+
+(* Uninterrupted baseline per jobs setting, computed once; the counting
+   plan also sizes the 1..N crash space. *)
+let baselines : (int, string * int) Hashtbl.t = Hashtbl.create 4
+
+let baseline ~jobs =
+  match Hashtbl.find_opt baselines jobs with
+  | Some b -> b
+  | None ->
+      let count = Crash_plan.none () in
+      let stream, crashes =
+        drive_fleet ~jobs ~dir:(fresh_dir ()) ~crash:(Some count)
+      in
+      assert (crashes = 0);
+      let b = (render_fleet_stream stream, Crash_plan.ops count) in
+      Hashtbl.replace baselines jobs b;
+      b
+
+let check_crash_at ~jobs k =
+  let expected, _ = baseline ~jobs in
+  let stream, crashes = drive_fleet ~jobs ~dir:(fresh_dir ()) ~crash:(Some (Crash_plan.at k)) in
+  let got = render_fleet_stream stream in
+  if crashes <> 1 then
+    Alcotest.failf "jobs=%d k=%d: expected exactly one crash, got %d" jobs k
+      crashes;
+  if got <> expected then
+    Alcotest.failf "jobs=%d k=%d: stream diverged at %s" jobs k
+      (T.first_diff expected got);
+  true
+
+let prop_crash_sweep =
+  QCheck.Test.make ~count:(T.qcount 5)
+    ~name:"crash at any write point, restart, resume == uninterrupted"
+    QCheck.(pair (oneofl [ 1; 4 ]) (int_bound 1_000_000))
+    (fun (jobs, pick) ->
+      let _, n = baseline ~jobs in
+      let k = 1 + (pick mod n) in
+      check_crash_at ~jobs k)
+
+(* The exhaustive 1..N sweep at both worker counts — minutes, not
+   seconds, so it only runs under XCW_CRASH_FULL=1 (the @crash alias). *)
+let full_crash_sweep =
+  Alcotest.test_case "exhaustive crash sweep (XCW_CRASH_FULL=1)" `Slow
+    (fun () ->
+      match Sys.getenv_opt "XCW_CRASH_FULL" with
+      | None -> print_endline "set XCW_CRASH_FULL=1 for the full sweep"
+      | Some _ ->
+          List.iter
+            (fun jobs ->
+              let _, n = baseline ~jobs in
+              Printf.printf "sweeping %d crash points at --jobs %d\n%!" n jobs;
+              for k = 1 to n do
+                ignore (check_crash_at ~jobs k)
+              done)
+            [ 1; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* Split fleet run + recovery golden                                   *)
+
+let state_name = function
+  | Sup.Active -> "active"
+  | Sup.Degraded -> "degraded"
+  | Sup.Parked { until; term } -> Printf.sprintf "parked(%d,%d)" until term
+  | Sup.Probation -> "probation"
+
+let golden_lanes () =
+  [
+    Presets.lane ~seed:7 ~scale:0.01 ~rounds_to_sync:6 Presets.Ronin;
+    Presets.lane ~seed:11 ~scale:0.01 ~rounds_to_sync:6 Presets.Nomad;
+    Presets.lane ~rounds_to_sync:6 (Presets.Attack Report.Forged_proof);
+  ]
+
+let recovery_golden =
+  Alcotest.test_case
+    "split run matches uninterrupted; health table matches recovery.golden"
+    `Quick (fun () ->
+      let rounds = 8 and stop_at = 4 in
+      (* Uninterrupted reference (also durable, so the store itself is
+         proven transparent to the stream). *)
+      let ref_sup = Sup.create ~state_dir:(fresh_dir ()) (golden_lanes ()) in
+      ignore (Sup.run ref_sup ~rounds);
+      let expected = render_fleet_stream (Sup.alerts ref_sup) in
+      (* Split run: stop after [stop_at] rounds, resume from disk. *)
+      let dir = fresh_dir () in
+      let first = Sup.create ~state_dir:dir (golden_lanes ()) in
+      let stream = ref [] and hwm = ref (-1) in
+      let add fas =
+        List.iter
+          (fun (fa : Bus.fleet_alert) ->
+            if fa.Bus.fa_seq > !hwm then begin
+              stream := fa :: !stream;
+              hwm := fa.Bus.fa_seq
+            end)
+          fas
+      in
+      for _ = 1 to stop_at do
+        add (Sup.poll first)
+      done;
+      let second = Sup.create ~state_dir:dir (golden_lanes ()) in
+      Alcotest.(check int) "resumed at the durable round" stop_at
+        (Sup.rounds second);
+      let replayed = Sup.replayed second in
+      add replayed;
+      while Sup.rounds second < rounds do
+        add (Sup.poll second)
+      done;
+      Alcotest.(check string) "split emission stream identical" expected
+        (render_fleet_stream (List.rev !stream));
+      let render_health (h : Sup.health) =
+        let buf = Buffer.create 1024 in
+        Printf.bprintf buf "recovery: %d-lane fleet resumed at round %d/%d\n"
+          (List.length h.Sup.fh_lanes) (stop_at + 1) rounds;
+        Printf.bprintf buf "replayed %d alert(s) from round %d\n"
+          (List.length replayed) stop_at;
+        List.iter
+          (fun (lh : Sup.lane_health) ->
+            Printf.bprintf buf "lane %d %s %s polls=%d alerts=%d lag=%d\n"
+              lh.Sup.lh_index lh.Sup.lh_name
+              (state_name lh.Sup.lh_state)
+              lh.Sup.lh_polls lh.Sup.lh_alerts lh.Sup.lh_lag)
+          h.Sup.fh_lanes;
+        Printf.bprintf buf "bus: emitted=%d collapsed=%d\n" h.Sup.fh_emitted
+          h.Sup.fh_collapsed;
+        Buffer.contents buf
+      in
+      let rendered = render_health (Sup.health second) in
+      match Sys.getenv_opt "XCW_GOLDEN_WRITE" with
+      | Some gdir ->
+          let path = Filename.concat gdir "recovery.golden" in
+          let oc = open_out_bin path in
+          output_string oc rendered;
+          close_out oc;
+          Printf.printf "wrote %s\n%!" path
+      | None ->
+          let path = Filename.concat "golden" "recovery.golden" in
+          if not (Sys.file_exists path) then
+            Alcotest.failf
+              "missing fixture %s (regenerate with XCW_GOLDEN_WRITE)" path
+          else
+            let expected = T.read_file path in
+            if expected <> rendered then
+              Alcotest.failf "recovery health drifted from %s at %s" path
+                (T.first_diff expected rendered))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "store"
+    [
+      ("codec", [ codec_roundtrip ]);
+      ( "wal",
+        [ wal_roundtrip; wal_torn_tail; wal_corrupt_record; snapshot_recovery ]
+      );
+      ("crash-store", [ store_crash_sweep ]);
+      ("satellites", [ dump_facts_atomic; retry_after_clamped ]);
+      ("monitor", [ monitor_resume; reorg_restart ]);
+      ( "fleet",
+        [ QCheck_alcotest.to_alcotest prop_crash_sweep; full_crash_sweep ] );
+      ("golden", [ recovery_golden ]);
+    ]

@@ -9,7 +9,10 @@
 # --jobs determinism over random traffic), each at XCW_STRESS x their
 # default qcheck case counts (default 10x) — plus the full-matrix fleet
 # bench (4/8/16 bridges x clean/moderate/mixed fault plans via
-# XCW_FLEET_FULL=1).
+# XCW_FLEET_FULL=1) and, via the @crash alias, the exhaustive
+# durable-store crash sweep (XCW_CRASH_FULL=1: every WAL/snapshot write
+# point of a 3-lane fleet, restarted stream asserted byte-identical to
+# the uninterrupted run).
 #
 # Equivalent to `dune build @stress`; this wrapper exists so the knob is
 # discoverable and overridable:
