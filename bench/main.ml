@@ -507,6 +507,140 @@ let () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* accounting: build + detection latency over the exit-bridge lanes
+   (pessimistic accounting stratum, DESIGN.md §15), with the exactness
+   verdict — each class's accounting rule must flag exactly the
+   injected transactions, the benign lane must derive zero
+   accounting-violation tuples, and the derived relations must be
+   identical between --jobs 1 and --jobs 4.  Runnable standalone via
+   [dune exec bench/main.exe accounting]; emits BENCH_accounting.json
+   plus a one-line BENCH_ACCOUNTING summary. *)
+
+let bench_accounting () =
+  let module Json = Xcw_util.Json in
+  let module Engine = Xcw_datalog.Engine in
+  let module Exit_bridge = Xcw_workload.Exit_bridge in
+  section
+    "Exit-bridge accounting: per-class build + detection latency (ms)";
+  let reps = if smoke then 1 else 5 in
+  let acc_relations =
+    [
+      Rules.r_acc_outflow_violation;
+      Rules.r_acc_outflow_tx;
+      Rules.r_acc_forged_exit_proof;
+      Rules.r_acc_stale_root_claim;
+      Rules.r_acc_root_divergence;
+      Rules.r_acc_slashing_evasion;
+    ]
+  in
+  let input_of (b : Scenario.built) label =
+    Detector.default_input ~label ~plugin:Decoder.ronin_plugin
+      ~config:b.Scenario.config
+      ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+      ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+      ~pricing:b.Scenario.pricing
+  in
+  (* Sorted accounting-relation contents — the derived-identical
+     cross-check between the sequential and 4-domain evaluations. *)
+  let acc_signature result =
+    List.map
+      (fun pred ->
+        (pred, List.sort compare (Engine.facts result.Detector.db pred)))
+      acc_relations
+  in
+  (* Benign lane first: the soundness row. *)
+  let benign_b = Exit_bridge.build_benign Exit_bridge.default_base in
+  let benign = Detector.run (input_of benign_b "exit") in
+  let benign_tuples =
+    List.fold_left
+      (fun acc rel -> acc + Engine.fact_count benign.Detector.db rel)
+      0 acc_relations
+  in
+  Printf.printf "%-22s accounting tuples %d (target 0)\n" "benign"
+    benign_tuples;
+  let rows =
+    List.map
+      (fun cls ->
+        let slug = Report.acc_class_slug cls in
+        let spec = Exit_bridge.default_spec cls in
+        let build_ms = ref [] and detect_ms = ref [] in
+        let hits = ref 0 and exact = ref true and jobs_identical = ref true in
+        for _ = 1 to reps do
+          let t0 = Unix.gettimeofday () in
+          let inj = Exit_bridge.build spec in
+          let t1 = Unix.gettimeofday () in
+          let input = input_of inj.Exit_bridge.inj_built ("exit-" ^ slug) in
+          let result = Detector.run input in
+          let t2 = Unix.gettimeofday () in
+          build_ms := (1000.0 *. (t1 -. t0)) :: !build_ms;
+          detect_ms := (1000.0 *. (t2 -. t1)) :: !detect_ms;
+          let flagged =
+            match Report.acc_row result.Detector.report cls with
+            | Some xr ->
+                List.sort compare
+                  (List.map (fun h -> h.Report.ah_tx_hash) xr.Report.xr_hits)
+            | None -> []
+          in
+          hits := List.length flagged;
+          exact := !exact && flagged = inj.Exit_bridge.inj_attack_txs;
+          let par = Detector.run { input with Detector.i_ndomains = 4 } in
+          jobs_identical :=
+            !jobs_identical && acc_signature par = acc_signature result
+        done;
+        let b_ms = Stats.median !build_ms and d_ms = Stats.median !detect_ms in
+        Printf.printf
+          "%-22s build %7.1f ms  detect %7.1f ms  hits %d  exact %b  \
+           jobs-identical %b\n"
+          slug b_ms d_ms !hits !exact !jobs_identical;
+        (slug, b_ms, d_ms, !hits, !exact, !jobs_identical))
+      Report.acc_classes
+  in
+  let all_exact = List.for_all (fun (_, _, _, _, e, _) -> e) rows in
+  let all_identical = List.for_all (fun (_, _, _, _, _, i) -> i) rows in
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "accounting");
+        ("seed", Json.Int seed);
+        ("reps", Json.Int reps);
+        ("benign_accounting_tuples", Json.Int benign_tuples);
+        ("all_exact", Json.Bool all_exact);
+        ("jobs_identical", Json.Bool all_identical);
+        ( "classes",
+          Json.List
+            (List.map
+               (fun (slug, b_ms, d_ms, hits, exact, identical) ->
+                 Json.Obj
+                   [
+                     ("class", Json.String slug);
+                     ("build_ms", Json.Float b_ms);
+                     ("detect_ms", Json.Float d_ms);
+                     ("hits", Json.Int hits);
+                     ("exact", Json.Bool exact);
+                     ("jobs_identical", Json.Bool identical);
+                   ])
+               rows) );
+      ]
+  in
+  if not smoke then Json.write_file ~path:"BENCH_accounting.json" json;
+  Printf.printf
+    "BENCH_ACCOUNTING benign_tuples=%d all_exact=%b jobs_identical=%b %s\n"
+    benign_tuples all_exact all_identical
+    (String.concat " "
+       (List.map
+          (fun (slug, _, d_ms, hits, _, _) ->
+            Printf.sprintf "%s=%.1fms/%d" slug d_ms hits)
+          rows));
+  if not smoke then Printf.printf "(written to BENCH_accounting.json)\n"
+
+let () =
+  if Array.exists (( = ) "accounting") Sys.argv then begin
+    Printf.printf "XChainWatcher accounting bench (seed %d)\n" seed;
+    bench_accounting ();
+    exit 0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* obs: overhead of the Xcw_obs instrumentation.  Runs the identical
    Nomad-scale monitor workload twice per repetition — once recording
    into a live registry and tracer, once into the inert Metrics.noop /

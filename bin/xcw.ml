@@ -11,7 +11,9 @@
      xcw detect --bridge nomad --scale 0.05 --report report.json
      xcw detect --bridge ronin --latency realistic
      xcw detect --attack forged-proof --seed 3
+     xcw detect --exit stale-root
      xcw fleet --bridges nomad,ronin,generic,attack-forged-proof --generics 4
+     xcw fleet --bridges exit,exit-slashing-evasion --rounds 12
      xcw rules *)
 
 module Detector = Xcw_core.Detector
@@ -58,8 +60,8 @@ let opt_bridge_arg =
     value
     & opt (some bridge_conv) None
     & info [ "b"; "bridge" ] ~docv:"BRIDGE"
-        ~doc:"Bridge scenario: nomad or ronin.  Exactly one of $(b,--bridge) \
-              and $(b,--attack) must be given.")
+        ~doc:"Bridge scenario: nomad or ronin.  Exactly one of $(b,--bridge), \
+              $(b,--attack) and $(b,--exit) must be given.")
 
 let attack_conv =
   let parse s =
@@ -86,6 +88,39 @@ let attack_arg =
            (forged-proof, validator-takeover, unauthorized-mint or \
            inconsistent-event) into benign generic-bridge traffic and \
            detect it.  Mutually exclusive with $(b,--bridge).")
+
+let exit_conv =
+  let parse = function
+    | "benign" -> Ok `Benign
+    | s -> (
+        match Report.acc_class_of_slug s with
+        | Some c -> Ok (`Class c)
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown exit lane %S \
+                     (benign|stale-root|forged-exit-proof|root-divergence|net-outflow|slashing-evasion)"
+                    s)))
+  in
+  let print fmt = function
+    | `Benign -> Format.pp_print_string fmt "benign"
+    | `Class c -> Format.pp_print_string fmt (Report.acc_class_slug c)
+  in
+  Arg.conv (parse, print)
+
+let exit_arg =
+  Arg.(
+    value
+    & opt (some exit_conv) None
+    & info [ "exit" ] ~docv:"LANE"
+        ~doc:
+          "Exit-bridge scenario with pessimistic accounting (DESIGN.md \
+           §15): $(docv) is benign (deposit/seal/sign/claim traffic only) \
+           or an injected accounting-violation class (stale-root, \
+           forged-exit-proof, root-divergence, net-outflow or \
+           slashing-evasion).  Mutually exclusive with $(b,--bridge) and \
+           $(b,--attack).")
 
 let scale_arg =
   Arg.(
@@ -301,21 +336,31 @@ let build_scenario kind scale seed =
   | Ronin -> (Xcw_workload.Ronin.build ~seed ~scale (), Decoder.ronin_plugin)
 
 let detect_cmd =
-  let run kind attack scale seed latency endpoints quorum byzantine jobs
-      report_file dataset_file dataset_csv_file rules_file dump_facts_dir
+  let run kind attack exit_lane scale seed latency endpoints quorum byzantine
+      jobs report_file dataset_file dataset_csv_file rules_file dump_facts_dir
       metrics_file trace_file =
+    let module Exit_bridge = Xcw_workload.Exit_bridge in
+    let reseed_exit (base : Exit_bridge.base) =
+      {
+        base with
+        Exit_bridge.b_seed = seed;
+        b_base = { base.Exit_bridge.b_base with Generic.g_seed = seed };
+      }
+    in
     let built, plugin, label =
-      match (kind, attack) with
-      | Some _, Some _ ->
-          Format.eprintf "xcw: --bridge and --attack are mutually exclusive@.";
+      match (kind, attack, exit_lane) with
+      | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+          Format.eprintf
+            "xcw: --bridge, --attack and --exit are mutually exclusive@.";
           exit 2
-      | None, None ->
-          Format.eprintf "xcw: one of --bridge or --attack is required@.";
+      | None, None, None ->
+          Format.eprintf
+            "xcw: one of --bridge, --attack or --exit is required@.";
           exit 2
-      | Some kind, None ->
+      | Some kind, None, None ->
           let built, plugin = build_scenario kind scale seed in
           (built, plugin, (match kind with Nomad -> "nomad" | Ronin -> "ronin"))
-      | None, Some cls ->
+      | None, Some cls, None ->
           let spec = Attacks.default_spec cls in
           let spec =
             {
@@ -327,6 +372,18 @@ let detect_cmd =
           ( inj.Attacks.inj_built,
             Decoder.ronin_plugin,
             "attack-" ^ Attacks.class_slug cls )
+      | None, None, Some `Benign ->
+          ( Exit_bridge.build_benign (reseed_exit Exit_bridge.default_base),
+            Decoder.ronin_plugin,
+            "exit" )
+      | None, None, Some (`Class cls) ->
+          let spec = Exit_bridge.default_spec cls in
+          let spec =
+            { spec with Exit_bridge.e_base = reseed_exit spec.Exit_bridge.e_base }
+          in
+          ( (Exit_bridge.build spec).Exit_bridge.inj_built,
+            Decoder.ronin_plugin,
+            "exit-" ^ Report.acc_class_slug cls )
     in
     let profile =
       match (latency, kind) with
@@ -397,7 +454,7 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect" ~doc:"Generate a bridge scenario and run anomaly detection")
     Term.(
-      const run $ opt_bridge_arg $ attack_arg $ scale_arg $ seed_arg
+      const run $ opt_bridge_arg $ attack_arg $ exit_arg $ scale_arg $ seed_arg
       $ latency_arg $ endpoints_arg $ quorum_arg $ byzantine_arg $ jobs_arg
       $ report_arg $ dataset_arg $ dataset_csv_arg $ rules_file_arg
       $ dump_facts_arg $ metrics_arg $ trace_arg)
@@ -669,8 +726,9 @@ let fleet_cmd =
       & opt string "nomad,ronin,generic,attack-forged-proof"
       & info [ "bridges" ] ~docv:"LIST"
           ~doc:
-            "Comma-separated lane kinds: nomad, ronin, generic, or \
-             attack-<class> (e.g. attack-forged-proof).  Each lane gets \
+            "Comma-separated lane kinds: nomad, ronin, generic, \
+             attack-<class> (e.g. attack-forged-proof), exit, or \
+             exit-<class> (e.g. exit-slashing-evasion).  Each lane gets \
              its own scenario seed.")
   in
   let generics_arg =

@@ -99,3 +99,95 @@ let sc_token_withdrew =
           param "amount" Abi.Type.uint256;
         ];
     }
+
+(** Exit-bridge events (PR 10): the proof-carrying pessimistic bridge
+    model.  Origin side appends to its deposit exit tree and seals
+    per-epoch roots; destination side executes proof-carrying claims
+    and records validator root attestations and stake lifecycle
+    events.  The contracts deliberately do not verify proofs — the
+    watcher does, which is what makes forged-proof and stale-root
+    claims observable anomalies rather than reverts. *)
+
+(** Origin chain: a leaf was appended to the deposit exit tree.
+    [ExitDeposited(leafIndex, token, amount, destChainId, root)] with
+    [root] the deposit-tree root after the append. *)
+let exit_deposited =
+  Abi.Event.
+    {
+      name = "ExitDeposited";
+      params =
+        [
+          param ~indexed:true "leafIndex" Abi.Type.uint256;
+          param "token" Abi.Type.Address;
+          param "amount" Abi.Type.uint256;
+          param "destChainId" Abi.Type.uint256;
+          param "root" Abi.Type.bytes32;
+        ];
+    }
+
+(** Origin chain: the deposit tree root was sealed for an epoch.
+    [ExitRootSealed(epoch, root)]. *)
+let exit_root_sealed =
+  Abi.Event.
+    {
+      name = "ExitRootSealed";
+      params =
+        [
+          param ~indexed:true "epoch" Abi.Type.uint256;
+          param "root" Abi.Type.bytes32;
+        ];
+    }
+
+(** Destination chain: a claim against an origin deposit-tree root was
+    executed.  [ExitClaimed(leafIndex, token, amount, originChainId,
+    root, seq, proof)]: [root] is the root the claimer presented,
+    [seq] the destination-side monotone sequence number, [proof] the
+    concatenated 32-byte sibling digests of the inclusion proof. *)
+let exit_claimed =
+  Abi.Event.
+    {
+      name = "ExitClaimed";
+      params =
+        [
+          param ~indexed:true "leafIndex" Abi.Type.uint256;
+          param "token" Abi.Type.Address;
+          param "amount" Abi.Type.uint256;
+          param "originChainId" Abi.Type.uint256;
+          param "root" Abi.Type.bytes32;
+          param "seq" Abi.Type.uint256;
+          param "proof" Abi.Type.Bytes;
+        ];
+    }
+
+(** Destination chain: a validator attested to an origin epoch root.
+    [ExitRootSigned(originChainId, epoch, root, validator, seq)] with
+    [seq] drawn from the same destination-side sequence as claims. *)
+let exit_root_signed =
+  Abi.Event.
+    {
+      name = "ExitRootSigned";
+      params =
+        [
+          param ~indexed:true "originChainId" Abi.Type.uint256;
+          param "epoch" Abi.Type.uint256;
+          param "root" Abi.Type.bytes32;
+          param "validator" Abi.Type.Address;
+          param "seq" Abi.Type.uint256;
+        ];
+    }
+
+(** Destination chain: stake manager lifecycle.
+    [StakeEvent(validator, kind, amount, epoch)] with [kind] 0 = bond,
+    1 = withdraw, 2 = slash. *)
+let exit_stake_event =
+  Abi.Event.
+    {
+      name = "StakeEvent";
+      params =
+        [
+          param ~indexed:true "validator" Abi.Type.Address;
+          param "kind" Abi.Type.uint256;
+          param "amount" Abi.Type.uint256;
+          param "epoch" Abi.Type.uint256;
+        ];
+    }

@@ -30,3 +30,28 @@ val sc_token_withdrew : Abi.Event.t
 (** Source chain: withdrawal executed.  The beneficiary is always the
     20-byte address the contract extracted and paid.
     [TokenWithdrew(withdrawalId, beneficiary, token, amount)]. *)
+
+(** Exit-bridge events (PR 10) — the proof-carrying pessimistic bridge
+    model; see DESIGN.md §15. *)
+
+val exit_deposited : Abi.Event.t
+(** Origin chain: leaf appended to the deposit exit tree.
+    [ExitDeposited(leafIndex, token, amount, destChainId, root)]. *)
+
+val exit_root_sealed : Abi.Event.t
+(** Origin chain: deposit-tree root sealed for an epoch.
+    [ExitRootSealed(epoch, root)]. *)
+
+val exit_claimed : Abi.Event.t
+(** Destination chain: proof-carrying claim executed.
+    [ExitClaimed(leafIndex, token, amount, originChainId, root, seq,
+    proof)] — [proof] is the concatenated 32-byte sibling digests. *)
+
+val exit_root_signed : Abi.Event.t
+(** Destination chain: validator attestation of an origin epoch root.
+    [ExitRootSigned(originChainId, epoch, root, validator, seq)]. *)
+
+val exit_stake_event : Abi.Event.t
+(** Destination chain: stake lifecycle.
+    [StakeEvent(validator, kind, amount, epoch)], kind 0 = bond,
+    1 = withdraw, 2 = slash. *)

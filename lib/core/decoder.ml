@@ -28,6 +28,7 @@ module Events = Xcw_bridge.Events
 module Erc20 = Xcw_chain.Erc20
 module Weth = Xcw_chain.Weth
 module Hex = Xcw_util.Hex
+module Merkle = Xcw_merkle.Merkle
 module Metrics = Xcw_obs.Metrics
 module Span = Xcw_obs.Span
 
@@ -116,6 +117,11 @@ let decode_beneficiary (v : Abi.Value.t) : (string, string) result =
 let transfer_topic0 = Abi.Event.topic0 Erc20.transfer_event
 let weth_deposit_topic0 = Abi.Event.topic0 Weth.deposit_event
 let weth_withdrawal_topic0 = Abi.Event.topic0 Weth.withdrawal_event
+let exit_deposited_topic0 = Abi.Event.topic0 Events.exit_deposited
+let exit_root_sealed_topic0 = Abi.Event.topic0 Events.exit_root_sealed
+let exit_claimed_topic0 = Abi.Event.topic0 Events.exit_claimed
+let exit_root_signed_topic0 = Abi.Event.topic0 Events.exit_root_signed
+let exit_stake_event_topic0 = Abi.Event.topic0 Events.exit_stake_event
 
 let topic0_of (l : Types.log) =
   match l.Types.topics with t0 :: _ -> Some t0 | [] -> None
@@ -131,6 +137,14 @@ let as_uint = function
 let as_addr_hex = function
   | Abi.Value.Address a -> Hex.encode_0x a
   | _ -> invalid_arg "expected address"
+
+let as_b32 = function
+  | Abi.Value.Fixed_bytes b when String.length b = 32 -> b
+  | _ -> invalid_arg "expected bytes32"
+
+let as_bytes = function
+  | Abi.Value.Bytes b -> b
+  | _ -> invalid_arg "expected bytes"
 
 (* The pure part of a receipt decode: what the event logs alone yield,
    with no RPC involved.  Facts and errors are in reverse push order
@@ -356,6 +370,182 @@ let decode_logs (plugin : plugin) (config : Config.t) ~(role : chain_role)
               true
             end
           in
+          (* Exit-bridge events (pessimistic accounting stratum).  The
+             watcher — not the simulated contract — verifies each
+             claim's inclusion proof here, so forged proofs execute
+             on-chain but arrive in the EDB with [valid = 0]. *)
+          let try_exit_deposited () =
+            if t0 <> exit_deposited_topic0 then false
+            else begin
+              (match
+                 Abi.Event.decode_log Events.exit_deposited l.Types.topics
+                   l.Types.data
+               with
+              | [ ("leafIndex", li); ("token", tok); ("amount", am);
+                  ("destChainId", dc); ("root", rt) ] ->
+                  push
+                    (Facts.Exit_deposit
+                       {
+                         tx_hash;
+                         chain_id;
+                         event_index = l.Types.log_index;
+                         leaf_index = as_uint_int li;
+                         token = as_addr_hex tok;
+                         amount = as_uint_int am;
+                         dest_chain_id = as_uint_int dc;
+                         root = Hex.encode_0x (as_b32 rt);
+                       })
+              | _ -> push_err ~event_index:l.Types.log_index "malformed ExitDeposited"
+              | exception Abi.Decode_error e ->
+                  push_err ~event_index:l.Types.log_index e);
+              true
+            end
+          in
+          let try_exit_root_sealed () =
+            if t0 <> exit_root_sealed_topic0 then false
+            else begin
+              (match
+                 Abi.Event.decode_log Events.exit_root_sealed l.Types.topics
+                   l.Types.data
+               with
+              | [ ("epoch", ep); ("root", rt) ] ->
+                  push
+                    (Facts.Sealed_root
+                       {
+                         tx_hash;
+                         chain_id;
+                         epoch = as_uint_int ep;
+                         root = Hex.encode_0x (as_b32 rt);
+                       })
+              | _ -> push_err ~event_index:l.Types.log_index "malformed ExitRootSealed"
+              | exception Abi.Decode_error e ->
+                  push_err ~event_index:l.Types.log_index e);
+              true
+            end
+          in
+          let try_exit_claimed () =
+            if t0 <> exit_claimed_topic0 then false
+            else begin
+              (match
+                 Abi.Event.decode_log Events.exit_claimed l.Types.topics
+                   l.Types.data
+               with
+              | [ ("leafIndex", li); ("token", tok); ("amount", am);
+                  ("originChainId", oc); ("root", rt); ("seq", sq);
+                  ("proof", pr) ] ->
+                  let leaf_index = as_uint_int li in
+                  let token = as_addr_hex tok in
+                  let amount = as_uint_int am in
+                  let origin_chain_id = as_uint_int oc in
+                  let root_raw = as_b32 rt in
+                  let proof_bytes = as_bytes pr in
+                  let plen = String.length proof_bytes in
+                  let valid =
+                    if plen = 0 || plen mod Merkle.node_bytes <> 0 then 0
+                    else begin
+                      let depth = plen / Merkle.node_bytes in
+                      let siblings =
+                        List.init depth (fun i ->
+                            String.sub proof_bytes (i * Merkle.node_bytes)
+                              Merkle.node_bytes)
+                      in
+                      match
+                        Merkle.leaf_hash ~origin_chain_id
+                          ~dest_chain_id:chain_id ~token ~amount
+                          ~nonce:leaf_index
+                      with
+                      | leaf ->
+                          if
+                            Merkle.verify ~depth ~root:root_raw
+                              ~index:leaf_index ~leaf siblings
+                          then 1
+                          else 0
+                      | exception Invalid_argument _ -> 0
+                    end
+                  in
+                  push
+                    (Facts.Exit_claim
+                       {
+                         tx_hash;
+                         chain_id;
+                         event_index = l.Types.log_index;
+                         leaf_index;
+                         token;
+                         amount;
+                         origin_chain_id;
+                         root = Hex.encode_0x root_raw;
+                         seq = as_uint_int sq;
+                         valid;
+                       })
+              | _ -> push_err ~event_index:l.Types.log_index "malformed ExitClaimed"
+              | exception Abi.Decode_error e ->
+                  push_err ~event_index:l.Types.log_index e);
+              true
+            end
+          in
+          let try_exit_root_signed () =
+            if t0 <> exit_root_signed_topic0 then false
+            else begin
+              (match
+                 Abi.Event.decode_log Events.exit_root_signed l.Types.topics
+                   l.Types.data
+               with
+              | [ ("originChainId", oc); ("epoch", ep); ("root", rt);
+                  ("validator", va); ("seq", sq) ] ->
+                  push
+                    (Facts.Signed_root
+                       {
+                         tx_hash;
+                         chain_id;
+                         origin_chain_id = as_uint_int oc;
+                         epoch = as_uint_int ep;
+                         root = Hex.encode_0x (as_b32 rt);
+                         validator = as_addr_hex va;
+                         seq = as_uint_int sq;
+                       })
+              | _ -> push_err ~event_index:l.Types.log_index "malformed ExitRootSigned"
+              | exception Abi.Decode_error e ->
+                  push_err ~event_index:l.Types.log_index e);
+              true
+            end
+          in
+          let try_exit_stake_event () =
+            if t0 <> exit_stake_event_topic0 then false
+            else begin
+              (match
+                 Abi.Event.decode_log Events.exit_stake_event l.Types.topics
+                   l.Types.data
+               with
+              | [ ("validator", va); ("kind", k); ("amount", am);
+                  ("epoch", ep) ] ->
+                  let kind =
+                    match as_uint_int k with
+                    | 0 -> Some "bond"
+                    | 1 -> Some "withdraw"
+                    | 2 -> Some "slash"
+                    | _ -> None
+                  in
+                  (match kind with
+                  | Some kind ->
+                      push
+                        (Facts.Stake_event
+                           {
+                             tx_hash;
+                             chain_id;
+                             validator = as_addr_hex va;
+                             kind;
+                             amount = as_uint_int am;
+                             epoch = as_uint_int ep;
+                           })
+                  | None ->
+                      push_err ~event_index:l.Types.log_index
+                        "unknown StakeEvent kind")
+              | _ -> push_err ~event_index:l.Types.log_index "malformed StakeEvent"
+              | exception Abi.Decode_error e ->
+                  push_err ~event_index:l.Types.log_index e);
+              true
+            end
+          in
           let handled =
             (match role with
             | Source -> try_sc_deposited () || try_sc_withdrew ()
@@ -364,6 +554,9 @@ let decode_logs (plugin : plugin) (config : Config.t) ~(role : chain_role)
                decoded too (deployments sometimes share contracts). *)
             || try_sc_deposited () || try_tc_deposited () || try_tc_withdrew ()
             || try_sc_withdrew ()
+            || try_exit_deposited () || try_exit_root_sealed ()
+            || try_exit_claimed () || try_exit_root_signed ()
+            || try_exit_stake_event ()
           in
           ignore handled
         end

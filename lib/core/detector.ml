@@ -156,7 +156,10 @@ let run (input : input) : result =
   let total_facts = Engine.total_tuples db in
   (* Phase 3: evaluate the cross-chain rules. *)
   let t1 = Unix.gettimeofday () in
-  let rule_stats = Engine.run ~ndomains:input.i_ndomains db input.i_program in
+  let rule_stats =
+    Engine.run ~ndomains:input.i_ndomains ~aggregates:Rules.aggregates db
+      input.i_program
+  in
   let eval_seconds = Unix.gettimeofday () -. t1 in
   let all_decode_errors =
     List.concat_map (fun rd -> rd.Decoder.rd_errors) (src_decoded @ dst_decoded)

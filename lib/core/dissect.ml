@@ -354,6 +354,118 @@ let dissect ~label ~(config : Config.t) ~(pricing : Pricing.t)
       };
     ]
   in
+  (* --- pessimistic-accounting tables (PR 10) ------------------------ *)
+  (* Exit-bridge amounts are small ints in token base units; the
+     workload prices exit tokens at $1 with 0 decimals, so the USD
+     value is the amount itself. *)
+  let stale_root_hits =
+    List.map
+      (fun t ->
+        let leaf = int_at t 2 and amt = int_at t 4 in
+        {
+          Report.ah_tx_hash = str_at t 0;
+          ah_chain_id = int_at t 1;
+          ah_id = leaf;
+          ah_usd_value = float_of_int amt;
+          ah_detail =
+            Printf.sprintf
+              "leaf %d claimed %d of %s against the superseded epoch-%d root"
+              leaf amt (str_at t 3) (int_at t 5);
+        })
+      (facts_of Rules.r_acc_stale_root_claim)
+  in
+  let forged_exit_hits =
+    List.map
+      (fun t ->
+        let leaf = int_at t 2 and amt = int_at t 4 in
+        {
+          Report.ah_tx_hash = str_at t 0;
+          ah_chain_id = int_at t 1;
+          ah_id = leaf;
+          ah_usd_value = float_of_int amt;
+          ah_detail =
+            Printf.sprintf "leaf %d claimed %d of %s with a non-verifying proof"
+              leaf amt (str_at t 3);
+        })
+      (facts_of Rules.r_acc_forged_exit_proof)
+  in
+  let divergence_hits =
+    List.map
+      (fun t ->
+        let epoch = int_at t 3 in
+        {
+          Report.ah_tx_hash = str_at t 0;
+          ah_chain_id = int_at t 1;
+          ah_id = epoch;
+          ah_usd_value = 0.0;
+          ah_detail =
+            Printf.sprintf
+              "validator %s attested root %s for chain-%d epoch %d, sealed %s"
+              (str_at t 4) (str_at t 5) (int_at t 2) epoch (str_at t 6);
+        })
+      (facts_of Rules.r_acc_root_divergence)
+  in
+  let net_outflow_hits =
+    List.map
+      (fun t ->
+        let amt = int_at t 4 in
+        {
+          Report.ah_tx_hash = str_at t 0;
+          ah_chain_id = int_at t 1;
+          ah_id = 0;
+          ah_usd_value = float_of_int amt;
+          ah_detail =
+            Printf.sprintf
+              "claim of %d draws on over-claimed pool (chain %d, token %s)"
+              amt (int_at t 2) (str_at t 3);
+        })
+      (facts_of Rules.r_acc_outflow_tx)
+  in
+  let slashing_evasion_hits =
+    List.map
+      (fun t ->
+        let amt = int_at t 3 in
+        {
+          Report.ah_tx_hash = str_at t 0;
+          ah_chain_id = int_at t 1;
+          ah_id = 0;
+          ah_usd_value = float_of_int amt;
+          ah_detail =
+            Printf.sprintf
+              "divergent validator %s withdrew stake %d without being slashed"
+              (str_at t 2) amt;
+        })
+      (facts_of Rules.r_acc_slashing_evasion)
+  in
+  let acc_rows =
+    [
+      {
+        Report.xr_class = Report.Stale_root_claim;
+        xr_rule = Rules.r_acc_stale_root_claim;
+        xr_hits = stale_root_hits;
+      };
+      {
+        Report.xr_class = Report.Forged_exit_proof;
+        xr_rule = Rules.r_acc_forged_exit_proof;
+        xr_hits = forged_exit_hits;
+      };
+      {
+        Report.xr_class = Report.Root_divergence;
+        xr_rule = Rules.r_acc_root_divergence;
+        xr_hits = divergence_hits;
+      };
+      {
+        Report.xr_class = Report.Exit_net_outflow;
+        xr_rule = Rules.r_acc_outflow_tx;
+        xr_hits = net_outflow_hits;
+      };
+      {
+        Report.xr_class = Report.Slashing_evasion;
+        xr_rule = Rules.r_acc_slashing_evasion;
+        xr_hits = slashing_evasion_hits;
+      };
+    ]
+  in
   let rows =
     [
       {
@@ -404,6 +516,7 @@ let dissect ~label ~(config : Config.t) ~(pricing : Pricing.t)
     Report.bridge_name = label;
     rows;
     attack_rows;
+    acc_rows;
     cctxs = cctx_deposits @ cctx_withdrawals;
     total_facts =
       (match total_facts with Some n -> n | None -> Engine.total_tuples db);

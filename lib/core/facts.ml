@@ -43,6 +43,16 @@ let r_bridge_event_decode_failure = "bridge_event_decode_failure"
    but surfaced in the monitor's health status. *)
 let r_trace_gap = "trace_gap"
 
+(* Exit-bridge relations (PR 10): the proof-carrying pessimistic
+   bridge model.  Amounts here are small native ints (token base
+   units), not uint256 decimal strings, so the accounting stratum can
+   sum them through the engine's stratified aggregates. *)
+let r_exit_deposit = "exit_deposit"
+let r_exit_claim = "exit_claim"
+let r_sealed_root = "sealed_root"
+let r_signed_root = "signed_root"
+let r_stake_event = "stake_event"
+
 type t =
   | Native_deposit of {
       tx_hash : string;
@@ -129,6 +139,51 @@ type t =
   | Wrapped_native_token of { chain_id : int; token : string }
   | Bridge_event_decode_failure of { tx_hash : string }
   | Trace_gap of { tx_hash : string; chain_id : int }
+  | Exit_deposit of {
+      tx_hash : string;
+      chain_id : int;  (** origin chain appending to its deposit tree *)
+      event_index : int;
+      leaf_index : int;
+      token : string;
+      amount : int;
+      dest_chain_id : int;
+      root : string;  (** deposit-tree root after the append *)
+    }
+  | Exit_claim of {
+      tx_hash : string;
+      chain_id : int;  (** destination chain executing the claim *)
+      event_index : int;
+      leaf_index : int;
+      token : string;
+      amount : int;
+      origin_chain_id : int;
+      root : string;  (** deposit-tree root the proof was checked against *)
+      seq : int;  (** destination-side monotone claim sequence *)
+      valid : int;  (** 1 iff the inclusion proof verified (watcher-side) *)
+    }
+  | Sealed_root of {
+      tx_hash : string;
+      chain_id : int;  (** origin chain sealing its deposit tree *)
+      epoch : int;
+      root : string;
+    }
+  | Signed_root of {
+      tx_hash : string;
+      chain_id : int;  (** destination chain receiving the attestation *)
+      origin_chain_id : int;
+      epoch : int;
+      root : string;
+      validator : string;
+      seq : int;  (** destination-side monotone sequence (shared w/ claims) *)
+    }
+  | Stake_event of {
+      tx_hash : string;
+      chain_id : int;
+      validator : string;
+      kind : string;  (** ["bond"] | ["withdraw"] | ["slash"] *)
+      amount : int;
+      epoch : int;  (** epoch context of the event (0 for bonds) *)
+    }
 
 let amount_term (a : U256.t) = Str (U256.to_decimal_string a)
 
@@ -179,6 +234,25 @@ let to_tuple (fact : t) : string * const list =
   | Wrapped_native_token f -> (r_wrapped_native_token, [ Int f.chain_id; Str f.token ])
   | Bridge_event_decode_failure f -> (r_bridge_event_decode_failure, [ Str f.tx_hash ])
   | Trace_gap f -> (r_trace_gap, [ Str f.tx_hash; Int f.chain_id ])
+  | Exit_deposit f ->
+      ( r_exit_deposit,
+        [ Str f.tx_hash; Int f.chain_id; Int f.event_index; Int f.leaf_index;
+          Str f.token; Int f.amount; Int f.dest_chain_id; Str f.root ] )
+  | Exit_claim f ->
+      ( r_exit_claim,
+        [ Str f.tx_hash; Int f.chain_id; Int f.event_index; Int f.leaf_index;
+          Str f.token; Int f.amount; Int f.origin_chain_id; Str f.root;
+          Int f.seq; Int f.valid ] )
+  | Sealed_root f ->
+      (r_sealed_root, [ Str f.tx_hash; Int f.chain_id; Int f.epoch; Str f.root ])
+  | Signed_root f ->
+      ( r_signed_root,
+        [ Str f.tx_hash; Int f.chain_id; Int f.origin_chain_id; Int f.epoch;
+          Str f.root; Str f.validator; Int f.seq ] )
+  | Stake_event f ->
+      ( r_stake_event,
+        [ Str f.tx_hash; Int f.chain_id; Str f.validator; Str f.kind;
+          Int f.amount; Int f.epoch ] )
 
 let relation_name fact = fst (to_tuple fact)
 
@@ -238,6 +312,25 @@ let to_packed (fact : t) : string * Xcw_datalog.Engine.Relation.tuple =
   | Bridge_event_decode_failure f ->
       (r_bridge_event_decode_failure, [| ps f.tx_hash |])
   | Trace_gap f -> (r_trace_gap, [| ps f.tx_hash; pi f.chain_id |])
+  | Exit_deposit f ->
+      ( r_exit_deposit,
+        [| ps f.tx_hash; pi f.chain_id; pi f.event_index; pi f.leaf_index;
+           ps f.token; pi f.amount; pi f.dest_chain_id; ps f.root |] )
+  | Exit_claim f ->
+      ( r_exit_claim,
+        [| ps f.tx_hash; pi f.chain_id; pi f.event_index; pi f.leaf_index;
+           ps f.token; pi f.amount; pi f.origin_chain_id; ps f.root;
+           pi f.seq; pi f.valid |] )
+  | Sealed_root f ->
+      (r_sealed_root, [| ps f.tx_hash; pi f.chain_id; pi f.epoch; ps f.root |])
+  | Signed_root f ->
+      ( r_signed_root,
+        [| ps f.tx_hash; pi f.chain_id; pi f.origin_chain_id; pi f.epoch;
+           ps f.root; ps f.validator; pi f.seq |] )
+  | Stake_event f ->
+      ( r_stake_event,
+        [| ps f.tx_hash; pi f.chain_id; ps f.validator; ps f.kind;
+           pi f.amount; pi f.epoch |] )
 
 exception Shape
 
@@ -335,6 +428,38 @@ let of_packed (pred : string) (tuple : Xcw_datalog.Engine.Relation.tuple) :
        else if pred = r_trace_gap then begin
          arity 2;
          Trace_gap { tx_hash = str 0; chain_id = int 1 }
+       end
+       else if pred = r_exit_deposit then begin
+         arity 8;
+         Exit_deposit
+           { tx_hash = str 0; chain_id = int 1; event_index = int 2;
+             leaf_index = int 3; token = str 4; amount = int 5;
+             dest_chain_id = int 6; root = str 7 }
+       end
+       else if pred = r_exit_claim then begin
+         arity 10;
+         Exit_claim
+           { tx_hash = str 0; chain_id = int 1; event_index = int 2;
+             leaf_index = int 3; token = str 4; amount = int 5;
+             origin_chain_id = int 6; root = str 7; seq = int 8;
+             valid = int 9 }
+       end
+       else if pred = r_sealed_root then begin
+         arity 4;
+         Sealed_root
+           { tx_hash = str 0; chain_id = int 1; epoch = int 2; root = str 3 }
+       end
+       else if pred = r_signed_root then begin
+         arity 7;
+         Signed_root
+           { tx_hash = str 0; chain_id = int 1; origin_chain_id = int 2;
+             epoch = int 3; root = str 4; validator = str 5; seq = int 6 }
+       end
+       else if pred = r_stake_event then begin
+         arity 6;
+         Stake_event
+           { tx_hash = str 0; chain_id = int 1; validator = str 2;
+             kind = str 3; amount = int 4; epoch = int 5 }
        end
        else raise Shape)
   with Shape | Invalid_argument _ | Failure _ -> None

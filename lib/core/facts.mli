@@ -36,6 +36,17 @@ val r_trace_gap : string
     internal native transfers are invisible.  Consumed by no rule;
     surfaced through the monitor's health status. *)
 
+(** Exit-bridge relations (PR 10): the proof-carrying pessimistic
+    bridge model (DESIGN.md §15).  Amounts in these relations are
+    small native ints, so the accounting stratum can sum them through
+    the engine's stratified aggregates. *)
+
+val r_exit_deposit : string
+val r_exit_claim : string
+val r_sealed_root : string
+val r_signed_root : string
+val r_stake_event : string
+
 (** {1 Facts} *)
 
 type t =
@@ -121,6 +132,51 @@ type t =
   | Wrapped_native_token of { chain_id : int; token : string }
   | Bridge_event_decode_failure of { tx_hash : string }
   | Trace_gap of { tx_hash : string; chain_id : int }
+  | Exit_deposit of {
+      tx_hash : string;
+      chain_id : int;  (** origin chain appending to its deposit tree *)
+      event_index : int;
+      leaf_index : int;
+      token : string;
+      amount : int;
+      dest_chain_id : int;
+      root : string;  (** deposit-tree root after the append *)
+    }
+  | Exit_claim of {
+      tx_hash : string;
+      chain_id : int;  (** destination chain executing the claim *)
+      event_index : int;
+      leaf_index : int;
+      token : string;
+      amount : int;
+      origin_chain_id : int;
+      root : string;  (** root the claim's proof was presented against *)
+      seq : int;  (** destination-side monotone claim sequence *)
+      valid : int;  (** 1 iff the inclusion proof verified (watcher-side) *)
+    }
+  | Sealed_root of {
+      tx_hash : string;
+      chain_id : int;  (** origin chain sealing its deposit tree *)
+      epoch : int;
+      root : string;
+    }
+  | Signed_root of {
+      tx_hash : string;
+      chain_id : int;  (** destination chain receiving the attestation *)
+      origin_chain_id : int;
+      epoch : int;
+      root : string;
+      validator : string;
+      seq : int;  (** destination-side sequence (shared with claims) *)
+    }
+  | Stake_event of {
+      tx_hash : string;
+      chain_id : int;
+      validator : string;
+      kind : string;  (** ["bond"] | ["withdraw"] | ["slash"] *)
+      amount : int;
+      epoch : int;  (** epoch context of the event (0 for bonds) *)
+    }
 
 val to_tuple : t -> string * Xcw_datalog.Ast.const list
 (** The (relation name, tuple) pair for the Datalog database. *)

@@ -88,6 +88,10 @@ module Checkpoint = struct
         Unparseable_beneficiary; Failed_exploit_attempt; Event_without_escrow;
         Finality_violation; Token_mapping_violation; Invalid_beneficiary_fp;
         No_correspondence; Pre_window_fp;
+        (* PR 10: exit-bridge accounting classes, tags 10-14. *)
+        Accounting Stale_root_claim; Accounting Forged_exit_proof;
+        Accounting Root_divergence; Accounting Exit_net_outflow;
+        Accounting Slashing_evasion;
       ]
 
   let class_tag c =
@@ -772,8 +776,8 @@ and poll_body t ~source_block ~target_block : alert list =
         ignore (Facts.load_all t.m_db fresh_facts);
       ignore
         (Engine.run_incremental ~metrics:t.m_metrics
-           ~ndomains:t.m_input.Detector.i_ndomains t.m_db
-           t.m_input.Detector.i_program);
+           ~ndomains:t.m_input.Detector.i_ndomains
+           ~aggregates:Rules.aggregates t.m_db t.m_input.Detector.i_program);
       t.m_db
     end
     else begin
@@ -783,8 +787,8 @@ and poll_body t ~source_block ~target_block : alert list =
       ignore (Facts.load_all db (all_entry_facts t));
       ignore
         (Engine.run ~metrics:t.m_metrics
-           ~ndomains:t.m_input.Detector.i_ndomains db
-           t.m_input.Detector.i_program);
+           ~ndomains:t.m_input.Detector.i_ndomains
+           ~aggregates:Rules.aggregates db t.m_input.Detector.i_program);
       db
     end
   in
@@ -839,6 +843,40 @@ and poll_body t ~source_block ~target_block : alert list =
               end)
             row.Report.rr_anomalies)
         report.Report.rows;
+      (* Accounting rows alert through the same dedup/sequence machinery:
+         a hit becomes an anomaly of class [Accounting xr_class], keyed
+         by its accounting relation. *)
+      List.iter
+        (fun row ->
+          List.iter
+            (fun h ->
+              let cls = Report.Accounting row.Report.xr_class in
+              let key =
+                ( row.Report.xr_rule,
+                  Report.class_name cls,
+                  h.Report.ah_tx_hash )
+              in
+              if not (Hashtbl.mem t.m_known key) then begin
+                Hashtbl.replace t.m_known key ();
+                t.m_seq <- t.m_seq + 1;
+                fresh :=
+                  {
+                    al_seq = t.m_seq;
+                    al_anomaly =
+                      {
+                        Report.a_class = cls;
+                        a_tx_hash = h.Report.ah_tx_hash;
+                        a_chain_id = h.Report.ah_chain_id;
+                        a_usd_value = h.Report.ah_usd_value;
+                        a_detail = h.Report.ah_detail;
+                      };
+                    al_rule = row.Report.xr_rule;
+                    al_detected_at = (source_block, target_block);
+                  }
+                  :: !fresh
+              end)
+            row.Report.xr_hits)
+        report.Report.acc_rows;
       List.rev !fresh
     end
   in

@@ -8,6 +8,39 @@
 
 module Json = Xcw_util.Json
 
+(* --- pessimistic-accounting classes (PR 10) ------------------------ *)
+
+(** The five exit-bridge attack classes of the proof-carrying bridge
+    model (DESIGN.md §15) — violations of structural invariants no
+    per-transaction rule can express. *)
+type acc_class =
+  | Stale_root_claim  (** claim proved against a superseded epoch root *)
+  | Forged_exit_proof  (** claim whose inclusion proof fails to verify *)
+  | Root_divergence  (** validator attested a root the origin never sealed *)
+  | Exit_net_outflow  (** cumulative claims exceed cumulative deposits *)
+  | Slashing_evasion  (** divergent validator withdrew stake unslashed *)
+
+let acc_classes =
+  [ Stale_root_claim; Forged_exit_proof; Root_divergence; Exit_net_outflow;
+    Slashing_evasion ]
+
+let acc_class_name = function
+  | Stale_root_claim -> "stale-root claim"
+  | Forged_exit_proof -> "forged exit proof"
+  | Root_divergence -> "exit-root divergence"
+  | Exit_net_outflow -> "exit net-outflow violation"
+  | Slashing_evasion -> "slashing evasion"
+
+let acc_class_slug = function
+  | Stale_root_claim -> "stale-root"
+  | Forged_exit_proof -> "forged-exit-proof"
+  | Root_divergence -> "root-divergence"
+  | Exit_net_outflow -> "net-outflow"
+  | Slashing_evasion -> "slashing-evasion"
+
+let acc_class_of_slug s =
+  List.find_opt (fun c -> acc_class_slug c = s) acc_classes
+
 type anomaly_class =
   | Phishing_token_transfer
       (** Finding 1: fake/disreputable tokens interacting with the bridge *)
@@ -28,6 +61,8 @@ type anomaly_class =
   | Pre_window_fp
       (** Section 5.2.5: matched by events emitted before the collection
           window (Ronin's 708 false positives) *)
+  | Accounting of acc_class
+      (** PR 10: an exit-bridge accounting-invariant violation *)
 
 let class_name = function
   | Phishing_token_transfer -> "phishing-token transfer"
@@ -40,6 +75,7 @@ let class_name = function
   | Invalid_beneficiary_fp -> "invalid beneficiary (FP)"
   | No_correspondence -> "no correspondence on other chain"
   | Pre_window_fp -> "matched before collection window (FP)"
+  | Accounting c -> "accounting: " ^ acc_class_name c
 
 type anomaly = {
   a_class : anomaly_class;
@@ -86,6 +122,14 @@ type attack_row = {
   ar_hits : attack_hit list;
 }
 
+type acc_row = {
+  xr_class : acc_class;
+  xr_rule : string;  (** the accounting relation that fired *)
+  xr_hits : attack_hit list;
+      (** [ah_id] carries the leaf index (claims), epoch (divergence)
+          or 0 (stake events) *)
+}
+
 (** A valid cross-chain transaction (rules 4 and 8 output) — the unit
     of the open dataset. *)
 type cctx = {
@@ -108,6 +152,8 @@ type t = {
   rows : rule_row list;
   attack_rows : attack_row list;
       (** one row per attack class, in {!attack_classes} order *)
+  acc_rows : acc_row list;
+      (** one row per accounting class, in {!acc_classes} order *)
   cctxs : cctx list;
   total_facts : int;
   decode_seconds : float;  (** wall-clock decode + relation building *)
@@ -119,6 +165,11 @@ let attack_row t cls = List.find_opt (fun r -> r.ar_class = cls) t.attack_rows
 
 let total_attack_hits t =
   List.fold_left (fun acc r -> acc + List.length r.ar_hits) 0 t.attack_rows
+
+let acc_row t cls = List.find_opt (fun r -> r.xr_class = cls) t.acc_rows
+
+let total_acc_hits t =
+  List.fold_left (fun acc r -> acc + List.length r.xr_hits) 0 t.acc_rows
 
 let total_anomalies t =
   List.fold_left (fun acc r -> acc + List.length r.rr_anomalies) 0 t.rows
@@ -177,6 +228,22 @@ let pp fmt t =
         end)
       t.attack_rows
   end;
+  if total_acc_hits t > 0 then begin
+    Format.fprintf fmt "@,accounting violations:@,";
+    List.iter
+      (fun r ->
+        if r.xr_hits <> [] then begin
+          Format.fprintf fmt "%-34s hits %5d  ($%.2f)@."
+            (acc_class_name r.xr_class)
+            (List.length r.xr_hits)
+            (List.fold_left (fun acc h -> acc +. h.ah_usd_value) 0.0 r.xr_hits);
+          List.iter
+            (fun h ->
+              Format.fprintf fmt "    - %s %s@." h.ah_tx_hash h.ah_detail)
+            r.xr_hits
+        end)
+      t.acc_rows
+  end;
   Format.fprintf fmt "@,total anomalies: %d | valid cctxs: %d@]"
     (total_anomalies t) (List.length t.cctxs)
 
@@ -211,9 +278,40 @@ let cctx_to_json c =
       ("latency_seconds", Json.Int (cctx_latency c));
     ]
 
+let acc_rows_json t =
+  (* Appended only when the report carries accounting evidence, keeping
+     pre-PR-10 JSON output byte-stable. *)
+  if total_acc_hits t = 0 then []
+  else
+    [
+      ( "accounting",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("class", Json.String (acc_class_name r.xr_class));
+                   ("rule", Json.String r.xr_rule);
+                   ( "hits",
+                     Json.List
+                       (List.map
+                          (fun h ->
+                            Json.Obj
+                              [
+                                ("tx_hash", Json.String h.ah_tx_hash);
+                                ("chain_id", Json.Int h.ah_chain_id);
+                                ("id", Json.Int h.ah_id);
+                                ("usd_value", Json.Float h.ah_usd_value);
+                                ("detail", Json.String h.ah_detail);
+                              ])
+                          r.xr_hits) );
+                 ])
+             t.acc_rows) );
+    ]
+
 let to_json t =
   Json.Obj
-    [
+    ([
       ("bridge", Json.String t.bridge_name);
       ("total_facts", Json.Int t.total_facts);
       ( "rules",
@@ -252,6 +350,7 @@ let to_json t =
              t.attack_rows) );
       ("cctxs", Json.List (List.map cctx_to_json t.cctxs));
     ]
+    @ acc_rows_json t)
 
 (** The labeled cross-chain transaction dataset (paper contribution 2)
     as a JSON string. *)

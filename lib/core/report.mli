@@ -7,6 +7,28 @@
 
 module Json = Xcw_util.Json
 
+(** {1 Pessimistic-accounting classes (PR 10, DESIGN.md §15)} *)
+
+(** The five exit-bridge attack classes of the proof-carrying bridge
+    model — violations of structural invariants no per-transaction
+    rule can express. *)
+type acc_class =
+  | Stale_root_claim  (** claim proved against a superseded epoch root *)
+  | Forged_exit_proof  (** claim whose inclusion proof fails to verify *)
+  | Root_divergence  (** validator attested a root the origin never sealed *)
+  | Exit_net_outflow  (** cumulative claims exceed cumulative deposits *)
+  | Slashing_evasion  (** divergent validator withdrew stake unslashed *)
+
+val acc_classes : acc_class list
+(** All five classes, in report-row order. *)
+
+val acc_class_name : acc_class -> string
+
+val acc_class_slug : acc_class -> string
+(** Kebab-case identifier (CLI flags, fixture file names). *)
+
+val acc_class_of_slug : string -> acc_class option
+
 type anomaly_class =
   | Phishing_token_transfer  (** Finding 1 *)
   | Direct_transfer_to_bridge  (** Finding 2 *)
@@ -18,6 +40,8 @@ type anomaly_class =
   | Invalid_beneficiary_fp  (** Section 5.2.2 *)
   | No_correspondence  (** Findings 7/8: attacks and stuck funds *)
   | Pre_window_fp  (** Section 5.2.5's Ronin false positives *)
+  | Accounting of acc_class
+      (** PR 10: an exit-bridge accounting-invariant violation *)
 
 val class_name : anomaly_class -> string
 
@@ -62,6 +86,14 @@ type attack_row = {
   ar_hits : attack_hit list;
 }
 
+type acc_row = {
+  xr_class : acc_class;
+  xr_rule : string;  (** the accounting relation that fired *)
+  xr_hits : attack_hit list;
+      (** [ah_id] carries the leaf index (claims), epoch (divergence)
+          or 0 (stake events) *)
+}
+
 (** A valid cross-chain transaction (rules 4 and 8 output) — the unit
     of the open dataset. *)
 type cctx = {
@@ -84,6 +116,8 @@ type t = {
   rows : rule_row list;
   attack_rows : attack_row list;
       (** one row per attack class, in {!attack_classes} order *)
+  acc_rows : acc_row list;
+      (** one row per accounting class, in {!acc_classes} order *)
   cctxs : cctx list;
   total_facts : int;
   decode_seconds : float;
@@ -93,6 +127,9 @@ type t = {
 
 val attack_row : t -> attack_class -> attack_row option
 val total_attack_hits : t -> int
+
+val acc_row : t -> acc_class -> acc_row option
+val total_acc_hits : t -> int
 
 val total_anomalies : t -> int
 val anomalies_of_class : t -> anomaly_class -> anomaly list

@@ -658,6 +658,139 @@ let attack_pack_rules =
   @ [ inconsistent_event_rule ]
 
 (* ------------------------------------------------------------------ *)
+(* Pessimistic-accounting stratum (PR 10; DESIGN.md §15): rules over   *)
+(* the exit-bridge relations of the proof-carrying bridge model.  The  *)
+(* two *_total relations are engine aggregates (see [aggregates]       *)
+(* below), not rule heads: grouped integer sums over the exit EDB,     *)
+(* materialized before any stratum runs, which the rules join and      *)
+(* compare like ordinary EDB — stratified aggregation.                 *)
+
+(* Accounting relation names. *)
+let r_exit_deposit_total = "exit_deposit_total"
+let r_exit_claim_total = "exit_claim_total"
+let r_exit_token_deposited = "exit_token_deposited"
+let r_acc_outflow_violation = "acc_outflow_violation"
+let r_acc_outflow_tx = "acc_outflow_tx"
+let r_acc_forged_exit_proof = "acc_forged_exit_proof"
+let r_acc_stale_root_claim = "acc_stale_root_claim"
+let r_acc_root_divergence = "acc_root_divergence"
+let r_exit_validator_slashed = "exit_validator_slashed"
+let r_acc_slashing_evasion = "acc_slashing_evasion"
+
+let exit_deposit a = atom Facts.r_exit_deposit a
+let exit_claim a = atom Facts.r_exit_claim a
+let sealed_root a = atom Facts.r_sealed_root a
+let signed_root a = atom Facts.r_signed_root a
+let stake_event a = atom Facts.r_stake_event a
+
+(* exit_deposit_total(origin_chain, token, total): summed deposits per
+   (origin chain, token) — grouped over exit_deposit's chain_id (1) and
+   token (4) cells, summing amount (5).  exit_claim_total groups claims
+   by the origin chain they draw on (6) and token (4). *)
+let aggregates : Xcw_datalog.Engine.aggregate list =
+  Xcw_datalog.Engine.
+    [
+      { agg_pred = r_exit_deposit_total; agg_source = Facts.r_exit_deposit;
+        agg_group_by = [ 1; 4 ]; agg_sum = 5 };
+      { agg_pred = r_exit_claim_total; agg_source = Facts.r_exit_claim;
+        agg_group_by = [ 6; 4 ]; agg_sum = 5 };
+    ]
+
+let accounting_rules =
+  [
+    (* Which (origin chain, token) pairs saw any exit deposit at all —
+       lets the conservation law also condemn claims drawing on a
+       token that was never deposited (claimed > 0 = deposited). *)
+    atom r_exit_token_deposited [ v "chain"; v "token" ]
+    <-- [ pos (exit_deposit
+                 [ any (); v "chain"; any (); any (); v "token"; any ();
+                   any (); any () ]) ];
+    (* The conservation law itself: cumulative claims against an origin
+       chain's token exceed what that chain escrowed.  Pessimistic
+       accounting — no per-tx matching needed, the sums alone convict. *)
+    atom r_acc_outflow_violation
+      [ v "chain"; v "token"; v "claimed"; v "deposited" ]
+    <-- [
+          pos (atom r_exit_claim_total [ v "chain"; v "token"; v "claimed" ]);
+          pos (atom r_exit_deposit_total
+                 [ v "chain"; v "token"; v "deposited" ]);
+          ev "claimed" >! ev "deposited";
+        ];
+    atom r_acc_outflow_violation [ v "chain"; v "token"; v "claimed"; i 0 ]
+    <-- [
+          pos (atom r_exit_claim_total [ v "chain"; v "token"; v "claimed" ]);
+          neg (atom r_exit_token_deposited [ v "chain"; v "token" ]);
+        ];
+    (* Every claim drawing on a convicted (origin chain, token) pool —
+       the per-tx evidence rows behind the aggregate verdict. *)
+    atom r_acc_outflow_tx
+      [ v "tx"; v "dchain"; v "ochain"; v "token"; v "amt" ]
+    <-- [
+          pos (atom r_acc_outflow_violation
+                 [ v "ochain"; v "token"; any (); any () ]);
+          pos (exit_claim
+                 [ v "tx"; v "dchain"; any (); any (); v "token"; v "amt";
+                   v "ochain"; any (); any (); any () ]);
+        ];
+    (* A claim whose inclusion proof failed watcher-side verification
+       against the root it presented (valid = 0). *)
+    atom r_acc_forged_exit_proof
+      [ v "tx"; v "chain"; v "leaf"; v "token"; v "amt" ]
+    <-- [
+          pos (exit_claim
+                 [ v "tx"; v "chain"; any (); v "leaf"; v "token"; v "amt";
+                   any (); any (); any (); i 0 ]);
+        ];
+    (* A claim proved against a root some validator had already
+       superseded: the presented root belongs to epoch E, yet an
+       attestation for a newer epoch carries a smaller destination-side
+       sequence number — it landed before the claim did. *)
+    atom r_acc_stale_root_claim
+      [ v "tx"; v "chain"; v "leaf"; v "token"; v "amt"; v "epoch" ]
+    <-- [
+          pos (exit_claim
+                 [ v "tx"; v "chain"; any (); v "leaf"; v "token"; v "amt";
+                   v "origin"; v "root"; v "cseq"; any () ]);
+          pos (signed_root
+                 [ any (); v "chain"; v "origin"; v "epoch"; v "root"; any ();
+                   any () ]);
+          pos (signed_root
+                 [ any (); v "chain"; v "origin"; v "newer"; any (); any ();
+                   v "sseq" ]);
+          ev "newer" >! ev "epoch";
+          ev "sseq" <! ev "cseq";
+        ];
+    (* A validator attested to a root that differs from what the origin
+       chain actually sealed for that epoch. *)
+    atom r_acc_root_divergence
+      [ v "tx"; v "chain"; v "origin"; v "epoch"; v "validator"; v "signed";
+        v "sealed" ]
+    <-- [
+          pos (signed_root
+                 [ v "tx"; v "chain"; v "origin"; v "epoch"; v "signed";
+                   v "validator"; any () ]);
+          pos (sealed_root [ any (); v "origin"; v "epoch"; v "sealed" ]);
+          ev "signed" <>! ev "sealed";
+        ];
+    atom r_exit_validator_slashed [ v "chain"; v "validator" ]
+    <-- [ pos (stake_event
+                 [ any (); v "chain"; v "validator"; s "slash"; any ();
+                   any () ]) ];
+    (* Slashing evasion: a validator caught signing a divergent root
+       withdrew its stake without ever being slashed. *)
+    atom r_acc_slashing_evasion [ v "tx"; v "chain"; v "validator"; v "amt" ]
+    <-- [
+          pos (atom r_acc_root_divergence
+                 [ any (); v "chain"; any (); any (); v "validator"; any ();
+                   any () ]);
+          pos (stake_event
+                 [ v "tx"; v "chain"; v "validator"; s "withdraw"; v "amt";
+                   any () ]);
+          neg (atom r_exit_validator_slashed [ v "chain"; v "validator" ]);
+        ];
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* The full program                                                    *)
 
 let core_rules =
@@ -678,7 +811,10 @@ let auxiliary_rules =
   @ [ reverted_bridge_interaction ]
   @ attack_pack_rules
 
-let all_rules = core_rules @ auxiliary_rules
+(* Accounting rules are appended last so the "NN:pred" labels of the
+   pre-existing 50 rules — baked into golden fixtures and alert streams
+   — keep their positions. *)
+let all_rules = core_rules @ auxiliary_rules @ accounting_rules
 
 let program : program = { rules = all_rules }
 

@@ -104,6 +104,59 @@ val r_inconsistent_deposit_event : string
 val zero_addr : string
 (** ["0x0000...0000"]. *)
 
+(** {1 Pessimistic-accounting stratum (PR 10)}
+
+    Rules over the exit-bridge relations of the proof-carrying bridge
+    model (DESIGN.md §15).  The [*_total] relations are engine
+    aggregates — grouped sums materialized before any stratum runs —
+    which the rules join like EDB: stratified aggregation. *)
+
+val r_exit_deposit_total : string
+(** Aggregate: [(origin_chain, token, total_deposited)]. *)
+
+val r_exit_claim_total : string
+(** Aggregate: [(origin_chain, token, total_claimed)]. *)
+
+val r_exit_token_deposited : string
+(** Helper: [(origin_chain, token)] pairs with any exit deposit. *)
+
+val r_acc_outflow_violation : string
+(** The conservation law: [(origin_chain, token, claimed, deposited)]
+    with [claimed > deposited] (deposited is 0 when the token was
+    never exit-deposited on that chain at all). *)
+
+val r_acc_outflow_tx : string
+(** Per-tx evidence for an outflow violation: [(tx, dest_chain,
+    origin_chain, token, amount)] — every claim drawing on the
+    convicted pool. *)
+
+val r_acc_forged_exit_proof : string
+(** [(tx, chain, leaf, token, amount)] — a claim whose inclusion proof
+    failed watcher-side verification. *)
+
+val r_acc_stale_root_claim : string
+(** [(tx, chain, leaf, token, amount, epoch, newer)] — a claim proved
+    against an epoch root after a newer epoch was already attested. *)
+
+val r_acc_root_divergence : string
+(** [(tx, chain, origin_chain, epoch, validator, signed, sealed)] — a
+    validator attestation differing from the origin's sealed root. *)
+
+val r_exit_validator_slashed : string
+(** Helper: [(chain, validator)] pairs with a slash stake event. *)
+
+val r_acc_slashing_evasion : string
+(** [(tx, chain, validator, amount)] — a divergent-root validator
+    withdrew its stake without being slashed. *)
+
+val aggregates : Xcw_datalog.Engine.aggregate list
+(** The two grouped-sum declarations behind the [*_total] relations;
+    pass to [Engine.run]/[run_incremental] alongside {!program}. *)
+
+val accounting_rules : Xcw_datalog.Ast.rule list
+(** The nine accounting rules; appended last in {!all_rules} so the
+    position-based rule labels of the pre-existing rules are stable. *)
+
 (** {1 The program} *)
 
 val core_rules : Xcw_datalog.Ast.rule list

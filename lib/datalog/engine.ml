@@ -1768,6 +1768,93 @@ let mark_derived (db : db) (stratum_rules : rule list) =
     (fun (r : rule) -> Hashtbl.replace db.db_derived r.head.pred ())
     stratum_rules
 
+(* ------------------------------------------------------------------ *)
+(* Stratified aggregation (PR 10).
+
+   A declared aggregate materializes a grouped integer sum over one EDB
+   relation into a derived predicate, before any rule stratum runs —
+   the aggregate heads are therefore plain EDB from the rules' point of
+   view (they may be joined or negated freely), and stratification is
+   trivially sound because aggregate sources can never depend on rule
+   output.  Computation is sequential and key-sorted, so the derived
+   relation is bit-identical across worker counts and across the
+   scratch/incremental paths. *)
+
+type aggregate = {
+  agg_pred : string;
+  agg_source : string;
+  agg_group_by : int list;
+  agg_sum : int;
+}
+
+let check_aggregates (program : program) (aggregates : aggregate list) =
+  let heads =
+    List.sort_uniq compare
+      (List.map (fun (r : rule) -> r.head.pred) program.rules)
+  in
+  List.iter
+    (fun a ->
+      let fail fmt =
+        Printf.ksprintf
+          (fun s -> invalid_arg ("Engine: aggregate " ^ a.agg_pred ^ ": " ^ s))
+          fmt
+      in
+      if List.mem a.agg_pred heads then fail "head is also a rule head";
+      if List.mem a.agg_source heads then
+        fail "source %s is a rule head (sources must be EDB)" a.agg_source;
+      if List.exists (fun a' -> a'.agg_pred = a.agg_source) aggregates then
+        fail "source %s is another aggregate's head" a.agg_source;
+      if List.exists (fun a' -> a' != a && a'.agg_pred = a.agg_pred) aggregates
+      then fail "declared twice";
+      if a.agg_sum < 0 || List.exists (fun p -> p < 0) a.agg_group_by then
+        fail "negative tuple position")
+    aggregates
+
+(* The grouped sums of the source relation, as packed tuples
+   [group cells..., sum] in ascending key order. *)
+let aggregate_tuples (db : db) (agg : aggregate) : Relation.tuple list =
+  let positions = Array.of_list agg.agg_group_by in
+  let groups : (int array, int) Hashtbl.t = Hashtbl.create 64 in
+  Relation.iter (relation db agg.agg_source) (fun t ->
+      let width = Array.length t in
+      if
+        agg.agg_sum >= width
+        || Array.exists (fun p -> p >= width) positions
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Engine: aggregate %s: position beyond %s arity %d" agg.agg_pred
+             agg.agg_source width);
+      let v =
+        match unpack t.(agg.agg_sum) with
+        | Int n -> n
+        | Str s ->
+            invalid_arg
+              (Printf.sprintf
+                 "Engine: aggregate %s sums non-int cell %S of %s" agg.agg_pred
+                 s agg.agg_source)
+      in
+      let key = Array.map (fun p -> t.(p)) positions in
+      let prev = Option.value (Hashtbl.find_opt groups key) ~default:0 in
+      Hashtbl.replace groups key (prev + v));
+  Hashtbl.fold (fun key total acc -> (key, total) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (key, total) ->
+         Array.append key [| pack_int total |])
+
+(* Recompute one aggregate relation in place; returns the tuple list it
+   now holds.  [Relation.clear] keeps the hash-index structure, so this
+   is the same retraction primitive the incremental strata use. *)
+let compute_aggregate (db : db) (stats : stats) (agg : aggregate) :
+    Relation.tuple list =
+  Hashtbl.replace db.db_derived agg.agg_pred ();
+  let rel = relation db agg.agg_pred in
+  Relation.clear rel;
+  let tuples = aggregate_tuples db agg in
+  List.iter (fun t -> ignore (Relation.add rel t)) tuples;
+  stats.tuples_derived <- stats.tuples_derived + List.length tuples;
+  tuples
+
 let pool_for ?pool ndomains =
   match pool with
   | Some p -> if Pool.ndomains p > 1 then Some p else None
@@ -1781,15 +1868,19 @@ let pool_for ?pool ndomains =
     semi-naive deltas (used by the ablation bench).  [ndomains]
     (default 1: bit-identical sequential behaviour) evaluates each
     stratum on a shared domain pool.  Returns evaluation statistics. *)
-let run ?(naive = false) ?metrics ?(ndomains = 1) ?pool (db : db)
-    (program : program) : stats =
+let run ?(naive = false) ?metrics ?(ndomains = 1) ?pool ?(aggregates = [])
+    (db : db) (program : program) : stats =
   let pool = pool_for ?pool ndomains in
   let reg = match metrics with Some m -> m | None -> Metrics.default () in
   let obs = make_obs reg program in
   List.iter check_rule_safety program.rules;
+  check_aggregates program aggregates;
   let stats = { rules_evaluated = 0; iterations = 0; tuples_derived = 0 } in
   let strata = stratify program.rules in
   Span.with_ "datalog.run" (fun () ->
+      List.iter
+        (fun agg -> ignore (compute_aggregate db stats agg))
+        aggregates;
       List.iteri
         (fun i (stratum_rules, recursive) ->
           mark_derived db stratum_rules;
@@ -1823,14 +1914,15 @@ let run ?(naive = false) ?metrics ?(ndomains = 1) ?pool (db : db)
     EDB relations and their indices are never rebuilt.  The program
     must be the same one evaluated on [db] previously (the first call
     on a fresh database falls back to a full {!run}). *)
-let run_incremental ?metrics ?(ndomains = 1) ?pool (db : db)
+let run_incremental ?metrics ?(ndomains = 1) ?pool ?(aggregates = []) (db : db)
     (program : program) : stats =
-  if not db.db_ran then run ?metrics ~ndomains ?pool db program
+  if not db.db_ran then run ?metrics ~ndomains ?pool ~aggregates db program
   else begin
     let pool = pool_for ?pool ndomains in
     let reg = match metrics with Some m -> m | None -> Metrics.default () in
     let obs = make_obs reg program in
     List.iter check_rule_safety program.rules;
+    check_aggregates program aggregates;
     let stats = { rules_evaluated = 0; iterations = 0; tuples_derived = 0 } in
     let strata = stratify program.rules in
     (* Tuples added per predicate since the last run: journaled EDB
@@ -1851,6 +1943,33 @@ let run_incremental ?metrics ?(ndomains = 1) ?pool (db : db)
       let prev = Option.value (Hashtbl.find_opt added pred) ~default:[] in
       Hashtbl.replace added pred (tuple :: prev)
     in
+    (* Aggregates first: their sources are EDB, so journaled source
+       tuples are the only way an aggregate can change.  Recompute in
+       place and diff against the previous grouped sums — a changed or
+       vanished group retracts tuples (downstream strata take the
+       recompute path via [dirty]), a purely new group propagates as an
+       ordinary insertion delta. *)
+    List.iter
+      (fun agg ->
+        if Hashtbl.mem added agg.agg_source then begin
+          let rel = relation db agg.agg_pred in
+          let old = Relation.to_list rel in
+          ignore (compute_aggregate db stats agg);
+          if obs.eo_live then
+            Metrics.Counter.add obs.eo_retractions
+              (List.length
+                 (List.filter (fun t -> not (Relation.mem rel t)) old));
+          if List.exists (fun t -> not (Relation.mem rel t)) old then
+            Hashtbl.replace dirty agg.agg_pred ()
+          else begin
+            let old_set = Hashtbl.create (max 16 (List.length old)) in
+            List.iter (fun t -> Hashtbl.replace old_set t ()) old;
+            Relation.iter rel (fun t ->
+                if not (Hashtbl.mem old_set t) then
+                  record_added agg.agg_pred t)
+          end
+        end)
+      aggregates;
     Span.with_ "datalog.run_incremental" (fun () ->
     List.iteri
       (fun stratum_i ((stratum_rules : rule list), recursive) ->

@@ -7,8 +7,12 @@
     strata run in a single pass and recursive ones iterate semi-naively
     to fixpoint.  Negation must be stratified.
 
-    Unsupported (not needed by the cross-chain rules): aggregation,
-    arithmetic in rule heads. *)
+    Aggregation is supported in the one stratified form the
+    pessimistic-accounting rules need: declared {!aggregate}s
+    materialize grouped integer sums over EDB relations into derived
+    predicates before any rule stratum runs (see {!run}).  Unsupported
+    (not needed by the cross-chain rules): aggregation over rule
+    output, arithmetic in rule heads. *)
 
 open Ast
 
@@ -144,6 +148,25 @@ type stats = {
   mutable tuples_derived : int;
 }
 
+type aggregate = {
+  agg_pred : string;  (** derived head: [(group cells..., sum)] *)
+  agg_source : string;  (** EDB relation the sum ranges over *)
+  agg_group_by : int list;  (** source tuple positions forming the key *)
+  agg_sum : int;  (** source tuple position summed (must hold ints) *)
+}
+(** A stratified aggregate: for every distinct projection of
+    [agg_source] tuples onto [agg_group_by], derive one [agg_pred]
+    tuple holding the group key followed by the integer sum of the
+    [agg_sum] cells.  Sources must be EDB — neither a rule head nor
+    another aggregate's head — so aggregation is computed once before
+    the rule strata and the rules may join or negate the aggregate
+    head exactly like any EDB relation.  [run]/[run_incremental] raise
+    [Invalid_argument] on declarations violating this, on non-int sum
+    cells, or on positions beyond the source arity.  Groups are emitted
+    in ascending key order by a sequential pass, so the derived
+    relation is bit-identical at any [ndomains] and across the
+    scratch/incremental paths. *)
+
 val recommended_gc_setup : unit -> unit
 (** Idempotently enlarge the minor heap and relax the GC space/time
     trade-off.  Rule evaluation over hundreds of thousands of tuples is
@@ -156,12 +179,14 @@ val run :
   ?metrics:Xcw_obs.Metrics.t ->
   ?ndomains:int ->
   ?pool:Xcw_par.Pool.t ->
+  ?aggregates:aggregate list ->
   db ->
   program ->
   stats
 (** Evaluate all rules to fixpoint, adding derived tuples to [db] in
     place.  [naive] disables semi-naive deltas in recursive strata
-    (used by the ablation bench).
+    (used by the ablation bench).  [aggregates] (default none) are
+    recomputed from their EDB sources before the first stratum.
 
     [ndomains] (default 1) evaluates each stratum's rules on a shared
     {!Xcw_par.Pool} of that many domains: every (rule, delta) job's
@@ -199,12 +224,16 @@ val run_incremental :
   ?metrics:Xcw_obs.Metrics.t ->
   ?ndomains:int ->
   ?pool:Xcw_par.Pool.t ->
+  ?aggregates:aggregate list ->
   db ->
   program ->
   stats
 (** Bring a previously evaluated [db] up to date after fact
     insertions, treating the tuples added since the last run as the
-    initial semi-naive delta.  Strata whose inputs did not change are
+    initial semi-naive delta.  [aggregates] must match the set the
+    database was first evaluated with (like [program]); an aggregate
+    whose source gained journaled tuples is recomputed in place first,
+    its diff feeding the strata as insertions or retractions.  Strata whose inputs did not change are
     skipped entirely; strata that depend on changed predicates only
     positively run insertion-only semi-naive evaluation; strata that
     negate a changed predicate (the non-monotonic anomaly relations)

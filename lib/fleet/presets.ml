@@ -9,37 +9,58 @@ module Report = Xcw_core.Report
 module Scenario = Xcw_workload.Scenario
 module Generic = Xcw_workload.Generic
 module Attacks = Xcw_workload.Attacks
+module Exit_bridge = Xcw_workload.Exit_bridge
 
 type kind =
   | Nomad
   | Ronin
   | Generic_kind of Generic.spec
   | Attack of Report.attack_class
+  | Exit
+  | Exit_attack of Report.acc_class
 
 let kind_of_string s =
+  let strip prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      Some (String.sub s n (String.length s - n))
+    else None
+  in
   match s with
   | "nomad" -> Ok Nomad
   | "ronin" -> Ok Ronin
   | "generic" -> Ok (Generic_kind Generic.default_spec)
+  | "exit" -> Ok Exit
   | s -> (
-      match
-        if String.length s > 7 && String.sub s 0 7 = "attack-" then
-          Attacks.class_of_string (String.sub s 7 (String.length s - 7))
-        else None
-      with
+      match Option.bind (strip "attack-") Attacks.class_of_string with
       | Some cls -> Ok (Attack cls)
-      | None ->
-          Error
-            (Printf.sprintf
-               "unknown lane kind %S \
-                (nomad|ronin|generic|attack-<class>)"
-               s))
+      | None -> (
+          match Option.bind (strip "exit-") Report.acc_class_of_slug with
+          | Some cls -> Ok (Exit_attack cls)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown lane kind %S \
+                    (nomad|ronin|generic|attack-<class>|exit|exit-<class>)"
+                   s)))
 
 let kind_slug = function
   | Nomad -> "nomad"
   | Ronin -> "ronin"
   | Generic_kind _ -> "generic"
   | Attack cls -> "attack-" ^ Attacks.class_slug cls
+  | Exit -> "exit"
+  | Exit_attack cls -> "exit-" ^ Report.acc_class_slug cls
+
+let reseed_exit_base ?seed (base : Exit_bridge.base) =
+  match seed with
+  | None -> base
+  | Some s ->
+      {
+        base with
+        Exit_bridge.b_seed = s;
+        b_base = { base.Exit_bridge.b_base with Generic.g_seed = s };
+      }
 
 let build ?scale ?seed kind =
   match kind with
@@ -66,6 +87,17 @@ let build ?scale ?seed kind =
       ( (Attacks.build spec).Attacks.inj_built,
         Decoder.ronin_plugin,
         "attack-" ^ Attacks.class_slug cls )
+  | Exit ->
+      let base = reseed_exit_base ?seed Exit_bridge.default_base in
+      (Exit_bridge.build_benign base, Decoder.ronin_plugin, "exit")
+  | Exit_attack cls ->
+      let spec = Exit_bridge.default_spec cls in
+      let spec =
+        { spec with Exit_bridge.e_base = reseed_exit_base ?seed spec.Exit_bridge.e_base }
+      in
+      ( (Exit_bridge.build spec).Exit_bridge.inj_built,
+        Decoder.ronin_plugin,
+        "exit-" ^ Report.acc_class_slug cls )
 
 let input_of ~built ~plugin ~label =
   let input =

@@ -14,10 +14,13 @@ type kind =
   | Ronin
   | Generic_kind of Generic.spec
   | Attack of Report.attack_class
+  | Exit  (** benign exit-bridge lane (deposit/seal/sign/claim) *)
+  | Exit_attack of Report.acc_class
+      (** exit-bridge lane with one injected accounting-violation class *)
 
 val kind_of_string : string -> (kind, string) result
-(** Parses [nomad], [ronin], [generic] (the default benign spec) and
-    [attack-<class>] slugs. *)
+(** Parses [nomad], [ronin], [generic] (the default benign spec),
+    [attack-<class>], [exit] and [exit-<class>] slugs. *)
 
 val kind_slug : kind -> string
 

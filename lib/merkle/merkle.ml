@@ -1,0 +1,136 @@
+module Keccak = Xcw_keccak.Keccak
+module Hex = Xcw_util.Hex
+
+let node_bytes = 32
+let max_depth = 30
+let hash2 a b = Keccak.digest (a ^ b)
+
+(* zero_cache.(h) = digest of an all-zero subtree of height h. *)
+let zero_cache =
+  let t = Array.make (max_depth + 1) (String.make node_bytes '\000') in
+  for h = 1 to max_depth do
+    t.(h) <- hash2 t.(h - 1) t.(h - 1)
+  done;
+  t
+
+let zero_node h =
+  if h < 0 || h > max_depth then
+    invalid_arg (Printf.sprintf "Merkle.zero_node: height %d" h);
+  zero_cache.(h)
+
+type t = {
+  t_depth : int;
+  mutable t_leaves : string array;  (* filled prefix [0, t_size) *)
+  mutable t_size : int;
+}
+
+let create ?(depth = 8) () =
+  if depth < 1 || depth > max_depth then
+    invalid_arg
+      (Printf.sprintf "Merkle.create: depth %d out of range 1..%d" depth
+         max_depth);
+  { t_depth = depth; t_leaves = Array.make 16 ""; t_size = 0 }
+
+let depth t = t.t_depth
+let capacity t = 1 lsl t.t_depth
+let size t = t.t_size
+let copy t = { t with t_leaves = Array.copy t.t_leaves }
+
+let add_leaf t leaf =
+  if String.length leaf <> node_bytes then
+    invalid_arg
+      (Printf.sprintf "Merkle.add_leaf: leaf is %d bytes, want %d"
+         (String.length leaf) node_bytes);
+  if t.t_size >= capacity t then
+    invalid_arg
+      (Printf.sprintf "Merkle.add_leaf: tree full (depth %d, %d leaves)"
+         t.t_depth t.t_size);
+  if t.t_size = Array.length t.t_leaves then begin
+    let bigger = Array.make (2 * Array.length t.t_leaves) "" in
+    Array.blit t.t_leaves 0 bigger 0 t.t_size;
+    t.t_leaves <- bigger
+  end;
+  t.t_leaves.(t.t_size) <- leaf;
+  t.t_size <- t.t_size + 1;
+  t.t_size - 1
+
+let leaf t i =
+  if i < 0 || i >= t.t_size then
+    invalid_arg (Printf.sprintf "Merkle.leaf: index %d (size %d)" i t.t_size);
+  t.t_leaves.(i)
+
+(* Digest of the node at [height] covering leaf indices
+   [idx * 2^height, (idx+1) * 2^height): all-zero subtrees short-cut to
+   the cached zero digest, so cost is proportional to the filled
+   prefix, not the capacity. *)
+let rec node t ~height ~idx =
+  if idx lsl height >= t.t_size then zero_cache.(height)
+  else if height = 0 then t.t_leaves.(idx)
+  else
+    hash2
+      (node t ~height:(height - 1) ~idx:(2 * idx))
+      (node t ~height:(height - 1) ~idx:((2 * idx) + 1))
+
+let root t = node t ~height:t.t_depth ~idx:0
+let root_hex t = Hex.encode_0x (root t)
+
+let proof t i =
+  if i < 0 || i >= t.t_size then
+    invalid_arg (Printf.sprintf "Merkle.proof: index %d (size %d)" i t.t_size);
+  List.init t.t_depth (fun h -> node t ~height:h ~idx:((i lsr h) lxor 1))
+
+let verify ~depth ~root ~index ~leaf proof =
+  depth >= 1 && depth <= max_depth
+  && index >= 0
+  && index < 1 lsl depth
+  && String.length leaf = node_bytes
+  && List.length proof = depth
+  && List.for_all (fun s -> String.length s = node_bytes) proof
+  &&
+  let acc = ref leaf in
+  List.iteri
+    (fun h sibling ->
+      acc :=
+        if (index lsr h) land 1 = 0 then hash2 !acc sibling
+        else hash2 sibling !acc)
+    proof;
+  String.equal !acc root
+
+let be64 n =
+  if n < 0 then invalid_arg "Merkle.leaf_hash: negative field";
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int n);
+  Bytes.unsafe_to_string b
+
+let leaf_hash ~origin_chain_id ~dest_chain_id ~token ~amount ~nonce =
+  Keccak.digest
+    (String.concat ""
+       [
+         be64 origin_chain_id; be64 dest_chain_id;
+         be64 (String.length token); token; be64 amount; be64 nonce;
+       ])
+
+let root_of_leaves ~depth leaves =
+  if depth < 1 || depth > max_depth then
+    invalid_arg (Printf.sprintf "Merkle.root_of_leaves: depth %d" depth);
+  let n = List.length leaves in
+  if n > 1 lsl depth then
+    invalid_arg
+      (Printf.sprintf "Merkle.root_of_leaves: %d leaves exceed capacity %d" n
+         (1 lsl depth));
+  List.iter
+    (fun l ->
+      if String.length l <> node_bytes then
+        invalid_arg "Merkle.root_of_leaves: leaf width")
+    leaves;
+  let level = Array.make (1 lsl depth) zero_cache.(0) in
+  List.iteri (fun i l -> level.(i) <- l) leaves;
+  let current = ref level in
+  for _h = 1 to depth do
+    let prev = !current in
+    current :=
+      Array.init
+        (Array.length prev / 2)
+        (fun i -> hash2 prev.(2 * i) prev.((2 * i) + 1))
+  done;
+  !current.(0)

@@ -1,0 +1,90 @@
+(** Append-only sparse Merkle exit trees (keccak-256 over 32-byte
+    nodes), after the pessimistic-bridge "local exit tree" design: a
+    fixed-depth binary tree whose unfilled leaves are implicit zero
+    subtrees, appended on every deposit (source side) or claim
+    execution (target side).  The root commits to the whole exit
+    history, and an inclusion proof is the list of sibling digests from
+    leaf to root.
+
+    Roots and proofs here are what the watcher checks — the simulated
+    exit contracts deliberately do {e not} verify proofs on-chain, so
+    forged-proof and stale-root claims execute and must be caught by
+    the accounting stratum. *)
+
+type t
+(** Mutable append-only tree.  Node digests above the filled prefix are
+    the canonical zero-subtree hashes, so an empty tree of any depth
+    has a well-defined root. *)
+
+val node_bytes : int
+(** Size of every leaf and interior digest: 32. *)
+
+val max_depth : int
+(** Largest accepted tree depth (30): capacities stay comfortably
+    within native [int] indices. *)
+
+val create : ?depth:int -> unit -> t
+(** Fresh empty tree; [depth] defaults to 8 (256-leaf capacity).
+    Raises [Invalid_argument] unless [1 <= depth <= max_depth]. *)
+
+val depth : t -> int
+
+val capacity : t -> int
+(** [2 ^ depth]. *)
+
+val size : t -> int
+(** Leaves appended so far. *)
+
+val copy : t -> t
+(** Independent snapshot — later appends to either tree do not affect
+    the other.  Stale-root attacks prove inclusion against a copy taken
+    before newer epochs were appended. *)
+
+val add_leaf : t -> string -> int
+(** Append a 32-byte leaf digest, returning its index.  Raises
+    [Invalid_argument] if the tree is full or the leaf is not
+    [node_bytes] long. *)
+
+val leaf : t -> int -> string
+(** The leaf at an index; raises [Invalid_argument] out of range. *)
+
+val root : t -> string
+(** 32-byte root digest of the current tree. *)
+
+val root_hex : t -> string
+(** [root] as lowercase ["0x"]-prefixed hex — the representation used
+    in EDB facts and events. *)
+
+val proof : t -> int -> string list
+(** Inclusion proof for the leaf at an index: the [depth] sibling
+    digests, leaf level first.  Raises [Invalid_argument] out of
+    range (only appended leaves can be proven). *)
+
+val verify :
+  depth:int -> root:string -> index:int -> leaf:string -> string list -> bool
+(** [verify ~depth ~root ~index ~leaf proof] recomputes the root from
+    the leaf and sibling path.  [false] (never an exception) on any
+    mismatch: wrong sibling count or width, index out of range, or a
+    recomputed root that differs from [root]. *)
+
+val leaf_hash :
+  origin_chain_id:int ->
+  dest_chain_id:int ->
+  token:string ->
+  amount:int ->
+  nonce:int ->
+  string
+(** Canonical 32-byte exit-leaf digest: keccak-256 over the
+    big-endian-packed fields (ints as unsigned 64-bit words, [token]
+    as raw bytes, each field length-prefixed so field boundaries are
+    unambiguous).  Raises [Invalid_argument] on negative ints. *)
+
+val root_of_leaves : depth:int -> string list -> string
+(** Naive reference: materialize the full [2 ^ depth] leaf level
+    (zero-padded), hash level by level.  Differential oracle for
+    {!root} in the property tests; [Invalid_argument] on bad depth,
+    too many leaves, or a mis-sized leaf. *)
+
+val zero_node : int -> string
+(** The canonical digest of an all-zero subtree of the given height
+    ([zero_node 0] is 32 zero bytes).  Exposed for tests. *)

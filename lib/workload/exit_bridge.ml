@@ -1,0 +1,661 @@
+(** Proof-carrying exit-bridge workload (DESIGN.md §15).
+
+    The exit contracts are deliberately credulous: deposits append to
+    the origin Merkle tree and claims/attestations emit whatever they
+    are handed, with only the stake lifecycle enforced (bond before
+    signing, no withdrawal once slashed).  Everything adversarial is
+    caught off-chain — the decoder re-verifies each claim's inclusion
+    proof and the accounting stratum derives the violations — so every
+    attack class below {e executes successfully} on-chain. *)
+
+module U256 = Xcw_uint256.Uint256
+module Address = Xcw_evm.Address
+module Types = Xcw_evm.Types
+module Chain = Xcw_chain.Chain
+module Bridge = Xcw_bridge.Bridge
+module Events = Xcw_bridge.Events
+module Abi = Xcw_abi.Abi
+module Merkle = Xcw_merkle.Merkle
+module Hex = Xcw_util.Hex
+module Prng = Xcw_util.Prng
+module Config = Xcw_core.Config
+module Pricing = Xcw_core.Pricing
+module Report = Xcw_core.Report
+module Facts = Xcw_core.Facts
+open Scenario
+
+type base = {
+  b_seed : int;
+  b_label : string;
+  b_validators : int;
+  b_epochs : int;
+  b_deposits_per_epoch : int;
+  b_stake : int;
+  b_tree_depth : int;
+  b_base : Generic.spec;
+}
+
+let default_base =
+  {
+    b_seed = 1;
+    b_label = "exit";
+    b_validators = 3;
+    b_epochs = 2;
+    b_deposits_per_epoch = 3;
+    b_stake = 1_000;
+    b_tree_depth = 8;
+    b_base =
+      {
+        Generic.default_spec with
+        Generic.g_label = "exit";
+        g_n_users = 6;
+        g_erc20_deposits = 6;
+        g_native_deposits = 2;
+        g_withdrawals = 2;
+        g_via_aggregator = 1;
+      };
+  }
+
+type spec = { e_class : Report.acc_class; e_base : base }
+
+let default_spec cls =
+  {
+    e_class = cls;
+    e_base =
+      {
+        default_base with
+        b_label = "exit-" ^ Report.acc_class_slug cls;
+        b_base =
+          {
+            default_base.b_base with
+            Generic.g_label = "exit-" ^ Report.acc_class_slug cls;
+          };
+      };
+  }
+
+type injected = {
+  inj_built : Scenario.built;
+  inj_spec : spec;
+  inj_attack_txs : string list;
+  inj_divergence_txs : string list;
+  inj_txs : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The exit contracts                                                  *)
+
+let sel_deposit = Abi.selector "exitDeposit(address,uint256,uint256)"
+let sel_seal = Abi.selector "sealExitRoot(uint256)"
+
+let sel_claim =
+  Abi.selector "claimExit(uint256,address,uint256,uint256,bytes32,bytes)"
+
+let sel_sign = Abi.selector "signExitRoot(uint256,uint256,bytes32)"
+let sel_bond = Abi.selector "bondStake(uint256)"
+let sel_withdraw = Abi.selector "withdrawStake(uint256)"
+let sel_slash = Abi.selector "slashValidator(address,uint256)"
+
+type leaf_info = { li_token : Address.t; li_amount : int }
+
+(* Shared lane state, captured by both contract closures and kept by
+   the builder for proof construction and injections. *)
+type state = {
+  st_src_id : int;
+  st_dst_id : int;
+  st_operator : Address.t;
+  st_tree : Merkle.t;  (** origin deposit tree *)
+  st_claim_tree : Merkle.t;  (** destination claim tree *)
+  st_leaves : (int, leaf_info) Hashtbl.t;
+  st_snapshots : (int, Merkle.t) Hashtbl.t;  (** epoch -> tree at seal *)
+  mutable st_seq : int;  (** destination-side sequence *)
+  st_stakes : (Address.t, int) Hashtbl.t;
+  st_slashed : (Address.t, unit) Hashtbl.t;
+  mutable st_src_exit : Address.t;
+  mutable st_dst_exit : Address.t;
+}
+
+let decode_args types input =
+  let payload = String.sub input 4 (String.length input - 4) in
+  try Abi.decode types payload
+  with Abi.Decode_error msg ->
+    raise (Chain.Revert ("ExitBridge: bad calldata: " ^ msg))
+
+let selector_of env =
+  let input = env.Chain.input in
+  if String.length input < 4 then
+    raise (Chain.Revert "ExitBridge: missing selector");
+  String.sub input 0 4
+
+let uint i = Abi.Value.uint_of_int i
+
+let origin_dispatch (st : state) (env : Chain.env) : unit =
+  let sel = selector_of env in
+  if sel = sel_deposit then begin
+    match
+      decode_args [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.uint256 ]
+        env.Chain.input
+    with
+    | [ Abi.Value.Address token; Abi.Value.Uint amount; Abi.Value.Uint dest ]
+      ->
+        let amount = U256.to_int amount and dest = U256.to_int dest in
+        let idx = Merkle.size st.st_tree in
+        let leaf =
+          Merkle.leaf_hash ~origin_chain_id:st.st_src_id ~dest_chain_id:dest
+            ~token:(Hex.encode_0x token) ~amount ~nonce:idx
+        in
+        ignore (Merkle.add_leaf st.st_tree leaf);
+        Hashtbl.replace st.st_leaves idx { li_token = token; li_amount = amount };
+        env.Chain.emit Events.exit_deposited
+          [
+            uint idx;
+            Abi.Value.Address token;
+            uint amount;
+            uint dest;
+            Abi.Value.Fixed_bytes (Merkle.root st.st_tree);
+          ]
+    | _ -> raise (Chain.Revert "ExitBridge: bad exitDeposit args")
+  end
+  else if sel = sel_seal then begin
+    match decode_args [ Abi.Type.uint256 ] env.Chain.input with
+    | [ Abi.Value.Uint epoch ] ->
+        let epoch = U256.to_int epoch in
+        Hashtbl.replace st.st_snapshots epoch (Merkle.copy st.st_tree);
+        env.Chain.emit Events.exit_root_sealed
+          [ uint epoch; Abi.Value.Fixed_bytes (Merkle.root st.st_tree) ]
+    | _ -> raise (Chain.Revert "ExitBridge: bad sealExitRoot args")
+  end
+  else raise (Chain.Revert "ExitBridge: unknown selector")
+
+let dest_dispatch (st : state) (env : Chain.env) : unit =
+  let sel = selector_of env in
+  let next_seq () =
+    let s = st.st_seq in
+    st.st_seq <- s + 1;
+    s
+  in
+  if sel = sel_claim then begin
+    match
+      decode_args
+        [
+          Abi.Type.uint256; Abi.Type.Address; Abi.Type.uint256;
+          Abi.Type.uint256; Abi.Type.bytes32; Abi.Type.Bytes;
+        ]
+        env.Chain.input
+    with
+    | [
+     Abi.Value.Uint leaf_index; Abi.Value.Address token; Abi.Value.Uint amount;
+     Abi.Value.Uint origin; Abi.Value.Fixed_bytes root; Abi.Value.Bytes proof;
+    ] ->
+        let leaf_index = U256.to_int leaf_index in
+        let amount = U256.to_int amount in
+        let origin = U256.to_int origin in
+        (* Append the execution to the claim-side exit tree; the claim
+           itself is taken at face value (pessimistic model: the
+           watcher, not the contract, verifies the proof). *)
+        let cleaf =
+          Merkle.leaf_hash ~origin_chain_id:origin ~dest_chain_id:st.st_dst_id
+            ~token:(Hex.encode_0x token) ~amount
+            ~nonce:(Merkle.size st.st_claim_tree)
+        in
+        ignore (Merkle.add_leaf st.st_claim_tree cleaf);
+        env.Chain.emit Events.exit_claimed
+          [
+            uint leaf_index;
+            Abi.Value.Address token;
+            uint amount;
+            uint origin;
+            Abi.Value.Fixed_bytes root;
+            uint (next_seq ());
+            Abi.Value.Bytes proof;
+          ]
+    | _ -> raise (Chain.Revert "ExitBridge: bad claimExit args")
+  end
+  else if sel = sel_sign then begin
+    match
+      decode_args [ Abi.Type.uint256; Abi.Type.uint256; Abi.Type.bytes32 ]
+        env.Chain.input
+    with
+    | [ Abi.Value.Uint origin; Abi.Value.Uint epoch; Abi.Value.Fixed_bytes root ]
+      ->
+        (match Hashtbl.find_opt st.st_stakes env.Chain.sender with
+        | Some s when s > 0 -> ()
+        | _ -> raise (Chain.Revert "ExitBridge: signer not bonded"));
+        env.Chain.emit Events.exit_root_signed
+          [
+            uint (U256.to_int origin);
+            uint (U256.to_int epoch);
+            Abi.Value.Fixed_bytes root;
+            Abi.Value.Address env.Chain.sender;
+            uint (next_seq ());
+          ]
+    | _ -> raise (Chain.Revert "ExitBridge: bad signExitRoot args")
+  end
+  else if sel = sel_bond then begin
+    match decode_args [ Abi.Type.uint256 ] env.Chain.input with
+    | [ Abi.Value.Uint amount ] ->
+        let amount = U256.to_int amount in
+        let prev =
+          Option.value ~default:0 (Hashtbl.find_opt st.st_stakes env.Chain.sender)
+        in
+        Hashtbl.replace st.st_stakes env.Chain.sender (prev + amount);
+        env.Chain.emit Events.exit_stake_event
+          [ Abi.Value.Address env.Chain.sender; uint 0; uint amount; uint 0 ]
+    | _ -> raise (Chain.Revert "ExitBridge: bad bondStake args")
+  end
+  else if sel = sel_withdraw then begin
+    match decode_args [ Abi.Type.uint256 ] env.Chain.input with
+    | [ Abi.Value.Uint epoch ] ->
+        if Hashtbl.mem st.st_slashed env.Chain.sender then
+          raise (Chain.Revert "ExitBridge: stake is slashed");
+        let s =
+          Option.value ~default:0 (Hashtbl.find_opt st.st_stakes env.Chain.sender)
+        in
+        if s <= 0 then raise (Chain.Revert "ExitBridge: nothing bonded");
+        Hashtbl.replace st.st_stakes env.Chain.sender 0;
+        env.Chain.emit Events.exit_stake_event
+          [
+            Abi.Value.Address env.Chain.sender; uint 1; uint s;
+            uint (U256.to_int epoch);
+          ]
+    | _ -> raise (Chain.Revert "ExitBridge: bad withdrawStake args")
+  end
+  else if sel = sel_slash then begin
+    match decode_args [ Abi.Type.Address; Abi.Type.uint256 ] env.Chain.input with
+    | [ Abi.Value.Address validator; Abi.Value.Uint epoch ] ->
+        if not (Address.equal env.Chain.sender st.st_operator) then
+          raise (Chain.Revert "ExitBridge: slash is operator-only");
+        let s =
+          Option.value ~default:0 (Hashtbl.find_opt st.st_stakes validator)
+        in
+        Hashtbl.replace st.st_stakes validator 0;
+        Hashtbl.replace st.st_slashed validator ();
+        env.Chain.emit Events.exit_stake_event
+          [
+            Abi.Value.Address validator; uint 2; uint s;
+            uint (U256.to_int epoch);
+          ]
+    | _ -> raise (Chain.Revert "ExitBridge: bad slashValidator args")
+  end
+  else raise (Chain.Revert "ExitBridge: unknown selector")
+
+(* ------------------------------------------------------------------ *)
+(* Calldata builders                                                   *)
+
+let deposit_calldata ~token ~amount ~dest =
+  Abi.encode_call "exitDeposit(address,uint256,uint256)"
+    [ Abi.Type.Address; Abi.Type.uint256; Abi.Type.uint256 ]
+    [ Abi.Value.Address token; uint amount; uint dest ]
+
+let seal_calldata ~epoch =
+  Abi.encode_call "sealExitRoot(uint256)" [ Abi.Type.uint256 ] [ uint epoch ]
+
+let claim_calldata ~leaf_index ~token ~amount ~origin ~root ~proof =
+  Abi.encode_call "claimExit(uint256,address,uint256,uint256,bytes32,bytes)"
+    [
+      Abi.Type.uint256; Abi.Type.Address; Abi.Type.uint256; Abi.Type.uint256;
+      Abi.Type.bytes32; Abi.Type.Bytes;
+    ]
+    [
+      uint leaf_index; Abi.Value.Address token; uint amount; uint origin;
+      Abi.Value.Fixed_bytes root; Abi.Value.Bytes proof;
+    ]
+
+let sign_calldata ~origin ~epoch ~root =
+  Abi.encode_call "signExitRoot(uint256,uint256,bytes32)"
+    [ Abi.Type.uint256; Abi.Type.uint256; Abi.Type.bytes32 ]
+    [ uint origin; uint epoch; Abi.Value.Fixed_bytes root ]
+
+let bond_calldata ~amount =
+  Abi.encode_call "bondStake(uint256)" [ Abi.Type.uint256 ] [ uint amount ]
+
+let withdraw_calldata ~epoch =
+  Abi.encode_call "withdrawStake(uint256)" [ Abi.Type.uint256 ] [ uint epoch ]
+
+let slash_calldata ~validator ~epoch =
+  Abi.encode_call "slashValidator(address,uint256)"
+    [ Abi.Type.Address; Abi.Type.uint256 ]
+    [ Abi.Value.Address validator; uint epoch ]
+
+(* ------------------------------------------------------------------ *)
+(* Benign lane                                                          *)
+
+type lane = {
+  la_built : Scenario.built;
+  la_state : state;
+  la_validators : Address.t list;
+  la_user : Address.t;
+  la_tokens : Address.t list;  (** the two exit tokens, priced $1 / 0 dp *)
+  la_claimed_from : int;  (** benign claims cover leaves [la_claimed_from ..) *)
+}
+
+let assert_success what (r : Types.receipt) =
+  if r.Types.r_status <> Types.Success then
+    failwith (Printf.sprintf "Exit_bridge: %s reverted" what);
+  Facts.hex_of_hash r.Types.r_tx_hash
+
+let validate (b : base) =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if b.b_validators < 2 then
+    fail "Exit_bridge.build: b_validators = %d out of range (>= 2)"
+      b.b_validators;
+  if b.b_epochs < 2 then
+    fail "Exit_bridge.build: b_epochs = %d out of range (>= 2)" b.b_epochs;
+  if b.b_deposits_per_epoch < 2 then
+    fail "Exit_bridge.build: b_deposits_per_epoch = %d out of range (>= 2)"
+      b.b_deposits_per_epoch;
+  if b.b_stake < 1 then
+    fail "Exit_bridge.build: b_stake = %d out of range (>= 1)" b.b_stake;
+  if b.b_tree_depth < 1 || b.b_tree_depth > Merkle.max_depth then
+    fail "Exit_bridge.build: b_tree_depth = %d out of range 1..%d"
+      b.b_tree_depth Merkle.max_depth;
+  let deposits = b.b_epochs * b.b_deposits_per_epoch in
+  (* Keep headroom for the injections (net outflow appends 2 leaves). *)
+  if deposits + 4 > 1 lsl b.b_tree_depth then
+    fail
+      "Exit_bridge.build: %d deposits + injection reserve exceed the depth-%d \
+       tree capacity %d"
+      deposits b.b_tree_depth (1 lsl b.b_tree_depth)
+
+(** Build the benign exit lane on top of the generic base.  Everything
+    after the base build runs on synchronized chain clocks so that the
+    whole lane — and any injection after it — is deterministic. *)
+let build_lane (b : base) : lane =
+  validate b;
+  let built = Generic.build b.b_base in
+  let rng = Prng.create (b.b_seed + 9137) in
+  let bridge = built.bridge in
+  let src = bridge.Bridge.source and dst = bridge.Bridge.target in
+  let src_chain = src.Bridge.chain and dst_chain = dst.Bridge.chain in
+  let src_id = src_chain.Chain.chain_id in
+  let dst_id = dst_chain.Chain.chain_id in
+  let st =
+    {
+      st_src_id = src_id;
+      st_dst_id = dst_id;
+      st_operator = dst.Bridge.operator;
+      st_tree = Merkle.create ~depth:b.b_tree_depth ();
+      st_claim_tree = Merkle.create ~depth:b.b_tree_depth ();
+      st_leaves = Hashtbl.create 64;
+      st_snapshots = Hashtbl.create 8;
+      st_seq = 0;
+      st_stakes = Hashtbl.create 8;
+      st_slashed = Hashtbl.create 8;
+      st_src_exit = Address.zero;
+      st_dst_exit = Address.zero;
+    }
+  in
+  (* Synchronize the clocks before any lane activity. *)
+  let t0 = max (Chain.now src_chain) (Chain.now dst_chain) + 3600 in
+  Chain.set_time src_chain t0;
+  Chain.set_time dst_chain t0;
+  let user = Address.of_seed (b.b_label ^ "-exit-user") in
+  let validators =
+    List.init b.b_validators (fun i ->
+        Address.of_seed (Printf.sprintf "%s-exit-validator-%d" b.b_label i))
+  in
+  List.iter
+    (fun who ->
+      Chain.fund src_chain who (eth_to_wei 10.0);
+      Chain.fund dst_chain who (eth_to_wei 10.0))
+    (user :: validators);
+  st.st_src_exit <-
+    Chain.deploy ~label:"ExitBridge:origin" src_chain ~from_:src.Bridge.operator
+      (origin_dispatch st);
+  st.st_dst_exit <-
+    Chain.deploy ~label:"ExitBridge:dest" dst_chain ~from_:dst.Bridge.operator
+      (dest_dispatch st);
+  (* The watcher's view: exit contracts are bridge-controlled, exit
+     tokens priced at $1 with 0 decimals (so USD value = amount). *)
+  let tokens =
+    List.init 2 (fun i ->
+        let t = Address.of_seed (Printf.sprintf "%s-exit-token-%d" b.b_label i) in
+        Pricing.register built.pricing ~chain_id:src_id ~token:(Address.to_hex t)
+          ~usd_per_token:1.0 ~decimals:0;
+        Pricing.register built.pricing ~chain_id:dst_id ~token:(Address.to_hex t)
+          ~usd_per_token:1.0 ~decimals:0;
+        t)
+  in
+  let config =
+    {
+      built.config with
+      Config.bridge_controlled =
+        built.config.Config.bridge_controlled
+        @ [ (src_id, st.st_src_exit); (dst_id, st.st_dst_exit) ];
+    }
+  in
+  (* Stake bonding. *)
+  List.iter
+    (fun v ->
+      Chain.advance_time dst_chain 60;
+      ignore
+        (assert_success "bondStake"
+           (Chain.submit_tx dst_chain ~from_:v ~to_:st.st_dst_exit
+              ~input:(bond_calldata ~amount:b.b_stake)
+              ())))
+    validators;
+  (* Epochs: deposits, seal, unanimous honest attestations. *)
+  for epoch = 0 to b.b_epochs - 1 do
+    for _ = 1 to b.b_deposits_per_epoch do
+      Chain.advance_time src_chain 60;
+      let token = List.nth tokens (Merkle.size st.st_tree mod 2) in
+      let amount = 100 + Prng.int rng 900 in
+      ignore
+        (assert_success "exitDeposit"
+           (Chain.submit_tx src_chain ~from_:user ~to_:st.st_src_exit
+              ~input:(deposit_calldata ~token ~amount ~dest:dst_id)
+              ()))
+    done;
+    Chain.advance_time src_chain 60;
+    ignore
+      (assert_success "sealExitRoot"
+         (Chain.submit_tx src_chain ~from_:src.Bridge.operator
+            ~to_:st.st_src_exit
+            ~input:(seal_calldata ~epoch)
+            ()));
+    let root = Merkle.root (Hashtbl.find st.st_snapshots epoch) in
+    List.iter
+      (fun v ->
+        Chain.advance_time dst_chain 60;
+        ignore
+          (assert_success "signExitRoot"
+             (Chain.submit_tx dst_chain ~from_:v ~to_:st.st_dst_exit
+                ~input:(sign_calldata ~origin:src_id ~epoch ~root)
+                ())))
+      validators
+  done;
+  (* Claims: the tail half of the leaves, with valid proofs against the
+     final sealed root — leaving the head leaves unclaimed for the
+     injections (claims never exceed deposits per token). *)
+  let n_leaves = Merkle.size st.st_tree in
+  let final = Hashtbl.find st.st_snapshots (b.b_epochs - 1) in
+  let claimed_from = n_leaves / 2 in
+  for idx = claimed_from to n_leaves - 1 do
+    Chain.advance_time dst_chain 60;
+    let info = Hashtbl.find st.st_leaves idx in
+    ignore
+      (assert_success "claimExit"
+         (Chain.submit_tx dst_chain ~from_:user ~to_:st.st_dst_exit
+            ~input:
+              (claim_calldata ~leaf_index:idx ~token:info.li_token
+                 ~amount:info.li_amount ~origin:src_id
+                 ~root:(Merkle.root final)
+                 ~proof:(String.concat "" (Merkle.proof final idx)))
+            ()))
+  done;
+  {
+    la_built = { built with config };
+    la_state = st;
+    la_validators = validators;
+    la_user = user;
+    la_tokens = tokens;
+    la_claimed_from = claimed_from;
+  }
+
+let build_benign b = (build_lane b).la_built
+let benign_twin spec = build_benign spec.e_base
+
+(** One claim for a token no deposit ever mentioned: the no-deposit
+    net-outflow clause (and — no leaf exists, so the proof cannot
+    verify — the forged-proof rule). *)
+let build_undeposited_claim (b : base) : Scenario.built =
+  let lane = build_lane b in
+  let st = lane.la_state in
+  let dst_chain = lane.la_built.bridge.Bridge.target.Bridge.chain in
+  let ghost = Address.of_seed (b.b_label ^ "-exit-ghost-token") in
+  let final = Hashtbl.find st.st_snapshots (b.b_epochs - 1) in
+  Chain.advance_time dst_chain 60;
+  ignore
+    (assert_success "ghost claimExit"
+       (Chain.submit_tx dst_chain ~from_:lane.la_user ~to_:st.st_dst_exit
+          ~input:
+            (claim_calldata ~leaf_index:0 ~token:ghost ~amount:50
+               ~origin:st.st_src_id
+               ~root:(Merkle.root final)
+               ~proof:(String.concat "" (Merkle.proof final 0)))
+          ()));
+  lane.la_built
+
+(* ------------------------------------------------------------------ *)
+(* Injections                                                          *)
+
+let flip_bit s =
+  let b = Bytes.of_string s in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+  Bytes.to_string b
+
+let build (spec : spec) : injected =
+  let b = spec.e_base in
+  let lane = build_lane b in
+  let built = lane.la_built in
+  let before = Attacks.all_txs built in
+  let st = lane.la_state in
+  let src_chain = built.bridge.Bridge.source.Bridge.chain in
+  let dst_chain = built.bridge.Bridge.target.Bridge.chain in
+  let src_operator = built.bridge.Bridge.source.Bridge.operator in
+  (* Re-synchronize so the injection alone controls timing. *)
+  let t0 = max (Chain.now src_chain) (Chain.now dst_chain) + 3600 in
+  Chain.set_time src_chain t0;
+  Chain.set_time dst_chain t0;
+  let attack_txs = ref [] and divergence_txs = ref [] in
+  let record tx = attack_txs := tx :: !attack_txs in
+  let claim ?(mutate_proof = false) ~tree ~idx () =
+    let info = Hashtbl.find st.st_leaves idx in
+    let proof = String.concat "" (Merkle.proof tree idx) in
+    let proof = if mutate_proof then flip_bit proof else proof in
+    Chain.advance_time dst_chain 60;
+    assert_success "injected claimExit"
+      (Chain.submit_tx dst_chain ~from_:lane.la_user ~to_:st.st_dst_exit
+         ~input:
+           (claim_calldata ~leaf_index:idx ~token:info.li_token
+              ~amount:info.li_amount ~origin:st.st_src_id
+              ~root:(Merkle.root tree) ~proof)
+         ())
+  in
+  (match spec.e_class with
+  | Report.Stale_root_claim ->
+      (* Leaf 0 proven against the epoch-0 snapshot: a perfectly valid
+         proof for a root every validator long since superseded. *)
+      let old = Hashtbl.find st.st_snapshots 0 in
+      record (claim ~tree:old ~idx:0 ())
+  | Report.Forged_exit_proof ->
+      (* Unclaimed leaf, latest root, one bit of the proof flipped: the
+         contract executes it, the watcher's re-verification fails. *)
+      let final = Hashtbl.find st.st_snapshots (b.b_epochs - 1) in
+      record (claim ~mutate_proof:true ~tree:final ~idx:1 ())
+  | Report.Root_divergence ->
+      (* A bonded validator attests to a root that differs from what
+         the origin chain sealed for that epoch. *)
+      let sealed = Merkle.root (Hashtbl.find st.st_snapshots 0) in
+      Chain.advance_time dst_chain 60;
+      record
+        (assert_success "divergent signExitRoot"
+           (Chain.submit_tx dst_chain
+              ~from_:(List.hd lane.la_validators)
+              ~to_:st.st_dst_exit
+              ~input:
+                (sign_calldata ~origin:st.st_src_id ~epoch:0
+                   ~root:(flip_bit sealed))
+              ()))
+  | Report.Exit_net_outflow ->
+      (* A dedicated fresh token: deposits, a sealed epoch, honest
+         unanimous signatures — then every leaf claimed twice, each
+         claim individually proof-valid.  Cumulative claims exceed
+         cumulative deposits for the (chain, token) pair. *)
+      let token = Address.of_seed (b.b_label ^ "-exit-outflow-token") in
+      Pricing.register built.pricing ~chain_id:st.st_src_id
+        ~token:(Address.to_hex token) ~usd_per_token:1.0 ~decimals:0;
+      Pricing.register built.pricing ~chain_id:st.st_dst_id
+        ~token:(Address.to_hex token) ~usd_per_token:1.0 ~decimals:0;
+      let epoch = b.b_epochs in
+      let first = Merkle.size st.st_tree in
+      for k = 0 to 1 do
+        Chain.advance_time src_chain 60;
+        ignore
+          (assert_success "outflow exitDeposit"
+             (Chain.submit_tx src_chain ~from_:lane.la_user ~to_:st.st_src_exit
+                ~input:
+                  (deposit_calldata ~token ~amount:(500 + (100 * k))
+                     ~dest:st.st_dst_id)
+                ()))
+      done;
+      Chain.advance_time src_chain 60;
+      ignore
+        (assert_success "outflow sealExitRoot"
+           (Chain.submit_tx src_chain ~from_:src_operator ~to_:st.st_src_exit
+              ~input:(seal_calldata ~epoch)
+              ()));
+      let tree = Hashtbl.find st.st_snapshots epoch in
+      let root = Merkle.root tree in
+      List.iter
+        (fun v ->
+          Chain.advance_time dst_chain 60;
+          ignore
+            (assert_success "outflow signExitRoot"
+               (Chain.submit_tx dst_chain ~from_:v ~to_:st.st_dst_exit
+                  ~input:(sign_calldata ~origin:st.st_src_id ~epoch ~root)
+                  ())))
+        lane.la_validators;
+      for idx = first to first + 1 do
+        record (claim ~tree ~idx ());
+        record (claim ~tree ~idx ())
+      done
+  | Report.Slashing_evasion ->
+      (* Two validators co-sign a divergent epoch-0 root.  The first
+         withdraws its stake before anyone reacts (the evasion); the
+         second is slashed, and stays silent under the evasion rule. *)
+      let v_evader = List.nth lane.la_validators 0 in
+      let v_slashed = List.nth lane.la_validators 1 in
+      let bad = flip_bit (Merkle.root (Hashtbl.find st.st_snapshots 0)) in
+      List.iter
+        (fun v ->
+          Chain.advance_time dst_chain 60;
+          divergence_txs :=
+            assert_success "divergent signExitRoot"
+              (Chain.submit_tx dst_chain ~from_:v ~to_:st.st_dst_exit
+                 ~input:(sign_calldata ~origin:st.st_src_id ~epoch:0 ~root:bad)
+                 ())
+            :: !divergence_txs)
+        [ v_evader; v_slashed ];
+      Chain.advance_time dst_chain 60;
+      record
+        (assert_success "evading withdrawStake"
+           (Chain.submit_tx dst_chain ~from_:v_evader ~to_:st.st_dst_exit
+              ~input:(withdraw_calldata ~epoch:0)
+              ()));
+      Chain.advance_time dst_chain 60;
+      ignore
+        (assert_success "slashValidator"
+           (Chain.submit_tx dst_chain ~from_:st.st_operator ~to_:st.st_dst_exit
+              ~input:(slash_calldata ~validator:v_slashed ~epoch:0)
+              ())));
+  let after = Attacks.all_txs built in
+  let before_set = Hashtbl.create 256 in
+  List.iter (fun tx -> Hashtbl.replace before_set tx ()) before;
+  let inj_txs = List.filter (fun tx -> not (Hashtbl.mem before_set tx)) after in
+  {
+    inj_built = built;
+    inj_spec = spec;
+    inj_attack_txs = List.sort compare !attack_txs;
+    inj_divergence_txs = List.sort compare !divergence_txs;
+    inj_txs;
+  }

@@ -34,6 +34,7 @@ module Rules = Xcw_core.Rules
 module Scenario = Xcw_workload.Scenario
 module Generic = Xcw_workload.Generic
 module Attacks = Xcw_workload.Attacks
+module Exit_bridge = Xcw_workload.Exit_bridge
 module Nomad = Xcw_workload.Nomad
 module Ronin = Xcw_workload.Ronin
 
@@ -371,11 +372,29 @@ let coverage_scenarios () =
   let pack cls () =
     attack_input (Attacks.build (Attacks.default_spec cls)).Attacks.inj_built
   in
+  (* The exit-bridge lanes: the benign lane covers the accounting
+     stratum's bookkeeping rules, the five attack classes its violation
+     rules, and the undeposited claim the no-deposit outflow clause. *)
+  let exit_benign () =
+    attack_input (Exit_bridge.build_benign Exit_bridge.default_base)
+  in
+  let exit_pack cls () =
+    attack_input
+      (Exit_bridge.build (Exit_bridge.default_spec cls)).Exit_bridge.inj_built
+  in
+  let exit_undeposited () =
+    attack_input (Exit_bridge.build_undeposited_claim Exit_bridge.default_base)
+  in
   ("nomad", nomad) :: ("ronin", ronin) :: ("generic", generic)
   :: ("edge", edge_input)
-  :: List.map
-       (fun cls -> ("attack-" ^ Attacks.class_slug cls, pack cls))
-       Report.attack_classes
+  :: (List.map
+        (fun cls -> ("attack-" ^ Attacks.class_slug cls, pack cls))
+        Report.attack_classes
+     @ ("exit", exit_benign)
+       :: ("exit-undeposited", exit_undeposited)
+       :: List.map
+            (fun cls -> ("exit-" ^ Report.acc_class_slug cls, exit_pack cls))
+            Report.acc_classes)
 
 let rule_coverage =
   Alcotest.test_case "every rule fires in some corpus scenario" `Slow

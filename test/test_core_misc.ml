@@ -219,6 +219,7 @@ let sample_report () =
         };
       ];
     attack_rows = [];
+    acc_rows = [];
     total_facts = 10;
     decode_seconds = 0.1;
     eval_seconds = 0.2;

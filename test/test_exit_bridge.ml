@@ -1,0 +1,573 @@
+(* Exit-bridge property net (DESIGN.md §15).
+
+   Four layers, one suite:
+   - Merkle: every inclusion proof verifies against its root; any
+     single-bit mutation of leaf, path or index fails verification
+     (1000 qcheck cases); append-then-root is deterministic,
+     insertion-order-sensitive, and differentially equal to a naive
+     list-of-leaves reference.
+   - Accounting invariants: benign exit scenarios derive zero
+     accounting-violation tuples; each of the five attack classes fires
+     exactly its class rule on exactly the injected transactions while
+     the benign twin stays silent.
+   - Robustness: the accounting verdict is identical across {clean,
+     moderate RPC faults, 3-endpoint/2-quorum with one Byzantine liar}
+     x {--jobs 1, --jobs 4}.
+   - Fixtures: per-class accounting reports pinned to committed
+     goldens (test/golden/accounting_<class>.golden). *)
+
+module Merkle = Xcw_merkle.Merkle
+module Fault = Xcw_rpc.Fault
+module Pool = Xcw_rpc.Pool
+module Engine = Xcw_datalog.Engine
+module Detector = Xcw_core.Detector
+module Decoder = Xcw_core.Decoder
+module Report = Xcw_core.Report
+module Rules = Xcw_core.Rules
+module Bridge = Xcw_bridge.Bridge
+module Scenario = Xcw_workload.Scenario
+module Exit_bridge = Xcw_workload.Exit_bridge
+module T = Xcw_testlib
+
+(* ------------------------------------------------------------------ *)
+(* Merkle properties                                                    *)
+
+let keccak s = Xcw_keccak.Keccak.digest s
+
+let arb_leaves =
+  QCheck.(
+    map
+      (fun (depth_seed, n_seed, salt) ->
+        let depth = 1 + (depth_seed mod 6) in
+        let n = 1 + (n_seed mod (1 lsl depth)) in
+        let leaves = List.init n (fun i -> keccak (Printf.sprintf "%d-%d" salt i)) in
+        (depth, leaves))
+      (triple (int_bound 1000) (int_bound 1000) (int_bound 100_000)))
+
+let build_tree depth leaves =
+  let t = Merkle.create ~depth () in
+  List.iter (fun l -> ignore (Merkle.add_leaf t l)) leaves;
+  t
+
+let prop_proofs_verify =
+  QCheck.Test.make ~name:"every inclusion proof verifies against the root"
+    ~count:(T.qcount 100) arb_leaves (fun (depth, leaves) ->
+      let t = build_tree depth leaves in
+      let root = Merkle.root t in
+      List.for_all
+        (fun i ->
+          Merkle.verify ~depth ~root ~index:i ~leaf:(Merkle.leaf t i)
+            (Merkle.proof t i))
+        (List.init (Merkle.size t) Fun.id))
+
+(* Single-bit mutation of leaf, one path sibling, or the index: the
+   1000-case acceptance property. *)
+let flip_bit_at s ~byte ~bit =
+  let b = Bytes.of_string s in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let arb_mutation =
+  QCheck.(
+    map
+      (fun ((depth, leaves), (which, byte_seed, bit_seed)) ->
+        (depth, leaves, which, byte_seed, bit_seed))
+      (pair arb_leaves (triple (int_bound 2) (int_bound 1000) (int_bound 7))))
+
+let prop_mutation_fails =
+  QCheck.Test.make
+    ~name:"any single-bit mutation of leaf, path or index fails verification"
+    ~count:(T.qcount 1000) arb_mutation
+    (fun (depth, leaves, which, byte_seed, bit_seed) ->
+      let t = build_tree depth leaves in
+      let root = Merkle.root t in
+      let index = byte_seed mod Merkle.size t in
+      let leaf = Merkle.leaf t index in
+      let proof = Merkle.proof t index in
+      let bit = bit_seed in
+      match which with
+      | 0 ->
+          (* mutate the leaf *)
+          let leaf' = flip_bit_at leaf ~byte:(byte_seed mod 32) ~bit in
+          not (Merkle.verify ~depth ~root ~index ~leaf:leaf' proof)
+      | 1 ->
+          (* mutate one proof sibling *)
+          let k = byte_seed mod depth in
+          let proof' =
+            List.mapi
+              (fun i s ->
+                if i = k then flip_bit_at s ~byte:(bit_seed * 3 mod 32) ~bit
+                else s)
+              proof
+          in
+          not (Merkle.verify ~depth ~root ~index ~leaf proof')
+      | _ ->
+          (* mutate the index (flip one of its depth bits) *)
+          let index' = index lxor (1 lsl (bit_seed mod depth)) in
+          index' = index
+          || not (Merkle.verify ~depth ~root ~index:index' ~leaf proof))
+
+let prop_differential_root =
+  QCheck.Test.make
+    ~name:"incremental root equals the naive list-of-leaves reference"
+    ~count:(T.qcount 100) arb_leaves (fun (depth, leaves) ->
+      Merkle.root (build_tree depth leaves) = Merkle.root_of_leaves ~depth leaves)
+
+let prop_deterministic_order_sensitive =
+  QCheck.Test.make
+    ~name:"append-then-root is deterministic and insertion-order-sensitive"
+    ~count:(T.qcount 100) arb_leaves (fun (depth, leaves) ->
+      let r1 = Merkle.root (build_tree depth leaves) in
+      let r2 = Merkle.root (build_tree depth leaves) in
+      let swapped =
+        match leaves with
+        | a :: b :: rest when a <> b -> Some (b :: a :: rest)
+        | _ -> None
+      in
+      r1 = r2
+      &&
+      match swapped with
+      | None -> true
+      | Some leaves' -> Merkle.root (build_tree depth leaves') <> r1)
+
+let merkle_units =
+  Alcotest.test_case "tree and leaf-hash guards raise Invalid_argument" `Quick
+    (fun () ->
+      let raises f =
+        match f () with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) "depth 0 rejected" true
+        (raises (fun () -> Merkle.create ~depth:0 ()));
+      Alcotest.(check bool) "depth 31 rejected" true
+        (raises (fun () -> Merkle.create ~depth:(Merkle.max_depth + 1) ()));
+      let t = Merkle.create ~depth:1 () in
+      Alcotest.(check bool) "short leaf rejected" true
+        (raises (fun () -> Merkle.add_leaf t "short"));
+      ignore (Merkle.add_leaf t (keccak "a"));
+      ignore (Merkle.add_leaf t (keccak "b"));
+      Alcotest.(check bool) "full tree rejects appends" true
+        (raises (fun () -> Merkle.add_leaf t (keccak "c")));
+      Alcotest.(check bool) "proof out of range rejected" true
+        (raises (fun () -> Merkle.proof t 2));
+      Alcotest.(check bool) "negative leaf-hash field rejected" true
+        (raises (fun () ->
+             Merkle.leaf_hash ~origin_chain_id:1 ~dest_chain_id:2 ~token:"0xab"
+               ~amount:(-1) ~nonce:0));
+      (* verify never raises: junk shapes are just [false] *)
+      Alcotest.(check bool) "wrong sibling count is false" false
+        (Merkle.verify ~depth:1 ~root:(Merkle.root t) ~index:0
+           ~leaf:(keccak "a") []);
+      Alcotest.(check bool) "out-of-range index is false" false
+        (Merkle.verify ~depth:1 ~root:(Merkle.root t) ~index:5
+           ~leaf:(keccak "a") (Merkle.proof t 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Detector plumbing                                                    *)
+
+let exit_input (b : Scenario.built) =
+  Detector.default_input ~label:"exit" ~plugin:Decoder.ronin_plugin
+    ~config:b.Scenario.config
+    ~source_chain:b.Scenario.bridge.Bridge.source.Bridge.chain
+    ~target_chain:b.Scenario.bridge.Bridge.target.Bridge.chain
+    ~pricing:b.Scenario.pricing
+
+let detect (b : Scenario.built) = Detector.run (exit_input b)
+
+let acc_hits_txs (r : Report.t) cls =
+  match Report.acc_row r cls with
+  | None -> Alcotest.failf "missing accounting row for %s" (Report.acc_class_slug cls)
+  | Some row ->
+      List.sort compare
+        (List.map (fun h -> h.Report.ah_tx_hash) row.Report.xr_hits)
+
+let accounting_relations =
+  [
+    Rules.r_acc_outflow_violation;
+    Rules.r_acc_outflow_tx;
+    Rules.r_acc_forged_exit_proof;
+    Rules.r_acc_stale_root_claim;
+    Rules.r_acc_root_divergence;
+    Rules.r_acc_slashing_evasion;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Benign soundness                                                     *)
+
+let benign_zero_tuples =
+  Alcotest.test_case
+    "benign exit lane derives zero accounting-violation tuples" `Quick
+    (fun () ->
+      let result = detect (Exit_bridge.build_benign Exit_bridge.default_base) in
+      List.iter
+        (fun rel ->
+          Alcotest.(check int)
+            (rel ^ " is empty")
+            0
+            (Engine.fact_count result.Detector.db rel))
+        accounting_relations;
+      let r = result.Detector.report in
+      Alcotest.(check int) "zero accounting hits" 0 (Report.total_acc_hits r);
+      Alcotest.(check int) "zero attack hits" 0 (Report.total_attack_hits r);
+      Alcotest.(check int) "zero anomalies" 0 (Report.total_anomalies r);
+      (* The lane itself is live: exit relations are populated and the
+         aggregates summed them. *)
+      Alcotest.(check bool) "exit deposits decoded" true
+        (Engine.fact_count result.Detector.db Xcw_core.Facts.r_exit_deposit > 0);
+      Alcotest.(check bool) "deposit totals aggregated" true
+        (Engine.fact_count result.Detector.db Rules.r_exit_deposit_total > 0))
+
+let arb_base =
+  QCheck.(
+    map
+      (fun (seed, validators, epochs, dpe) ->
+        {
+          Exit_bridge.default_base with
+          Exit_bridge.b_seed = seed;
+          b_validators = 2 + validators;
+          b_epochs = 2 + epochs;
+          b_deposits_per_epoch = 2 + dpe;
+          b_base =
+            {
+              Exit_bridge.default_base.Exit_bridge.b_base with
+              Xcw_workload.Generic.g_seed = seed;
+            };
+        })
+      (quad (int_range 1 50_000) (int_bound 2) (int_bound 2) (int_bound 3)))
+
+let prop_benign_sound =
+  QCheck.Test.make
+    ~name:"benign exit scenarios derive zero accounting tuples (any spec)"
+    ~count:(T.qcount 4) arb_base (fun base ->
+      let result = detect (Exit_bridge.build_benign base) in
+      List.for_all
+        (fun rel -> Engine.fact_count result.Detector.db rel = 0)
+        accounting_relations
+      && Report.total_acc_hits result.Detector.report = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-class exactness                                                  *)
+
+let check_exactness cls () =
+  let inj = Exit_bridge.build (Exit_bridge.default_spec cls) in
+  let r = (detect inj.Exit_bridge.inj_built).Detector.report in
+  Alcotest.(check (list string))
+    (Report.acc_class_slug cls ^ ": rule flags exactly the injected txs")
+    inj.Exit_bridge.inj_attack_txs (acc_hits_txs r cls);
+  List.iter
+    (fun other ->
+      if other <> cls then
+        (* Slashing evasion's setup signatures legitimately surface as
+           root divergence — exactly those signature txs, nothing else. *)
+        let expected =
+          if cls = Report.Slashing_evasion && other = Report.Root_divergence
+          then inj.Exit_bridge.inj_divergence_txs
+          else []
+        in
+        Alcotest.(check (list string))
+          (Report.acc_class_slug other ^ " row for a "
+          ^ Report.acc_class_slug cls ^ " injection")
+          expected (acc_hits_txs r other))
+    Report.acc_classes;
+  (* The attack-pack rows and the plain anomaly rows stay silent: these
+     five classes are invisible to the pre-existing rules. *)
+  Alcotest.(check int) "zero attack-pack hits" 0 (Report.total_attack_hits r);
+  Alcotest.(check int) "zero plain anomalies" 0 (Report.total_anomalies r);
+  Alcotest.(check bool) "injection is non-trivial" true
+    (inj.Exit_bridge.inj_attack_txs <> []);
+  match Report.acc_row r cls with
+  | None -> assert false
+  | Some row ->
+      List.iter
+        (fun h ->
+          Alcotest.(check bool) "hit carries an id" true (h.Report.ah_id >= 0);
+          Alcotest.(check bool) "hit is priced" true
+            (h.Report.ah_usd_value >= 0.))
+        row.Report.xr_hits
+
+let check_benign_twin cls () =
+  let spec = Exit_bridge.default_spec cls in
+  let r = (detect (Exit_bridge.benign_twin spec)).Detector.report in
+  Alcotest.(check int)
+    (Report.acc_class_slug cls ^ " twin: zero accounting hits")
+    0 (Report.total_acc_hits r);
+  Alcotest.(check int)
+    (Report.acc_class_slug cls ^ " twin: zero anomalies")
+    0 (Report.total_anomalies r)
+
+let undeposited_claim =
+  Alcotest.test_case
+    "claim of an undeposited token fires the no-deposit outflow clause"
+    `Quick (fun () ->
+      let b = Exit_bridge.build_undeposited_claim Exit_bridge.default_base in
+      let result = detect b in
+      Alcotest.(check bool) "outflow violation derived" true
+        (Engine.fact_count result.Detector.db Rules.r_acc_outflow_violation > 0);
+      let r = result.Detector.report in
+      match Report.acc_row r Report.Exit_net_outflow with
+      | None -> Alcotest.fail "missing net-outflow row"
+      | Some row ->
+          Alcotest.(check int) "exactly the ghost claim" 1
+            (List.length row.Report.xr_hits))
+
+(* ------------------------------------------------------------------ *)
+(* Robustness matrix                                                    *)
+
+(* Report signature including the accounting rows; timings and fact
+   totals excluded (fault plans cost simulated time by design). *)
+let signature (r : Report.t) =
+  let acc_row (xr : Report.acc_row) =
+    ( Report.acc_class_name xr.Report.xr_class,
+      xr.Report.xr_rule,
+      List.map
+        (fun h ->
+          ( h.Report.ah_tx_hash,
+            h.Report.ah_chain_id,
+            h.Report.ah_id,
+            h.Report.ah_usd_value,
+            h.Report.ah_detail ))
+        xr.Report.xr_hits )
+  in
+  ( r.Report.bridge_name,
+    T.report_signature r,
+    List.map acc_row r.Report.acc_rows,
+    Report.total_attack_hits r )
+
+let variants input =
+  let quorum_faults = [ None; None; Some Fault.byzantine ] in
+  [
+    ("clean", input);
+    ( "moderate-faults",
+      {
+        input with
+        Detector.i_source_fault = Some Fault.moderate;
+        i_target_fault = Some Fault.moderate;
+      } );
+    ( "quorum-3-2-one-liar",
+      {
+        input with
+        Detector.i_endpoints = 3;
+        i_quorum = 2;
+        i_source_endpoint_faults = quorum_faults;
+        i_target_endpoint_faults = quorum_faults;
+      } );
+  ]
+
+let check_matrix cls () =
+  let inj = Exit_bridge.build (Exit_bridge.default_spec cls) in
+  let input = exit_input inj.Exit_bridge.inj_built in
+  let reference = ref None in
+  List.iter
+    (fun (vname, vinput) ->
+      List.iter
+        (fun jobs ->
+          let result =
+            Detector.run { vinput with Detector.i_ndomains = jobs }
+          in
+          let s = signature result.Detector.report in
+          (match !reference with
+          | None -> reference := Some s
+          | Some s0 ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s/--jobs %d matches the clean run"
+                   (Report.acc_class_slug cls) vname jobs)
+                true (s = s0));
+          if vname = "quorum-3-2-one-liar" then
+            match result.Detector.pool_health with
+            | None -> Alcotest.fail "expected pool health from a quorum run"
+            | Some (sh, th) ->
+                Alcotest.(check (list int))
+                  "source pool names the liar" [ 2 ] sh.Pool.ph_suspects;
+                Alcotest.(check (list int))
+                  "target pool names the liar" [ 2 ] th.Pool.ph_suspects)
+        [ 1; 4 ])
+    (variants input)
+
+(* ------------------------------------------------------------------ *)
+(* Generator soundness                                                  *)
+
+let arb_spec =
+  QCheck.(
+    map
+      (fun (base, cls_ix) ->
+        {
+          Exit_bridge.e_class = List.nth Report.acc_classes (cls_ix mod 5);
+          e_base = base;
+        })
+      (pair arb_base (int_bound 4)))
+
+let prop_twin_differential =
+  QCheck.Test.make
+    ~name:"attacked scenario = benign twin + exactly the injected txs"
+    ~count:(T.qcount 5) arb_spec (fun spec ->
+      let inj = Exit_bridge.build spec in
+      let twin_txs =
+        Xcw_workload.Attacks.all_txs (Exit_bridge.benign_twin spec)
+      in
+      let attacked_txs =
+        Xcw_workload.Attacks.all_txs inj.Exit_bridge.inj_built
+      in
+      let module S = Set.Make (String) in
+      let twin = S.of_list twin_txs
+      and injected = S.of_list inj.Exit_bridge.inj_txs in
+      S.equal (S.of_list attacked_txs) (S.union twin injected)
+      && S.is_empty (S.inter twin injected)
+      && S.subset (S.of_list inj.Exit_bridge.inj_attack_txs) injected
+      && S.subset (S.of_list inj.Exit_bridge.inj_divergence_txs) injected
+      && inj.Exit_bridge.inj_attack_txs <> [])
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"exit scenarios are deterministic per spec"
+    ~count:(T.qcount 3) arb_spec (fun spec ->
+      let a = Exit_bridge.build spec and b = Exit_bridge.build spec in
+      Xcw_workload.Attacks.all_txs a.Exit_bridge.inj_built
+      = Xcw_workload.Attacks.all_txs b.Exit_bridge.inj_built
+      && a.Exit_bridge.inj_attack_txs = b.Exit_bridge.inj_attack_txs)
+
+(* ------------------------------------------------------------------ *)
+(* Spec guards                                                          *)
+
+let spec_guards =
+  Alcotest.test_case "out-of-range exit specs raise instead of clamping"
+    `Quick (fun () ->
+      let build b = ignore (Exit_bridge.build_benign b) in
+      let base = Exit_bridge.default_base in
+      List.iter
+        (fun bad ->
+          match build bad with
+          | () -> Alcotest.fail "out-of-range spec accepted"
+          | exception Invalid_argument _ -> ())
+        [
+          { base with Exit_bridge.b_validators = 1 };
+          { base with Exit_bridge.b_epochs = 1 };
+          { base with Exit_bridge.b_deposits_per_epoch = 1 };
+          { base with Exit_bridge.b_stake = 0 };
+          { base with Exit_bridge.b_tree_depth = 0 };
+          { base with Exit_bridge.b_tree_depth = Merkle.max_depth + 1 };
+          (* 2 epochs x 3 deposits + reserve exceed a depth-3 tree *)
+          { base with Exit_bridge.b_tree_depth = 3 };
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Golden fixtures                                                      *)
+
+let accounting_report ?(quorum = false) ?(jobs = 1) cls () =
+  let inj = Exit_bridge.build (Exit_bridge.default_spec cls) in
+  let input = exit_input inj.Exit_bridge.inj_built in
+  let input =
+    if quorum then
+      let faults = [ None; None; Some Fault.byzantine ] in
+      {
+        input with
+        Detector.i_endpoints = 3;
+        i_quorum = 2;
+        i_source_endpoint_faults = faults;
+        i_target_endpoint_faults = faults;
+      }
+    else input
+  in
+  (Detector.run { input with Detector.i_ndomains = jobs }).Detector.report
+
+(* In write mode only the clean render is written; the quorum and
+   jobs-4 renders are read-mode reuse checks against the same fixture
+   (shape borrowed from test_golden.ml). *)
+let check_golden ~name report =
+  let rendered = T.render_accounting_report (report ()) in
+  match Sys.getenv_opt "XCW_GOLDEN_WRITE" with
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".golden") in
+      let oc = open_out_bin path in
+      output_string oc rendered;
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path
+  | None ->
+      let path = Filename.concat "golden" (name ^ ".golden") in
+      if not (Sys.file_exists path) then
+        Alcotest.failf "missing fixture %s (regenerate with XCW_GOLDEN_WRITE)"
+          path
+      else
+        let expected = T.read_file path in
+        if expected <> rendered then
+          Alcotest.failf "report drifted from %s at %s" path
+            (T.first_diff expected rendered)
+
+let check_reuse ~name report =
+  match Sys.getenv_opt "XCW_GOLDEN_WRITE" with
+  | Some _ -> ()
+  | None -> check_golden ~name report
+
+let golden_cases =
+  List.concat_map
+    (fun cls ->
+      let slug = Report.acc_class_slug cls in
+      let name = "accounting_" ^ slug in
+      [
+        Alcotest.test_case
+          (Printf.sprintf "accounting report %s matches its fixture" slug)
+          `Quick
+          (fun () -> check_golden ~name (accounting_report cls));
+        Alcotest.test_case
+          (Printf.sprintf "quorum render of %s reuses the fixture" slug)
+          `Quick
+          (fun () -> check_reuse ~name (accounting_report ~quorum:true cls));
+        Alcotest.test_case
+          (Printf.sprintf "--jobs 4 render of %s reuses the fixture" slug)
+          `Quick
+          (fun () -> check_reuse ~name (accounting_report ~jobs:4 cls));
+      ])
+    Report.acc_classes
+
+(* ------------------------------------------------------------------ *)
+
+let exactness_cases =
+  List.map
+    (fun cls ->
+      Alcotest.test_case
+        (Report.acc_class_slug cls ^ ": rule fires on exactly the injected txs")
+        `Quick (check_exactness cls))
+    Report.acc_classes
+
+let twin_cases =
+  List.map
+    (fun cls ->
+      Alcotest.test_case
+        (Report.acc_class_slug cls ^ ": benign twin is clean")
+        `Quick (check_benign_twin cls))
+    Report.acc_classes
+
+let matrix_cases =
+  List.map
+    (fun cls ->
+      Alcotest.test_case
+        (Report.acc_class_slug cls ^ ": fault/quorum/parallel matrix agrees")
+        `Quick (check_matrix cls))
+    Report.acc_classes
+
+let () =
+  Alcotest.run "exit-bridge"
+    [
+      ( "merkle",
+        [
+          QCheck_alcotest.to_alcotest prop_proofs_verify;
+          QCheck_alcotest.to_alcotest prop_mutation_fails;
+          QCheck_alcotest.to_alcotest prop_differential_root;
+          QCheck_alcotest.to_alcotest prop_deterministic_order_sensitive;
+          merkle_units;
+        ] );
+      ( "benign",
+        [
+          benign_zero_tuples;
+          QCheck_alcotest.to_alcotest prop_benign_sound;
+        ] );
+      ("exactness", exactness_cases);
+      ("benign-twin", twin_cases);
+      ("edge", [ undeposited_claim; spec_guards ]);
+      ("matrix", matrix_cases);
+      ( "generator",
+        [
+          QCheck_alcotest.to_alcotest prop_twin_differential;
+          QCheck_alcotest.to_alcotest prop_deterministic;
+        ] );
+      ("golden", golden_cases);
+    ]

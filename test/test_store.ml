@@ -487,6 +487,10 @@ let sweep_lanes () =
     Presets.lane ~scale:0.01 ~seed:3 ~rounds_to_sync:3 Presets.Nomad;
     Presets.lane ~scale:0.01 ~seed:5 ~rounds_to_sync:3 Presets.Ronin;
     Presets.lane ~rounds_to_sync:3 (Presets.Attack Report.Forged_proof);
+    (* Exit-bridge accounting lane: slashing evasion also emits
+       root-divergence alerts, so a resumed checkpoint must replay the
+       Accounting anomaly-class tags byte-identically. *)
+    Presets.lane ~rounds_to_sync:3 (Presets.Exit_attack Report.Slashing_evasion);
   ]
 
 let render_fleet_stream fas =

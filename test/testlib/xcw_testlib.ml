@@ -205,6 +205,29 @@ let render_attack_report (r : Report.t) =
     r.Report.attack_rows;
   Buffer.contents buf
 
+(* Accounting (exit-bridge) reports pin the pessimistic-accounting
+   tables the same way: one paper-style row per accounting class with
+   the priced, leaf/epoch-tagged evidence hits. *)
+let render_accounting_report (r : Report.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (render_report r);
+  List.iter
+    (fun (xr : Report.acc_row) ->
+      let hits =
+        List.map
+          (fun (h : Report.attack_hit) ->
+            Printf.sprintf "%s(chain=%d id=%d $%.2f %s)" h.Report.ah_tx_hash
+              h.Report.ah_chain_id h.Report.ah_id h.Report.ah_usd_value
+              h.Report.ah_detail)
+          xr.Report.xr_hits
+      in
+      Printf.bprintf buf "accounting: %s | rule=%s | hits=%d%s\n"
+        (Report.acc_class_name xr.Report.xr_class)
+        xr.Report.xr_rule (List.length hits)
+        (match hits with [] -> "" | l -> " | " ^ String.concat " " l))
+    r.Report.acc_rows;
+  Buffer.contents buf
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in

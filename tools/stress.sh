@@ -4,7 +4,9 @@
 # differential (random programs through both engines — same relations,
 # derived counts and TSV bytes at --jobs 1/2/4), the RPC fault/quorum
 # net, the attack-pack cross-product (class x fault/quorum x jobs,
-# plus the twin-differential generator properties), and the fleet suite
+# plus the twin-differential generator properties), the exit-bridge
+# accounting net (Merkle proof-mutation properties plus its own class
+# x fault/quorum x jobs cross-product), and the fleet suite
 # (bus dedup, breaker lifecycle, solo-vs-fleet isolation differential,
 # --jobs determinism over random traffic), each at XCW_STRESS x their
 # default qcheck case counts (default 10x) — plus the full-matrix fleet
